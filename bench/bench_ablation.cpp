@@ -1,0 +1,282 @@
+// Ablations for the design choices DESIGN.md calls out:
+//  1. popcount strategy inside FindDiffBits (Wegner vs POPCNT vs LUT) at
+//     the full-join level;
+//  2. alphabetic signature width l = 1, 2, 4 — filter selectivity vs
+//     signature cost on last names;
+//  3. threshold k = 1..3 — how fast the FBF advantage erodes as the
+//     filter passes more candidates (generalizes Tables 1 vs 2);
+//  4. thread scaling of the parallel join (extension beyond the paper);
+//  5. blocking interaction: exhaustive FPDL vs standard blocking vs
+//     sorted neighbourhood on the RL engine — candidate counts and recall
+//     (the paper's §1 discussion, quantified).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/find_diff_bits.hpp"
+#include "core/match_join.hpp"
+#include "core/signature64.hpp"
+#include "linkage/engine.hpp"
+#include "linkage/person_gen.hpp"
+#include "metrics/pdl.hpp"
+#include "metrics/qgram.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+namespace c = fbf::core;
+namespace dg = fbf::datagen;
+namespace ex = fbf::experiments;
+namespace lk = fbf::linkage;
+namespace u = fbf::util;
+
+double timed_join(const dg::PairedDataset& dataset, c::JoinConfig join,
+                  int repeats, c::JoinStats* out = nullptr) {
+  std::vector<double> times;
+  for (int rep = 0; rep < repeats; ++rep) {
+    auto stats = c::match_strings(dataset.clean, dataset.error, join);
+    times.push_back(stats.join_ms);
+    if (out != nullptr && rep == repeats - 1) {
+      *out = std::move(stats);
+    }
+  }
+  return u::trimmed_mean_drop_minmax(times);
+}
+
+void ablate_popcount(const fbf::bench::BenchOptions& opts) {
+  std::printf("-- popcount strategy (FBF-only join, SSN) --\n");
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kSsn, opts.config.n,
+                               opts.config.seed);
+  u::Table table({"strategy", "Time ms"});
+  const std::pair<const char*, u::PopcountKind> kinds[] = {
+      {"Wegner (Alg.6)", u::PopcountKind::kWegner},
+      {"POPCNT", u::PopcountKind::kHardware},
+      {"byte LUT", u::PopcountKind::kLut}};
+  for (const auto& [name, kind] : kinds) {
+    auto join = ex::make_join_config(dg::FieldKind::kSsn, c::Method::kFbfOnly,
+                                     opts.config);
+    join.popcount = kind;
+    table.add_row({name, u::fixed(timed_join(dataset, join,
+                                             opts.config.repeats),
+                                  1)});
+  }
+  table.render(std::cout);
+  std::printf("\n");
+}
+
+void ablate_alpha_words(const fbf::bench::BenchOptions& opts) {
+  std::printf("-- signature width l (FPDL, LN) --\n");
+  const auto dataset = dg::build_paired_dataset(
+      dg::FieldKind::kLastName, opts.config.n, opts.config.seed);
+  u::Table table({"l", "bytes/sig", "fbf pass", "verify calls", "Time ms"});
+  for (const int l : {1, 2, 3, 4}) {
+    auto config = opts.config;
+    config.alpha_words = l;
+    auto join = ex::make_join_config(dg::FieldKind::kLastName,
+                                     c::Method::kFpdl, config);
+    c::JoinStats stats;
+    const double ms = timed_join(dataset, join, config.repeats, &stats);
+    table.add_row({std::to_string(l), std::to_string(4 * l),
+                   u::with_commas(static_cast<std::int64_t>(stats.fbf_pass)),
+                   u::with_commas(static_cast<std::int64_t>(stats.verify_calls)),
+                   u::fixed(ms, 1)});
+  }
+  table.render(std::cout);
+  std::printf("\n");
+}
+
+void ablate_threshold(const fbf::bench::BenchOptions& opts) {
+  std::printf("-- threshold k (SSN): FBF selectivity erosion --\n");
+  const auto dataset = dg::build_paired_dataset(
+      dg::FieldKind::kSsn, opts.config.n, opts.config.seed);
+  u::Table table({"k", "fbf pass", "FPDL ms", "DL ms", "speedup"});
+  for (const int k : {1, 2, 3}) {
+    auto config = opts.config;
+    config.k = k;
+    auto fpdl = ex::make_join_config(dg::FieldKind::kSsn, c::Method::kFpdl,
+                                     config);
+    auto dl = ex::make_join_config(dg::FieldKind::kSsn, c::Method::kDl,
+                                   config);
+    c::JoinStats stats;
+    const double fpdl_ms = timed_join(dataset, fpdl, config.repeats, &stats);
+    const double dl_ms = timed_join(dataset, dl, config.repeats);
+    table.add_row({std::to_string(k),
+                   u::with_commas(static_cast<std::int64_t>(stats.fbf_pass)),
+                   u::fixed(fpdl_ms, 1), u::fixed(dl_ms, 1),
+                   u::speedup(fpdl_ms > 0 ? dl_ms / fpdl_ms : 0.0)});
+  }
+  table.render(std::cout);
+  std::printf("\n");
+}
+
+void ablate_threads(const fbf::bench::BenchOptions& opts) {
+  std::printf("-- thread scaling (FPDL, LN) — extension --\n");
+  const auto dataset = dg::build_paired_dataset(
+      dg::FieldKind::kLastName, opts.config.n, opts.config.seed);
+  u::Table table({"threads", "Time ms", "scaling"});
+  double base = 0.0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    auto config = opts.config;
+    config.threads = threads;
+    auto join = ex::make_join_config(dg::FieldKind::kLastName,
+                                     c::Method::kFpdl, config);
+    const double ms = timed_join(dataset, join, config.repeats);
+    if (threads == 1) {
+      base = ms;
+    }
+    table.add_row({std::to_string(threads), u::fixed(ms, 1),
+                   u::speedup(ms > 0 ? base / ms : 0.0)});
+  }
+  table.render(std::cout);
+  std::printf("(single-core hosts will show ~1.0 scaling)\n\n");
+}
+
+void ablate_blocking(const fbf::bench::BenchOptions& opts) {
+  std::printf("-- blocking vs exhaustive FPDL (RL engine) --\n");
+  fbf::util::Rng rng(opts.config.seed);
+  const std::size_t n = opts.config.n / 2 + 1;
+  const auto clean = lk::generate_people(n, rng);
+  const auto error = lk::make_error_records(clean, {}, rng);
+  lk::LinkConfig config;
+  config.comparator = lk::make_point_threshold_config(lk::FieldStrategy::kFpdl);
+  u::Table table({"candidates", "pairs", "TP", "FN", "Time ms"});
+  const auto exhaustive = lk::link_exhaustive(clean, error, config);
+  table.add_row({"exhaustive",
+                 u::with_commas(static_cast<std::int64_t>(exhaustive.candidate_pairs)),
+                 u::with_commas(static_cast<std::int64_t>(exhaustive.true_positives)),
+                 u::with_commas(static_cast<std::int64_t>(exhaustive.false_negatives(n))),
+                 u::fixed(exhaustive.link_ms, 1)});
+  const auto std_pairs =
+      lk::standard_block_pairs(clean, error, lk::block_key_soundex_lastname);
+  const auto blocked = lk::link_candidates(clean, error, std_pairs, config);
+  table.add_row({"soundex blocks",
+                 u::with_commas(static_cast<std::int64_t>(blocked.candidate_pairs)),
+                 u::with_commas(static_cast<std::int64_t>(blocked.true_positives)),
+                 u::with_commas(static_cast<std::int64_t>(blocked.false_negatives(n))),
+                 u::fixed(blocked.link_ms, 1)});
+  const auto snm_pairs =
+      lk::sorted_neighborhood_pairs(clean, error, lk::sort_key_name, 10);
+  const auto snm = lk::link_candidates(clean, error, snm_pairs, config);
+  table.add_row({"sorted nbhd w=10",
+                 u::with_commas(static_cast<std::int64_t>(snm.candidate_pairs)),
+                 u::with_commas(static_cast<std::int64_t>(snm.true_positives)),
+                 u::with_commas(static_cast<std::int64_t>(snm.false_negatives(n))),
+                 u::fixed(snm.link_ms, 1)});
+  table.render(std::cout);
+  std::printf("(blocking trades recall — FN > 0 — for candidate count; "
+              "exhaustive FPDL keeps FN at the comparator's floor)\n");
+}
+
+void ablate_filter_family(const fbf::bench::BenchOptions& opts) {
+  // FBF vs the classic q-gram count filter vs the 64-bit one-word variant
+  // as a PDL pre-filter on last names: filter build time, selectivity,
+  // verify calls and total time.  All three are DL-safe (no false
+  // negatives); they differ in cost model.
+  std::printf("-- filter family: FBF(32x2) vs signature64 vs q-gram (LN, "
+              "FPDL-style pipeline) --\n");
+  const auto dataset = dg::build_paired_dataset(
+      dg::FieldKind::kLastName, opts.config.n, opts.config.seed);
+  const int k = opts.config.k;
+  const std::size_t n = dataset.size();
+  u::Table table({"filter", "build ms", "pass", "verify", "matches",
+                  "total ms"});
+
+  const auto verify_count_row = [&](const char* name, auto build,
+                                    auto pass) {
+    const fbf::util::Stopwatch build_timer;
+    auto [left, right] = build();
+    const double build_ms = build_timer.elapsed_ms();
+    const fbf::util::Stopwatch join_timer;
+    std::uint64_t passed = 0;
+    std::uint64_t verify_calls = 0;
+    std::uint64_t matches = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!pass(left, right, i, j)) {
+          continue;
+        }
+        ++passed;
+        ++verify_calls;
+        if (fbf::metrics::pdl_within(dataset.clean[i], dataset.error[j],
+                                     k)) {
+          ++matches;
+        }
+      }
+    }
+    const double total_ms = join_timer.elapsed_ms();
+    table.add_row({name, u::fixed(build_ms, 2),
+                   u::with_commas(static_cast<std::int64_t>(passed)),
+                   u::with_commas(static_cast<std::int64_t>(verify_calls)),
+                   u::with_commas(static_cast<std::int64_t>(matches)),
+                   u::fixed(total_ms, 1)});
+  };
+
+  verify_count_row(
+      "FBF 32x2",
+      [&] {
+        std::vector<c::Signature> left;
+        std::vector<c::Signature> right;
+        for (std::size_t i = 0; i < n; ++i) {
+          left.push_back(
+              c::make_signature(dataset.clean[i], c::FieldClass::kAlpha, 2));
+          right.push_back(
+              c::make_signature(dataset.error[i], c::FieldClass::kAlpha, 2));
+        }
+        return std::pair(std::move(left), std::move(right));
+      },
+      [&](const auto& left, const auto& right, std::size_t i,
+          std::size_t j) { return c::fbf_pass(left[i], right[j], k); });
+
+  verify_count_row(
+      "signature64",
+      [&] {
+        std::vector<std::uint64_t> left;
+        std::vector<std::uint64_t> right;
+        for (std::size_t i = 0; i < n; ++i) {
+          left.push_back(c::make_signature64(dataset.clean[i]));
+          right.push_back(c::make_signature64(dataset.error[i]));
+        }
+        return std::pair(std::move(left), std::move(right));
+      },
+      [&](const auto& left, const auto& right, std::size_t i,
+          std::size_t j) { return c::fbf_pass64(left[i], right[j], k); });
+
+  verify_count_row(
+      "q-gram q=2 (DL-safe)",
+      [&] {
+        std::vector<fbf::metrics::QgramProfile> left;
+        std::vector<fbf::metrics::QgramProfile> right;
+        for (std::size_t i = 0; i < n; ++i) {
+          left.emplace_back(dataset.clean[i], 2);
+          right.emplace_back(dataset.error[i], 2);
+        }
+        return std::pair(std::move(left), std::move(right));
+      },
+      [&](const auto& left, const auto& right, std::size_t i,
+          std::size_t j) {
+        return fbf::metrics::qgram_filter_pass_dl(
+            left[i], dataset.clean[i].size(), right[j],
+            dataset.error[j].size(), k);
+      });
+
+  table.render(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = fbf::bench::parse_options(argc, argv, /*default_n=*/700);
+  fbf::bench::print_header("Ablations", opts);
+  ablate_popcount(opts);
+  ablate_alpha_words(opts);
+  ablate_threshold(opts);
+  ablate_filter_family(opts);
+  ablate_threads(opts);
+  ablate_blocking(opts);
+  return 0;
+}

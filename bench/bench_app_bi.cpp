@@ -1,0 +1,13 @@
+// Paper Appendix Table 11: birthdates (MMDDYYYY), k = 1.
+// Expected shape: FDL ~31x, FPDL ~42x; the FBF-only row passes many more
+// candidates than on SSN/Ph because dates draw from a tiny value space
+// (dense digit collisions), so Type 1 for FBF-only is large.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return fbf::bench::run_ladder_bench("Appendix Table 11 - Bi (k=1)",
+                                      fbf::datagen::FieldKind::kBirthDate,
+                                      argc, argv, /*default_n=*/1000,
+                                      /*default_k=*/1,
+                                      /*default_sim_threshold=*/0.8);
+}

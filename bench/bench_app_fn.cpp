@@ -1,0 +1,12 @@
+// Paper Appendix Table 9: first names, k = 1, Jaro/Wink threshold 0.75.
+// Expected shape: smallest FBF speedups of the six fields (~22-24x) —
+// FN strings are the shortest, so DL has the least work to save.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return fbf::bench::run_ladder_bench("Appendix Table 9 - FN (k=1)",
+                                      fbf::datagen::FieldKind::kFirstName,
+                                      argc, argv, /*default_n=*/1000,
+                                      /*default_k=*/1,
+                                      /*default_sim_threshold=*/0.75);
+}

@@ -1,0 +1,12 @@
+// Paper Appendix Table 10: NANP phone numbers, k = 1.
+// Expected shape: second-longest strings, second-best speedups
+// (FDL ~66x, FPDL ~75x, FBF-only ~86x).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return fbf::bench::run_ladder_bench("Appendix Table 10 - Ph (k=1)",
+                                      fbf::datagen::FieldKind::kPhone, argc,
+                                      argv, /*default_n=*/1000,
+                                      /*default_k=*/1,
+                                      /*default_sim_threshold=*/0.8);
+}

@@ -1,0 +1,128 @@
+// Candidate-generation shoot-out (extension; DESIGN.md §6).
+//
+// Four ways to find {t : DL(s, t) <= k} for every s in a query list:
+//   * scan + FBF filter (the paper's method — O(n^2) cheap filter calls);
+//   * inverted signature index (constant bucket probes per query);
+//   * BK-tree over true DL (metric pruning; safe OSA superset);
+//   * trie with banded OSA rows (prefix sharing, Trie-Join style).
+// All four verify candidates to the identical OSA match set.  Expected
+// shape: the scan's simplicity wins small n; the index and trie win large
+// n; the BK-tree sits between (its pruning pays full edit-distance cost
+// per visited node).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/match_join.hpp"
+#include "core/signature_index.hpp"
+#include "metrics/pdl.hpp"
+#include "search/bk_tree.hpp"
+#include "search/trie_search.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+namespace c = fbf::core;
+namespace dg = fbf::datagen;
+namespace ex = fbf::experiments;
+namespace u = fbf::util;
+
+struct Outcome {
+  double build_ms = 0.0;
+  double query_ms = 0.0;
+  std::uint64_t matches = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = fbf::bench::parse_options(argc, argv, /*default_n=*/2000);
+  fbf::bench::print_header("Candidate generation shoot-out (LN, k=1)", opts);
+
+  auto config = opts.config;
+  const auto dataset = ex::build_dataset(dg::FieldKind::kLastName, config);
+  const int k = config.k;
+  u::Table table({"method", "build ms", "query ms", "total ms", "matches"});
+
+  // 1. Scan + FBF (the paper's FPDL join).
+  Outcome scan;
+  {
+    auto join = ex::make_join_config(dg::FieldKind::kLastName,
+                                     c::Method::kFpdl, config);
+    const auto stats = c::match_strings(dataset.clean, dataset.error, join);
+    scan.build_ms = stats.signature_gen_ms;
+    scan.query_ms = stats.join_ms;
+    scan.matches = stats.matches;
+  }
+  table.add_row({"scan + FBF (paper)", u::fixed(scan.build_ms, 1),
+                 u::fixed(scan.query_ms, 1),
+                 u::fixed(scan.build_ms + scan.query_ms, 1),
+                 u::with_commas(static_cast<std::int64_t>(scan.matches))});
+
+  // 2. Inverted signature index.
+  Outcome index;
+  if (const auto stats = c::match_strings_indexed(
+          dataset.clean, dataset.error, c::FieldClass::kAlpha, k)) {
+    index.build_ms = stats->build_ms;
+    index.query_ms = stats->join_ms;
+    index.matches = stats->matches;
+    table.add_row({"signature index", u::fixed(index.build_ms, 1),
+                   u::fixed(index.query_ms, 1),
+                   u::fixed(index.build_ms + index.query_ms, 1),
+                   u::with_commas(static_cast<std::int64_t>(index.matches))});
+  }
+
+  // 3. BK-tree (true-DL superset, PDL verify).
+  Outcome bk;
+  {
+    const fbf::util::Stopwatch build_timer;
+    const fbf::search::BkTree tree(dataset.error);
+    bk.build_ms = build_timer.elapsed_ms();
+    const fbf::util::Stopwatch query_timer;
+    std::vector<std::uint32_t> candidates;
+    for (const std::string& query : dataset.clean) {
+      candidates.clear();
+      tree.query(query, k, candidates);
+      for (const std::uint32_t j : candidates) {
+        if (fbf::metrics::pdl_within(query, dataset.error[j], k)) {
+          ++bk.matches;
+        }
+      }
+    }
+    bk.query_ms = query_timer.elapsed_ms();
+  }
+  table.add_row({"BK-tree + PDL", u::fixed(bk.build_ms, 1),
+                 u::fixed(bk.query_ms, 1),
+                 u::fixed(bk.build_ms + bk.query_ms, 1),
+                 u::with_commas(static_cast<std::int64_t>(bk.matches))});
+
+  // 4. Trie with banded OSA rows (exact: no verify needed).
+  Outcome trie;
+  {
+    const fbf::util::Stopwatch build_timer;
+    const fbf::search::TrieSearch index_trie(dataset.error);
+    trie.build_ms = build_timer.elapsed_ms();
+    const fbf::util::Stopwatch query_timer;
+    std::vector<std::uint32_t> hits;
+    for (const std::string& query : dataset.clean) {
+      hits.clear();
+      index_trie.query(query, k, hits);
+      trie.matches += hits.size();
+    }
+    trie.query_ms = query_timer.elapsed_ms();
+  }
+  table.add_row({"trie (banded OSA)", u::fixed(trie.build_ms, 1),
+                 u::fixed(trie.query_ms, 1),
+                 u::fixed(trie.build_ms + trie.query_ms, 1),
+                 u::with_commas(static_cast<std::int64_t>(trie.matches))});
+
+  if (opts.csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render(std::cout);
+    std::printf("\n(all rows must report the same match count — different "
+                "routes to the identical OSA result set)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Shared scaffolding for the table/figure reproduction binaries.
+//
+// Every bench accepts the same flags:
+//   --n N          list size (default per bench; paper scale = 5000)
+//   --k K          edit threshold
+//   --repeats R    timing repeats (paper: 5, trimmed)
+//   --seed S       dataset seed
+//   --threads T    parallel join threads (paper: 1)
+//   --full         paper-scale preset (n=5000, repeats=5)
+//   --csv          machine-readable output
+// Unknown flags abort with a message instead of being silently ignored.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "experiments/ladder.hpp"
+#include "experiments/protocol.hpp"
+#include "util/cli.hpp"
+
+namespace fbf::bench {
+
+struct BenchOptions {
+  fbf::experiments::ExperimentConfig config;
+  bool csv = false;
+  bool full = false;
+};
+
+/// Parses the common flags.  `default_n` is the bench's quick-run size.
+/// `extra_flags` names bench-specific flags (parsed separately by the
+/// caller) so the unknown-flag check does not reject them.
+inline BenchOptions parse_options(
+    int argc, char** argv, std::size_t default_n, int default_k = 1,
+    std::initializer_list<const char*> extra_flags = {}) {
+  const fbf::util::CliArgs args(argc, argv);
+  for (const char* flag : extra_flags) {
+    (void)args.has(flag);
+  }
+  BenchOptions opts;
+  opts.full = args.get_bool("full");
+  opts.csv = args.get_bool("csv");
+  opts.config.n = static_cast<std::size_t>(
+      args.get_int("n", opts.full ? 5000 : static_cast<std::int64_t>(default_n)));
+  opts.config.k = static_cast<int>(args.get_int("k", default_k));
+  opts.config.repeats =
+      static_cast<int>(args.get_int("repeats", opts.full ? 5 : 3));
+  opts.config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  opts.config.threads =
+      static_cast<std::size_t>(args.get_int("threads", 1));
+  opts.config.sim_threshold = args.get_double("sim-threshold", 0.8);
+  opts.config.alpha_words =
+      static_cast<int>(args.get_int("alpha-words", 2));
+  const auto unknown = args.unknown_flags();
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", unknown.front().c_str());
+    std::exit(2);
+  }
+  return opts;
+}
+
+/// Standard header line naming the experiment and its parameters.
+inline void print_header(const char* title, const BenchOptions& opts) {
+  if (opts.csv) {
+    return;
+  }
+  std::printf("=== %s ===\n", title);
+  std::printf("n=%zu k=%d repeats=%d seed=%llu threads=%zu%s\n\n",
+              opts.config.n, opts.config.k, opts.config.repeats,
+              static_cast<unsigned long long>(opts.config.seed),
+              opts.config.threads,
+              opts.full ? " (paper scale)" : " (quick scale; --full for paper scale)");
+}
+
+/// Body shared by all standard-ladder table benches (Tables 1–4 and the
+/// appendix tables): run the 8-method ladder on one field and print the
+/// paper-style table plus the filter accounting lines.
+inline int run_ladder_bench(const char* title, fbf::datagen::FieldKind kind,
+                            int argc, char** argv, std::size_t default_n,
+                            int default_k, double default_sim_threshold) {
+  namespace ex = fbf::experiments;
+  BenchOptions opts = parse_options(argc, argv, default_n, default_k);
+  if (opts.config.sim_threshold == 0.8 && default_sim_threshold != 0.8) {
+    opts.config.sim_threshold = default_sim_threshold;  // paper: 0.75 for FN
+  }
+  print_header(title, opts);
+  const auto result = ex::run_ladder(kind, ex::standard_ladder(), opts.config);
+  ex::print_ladder(std::cout, title, result, opts.csv);
+  if (!opts.csv) {
+    std::printf("\nFilter accounting:\n");
+    for (const auto& row : result.rows) {
+      if (fbf::core::method_uses_fbf(row.method) ||
+          fbf::core::method_uses_length(row.method)) {
+        ex::print_counters(std::cout, row, row.stats.pairs);
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace fbf::bench

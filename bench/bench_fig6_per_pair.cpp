@@ -1,0 +1,56 @@
+// Paper Fig. 6: average per-pair comparison time vs number of pairwise
+// comparisons (SSN).  Expected shape: the FBF per-pair cost is flat and
+// tiny (paper: ~58 ns FBF-only, ~68 ns FPDL, ~85 ns FDL) while DL's is
+// flat but ~50-70x larger (paper: ~4,123 ns) — i.e. the speedup is a
+// constant per-pair factor, not a scale effect.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/match_join.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  namespace c = fbf::core;
+  namespace dg = fbf::datagen;
+  namespace ex = fbf::experiments;
+  namespace u = fbf::util;
+  const auto opts = fbf::bench::parse_options(argc, argv, /*default_n=*/0);
+  fbf::bench::print_header("Fig 6 - per-pair time vs #comparisons (SSN)",
+                           opts);
+
+  const std::vector<std::size_t> ns =
+      opts.full ? std::vector<std::size_t>{1000, 2000, 4000, 6000, 8000, 10000}
+                : std::vector<std::size_t>{250, 500, 1000, 1500, 2000};
+  const c::Method methods[] = {c::Method::kDl, c::Method::kFdl,
+                               c::Method::kFpdl, c::Method::kFbfOnly};
+  std::vector<std::string> header = {"pairs"};
+  for (const auto method : methods) {
+    header.emplace_back(std::string(c::method_name(method)) + " ns/pair");
+  }
+  u::Table table(std::move(header));
+  for (const std::size_t n : ns) {
+    auto config = opts.config;
+    config.n = n;
+    const auto dataset = ex::build_dataset(dg::FieldKind::kSsn, config);
+    std::vector<std::string> row = {
+        u::with_commas(static_cast<std::int64_t>(n) *
+                       static_cast<std::int64_t>(n))};
+    for (const auto method : methods) {
+      const auto result = ex::run_method(dataset, method, config);
+      const double ns_per_pair =
+          result.time_ms * 1e6 /
+          (static_cast<double>(n) * static_cast<double>(n));
+      row.push_back(u::fixed(ns_per_pair, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  if (opts.csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render(std::cout);
+    std::printf("\n(each column should be ~flat across rows; FBF columns "
+                "~50-100x below DL)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Paper Fig. 7 + results-section Tables 9 & 10: runtime curves for all
+// eight standard methods over growing last-name lists, the degree-2
+// polyfit coefficients of each curve, and the FPDL-over-DL speedup at
+// each n.  Expected shape: every curve is quadratic (same n^2 pair
+// count), but the FBF methods' leading coefficients sit ~2 orders of
+// magnitude below DL's, and the FPDL/DL speedup is flat in n (paper:
+// ~28x at every n — Table 10).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "experiments/curves.hpp"
+
+int main(int argc, char** argv) {
+  namespace c = fbf::core;
+  namespace ex = fbf::experiments;
+  const auto opts = fbf::bench::parse_options(argc, argv, /*default_n=*/0);
+  fbf::bench::print_header("Fig 7 - runtime curves (LN)", opts);
+
+  ex::CurveConfig config;
+  config.ns = opts.full ? ex::sweep_points(1000, 8000, 1000)
+                        : ex::sweep_points(250, 1500, 250);
+  config.datasets_per_n = opts.full ? 3 : 1;
+  config.repeats = opts.config.repeats;
+  config.k = opts.config.k;
+  config.seed = opts.config.seed;
+  config.threads = opts.config.threads;
+  const c::Method methods[] = {c::Method::kDl,   c::Method::kPdl,
+                               c::Method::kJaro, c::Method::kWink,
+                               c::Method::kHamming, c::Method::kFdl,
+                               c::Method::kFpdl, c::Method::kFbfOnly};
+  const auto series =
+      ex::run_curves(fbf::datagen::FieldKind::kLastName, methods, config);
+
+  if (!opts.csv) {
+    std::printf("-- runtime (ms) by n --\n");
+  }
+  ex::print_curve_table(std::cout, series, opts.csv);
+  if (!opts.csv) {
+    std::printf("\n-- Table 9: polyfit an^2 + bn + c --\n");
+  }
+  ex::print_polyfit_table(std::cout, series, opts.csv);
+  if (!opts.csv) {
+    std::printf("\n-- Table 10: FPDL speedup over DL by n --\n");
+  }
+  ex::print_speedup_by_n(std::cout, series, c::Method::kDl, c::Method::kFpdl,
+                         opts.csv);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Paper Fig. 9 + results-section Table 11: runtime curves and polyfit
+// coefficients for the length-filter method family on last names —
+// LDL, LPDL, LF, LFDL, LFPDL, LFBF, with FDL/FPDL for reference.
+// Expected shape: LFDL/LFPDL are the lowest curves (paper: their `a`
+// coefficient is ~27% below FPDL's); LDL/LPDL are the slowest of the
+// filtered methods because the length filter alone passes ~90% of name
+// pairs.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "experiments/curves.hpp"
+
+int main(int argc, char** argv) {
+  namespace c = fbf::core;
+  namespace ex = fbf::experiments;
+  const auto opts = fbf::bench::parse_options(argc, argv, /*default_n=*/0);
+  fbf::bench::print_header("Fig 9 - length-filter curves (LN)", opts);
+
+  ex::CurveConfig config;
+  config.ns = opts.full ? ex::sweep_points(1000, 8000, 1000)
+                        : ex::sweep_points(250, 1500, 250);
+  config.datasets_per_n = opts.full ? 3 : 1;
+  config.repeats = opts.config.repeats;
+  config.k = opts.config.k;
+  config.seed = opts.config.seed;
+  config.threads = opts.config.threads;
+  const c::Method methods[] = {c::Method::kLdl,        c::Method::kLpdl,
+                               c::Method::kLengthOnly, c::Method::kLfdl,
+                               c::Method::kLfpdl,      c::Method::kLfbfOnly,
+                               c::Method::kFdl,        c::Method::kFpdl};
+  const auto series =
+      ex::run_curves(fbf::datagen::FieldKind::kLastName, methods, config);
+
+  if (!opts.csv) {
+    std::printf("-- runtime (ms) by n --\n");
+  }
+  ex::print_curve_table(std::cout, series, opts.csv);
+  if (!opts.csv) {
+    std::printf("\n-- Table 11: polyfit an^2 + bn + c --\n");
+  }
+  ex::print_polyfit_table(std::cout, series, opts.csv);
+  if (!opts.csv) {
+    std::printf("\n-- LFPDL speedup over FPDL by n (combined-filter gain) "
+                "--\n");
+  }
+  ex::print_speedup_by_n(std::cout, series, c::Method::kFpdl,
+                         c::Method::kLfpdl, opts.csv);
+  return 0;
+}

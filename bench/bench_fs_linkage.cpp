@@ -1,0 +1,87 @@
+// Probabilistic (Fellegi–Sunter) linkage bench (extension; paper ref [2]).
+//
+// The paper's RL experiment uses the deterministic point-and-threshold
+// comparator; real systems often run Fellegi–Sunter with EM-estimated
+// weights.  This bench (1) fits the model by EM on an unlabeled pair
+// sample, (2) links exhaustively under exact vs FPDL field agreement, and
+// (3) compares accuracy and runtime against the deterministic engine —
+// showing FBF accelerates the probabilistic pipeline the same way.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "linkage/engine.hpp"
+#include "linkage/fellegi_sunter.hpp"
+#include "linkage/person_gen.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  namespace lk = fbf::linkage;
+  namespace u = fbf::util;
+  const auto opts = fbf::bench::parse_options(argc, argv, /*default_n=*/500);
+  fbf::bench::print_header("Fellegi-Sunter probabilistic linkage", opts);
+
+  fbf::util::Rng rng(opts.config.seed);
+  const auto clean = lk::generate_people(opts.config.n, rng);
+  const auto error = lk::make_error_records(clean, {}, rng);
+
+  // Unlabeled EM training sample: the diagonal (unknown to EM) plus
+  // random pairs — the realistic "candidate pairs from blocking" input.
+  std::vector<lk::CandidatePair> sample;
+  for (std::uint32_t i = 0; i < clean.size(); ++i) {
+    sample.emplace_back(i, i);
+  }
+  for (std::size_t draw = 0; draw < 20 * clean.size(); ++draw) {
+    sample.emplace_back(static_cast<std::uint32_t>(rng.below(clean.size())),
+                        static_cast<std::uint32_t>(rng.below(error.size())));
+  }
+
+  u::Table weights({"field", "m", "u", "agree wt", "disagree wt"});
+  lk::FsEmOptions em;
+  em.agreement = {lk::FieldStrategy::kFpdl, opts.config.k};
+  const auto model = lk::fs_estimate_em(clean, error, sample, em);
+  for (const auto field : lk::all_record_fields()) {
+    const auto& p = model.fields[static_cast<std::size_t>(field)];
+    weights.add_row({lk::record_field_name(field), u::fixed(p.m, 3),
+                     u::fixed(p.u, 3), u::fixed(model.weight(field, true), 2),
+                     u::fixed(model.weight(field, false), 2)});
+  }
+  if (!opts.csv) {
+    std::printf("-- EM-estimated parameters (FPDL agreement, k=%d) --\n",
+                opts.config.k);
+    weights.render(std::cout);
+    std::printf("thresholds: upper=%.2f lower=%.2f\n\n",
+                model.upper_threshold, model.lower_threshold);
+  }
+
+  u::Table table({"engine", "TP", "FP", "possible", "time ms"});
+  for (const auto strategy :
+       {lk::FieldStrategy::kExact, lk::FieldStrategy::kDl,
+        lk::FieldStrategy::kFpdl}) {
+    const lk::FsAgreementConfig agreement{strategy, opts.config.k};
+    const auto stats = lk::fs_link_exhaustive(clean, error, model, agreement);
+    table.add_row(
+        {std::string("FS/") + lk::field_strategy_name(strategy),
+         u::with_commas(static_cast<std::int64_t>(stats.true_positives)),
+         u::with_commas(static_cast<std::int64_t>(stats.false_positives)),
+         u::with_commas(static_cast<std::int64_t>(stats.possibles)),
+         u::fixed(stats.link_ms, 1)});
+  }
+  // Deterministic engine for reference.
+  lk::LinkConfig det;
+  det.comparator =
+      lk::make_point_threshold_config(lk::FieldStrategy::kFpdl, opts.config.k);
+  const auto det_stats = lk::link_exhaustive(clean, error, det);
+  table.add_row(
+      {"deterministic/FPDL",
+       u::with_commas(static_cast<std::int64_t>(det_stats.true_positives)),
+       u::with_commas(static_cast<std::int64_t>(det_stats.false_positives)),
+       "0", u::fixed(det_stats.link_ms, 1)});
+  if (opts.csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render(std::cout);
+    std::printf("\n(FS/FPDL should match FS/DL's accuracy at a fraction of "
+                "the time; exact agreement loses recall on typo'd fields)\n");
+  }
+  return 0;
+}

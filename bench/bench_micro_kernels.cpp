@@ -1,0 +1,284 @@
+// Micro-benchmarks for the kernels the paper's argument rests on:
+//  * FindDiffBits with Wegner's loop vs hardware POPCNT vs a byte LUT
+//    (the paper's Alg. 6 predates ubiquitous POPCNT);
+//  * signature generation (the Gen rows: ~60 ns per numeric signature);
+//  * DL vs banded PDL vs Myers on representative demographic strings;
+//  * Jaro / Jaro-Winkler / Hamming / Soundex for context.
+// google-benchmark binary: supports --benchmark_filter etc.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/fbf.hpp"
+#include "core/signature64.hpp"
+#include "datagen/dataset.hpp"
+#include "metrics/damerau.hpp"
+#include "metrics/hamming.hpp"
+#include "metrics/jaro.hpp"
+#include "metrics/levenshtein.hpp"
+#include "metrics/myers.hpp"
+#include "metrics/pdl.hpp"
+#include "metrics/phonetic.hpp"
+#include "metrics/qgram.hpp"
+#include "metrics/soundex.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace c = fbf::core;
+namespace dg = fbf::datagen;
+namespace m = fbf::metrics;
+namespace u = fbf::util;
+
+/// A fixed workload of signature pairs with realistic sparsity (built
+/// from paired clean/error SSNs, so XOR vectors are mostly 0-4 bits).
+struct SignatureWorkload {
+  std::vector<c::Signature> left;
+  std::vector<c::Signature> right;
+
+  static const SignatureWorkload& instance() {
+    static const SignatureWorkload workload = [] {
+      SignatureWorkload w;
+      const auto dataset =
+          dg::build_paired_dataset(dg::FieldKind::kSsn, 4096, 7);
+      for (std::size_t i = 0; i < dataset.size(); ++i) {
+        w.left.push_back(
+            c::make_signature(dataset.clean[i], c::FieldClass::kNumeric));
+        w.right.push_back(
+            c::make_signature(dataset.error[i], c::FieldClass::kNumeric));
+      }
+      return w;
+    }();
+    return workload;
+  }
+};
+
+void BM_FindDiffBits(benchmark::State& state) {
+  const auto kind = static_cast<u::PopcountKind>(state.range(0));
+  const auto& w = SignatureWorkload::instance();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c::find_diff_bits(w.left[i], w.right[i], kind));
+    i = (i + 1) & 4095;
+  }
+}
+BENCHMARK(BM_FindDiffBits)
+    ->Arg(static_cast<int>(u::PopcountKind::kWegner))
+    ->Arg(static_cast<int>(u::PopcountKind::kHardware))
+    ->Arg(static_cast<int>(u::PopcountKind::kLut))
+    ->ArgName("popcount");
+
+/// Strings per field for the metric kernels.
+struct StringWorkload {
+  std::vector<std::string> clean;
+  std::vector<std::string> error;
+
+  static const StringWorkload& get(dg::FieldKind kind) {
+    static const StringWorkload ssn = make(dg::FieldKind::kSsn);
+    static const StringWorkload ln = make(dg::FieldKind::kLastName);
+    static const StringWorkload ad = make(dg::FieldKind::kAddress);
+    switch (kind) {
+      case dg::FieldKind::kSsn: return ssn;
+      case dg::FieldKind::kAddress: return ad;
+      default: return ln;
+    }
+  }
+
+ private:
+  static StringWorkload make(dg::FieldKind kind) {
+    const auto dataset = dg::build_paired_dataset(kind, 1024, 11);
+    return StringWorkload{dataset.clean, dataset.error};
+  }
+};
+
+template <typename Fn>
+void run_pairs(benchmark::State& state, dg::FieldKind kind, const Fn& fn) {
+  const auto& w = StringWorkload::get(kind);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn(w.clean[i], w.error[(i + 1) & 1023]));
+    i = (i + 1) & 1023;
+  }
+}
+
+void BM_Dl_Ssn(benchmark::State& state) {
+  run_pairs(state, dg::FieldKind::kSsn,
+            [](const auto& s, const auto& t) { return m::dl_distance(s, t); });
+}
+BENCHMARK(BM_Dl_Ssn);
+
+void BM_Dl_Address(benchmark::State& state) {
+  run_pairs(state, dg::FieldKind::kAddress,
+            [](const auto& s, const auto& t) { return m::dl_distance(s, t); });
+}
+BENCHMARK(BM_Dl_Address);
+
+void BM_Pdl_Ssn(benchmark::State& state) {
+  run_pairs(state, dg::FieldKind::kSsn, [](const auto& s, const auto& t) {
+    return m::pdl_within(s, t, 1);
+  });
+}
+BENCHMARK(BM_Pdl_Ssn);
+
+void BM_Pdl_Address(benchmark::State& state) {
+  run_pairs(state, dg::FieldKind::kAddress, [](const auto& s, const auto& t) {
+    return m::pdl_within(s, t, 1);
+  });
+}
+BENCHMARK(BM_Pdl_Address);
+
+void BM_Myers_LastName(benchmark::State& state) {
+  run_pairs(state, dg::FieldKind::kLastName,
+            [](const auto& s, const auto& t) {
+              return m::myers_distance(s, t);
+            });
+}
+BENCHMARK(BM_Myers_LastName);
+
+void BM_Levenshtein_LastName(benchmark::State& state) {
+  run_pairs(state, dg::FieldKind::kLastName,
+            [](const auto& s, const auto& t) {
+              return m::levenshtein_distance(s, t);
+            });
+}
+BENCHMARK(BM_Levenshtein_LastName);
+
+void BM_Jaro_LastName(benchmark::State& state) {
+  run_pairs(state, dg::FieldKind::kLastName,
+            [](const auto& s, const auto& t) { return m::jaro(s, t); });
+}
+BENCHMARK(BM_Jaro_LastName);
+
+void BM_JaroWinkler_LastName(benchmark::State& state) {
+  run_pairs(state, dg::FieldKind::kLastName,
+            [](const auto& s, const auto& t) {
+              return m::jaro_winkler(s, t);
+            });
+}
+BENCHMARK(BM_JaroWinkler_LastName);
+
+void BM_Hamming_Ssn(benchmark::State& state) {
+  run_pairs(state, dg::FieldKind::kSsn, [](const auto& s, const auto& t) {
+    return m::hamming_distance(s, t);
+  });
+}
+BENCHMARK(BM_Hamming_Ssn);
+
+void BM_Soundex_LastName(benchmark::State& state) {
+  const auto& w = StringWorkload::get(dg::FieldKind::kLastName);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m::soundex(w.clean[i]));
+    i = (i + 1) & 1023;
+  }
+}
+BENCHMARK(BM_Soundex_LastName);
+
+void BM_GenNumSignature(benchmark::State& state) {
+  // The paper's Gen row: ~60 ns per SSN signature on 2010 hardware.
+  const auto& w = StringWorkload::get(dg::FieldKind::kSsn);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c::set_num_bits(w.clean[i]));
+    i = (i + 1) & 1023;
+  }
+}
+BENCHMARK(BM_GenNumSignature);
+
+void BM_GenAlphaSignature(benchmark::State& state) {
+  const auto& w = StringWorkload::get(dg::FieldKind::kLastName);
+  const int words = static_cast<int>(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c::set_alpha_bits(w.clean[i], words));
+    i = (i + 1) & 1023;
+  }
+}
+BENCHMARK(BM_GenAlphaSignature)->Arg(1)->Arg(2)->Arg(4)->ArgName("words");
+
+void BM_Nysiis_LastName(benchmark::State& state) {
+  const auto& w = StringWorkload::get(dg::FieldKind::kLastName);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m::nysiis(w.clean[i]));
+    i = (i + 1) & 1023;
+  }
+}
+BENCHMARK(BM_Nysiis_LastName);
+
+void BM_QgramProfileBuild(benchmark::State& state) {
+  const auto& w = StringWorkload::get(dg::FieldKind::kLastName);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m::QgramProfile(w.clean[i], 2));
+    i = (i + 1) & 1023;
+  }
+}
+BENCHMARK(BM_QgramProfileBuild);
+
+void BM_QgramCompare(benchmark::State& state) {
+  const auto& w = StringWorkload::get(dg::FieldKind::kLastName);
+  std::vector<m::QgramProfile> left;
+  std::vector<m::QgramProfile> right;
+  for (std::size_t i = 0; i < 1024; ++i) {
+    left.emplace_back(w.clean[i], 2);
+    right.emplace_back(w.error[i], 2);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(left[i].common_grams(right[(i + 1) & 1023]));
+    i = (i + 1) & 1023;
+  }
+}
+BENCHMARK(BM_QgramCompare);
+
+void BM_GenSignature64(benchmark::State& state) {
+  const auto& w = StringWorkload::get(dg::FieldKind::kLastName);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c::make_signature64(w.clean[i]));
+    i = (i + 1) & 1023;
+  }
+}
+BENCHMARK(BM_GenSignature64);
+
+void BM_FilterSignature64(benchmark::State& state) {
+  const auto& w = StringWorkload::get(dg::FieldKind::kLastName);
+  std::vector<std::uint64_t> left;
+  std::vector<std::uint64_t> right;
+  for (std::size_t i = 0; i < 1024; ++i) {
+    left.push_back(c::make_signature64(w.clean[i]));
+    right.push_back(c::make_signature64(w.error[i]));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        c::find_diff_bits64(left[i], right[(i + 1) & 1023]));
+    i = (i + 1) & 1023;
+  }
+}
+BENCHMARK(BM_FilterSignature64);
+
+void BM_FullPipeline_FpdlPair(benchmark::State& state) {
+  // One FPDL pair evaluation end to end (filter + verify when passed),
+  // amortized over a realistic mix of near and far pairs.
+  const auto& w = StringWorkload::get(dg::FieldKind::kSsn);
+  const auto& sig = SignatureWorkload::instance();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t j = (i * 7 + 1) & 1023;
+    bool match = false;
+    if (c::fbf_pass(sig.left[i & 4095], sig.right[j & 4095], 1)) {
+      match = m::pdl_within(w.clean[i], w.error[j], 1);
+    }
+    benchmark::DoNotOptimize(match);
+    i = (i + 1) & 1023;
+  }
+}
+BENCHMARK(BM_FullPipeline_FpdlPair);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Cloud scale-out simulation (extension; DESIGN.md §6).
+//
+// The paper's conclusion points at a distributed in-memory entity
+// resolver; this bench quantifies the data-distribution layer such a
+// system needs, on top of our FPDL record comparator:
+//   * replicate-right: lossless, total work constant, makespan drops
+//     ~linearly with shard count (the broadcast-join baseline);
+//   * hash(LN): total work drops ~shard-fold, but typos in the partition
+//     key silently lose true pairs — the distributed analogue of the
+//     blocking recall problem the paper describes;
+//   * hash(Soundex(LN)): the classic compromise.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "linkage/person_gen.hpp"
+#include "linkage/sharded.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  namespace lk = fbf::linkage;
+  namespace u = fbf::util;
+  const auto opts = fbf::bench::parse_options(argc, argv, /*default_n=*/600);
+  fbf::bench::print_header("Sharded cloud linkage (extension)", opts);
+
+  fbf::util::Rng rng(opts.config.seed);
+  const auto clean = lk::generate_people(opts.config.n, rng);
+  const auto error = lk::make_error_records(clean, {}, rng);
+
+  u::Table table({"scheme", "shards", "total pairs", "TP", "recall",
+                  "makespan ms", "sum ms", "imbalance"});
+  const lk::PartitionScheme schemes[] = {
+      lk::PartitionScheme::kReplicateRight,
+      lk::PartitionScheme::kHashLastName,
+      lk::PartitionScheme::kHashSoundexLastName};
+  for (const auto scheme : schemes) {
+    for (const std::size_t shards : {1u, 2u, 4u, 8u, 16u}) {
+      lk::ShardedConfig config;
+      config.n_shards = shards;
+      config.scheme = scheme;
+      config.link.comparator =
+          lk::make_point_threshold_config(lk::FieldStrategy::kFpdl,
+                                          opts.config.k);
+      config.link.threads = opts.config.threads;
+      const auto result = lk::link_sharded(clean, error, config);
+      table.add_row(
+          {lk::partition_scheme_name(scheme), std::to_string(shards),
+           u::with_commas(static_cast<std::int64_t>(result.total_pairs)),
+           u::with_commas(
+               static_cast<std::int64_t>(result.total_true_positives)),
+           u::fixed(static_cast<double>(result.total_true_positives) /
+                        static_cast<double>(opts.config.n),
+                    3),
+           u::fixed(result.makespan_ms, 1), u::fixed(result.sum_ms, 1),
+           u::fixed(result.imbalance(), 2)});
+    }
+  }
+  if (opts.csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render(std::cout);
+    std::printf("\n(replicate-right keeps recall at the comparator's "
+                "ceiling; hash(LN) trades recall for shard-fold less "
+                "work — the distributed analogue of blocking loss)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Paper Table 13: counts of Census last-name string lengths.
+// Our name generator is calibrated to this histogram (DESIGN.md §2); this
+// bench prints the paper's reference column next to the empirical
+// distribution of a generated pool, so the calibration is auditable.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "datagen/names.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  namespace dg = fbf::datagen;
+  namespace u = fbf::util;
+  const auto opts =
+      fbf::bench::parse_options(argc, argv, /*default_n=*/50000);
+  fbf::bench::print_header("Table 13 - LN length histogram", opts);
+
+  fbf::util::Rng rng(opts.config.seed);
+  const auto pool = dg::build_last_name_pool(opts.config.n, rng);
+  std::vector<std::size_t> counts(16, 0);
+  double total_len = 0.0;
+  for (const auto& name : pool) {
+    ++counts[name.size()];
+    total_len += static_cast<double>(name.size());
+  }
+  const auto& paper = dg::last_name_length_histogram();
+  const double paper_total = [&] {
+    double t = 0;
+    for (const double w : paper.weights) {
+      t += w;
+    }
+    return t;
+  }();
+
+  u::Table table({"Length", "Paper freq", "Paper %", "Generated", "Gen %"});
+  for (int len = 2; len <= 15; ++len) {
+    const double paper_freq =
+        paper.weights[static_cast<std::size_t>(len - paper.min_length)];
+    table.add_row(
+        {std::to_string(len),
+         u::with_commas(static_cast<std::int64_t>(paper_freq)),
+         u::fixed(100.0 * paper_freq / paper_total, 2),
+         u::with_commas(static_cast<std::int64_t>(counts[static_cast<std::size_t>(len)])),
+         u::fixed(100.0 * static_cast<double>(counts[static_cast<std::size_t>(len)]) /
+                      static_cast<double>(pool.size()),
+                  2)});
+  }
+  if (opts.csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render(std::cout);
+    std::printf("\nmean generated length = %.2f (paper: 6.89)\n",
+                total_len / static_cast<double>(pool.size()));
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Paper Table 1: accuracy and performance for the SSN string experiment,
+// k = 1.  Expected shape: DL slowest; PDL ~3x; Ham ~15x but with Type 2
+// errors; FDL/FPDL/FBF 50-80x with DL's exact accuracy; Jaro/Wink fast
+// but with five-figure Type 1 errors.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return fbf::bench::run_ladder_bench("Table 1 - SSN (k=1)",
+                                      fbf::datagen::FieldKind::kSsn, argc,
+                                      argv, /*default_n=*/1000,
+                                      /*default_k=*/1,
+                                      /*default_sim_threshold=*/0.8);
+}

@@ -1,0 +1,14 @@
+// Paper Table 2: the SSN experiment with the relaxed threshold k = 2.
+// Expected shape: FBF passes ~10x more candidates than at k = 1, so the
+// FDL/FPDL speedups shrink (paper: 62x -> 25x) while accuracy stays equal
+// to DL; the FBF-only row keeps its ~72x because the filter itself costs
+// the same.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return fbf::bench::run_ladder_bench("Table 2 - SSN (k=2)",
+                                      fbf::datagen::FieldKind::kSsn, argc,
+                                      argv, /*default_n=*/1000,
+                                      /*default_k=*/2,
+                                      /*default_sim_threshold=*/0.8);
+}

@@ -1,0 +1,12 @@
+// Paper Table 3: Census last names, k = 1, Jaro/Wink threshold 0.8.
+// Expected shape: FDL/FPDL ~27x over DL with identical Type 1/Type 2;
+// FPDL ~3x faster than Hamming while strictly more accurate.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return fbf::bench::run_ladder_bench("Table 3 - LN (k=1)",
+                                      fbf::datagen::FieldKind::kLastName,
+                                      argc, argv, /*default_n=*/1000,
+                                      /*default_k=*/1,
+                                      /*default_sim_threshold=*/0.8);
+}

@@ -1,0 +1,13 @@
+// Paper Table 4: street addresses (the longest strings), k = 1.
+// Expected shape: the paper's best case — FDL ~78x, FPDL ~80x over DL,
+// because DL's O(mn) cost grows with string length while the FBF filter
+// cost is length-independent (three 32-bit words per comparison).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return fbf::bench::run_ladder_bench("Table 4 - Ad (k=1)",
+                                      fbf::datagen::FieldKind::kAddress,
+                                      argc, argv, /*default_n=*/1000,
+                                      /*default_k=*/1,
+                                      /*default_sim_threshold=*/0.8);
+}

@@ -1,0 +1,61 @@
+// Paper Table 5: FPDL's speedup over DL, PDL, Jaro, Wink and Ham across
+// all six fields, ordered FN, LN, Bi, SSN, Ph, Ad (shortest to longest
+// average string).  Expected shape: every row grows left to right — the
+// longer the strings, the more work the filter saves; DL-row speedups run
+// ~23x (FN) to ~80x (Ad).
+#include <array>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  namespace c = fbf::core;
+  namespace dg = fbf::datagen;
+  namespace ex = fbf::experiments;
+  namespace u = fbf::util;
+  auto opts = fbf::bench::parse_options(argc, argv, /*default_n=*/700);
+  fbf::bench::print_header("Table 5 - FPDL speedup vs all methods", opts);
+
+  constexpr std::array<c::Method, 6> kRows = {
+      c::Method::kDl,   c::Method::kPdl, c::Method::kJaro,
+      c::Method::kWink, c::Method::kHamming, c::Method::kMyers};
+  std::vector<std::string> header = {"FPDL"};
+  for (const dg::FieldKind kind : dg::all_field_kinds()) {
+    header.emplace_back(dg::field_kind_name(kind));
+  }
+  u::Table table(std::move(header));
+  // Collect per-field times once (one ladder run per field).
+  std::vector<std::vector<double>> method_times(kRows.size());
+  std::vector<double> fpdl_times;
+  for (const dg::FieldKind kind : dg::all_field_kinds()) {
+    auto config = opts.config;
+    if (kind == dg::FieldKind::kFirstName) {
+      config.sim_threshold = 0.75;  // paper's FN threshold
+    }
+    const auto dataset = ex::build_dataset(kind, config);
+    const auto fpdl = ex::run_method(dataset, c::Method::kFpdl, config);
+    fpdl_times.push_back(fpdl.time_ms);
+    for (std::size_t r = 0; r < kRows.size(); ++r) {
+      method_times[r].push_back(
+          ex::run_method(dataset, kRows[r], config).time_ms);
+    }
+  }
+  for (std::size_t r = 0; r < kRows.size(); ++r) {
+    std::vector<std::string> row = {c::method_name(kRows[r])};
+    for (std::size_t f = 0; f < fpdl_times.size(); ++f) {
+      row.push_back(u::speedup(fpdl_times[f] > 0.0
+                                   ? method_times[r][f] / fpdl_times[f]
+                                   : 0.0));
+    }
+    table.add_row(std::move(row));
+  }
+  if (opts.csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render(std::cout);
+    std::printf("\n(cells = that method's time / FPDL's time; Myers row is "
+                "our bit-parallel extension, not in the paper)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Field tuner: pick the signature width and threshold for YOUR field.
+//
+//   build/examples/field_tuner [--field LN] [--n 600] [--seed 42]
+//
+// For a chosen demographic field, sweeps the edit threshold k and (for
+// alphabetic fields) the signature word count l, reporting the filter's
+// selectivity (what fraction of pairs it prunes), the verify-call count
+// and the end-to-end time — the trade-off a deployment has to tune.
+#include <cstdio>
+#include <string>
+
+#include "core/fbf.hpp"
+#include "datagen/dataset.hpp"
+#include "experiments/protocol.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  namespace c = fbf::core;
+  namespace dg = fbf::datagen;
+  namespace ex = fbf::experiments;
+  const fbf::util::CliArgs args(argc, argv);
+  const std::string field_name = args.get_string("field", "LN");
+  const auto n = static_cast<std::size_t>(args.get_int("n", 600));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  dg::FieldKind kind = dg::FieldKind::kLastName;
+  bool found = false;
+  for (const dg::FieldKind candidate : dg::all_field_kinds()) {
+    if (field_name == dg::field_kind_name(candidate)) {
+      kind = candidate;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown field %s (use FN, LN, Ad, Ph, Bi, SSN)\n",
+                 field_name.c_str());
+    return 1;
+  }
+
+  const bool alpha = dg::field_class_of(kind) != c::FieldClass::kNumeric;
+  std::printf("tuning %s (%s signatures), n=%zu, FPDL pipeline\n\n",
+              dg::field_kind_name(kind),
+              c::field_class_name(dg::field_class_of(kind)), n);
+  std::printf("%3s %3s %14s %14s %10s %10s %8s\n", "k", "l", "fbf pruned",
+              "verify calls", "type1", "type2", "time ms");
+
+  for (int k = 1; k <= 3; ++k) {
+    const int l_max = alpha ? 3 : 1;
+    for (int l = 1; l <= l_max; ++l) {
+      ex::ExperimentConfig config;
+      config.n = n;
+      config.k = k;
+      config.seed = seed;
+      config.alpha_words = l;
+      config.repeats = 3;
+      const auto dataset = ex::build_dataset(kind, config);
+      const auto row = ex::run_method(dataset, c::Method::kFpdl, config);
+      const auto& s = row.stats;
+      const double pruned =
+          s.fbf_evaluated == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(s.fbf_evaluated - s.fbf_pass) /
+                    static_cast<double>(s.fbf_evaluated);
+      std::printf("%3d %3d %13.1f%% %14llu %10llu %10llu %8.1f\n", k, l,
+                  pruned, static_cast<unsigned long long>(s.verify_calls),
+                  static_cast<unsigned long long>(row.type1),
+                  static_cast<unsigned long long>(row.type2), row.time_ms);
+    }
+  }
+  std::printf("\nHigher l sharpens the alpha filter (fewer verify calls) at "
+              "4 bytes/word of signature storage; higher k admits more "
+              "fuzz and more Type 1 noise.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// One-command reproduction: every table of the paper at a chosen scale.
+//
+//   build/examples/reproduce_paper [--n 500] [--seed 42] [--csv]
+//
+// Runs the full evaluation sequence — Tables 1-4, the length-filter
+// tables 12/14, the appendix tables, and the Soundex comparison — and
+// prints them in paper order.  For the figure benches (runtime curves,
+// per-pair costs) and paper-scale runs, use the dedicated binaries in
+// build/bench/ (see DESIGN.md §4).
+#include <cstdio>
+#include <iostream>
+
+#include "experiments/ladder.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+namespace c = fbf::core;
+namespace dg = fbf::datagen;
+namespace ex = fbf::experiments;
+
+void run_table(const char* title, dg::FieldKind kind,
+               std::span<const c::Method> methods,
+               ex::ExperimentConfig config, bool csv) {
+  if (kind == dg::FieldKind::kFirstName) {
+    config.sim_threshold = 0.75;  // the paper's FN Jaro threshold
+  }
+  const auto result = ex::run_ladder(kind, methods, config);
+  std::printf("== %s ==\n", title);
+  ex::print_ladder(std::cout, dg::field_kind_name(kind), result, csv);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fbf::util::CliArgs args(argc, argv);
+  ex::ExperimentConfig config;
+  config.n = static_cast<std::size_t>(args.get_int("n", 500));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  config.repeats = static_cast<int>(args.get_int("repeats", 3));
+  config.threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  const bool csv = args.get_bool("csv");
+  std::printf("Reproducing the paper's tables at n=%zu (see EXPERIMENTS.md "
+              "for paper-scale numbers)\n\n",
+              config.n);
+
+  run_table("Table 1: SSN, k=1", dg::FieldKind::kSsn, ex::standard_ladder(),
+            config, csv);
+  {
+    auto k2 = config;
+    k2.k = 2;
+    run_table("Table 2: SSN, k=2", dg::FieldKind::kSsn, ex::standard_ladder(),
+              k2, csv);
+  }
+  run_table("Table 3: last names, k=1", dg::FieldKind::kLastName,
+            ex::standard_ladder(), config, csv);
+  run_table("Table 4: addresses, k=1", dg::FieldKind::kAddress,
+            ex::standard_ladder(), config, csv);
+  run_table("Table 12: last names with length filter",
+            dg::FieldKind::kLastName, ex::length_ladder(), config, csv);
+  run_table("Table 14: addresses with length filter", dg::FieldKind::kAddress,
+            ex::length_ladder(), config, csv);
+  run_table("Appendix: first names, k=1", dg::FieldKind::kFirstName,
+            ex::standard_ladder(), config, csv);
+  run_table("Appendix: phone numbers, k=1", dg::FieldKind::kPhone,
+            ex::standard_ladder(), config, csv);
+  run_table("Appendix: birthdates, k=1", dg::FieldKind::kBirthDate,
+            ex::standard_ladder(), config, csv);
+  std::printf("Done. Figures and extension experiments: build/bench/*.\n");
+  return 0;
+}

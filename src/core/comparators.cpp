@@ -1,0 +1,82 @@
+#include "core/comparators.hpp"
+
+#include "core/find_diff_bits.hpp"
+#include "core/signature.hpp"
+#include "metrics/damerau.hpp"
+#include "metrics/hamming.hpp"
+#include "metrics/jaro.hpp"
+#include "metrics/length_filter.hpp"
+#include "metrics/myers.hpp"
+#include "metrics/pdl.hpp"
+#include "metrics/soundex.hpp"
+
+namespace fbf::core {
+
+namespace {
+
+namespace c = fbf::core;
+
+bool filters_pass(std::string_view s, std::string_view t,
+                  c::Method method, const ComparatorParams& params) {
+  if (c::method_uses_length(method) &&
+      !fbf::metrics::length_filter_pass(s, t, params.k)) {
+    return false;
+  }
+  if (c::method_uses_fbf(method)) {
+    const c::Signature m =
+        c::make_signature(s, params.field_class, params.alpha_words);
+    const c::Signature n =
+        c::make_signature(t, params.field_class, params.alpha_words);
+    if (!c::fbf_pass(m, n, params.k)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Comparator make_comparator(c::Method method, const ComparatorParams& params) {
+  switch (method) {
+    case c::Method::kJaro:
+      return [params](std::string_view s, std::string_view t) {
+        return fbf::metrics::jaro(s, t) >= params.sim_threshold;
+      };
+    case c::Method::kWink:
+      return [params](std::string_view s, std::string_view t) {
+        return fbf::metrics::jaro_winkler(s, t) >= params.sim_threshold;
+      };
+    case c::Method::kHamming:
+      return [params](std::string_view s, std::string_view t) {
+        return fbf::metrics::hamming_within(s, t, params.k);
+      };
+    case c::Method::kSoundex:
+      return [](std::string_view s, std::string_view t) {
+        return fbf::metrics::soundex_match(s, t);
+      };
+    case c::Method::kMyers:
+      return [params](std::string_view s, std::string_view t) {
+        return fbf::metrics::myers_within(s, t, params.k);
+      };
+    default:
+      break;
+  }
+  // Filter-ladder methods.
+  const c::Verifier verifier = c::method_verifier(method);
+  return [method, verifier, params](std::string_view s, std::string_view t) {
+    if (!filters_pass(s, t, method, params)) {
+      return false;
+    }
+    switch (verifier) {
+      case c::Verifier::kDl:
+        return fbf::metrics::dl_within(s, t, params.k);
+      case c::Verifier::kPdl:
+        return fbf::metrics::pdl_within(s, t, params.k);
+      case c::Verifier::kNone:
+        return true;  // filter-only methods accept survivors
+    }
+    return false;
+  };
+}
+
+}  // namespace fbf::core

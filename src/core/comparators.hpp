@@ -1,0 +1,37 @@
+// Type-erased string-comparator facade.
+//
+// Downstream systems (the paper's DBMS / record-linkage integrations)
+// want one pluggable predicate per field, chosen by configuration at
+// runtime.  This header packages every comparator in the library behind
+// a single callable so application code never switches over Method
+// itself.  For the S x T joins use core/match_join.hpp — it precomputes
+// signatures once per list; this facade is for one-off decisions
+// (interactive lookups, per-field record comparators, tests).
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "core/method.hpp"
+#include "core/signature.hpp"
+
+namespace fbf::core {
+
+/// A match predicate over a string pair.
+using Comparator = std::function<bool(std::string_view, std::string_view)>;
+
+/// Parameters for comparator construction.
+struct ComparatorParams {
+  int k = 1;                   ///< edit threshold (DL-family, Hamming, Myers)
+  double sim_threshold = 0.8;  ///< Jaro / Jaro–Winkler acceptance
+  fbf::core::FieldClass field_class = fbf::core::FieldClass::kAlpha;
+  int alpha_words = fbf::core::kDefaultAlphaWords;
+};
+
+/// Builds the comparator for `method`.  Filtered methods (FDL, FPDL,
+/// LFDL, ...) compute signatures per call — convenient but not the bulk
+/// path; see the header comment.
+[[nodiscard]] Comparator make_comparator(fbf::core::Method method,
+                                         const ComparatorParams& params = {});
+
+}  // namespace fbf::core

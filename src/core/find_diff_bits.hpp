@@ -1,0 +1,32 @@
+// FindDiffBits (paper Algorithm 6): the filter comparison.
+//
+// The number of differing signature bits |m XOR n| bounds twice the edit
+// distance from below: DL(s,t) <= k implies find_diff_bits(m,n) <= 2k
+// (§4 proof; property-tested in tests/test_filter_safety.cpp).  A pair
+// whose signatures differ in more than 2k bits therefore cannot match and
+// is discarded without running the edit-distance verifier.
+#pragma once
+
+#include "core/signature.hpp"
+#include "util/bitops.hpp"
+
+namespace fbf::core {
+
+/// |m XOR n| over the signature words.  Signatures must have been built
+/// with the same FieldClass / alpha word count (equal sizes).
+[[nodiscard]] inline int find_diff_bits(
+    const Signature& m, const Signature& n,
+    fbf::util::PopcountKind kind =
+        fbf::util::PopcountKind::kHardware) noexcept {
+  return fbf::util::xor_diff_bits(m.words(), n.words(), kind);
+}
+
+/// FBF pass predicate: the pair survives the filter iff |m XOR n| <= 2k.
+[[nodiscard]] inline bool fbf_pass(
+    const Signature& m, const Signature& n, int k,
+    fbf::util::PopcountKind kind =
+        fbf::util::PopcountKind::kHardware) noexcept {
+  return find_diff_bits(m, n, kind) <= 2 * k;
+}
+
+}  // namespace fbf::core

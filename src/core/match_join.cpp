@@ -1,0 +1,223 @@
+#include "core/match_join.hpp"
+
+#include <functional>
+
+#include "core/find_diff_bits.hpp"
+#include "core/signature_store.hpp"
+#include "metrics/damerau.hpp"
+#include "metrics/hamming.hpp"
+#include "metrics/jaro.hpp"
+#include "metrics/length_filter.hpp"
+#include "metrics/myers.hpp"
+#include "metrics/pdl.hpp"
+#include "metrics/soundex.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace fbf::core {
+
+namespace {
+
+namespace m = fbf::metrics;
+
+/// Evaluates one pair through the filter ladder, updating `stats`.
+/// Marked always_inline so each instantiation site folds the constant
+/// configuration branches.
+template <bool kUseLength, bool kUseFbf, typename VerifyFn>
+inline bool evaluate_pair(std::string_view s, std::string_view t,
+                          [[maybe_unused]] const Signature* sig_s,
+                          [[maybe_unused]] const Signature* sig_t, int k,
+                          [[maybe_unused]] fbf::util::PopcountKind popcount,
+                          Verifier verifier, const VerifyFn& verify,
+                          JoinStats& stats) {
+  if constexpr (kUseLength) {
+    if (!m::length_filter_pass(s, t, k)) {
+      return false;
+    }
+    ++stats.length_pass;
+  }
+  if constexpr (kUseFbf) {
+    ++stats.fbf_evaluated;
+    if (find_diff_bits(*sig_s, *sig_t, popcount) > 2 * k) {
+      return false;
+    }
+    ++stats.fbf_pass;
+  }
+  if (verifier == Verifier::kNone) {
+    return true;  // filter-only methods report survivors as matches
+  }
+  ++stats.verify_calls;
+  return verify(s, t, k);
+}
+
+/// Runs `kernel(i, j) -> bool` over the S x T pair space, chunked by rows
+/// of S.  Chunk stats are merged in chunk order, so counter totals are
+/// deterministic for any thread count.
+template <typename Kernel>
+void run_pair_space(std::size_t n_left, std::size_t n_right,
+                    std::size_t threads, bool collect, JoinStats& stats,
+                    const Kernel& make_kernel) {
+  std::vector<JoinStats> chunk_stats;
+  const std::size_t n_chunks =
+      std::max<std::size_t>(1, std::min(threads, n_left));
+  chunk_stats.resize(n_chunks);
+  fbf::util::parallel_chunks(
+      n_left, threads,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        JoinStats& local = chunk_stats[chunk];
+        auto kernel = make_kernel();
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t j = 0; j < n_right; ++j) {
+            if (kernel(i, j, local)) {
+              ++local.matches;
+              if (i == j) {
+                ++local.diagonal_matches;
+              }
+              if (collect) {
+                local.match_pairs.emplace_back(
+                    static_cast<std::uint32_t>(i),
+                    static_cast<std::uint32_t>(j));
+              }
+            }
+          }
+        }
+      });
+  for (const JoinStats& local : chunk_stats) {
+    stats.merge_counts(local);
+  }
+}
+
+}  // namespace
+
+void JoinStats::merge_counts(const JoinStats& other) {
+  length_pass += other.length_pass;
+  fbf_evaluated += other.fbf_evaluated;
+  fbf_pass += other.fbf_pass;
+  verify_calls += other.verify_calls;
+  matches += other.matches;
+  diagonal_matches += other.diagonal_matches;
+  match_pairs.insert(match_pairs.end(), other.match_pairs.begin(),
+                     other.match_pairs.end());
+}
+
+JoinStats match_strings(std::span<const std::string> left,
+                        std::span<const std::string> right,
+                        const JoinConfig& config) {
+  JoinStats stats;
+  stats.pairs =
+      static_cast<std::uint64_t>(left.size()) * right.size();
+
+  const bool uses_fbf = method_uses_fbf(config.method);
+  const bool uses_length = method_uses_length(config.method);
+  const Verifier verifier = method_verifier(config.method);
+  const int k = config.k;
+  const auto popcount = config.popcount;
+
+  // Precomputation phase (the Gen row): FBF signatures or Soundex codes.
+  SignatureStore sig_left;
+  SignatureStore sig_right;
+  std::vector<std::string> sdx_left;
+  std::vector<std::string> sdx_right;
+  if (uses_fbf) {
+    sig_left = SignatureStore(left, config.field_class, config.alpha_words);
+    sig_right = SignatureStore(right, config.field_class, config.alpha_words);
+    stats.signature_gen_ms = sig_left.build_ms() + sig_right.build_ms();
+  } else if (config.method == Method::kSoundex) {
+    const fbf::util::Stopwatch gen_timer;
+    sdx_left.reserve(left.size());
+    for (const std::string& s : left) {
+      sdx_left.push_back(m::soundex(s));
+    }
+    sdx_right.reserve(right.size());
+    for (const std::string& t : right) {
+      sdx_right.push_back(m::soundex(t));
+    }
+    stats.signature_gen_ms = gen_timer.elapsed_ms();
+  }
+
+  const fbf::util::Stopwatch join_timer;
+  const auto run = [&](const auto& make_kernel) {
+    run_pair_space(left.size(), right.size(), config.threads,
+                   config.collect_matches, stats, make_kernel);
+  };
+
+  switch (config.method) {
+    case Method::kJaro:
+      run([&] {
+        return [&](std::size_t i, std::size_t j, JoinStats&) {
+          return m::jaro(left[i], right[j]) >= config.sim_threshold;
+        };
+      });
+      break;
+    case Method::kWink:
+      run([&] {
+        return [&](std::size_t i, std::size_t j, JoinStats&) {
+          return m::jaro_winkler(left[i], right[j]) >= config.sim_threshold;
+        };
+      });
+      break;
+    case Method::kHamming:
+      run([&] {
+        return [&](std::size_t i, std::size_t j, JoinStats&) {
+          return m::hamming_within(left[i], right[j], k);
+        };
+      });
+      break;
+    case Method::kSoundex:
+      run([&] {
+        return [&](std::size_t i, std::size_t j, JoinStats&) {
+          return !sdx_left[i].empty() && sdx_left[i] == sdx_right[j];
+        };
+      });
+      break;
+    case Method::kMyers:
+      run([&] {
+        return [&](std::size_t i, std::size_t j, JoinStats&) {
+          return m::myers_within(left[i], right[j], k);
+        };
+      });
+      break;
+    default: {
+      // Filter-ladder methods.  The verifier callable is chosen once.
+      const auto verify_dl = [](std::string_view s, std::string_view t,
+                                int kk) { return m::dl_within(s, t, kk); };
+      const auto verify_pdl = [](std::string_view s, std::string_view t,
+                                 int kk) { return m::pdl_within(s, t, kk); };
+      const auto dispatch = [&](auto use_length, auto use_fbf,
+                                const auto& verify) {
+        run([&] {
+          return [&, verify](std::size_t i, std::size_t j, JoinStats& local) {
+            const Signature* si = use_fbf ? &sig_left[i] : nullptr;
+            const Signature* sj = use_fbf ? &sig_right[j] : nullptr;
+            return evaluate_pair<decltype(use_length)::value,
+                                 decltype(use_fbf)::value>(
+                left[i], right[j], si, sj, k, popcount, verifier, verify,
+                local);
+          };
+        });
+      };
+      using std::bool_constant;
+      const auto pick_verifier = [&](auto use_length, auto use_fbf) {
+        if (verifier == Verifier::kDl) {
+          dispatch(use_length, use_fbf, verify_dl);
+        } else {
+          dispatch(use_length, use_fbf, verify_pdl);
+        }
+      };
+      if (uses_length && uses_fbf) {
+        pick_verifier(bool_constant<true>{}, bool_constant<true>{});
+      } else if (uses_length) {
+        pick_verifier(bool_constant<true>{}, bool_constant<false>{});
+      } else if (uses_fbf) {
+        pick_verifier(bool_constant<false>{}, bool_constant<true>{});
+      } else {
+        pick_verifier(bool_constant<false>{}, bool_constant<false>{});
+      }
+      break;
+    }
+  }
+  stats.join_ms = join_timer.elapsed_ms();
+  return stats;
+}
+
+}  // namespace fbf::core

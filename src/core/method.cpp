@@ -1,0 +1,63 @@
+#include "core/method.hpp"
+
+#include <array>
+
+#include "util/ascii.hpp"
+
+namespace fbf::core {
+
+const char* method_name(Method method) noexcept {
+  switch (method) {
+    case Method::kDl: return "DL";
+    case Method::kPdl: return "PDL";
+    case Method::kJaro: return "Jaro";
+    case Method::kWink: return "Wink";
+    case Method::kHamming: return "Ham";
+    case Method::kSoundex: return "SDX";
+    case Method::kMyers: return "Myers";
+    case Method::kFdl: return "FDL";
+    case Method::kFpdl: return "FPDL";
+    case Method::kFbfOnly: return "FBF";
+    case Method::kLdl: return "LDL";
+    case Method::kLpdl: return "LPDL";
+    case Method::kLengthOnly: return "LF";
+    case Method::kLfdl: return "LFDL";
+    case Method::kLfpdl: return "LFPDL";
+    case Method::kLfbfOnly: return "LFBF";
+  }
+  return "?";
+}
+
+std::optional<Method> parse_method(std::string_view name) noexcept {
+  std::array<char, 8> upper{};
+  if (name.size() >= upper.size()) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    upper[i] = fbf::util::to_ascii_upper(name[i]);
+  }
+  const std::string_view u(upper.data(), name.size());
+  for (const Method method : all_methods()) {
+    std::string_view canonical = method_name(method);
+    // method_name is already upper-case except "Jaro"/"Wink"/"Myers".
+    std::array<char, 8> canon_upper{};
+    for (std::size_t i = 0; i < canonical.size(); ++i) {
+      canon_upper[i] = fbf::util::to_ascii_upper(canonical[i]);
+    }
+    if (u == std::string_view(canon_upper.data(), canonical.size())) {
+      return method;
+    }
+  }
+  return std::nullopt;
+}
+
+std::span<const Method> all_methods() noexcept {
+  static constexpr std::array<Method, 16> kAll = {
+      Method::kDl,      Method::kPdl,     Method::kJaro,    Method::kWink,
+      Method::kHamming, Method::kSoundex, Method::kMyers,   Method::kFdl,
+      Method::kFpdl,    Method::kFbfOnly, Method::kLdl,     Method::kLpdl,
+      Method::kLengthOnly, Method::kLfdl, Method::kLfpdl, Method::kLfbfOnly};
+  return kAll;
+}
+
+}  // namespace fbf::core

@@ -1,0 +1,104 @@
+// The method ladder of the paper's Experiments section (§5).
+//
+// Fourteen filter/verify compositions plus the Jaro / Jaro–Winkler /
+// Hamming / Soundex / Myers baselines, described declaratively so the join
+// engine and the experiment harness share one source of truth about what
+// each method does.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace fbf::core {
+
+/// Every string comparison method evaluated in the paper, plus extensions.
+enum class Method {
+  // -- unfiltered verifiers / baselines --------------------------------
+  kDl,       ///< Damerau–Levenshtein, full matrix (Alg. 1)
+  kPdl,      ///< Prefix-Pruned DL (Alg. 2)
+  kJaro,     ///< Jaro similarity vs threshold
+  kWink,     ///< Jaro–Winkler similarity vs threshold
+  kHamming,  ///< Hamming distance vs k
+  kSoundex,  ///< Soundex code equality (Tables 7–8)
+  kMyers,    ///< bit-parallel Levenshtein vs k (extension)
+  // -- FBF-filtered ------------------------------------------------------
+  kFdl,      ///< FBF filter, DL verify
+  kFpdl,     ///< FBF filter, PDL verify
+  kFbfOnly,  ///< FBF filter alone (no verification)
+  // -- length-filtered ---------------------------------------------------
+  kLdl,         ///< length filter, DL verify
+  kLpdl,        ///< length filter, PDL verify
+  kLengthOnly,  ///< length filter alone
+  // -- length then FBF ---------------------------------------------------
+  kLfdl,      ///< length -> FBF -> DL
+  kLfpdl,     ///< length -> FBF -> PDL
+  kLfbfOnly,  ///< length -> FBF, no verification
+};
+
+/// Which edit-distance verifier (if any) runs after the filters.
+enum class Verifier { kNone, kDl, kPdl };
+
+/// Short name as used in the paper's tables ("DL", "FPDL", "LFBF", ...).
+[[nodiscard]] const char* method_name(Method method) noexcept;
+
+/// Parses a paper-style method name (case-insensitive); nullopt if unknown.
+[[nodiscard]] std::optional<Method> parse_method(std::string_view name) noexcept;
+
+/// True when the method applies the FBF signature filter.
+[[nodiscard]] constexpr bool method_uses_fbf(Method method) noexcept {
+  switch (method) {
+    case Method::kFdl:
+    case Method::kFpdl:
+    case Method::kFbfOnly:
+    case Method::kLfdl:
+    case Method::kLfpdl:
+    case Method::kLfbfOnly:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True when the method applies the length filter first.
+[[nodiscard]] constexpr bool method_uses_length(Method method) noexcept {
+  switch (method) {
+    case Method::kLdl:
+    case Method::kLpdl:
+    case Method::kLengthOnly:
+    case Method::kLfdl:
+    case Method::kLfpdl:
+    case Method::kLfbfOnly:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The verifier the method runs on filter survivors.
+[[nodiscard]] constexpr Verifier method_verifier(Method method) noexcept {
+  switch (method) {
+    case Method::kDl:
+    case Method::kFdl:
+    case Method::kLdl:
+    case Method::kLfdl:
+      return Verifier::kDl;
+    case Method::kPdl:
+    case Method::kFpdl:
+    case Method::kLpdl:
+    case Method::kLfpdl:
+      return Verifier::kPdl;
+    default:
+      return Verifier::kNone;
+  }
+}
+
+/// True for similarity metrics thresholded from above (Jaro family).
+[[nodiscard]] constexpr bool method_is_similarity(Method method) noexcept {
+  return method == Method::kJaro || method == Method::kWink;
+}
+
+/// All methods in paper table order.
+[[nodiscard]] std::span<const Method> all_methods() noexcept;
+
+}  // namespace fbf::core

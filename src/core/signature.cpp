@@ -1,0 +1,78 @@
+#include "core/signature.hpp"
+
+#include <cassert>
+
+#include "util/ascii.hpp"
+
+namespace fbf::core {
+
+const char* field_class_name(FieldClass cls) noexcept {
+  switch (cls) {
+    case FieldClass::kAlpha: return "alpha";
+    case FieldClass::kNumeric: return "numeric";
+    case FieldClass::kAlphanumeric: return "alphanumeric";
+  }
+  return "?";
+}
+
+std::uint32_t set_num_bits(std::string_view s) noexcept {
+  std::uint32_t x = 0;
+  std::array<std::uint8_t, 10> seen{};  // occurrences recorded per digit
+  for (const char ch : s) {
+    const int c = fbf::util::digit_index(ch);
+    if (c < 0) {
+      continue;
+    }
+    const std::uint8_t j = seen[static_cast<std::size_t>(c)];
+    if (j < 3) {
+      // First occurrence sets bit 3c, second 3c+1, third 3c+2
+      // (the paper's 1<<, 2<<, 4<< ladder).
+      x |= (1u << j) << (3 * c);
+      seen[static_cast<std::size_t>(c)] = static_cast<std::uint8_t>(j + 1);
+    }
+  }
+  return x;
+}
+
+Signature set_alpha_bits(std::string_view s, int alpha_words) noexcept {
+  assert(alpha_words >= 1 && alpha_words <= kMaxAlphaWords);
+  std::array<std::uint32_t, kMaxAlphaWords> words{};
+  std::array<std::uint8_t, 26> seen{};
+  for (const char ch : s) {
+    const int c = fbf::util::alpha_index(ch);
+    if (c < 0) {
+      continue;
+    }
+    const std::uint8_t j = seen[static_cast<std::size_t>(c)];
+    if (j < alpha_words) {
+      words[j] |= 1u << c;
+      seen[static_cast<std::size_t>(c)] = static_cast<std::uint8_t>(j + 1);
+    }
+  }
+  Signature sig;
+  for (int w = 0; w < alpha_words; ++w) {
+    sig.push(words[static_cast<std::size_t>(w)]);
+  }
+  return sig;
+}
+
+Signature make_signature(std::string_view s, FieldClass cls,
+                         int alpha_words) noexcept {
+  switch (cls) {
+    case FieldClass::kAlpha:
+      return set_alpha_bits(s, alpha_words);
+    case FieldClass::kNumeric: {
+      Signature sig;
+      sig.push(set_num_bits(s));
+      return sig;
+    }
+    case FieldClass::kAlphanumeric: {
+      Signature sig = set_alpha_bits(s, alpha_words);
+      sig.push(set_num_bits(s));
+      return sig;
+    }
+  }
+  return {};
+}
+
+}  // namespace fbf::core

@@ -1,0 +1,108 @@
+// Fast Bitwise Filter signatures (paper §3.1, Algorithms 4 and 5).
+//
+// A signature is a checklist of character occurrences packed into 32-bit
+// words:
+//  * alphabetic  — `l` words; bit c of word j is set iff letter 'A'+c
+//                  occurs at least j+1 times (case-insensitive, non-alpha
+//                  ignored).  The paper uses l = 2 for names (8 bytes).
+//  * numeric     — one word; bits 3c, 3c+1, 3c+2 record the first, second
+//                  and third occurrence of digit c (30 of 32 bits used).
+//  * alphanumeric — the alphabetic words followed by the numeric word
+//                  (12 bytes at l = 2), used for street addresses.
+//
+// Signatures are value types with inline storage (no allocation) so a
+// signature store for a million strings is a flat, cache-friendly array.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace fbf::core {
+
+/// Which character classes a field carries; selects the signature layout.
+enum class FieldClass {
+  kAlpha,         ///< names: letters only contribute
+  kNumeric,       ///< SSN / phone / birthdate: digits only contribute
+  kAlphanumeric,  ///< street addresses: both
+};
+
+[[nodiscard]] const char* field_class_name(FieldClass cls) noexcept;
+
+/// Default alphabetic occurrence cap (the paper's two-word name signature).
+inline constexpr int kDefaultAlphaWords = 2;
+
+/// Maximum supported alphabetic words (occurrence cap).  Four words count
+/// up to 4 occurrences per letter — beyond that the marginal filtering
+/// power for <= 25-character strings is nil.
+inline constexpr int kMaxAlphaWords = 4;
+
+/// Inline-storage signature: up to kMaxAlphaWords alphabetic words plus
+/// one numeric word.
+class Signature {
+ public:
+  static constexpr std::size_t kMaxWords = kMaxAlphaWords + 1;
+
+  constexpr Signature() noexcept : words_{}, size_(0) {}
+
+  /// Appends one word.  Caller guarantees size() < kMaxWords.
+  constexpr void push(std::uint32_t word) noexcept {
+    words_[size_++] = word;
+  }
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] constexpr std::uint32_t word(std::size_t i) const noexcept {
+    return words_[i];
+  }
+  [[nodiscard]] std::span<const std::uint32_t> words() const noexcept {
+    return {words_.data(), size_};
+  }
+
+  friend constexpr bool operator==(const Signature& a,
+                                   const Signature& b) noexcept {
+    if (a.size_ != b.size_) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (a.words_[i] != b.words_[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::array<std::uint32_t, kMaxWords> words_;
+  std::uint8_t size_;
+};
+
+/// Algorithm 5 (SetNumBits): single-word numeric signature counting up to
+/// three occurrences of each digit.  Non-digit characters are ignored.
+[[nodiscard]] std::uint32_t set_num_bits(std::string_view s) noexcept;
+
+/// Algorithm 4 (SetAlphaBits): `alpha_words`-word alphabetic signature
+/// counting up to `alpha_words` occurrences of each letter.
+/// Case-insensitive; non-letters ignored.  alpha_words must be in
+/// [1, kMaxAlphaWords].
+[[nodiscard]] Signature set_alpha_bits(std::string_view s,
+                                       int alpha_words = kDefaultAlphaWords) noexcept;
+
+/// Builds the signature appropriate for `cls`: alpha words, the numeric
+/// word, or both concatenated (alphanumeric).
+[[nodiscard]] Signature make_signature(std::string_view s, FieldClass cls,
+                                       int alpha_words = kDefaultAlphaWords) noexcept;
+
+/// Number of words make_signature will produce for `cls`.
+[[nodiscard]] constexpr std::size_t signature_words(FieldClass cls,
+                                                    int alpha_words) noexcept {
+  switch (cls) {
+    case FieldClass::kAlpha: return static_cast<std::size_t>(alpha_words);
+    case FieldClass::kNumeric: return 1;
+    case FieldClass::kAlphanumeric:
+      return static_cast<std::size_t>(alpha_words) + 1;
+  }
+  return 0;
+}
+
+}  // namespace fbf::core

@@ -1,0 +1,51 @@
+#include "core/signature64.hpp"
+
+#include <array>
+
+#include "util/ascii.hpp"
+
+namespace fbf::core {
+
+std::uint64_t make_signature64(std::string_view s) noexcept {
+  std::uint64_t sig = 0;
+  std::array<std::uint8_t, 26> letter_seen{};
+  std::array<std::uint8_t, 10> digit_seen{};
+  char prev = '\0';
+  for (const char ch : s) {
+    const int letter = fbf::util::alpha_index(ch);
+    if (letter >= 0) {
+      auto& count = letter_seen[static_cast<std::size_t>(letter)];
+      if (count == 0) {
+        sig |= 1ull << letter;
+      } else if (count == 1) {
+        sig |= 1ull << (26 + letter);
+      } else {
+        sig |= 1ull << 62;  // triple-occurrence flag
+      }
+      if (count < 2) {
+        ++count;
+      }
+    } else {
+      const int digit = fbf::util::digit_index(ch);
+      if (digit >= 0) {
+        auto& count = digit_seen[static_cast<std::size_t>(digit)];
+        if (count == 0) {
+          sig |= 1ull << (52 + digit);
+          ++count;
+        } else {
+          sig |= 1ull << 62;
+        }
+      }
+    }
+    // Adjacency flag compares raw characters case-insensitively so
+    // "Aa" counts like "AA".
+    if (prev != '\0' &&
+        fbf::util::to_ascii_upper(prev) == fbf::util::to_ascii_upper(ch)) {
+      sig |= 1ull << 63;
+    }
+    prev = ch;
+  }
+  return sig;
+}
+
+}  // namespace fbf::core

@@ -1,0 +1,55 @@
+// 64-bit signature variant (extension beyond the paper).
+//
+// The paper packs signatures into 32-bit words because it targets 2010-era
+// 32-bit builds ("compiled in 32-bit GCC") and notes the unused bits could
+// carry extra information.  On a 64-bit machine one register holds a
+// richer checklist; this variant packs, per string, into ONE uint64:
+//   bits  0..25  first occurrence of each letter (case-folded)
+//   bits 26..51  second occurrence of each letter
+//   bits 52..61  first occurrence of each digit
+//   bit  62      overflow flag: a letter occurs 3+ times or a digit 2+
+//   bit  63      "two identical characters are adjacent"
+// The two flag bits implement exactly the §3 suggestion ("Does any
+// character in the string occur more than 2 times?", "Are 2 of the same
+// character juxtaposed?").  Flag bits are EXCLUDED from the filter count
+// (they do not obey the 2-bits-per-edit argument: a single deletion can
+// toggle the adjacency flag); they are exposed for scoring heuristics.
+// The filter over bits 0..61 keeps the paper's guarantee: one edit flips
+// at most 2 counted bits, so DL(s,t) <= k implies diff <= 2k.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/bitops.hpp"
+
+namespace fbf::core {
+
+/// One-word combined signature as described above.
+[[nodiscard]] std::uint64_t make_signature64(std::string_view s) noexcept;
+
+/// Mask selecting the occurrence-count bits (everything except flags).
+inline constexpr std::uint64_t kSig64CountMask = (1ull << 62) - 1;
+
+/// Flag accessors.
+[[nodiscard]] constexpr bool sig64_has_triple(std::uint64_t sig) noexcept {
+  return (sig >> 62) & 1ull;
+}
+[[nodiscard]] constexpr bool sig64_has_adjacent_pair(
+    std::uint64_t sig) noexcept {
+  return (sig >> 63) & 1ull;
+}
+
+/// Differing occurrence bits between two signatures (flags excluded).
+[[nodiscard]] inline int find_diff_bits64(std::uint64_t m,
+                                          std::uint64_t n) noexcept {
+  return std::popcount((m ^ n) & kSig64CountMask);
+}
+
+/// Filter predicate: pair may be within k edits iff diff <= 2k.
+[[nodiscard]] inline bool fbf_pass64(std::uint64_t m, std::uint64_t n,
+                                     int k) noexcept {
+  return find_diff_bits64(m, n) <= 2 * k;
+}
+
+}  // namespace fbf::core

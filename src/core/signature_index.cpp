@@ -1,0 +1,153 @@
+#include "core/signature_index.hpp"
+
+#include "metrics/pdl.hpp"
+#include "util/timer.hpp"
+
+namespace fbf::core {
+
+namespace {
+
+/// Appends every bitmask over `total_bits` positions with exactly
+/// `weight` bits set, OR-ed with `prefix`, starting from `first_pos`.
+void enumerate_masks(int total_bits, int weight, int first_pos,
+                     std::uint64_t prefix,
+                     std::vector<std::uint64_t>& out) {
+  if (weight == 0) {
+    out.push_back(prefix);
+    return;
+  }
+  for (int pos = first_pos; pos <= total_bits - weight; ++pos) {
+    enumerate_masks(total_bits, weight - 1, pos + 1,
+                    prefix | (1ull << pos), out);
+  }
+}
+
+/// Number of masks of weight <= max_weight over total_bits positions.
+std::size_t mask_budget(int total_bits, int max_weight) {
+  std::size_t total = 0;
+  for (int w = 0; w <= max_weight; ++w) {
+    // C(total_bits, w), small values only.
+    std::size_t c = 1;
+    for (int i = 0; i < w; ++i) {
+      c = c * static_cast<std::size_t>(total_bits - i) /
+          static_cast<std::size_t>(i + 1);
+    }
+    total += c;
+  }
+  return total;
+}
+
+struct PackSpec {
+  std::size_t words;
+  int bits_per_word;
+  int total_bits;
+};
+
+std::optional<PackSpec> pack_spec(FieldClass cls, int alpha_words) noexcept {
+  switch (cls) {
+    case FieldClass::kNumeric:
+      return PackSpec{1, 30, 30};
+    case FieldClass::kAlpha:
+      if (alpha_words <= 2) {
+        return PackSpec{static_cast<std::size_t>(alpha_words), 26,
+                        26 * alpha_words};
+      }
+      return std::nullopt;  // 3+ words exceed the 64-bit key
+    case FieldClass::kAlphanumeric:
+      return std::nullopt;  // 82 used bits at l = 2
+  }
+  return std::nullopt;
+}
+
+std::uint64_t pack_words(const Signature& sig, const PackSpec& spec) noexcept {
+  std::uint64_t key = 0;
+  for (std::size_t w = 0; w < spec.words && w < sig.size(); ++w) {
+    key |= static_cast<std::uint64_t>(sig.word(w))
+           << (static_cast<int>(w) * spec.bits_per_word);
+  }
+  return key;
+}
+
+}  // namespace
+
+std::optional<SignatureIndex> SignatureIndex::build(
+    std::span<const std::string> strings, FieldClass cls, int alpha_words,
+    int k, std::size_t max_probes) {
+  if (k < 0) {
+    return std::nullopt;
+  }
+  const auto spec = pack_spec(cls, alpha_words);
+  if (!spec) {
+    return std::nullopt;
+  }
+  if (mask_budget(spec->total_bits, 2 * k) > max_probes) {
+    return std::nullopt;
+  }
+  SignatureIndex index;
+  index.words_ = spec->words;
+  index.k_ = k;
+  for (int weight = 0; weight <= 2 * k; ++weight) {
+    enumerate_masks(spec->total_bits, weight, 0, 0, index.probe_masks_);
+  }
+  index.buckets_.reserve(strings.size() * 2);
+  for (std::uint32_t id = 0; id < strings.size(); ++id) {
+    const Signature sig = make_signature(strings[id], cls, alpha_words);
+    index.buckets_[pack_words(sig, *spec)].push_back(id);
+  }
+  // Stash the spec implicitly: re-derive at query time via stored fields.
+  index.cls_ = cls;
+  index.alpha_words_ = alpha_words;
+  return index;
+}
+
+void SignatureIndex::query(const Signature& sig,
+                           std::vector<std::uint32_t>& out) const {
+  const auto spec = pack_spec(cls_, alpha_words_);
+  const std::uint64_t key = pack_words(sig, *spec);
+  for (const std::uint64_t mask : probe_masks_) {
+    const auto it = buckets_.find(key ^ mask);
+    if (it == buckets_.end()) {
+      continue;
+    }
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+}
+
+std::uint64_t SignatureIndex::pack(const Signature& sig) const noexcept {
+  const auto spec = pack_spec(cls_, alpha_words_);
+  return pack_words(sig, *spec);
+}
+
+std::optional<IndexJoinStats> match_strings_indexed(
+    std::span<const std::string> left, std::span<const std::string> right,
+    FieldClass cls, int k, int alpha_words) {
+  const fbf::util::Stopwatch build_timer;
+  auto index = SignatureIndex::build(right, cls, alpha_words, k);
+  if (!index) {
+    return std::nullopt;
+  }
+  IndexJoinStats stats;
+  stats.build_ms = build_timer.elapsed_ms();
+  stats.pairs = static_cast<std::uint64_t>(left.size()) * right.size();
+  const fbf::util::Stopwatch join_timer;
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t i = 0; i < left.size(); ++i) {
+    candidates.clear();
+    const Signature sig = make_signature(left[i], cls, alpha_words);
+    index->query(sig, candidates);
+    stats.candidates += candidates.size();
+    for (const std::uint32_t j : candidates) {
+      ++stats.verify_calls;
+      if (fbf::metrics::pdl_within(left[i], right[j], k)) {
+        ++stats.matches;
+        if (i == j) {
+          ++stats.diagonal_matches;
+        }
+      }
+    }
+  }
+  stats.join_ms = join_timer.elapsed_ms();
+  return stats;
+}
+
+}  // namespace fbf::core

@@ -1,0 +1,18 @@
+#include "core/signature_store.hpp"
+
+#include "util/timer.hpp"
+
+namespace fbf::core {
+
+SignatureStore::SignatureStore(std::span<const std::string> strings,
+                               FieldClass cls, int alpha_words)
+    : cls_(cls), alpha_words_(alpha_words) {
+  signatures_.reserve(strings.size());
+  const fbf::util::Stopwatch timer;
+  for (const std::string& s : strings) {
+    signatures_.push_back(make_signature(s, cls, alpha_words));
+  }
+  build_ms_ = timer.elapsed_ms();
+}
+
+}  // namespace fbf::core

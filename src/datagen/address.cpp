@@ -1,0 +1,50 @@
+#include "datagen/address.hpp"
+
+#include <unordered_set>
+
+#include "datagen/name_pools.hpp"
+
+namespace fbf::datagen {
+
+namespace {
+constexpr std::string_view kDirections[] = {"", "", "", "N", "S", "E", "W"};
+}
+
+std::string generate_address(fbf::util::Rng& rng) {
+  for (;;) {
+    std::string address = std::to_string(rng.range(1, 9999));
+    const std::string_view dir =
+        kDirections[static_cast<std::size_t>(rng.below(std::size(kDirections)))];
+    if (!dir.empty()) {
+      address += ' ';
+      address += dir;
+    }
+    const auto streets = street_names();
+    const auto suffixes = street_suffixes();
+    address += ' ';
+    address += streets[static_cast<std::size_t>(rng.below(streets.size()))];
+    address += ' ';
+    address += suffixes[static_cast<std::size_t>(rng.below(suffixes.size()))];
+    if (address.size() <= kMaxAddressLength) {
+      return address;
+    }
+    // Rare: a long street name + direction overflowed; redraw.
+  }
+}
+
+std::vector<std::string> generate_addresses(std::size_t n,
+                                            fbf::util::Rng& rng) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  std::unordered_set<std::string> seen;
+  seen.reserve(n * 2);
+  while (out.size() < n) {
+    std::string address = generate_address(rng);
+    if (seen.insert(address).second) {
+      out.push_back(std::move(address));
+    }
+  }
+  return out;
+}
+
+}  // namespace fbf::datagen

@@ -1,0 +1,30 @@
+// Street-address generator (substitute for the paper's 547,771 local
+// tax-record addresses; 3,874 unique streets, max length 25).
+//
+// Produces standardized upper-case "NUMBER STREET SUFFIX" strings, e.g.
+// "1801 N BROAD ST".  Addresses exercise the alphanumeric signature path
+// (alpha words + numeric word) and the longest strings in the suite —
+// which is where the paper reports FBF's largest speedups (Table 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fbf::datagen {
+
+/// Maximum generated address length; matches the paper's reported maximum
+/// for its standardized local addresses.
+inline constexpr std::size_t kMaxAddressLength = 25;
+
+/// One random address.  Uniform street number in [1, 9999], optional
+/// directional prefix, street name + USPS suffix from the embedded pools.
+/// Always <= kMaxAddressLength characters.
+[[nodiscard]] std::string generate_address(fbf::util::Rng& rng);
+
+/// `n` unique addresses.
+[[nodiscard]] std::vector<std::string> generate_addresses(std::size_t n,
+                                                          fbf::util::Rng& rng);
+
+}  // namespace fbf::datagen

@@ -1,0 +1,116 @@
+#include "datagen/dataset.hpp"
+
+#include <array>
+
+#include "datagen/address.hpp"
+#include "datagen/dates.hpp"
+#include "datagen/names.hpp"
+#include "datagen/phone.hpp"
+#include "datagen/ssn.hpp"
+
+namespace fbf::datagen {
+
+const char* field_kind_name(FieldKind kind) noexcept {
+  switch (kind) {
+    case FieldKind::kFirstName: return "FN";
+    case FieldKind::kLastName: return "LN";
+    case FieldKind::kAddress: return "Ad";
+    case FieldKind::kPhone: return "Ph";
+    case FieldKind::kBirthDate: return "Bi";
+    case FieldKind::kSsn: return "SSN";
+  }
+  return "?";
+}
+
+fbf::core::FieldClass field_class_of(FieldKind kind) noexcept {
+  switch (kind) {
+    case FieldKind::kFirstName:
+    case FieldKind::kLastName:
+      return fbf::core::FieldClass::kAlpha;
+    case FieldKind::kAddress:
+      return fbf::core::FieldClass::kAlphanumeric;
+    case FieldKind::kPhone:
+    case FieldKind::kBirthDate:
+    case FieldKind::kSsn:
+      return fbf::core::FieldClass::kNumeric;
+  }
+  return fbf::core::FieldClass::kAlpha;
+}
+
+Alphabet field_alphabet(FieldKind kind) noexcept {
+  switch (kind) {
+    case FieldKind::kFirstName:
+    case FieldKind::kLastName:
+      return Alphabet::kUpperAlpha;
+    case FieldKind::kAddress:
+      return Alphabet::kAlphanumeric;
+    case FieldKind::kPhone:
+    case FieldKind::kBirthDate:
+    case FieldKind::kSsn:
+      return Alphabet::kDigits;
+  }
+  return Alphabet::kUpperAlpha;
+}
+
+bool field_is_fixed_length(FieldKind kind) noexcept {
+  switch (kind) {
+    case FieldKind::kPhone:
+    case FieldKind::kBirthDate:
+    case FieldKind::kSsn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::span<const FieldKind> all_field_kinds() noexcept {
+  static constexpr std::array<FieldKind, 6> kAll = {
+      FieldKind::kFirstName, FieldKind::kLastName, FieldKind::kBirthDate,
+      FieldKind::kSsn,       FieldKind::kPhone,    FieldKind::kAddress};
+  return kAll;
+}
+
+std::vector<std::string> generate_field(FieldKind kind, std::size_t n,
+                                        fbf::util::Rng& rng) {
+  switch (kind) {
+    case FieldKind::kFirstName: {
+      // Pool sized like the paper's merged 1990 Census FN lists (5,163).
+      const std::size_t pool_size = std::max<std::size_t>(n, 5163);
+      const auto pool = build_first_name_pool(pool_size, rng);
+      return sample_from_pool(pool, n, rng);
+    }
+    case FieldKind::kLastName: {
+      // The paper samples from 151,670 names; building that pool per run
+      // is wasteful, so we use max(4n, head) which preserves the length
+      // distribution and the collision rate of a sparse sample.
+      const std::size_t pool_size = std::max<std::size_t>(4 * n, 2048);
+      const auto pool = build_last_name_pool(pool_size, rng);
+      return sample_from_pool(pool, n, rng);
+    }
+    case FieldKind::kAddress:
+      return generate_addresses(n, rng);
+    case FieldKind::kPhone:
+      return generate_phones(n, rng);
+    case FieldKind::kBirthDate:
+      return generate_birthdates(n, rng);
+    case FieldKind::kSsn:
+      return generate_ssns(n, rng);
+  }
+  return {};
+}
+
+PairedDataset build_paired_dataset(FieldKind kind, std::size_t n,
+                                   std::uint64_t seed, int edits) {
+  fbf::util::Rng rng(seed ^ fbf::util::fnv1a64(field_kind_name(kind)));
+  PairedDataset dataset;
+  dataset.kind = kind;
+  dataset.clean = generate_field(kind, n, rng);
+  const Alphabet alphabet = field_alphabet(kind);
+  dataset.error.reserve(n);
+  for (const std::string& s : dataset.clean) {
+    dataset.error.push_back(inject_edits(s, edits, alphabet, rng));
+  }
+  return dataset;
+}
+
+}  // namespace fbf::datagen

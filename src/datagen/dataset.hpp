@@ -1,0 +1,69 @@
+// Paired clean/error dataset construction — the paper's experiment inputs.
+//
+// One call produces the two lists the string experiments join: a clean
+// sample from the field's pool/generator and an error copy with one random
+// single edit injected per entry, index-aligned so clean[i] <-> error[i]
+// is the ground truth (paper §5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/signature.hpp"
+#include "datagen/errors.hpp"
+#include "util/rng.hpp"
+
+namespace fbf::datagen {
+
+/// The six demographic fields of the paper's evaluation.
+enum class FieldKind {
+  kFirstName,  ///< FN — Census first names
+  kLastName,   ///< LN — Census last names
+  kAddress,    ///< Ad — standardized street addresses
+  kPhone,      ///< Ph — NANP phone numbers
+  kBirthDate,  ///< Bi — MMDDYYYY birthdates
+  kSsn,        ///< SSN — Social Security Numbers
+};
+
+/// Paper abbreviation ("FN", "LN", "Ad", "Ph", "Bi", "SSN").
+[[nodiscard]] const char* field_kind_name(FieldKind kind) noexcept;
+
+/// Signature layout for the field (alpha / numeric / alphanumeric).
+[[nodiscard]] fbf::core::FieldClass field_class_of(FieldKind kind) noexcept;
+
+/// Error-injection alphabet for the field.
+[[nodiscard]] Alphabet field_alphabet(FieldKind kind) noexcept;
+
+/// True for fixed-length fields, where the length filter is useless
+/// (paper §2.5): phone, SSN, birthdate.
+[[nodiscard]] bool field_is_fixed_length(FieldKind kind) noexcept;
+
+/// All six fields in the paper's Table 5 order (FN, LN, Bi, SSN, Ph, Ad —
+/// shortest to longest average string).
+[[nodiscard]] std::span<const FieldKind> all_field_kinds() noexcept;
+
+/// Generates `n` clean strings of the field (unique within the list).
+[[nodiscard]] std::vector<std::string> generate_field(FieldKind kind,
+                                                      std::size_t n,
+                                                      fbf::util::Rng& rng);
+
+/// The paired clean/error lists used by every string experiment.
+struct PairedDataset {
+  FieldKind kind;
+  std::vector<std::string> clean;
+  std::vector<std::string> error;  ///< error[i] = clean[i] + 1 random edit
+
+  [[nodiscard]] std::size_t size() const noexcept { return clean.size(); }
+};
+
+/// Builds a paired dataset of `n` entries for `kind`, deterministically
+/// from `seed`.  `edits` > 1 injects multiple edits per entry (extension;
+/// the paper uses 1).
+[[nodiscard]] PairedDataset build_paired_dataset(FieldKind kind,
+                                                 std::size_t n,
+                                                 std::uint64_t seed,
+                                                 int edits = 1);
+
+}  // namespace fbf::datagen

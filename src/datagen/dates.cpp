@@ -1,0 +1,110 @@
+#include "datagen/dates.hpp"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "util/ascii.hpp"
+
+namespace fbf::datagen {
+
+namespace {
+constexpr CivilDate kWindowStart{1912, 2, 25};
+constexpr CivilDate kWindowEnd{2012, 2, 24};
+}  // namespace
+
+// Howard Hinnant's days_from_civil (public-domain algorithm).
+std::int64_t days_from_civil(const CivilDate& date) noexcept {
+  std::int64_t y = date.year;
+  const unsigned m = static_cast<unsigned>(date.month);
+  const unsigned d = static_cast<unsigned>(date.day);
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m > 2 ? m - 3 : m + 9) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate civil_from_days(std::int64_t days) noexcept {
+  days += 719468;
+  const std::int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;
+  return CivilDate{static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+                   static_cast<int>(d)};
+}
+
+std::int64_t birthdate_window_days() noexcept {
+  return days_from_civil(kWindowEnd) - days_from_civil(kWindowStart) + 1;
+}
+
+std::string generate_birthdate(fbf::util::Rng& rng) {
+  const std::int64_t start = days_from_civil(kWindowStart);
+  const std::int64_t offset =
+      static_cast<std::int64_t>(rng.below(
+          static_cast<std::uint64_t>(birthdate_window_days())));
+  const CivilDate date = civil_from_days(start + offset);
+  char buffer[9];
+  std::snprintf(buffer, sizeof(buffer), "%02d%02d%04d", date.month, date.day,
+                date.year);
+  return buffer;
+}
+
+std::vector<std::string> generate_birthdates(std::size_t n,
+                                             fbf::util::Rng& rng) {
+  // Unique while possible (the window has 36,525 days), then free draws —
+  // the paper's birthdate list has 35,525 rows over 36,525 unique dates.
+  std::vector<std::string> out;
+  out.reserve(n);
+  const auto window = static_cast<std::size_t>(birthdate_window_days());
+  if (n <= window) {
+    std::unordered_set<std::string> seen;
+    seen.reserve(n * 2);
+    while (out.size() < n) {
+      std::string date = generate_birthdate(rng);
+      if (seen.insert(date).second) {
+        out.push_back(std::move(date));
+      }
+    }
+    return out;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(generate_birthdate(rng));
+  }
+  return out;
+}
+
+bool is_valid_birthdate(std::string_view date) noexcept {
+  if (date.size() != 8) {
+    return false;
+  }
+  for (const char ch : date) {
+    if (!fbf::util::is_ascii_digit(ch)) {
+      return false;
+    }
+  }
+  const int month = (date[0] - '0') * 10 + (date[1] - '0');
+  const int day = (date[2] - '0') * 10 + (date[3] - '0');
+  const int year = (date[4] - '0') * 1000 + (date[5] - '0') * 100 +
+                   (date[6] - '0') * 10 + (date[7] - '0');
+  if (month < 1 || month > 12 || day < 1 || day > 31) {
+    return false;
+  }
+  const CivilDate candidate{year, month, day};
+  // Round-trip check rejects impossible days (Feb 30, Apr 31, ...).
+  const CivilDate normalized = civil_from_days(days_from_civil(candidate));
+  if (normalized.year != year || normalized.month != month ||
+      normalized.day != day) {
+    return false;
+  }
+  const std::int64_t serial = days_from_civil(candidate);
+  return serial >= days_from_civil(kWindowStart) &&
+         serial <= days_from_civil(kWindowEnd);
+}
+
+}  // namespace fbf::datagen

@@ -1,0 +1,46 @@
+// Birthdate generator (paper: "randomly selected over 100 years between
+// 2/25/1912 and 2/24/2012 or 36,525 unique dates", fixed length 8).
+//
+// Dates are formatted MMDDYYYY (8 digits, the paper's fixed-length
+// birthdate field).  Calendar arithmetic uses the days-from-civil /
+// civil-from-days algorithms (proleptic Gregorian), so every one of the
+// 36,525 days in the window is reachable and valid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fbf::datagen {
+
+/// A civil calendar date.
+struct CivilDate {
+  int year;
+  int month;  // 1..12
+  int day;    // 1..31
+};
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+[[nodiscard]] std::int64_t days_from_civil(const CivilDate& date) noexcept;
+
+/// Inverse of days_from_civil.
+[[nodiscard]] CivilDate civil_from_days(std::int64_t days) noexcept;
+
+/// Number of days in the paper's window [1912-02-25, 2012-02-24]: 36,525.
+[[nodiscard]] std::int64_t birthdate_window_days() noexcept;
+
+/// One random birthdate in the window, formatted MMDDYYYY.
+[[nodiscard]] std::string generate_birthdate(fbf::util::Rng& rng);
+
+/// `n` random birthdates (duplicates allowed once n exceeds the window,
+/// matching the paper's 35,525-row dataset over 36,525 possible dates).
+[[nodiscard]] std::vector<std::string> generate_birthdates(
+    std::size_t n, fbf::util::Rng& rng);
+
+/// Validates an MMDDYYYY string as a real calendar date in the window.
+[[nodiscard]] bool is_valid_birthdate(std::string_view date) noexcept;
+
+}  // namespace fbf::datagen

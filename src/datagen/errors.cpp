@@ -1,0 +1,140 @@
+#include "datagen/errors.hpp"
+
+#include <cassert>
+
+namespace fbf::datagen {
+
+const char* edit_kind_name(EditKind kind) noexcept {
+  switch (kind) {
+    case EditKind::kSubstitution: return "substitution";
+    case EditKind::kInsertion: return "insertion";
+    case EditKind::kDeletion: return "deletion";
+    case EditKind::kTransposition: return "transposition";
+  }
+  return "?";
+}
+
+char random_char(Alphabet alphabet, fbf::util::Rng& rng) {
+  switch (alphabet) {
+    case Alphabet::kUpperAlpha:
+      return static_cast<char>('A' + rng.below(26));
+    case Alphabet::kDigits:
+      return static_cast<char>('0' + rng.below(10));
+    case Alphabet::kAlphanumeric: {
+      const std::uint64_t r = rng.below(36);
+      return r < 26 ? static_cast<char>('A' + r)
+                    : static_cast<char>('0' + (r - 26));
+    }
+  }
+  return 'A';
+}
+
+namespace {
+
+std::string substitute(std::string_view s, Alphabet alphabet,
+                       fbf::util::Rng& rng) {
+  assert(!s.empty());
+  std::string out(s);
+  const auto pos = static_cast<std::size_t>(rng.below(out.size()));
+  char replacement = random_char(alphabet, rng);
+  while (replacement == out[pos]) {
+    replacement = random_char(alphabet, rng);
+  }
+  out[pos] = replacement;
+  return out;
+}
+
+std::string insert(std::string_view s, Alphabet alphabet,
+                   fbf::util::Rng& rng) {
+  std::string out(s);
+  const auto pos = static_cast<std::size_t>(rng.below(out.size() + 1));
+  out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+             random_char(alphabet, rng));
+  return out;
+}
+
+std::string erase(std::string_view s, fbf::util::Rng& rng) {
+  assert(s.size() >= 2);
+  std::string out(s);
+  const auto pos = static_cast<std::size_t>(rng.below(out.size()));
+  out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos));
+  return out;
+}
+
+/// Swaps two adjacent unequal characters; returns empty when no unequal
+/// adjacent pair exists (caller falls back to substitution).
+std::string transpose(std::string_view s, fbf::util::Rng& rng) {
+  if (s.size() < 2) {
+    return {};
+  }
+  // Collect candidate positions so the choice is uniform over real swaps.
+  std::vector<std::size_t> candidates;
+  candidates.reserve(s.size());
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+    if (s[i] != s[i + 1]) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    return {};
+  }
+  std::string out(s);
+  const std::size_t pos =
+      candidates[static_cast<std::size_t>(rng.below(candidates.size()))];
+  std::swap(out[pos], out[pos + 1]);
+  return out;
+}
+
+}  // namespace
+
+std::string apply_edit(std::string_view s, EditKind kind, Alphabet alphabet,
+                       fbf::util::Rng& rng) {
+  assert(!s.empty());
+  switch (kind) {
+    case EditKind::kSubstitution:
+      return substitute(s, alphabet, rng);
+    case EditKind::kInsertion:
+      return insert(s, alphabet, rng);
+    case EditKind::kDeletion:
+      if (s.size() < 2) {
+        break;  // deleting the only character would empty the field
+      }
+      return erase(s, rng);
+    case EditKind::kTransposition: {
+      std::string swapped = transpose(s, rng);
+      if (!swapped.empty()) {
+        return swapped;
+      }
+      break;
+    }
+  }
+  return substitute(s, alphabet, rng);
+}
+
+std::string inject_single_edit(std::string_view s, Alphabet alphabet,
+                               fbf::util::Rng& rng) {
+  const auto kind = static_cast<EditKind>(rng.below(4));
+  return apply_edit(s, kind, alphabet, rng);
+}
+
+std::string inject_edits(std::string_view s, int edits, Alphabet alphabet,
+                         fbf::util::Rng& rng) {
+  std::string out(s);
+  for (int i = 0; i < edits; ++i) {
+    out = inject_single_edit(out, alphabet, rng);
+  }
+  return out;
+}
+
+std::vector<std::string> make_error_copy(const std::vector<std::string>& clean,
+                                         Alphabet alphabet,
+                                         fbf::util::Rng& rng) {
+  std::vector<std::string> error;
+  error.reserve(clean.size());
+  for (const std::string& s : clean) {
+    error.push_back(inject_single_edit(s, alphabet, rng));
+  }
+  return error;
+}
+
+}  // namespace fbf::datagen

@@ -1,0 +1,63 @@
+// Data-entry error injection (paper §5: "Each entry in the initial or
+// 'clean' data sets were injected with single edit errors to produce a
+// second 'error' data set ... where the clean entries match the error
+// entries by index position in each list to maintain a ground truth").
+//
+// The four Damerau edit operations — substitution, insertion, deletion and
+// transposition — cover ~80% of real data-entry errors (Damerau 1964, the
+// paper's [17]).  Injection draws characters from the field's alphabet so
+// errors look like real mis-keys (a digit field never gains a letter).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fbf::datagen {
+
+/// The four single-edit operations of the Damerau model.
+enum class EditKind {
+  kSubstitution,
+  kInsertion,
+  kDeletion,
+  kTransposition,
+};
+
+[[nodiscard]] const char* edit_kind_name(EditKind kind) noexcept;
+
+/// Character class used to pick replacement / inserted characters.
+enum class Alphabet {
+  kUpperAlpha,    ///< A–Z (names)
+  kDigits,        ///< 0–9 (SSN, phone, birthdate)
+  kAlphanumeric,  ///< A–Z plus 0–9 (addresses)
+};
+
+/// Draws one random character from `alphabet`.
+[[nodiscard]] char random_char(Alphabet alphabet, fbf::util::Rng& rng);
+
+/// Applies one edit of the given kind.  Guarantees the result differs from
+/// the input (substitution picks a different character; transposition
+/// swaps a position with unequal neighbours when one exists).  Edits that
+/// cannot apply (deletion on a 1-char string, transposition on an
+/// all-equal string) fall back to substitution.
+[[nodiscard]] std::string apply_edit(std::string_view s, EditKind kind,
+                                     Alphabet alphabet, fbf::util::Rng& rng);
+
+/// Applies one uniformly random single edit (the paper's protocol).
+[[nodiscard]] std::string inject_single_edit(std::string_view s,
+                                             Alphabet alphabet,
+                                             fbf::util::Rng& rng);
+
+/// Applies `edits` successive random single edits (multi-error extension;
+/// the paper injects exactly one).
+[[nodiscard]] std::string inject_edits(std::string_view s, int edits,
+                                       Alphabet alphabet, fbf::util::Rng& rng);
+
+/// Copies `clean` and injects one random single edit into every entry.
+[[nodiscard]] std::vector<std::string> make_error_copy(
+    const std::vector<std::string>& clean, Alphabet alphabet,
+    fbf::util::Rng& rng);
+
+}  // namespace fbf::datagen

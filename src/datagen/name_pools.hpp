@@ -1,0 +1,31 @@
+// Embedded cores of real high-frequency US name lists.
+//
+// The paper samples from the 1990 Census first-name files (5,163 names)
+// and the 2000 Census last-name file (151,670 names), which are not
+// available offline.  We embed the high-frequency head of those lists —
+// the part that dominates any random sample — and synthesize the long tail
+// with a syllable generator calibrated to the paper's reported length
+// statistics (see names.hpp).  DESIGN.md §2 documents this substitution.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace fbf::datagen {
+
+/// Top male first names (1990 Census order, upper-case).
+[[nodiscard]] std::span<const std::string_view> male_first_names() noexcept;
+
+/// Top female first names (1990 Census order, upper-case).
+[[nodiscard]] std::span<const std::string_view> female_first_names() noexcept;
+
+/// Top last names (2000 Census order, upper-case).
+[[nodiscard]] std::span<const std::string_view> last_names() noexcept;
+
+/// Base street names for the address generator (common US street names).
+[[nodiscard]] std::span<const std::string_view> street_names() noexcept;
+
+/// Street suffixes (USPS abbreviations).
+[[nodiscard]] std::span<const std::string_view> street_suffixes() noexcept;
+
+}  // namespace fbf::datagen

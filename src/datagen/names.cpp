@@ -1,0 +1,148 @@
+#include "datagen/names.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "datagen/name_pools.hpp"
+
+namespace fbf::datagen {
+
+namespace {
+
+// Syllable inventory tuned for surname-like output.  Onsets and codas are
+// weighted implicitly by duplication of the common ones.
+constexpr std::string_view kOnsets[] = {
+    "B",  "C",  "D",  "F",  "G",  "H",  "J",  "K",  "L",  "M",  "N",
+    "P",  "R",  "S",  "T",  "V",  "W",  "BR", "CH", "CL", "CR", "DR",
+    "FL", "FR", "GR", "KR", "PH", "PR", "SC", "SH", "SL", "SM", "SN",
+    "SP", "ST", "TH", "TR", "WH", "B",  "D",  "H",  "K",  "L",  "M",
+    "R",  "S",  "T",  "W"};
+constexpr std::string_view kVowels[] = {"A",  "E",  "I",  "O",  "U",  "A",
+                                        "E",  "O",  "AI", "EA", "EE", "IE",
+                                        "OO", "OU", "EI", "AU"};
+constexpr std::string_view kCodas[] = {
+    "",    "",    "N",   "R",   "S",    "T",    "L",   "M",  "D",
+    "CK",  "NG",  "NS",  "RD",  "RT",   "SON",  "TON", "ER", "MAN",
+    "LEY", "FORD", "WELL", "WOOD", "BERG", "STEIN", "NER", "SEN"};
+
+std::string_view pick(std::span<const std::string_view> items,
+                      fbf::util::Rng& rng) {
+  return items[static_cast<std::size_t>(rng.below(items.size()))];
+}
+
+/// Extends `pool` with unique synthetic names until it reaches
+/// `pool_size`, drawing lengths from `hist`.
+void extend_pool(std::vector<std::string>& pool, std::size_t pool_size,
+                 const LengthHistogram& hist, fbf::util::Rng& rng) {
+  std::unordered_set<std::string> seen(pool.begin(), pool.end());
+  while (pool.size() < pool_size) {
+    const int length = sample_length(hist, rng);
+    std::string candidate = synthesize_name(length, rng);
+    if (seen.insert(candidate).second) {
+      pool.push_back(std::move(candidate));
+    }
+  }
+}
+
+}  // namespace
+
+const LengthHistogram& last_name_length_histogram() {
+  // Paper Table 13, lengths 2..15.
+  static const LengthHistogram hist{
+      2,
+      {175, 1585, 8768, 23238, 34025, 33256, 23380, 14424, 7772, 3215, 1190,
+       442, 177, 23}};
+  return hist;
+}
+
+const LengthHistogram& first_name_length_histogram() {
+  // Discretized to the paper's FN stats: min 2, max 11, mean 5.96.
+  // Unimodal around 6, same family of shape as the LN histogram.
+  static const LengthHistogram hist{
+      2, {60, 900, 6500, 17000, 24000, 21000, 12000, 5200, 1700, 340}};
+  return hist;
+}
+
+int sample_length(const LengthHistogram& hist, fbf::util::Rng& rng) {
+  return hist.min_length + static_cast<int>(rng.pick_weighted(hist.weights));
+}
+
+std::string synthesize_name(int length, fbf::util::Rng& rng) {
+  assert(length >= 1);
+  const auto target = static_cast<std::size_t>(length);
+  std::string name;
+  name.reserve(target + 4);
+  // Build onset+vowel(+coda) syllables until we can trim to the target.
+  while (name.size() < target) {
+    name += pick(kOnsets, rng);
+    name += pick(kVowels, rng);
+    if (rng.chance(0.45)) {
+      name += pick(kCodas, rng);
+    }
+  }
+  name.resize(target);
+  // A trimmed name can end awkwardly mid-digraph; that is fine for our
+  // purposes (real Census tails contain plenty of irregular spellings).
+  return name;
+}
+
+std::vector<std::string> build_first_name_pool(std::size_t pool_size,
+                                               fbf::util::Rng& rng) {
+  std::vector<std::string> pool;
+  pool.reserve(pool_size);
+  std::unordered_set<std::string_view> dedupe;
+  for (const auto list : {male_first_names(), female_first_names()}) {
+    for (const std::string_view name : list) {
+      if (pool.size() >= pool_size) {
+        break;
+      }
+      if (dedupe.insert(name).second) {
+        pool.emplace_back(name);
+      }
+    }
+  }
+  extend_pool(pool, pool_size, first_name_length_histogram(), rng);
+  return pool;
+}
+
+std::vector<std::string> build_last_name_pool(std::size_t pool_size,
+                                              fbf::util::Rng& rng) {
+  std::vector<std::string> pool;
+  pool.reserve(pool_size);
+  const auto head = last_names();
+  for (std::size_t i = 0; i < head.size() && pool.size() < pool_size; ++i) {
+    pool.emplace_back(head[i]);
+  }
+  extend_pool(pool, pool_size, last_name_length_histogram(), rng);
+  return pool;
+}
+
+std::vector<std::string> sample_from_pool(const std::vector<std::string>& pool,
+                                          std::size_t n,
+                                          fbf::util::Rng& rng) {
+  assert(!pool.empty());
+  std::vector<std::string> sample;
+  sample.reserve(n);
+  if (n <= pool.size()) {
+    // Partial Fisher–Yates over an index vector: uniform without
+    // replacement.
+    std::vector<std::uint32_t> indices(pool.size());
+    for (std::uint32_t i = 0; i < indices.size(); ++i) {
+      indices[i] = i;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.below(indices.size() - i));
+      std::swap(indices[i], indices[j]);
+      sample.push_back(pool[indices[i]]);
+    }
+    return sample;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    sample.push_back(pool[static_cast<std::size_t>(rng.below(pool.size()))]);
+  }
+  return sample;
+}
+
+}  // namespace fbf::datagen

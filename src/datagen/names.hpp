@@ -1,0 +1,64 @@
+// Census-style name pool construction.
+//
+// Reconstructs pools with the statistical shape of the paper's inputs:
+//  * first names — 1990 Census male+female lists merged (paper: 5,163
+//    names, lengths min 2 / max 11 / mean 5.96);
+//  * last names  — 2000 Census list (paper: 151,670 names, lengths
+//    min 2 / max 15 / mean 6.89, histogram in paper Table 13).
+//
+// The embedded real-name head (name_pools.hpp) is extended to the target
+// pool size by a deterministic syllable generator whose length targets are
+// drawn from the paper's Table 13 histogram (last names) or a matching
+// discretized distribution (first names), so the generated pools hit the
+// paper's length statistics — the property the FBF/DL runtimes actually
+// depend on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fbf::datagen {
+
+/// Paper Table 13: counts of Census last-name string lengths (length 2
+/// through 15).  Used as sampling weights for synthetic-name lengths.
+struct LengthHistogram {
+  int min_length;
+  std::vector<double> weights;  // weights[i] = weight of (min_length + i)
+};
+
+/// The last-name length histogram exactly as printed in paper Table 13.
+[[nodiscard]] const LengthHistogram& last_name_length_histogram();
+
+/// A first-name length histogram discretized to match the paper's reported
+/// min 2 / max 11 / mean 5.96 statistics.
+[[nodiscard]] const LengthHistogram& first_name_length_histogram();
+
+/// Draws one length from a histogram.
+[[nodiscard]] int sample_length(const LengthHistogram& hist,
+                                fbf::util::Rng& rng);
+
+/// Generates one pronounceable synthetic surname-like string of exactly
+/// `length` characters (upper-case letters).
+[[nodiscard]] std::string synthesize_name(int length, fbf::util::Rng& rng);
+
+/// Builds a pool of `pool_size` unique first names: the embedded Census
+/// head first, then synthetic names calibrated to the first-name length
+/// distribution.
+[[nodiscard]] std::vector<std::string> build_first_name_pool(
+    std::size_t pool_size, fbf::util::Rng& rng);
+
+/// Builds a pool of `pool_size` unique last names: the embedded Census
+/// head first, then synthetic names calibrated to paper Table 13.
+[[nodiscard]] std::vector<std::string> build_last_name_pool(
+    std::size_t pool_size, fbf::util::Rng& rng);
+
+/// Samples `n` distinct strings from `pool` (without replacement while the
+/// pool lasts, then with replacement — mirrors the paper's "samples of
+/// 5,000 were selected from each list").
+[[nodiscard]] std::vector<std::string> sample_from_pool(
+    const std::vector<std::string>& pool, std::size_t n, fbf::util::Rng& rng);
+
+}  // namespace fbf::datagen

@@ -1,0 +1,74 @@
+#include "datagen/phone.hpp"
+
+#include <unordered_set>
+
+#include "util/ascii.hpp"
+
+namespace fbf::datagen {
+
+std::string generate_phone(fbf::util::Rng& rng) {
+  std::string phone;
+  phone.reserve(10);
+  // NPA: [2-9][0-8][0-9]
+  phone.push_back(static_cast<char>('0' + rng.range(2, 9)));
+  phone.push_back(static_cast<char>('0' + rng.range(0, 8)));
+  phone.push_back(static_cast<char>('0' + rng.range(0, 9)));
+  // NXX: [2-9][0-9][0-9] excluding N11
+  for (;;) {
+    const auto d1 = rng.range(2, 9);
+    const auto d2 = rng.range(0, 9);
+    const auto d3 = rng.range(0, 9);
+    if (d2 == 1 && d3 == 1) {
+      continue;  // N11 service code
+    }
+    phone.push_back(static_cast<char>('0' + d1));
+    phone.push_back(static_cast<char>('0' + d2));
+    phone.push_back(static_cast<char>('0' + d3));
+    break;
+  }
+  // Line number: any 4 digits.
+  for (int i = 0; i < 4; ++i) {
+    phone.push_back(static_cast<char>('0' + rng.range(0, 9)));
+  }
+  return phone;
+}
+
+std::vector<std::string> generate_phones(std::size_t n, fbf::util::Rng& rng) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  std::unordered_set<std::string> seen;
+  seen.reserve(n * 2);
+  while (out.size() < n) {
+    std::string phone = generate_phone(rng);
+    if (seen.insert(phone).second) {
+      out.push_back(std::move(phone));
+    }
+  }
+  return out;
+}
+
+bool is_valid_nanp(std::string_view phone) noexcept {
+  if (phone.size() != 10) {
+    return false;
+  }
+  for (const char ch : phone) {
+    if (!fbf::util::is_ascii_digit(ch)) {
+      return false;
+    }
+  }
+  if (phone[0] < '2') {
+    return false;  // NPA first digit
+  }
+  if (phone[1] == '9') {
+    return false;  // NPA middle digit
+  }
+  if (phone[3] < '2') {
+    return false;  // NXX first digit
+  }
+  if (phone[4] == '1' && phone[5] == '1') {
+    return false;  // N11
+  }
+  return true;
+}
+
+}  // namespace fbf::datagen

@@ -1,0 +1,29 @@
+// NANP phone-number generator (paper: "synthetically generated based on
+// the numbering scheme of the North American Numbering Plan").
+//
+// 10-digit strings NPA-NXX-XXXX with the NANP constraints:
+//  * NPA (area code): [2-9][0-8][0-9] — first digit not 0/1, middle digit
+//    not 9 (9 as the middle digit is reserved for expansion);
+//  * NXX (central office): [2-9][0-9][0-9], excluding N11 service codes;
+//  * line number: any 4 digits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fbf::datagen {
+
+/// One random NANP-valid 10-digit phone number (digits only, no
+/// punctuation — the paper's fixed-length 10-character format).
+[[nodiscard]] std::string generate_phone(fbf::util::Rng& rng);
+
+/// `n` unique phone numbers.
+[[nodiscard]] std::vector<std::string> generate_phones(std::size_t n,
+                                                       fbf::util::Rng& rng);
+
+/// Validates the NANP constraints above (used in tests and input checks).
+[[nodiscard]] bool is_valid_nanp(std::string_view phone) noexcept;
+
+}  // namespace fbf::datagen

@@ -1,0 +1,62 @@
+#include "datagen/ssn.hpp"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "util/ascii.hpp"
+
+namespace fbf::datagen {
+
+std::string generate_ssn(fbf::util::Rng& rng) {
+  long area = 666;
+  while (area == 666) {
+    area = rng.range(1, 772);
+  }
+  const long group = rng.range(1, 99);
+  const long serial = rng.range(1, 9999);
+  char buffer[10];
+  std::snprintf(buffer, sizeof(buffer), "%03ld%02ld%04ld", area, group,
+                serial);
+  return buffer;
+}
+
+std::vector<std::string> generate_ssns(std::size_t n, fbf::util::Rng& rng) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  std::unordered_set<std::string> seen;
+  seen.reserve(n * 2);
+  while (out.size() < n) {
+    std::string ssn = generate_ssn(rng);
+    if (seen.insert(ssn).second) {
+      out.push_back(std::move(ssn));
+    }
+  }
+  return out;
+}
+
+bool is_valid_ssn(std::string_view ssn) noexcept {
+  if (ssn.size() != 9) {
+    return false;
+  }
+  for (const char ch : ssn) {
+    if (!fbf::util::is_ascii_digit(ch)) {
+      return false;
+    }
+  }
+  const int area = (ssn[0] - '0') * 100 + (ssn[1] - '0') * 10 + (ssn[2] - '0');
+  const int group = (ssn[3] - '0') * 10 + (ssn[4] - '0');
+  const int serial = (ssn[5] - '0') * 1000 + (ssn[6] - '0') * 100 +
+                     (ssn[7] - '0') * 10 + (ssn[8] - '0');
+  if (area == 0 || area == 666 || area > 772) {
+    return false;
+  }
+  if (group == 0) {
+    return false;
+  }
+  if (serial == 0) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fbf::datagen

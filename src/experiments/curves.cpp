@@ -1,0 +1,170 @@
+#include "experiments/curves.hpp"
+
+#include <cstdio>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace fbf::experiments {
+
+namespace c = fbf::core;
+namespace u = fbf::util;
+
+std::vector<std::size_t> sweep_points(std::size_t lo, std::size_t hi,
+                                      std::size_t step) {
+  std::vector<std::size_t> points;
+  for (std::size_t n = lo; n <= hi; n += step) {
+    points.push_back(n);
+  }
+  return points;
+}
+
+std::vector<CurveSeries> run_curves(fbf::datagen::FieldKind kind,
+                                    std::span<const c::Method> methods,
+                                    const CurveConfig& config) {
+  std::vector<CurveSeries> series(methods.size());
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    series[m].method = methods[m];
+    series[m].points.reserve(config.ns.size());
+  }
+  ExperimentConfig exp;
+  exp.k = config.k;
+  exp.sim_threshold = config.sim_threshold;
+  exp.repeats = config.repeats;
+  exp.threads = config.threads;
+  exp.alpha_words = config.alpha_words;
+  for (const std::size_t n : config.ns) {
+    std::vector<std::vector<double>> times(methods.size());
+    for (int d = 0; d < config.datasets_per_n; ++d) {
+      exp.n = n;
+      exp.seed = config.seed + static_cast<std::uint64_t>(d) * 7919 + n;
+      const auto dataset = build_dataset(kind, exp);
+      for (std::size_t m = 0; m < methods.size(); ++m) {
+        const MethodResult result = run_method(dataset, methods[m], exp);
+        times[m].push_back(result.time_ms);
+      }
+    }
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      series[m].points.push_back(
+          {n, u::mean(times[m])});
+    }
+  }
+  // Fit an^2 + bn + c to each series (Matlab polyfit degree 2).
+  for (CurveSeries& s : series) {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    xs.reserve(s.points.size());
+    ys.reserve(s.points.size());
+    for (const CurvePoint& p : s.points) {
+      xs.push_back(static_cast<double>(p.n));
+      ys.push_back(p.time_ms);
+    }
+    if (auto fit = u::polyfit(xs, ys, 2)) {
+      s.fit = std::move(*fit);
+      s.r2 = u::r_squared(s.fit, xs, ys);
+    }
+  }
+  return series;
+}
+
+namespace {
+
+std::string sci(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2E", value);
+  return buffer;
+}
+
+}  // namespace
+
+void print_polyfit_table(std::ostream& os, std::span<const CurveSeries> series,
+                         bool csv) {
+  std::vector<std::string> header = {"coef"};
+  for (const CurveSeries& s : series) {
+    header.emplace_back(c::method_name(s.method));
+  }
+  u::Table table(std::move(header));
+  const char* row_names[3] = {"a", "b", "c"};
+  for (std::size_t coef = 0; coef < 3; ++coef) {
+    std::vector<std::string> row = {row_names[coef]};
+    for (const CurveSeries& s : series) {
+      if (s.fit.coeffs.size() == 3) {
+        row.push_back(coef == 0 ? sci(s.fit.coeffs[coef])
+                                : u::fixed(s.fit.coeffs[coef], 3));
+      } else {
+        row.emplace_back("n/a");
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> r2_row = {"R^2"};
+  for (const CurveSeries& s : series) {
+    r2_row.push_back(u::fixed(s.r2, 4));
+  }
+  table.add_row(std::move(r2_row));
+  if (csv) {
+    table.render_csv(os);
+  } else {
+    table.render(os);
+  }
+}
+
+void print_curve_table(std::ostream& os, std::span<const CurveSeries> series,
+                       bool csv) {
+  std::vector<std::string> header = {"n"};
+  for (const CurveSeries& s : series) {
+    header.emplace_back(c::method_name(s.method));
+  }
+  u::Table table(std::move(header));
+  if (series.empty()) {
+    return;
+  }
+  for (std::size_t p = 0; p < series.front().points.size(); ++p) {
+    std::vector<std::string> row = {
+        u::with_commas(static_cast<std::int64_t>(series.front().points[p].n))};
+    for (const CurveSeries& s : series) {
+      row.push_back(u::fixed(s.points[p].time_ms, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  if (csv) {
+    table.render_csv(os);
+  } else {
+    table.render(os);
+  }
+}
+
+void print_speedup_by_n(std::ostream& os, std::span<const CurveSeries> series,
+                        c::Method denominator, c::Method numerator,
+                        bool csv) {
+  const CurveSeries* denom = nullptr;
+  const CurveSeries* numer = nullptr;
+  for (const CurveSeries& s : series) {
+    if (s.method == denominator) {
+      denom = &s;
+    }
+    if (s.method == numerator) {
+      numer = &s;
+    }
+  }
+  if (denom == nullptr || numer == nullptr) {
+    os << "speedup table: methods not in sweep\n";
+    return;
+  }
+  u::Table table({"n", "speedup"});
+  for (std::size_t p = 0; p < denom->points.size(); ++p) {
+    const double ratio = numer->points[p].time_ms > 0.0
+                             ? denom->points[p].time_ms / numer->points[p].time_ms
+                             : 0.0;
+    table.add_row(
+        {u::with_commas(static_cast<std::int64_t>(denom->points[p].n)),
+         u::speedup(ratio)});
+  }
+  if (csv) {
+    table.render_csv(os);
+  } else {
+    table.render(os);
+  }
+}
+
+}  // namespace fbf::experiments

@@ -1,0 +1,67 @@
+// Runtime-curve sweeps and polynomial fits (paper Figs. 7 & 9, Tables
+// 9–11 of the results section).
+//
+// The paper sweeps n = 1,000..18,000 last names (5 datasets per n, each
+// run 5 times with min/max trimmed), then fits an^2 + bn + c to each
+// method's curve with Matlab polyfit.  This module reproduces the
+// protocol with configurable n values and dataset/repeat counts.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "experiments/protocol.hpp"
+#include "util/polyfit.hpp"
+
+namespace fbf::experiments {
+
+struct CurveConfig {
+  std::vector<std::size_t> ns;     ///< sweep points
+  int datasets_per_n = 2;          ///< paper: 5
+  int repeats = 3;                 ///< paper: 5 (min/max always trimmed)
+  int k = 1;
+  double sim_threshold = 0.8;
+  std::uint64_t seed = 42;
+  std::size_t threads = 1;
+  int alpha_words = fbf::core::kDefaultAlphaWords;
+};
+
+/// Equally spaced sweep points lo, lo+step, ..., hi (paper: 1000..18000
+/// step 1000).
+[[nodiscard]] std::vector<std::size_t> sweep_points(std::size_t lo,
+                                                    std::size_t hi,
+                                                    std::size_t step);
+
+struct CurvePoint {
+  std::size_t n;
+  double time_ms;  ///< trimmed mean over datasets x repeats
+};
+
+struct CurveSeries {
+  fbf::core::Method method;
+  std::vector<CurvePoint> points;
+  fbf::util::PolyFit fit;  ///< degree-2 least squares (a, b, c)
+  double r2 = 0.0;
+};
+
+/// Runs the sweep for every method.
+[[nodiscard]] std::vector<CurveSeries> run_curves(
+    fbf::datagen::FieldKind kind, std::span<const fbf::core::Method> methods,
+    const CurveConfig& config);
+
+/// Paper-style polyfit coefficient table (a / b / c per method).
+void print_polyfit_table(std::ostream& os,
+                         std::span<const CurveSeries> series, bool csv = false);
+
+/// Paper-style runtime table: one row per n, one column per method.
+void print_curve_table(std::ostream& os,
+                       std::span<const CurveSeries> series, bool csv = false);
+
+/// Table 10 style: speedup of `numerator` over `denominator` at each n.
+void print_speedup_by_n(std::ostream& os,
+                        std::span<const CurveSeries> series,
+                        fbf::core::Method denominator,
+                        fbf::core::Method numerator, bool csv = false);
+
+}  // namespace fbf::experiments

@@ -1,0 +1,110 @@
+#include "experiments/ladder.hpp"
+
+#include <array>
+
+#include "util/table.hpp"
+
+namespace fbf::experiments {
+
+namespace c = fbf::core;
+namespace u = fbf::util;
+
+const MethodResult* LadderResult::find(c::Method m) const noexcept {
+  for (const MethodResult& row : rows) {
+    if (row.method == m) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+std::span<const c::Method> standard_ladder() noexcept {
+  static constexpr std::array<c::Method, 8> kLadder = {
+      c::Method::kDl,      c::Method::kPdl,  c::Method::kJaro,
+      c::Method::kWink,    c::Method::kHamming, c::Method::kFdl,
+      c::Method::kFpdl,    c::Method::kFbfOnly};
+  return kLadder;
+}
+
+std::span<const c::Method> length_ladder() noexcept {
+  static constexpr std::array<c::Method, 8> kLadder = {
+      c::Method::kDl,   c::Method::kFpdl,       c::Method::kLdl,
+      c::Method::kLpdl, c::Method::kLengthOnly, c::Method::kLfdl,
+      c::Method::kLfpdl, c::Method::kLfbfOnly};
+  return kLadder;
+}
+
+LadderResult run_ladder(fbf::datagen::FieldKind kind,
+                        std::span<const c::Method> methods,
+                        const ExperimentConfig& config) {
+  const auto dataset = build_dataset(kind, config);
+  LadderResult result;
+  result.kind = kind;
+  result.rows.reserve(methods.size());
+  for (const c::Method method : methods) {
+    result.rows.push_back(run_method(dataset, method, config));
+  }
+  const MethodResult* baseline = result.find(c::Method::kDl);
+  result.baseline_ms =
+      baseline ? baseline->time_ms
+               : (result.rows.empty() ? 0.0 : result.rows.front().time_ms);
+  return result;
+}
+
+void print_ladder(std::ostream& os, const std::string& title,
+                  const LadderResult& result, bool csv) {
+  u::Table table({title, "Type 1", "Type 2", "Time ms", "Speedup"});
+  for (const MethodResult& row : result.rows) {
+    table.add_row({c::method_name(row.method),
+                   u::with_commas(static_cast<std::int64_t>(row.type1)),
+                   u::with_commas(static_cast<std::int64_t>(row.type2)),
+                   u::fixed(row.time_ms, 1),
+                   u::speedup(row.time_ms > 0.0
+                                  ? result.baseline_ms / row.time_ms
+                                  : 0.0)});
+  }
+  // Gen row: signature generation cost of the FBF methods (paper prints
+  // the per-table generation time and its speedup vs the DL join).
+  double gen_ms = 0.0;
+  for (const MethodResult& row : result.rows) {
+    if (c::method_uses_fbf(row.method) && row.gen_ms > 0.0) {
+      gen_ms = row.gen_ms;
+      break;
+    }
+  }
+  if (gen_ms > 0.0) {
+    table.add_row({"Gen", "", "", u::fixed(gen_ms, 2),
+                   u::speedup(result.baseline_ms / gen_ms)});
+  }
+  if (csv) {
+    table.render_csv(os);
+  } else {
+    table.render(os);
+  }
+}
+
+void print_counters(std::ostream& os, const MethodResult& row,
+                    std::uint64_t pairs) {
+  const c::JoinStats& s = row.stats;
+  os << "  [" << c::method_name(row.method) << "] pairs="
+     << u::with_commas(static_cast<std::int64_t>(pairs));
+  if (c::method_uses_length(row.method)) {
+    os << " length_pass="
+       << u::with_commas(static_cast<std::int64_t>(s.length_pass));
+  }
+  if (c::method_uses_fbf(row.method)) {
+    os << " fbf_evaluated="
+       << u::with_commas(static_cast<std::int64_t>(s.fbf_evaluated))
+       << " fbf_pass="
+       << u::with_commas(static_cast<std::int64_t>(s.fbf_pass))
+       << " removed="
+       << u::with_commas(
+              static_cast<std::int64_t>(s.fbf_evaluated - s.fbf_pass));
+  }
+  os << " verify_calls="
+     << u::with_commas(static_cast<std::int64_t>(s.verify_calls))
+     << " matches=" << u::with_commas(static_cast<std::int64_t>(s.matches))
+     << "\n";
+}
+
+}  // namespace fbf::experiments

@@ -1,0 +1,51 @@
+// Running and printing the paper's accuracy/performance tables.
+//
+// A "ladder" is an ordered list of methods run against one paired dataset;
+// the printed table matches the paper's layout: method, Type 1, Type 2,
+// time (ms), speedup over the DL baseline, plus the Gen row reporting
+// signature-generation time.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "experiments/protocol.hpp"
+
+namespace fbf::experiments {
+
+/// Results of running a ladder.  `baseline_ms` is the DL row's time when
+/// DL is present, else the first row's.
+struct LadderResult {
+  fbf::datagen::FieldKind kind;
+  std::vector<MethodResult> rows;
+  double baseline_ms = 0.0;
+
+  [[nodiscard]] const MethodResult* find(fbf::core::Method m) const noexcept;
+};
+
+/// The paper's standard 8-method ladder (Tables 1–4 and appendix):
+/// DL, PDL, Jaro, Wink, Ham, FDL, FPDL, FBF.
+[[nodiscard]] std::span<const fbf::core::Method> standard_ladder() noexcept;
+
+/// The length-filter ladder (Tables 12 / 14):
+/// DL, FPDL, LDL, LPDL, LF, LFDL, LFPDL, LFBF.
+[[nodiscard]] std::span<const fbf::core::Method> length_ladder() noexcept;
+
+/// Runs `methods` on a freshly built dataset for `kind`.
+[[nodiscard]] LadderResult run_ladder(fbf::datagen::FieldKind kind,
+                                      std::span<const fbf::core::Method> methods,
+                                      const ExperimentConfig& config);
+
+/// Prints the paper-style table.  `title` heads the output ("SSN", "LN2",
+/// ...).  Set `csv` for machine-readable output.
+void print_ladder(std::ostream& os, const std::string& title,
+                  const LadderResult& result, bool csv = false);
+
+/// Prints the per-stage counter accounting for one method (the paper's
+/// "FBF removed 12,369,182 unnecessary pair-wise comparisons" analysis).
+void print_counters(std::ostream& os, const MethodResult& row,
+                    std::uint64_t pairs);
+
+}  // namespace fbf::experiments

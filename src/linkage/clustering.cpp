@@ -1,0 +1,111 @@
+#include "linkage/clustering.hpp"
+
+#include <map>
+#include <unordered_map>
+
+namespace fbf::linkage {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), rank_(n, 0), sets_(n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    parent_[i] = i;
+  }
+}
+
+std::uint32_t UnionFind::find(std::uint32_t x) noexcept {
+  std::uint32_t root = x;
+  while (parent_[root] != root) {
+    root = parent_[root];
+  }
+  // Path compression.
+  while (parent_[x] != root) {
+    const std::uint32_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::unite(std::uint32_t a, std::uint32_t b) noexcept {
+  std::uint32_t ra = find(a);
+  std::uint32_t rb = find(b);
+  if (ra == rb) {
+    return false;
+  }
+  if (rank_[ra] < rank_[rb]) {
+    std::swap(ra, rb);
+  }
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) {
+    ++rank_[ra];
+  }
+  --sets_;
+  return true;
+}
+
+std::vector<std::vector<std::uint32_t>> Clustering::groups() const {
+  std::vector<std::vector<std::uint32_t>> out(cluster_count);
+  for (std::uint32_t item = 0; item < cluster_of.size(); ++item) {
+    out[cluster_of[item]].push_back(item);
+  }
+  return out;
+}
+
+Clustering cluster_matches(
+    std::size_t n,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> match_pairs) {
+  UnionFind forest(n);
+  for (const auto& [i, j] : match_pairs) {
+    if (i < n && j < n && i != j) {
+      forest.unite(i, j);
+    }
+  }
+  Clustering clustering;
+  clustering.cluster_of.resize(n);
+  std::unordered_map<std::uint32_t, std::uint32_t> dense;
+  dense.reserve(forest.set_count() * 2);
+  for (std::uint32_t item = 0; item < n; ++item) {
+    const std::uint32_t root = forest.find(item);
+    const auto [it, inserted] = dense.try_emplace(
+        root, static_cast<std::uint32_t>(dense.size()));
+    clustering.cluster_of[item] = it->second;
+  }
+  clustering.cluster_count = dense.size();
+  return clustering;
+}
+
+PairwiseQuality evaluate_clustering(
+    const Clustering& clustering,
+    std::span<const std::uint64_t> truth_labels) {
+  // Count pairs via group sizes instead of the quadratic loop:
+  //   predicted pairs  = sum over predicted clusters of C(size, 2)
+  //   actual pairs     = sum over truth labels of C(size, 2)
+  //   true positives   = sum over (cluster, label) cells of C(size, 2)
+  PairwiseQuality quality;
+  const auto choose2 = [](std::uint64_t s) { return s * (s - 1) / 2; };
+  std::unordered_map<std::uint64_t, std::uint64_t> by_cluster;
+  std::unordered_map<std::uint64_t, std::uint64_t> by_label;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> by_cell;
+  for (std::size_t i = 0; i < truth_labels.size(); ++i) {
+    const std::uint64_t cluster = clustering.cluster_of[i];
+    const std::uint64_t label = truth_labels[i];
+    ++by_cluster[cluster];
+    ++by_label[label];
+    ++by_cell[{cluster, label}];
+  }
+  for (const auto& [cluster, count] : by_cluster) {
+    (void)cluster;
+    quality.predicted_pairs += choose2(count);
+  }
+  for (const auto& [label, count] : by_label) {
+    (void)label;
+    quality.actual_pairs += choose2(count);
+  }
+  for (const auto& [cell, count] : by_cell) {
+    (void)cell;
+    quality.true_positive_pairs += choose2(count);
+  }
+  return quality;
+}
+
+}  // namespace fbf::linkage

@@ -1,0 +1,85 @@
+// Entity clustering over pairwise match decisions.
+//
+// The abstract positions FBF for "database, record linkage and
+// deduplication data processing systems"; deduplication needs one more
+// step after pairwise matching: transitive closure of the match relation
+// into entity clusters.  This module provides a path-compressed
+// union-find plus helpers to turn a match-pair list into clusters and
+// evaluate them against ground-truth entity ids.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace fbf::linkage {
+
+/// Disjoint-set forest with union by size and path compression.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  /// Representative of x's set.
+  [[nodiscard]] std::uint32_t find(std::uint32_t x) noexcept;
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool unite(std::uint32_t a, std::uint32_t b) noexcept;
+
+  /// Number of distinct sets.
+  [[nodiscard]] std::size_t set_count() const noexcept { return sets_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return parent_.size(); }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> rank_;
+  std::size_t sets_;
+};
+
+/// Clusters `n` items by the transitive closure of `match_pairs`
+/// (pairs are (i, j) indices < n, e.g. from a self-join with
+/// collect_matches).  Returns a cluster id per item, cluster ids dense in
+/// [0, cluster_count).
+struct Clustering {
+  std::vector<std::uint32_t> cluster_of;  ///< item -> dense cluster id
+  std::size_t cluster_count = 0;
+
+  /// Items grouped by cluster (computed on demand).
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> groups() const;
+};
+
+[[nodiscard]] Clustering cluster_matches(
+    std::size_t n,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> match_pairs);
+
+/// Pairwise precision/recall/F1 of a clustering against ground-truth
+/// labels: a pair of items counts as predicted-positive when clustered
+/// together and actually-positive when sharing a truth label.
+struct PairwiseQuality {
+  std::uint64_t true_positive_pairs = 0;
+  std::uint64_t predicted_pairs = 0;
+  std::uint64_t actual_pairs = 0;
+
+  [[nodiscard]] double precision() const noexcept {
+    return predicted_pairs == 0
+               ? 0.0
+               : static_cast<double>(true_positive_pairs) /
+                     static_cast<double>(predicted_pairs);
+  }
+  [[nodiscard]] double recall() const noexcept {
+    return actual_pairs == 0 ? 0.0
+                             : static_cast<double>(true_positive_pairs) /
+                                   static_cast<double>(actual_pairs);
+  }
+  [[nodiscard]] double f1() const noexcept {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+[[nodiscard]] PairwiseQuality evaluate_clustering(
+    const Clustering& clustering, std::span<const std::uint64_t> truth_labels);
+
+}  // namespace fbf::linkage

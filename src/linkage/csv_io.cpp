@@ -1,0 +1,66 @@
+#include "linkage/csv_io.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace fbf::linkage {
+
+namespace u = fbf::util;
+
+const std::vector<std::string>& person_csv_header() {
+  static const std::vector<std::string> kHeader = {
+      "id",     "first_name", "last_name", "address",
+      "phone",  "gender",     "ssn",       "birth_date"};
+  return kHeader;
+}
+
+void write_person_csv(std::ostream& out,
+                      std::span<const PersonRecord> records) {
+  u::write_csv_row(out, person_csv_header());
+  for (const PersonRecord& r : records) {
+    u::write_csv_row(out, {std::to_string(r.id), r.first_name, r.last_name,
+                           r.address, r.phone, r.gender, r.ssn,
+                           r.birth_date});
+  }
+}
+
+std::vector<PersonRecord> read_person_csv(std::istream& in, bool strict) {
+  std::vector<PersonRecord> records;
+  bool header = true;
+  while (auto row = u::read_csv_row(in)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (row->size() < 8) {
+      if (strict) {
+        throw std::runtime_error("person CSV row has fewer than 8 columns");
+      }
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long long id = std::strtoull((*row)[0].c_str(), &end, 10);
+    if (end == (*row)[0].c_str() || *end != '\0') {
+      if (strict) {
+        throw std::runtime_error("person CSV row has non-numeric id: " +
+                                 (*row)[0]);
+      }
+      continue;
+    }
+    PersonRecord r;
+    r.id = id;
+    r.first_name = std::move((*row)[1]);
+    r.last_name = std::move((*row)[2]);
+    r.address = std::move((*row)[3]);
+    r.phone = std::move((*row)[4]);
+    r.gender = std::move((*row)[5]);
+    r.ssn = std::move((*row)[6]);
+    r.birth_date = std::move((*row)[7]);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace fbf::linkage

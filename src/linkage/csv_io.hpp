@@ -1,0 +1,30 @@
+// PersonRecord <-> CSV interchange.
+//
+// The on-disk format mirrors a typical demographic export:
+//   id,first_name,last_name,address,phone,gender,ssn,birth_date
+// Empty cells mean missing values.  Round-trips losslessly; the reader
+// tolerates extra trailing columns (common in real exports).
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "linkage/record.hpp"
+
+namespace fbf::linkage {
+
+/// The canonical CSV header.
+[[nodiscard]] const std::vector<std::string>& person_csv_header();
+
+/// Writes records with the header row.
+void write_person_csv(std::ostream& out,
+                      std::span<const PersonRecord> records);
+
+/// Reads records.  `strict` throws std::runtime_error on malformed rows
+/// (wrong arity, non-numeric id); otherwise such rows are skipped.
+[[nodiscard]] std::vector<PersonRecord> read_person_csv(std::istream& in,
+                                                        bool strict = true);
+
+}  // namespace fbf::linkage

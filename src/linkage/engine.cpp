@@ -1,0 +1,138 @@
+#include "linkage/engine.hpp"
+
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace fbf::linkage {
+
+namespace {
+
+struct Precomputed {
+  std::vector<RecordSignatures> left;
+  std::vector<RecordSignatures> right;
+  double gen_ms = 0.0;
+  bool built = false;
+};
+
+Precomputed precompute_signatures(std::span<const PersonRecord> left,
+                                  std::span<const PersonRecord> right,
+                                  const ComparatorConfig& config) {
+  Precomputed pre;
+  if (!config_uses_fbf(config)) {
+    return pre;
+  }
+  const fbf::util::Stopwatch timer;
+  pre.left.reserve(left.size());
+  for (const PersonRecord& r : left) {
+    pre.left.push_back(build_record_signatures(r));
+  }
+  pre.right.reserve(right.size());
+  for (const PersonRecord& r : right) {
+    pre.right.push_back(build_record_signatures(r));
+  }
+  pre.gen_ms = timer.elapsed_ms();
+  pre.built = true;
+  return pre;
+}
+
+struct ChunkResult {
+  std::uint64_t matches = 0;
+  std::uint64_t true_positives = 0;
+  std::uint64_t false_positives = 0;
+  CompareCounters counters;
+  std::vector<CandidatePair> match_pairs;
+};
+
+void score_one(const PersonRecord& a, const PersonRecord& b,
+               const RecordSignatures* sa, const RecordSignatures* sb,
+               std::uint32_t i, std::uint32_t j, const LinkConfig& config,
+               ChunkResult& out) {
+  const double score =
+      score_pair(a, b, sa, sb, config.comparator, out.counters);
+  if (score >= config.comparator.match_threshold) {
+    ++out.matches;
+    if (a.id == b.id) {
+      ++out.true_positives;
+    } else {
+      ++out.false_positives;
+    }
+    if (config.collect_matches) {
+      out.match_pairs.emplace_back(i, j);
+    }
+  }
+}
+
+LinkStats finish(std::vector<ChunkResult>& chunks, std::uint64_t pairs,
+                 double gen_ms, const fbf::util::Stopwatch& timer) {
+  LinkStats stats;
+  stats.candidate_pairs = pairs;
+  stats.signature_gen_ms = gen_ms;
+  for (ChunkResult& chunk : chunks) {
+    stats.matches += chunk.matches;
+    stats.true_positives += chunk.true_positives;
+    stats.false_positives += chunk.false_positives;
+    stats.counters.field_comparisons += chunk.counters.field_comparisons;
+    stats.counters.fbf_evaluations += chunk.counters.fbf_evaluations;
+    stats.counters.verify_calls += chunk.counters.verify_calls;
+    stats.match_pairs.insert(stats.match_pairs.end(),
+                             chunk.match_pairs.begin(),
+                             chunk.match_pairs.end());
+  }
+  stats.link_ms = timer.elapsed_ms();
+  return stats;
+}
+
+}  // namespace
+
+LinkStats link_candidates(std::span<const PersonRecord> left,
+                          std::span<const PersonRecord> right,
+                          std::span<const CandidatePair> pairs,
+                          const LinkConfig& config) {
+  const Precomputed pre =
+      precompute_signatures(left, right, config.comparator);
+  const fbf::util::Stopwatch timer;
+  const std::size_t n_chunks =
+      std::max<std::size_t>(1, std::min(config.threads, pairs.size()));
+  std::vector<ChunkResult> chunks(n_chunks);
+  fbf::util::parallel_chunks(
+      pairs.size(), config.threads,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        ChunkResult& out = chunks[chunk];
+        for (std::size_t p = begin; p < end; ++p) {
+          const auto [i, j] = pairs[p];
+          score_one(left[i], right[j], pre.built ? &pre.left[i] : nullptr,
+                    pre.built ? &pre.right[j] : nullptr, i, j, config, out);
+        }
+      });
+  return finish(chunks, pairs.size(), pre.gen_ms, timer);
+}
+
+LinkStats link_exhaustive(std::span<const PersonRecord> left,
+                          std::span<const PersonRecord> right,
+                          const LinkConfig& config) {
+  const Precomputed pre =
+      precompute_signatures(left, right, config.comparator);
+  const fbf::util::Stopwatch timer;
+  const std::size_t n_chunks =
+      std::max<std::size_t>(1, std::min(config.threads, left.size()));
+  std::vector<ChunkResult> chunks(n_chunks);
+  fbf::util::parallel_chunks(
+      left.size(), config.threads,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        ChunkResult& out = chunks[chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t j = 0; j < right.size(); ++j) {
+            score_one(left[i], right[j],
+                      pre.built ? &pre.left[i] : nullptr,
+                      pre.built ? &pre.right[j] : nullptr,
+                      static_cast<std::uint32_t>(i),
+                      static_cast<std::uint32_t>(j), config, out);
+          }
+        }
+      });
+  return finish(chunks,
+                static_cast<std::uint64_t>(left.size()) * right.size(),
+                pre.gen_ms, timer);
+}
+
+}  // namespace fbf::linkage

@@ -1,0 +1,112 @@
+// Fellegi–Sunter probabilistic record linkage (paper reference [2]).
+//
+// The paper frames its comparator inside either "a deterministic or
+// probabilistic [2] methodology"; Table 6 evaluates the deterministic
+// point-and-threshold variant.  This module supplies the probabilistic
+// one so the library covers both: each field carries m = P(agree | pair
+// is a match) and u = P(agree | pair is a non-match); a record pair's
+// score is the sum of log2 likelihood ratios over its field agreement
+// vector, classified as match / possible / non-match by two thresholds.
+// Parameters can be set by hand or estimated from unlabeled pair samples
+// with the standard EM procedure under conditional independence.
+//
+// Field agreement itself is pluggable — exact or FBF-filtered
+// approximate — so FBF accelerates the probabilistic pipeline exactly as
+// it does the deterministic one.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linkage/blocking.hpp"
+#include "linkage/comparator.hpp"
+#include "linkage/record.hpp"
+
+namespace fbf::linkage {
+
+/// Per-field match/non-match agreement probabilities.
+struct FsFieldParams {
+  double m = 0.9;  ///< P(fields agree | records refer to same entity)
+  double u = 0.1;  ///< P(fields agree | records refer to different entities)
+};
+
+/// The full model: per-field parameters plus decision thresholds on the
+/// summed log2 likelihood ratio.
+struct FsModel {
+  std::array<FsFieldParams, kRecordFieldCount> fields{};
+  double upper_threshold = 8.0;   ///< score >= upper -> Match
+  double lower_threshold = 0.0;   ///< score < lower  -> NonMatch
+
+  /// log2 weight contributed by one field's agreement/disagreement.
+  [[nodiscard]] double weight(RecordField field, bool agree) const noexcept;
+};
+
+/// Three-way Fellegi–Sunter decision.
+enum class FsDecision { kMatch, kPossible, kNonMatch };
+
+[[nodiscard]] const char* fs_decision_name(FsDecision decision) noexcept;
+
+/// Field-agreement evaluation strategy: which comparator decides "agree"
+/// per field.  kExact = byte equality; kFpdl = FBF-filtered banded DL at
+/// threshold k (missing fields never agree and contribute no weight).
+struct FsAgreementConfig {
+  FieldStrategy strategy = FieldStrategy::kFpdl;
+  int k = 1;
+};
+
+/// Computes the agreement vector for one pair.  `valid[i]` is false when
+/// either side's field i is missing (that field is skipped in scoring).
+struct FsAgreement {
+  std::array<bool, kRecordFieldCount> agree{};
+  std::array<bool, kRecordFieldCount> valid{};
+};
+
+[[nodiscard]] FsAgreement fs_agreement(const PersonRecord& a,
+                                       const PersonRecord& b,
+                                       const RecordSignatures* sa,
+                                       const RecordSignatures* sb,
+                                       const FsAgreementConfig& config);
+
+/// Summed log2 likelihood-ratio score for one pair under `model`.
+[[nodiscard]] double fs_score(const FsAgreement& agreement,
+                              const FsModel& model) noexcept;
+
+/// Classifies a score.
+[[nodiscard]] FsDecision fs_classify(double score,
+                                     const FsModel& model) noexcept;
+
+/// EM estimation of the per-field m/u parameters (and the match
+/// prevalence) from an UNLABELED sample of record pairs, under the
+/// classic conditional-independence assumption.  `pair_sample` indexes
+/// into (left, right).  Returns the fitted model with thresholds chosen
+/// as: lower = 0, upper = midpoint between the expected match and
+/// non-match score means.
+struct FsEmOptions {
+  int iterations = 30;
+  double initial_prevalence = 0.01;  ///< starting P(pair is a match)
+  FsAgreementConfig agreement;
+};
+
+[[nodiscard]] FsModel fs_estimate_em(
+    std::span<const PersonRecord> left, std::span<const PersonRecord> right,
+    std::span<const CandidatePair> pair_sample, const FsEmOptions& options);
+
+/// Outcome counts of a probabilistic linkage run.
+struct FsLinkStats {
+  std::uint64_t pairs = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t possibles = 0;
+  std::uint64_t non_matches = 0;
+  std::uint64_t true_positives = 0;   ///< Match decisions with equal ids
+  std::uint64_t false_positives = 0;  ///< Match decisions, different ids
+  double link_ms = 0.0;
+};
+
+/// Scores and classifies every pair in S x T.
+[[nodiscard]] FsLinkStats fs_link_exhaustive(
+    std::span<const PersonRecord> left, std::span<const PersonRecord> right,
+    const FsModel& model, const FsAgreementConfig& config);
+
+}  // namespace fbf::linkage

@@ -1,0 +1,64 @@
+#include "linkage/incremental.hpp"
+
+#include "util/timer.hpp"
+
+namespace fbf::linkage {
+
+EntityStore::EntityStore(ComparatorConfig comparator)
+    : comparator_(std::move(comparator)),
+      uses_fbf_(config_uses_fbf(comparator_)) {}
+
+IngestStats EntityStore::ingest(std::span<const PersonRecord> batch) {
+  IngestStats stats;
+  stats.batch_size = batch.size();
+  // Signatures for the incoming batch (store signatures already exist).
+  std::vector<RecordSignatures> batch_sigs;
+  if (uses_fbf_) {
+    const fbf::util::Stopwatch sig_timer;
+    batch_sigs.reserve(batch.size());
+    for (const PersonRecord& r : batch) {
+      batch_sigs.push_back(build_record_signatures(r));
+    }
+    stats.signature_ms = sig_timer.elapsed_ms();
+  }
+  const fbf::util::Stopwatch match_timer;
+  const std::size_t store_size_at_start = records_.size();
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    const PersonRecord& incoming = batch[b];
+    const RecordSignatures* incoming_sigs =
+        uses_fbf_ ? &batch_sigs[b] : nullptr;
+    double best_score = 0.0;
+    std::size_t best_index = store_size_at_start;  // sentinel: none
+    CompareCounters counters;
+    for (std::size_t s = 0; s < store_size_at_start; ++s) {
+      ++stats.comparisons;
+      const double score =
+          score_pair(incoming, records_[s], incoming_sigs,
+                     uses_fbf_ ? &signatures_[s] : nullptr, comparator_,
+                     counters);
+      if (score >= comparator_.match_threshold && score > best_score) {
+        best_score = score;
+        best_index = s;
+      }
+    }
+    stats.fbf_evaluations += counters.fbf_evaluations;
+    stats.verify_calls += counters.verify_calls;
+    std::uint32_t entity;
+    if (best_index < store_size_at_start) {
+      entity = entity_ids_[best_index];
+      ++stats.merged;
+    } else {
+      entity = entity_total_++;
+      ++stats.new_entities;
+    }
+    records_.push_back(incoming);
+    entity_ids_.push_back(entity);
+    if (uses_fbf_) {
+      signatures_.push_back(batch_sigs[b]);
+    }
+  }
+  stats.match_ms = match_timer.elapsed_ms();
+  return stats;
+}
+
+}  // namespace fbf::linkage

@@ -1,0 +1,77 @@
+// Incremental entity store — the paper's operational setting.
+//
+// The department's system ingests daily record batches: "The data has to
+// be updated daily, which currently requires approximately 8 hours per
+// night... It would take approximately 40 hours to run the algorithm with
+// DL" (paper §1).  This module models that pipeline: an entity store
+// holds previously resolved records with their precomputed FBF
+// signatures; each incoming record is compared against the store (filter
+// then verify), joins the best-scoring entity above the threshold or
+// founds a new one.  The nightly-update bench measures exactly the
+// paper's claim — the 40-hour DL update becoming "an hour or two" with
+// FBF (scaled down).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linkage/comparator.hpp"
+#include "linkage/record.hpp"
+
+namespace fbf::linkage {
+
+/// Statistics for one ingested batch.
+struct IngestStats {
+  std::uint64_t batch_size = 0;
+  std::uint64_t comparisons = 0;     ///< record-vs-store evaluations
+  std::uint64_t fbf_evaluations = 0;
+  std::uint64_t verify_calls = 0;
+  std::uint64_t merged = 0;        ///< records attached to an existing entity
+  std::uint64_t new_entities = 0;  ///< records founding a new entity
+  double signature_ms = 0.0;
+  double match_ms = 0.0;
+};
+
+/// Append-only resolved-entity store with incremental matching.
+class EntityStore {
+ public:
+  /// `comparator` decides record-pair similarity; its match_threshold is
+  /// the attach threshold.
+  explicit EntityStore(ComparatorConfig comparator);
+
+  /// Matches every record in `batch` against the current store contents
+  /// (records already in the store — not other batch members — mirroring
+  /// the nightly "link new arrivals to the master list" flow), attaches
+  /// each to the best-scoring entity at or above the threshold, and
+  /// inserts it.
+  IngestStats ingest(std::span<const PersonRecord> batch);
+
+  /// Number of stored records.
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Number of distinct entities.
+  [[nodiscard]] std::size_t entity_count() const noexcept {
+    return entity_total_;
+  }
+
+  /// Entity id assigned to the i-th stored record (insertion order).
+  [[nodiscard]] std::uint32_t entity_of(std::size_t i) const noexcept {
+    return entity_ids_[i];
+  }
+
+  /// The stored records (insertion order).
+  [[nodiscard]] std::span<const PersonRecord> records() const noexcept {
+    return records_;
+  }
+
+ private:
+  ComparatorConfig comparator_;
+  bool uses_fbf_ = false;
+  std::vector<PersonRecord> records_;
+  std::vector<RecordSignatures> signatures_;
+  std::vector<std::uint32_t> entity_ids_;
+  std::uint32_t entity_total_ = 0;
+};
+
+}  // namespace fbf::linkage

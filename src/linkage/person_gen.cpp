@@ -1,0 +1,108 @@
+#include "linkage/person_gen.hpp"
+
+#include "datagen/address.hpp"
+#include "datagen/dates.hpp"
+#include "datagen/errors.hpp"
+#include "datagen/names.hpp"
+#include "datagen/phone.hpp"
+#include "datagen/ssn.hpp"
+
+namespace fbf::linkage {
+
+namespace {
+
+namespace dg = fbf::datagen;
+
+dg::Alphabet alphabet_for(RecordField field) {
+  switch (field) {
+    case RecordField::kFirstName:
+    case RecordField::kLastName:
+    case RecordField::kGender:
+      return dg::Alphabet::kUpperAlpha;
+    case RecordField::kAddress:
+      return dg::Alphabet::kAlphanumeric;
+    case RecordField::kPhone:
+    case RecordField::kSsn:
+    case RecordField::kBirthDate:
+      return dg::Alphabet::kDigits;
+  }
+  return dg::Alphabet::kUpperAlpha;
+}
+
+}  // namespace
+
+std::vector<PersonRecord> generate_people(std::size_t n,
+                                          fbf::util::Rng& rng) {
+  // Draw names from pools large enough that most people are distinct but
+  // common names still collide (as in real demographic data).
+  const auto first_pool = dg::build_first_name_pool(std::max<std::size_t>(n, 1024), rng);
+  const auto last_pool = dg::build_last_name_pool(std::max<std::size_t>(2 * n, 2048), rng);
+  std::vector<PersonRecord> people;
+  people.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PersonRecord person;
+    person.id = i;
+    person.first_name =
+        first_pool[static_cast<std::size_t>(rng.below(first_pool.size()))];
+    person.last_name =
+        last_pool[static_cast<std::size_t>(rng.below(last_pool.size()))];
+    person.address = dg::generate_address(rng);
+    person.phone = dg::generate_phone(rng);
+    person.gender = std::string(rng.chance(0.5) ? "M" : "F");
+    person.ssn = dg::generate_ssn(rng);
+    person.birth_date = dg::generate_birthdate(rng);
+    people.push_back(std::move(person));
+  }
+  return people;
+}
+
+std::vector<PersonRecord> make_error_records(
+    const std::vector<PersonRecord>& clean, const RecordErrorModel& model,
+    fbf::util::Rng& rng) {
+  std::vector<PersonRecord> error;
+  error.reserve(clean.size());
+  for (const PersonRecord& original : clean) {
+    PersonRecord copy = original;
+    int edited = 0;
+    for (const RecordField field : all_record_fields()) {
+      std::string& value = copy.field(field);
+      if (value.empty()) {
+        continue;
+      }
+      // Missingness first: a missing field cannot also carry a typo.
+      const double missing_rate = field == RecordField::kSsn
+                                      ? model.ssn_missing_rate
+                                      : model.field_missing_rate;
+      if (rng.chance(missing_rate)) {
+        value.clear();
+        continue;
+      }
+      if (field == RecordField::kGender) {
+        continue;  // single-character code; typos modeled as missingness
+      }
+      if (rng.chance(model.field_typo_rate)) {
+        value = dg::inject_single_edit(value, alphabet_for(field), rng);
+        ++edited;
+      }
+    }
+    // Guarantee the minimum typo count so every record pair really is an
+    // approximate (not exact) match, as in the paper's error datasets.
+    while (edited < model.min_typo_fields) {
+      const RecordField field =
+          all_record_fields()[static_cast<std::size_t>(rng.below(kRecordFieldCount))];
+      if (field == RecordField::kGender) {
+        continue;
+      }
+      std::string& value = copy.field(field);
+      if (value.empty()) {
+        continue;
+      }
+      value = dg::inject_single_edit(value, alphabet_for(field), rng);
+      ++edited;
+    }
+    error.push_back(std::move(copy));
+  }
+  return error;
+}
+
+}  // namespace fbf::linkage

@@ -1,0 +1,36 @@
+// Synthetic person generation with record-level error injection.
+//
+// Substitutes for the department's HIPAA-protected client data (DESIGN.md
+// §2): generates complete demographic records, then produces an "error"
+// copy in which a subset of fields receive single-edit typos and a subset
+// go missing — mirroring the data-quality problems the paper describes
+// (>40% of SSNs missing, errors in every field).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linkage/record.hpp"
+#include "util/rng.hpp"
+
+namespace fbf::linkage {
+
+/// Error model for the record copy.
+struct RecordErrorModel {
+  double field_typo_rate = 0.35;  ///< chance a given field gets one edit
+  double ssn_missing_rate = 0.4;  ///< paper: >40% of SSNs missing
+  double field_missing_rate = 0.05;  ///< other fields missing
+  int min_typo_fields = 1;  ///< at least this many fields edited per record
+};
+
+/// Generates `n` clean person records with ids 0..n-1.
+[[nodiscard]] std::vector<PersonRecord> generate_people(std::size_t n,
+                                                        fbf::util::Rng& rng);
+
+/// Copies `clean` and perturbs each record per `model` (ids preserved —
+/// they are the ground truth).
+[[nodiscard]] std::vector<PersonRecord> make_error_records(
+    const std::vector<PersonRecord>& clean, const RecordErrorModel& model,
+    fbf::util::Rng& rng);
+
+}  // namespace fbf::linkage

@@ -1,0 +1,28 @@
+#include "linkage/record.hpp"
+
+#include <array>
+
+namespace fbf::linkage {
+
+const char* record_field_name(RecordField field) noexcept {
+  switch (field) {
+    case RecordField::kFirstName: return "first_name";
+    case RecordField::kLastName: return "last_name";
+    case RecordField::kAddress: return "address";
+    case RecordField::kPhone: return "phone";
+    case RecordField::kGender: return "gender";
+    case RecordField::kSsn: return "ssn";
+    case RecordField::kBirthDate: return "birth_date";
+  }
+  return "?";
+}
+
+std::span<const RecordField> all_record_fields() noexcept {
+  static constexpr std::array<RecordField, kRecordFieldCount> kAll = {
+      RecordField::kFirstName, RecordField::kLastName, RecordField::kAddress,
+      RecordField::kPhone,     RecordField::kGender,   RecordField::kSsn,
+      RecordField::kBirthDate};
+  return kAll;
+}
+
+}  // namespace fbf::linkage

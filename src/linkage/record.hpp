@@ -1,0 +1,63 @@
+// Person record schema for the record-linkage experiments.
+//
+// The paper's RL study (§1, Table 6) links client records across health &
+// social-services databases on: First Name, Last Name, Address, Phone
+// Number, Gender, Social Security Number and Birth Date — with substantial
+// missing data (>40% of SSNs missing in their data).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace fbf::linkage {
+
+/// Record fields in comparator order.
+enum class RecordField : std::uint8_t {
+  kFirstName = 0,
+  kLastName,
+  kAddress,
+  kPhone,
+  kGender,
+  kSsn,
+  kBirthDate,
+};
+
+inline constexpr std::size_t kRecordFieldCount = 7;
+
+[[nodiscard]] const char* record_field_name(RecordField field) noexcept;
+
+/// A demographic record.  Empty string = missing value (never matches).
+struct PersonRecord {
+  std::uint64_t id = 0;  ///< stable identity for ground truth
+  std::string first_name;
+  std::string last_name;
+  std::string address;
+  std::string phone;
+  std::string gender;  ///< "M" / "F" / ""
+  std::string ssn;
+  std::string birth_date;  ///< MMDDYYYY
+
+  [[nodiscard]] const std::string& field(RecordField f) const noexcept {
+    switch (f) {
+      case RecordField::kFirstName: return first_name;
+      case RecordField::kLastName: return last_name;
+      case RecordField::kAddress: return address;
+      case RecordField::kPhone: return phone;
+      case RecordField::kGender: return gender;
+      case RecordField::kSsn: return ssn;
+      case RecordField::kBirthDate: return birth_date;
+    }
+    return first_name;  // unreachable
+  }
+
+  [[nodiscard]] std::string& field(RecordField f) noexcept {
+    return const_cast<std::string&>(
+        static_cast<const PersonRecord&>(*this).field(f));
+  }
+};
+
+/// All fields, comparator order.
+[[nodiscard]] std::span<const RecordField> all_record_fields() noexcept;
+
+}  // namespace fbf::linkage

@@ -1,0 +1,81 @@
+#include "linkage/sharded.hpp"
+
+#include <algorithm>
+
+#include "metrics/soundex.hpp"
+#include "util/rng.hpp"
+
+namespace fbf::linkage {
+
+namespace {
+
+std::size_t shard_of(const PersonRecord& r, PartitionScheme scheme,
+                     std::size_t n_shards) {
+  switch (scheme) {
+    case PartitionScheme::kHashLastName:
+      return fbf::util::fnv1a64(r.last_name) % n_shards;
+    case PartitionScheme::kHashSoundexLastName:
+      return fbf::util::fnv1a64(fbf::metrics::soundex(r.last_name)) %
+             n_shards;
+    case PartitionScheme::kReplicateRight:
+      return 0;  // unused; left is sliced round-robin below
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* partition_scheme_name(PartitionScheme s) noexcept {
+  switch (s) {
+    case PartitionScheme::kHashLastName: return "hash(LN)";
+    case PartitionScheme::kHashSoundexLastName: return "hash(SDX(LN))";
+    case PartitionScheme::kReplicateRight: return "replicate-right";
+  }
+  return "?";
+}
+
+ShardedResult link_sharded(std::span<const PersonRecord> left,
+                           std::span<const PersonRecord> right,
+                           const ShardedConfig& config) {
+  const std::size_t n = std::max<std::size_t>(1, config.n_shards);
+  // Materialize each node's local partitions.
+  std::vector<std::vector<PersonRecord>> left_parts(n);
+  std::vector<std::vector<PersonRecord>> right_parts(n);
+  if (config.scheme == PartitionScheme::kReplicateRight) {
+    for (std::size_t i = 0; i < left.size(); ++i) {
+      left_parts[i % n].push_back(left[i]);
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      right_parts[s].assign(right.begin(), right.end());
+    }
+  } else {
+    for (const PersonRecord& r : left) {
+      left_parts[shard_of(r, config.scheme, n)].push_back(r);
+    }
+    for (const PersonRecord& r : right) {
+      right_parts[shard_of(r, config.scheme, n)].push_back(r);
+    }
+  }
+  ShardedResult result;
+  result.shards.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const LinkStats stats =
+        link_exhaustive(left_parts[s], right_parts[s], config.link);
+    ShardStats shard;
+    shard.left_count = left_parts[s].size();
+    shard.right_count = right_parts[s].size();
+    shard.pairs = stats.candidate_pairs;
+    shard.matches = stats.matches;
+    shard.true_positives = stats.true_positives;
+    shard.link_ms = stats.link_ms;
+    result.total_pairs += shard.pairs;
+    result.total_matches += shard.matches;
+    result.total_true_positives += shard.true_positives;
+    result.makespan_ms = std::max(result.makespan_ms, shard.link_ms);
+    result.sum_ms += shard.link_ms;
+    result.shards.push_back(shard);
+  }
+  return result;
+}
+
+}  // namespace fbf::linkage

@@ -1,0 +1,73 @@
+// Sharded (simulated distributed) record linkage.
+//
+// The paper's conclusion names the next step: "a distributed in-memory
+// data graph to process demographic data and resolve entities".  We do
+// not have a cluster, so this module simulates the data-distribution
+// layer that dominates such a design (DESIGN.md §2/§6): records are
+// partitioned across `n_shards` logical nodes, each node links only its
+// local pair space, and results are merged.  What the simulation
+// preserves from the real system is exactly what matters here:
+//  * total comparison work and its balance across nodes (makespan),
+//  * the recall consequences of each partitioning scheme — hashing on a
+//    noisy natural key silently drops cross-shard true pairs, the same
+//    failure mode the paper attributes to blocking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linkage/engine.hpp"
+
+namespace fbf::linkage {
+
+/// How records are assigned to shards.
+enum class PartitionScheme {
+  kHashLastName,         ///< hash(raw last name) — fragile under typos
+  kHashSoundexLastName,  ///< hash(Soundex(last name)) — typo-tolerant-ish
+  kReplicateRight,       ///< left sliced, right broadcast — lossless
+};
+
+[[nodiscard]] const char* partition_scheme_name(PartitionScheme s) noexcept;
+
+struct ShardedConfig {
+  std::size_t n_shards = 4;
+  PartitionScheme scheme = PartitionScheme::kReplicateRight;
+  LinkConfig link;  ///< comparator each node runs
+};
+
+/// Per-node view of the run.
+struct ShardStats {
+  std::size_t left_count = 0;
+  std::size_t right_count = 0;
+  std::uint64_t pairs = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t true_positives = 0;
+  double link_ms = 0.0;
+};
+
+struct ShardedResult {
+  std::vector<ShardStats> shards;
+  std::uint64_t total_pairs = 0;
+  std::uint64_t total_matches = 0;
+  std::uint64_t total_true_positives = 0;
+  double makespan_ms = 0.0;  ///< slowest shard (distributed wall-clock)
+  double sum_ms = 0.0;       ///< total work across shards
+
+  /// Work imbalance: makespan / (sum / shards); 1.0 = perfectly balanced.
+  [[nodiscard]] double imbalance() const noexcept {
+    if (shards.empty() || sum_ms <= 0.0) {
+      return 1.0;
+    }
+    return makespan_ms / (sum_ms / static_cast<double>(shards.size()));
+  }
+};
+
+/// Runs the sharded linkage.  Shards execute sequentially here (we are
+/// measuring partitioning effects, not providing parallelism — use
+/// LinkConfig::threads for that); per-shard times are still recorded so
+/// makespan models the distributed schedule.
+[[nodiscard]] ShardedResult link_sharded(std::span<const PersonRecord> left,
+                                         std::span<const PersonRecord> right,
+                                         const ShardedConfig& config);
+
+}  // namespace fbf::linkage

@@ -1,0 +1,233 @@
+#include "linkage/standardize.hpp"
+
+#include <array>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "util/ascii.hpp"
+
+namespace fbf::linkage {
+
+namespace {
+
+namespace u = fbf::util;
+
+/// Splits on spaces (input already single-spaced).
+std::vector<std::string> split_words(const std::string& text) {
+  std::vector<std::string> words;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find(' ', start);
+    if (end == std::string::npos) {
+      words.push_back(text.substr(start));
+      break;
+    }
+    if (end > start) {
+      words.push_back(text.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+  return words;
+}
+
+std::string join_words(const std::vector<std::string>& words) {
+  std::string out;
+  for (const auto& word : words) {
+    if (!out.empty()) {
+      out.push_back(' ');
+    }
+    out += word;
+  }
+  return out;
+}
+
+/// Keeps characters satisfying `keep` upper-cased, collapsing whitespace
+/// runs to single spaces and trimming the ends.
+std::string clean(std::string_view raw, bool (*keep)(char) noexcept) {
+  std::string out;
+  out.reserve(raw.size());
+  bool pending_space = false;
+  for (const char raw_ch : raw) {
+    const char ch = u::to_ascii_upper(raw_ch);
+    if (keep(ch)) {
+      if (pending_space && !out.empty()) {
+        out.push_back(' ');
+      }
+      pending_space = false;
+      out.push_back(ch);
+    } else if (ch == '\'') {
+      // Apostrophes join ("O'Brien" -> "OBRIEN"); everything else
+      // rejected acts as a word separator ("Smith-Jones" -> "SMITH
+      // JONES").
+    } else {
+      pending_space = true;
+    }
+  }
+  return out;
+}
+
+struct Synonym {
+  std::string_view spelled;
+  std::string_view abbrev;
+};
+
+constexpr Synonym kSuffixes[] = {
+    {"STREET", "ST"},     {"AVENUE", "AVE"},  {"AVENU", "AVE"},
+    {"ROAD", "RD"},       {"BOULEVARD", "BLVD"}, {"BOULEVD", "BLVD"},
+    {"LANE", "LN"},       {"DRIVE", "DR"},    {"COURT", "CT"},
+    {"PLACE", "PL"},      {"TERRACE", "TER"}, {"CIRCLE", "CIR"},
+    {"PARKWAY", "PKWY"},  {"HIGHWAY", "HWY"}, {"SQUARE", "SQ"},
+    {"TRAIL", "TRL"},     {"WAY", "WAY"}};
+
+constexpr Synonym kDirections[] = {
+    {"NORTH", "N"}, {"SOUTH", "S"}, {"EAST", "E"}, {"WEST", "W"},
+    {"NORTHEAST", "NE"}, {"NORTHWEST", "NW"}, {"SOUTHEAST", "SE"},
+    {"SOUTHWEST", "SW"}};
+
+std::string_view canonicalize(std::string_view word,
+                              std::span<const Synonym> table) {
+  for (const Synonym& entry : table) {
+    if (word == entry.spelled || word == entry.abbrev) {
+      return entry.abbrev;
+    }
+  }
+  return word;
+}
+
+bool parse_uint(std::string_view text, int& out) {
+  if (text.empty() || text.size() > 4) {
+    return false;
+  }
+  int value = 0;
+  for (const char ch : text) {
+    if (!u::is_ascii_digit(ch)) {
+      return false;
+    }
+    value = value * 10 + (ch - '0');
+  }
+  out = value;
+  return true;
+}
+
+std::optional<std::string> pack_date(int month, int day, int year) {
+  if (month < 1 || month > 12 || day < 1 || day > 31 || year < 1000 ||
+      year > 9999) {
+    return std::nullopt;
+  }
+  char buffer[9];
+  std::snprintf(buffer, sizeof(buffer), "%02d%02d%04d", month, day, year);
+  return std::string(buffer);
+}
+
+}  // namespace
+
+std::string standardize_name(std::string_view raw) {
+  return clean(raw, [](char ch) noexcept { return u::is_ascii_upper(ch); });
+}
+
+std::string standardize_address(std::string_view raw) {
+  const std::string cleaned = clean(raw, [](char ch) noexcept {
+    return u::is_ascii_upper(ch) || u::is_ascii_digit(ch);
+  });
+  std::vector<std::string> words = split_words(cleaned);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    // Directionals can appear anywhere after the number; the suffix is
+    // conventionally the last word.
+    if (i + 1 == words.size()) {
+      words[i] = std::string(canonicalize(words[i], kSuffixes));
+    } else {
+      words[i] = std::string(canonicalize(words[i], kDirections));
+    }
+  }
+  return join_words(words);
+}
+
+std::string standardize_phone(std::string_view raw) {
+  std::string digits = u::digits_only(raw);
+  if (digits.size() == 11 && digits.front() == '1') {
+    digits.erase(digits.begin());
+  }
+  return digits;
+}
+
+std::string standardize_ssn(std::string_view raw) {
+  return u::digits_only(raw);
+}
+
+std::optional<std::string> standardize_birthdate(std::string_view raw) {
+  // Collect the digit groups (separators: anything non-digit).
+  std::vector<std::string> groups;
+  std::string current;
+  for (const char ch : raw) {
+    if (u::is_ascii_digit(ch)) {
+      current.push_back(ch);
+    } else if (!current.empty()) {
+      groups.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) {
+    groups.push_back(std::move(current));
+  }
+  if (groups.size() == 1 && groups[0].size() == 8) {
+    // Packed: assume MMDDYYYY (the library format); fall back to
+    // YYYYMMDD when the leading pair cannot be a month.
+    const std::string& g = groups[0];
+    int mm = (g[0] - '0') * 10 + (g[1] - '0');
+    if (mm >= 1 && mm <= 12) {
+      return g;
+    }
+    const std::string repacked = g.substr(4, 2) + g.substr(6, 2) + g.substr(0, 4);
+    int m2 = 0;
+    (void)parse_uint(repacked.substr(0, 2), m2);
+    if (m2 >= 1 && m2 <= 12) {
+      return repacked;
+    }
+    return std::nullopt;
+  }
+  if (groups.size() != 3) {
+    return std::nullopt;
+  }
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  if (!parse_uint(groups[0], a) || !parse_uint(groups[1], b) ||
+      !parse_uint(groups[2], c)) {
+    return std::nullopt;
+  }
+  if (groups[0].size() == 4) {
+    return pack_date(b, c, a);  // YYYY-MM-DD
+  }
+  if (groups[2].size() == 4) {
+    return pack_date(a, b, c);  // MM/DD/YYYY or M/D/YYYY
+  }
+  return std::nullopt;
+}
+
+std::string standardize_gender(std::string_view raw) {
+  const std::string cleaned = standardize_name(raw);
+  if (cleaned == "M" || cleaned == "MALE") {
+    return "M";
+  }
+  if (cleaned == "F" || cleaned == "FEMALE") {
+    return "F";
+  }
+  return {};
+}
+
+void standardize_record(PersonRecord& record) {
+  record.first_name = standardize_name(record.first_name);
+  record.last_name = standardize_name(record.last_name);
+  record.address = standardize_address(record.address);
+  record.phone = standardize_phone(record.phone);
+  record.gender = standardize_gender(record.gender);
+  record.ssn = standardize_ssn(record.ssn);
+  if (auto date = standardize_birthdate(record.birth_date)) {
+    record.birth_date = std::move(*date);
+  } else {
+    record.birth_date.clear();  // missing beats wrong
+  }
+}
+
+}  // namespace fbf::linkage

@@ -1,0 +1,59 @@
+// Field standardization — the preprocessing every real linkage deployment
+// runs before comparison.
+//
+// The paper's address corpus is "a list of real standardized local
+// addresses"; its numeric fields are digit-only strings.  Raw exports are
+// messier: mixed case, punctuation, suffix spellings ("STREET" vs "ST"),
+// formatted phone numbers and dates.  This module canonicalizes each
+// field into the form the signatures and metrics expect, so CSV-ingested
+// real data behaves like the paper's inputs:
+//   * names      — upper-case letters, single spaces, punctuation dropped;
+//   * addresses  — upper-case alphanumeric, USPS suffix + directional
+//                  abbreviations, single spaces;
+//   * phone      — digits only, optional leading country "1" stripped to
+//                  the 10-digit NANP form;
+//   * SSN        — digits only (9 expected);
+//   * birthdate  — MMDDYYYY from MM/DD/YYYY, M/D/YYYY, YYYY-MM-DD or
+//                  already-packed 8-digit input.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "linkage/record.hpp"
+
+namespace fbf::linkage {
+
+/// Upper-cases, drops punctuation/digits, collapses runs of whitespace
+/// ("  Smith-O'Brien " -> "SMITH OBRIEN").
+[[nodiscard]] std::string standardize_name(std::string_view raw);
+
+/// Upper-cases, keeps letters/digits/spaces, collapses whitespace, and
+/// rewrites trailing street-suffix and directional words to the USPS
+/// abbreviations the generator uses ("1801 North Broad Street" ->
+/// "1801 N BROAD ST").
+[[nodiscard]] std::string standardize_address(std::string_view raw);
+
+/// Digits only; a leading "1" on an 11-digit number is dropped
+/// ("+1 (215) 555-1212" -> "2155551212").
+[[nodiscard]] std::string standardize_phone(std::string_view raw);
+
+/// Digits only ("123-12-1234" -> "123121234").
+[[nodiscard]] std::string standardize_ssn(std::string_view raw);
+
+/// Normalizes common date spellings to MMDDYYYY.  Returns std::nullopt
+/// when the input cannot be read as a date (callers usually blank the
+/// field — missing beats wrong).
+[[nodiscard]] std::optional<std::string> standardize_birthdate(
+    std::string_view raw);
+
+/// "M"/"F" from assorted spellings ("male", "f", "FEMALE"); anything else
+/// becomes empty (missing).
+[[nodiscard]] std::string standardize_gender(std::string_view raw);
+
+/// Applies all of the above to a record in place.  An unparseable
+/// birthdate is blanked.
+void standardize_record(PersonRecord& record);
+
+}  // namespace fbf::linkage

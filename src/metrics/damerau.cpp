@@ -1,0 +1,105 @@
+#include "metrics/damerau.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace fbf::metrics {
+
+int dl_distance(std::string_view s, std::string_view t) {
+  const std::size_t m = s.size();
+  const std::size_t n = t.size();
+  if (m == 0) {
+    return static_cast<int>(n);
+  }
+  if (n == 0) {
+    return static_cast<int>(m);
+  }
+  // Three rolling rows: d[i-2], d[i-1], d[i].  The transposition recurrence
+  // of Alg. 1 reads d[i-2][j-2], hence the third row.
+  thread_local std::vector<int> prev2;
+  thread_local std::vector<int> prev;
+  thread_local std::vector<int> cur;
+  prev2.resize(n + 1);
+  prev.resize(n + 1);
+  cur.resize(n + 1);
+  for (std::size_t j = 0; j <= n; ++j) {
+    prev[j] = static_cast<int>(j);
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (std::size_t j = 1; j <= n; ++j) {
+      if (s[i - 1] == t[j - 1]) {
+        cur[j] = prev[j - 1];
+      } else {
+        cur[j] = std::min({prev[j], cur[j - 1], prev[j - 1]}) + 1;
+        if (i > 1 && j > 1 && s[i - 1] == t[j - 2] && s[i - 2] == t[j - 1]) {
+          cur[j] = std::min(cur[j], prev2[j - 2] + 1);
+        }
+      }
+    }
+    // Rotate rows: prev2 <- prev, prev <- cur, cur <- (recycled prev2).
+    std::swap(prev2, prev);
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+bool dl_within(std::string_view s, std::string_view t, int k) {
+  return dl_distance(s, t) <= k;
+}
+
+int true_dl_distance(std::string_view s, std::string_view t) {
+  const std::size_t m = s.size();
+  const std::size_t n = t.size();
+  if (m == 0) {
+    return static_cast<int>(n);
+  }
+  if (n == 0) {
+    return static_cast<int>(m);
+  }
+  // Lowrance–Wagner: full (m+2) x (n+2) matrix with a -1 border row/column
+  // holding maxdist, plus da[] = last row where each character was seen.
+  const int maxdist = static_cast<int>(m + n);
+  const std::size_t width = n + 2;
+  thread_local std::vector<int> matrix;
+  matrix.assign((m + 2) * width, 0);
+  auto d = [&](std::size_t i, std::size_t j) -> int& {
+    return matrix[i * width + j];
+  };
+  d(0, 0) = maxdist;
+  for (std::size_t i = 0; i <= m; ++i) {
+    d(i + 1, 0) = maxdist;
+    d(i + 1, 1) = static_cast<int>(i);
+  }
+  for (std::size_t j = 0; j <= n; ++j) {
+    d(0, j + 1) = maxdist;
+    d(1, j + 1) = static_cast<int>(j);
+  }
+  std::array<std::size_t, 256> da{};
+  da.fill(0);
+  for (std::size_t i = 1; i <= m; ++i) {
+    std::size_t db = 0;  // last column in this row where s[i-1] matched t
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::size_t k_row = da[static_cast<unsigned char>(t[j - 1])];
+      const std::size_t l_col = db;
+      int cost = 1;
+      if (s[i - 1] == t[j - 1]) {
+        cost = 0;
+        db = j;
+      }
+      const int substitution = d(i, j) + cost;
+      const int insertion = d(i + 1, j) + 1;
+      const int deletion = d(i, j + 1) + 1;
+      const int transposition =
+          d(k_row, l_col) + static_cast<int>(i - k_row - 1) + 1 +
+          static_cast<int>(j - l_col - 1);
+      d(i + 1, j + 1) =
+          std::min({substitution, insertion, deletion, transposition});
+    }
+    da[static_cast<unsigned char>(s[i - 1])] = i;
+  }
+  return d(m + 1, n + 1);
+}
+
+}  // namespace fbf::metrics

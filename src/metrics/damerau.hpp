@@ -1,0 +1,30 @@
+// Damerau–Levenshtein edit distance.
+//
+// The paper's Algorithm 1 ("DL") is the *optimal string alignment* (OSA)
+// variant: a transposition counts as one edit, but the transposed pair may
+// not be edited again.  That is the semantics every table in the paper
+// rests on, so `dl_distance` implements exactly Alg. 1.  The unrestricted
+// Damerau–Levenshtein distance (allowing edits after a transposition, the
+// "true" metric that satisfies the triangle inequality over the four edit
+// ops) is provided separately as `true_dl_distance` for comparison; the
+// two differ on inputs like ("CA", "ABC"): OSA = 3, true DL = 2.
+#pragma once
+
+#include <string_view>
+
+namespace fbf::metrics {
+
+/// Damerau–Levenshtein (OSA) distance — the paper's Algorithm 1.
+/// O(|s|*|t|) time, three-row dynamic program with thread-local scratch.
+[[nodiscard]] int dl_distance(std::string_view s, std::string_view t);
+
+/// True iff dl_distance(s, t) <= k.  Computed by the full dynamic program;
+/// use pdl_within (pdl.hpp) for the banded/early-exit version.
+[[nodiscard]] bool dl_within(std::string_view s, std::string_view t, int k);
+
+/// Unrestricted Damerau–Levenshtein distance (Lowrance–Wagner).  Allows
+/// further edits across a transposed pair.  O(|s|*|t|) time, full matrix
+/// plus a last-occurrence table over the byte alphabet.
+[[nodiscard]] int true_dl_distance(std::string_view s, std::string_view t);
+
+}  // namespace fbf::metrics

@@ -1,0 +1,21 @@
+#include "metrics/hamming.hpp"
+
+#include <algorithm>
+
+namespace fbf::metrics {
+
+int hamming_distance(std::string_view s, std::string_view t) noexcept {
+  const std::size_t shorter = std::min(s.size(), t.size());
+  const std::size_t longer = std::max(s.size(), t.size());
+  int distance = static_cast<int>(longer - shorter);
+  for (std::size_t i = 0; i < shorter; ++i) {
+    distance += (s[i] != t[i]) ? 1 : 0;
+  }
+  return distance;
+}
+
+bool hamming_within(std::string_view s, std::string_view t, int k) noexcept {
+  return hamming_distance(s, t) <= k;
+}
+
+}  // namespace fbf::metrics

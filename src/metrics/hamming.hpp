@@ -1,0 +1,23 @@
+// Hamming distance baseline (paper §5 comparator #5).
+//
+// Hamming distance is only defined for equal-length strings; the paper
+// nonetheless runs it on variable-length names (and reports the resulting
+// Type 2 errors).  We use the standard length-padded extension: positional
+// mismatches over the shorter length plus the length difference.  For
+// fixed-length fields (SSN, phone, birthdate) this is exactly classic
+// Hamming distance.
+#pragma once
+
+#include <string_view>
+
+namespace fbf::metrics {
+
+/// Positional mismatch count plus |len(s) - len(t)|.
+[[nodiscard]] int hamming_distance(std::string_view s,
+                                   std::string_view t) noexcept;
+
+/// True iff hamming_distance(s, t) <= k.
+[[nodiscard]] bool hamming_within(std::string_view s, std::string_view t,
+                                  int k) noexcept;
+
+}  // namespace fbf::metrics

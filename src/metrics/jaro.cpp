@@ -1,0 +1,73 @@
+#include "metrics/jaro.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace fbf::metrics {
+
+double jaro(std::string_view s, std::string_view t) {
+  const std::size_t m_len = s.size();
+  const std::size_t n_len = t.size();
+  if (m_len == 0 && n_len == 0) {
+    return 1.0;
+  }
+  if (m_len == 0 || n_len == 0) {
+    return 0.0;
+  }
+  const std::size_t max_len = std::max(m_len, n_len);
+  const std::size_t window = max_len / 2 == 0 ? 0 : max_len / 2 - 1;
+  thread_local std::vector<char> s_matched;
+  thread_local std::vector<char> t_matched;
+  s_matched.assign(m_len, 0);
+  t_matched.assign(n_len, 0);
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < m_len; ++i) {
+    const std::size_t lo = i > window ? i - window : 0;
+    const std::size_t hi = std::min(n_len, i + window + 1);
+    for (std::size_t j = lo; j < hi; ++j) {
+      if (!t_matched[j] && s[i] == t[j]) {
+        s_matched[i] = 1;
+        t_matched[j] = 1;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) {
+    return 0.0;
+  }
+  // r = number of matched characters that are out of order; the formula
+  // subtracts r/2 ("half transpositions").
+  std::size_t transposed = 0;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < m_len; ++i) {
+    if (!s_matched[i]) {
+      continue;
+    }
+    while (!t_matched[j]) {
+      ++j;
+    }
+    if (s[i] != t[j]) {
+      ++transposed;
+    }
+    ++j;
+  }
+  const auto md = static_cast<double>(matches);
+  return (md / static_cast<double>(m_len) + md / static_cast<double>(n_len) +
+          (md - static_cast<double>(transposed) / 2.0) / md) /
+         3.0;
+}
+
+double jaro_winkler(std::string_view s, std::string_view t, double p,
+                    int max_prefix) {
+  const double base = jaro(s, t);
+  std::size_t prefix = 0;
+  const std::size_t limit =
+      std::min({s.size(), t.size(), static_cast<std::size_t>(max_prefix)});
+  while (prefix < limit && s[prefix] == t[prefix]) {
+    ++prefix;
+  }
+  return base + static_cast<double>(prefix) * p * (1.0 - base);
+}
+
+}  // namespace fbf::metrics

@@ -1,0 +1,19 @@
+// Jaro and Jaro–Winkler string similarity (paper §2.3–2.4 baselines).
+#pragma once
+
+#include <string_view>
+
+namespace fbf::metrics {
+
+/// Jaro similarity in [0, 1].  Matching characters must fall within the
+/// search window floor(max(|s|,|t|)/2) - 1 of each other; the score is
+/// (m/|s| + m/|t| + (m - r/2)/m) / 3 with m matches and r transposed
+/// characters.  Both-empty pairs score 1.0; one-empty pairs score 0.0.
+[[nodiscard]] double jaro(std::string_view s, std::string_view t);
+
+/// Jaro–Winkler: jaro + l*p*(1 - jaro) with l the common-prefix length
+/// capped at `max_prefix` and scaling factor p (paper uses p = 0.1).
+[[nodiscard]] double jaro_winkler(std::string_view s, std::string_view t,
+                                  double p = 0.1, int max_prefix = 4);
+
+}  // namespace fbf::metrics

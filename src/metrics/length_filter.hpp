@@ -1,0 +1,33 @@
+// Length filter (paper Algorithm 3, after Gravano et al. 2001).
+//
+// If two strings are within k edits, their lengths differ by at most k —
+// so a pair whose length difference exceeds k can be discarded without
+// touching the characters.  Useless for fixed-length fields (SSN, phone,
+// birthdate), as the paper notes.
+#pragma once
+
+#include <string_view>
+
+namespace fbf::metrics {
+
+/// True iff the pair *may* be within k edits by length evidence alone.
+[[nodiscard]] constexpr bool length_filter_pass(std::string_view s,
+                                                std::string_view t,
+                                                int k) noexcept {
+  const auto ls = static_cast<long>(s.size());
+  const auto lt = static_cast<long>(t.size());
+  const long diff = ls > lt ? ls - lt : lt - ls;
+  return diff <= k;
+}
+
+/// Length-only pre-check on already-known lengths (signature-store path:
+/// avoids touching the string bytes at all).
+[[nodiscard]] constexpr bool length_filter_pass(std::size_t len_s,
+                                                std::size_t len_t,
+                                                int k) noexcept {
+  const long diff = len_s > len_t ? static_cast<long>(len_s - len_t)
+                                  : static_cast<long>(len_t - len_s);
+  return diff <= k;
+}
+
+}  // namespace fbf::metrics

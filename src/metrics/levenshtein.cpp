@@ -1,0 +1,42 @@
+#include "metrics/levenshtein.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace fbf::metrics {
+
+int levenshtein_distance(std::string_view s, std::string_view t) {
+  const std::size_t m = s.size();
+  const std::size_t n = t.size();
+  if (m == 0) {
+    return static_cast<int>(n);
+  }
+  if (n == 0) {
+    return static_cast<int>(m);
+  }
+  thread_local std::vector<int> prev;
+  thread_local std::vector<int> cur;
+  prev.resize(n + 1);
+  cur.resize(n + 1);
+  for (std::size_t j = 0; j <= n; ++j) {
+    prev[j] = static_cast<int>(j);
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (std::size_t j = 1; j <= n; ++j) {
+      if (s[i - 1] == t[j - 1]) {
+        cur[j] = prev[j - 1];
+      } else {
+        cur[j] = std::min({prev[j], cur[j - 1], prev[j - 1]}) + 1;
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+bool levenshtein_within(std::string_view s, std::string_view t, int k) {
+  return levenshtein_distance(s, t) <= k;
+}
+
+}  // namespace fbf::metrics

@@ -1,0 +1,22 @@
+// Classic Levenshtein edit distance (substitution / insertion / deletion).
+//
+// Used as the reference baseline in property tests and as the non-DL
+// comparison point; the paper's algorithms build on the Damerau extension
+// in damerau.hpp.
+#pragma once
+
+#include <string_view>
+
+namespace fbf::metrics {
+
+/// Levenshtein distance between s and t.  O(|s|*|t|) time, O(min) space
+/// (two-row dynamic program; rows live in thread-local scratch so the hot
+/// path performs no allocation after warm-up).
+[[nodiscard]] int levenshtein_distance(std::string_view s, std::string_view t);
+
+/// True iff levenshtein_distance(s, t) <= k.  Convenience wrapper; the
+/// thresholded band implementation lives in pdl.hpp.
+[[nodiscard]] bool levenshtein_within(std::string_view s, std::string_view t,
+                                      int k);
+
+}  // namespace fbf::metrics

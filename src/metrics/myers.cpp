@@ -1,0 +1,54 @@
+#include "metrics/myers.hpp"
+
+#include <array>
+#include <cstdint>
+
+#include "metrics/levenshtein.hpp"
+
+namespace fbf::metrics {
+
+int myers_distance(std::string_view s, std::string_view t) {
+  const std::size_t m = s.size();
+  if (m == 0) {
+    return static_cast<int>(t.size());
+  }
+  if (t.empty()) {
+    return static_cast<int>(m);
+  }
+  if (m > kMyersMaxPattern) {
+    return levenshtein_distance(s, t);  // rare in demographic data
+  }
+  // Pattern match vectors: bit i of peq[c] set iff s[i] == c.
+  std::array<std::uint64_t, 256> peq{};
+  for (std::size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(s[i])] |= 1ull << i;
+  }
+  std::uint64_t pv = ~0ull;  // positive vertical deltas
+  std::uint64_t mv = 0;      // negative vertical deltas
+  int score = static_cast<int>(m);
+  const std::uint64_t high_bit = 1ull << (m - 1);
+  for (const char tc : t) {
+    const std::uint64_t eq = peq[static_cast<unsigned char>(tc)];
+    const std::uint64_t xv = eq | mv;
+    const std::uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    std::uint64_t ph = mv | ~(xh | pv);
+    std::uint64_t mh = pv & xh;
+    if (ph & high_bit) {
+      ++score;
+    }
+    if (mh & high_bit) {
+      --score;
+    }
+    ph = (ph << 1) | 1;
+    mh <<= 1;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+  }
+  return score;
+}
+
+bool myers_within(std::string_view s, std::string_view t, int k) {
+  return myers_distance(s, t) <= k;
+}
+
+}  // namespace fbf::metrics

@@ -1,0 +1,119 @@
+#include "metrics/pdl.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace fbf::metrics {
+
+namespace {
+
+/// Core banded OSA computation shared by the public entry points.
+/// Returns the distance if it is <= k, otherwise k + 1 ("exceeded").
+/// Preconditions: k >= 0 and abs(|s| - |t|) <= k (checked by callers).
+int banded_osa(std::string_view s, std::string_view t, int k) {
+  const std::size_t m = s.size();
+  const std::size_t n = t.size();
+  const int inf = k + 1;
+  // Three rolling rows over the band.  Out-of-band cells hold `inf`, which
+  // plays the role of the paper's "border of arbitrarily large integers"
+  // (the 1000 sentinels in Alg. 2).
+  thread_local std::vector<int> prev2;
+  thread_local std::vector<int> prev;
+  thread_local std::vector<int> cur;
+  prev2.assign(n + 1, inf);
+  prev.assign(n + 1, inf);
+  cur.assign(n + 1, inf);
+  const auto uk = static_cast<std::size_t>(k);
+  for (std::size_t j = 0; j <= std::min(n, uk); ++j) {
+    prev[j] = static_cast<int>(j);
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    const std::size_t lo = i > uk ? i - uk : 1;
+    const std::size_t hi = std::min(n, i + uk);
+    // Reset the band (plus one cell either side that the next row reads).
+    const std::size_t clear_lo = lo > 1 ? lo - 1 : 0;
+    const std::size_t clear_hi = std::min(n, hi + 1);
+    for (std::size_t j = clear_lo; j <= clear_hi; ++j) {
+      cur[j] = inf;
+    }
+    int row_min = inf;
+    if (i <= uk) {
+      cur[0] = static_cast<int>(i);
+      row_min = cur[0];
+    }
+    for (std::size_t j = lo; j <= hi; ++j) {
+      int best;
+      if (s[i - 1] == t[j - 1]) {
+        best = prev[j - 1];
+      } else {
+        best = std::min({prev[j], cur[j - 1], prev[j - 1]}) + 1;
+        if (i > 1 && j > 1 && s[i - 1] == t[j - 2] && s[i - 2] == t[j - 1]) {
+          best = std::min(best, prev2[j - 2] + 1);
+        }
+      }
+      best = std::min(best, inf);
+      cur[j] = best;
+      row_min = std::min(row_min, best);
+    }
+    // Paper's early termination: no cell in this row is <= k, so no
+    // completion can end <= k (costs are non-decreasing down the matrix).
+    if (row_min > k) {
+      return inf;
+    }
+    std::swap(prev2, prev);
+    std::swap(prev, cur);
+  }
+  return std::min(prev[n], inf);
+}
+
+}  // namespace
+
+bool pdl_within(std::string_view s, std::string_view t, int k) {
+  if (k < 0) {
+    return false;
+  }
+  // Algorithm 2 Step 1, verbatim: empty operands fail, as does a length
+  // difference beyond the threshold (the classic length filter).
+  if (s.empty() || t.empty()) {
+    return false;
+  }
+  if (std::abs(static_cast<long>(s.size()) - static_cast<long>(t.size())) >
+      k) {
+    return false;
+  }
+  return banded_osa(s, t, k) <= k;
+}
+
+bool within_edits(std::string_view s, std::string_view t, int k) {
+  if (k < 0) {
+    return false;
+  }
+  if (s.empty() || t.empty()) {
+    return static_cast<int>(std::max(s.size(), t.size())) <= k;
+  }
+  if (std::abs(static_cast<long>(s.size()) - static_cast<long>(t.size())) >
+      k) {
+    return false;
+  }
+  return banded_osa(s, t, k) <= k;
+}
+
+std::optional<int> bounded_dl_distance(std::string_view s, std::string_view t,
+                                       int k) {
+  if (k < 0) {
+    return std::nullopt;
+  }
+  if (s.empty() || t.empty()) {
+    const int d = static_cast<int>(std::max(s.size(), t.size()));
+    return d <= k ? std::optional<int>(d) : std::nullopt;
+  }
+  if (std::abs(static_cast<long>(s.size()) - static_cast<long>(t.size())) >
+      k) {
+    return std::nullopt;
+  }
+  const int d = banded_osa(s, t, k);
+  return d <= k ? std::optional<int>(d) : std::nullopt;
+}
+
+}  // namespace fbf::metrics

@@ -1,0 +1,38 @@
+// Prefix-Pruned Damerau–Levenshtein (PDL) — the paper's Algorithm 2.
+//
+// A thresholded DL: only the 2k+1-wide diagonal band of the matrix is
+// evaluated, and the computation terminates early as soon as an entire row
+// exceeds the threshold k (at that point no suffix can bring the distance
+// back under k).  Complexity drops from O(mn) to O(k * min(m, n)).
+//
+// Semantics: for non-empty strings, pdl_within(s, t, k) == (dl_distance(s,
+// t) <= k) — property-tested in tests/test_pdl.cpp.  Algorithm 2 as
+// published returns FALSE when either string is empty, even though e.g.
+// DL("", "a") = 1 <= k for k >= 1; we reproduce that quirk faithfully in
+// pdl_within (the paper's experiments never feed it empty strings) and
+// offer within_edits() with regularized empty-string handling for library
+// consumers.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace fbf::metrics {
+
+/// Algorithm 2 verbatim (including the empty-string and |len diff| > k
+/// pre-checks).  Returns true iff s and t are within k DL edits.
+[[nodiscard]] bool pdl_within(std::string_view s, std::string_view t, int k);
+
+/// Banded DL with regular boundary semantics: empty strings behave as DL
+/// does (distance = other length).  This is the verifier the library's own
+/// pipeline uses.
+[[nodiscard]] bool within_edits(std::string_view s, std::string_view t, int k);
+
+/// Banded DL returning the exact distance when it is <= k, and
+/// std::nullopt otherwise.  Useful when the caller wants the magnitude,
+/// not just the predicate, without paying for the full matrix.
+[[nodiscard]] std::optional<int> bounded_dl_distance(std::string_view s,
+                                                     std::string_view t,
+                                                     int k);
+
+}  // namespace fbf::metrics

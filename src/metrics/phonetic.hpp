@@ -1,0 +1,36 @@
+// Additional phonetic encoders (extension; context for Tables 7–8).
+//
+// The paper's legacy system used Soundex and its Tables 7–8 quantify how
+// badly that fails under single-edit typos.  Production record-linkage
+// systems usually evaluate the stronger classic encoders too; this module
+// adds the two most common so the extended Soundex bench can place DL/FBF
+// against the whole family:
+//  * NYSIIS (New York State Identification and Intelligence System,
+//    1970) — context-sensitive recoding, keys up to 6 characters;
+//  * Refined Soundex — finer consonant classes, no 4-character
+//    truncation.
+// Both are deterministic, pure-ASCII, and ignore non-letters, matching
+// soundex()'s conventions.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace fbf::metrics {
+
+/// NYSIIS code of a name ("SMITH" -> "SNAT").  Empty input (or input with
+/// no letters) yields the empty string.  Key length capped at 6 (the
+/// classic variant).
+[[nodiscard]] std::string nysiis(std::string_view name);
+
+/// Refined Soundex code ("SMITH" -> "S38060"-style: initial letter plus
+/// fine-grained digit classes, vowels encoded as 0, no truncation,
+/// adjacent duplicates collapsed).
+[[nodiscard]] std::string refined_soundex(std::string_view name);
+
+/// Match predicates in the style of soundex_match.
+[[nodiscard]] bool nysiis_match(std::string_view s, std::string_view t);
+[[nodiscard]] bool refined_soundex_match(std::string_view s,
+                                         std::string_view t);
+
+}  // namespace fbf::metrics

@@ -1,0 +1,86 @@
+#include "metrics/qgram.hpp"
+
+#include <algorithm>
+
+namespace fbf::metrics {
+
+namespace {
+
+/// FNV-1a over one q-gram window; `#` pads the virtual gram for strings
+/// shorter than q (distinct from any real ASCII demographic content).
+std::uint32_t hash_window(std::string_view s, std::size_t pos,
+                          std::size_t q) {
+  std::uint32_t hash = 2166136261u;
+  for (std::size_t i = 0; i < q; ++i) {
+    const char ch = pos + i < s.size() ? s[pos + i] : '#';
+    hash ^= static_cast<std::uint8_t>(ch);
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+}  // namespace
+
+QgramProfile::QgramProfile(std::string_view s, int q) : q_(q) {
+  const auto uq = static_cast<std::size_t>(q);
+  const std::size_t count = s.size() >= uq ? s.size() - uq + 1 : 1;
+  grams_.reserve(count);
+  for (std::size_t pos = 0; pos < count; ++pos) {
+    grams_.push_back(hash_window(s, pos, uq));
+  }
+  std::sort(grams_.begin(), grams_.end());
+}
+
+int QgramProfile::common_grams(const QgramProfile& other) const noexcept {
+  // Sorted-merge multiset intersection.
+  int common = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < grams_.size() && j < other.grams_.size()) {
+    if (grams_[i] < other.grams_[j]) {
+      ++i;
+    } else if (grams_[i] > other.grams_[j]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return common;
+}
+
+bool qgram_filter_pass(const QgramProfile& a, std::size_t len_a,
+                       const QgramProfile& b, std::size_t len_b,
+                       int k) noexcept {
+  const int bound = qgram_count_bound(len_a, len_b, a.q(), k);
+  if (bound <= 0) {
+    return true;  // the bound is vacuous; the filter cannot reject
+  }
+  return a.common_grams(b) >= bound;
+}
+
+bool qgram_filter_pass_dl(const QgramProfile& a, std::size_t len_a,
+                          const QgramProfile& b, std::size_t len_b,
+                          int k) noexcept {
+  const int bound = qgram_count_bound_dl(len_a, len_b, a.q(), k);
+  if (bound <= 0) {
+    return true;
+  }
+  return a.common_grams(b) >= bound;
+}
+
+bool qgram_filter_pass(std::string_view s, std::string_view t, int q, int k) {
+  const QgramProfile a(s, q);
+  const QgramProfile b(t, q);
+  return qgram_filter_pass(a, s.size(), b, t.size(), k);
+}
+
+bool qgram_filter_pass_dl(std::string_view s, std::string_view t, int q,
+                          int k) {
+  const QgramProfile a(s, q);
+  const QgramProfile b(t, q);
+  return qgram_filter_pass_dl(a, s.size(), b, t.size(), k);
+}
+
+}  // namespace fbf::metrics

@@ -1,0 +1,62 @@
+#include "metrics/soundex.hpp"
+
+#include "util/ascii.hpp"
+
+namespace fbf::metrics {
+
+namespace {
+
+/// Digit class per letter A..Z; 0 marks vowels + Y (separators), 7 marks
+/// H and W (transparent: duplicates collapse across them).
+constexpr char kCode[26] = {
+    //  A    B    C    D    E    F    G    H    I    J    K    L    M
+    '0', '1', '2', '3', '0', '1', '2', '7', '0', '2', '2', '4', '5',
+    //  N    O    P    Q    R    S    T    U    V    W    X    Y    Z
+    '5', '0', '1', '2', '6', '2', '3', '0', '1', '7', '2', '0', '2'};
+
+}  // namespace
+
+std::string soundex(std::string_view name) {
+  std::string out;
+  char last_code = 0;
+  for (const char raw : name) {
+    const int idx = fbf::util::alpha_index(raw);
+    if (idx < 0) {
+      continue;  // skip hyphens, apostrophes, digits, spaces
+    }
+    const char code = kCode[idx];
+    if (out.empty()) {
+      out.push_back(fbf::util::to_ascii_upper(raw));
+      last_code = code;
+      continue;
+    }
+    if (code == '7') {
+      continue;  // H/W: transparent, last_code unchanged
+    }
+    if (code == '0') {
+      last_code = 0;  // vowel: separator, resets the duplicate window
+      continue;
+    }
+    if (code != last_code) {
+      out.push_back(code);
+      if (out.size() == 4) {
+        return out;
+      }
+    }
+    last_code = code;
+  }
+  if (out.empty()) {
+    return out;
+  }
+  while (out.size() < 4) {
+    out.push_back('0');
+  }
+  return out;
+}
+
+bool soundex_match(std::string_view s, std::string_view t) {
+  const std::string cs = soundex(s);
+  return !cs.empty() && cs == soundex(t);
+}
+
+}  // namespace fbf::metrics

@@ -1,0 +1,23 @@
+// American Soundex phonetic code (paper §6, Tables 7–8 baseline).
+//
+// The department's legacy system the paper replaces used Soundex for
+// names; Tables 7 and 8 measure its accuracy collapse vs DL.  This is the
+// standard Knuth/Census variant: first letter kept, consonants mapped to
+// digit classes, vowels dropped, adjacent duplicate codes collapsed (also
+// across H and W), zero-padded to 4 characters.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace fbf::metrics {
+
+/// 4-character Soundex code ("SMITH" -> "S530", "ROBERT" -> "R163").
+/// Non-alphabetic characters are ignored; empty / all-symbol input yields
+/// the empty string.
+[[nodiscard]] std::string soundex(std::string_view name);
+
+/// Soundex match predicate: codes are equal and non-empty.
+[[nodiscard]] bool soundex_match(std::string_view s, std::string_view t);
+
+}  // namespace fbf::metrics

@@ -1,0 +1,54 @@
+// Burkhard–Keller tree over the unrestricted Damerau–Levenshtein metric.
+//
+// Extension baseline (DESIGN.md §6): the classic metric-space index for
+// edit-distance range queries, predating filter-and-verify.  A BK-tree
+// prunes by the triangle inequality, which the paper's "DL" (OSA) does
+// NOT satisfy — so the tree is built on true_dl_distance (a genuine
+// metric).  Because true_dl(s,t) <= OSA(s,t), a radius-k query returns a
+// SUPERSET of the OSA-within-k set, making the tree a safe candidate
+// generator for the paper's matching semantics (verify survivors with
+// PDL, exactly like FBF's verify step).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fbf::search {
+
+class BkTree {
+ public:
+  BkTree() = default;
+
+  /// Builds the tree over `strings` (ids are positions).
+  explicit BkTree(std::span<const std::string> strings);
+
+  /// Inserts one string with the given id.
+  void insert(std::string_view s, std::uint32_t id);
+
+  /// Appends to `out` the ids of every stored string within true-DL
+  /// distance `radius` of `query`.  Returns the number of distance
+  /// evaluations performed (the work metric BK-trees are judged by).
+  std::size_t query(std::string_view query, int radius,
+                    std::vector<std::uint32_t>& out) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::string value;
+    std::uint32_t id = 0;
+    // Child edges keyed by distance; distances are small (< 64 for our
+    // strings), so a flat sorted vector beats a map.
+    std::vector<std::pair<int, std::uint32_t>> children;  // (distance, node)
+  };
+
+  [[nodiscard]] std::uint32_t find_child(const Node& node,
+                                         int distance) const noexcept;
+
+  std::vector<Node> nodes_;
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+};
+
+}  // namespace fbf::search

@@ -1,0 +1,130 @@
+#include "search/trie_search.hpp"
+
+#include <algorithm>
+
+namespace fbf::search {
+
+TrieSearch::TrieSearch(std::span<const std::string> strings) {
+  nodes_.emplace_back();  // root
+  for (std::uint32_t id = 0; id < strings.size(); ++id) {
+    std::uint32_t current = 0;
+    for (const char ch : strings[id]) {
+      current = child_of(current, ch, /*create=*/true);
+    }
+    nodes_[current].terminal_ids.push_back(id);
+    max_depth_ = std::max(max_depth_, strings[id].size());
+  }
+}
+
+std::uint32_t TrieSearch::child_of(std::uint32_t node, char ch, bool create) {
+  auto& children = nodes_[node].children;
+  const auto it = std::lower_bound(
+      children.begin(), children.end(), ch,
+      [](const auto& edge, char c) { return edge.first < c; });
+  if (it != children.end() && it->first == ch) {
+    return it->second;
+  }
+  if (!create) {
+    return 0;  // root index doubles as "not found" for lookups
+  }
+  const auto fresh = static_cast<std::uint32_t>(nodes_.size());
+  // Insert before materializing the node: the insert may not invalidate
+  // nodes_ but children is a member of a node in nodes_, so push_back on
+  // nodes_ AFTER finishing with the reference.
+  children.insert(it, {ch, fresh});
+  Node node_value;
+  node_value.ch = ch;
+  nodes_.push_back(std::move(node_value));
+  return fresh;
+}
+
+std::size_t TrieSearch::query(std::string_view query, int k,
+                              std::vector<std::uint32_t>& out) const {
+  if (nodes_.empty() || k < 0) {
+    return 0;
+  }
+  const std::size_t n = query.size();
+  const int inf = k + 1;
+  const auto uk = static_cast<std::size_t>(k);
+  // One DP row per trie depth, plus the depth-0 row.  Rows are reused
+  // across the DFS (depth indexes them), so allocation is once per query.
+  std::vector<std::vector<int>> rows(max_depth_ + 2,
+                                     std::vector<int>(n + 1, inf));
+  std::vector<char> path(max_depth_ + 2, '\0');
+  for (std::size_t j = 0; j <= std::min(n, uk); ++j) {
+    rows[0][j] = static_cast<int>(j);
+  }
+  std::size_t rows_evaluated = 0;
+
+  // Explicit DFS stack: (node, depth).  Depth d row = rows[d].
+  struct Frame {
+    std::uint32_t node;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack;
+  // Root matches depth 0: report empty-string terminals if any (the
+  // builder never stores ids at the root for non-empty strings; empty
+  // strings terminate at the root).
+  if (!nodes_[0].terminal_ids.empty() && rows[0][n] <= k) {
+    out.insert(out.end(), nodes_[0].terminal_ids.begin(),
+               nodes_[0].terminal_ids.end());
+  }
+  for (const auto& [ch, child] : nodes_[0].children) {
+    (void)ch;
+    stack.push_back({child, 1});
+  }
+  while (!stack.empty()) {
+    const auto [node_index, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[node_index];
+    const std::vector<int>& prev = rows[depth - 1];
+    const std::vector<int>& prev2 = rows[depth >= 2 ? depth - 2 : 0];
+    std::vector<int>& cur = rows[depth];
+    const std::size_t i = depth;  // matrix row index
+    const char parent_char = path[depth - 1];
+    path[depth] = node.ch;
+    ++rows_evaluated;
+    // Banded OSA row, mirroring metrics/pdl.cpp.
+    const std::size_t lo = i > uk ? i - uk : 1;
+    const std::size_t hi = std::min(n, i + uk);
+    const std::size_t clear_lo = lo > 1 ? lo - 1 : 0;
+    const std::size_t clear_hi = std::min(n, hi + 1);
+    for (std::size_t j = clear_lo; j <= clear_hi; ++j) {
+      cur[j] = inf;
+    }
+    int row_min = inf;
+    if (i <= uk) {
+      cur[0] = static_cast<int>(i);
+      row_min = cur[0];
+    }
+    for (std::size_t j = lo; j <= hi; ++j) {
+      int best;
+      if (node.ch == query[j - 1]) {
+        best = prev[j - 1];
+      } else {
+        best = std::min({prev[j], cur[j - 1], prev[j - 1]}) + 1;
+        if (i > 1 && j > 1 && node.ch == query[j - 2] &&
+            parent_char == query[j - 1]) {
+          best = std::min(best, prev2[j - 2] + 1);
+        }
+      }
+      best = std::min(best, inf);
+      cur[j] = best;
+      row_min = std::min(row_min, best);
+    }
+    if (row_min > k) {
+      continue;  // prefix pruning: the whole subtree is out of reach
+    }
+    if (!node.terminal_ids.empty() && cur[n] <= k) {
+      out.insert(out.end(), node.terminal_ids.begin(),
+                 node.terminal_ids.end());
+    }
+    for (const auto& [ch, child] : node.children) {
+      (void)ch;
+      stack.push_back({child, depth + 1});
+    }
+  }
+  return rows_evaluated;
+}
+
+}  // namespace fbf::search

@@ -1,0 +1,51 @@
+// Trie-based edit-distance range search (extension; after Wang/Feng/Li,
+// "Trie-Join", VLDB 2010 — the paper's reference [20] and the source of
+// its Prefix-Pruning idea).
+//
+// The dictionary is stored as a character trie; a query walks the trie
+// computing one banded OSA (Damerau–Levenshtein, Alg. 1 semantics) DP row
+// per node and prunes a whole subtree the moment no cell in its row can
+// reach <= k — the same early-termination insight as PDL, but applied
+// once per shared prefix instead of once per string.  Returns exactly
+// { stored : DL(query, stored) <= k } (property-tested against the scan).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fbf::search {
+
+class TrieSearch {
+ public:
+  TrieSearch() = default;
+
+  /// Builds the trie over `strings` (ids are positions; duplicates fine).
+  explicit TrieSearch(std::span<const std::string> strings);
+
+  /// Appends the ids of stored strings within OSA-DL `k` of `query`.
+  /// Returns the number of DP rows evaluated (trie nodes visited) — the
+  /// work measure that shows prefix sharing paying off.
+  std::size_t query(std::string_view query, int k,
+                    std::vector<std::uint32_t>& out) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t max_depth() const noexcept { return max_depth_; }
+
+ private:
+  struct Node {
+    char ch = '\0';
+    std::vector<std::uint32_t> terminal_ids;       // strings ending here
+    std::vector<std::pair<char, std::uint32_t>> children;  // sorted by char
+  };
+
+  std::uint32_t child_of(std::uint32_t node, char ch, bool create);
+
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace fbf::search

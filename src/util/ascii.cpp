@@ -1,0 +1,40 @@
+#include "util/ascii.hpp"
+
+namespace fbf::util {
+
+std::string to_upper_copy(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    out.push_back(to_ascii_upper(ch));
+  }
+  return out;
+}
+
+std::string filter_chars(std::string_view text, bool (*keep)(char) noexcept) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    if (keep(ch)) {
+      out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+std::string digits_only(std::string_view text) {
+  return filter_chars(text, [](char ch) noexcept { return is_ascii_digit(ch); });
+}
+
+std::string letters_only_upper(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    if (is_ascii_alpha(ch)) {
+      out.push_back(to_ascii_upper(ch));
+    }
+  }
+  return out;
+}
+
+}  // namespace fbf::util

@@ -1,0 +1,71 @@
+// Locale-free ASCII classification and case folding.
+//
+// The signature builders and metrics must not depend on the process locale
+// (std::toupper on negative chars is UB; locale tables vary), so everything
+// here is constexpr table-driven over unsigned char.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace fbf::util {
+
+[[nodiscard]] constexpr bool is_ascii_digit(char ch) noexcept {
+  return ch >= '0' && ch <= '9';
+}
+
+[[nodiscard]] constexpr bool is_ascii_upper(char ch) noexcept {
+  return ch >= 'A' && ch <= 'Z';
+}
+
+[[nodiscard]] constexpr bool is_ascii_lower(char ch) noexcept {
+  return ch >= 'a' && ch <= 'z';
+}
+
+[[nodiscard]] constexpr bool is_ascii_alpha(char ch) noexcept {
+  return is_ascii_upper(ch) || is_ascii_lower(ch);
+}
+
+[[nodiscard]] constexpr bool is_ascii_alnum(char ch) noexcept {
+  return is_ascii_alpha(ch) || is_ascii_digit(ch);
+}
+
+[[nodiscard]] constexpr char to_ascii_upper(char ch) noexcept {
+  return is_ascii_lower(ch) ? static_cast<char>(ch - 'a' + 'A') : ch;
+}
+
+[[nodiscard]] constexpr char to_ascii_lower(char ch) noexcept {
+  return is_ascii_upper(ch) ? static_cast<char>(ch - 'A' + 'a') : ch;
+}
+
+/// Index 0..25 of an ASCII letter, or -1 for non-letters.
+[[nodiscard]] constexpr int alpha_index(char ch) noexcept {
+  if (is_ascii_upper(ch)) {
+    return ch - 'A';
+  }
+  if (is_ascii_lower(ch)) {
+    return ch - 'a';
+  }
+  return -1;
+}
+
+/// Index 0..9 of an ASCII digit, or -1 for non-digits.
+[[nodiscard]] constexpr int digit_index(char ch) noexcept {
+  return is_ascii_digit(ch) ? ch - '0' : -1;
+}
+
+/// Upper-cases a copy of `text` (ASCII only).
+[[nodiscard]] std::string to_upper_copy(std::string_view text);
+
+/// Strips every character for which `keep` is false.
+[[nodiscard]] std::string filter_chars(std::string_view text,
+                                       bool (*keep)(char) noexcept);
+
+/// Keeps only ASCII digits — used to canonicalize phone numbers / SSNs
+/// ("213-333-3333" -> "2133333333").
+[[nodiscard]] std::string digits_only(std::string_view text);
+
+/// Keeps only ASCII letters, upper-cased.
+[[nodiscard]] std::string letters_only_upper(std::string_view text);
+
+}  // namespace fbf::util

@@ -1,0 +1,85 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace fbf::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      values_[std::string(arg)] = argv[i + 1];
+      ++i;
+    } else {
+      values_[std::string(arg)] = "";
+    }
+  }
+}
+
+bool CliArgs::has(std::string_view name) const {
+  queried_[std::string(name)] = true;
+  return values_.find(name) != values_.end();
+}
+
+std::string CliArgs::get_string(std::string_view name,
+                                std::string default_value) const {
+  queried_[std::string(name)] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? std::move(default_value) : it->second;
+}
+
+std::int64_t CliArgs::get_int(std::string_view name,
+                              std::int64_t default_value) const {
+  queried_[std::string(name)] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) {
+    return default_value;
+  }
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(std::string_view name, double default_value) const {
+  queried_[std::string(name)] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) {
+    return default_value;
+  }
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(std::string_view name, bool default_value) const {
+  queried_[std::string(name)] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  if (it->second.empty() || it->second == "1" || it->second == "true" ||
+      it->second == "yes" || it->second == "on") {
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> CliArgs::unknown_flags() const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (queried_.find(name) == queried_.end()) {
+      unknown.push_back(name);
+    }
+  }
+  return unknown;
+}
+
+}  // namespace fbf::util

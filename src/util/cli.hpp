@@ -1,0 +1,47 @@
+// Tiny flag parser shared by the bench and example binaries.
+//
+// Supports "--name value", "--name=value" and boolean "--name" flags.
+// Unknown flags are collected so binaries can fail fast with a usage
+// message instead of silently ignoring typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fbf::util {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if the flag appeared at all (with or without a value).
+  [[nodiscard]] bool has(std::string_view name) const;
+
+  [[nodiscard]] std::string get_string(std::string_view name,
+                                       std::string default_value) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name,
+                                     std::int64_t default_value) const;
+  [[nodiscard]] double get_double(std::string_view name,
+                                  double default_value) const;
+  [[nodiscard]] bool get_bool(std::string_view name,
+                              bool default_value = false) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Flags that were parsed but never queried via the getters above —
+  /// call after all getters to report typos.
+  [[nodiscard]] std::vector<std::string> unknown_flags() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  mutable std::map<std::string, bool, std::less<>> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fbf::util

@@ -1,0 +1,37 @@
+// Minimal RFC-4180-style CSV parsing and serialization.
+//
+// Enough CSV for demographic exports: quoted fields, embedded commas,
+// doubled quotes, embedded newlines inside quotes, and CRLF tolerance.
+// No locale, no type coercion — fields are strings, callers convert.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fbf::util {
+
+using CsvRow = std::vector<std::string>;
+
+/// Parses one logical CSV record from `in` (may span physical lines when
+/// quotes contain newlines).  Returns nullopt at end of stream.
+[[nodiscard]] std::optional<CsvRow> read_csv_row(std::istream& in);
+
+/// Parses an entire stream.  `skip_header` drops the first row.
+[[nodiscard]] std::vector<CsvRow> read_csv(std::istream& in,
+                                           bool skip_header = false);
+
+/// Serializes one row with minimal quoting (quotes only when needed).
+void write_csv_row(std::ostream& out, const CsvRow& row);
+
+/// Serializes a whole table, optional header first.
+void write_csv(std::ostream& out, const std::vector<CsvRow>& rows,
+               const CsvRow* header = nullptr);
+
+/// Escapes a single field (exposed for tests).
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+}  // namespace fbf::util

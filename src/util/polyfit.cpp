@@ -1,0 +1,127 @@
+#include "util/polyfit.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace fbf::util {
+
+double PolyFit::operator()(double x) const noexcept {
+  double value = 0.0;
+  for (const double c : coeffs) {
+    value = value * x + c;
+  }
+  return value;
+}
+
+std::optional<std::vector<double>> solve_dense(std::vector<double> a,
+                                               std::vector<double> b,
+                                               std::size_t n) {
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: find the largest magnitude entry in this column.
+    std::size_t pivot = col;
+    double best = std::abs(a[col * n + col]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double mag = std::abs(a[row * n + col]);
+      if (mag > best) {
+        best = mag;
+        pivot = row;
+      }
+    }
+    if (best < 1e-12) {
+      return std::nullopt;
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a[pivot * n + j], a[col * n + j]);
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    // Eliminate below.
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      if (factor == 0.0) {
+        continue;
+      }
+      for (std::size_t j = col; j < n; ++j) {
+        a[row * n + j] -= factor * a[col * n + j];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double accum = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      accum -= a[i * n + j] * x[j];
+    }
+    x[i] = accum / a[i * n + i];
+  }
+  return x;
+}
+
+std::optional<PolyFit> polyfit(std::span<const double> xs,
+                               std::span<const double> ys,
+                               std::size_t degree) {
+  const std::size_t n_coeffs = degree + 1;
+  if (xs.size() != ys.size() || xs.size() < n_coeffs) {
+    return std::nullopt;
+  }
+  // Normal equations: (V^T V) c = V^T y with Vandermonde V.  Accumulate the
+  // power sums directly; x^(2*degree) stays well inside double range for
+  // our n <= ~1e5, degree <= 4 sweeps.
+  const std::size_t n_powers = 2 * degree + 1;
+  std::vector<double> power_sums(n_powers, 0.0);
+  std::vector<double> rhs(n_coeffs, 0.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double xp = 1.0;
+    for (std::size_t p = 0; p < n_powers; ++p) {
+      power_sums[p] += xp;
+      if (p < n_coeffs) {
+        rhs[p] += xp * ys[i];
+      }
+      xp *= xs[i];
+    }
+  }
+  std::vector<double> a(n_coeffs * n_coeffs, 0.0);
+  for (std::size_t r = 0; r < n_coeffs; ++r) {
+    for (std::size_t c = 0; c < n_coeffs; ++c) {
+      a[r * n_coeffs + c] = power_sums[r + c];
+    }
+  }
+  auto ascending = solve_dense(std::move(a), std::move(rhs), n_coeffs);
+  if (!ascending) {
+    return std::nullopt;
+  }
+  // solve_dense returned coefficients for powers 0..degree; flip to the
+  // Matlab highest-first convention.
+  PolyFit fit;
+  fit.coeffs.assign(ascending->rbegin(), ascending->rend());
+  return fit;
+}
+
+double r_squared(const PolyFit& fit, std::span<const double> xs,
+                 std::span<const double> ys) noexcept {
+  if (xs.empty() || xs.size() != ys.size()) {
+    return 0.0;
+  }
+  double y_mean = 0.0;
+  for (const double y : ys) {
+    y_mean += y;
+  }
+  y_mean /= static_cast<double>(ys.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double resid = ys[i] - fit(xs[i]);
+    const double centered = ys[i] - y_mean;
+    ss_res += resid * resid;
+    ss_tot += centered * centered;
+  }
+  if (ss_tot == 0.0) {
+    return ss_res == 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace fbf::util

@@ -1,0 +1,47 @@
+// Least-squares polynomial fitting.
+//
+// The paper analyzes its runtime curves with Matlab's polyfit for a second
+// degree polynomial an^2 + bn + c (Tables 9 and 11).  This module
+// reproduces that: a dense normal-equation solve with partial-pivot
+// Gaussian elimination, adequate for the low degrees (<= 4) and modest
+// point counts used by the curve benches.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace fbf::util {
+
+/// Coefficients of a fitted polynomial, highest degree first, matching
+/// Matlab's polyfit convention: value(x) = c[0]*x^d + ... + c[d].
+struct PolyFit {
+  std::vector<double> coeffs;
+
+  /// Evaluates the fitted polynomial at x (Horner's method).
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  /// Degree of the fitted polynomial.
+  [[nodiscard]] std::size_t degree() const noexcept {
+    return coeffs.empty() ? 0 : coeffs.size() - 1;
+  }
+};
+
+/// Fits a degree-`degree` polynomial to (xs, ys) by least squares.
+/// Returns std::nullopt when the system is singular or under-determined
+/// (fewer points than coefficients).  xs and ys must be the same length.
+[[nodiscard]] std::optional<PolyFit> polyfit(std::span<const double> xs,
+                                             std::span<const double> ys,
+                                             std::size_t degree);
+
+/// Coefficient of determination R^2 of `fit` against the data.
+[[nodiscard]] double r_squared(const PolyFit& fit, std::span<const double> xs,
+                               std::span<const double> ys) noexcept;
+
+/// Solves the dense linear system A x = b in place via Gaussian elimination
+/// with partial pivoting.  `a` is row-major n*n.  Returns std::nullopt for
+/// (numerically) singular systems.  Exposed for testing.
+[[nodiscard]] std::optional<std::vector<double>> solve_dense(
+    std::vector<double> a, std::vector<double> b, std::size_t n);
+
+}  // namespace fbf::util

@@ -1,0 +1,106 @@
+// Deterministic random number generation for workload synthesis.
+//
+// Every generator in the library is seeded explicitly so that a bench run
+// with the same seed reproduces the same tables bit-for-bit.  We use
+// splitmix64 for seeding and xoshiro256** as the workhorse engine (fast,
+// 256-bit state, passes BigCrush) rather than std::mt19937_64, whose
+// distributions are not reproducible across standard library versions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace fbf::util {
+
+/// splitmix64: used to expand a single 64-bit seed into engine state.
+/// Also usable standalone as a tiny stateless hash/stream generator.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the library's uniform random bit generator.  Satisfies
+/// the C++ UniformRandomBitGenerator requirements, so it composes with
+/// <algorithm> shuffles if needed, but the helpers below are preferred
+/// because their output is platform-stable.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9Bull) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection
+  /// method (unbiased).  `bound` must be nonzero.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli draw with probability p of returning true.
+  bool chance(double p) noexcept;
+
+  /// Uniformly selects one element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) noexcept {
+    return items[static_cast<std::size_t>(below(items.size()))];
+  }
+
+  /// Uniformly selects an index weighted by `weights` (non-negative,
+  /// not all zero).  O(n) scan; fine for the small tables we use.
+  std::size_t pick_weighted(std::span<const double> weights) noexcept;
+
+  /// Fisher–Yates shuffle with platform-stable draws.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-thread or per-dataset
+  /// streams) without correlating with the parent's future output.
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Stable 64-bit FNV-1a hash of a string — used to derive dataset seeds
+/// from human-readable labels ("LN/run3") deterministically.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (const char ch : text) {
+    hash ^= static_cast<std::uint8_t>(ch);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+}  // namespace fbf::util

@@ -1,0 +1,76 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fbf::util {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const double x : xs) {
+    total += x;
+  }
+  return total / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double mu = mean(xs);
+  double accum = 0.0;
+  for (const double x : xs) {
+    const double d = x - mu;
+    accum += d * d;
+  }
+  return accum / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  return std::sqrt(variance(xs));
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  if (sorted.size() % 2 == 1) {
+    return sorted[mid];
+  }
+  return 0.5 * (sorted[mid - 1] + sorted[mid]);
+}
+
+double min_value(std::span<const double> xs) noexcept {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) noexcept {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double trimmed_mean_drop_minmax(std::span<const double> xs) {
+  if (xs.size() < 3) {
+    return mean(xs);
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return mean(std::span<const double>(sorted).subspan(1, sorted.size() - 2));
+}
+
+Summary summarize(std::span<const double> xs) {
+  return Summary{
+      .mean = mean(xs),
+      .stddev = stddev(xs),
+      .median = median(xs),
+      .min = min_value(xs),
+      .max = max_value(xs),
+  };
+}
+
+}  // namespace fbf::util

@@ -1,0 +1,47 @@
+// Small statistics helpers for the experiment protocol.
+//
+// The paper's timing protocol: "ran each experiment 5 times, discarding the
+// fastest and slowest times from each and averaging the remaining times" —
+// that is `trimmed_mean_drop_minmax`.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fbf::util {
+
+/// Arithmetic mean; 0.0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased sample variance (n-1 denominator); 0.0 for fewer than 2 values.
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Median (copies and sorts internally); 0.0 for an empty span.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Minimum value; 0.0 for an empty span.
+[[nodiscard]] double min_value(std::span<const double> xs) noexcept;
+
+/// Maximum value; 0.0 for an empty span.
+[[nodiscard]] double max_value(std::span<const double> xs) noexcept;
+
+/// Mean after removing exactly one minimum and one maximum observation
+/// (the paper's 5-run protocol).  Falls back to the plain mean when there
+/// are fewer than 3 observations.
+[[nodiscard]] double trimmed_mean_drop_minmax(std::span<const double> xs);
+
+/// Summary bundle used in verbose bench output.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+}  // namespace fbf::util

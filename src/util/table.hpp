@@ -1,0 +1,48 @@
+// Console table / CSV rendering for the bench binaries.
+//
+// Every bench prints its table in the same layout as the paper (method,
+// Type 1, Type 2, time ms, speedup) so EXPERIMENTS.md can be filled by
+// copy-paste.  Cells are strings; the formatting helpers below produce the
+// paper's thousands-separated integers and fixed-point times.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fbf::util {
+
+/// Column-aligned text table.  Add a header then rows; render to a stream.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with right-aligned numeric-looking cells and a rule under the
+  /// header.
+  void render(std::ostream& os) const;
+
+  /// Renders as RFC-ish CSV (quotes cells containing commas/quotes).
+  void render_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// 1234567 -> "1,234,567" (the paper's table style).
+[[nodiscard]] std::string with_commas(std::int64_t value);
+
+/// Fixed-point double with `decimals` places and thousands separators on
+/// the integer part, e.g. 52807.2 -> "52,807.2".
+[[nodiscard]] std::string fixed(double value, int decimals = 1);
+
+/// Compact speedup format: two decimals ("62.24").
+[[nodiscard]] std::string speedup(double value);
+
+}  // namespace fbf::util

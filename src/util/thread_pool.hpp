@@ -1,0 +1,57 @@
+// Minimal blocking-queue thread pool and parallel_for.
+//
+// The paper's join is single-threaded; the parallel path is our extension
+// toward its stated cloud/distributed goal.  The S x T joins partition rows
+// into contiguous chunks so per-thread counters can be merged
+// deterministically regardless of scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fbf::util {
+
+/// Fixed-size worker pool.  `submit` enqueues a task; destruction joins all
+/// workers after draining the queue.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Must not be called after destruction has begun.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Splits [0, count) into `n_chunks` near-equal contiguous ranges and
+/// invokes body(chunk_index, begin, end) for each — in parallel when
+/// threads > 1, inline when threads <= 1 (no pool overhead for the serial
+/// path, which keeps single-thread timings honest).
+void parallel_chunks(std::size_t count, std::size_t threads,
+                     const std::function<void(std::size_t, std::size_t,
+                                              std::size_t)>& body);
+
+}  // namespace fbf::util

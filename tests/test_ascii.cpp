@@ -1,0 +1,75 @@
+#include "util/ascii.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace fbf::util;
+
+TEST(Ascii, Classification) {
+  EXPECT_TRUE(is_ascii_digit('0'));
+  EXPECT_TRUE(is_ascii_digit('9'));
+  EXPECT_FALSE(is_ascii_digit('a'));
+  EXPECT_FALSE(is_ascii_digit('/'));  // char before '0'
+  EXPECT_FALSE(is_ascii_digit(':'));  // char after '9'
+  EXPECT_TRUE(is_ascii_alpha('A'));
+  EXPECT_TRUE(is_ascii_alpha('z'));
+  EXPECT_FALSE(is_ascii_alpha('@'));  // char before 'A'
+  EXPECT_FALSE(is_ascii_alpha('['));  // char after 'Z'
+  EXPECT_FALSE(is_ascii_alpha('`'));  // char before 'a'
+  EXPECT_FALSE(is_ascii_alpha('{'));  // char after 'z'
+  EXPECT_TRUE(is_ascii_alnum('5'));
+  EXPECT_TRUE(is_ascii_alnum('G'));
+  EXPECT_FALSE(is_ascii_alnum(' '));
+}
+
+TEST(Ascii, CaseFolding) {
+  EXPECT_EQ(to_ascii_upper('a'), 'A');
+  EXPECT_EQ(to_ascii_upper('z'), 'Z');
+  EXPECT_EQ(to_ascii_upper('A'), 'A');
+  EXPECT_EQ(to_ascii_upper('5'), '5');
+  EXPECT_EQ(to_ascii_lower('A'), 'a');
+  EXPECT_EQ(to_ascii_lower('m'), 'm');
+}
+
+TEST(Ascii, NegativeCharSafe) {
+  // High-bit bytes (e.g. UTF-8 continuation bytes) must classify as
+  // nothing rather than trip UB as std::toupper would.
+  const char high = static_cast<char>(0xE9);
+  EXPECT_FALSE(is_ascii_alpha(high));
+  EXPECT_FALSE(is_ascii_digit(high));
+  EXPECT_EQ(to_ascii_upper(high), high);
+  EXPECT_EQ(alpha_index(high), -1);
+}
+
+TEST(Ascii, AlphaIndex) {
+  EXPECT_EQ(alpha_index('A'), 0);
+  EXPECT_EQ(alpha_index('Z'), 25);
+  EXPECT_EQ(alpha_index('a'), 0);
+  EXPECT_EQ(alpha_index('z'), 25);
+  EXPECT_EQ(alpha_index('3'), -1);
+}
+
+TEST(Ascii, DigitIndex) {
+  EXPECT_EQ(digit_index('0'), 0);
+  EXPECT_EQ(digit_index('9'), 9);
+  EXPECT_EQ(digit_index('A'), -1);
+}
+
+TEST(Ascii, ToUpperCopy) {
+  EXPECT_EQ(to_upper_copy("Smith-O'Brien 42"), "SMITH-O'BRIEN 42");
+  EXPECT_EQ(to_upper_copy(""), "");
+}
+
+TEST(Ascii, DigitsOnly) {
+  EXPECT_EQ(digits_only("213-333-3333"), "2133333333");
+  EXPECT_EQ(digits_only("no digits"), "");
+  EXPECT_EQ(digits_only("a1b2c3"), "123");
+}
+
+TEST(Ascii, LettersOnlyUpper) {
+  EXPECT_EQ(letters_only_upper("1801 N Broad St"), "NBROADST");
+  EXPECT_EQ(letters_only_upper("12345"), "");
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+#include "linkage/blocking.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "linkage/person_gen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace lk = fbf::linkage;
+using fbf::util::Rng;
+
+std::vector<lk::PersonRecord> people_with_names(
+    std::initializer_list<std::pair<const char*, const char*>> names) {
+  std::vector<lk::PersonRecord> out;
+  std::uint64_t id = 0;
+  for (const auto& [first, last] : names) {
+    lk::PersonRecord p;
+    p.id = id++;
+    p.first_name = first;
+    p.last_name = last;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+TEST(Blocking, ExhaustivePairsCount) {
+  const auto pairs = lk::exhaustive_pairs(3, 4);
+  EXPECT_EQ(pairs.size(), 12u);
+  const std::set<lk::CandidatePair> unique(pairs.begin(), pairs.end());
+  EXPECT_EQ(unique.size(), 12u);
+}
+
+TEST(Blocking, StandardBlockingGroupsByKey) {
+  const auto left = people_with_names(
+      {{"MARY", "SMITH"}, {"JOHN", "JONES"}, {"ANNA", "SMYTH"}});
+  const auto right = people_with_names(
+      {{"MARY", "SMITH"}, {"JO", "JONES"}, {"BOB", "BROWN"}});
+  const auto pairs = lk::standard_block_pairs(
+      left, right,
+      [](const lk::PersonRecord& r) { return r.last_name.substr(0, 1); });
+  // S-block: left {SMITH, SMYTH} x right {SMITH} = 2; J-block: 1x1 = 1;
+  // B-block: no left record.
+  EXPECT_EQ(pairs.size(), 3u);
+}
+
+TEST(Blocking, EmptyKeyRecordsExcluded) {
+  auto left = people_with_names({{"MARY", "SMITH"}, {"JOHN", ""}});
+  auto right = people_with_names({{"MARY", "SMITH"}, {"JO", ""}});
+  const auto pairs = lk::standard_block_pairs(
+      left, right,
+      [](const lk::PersonRecord& r) { return r.last_name; });
+  // Only the SMITH pair; the empty-keyed records generate no candidates —
+  // the recall failure mode the paper's intro describes.
+  EXPECT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], lk::CandidatePair(0, 0));
+}
+
+TEST(Blocking, SoundexKeyBlocksVariantSpellings) {
+  const auto left = people_with_names({{"M", "SMITH"}});
+  const auto right = people_with_names({{"M", "SMYTH"}});
+  const auto pairs =
+      lk::standard_block_pairs(left, right, lk::block_key_soundex_lastname);
+  EXPECT_EQ(pairs.size(), 1u);
+}
+
+TEST(Blocking, BlockingKeyErrorLosesTruePair) {
+  // A single leading-letter typo moves the record to another block: the
+  // true pair is silently lost (FBF, by contrast, would keep it).
+  const auto left = people_with_names({{"M", "SMITH"}});
+  const auto right = people_with_names({{"M", "XMITH"}});
+  const auto pairs = lk::standard_block_pairs(
+      left, right,
+      [](const lk::PersonRecord& r) { return r.last_name.substr(0, 1); });
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(Blocking, SortedNeighborhoodFindsNearbyKeys) {
+  const auto left = people_with_names(
+      {{"A", "ANDERSON"}, {"B", "BAKER"}, {"C", "CARTER"}});
+  const auto right = people_with_names(
+      {{"A", "ANDERSEN"}, {"B", "BAKERS"}, {"Z", "ZEBRA"}});
+  const auto pairs =
+      lk::sorted_neighborhood_pairs(left, right, lk::sort_key_name, 3);
+  // ANDERSEN/ANDERSON and BAKER/BAKERS sort adjacent -> candidates.
+  const auto has = [&](std::uint32_t i, std::uint32_t j) {
+    return std::find(pairs.begin(), pairs.end(),
+                     lk::CandidatePair(i, j)) != pairs.end();
+  };
+  EXPECT_TRUE(has(0, 0));
+  EXPECT_TRUE(has(1, 1));
+  // ZEBRA is far from everything with window 3 over 6 records... it can
+  // only pair with CARTER if within the window; it must never pair with
+  // ANDERSON.
+  EXPECT_FALSE(has(0, 2));
+}
+
+TEST(Blocking, SortedNeighborhoodNoDuplicates) {
+  Rng rng(3);
+  const auto clean = lk::generate_people(60, rng);
+  const auto error = lk::make_error_records(clean, {}, rng);
+  const auto pairs =
+      lk::sorted_neighborhood_pairs(clean, error, lk::sort_key_name, 8);
+  const std::set<lk::CandidatePair> unique(pairs.begin(), pairs.end());
+  EXPECT_EQ(unique.size(), pairs.size());
+}
+
+TEST(Blocking, SortedNeighborhoodSubsetOfExhaustive) {
+  Rng rng(4);
+  const auto clean = lk::generate_people(40, rng);
+  const auto error = lk::make_error_records(clean, {}, rng);
+  const auto pairs =
+      lk::sorted_neighborhood_pairs(clean, error, lk::sort_key_name, 5);
+  EXPECT_LT(pairs.size(), 40u * 40u);
+  for (const auto& [i, j] : pairs) {
+    EXPECT_LT(i, 40u);
+    EXPECT_LT(j, 40u);
+  }
+}
+
+TEST(Blocking, WindowGrowthIncreasesCandidates) {
+  Rng rng(5);
+  const auto clean = lk::generate_people(80, rng);
+  const auto error = lk::make_error_records(clean, {}, rng);
+  const auto small = lk::sorted_neighborhood_pairs(clean, error,
+                                                   lk::sort_key_name, 3);
+  const auto large = lk::sorted_neighborhood_pairs(clean, error,
+                                                   lk::sort_key_name, 12);
+  EXPECT_LT(small.size(), large.size());
+}
+
+TEST(Blocking, PrefixKeyHelper) {
+  lk::PersonRecord p;
+  p.last_name = "JOHNSON";
+  EXPECT_EQ(lk::block_key_lastname_prefix(p, 3), "JOH");
+  EXPECT_EQ(lk::block_key_lastname_prefix(p, 20), "JOHNSON");
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using fbf::util::CliArgs;
+
+CliArgs parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> args = {"prog"};
+  args.insert(args.end(), argv.begin(), argv.end());
+  return CliArgs(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  const auto args = parse({"--n", "5000"});
+  EXPECT_EQ(args.get_int("n", 0), 5000);
+}
+
+TEST(Cli, EqualsSeparatedValue) {
+  const auto args = parse({"--seed=42"});
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+}
+
+TEST(Cli, DefaultWhenAbsent) {
+  const auto args = parse({});
+  EXPECT_EQ(args.get_int("n", 1000), 1000);
+  EXPECT_EQ(args.get_string("out", "table"), "table");
+  EXPECT_DOUBLE_EQ(args.get_double("thr", 0.8), 0.8);
+  EXPECT_FALSE(args.get_bool("full"));
+}
+
+TEST(Cli, BareBooleanFlag) {
+  const auto args = parse({"--full"});
+  EXPECT_TRUE(args.get_bool("full"));
+  EXPECT_TRUE(args.has("full"));
+}
+
+TEST(Cli, ExplicitBooleanValues) {
+  EXPECT_TRUE(parse({"--x=true"}).get_bool("x"));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x"));
+  EXPECT_TRUE(parse({"--x=on"}).get_bool("x"));
+  EXPECT_FALSE(parse({"--x=false"}).get_bool("x"));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x"));
+}
+
+TEST(Cli, DoubleParsing) {
+  const auto args = parse({"--thr", "0.75"});
+  EXPECT_DOUBLE_EQ(args.get_double("thr", 0.0), 0.75);
+}
+
+TEST(Cli, PositionalArguments) {
+  const auto args = parse({"input.txt", "--n", "10", "more"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "more");
+}
+
+TEST(Cli, FlagFollowedByFlagHasEmptyValue) {
+  const auto args = parse({"--csv", "--n", "7"});
+  EXPECT_TRUE(args.get_bool("csv"));
+  EXPECT_EQ(args.get_int("n", 0), 7);
+}
+
+TEST(Cli, UnknownFlagsReported) {
+  const auto args = parse({"--typo", "3", "--n", "5"});
+  (void)args.get_int("n", 0);
+  const auto unknown = args.unknown_flags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Cli, QueriedFlagsNotReportedUnknown) {
+  const auto args = parse({"--n", "5"});
+  (void)args.get_int("n", 0);
+  EXPECT_TRUE(args.unknown_flags().empty());
+}
+
+}  // namespace

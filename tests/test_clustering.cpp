@@ -1,0 +1,145 @@
+#include "linkage/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/match_join.hpp"
+#include "datagen/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace lk = fbf::linkage;
+using Pair = std::pair<std::uint32_t, std::uint32_t>;
+
+TEST(UnionFind, StartsFullyDisjoint) {
+  lk::UnionFind forest(5);
+  EXPECT_EQ(forest.set_count(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(forest.find(i), i);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndCounts) {
+  lk::UnionFind forest(4);
+  EXPECT_TRUE(forest.unite(0, 1));
+  EXPECT_FALSE(forest.unite(1, 0));  // already together
+  EXPECT_TRUE(forest.unite(2, 3));
+  EXPECT_EQ(forest.set_count(), 2u);
+  EXPECT_TRUE(forest.unite(0, 3));
+  EXPECT_EQ(forest.set_count(), 1u);
+  EXPECT_EQ(forest.find(1), forest.find(2));
+}
+
+TEST(UnionFind, TransitiveChains) {
+  lk::UnionFind forest(100);
+  for (std::uint32_t i = 0; i + 1 < 100; ++i) {
+    forest.unite(i, i + 1);
+  }
+  EXPECT_EQ(forest.set_count(), 1u);
+  EXPECT_EQ(forest.find(0), forest.find(99));
+}
+
+TEST(Clustering, SingletonsWithoutMatches) {
+  const auto clustering = lk::cluster_matches(4, {});
+  EXPECT_EQ(clustering.cluster_count, 4u);
+  // Dense distinct ids.
+  std::set<std::uint32_t> ids(clustering.cluster_of.begin(),
+                              clustering.cluster_of.end());
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(Clustering, TransitiveClosure) {
+  // 0-1, 1-2 chain plus isolated 3: two clusters.
+  const std::vector<Pair> pairs = {{0, 1}, {1, 2}};
+  const auto clustering = lk::cluster_matches(4, pairs);
+  EXPECT_EQ(clustering.cluster_count, 2u);
+  EXPECT_EQ(clustering.cluster_of[0], clustering.cluster_of[1]);
+  EXPECT_EQ(clustering.cluster_of[1], clustering.cluster_of[2]);
+  EXPECT_NE(clustering.cluster_of[3], clustering.cluster_of[0]);
+}
+
+TEST(Clustering, SelfPairsAndDuplicatesIgnored) {
+  const std::vector<Pair> pairs = {{0, 0}, {1, 2}, {2, 1}, {1, 2}};
+  const auto clustering = lk::cluster_matches(3, pairs);
+  EXPECT_EQ(clustering.cluster_count, 2u);
+}
+
+TEST(Clustering, GroupsPartitionTheItems) {
+  const std::vector<Pair> pairs = {{0, 4}, {1, 3}};
+  const auto clustering = lk::cluster_matches(5, pairs);
+  const auto groups = clustering.groups();
+  EXPECT_EQ(groups.size(), clustering.cluster_count);
+  std::size_t total = 0;
+  for (const auto& group : groups) {
+    total += group.size();
+  }
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(Evaluate, PerfectClustering) {
+  lk::Clustering clustering;
+  clustering.cluster_of = {0, 0, 1, 1};
+  clustering.cluster_count = 2;
+  const std::vector<std::uint64_t> truth = {7, 7, 9, 9};
+  const auto quality = lk::evaluate_clustering(clustering, truth);
+  EXPECT_EQ(quality.true_positive_pairs, 2u);
+  EXPECT_DOUBLE_EQ(quality.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(quality.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(quality.f1(), 1.0);
+}
+
+TEST(Evaluate, OverMerged) {
+  lk::Clustering clustering;
+  clustering.cluster_of = {0, 0, 0, 0};  // one big blob
+  clustering.cluster_count = 1;
+  const std::vector<std::uint64_t> truth = {1, 1, 2, 2};
+  const auto quality = lk::evaluate_clustering(clustering, truth);
+  EXPECT_EQ(quality.predicted_pairs, 6u);
+  EXPECT_EQ(quality.actual_pairs, 2u);
+  EXPECT_EQ(quality.true_positive_pairs, 2u);
+  EXPECT_DOUBLE_EQ(quality.recall(), 1.0);
+  EXPECT_NEAR(quality.precision(), 2.0 / 6.0, 1e-12);
+}
+
+TEST(Evaluate, UnderMerged) {
+  lk::Clustering clustering;
+  clustering.cluster_of = {0, 1, 2, 3};  // all singletons
+  clustering.cluster_count = 4;
+  const std::vector<std::uint64_t> truth = {1, 1, 1, 1};
+  const auto quality = lk::evaluate_clustering(clustering, truth);
+  EXPECT_EQ(quality.predicted_pairs, 0u);
+  EXPECT_DOUBLE_EQ(quality.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(quality.f1(), 0.0);
+}
+
+TEST(Clustering, EndToEndDeduplication) {
+  // Self-join a list where each string appears twice (clean + one-edit
+  // copy interleaved); clustering the FPDL matches should recover the
+  // duplicate structure with near-perfect pairwise quality.
+  const auto dataset =
+      fbf::datagen::build_paired_dataset(fbf::datagen::FieldKind::kSsn, 150,
+                                         5);
+  std::vector<std::string> list;
+  std::vector<std::uint64_t> truth;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    list.push_back(dataset.clean[i]);
+    truth.push_back(i);
+    list.push_back(dataset.error[i]);
+    truth.push_back(i);
+  }
+  fbf::core::JoinConfig join;
+  join.method = fbf::core::Method::kFpdl;
+  join.k = 1;
+  join.field_class = fbf::core::FieldClass::kNumeric;
+  join.collect_matches = true;
+  const auto stats = fbf::core::match_strings(list, list, join);
+  const auto clustering = lk::cluster_matches(list.size(), stats.match_pairs);
+  const auto quality = lk::evaluate_clustering(clustering, truth);
+  EXPECT_DOUBLE_EQ(quality.recall(), 1.0);  // no false negatives, ever
+  EXPECT_GT(quality.precision(), 0.95);     // SSNs rarely collide at k=1
+  EXPECT_LE(clustering.cluster_count, 150u);
+}
+
+}  // namespace

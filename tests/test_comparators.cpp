@@ -1,0 +1,87 @@
+#include "core/comparators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/match_join.hpp"
+#include "datagen/dataset.hpp"
+
+namespace {
+
+namespace c = fbf::core;
+namespace dg = fbf::datagen;
+
+TEST(Comparators, EveryMethodConstructs) {
+  for (const c::Method method : c::all_methods()) {
+    const auto compare = c::make_comparator(method);
+    ASSERT_TRUE(static_cast<bool>(compare)) << c::method_name(method);
+    // Identical strings match under every method (at default params).
+    EXPECT_TRUE(compare("SMITH", "SMITH")) << c::method_name(method);
+  }
+}
+
+TEST(Comparators, FpdlBehaviour) {
+  c::ComparatorParams params;
+  params.k = 1;
+  const auto compare = c::make_comparator(c::Method::kFpdl, params);
+  EXPECT_TRUE(compare("SMITH", "SMYTH"));
+  EXPECT_TRUE(compare("SMITH", "SMIHT"));  // transposition
+  EXPECT_FALSE(compare("SMITH", "JONES"));
+  EXPECT_FALSE(compare("SMITH", "SMITHSON"));
+}
+
+TEST(Comparators, NumericFieldClass) {
+  c::ComparatorParams params;
+  params.k = 1;
+  params.field_class = c::FieldClass::kNumeric;
+  const auto compare = c::make_comparator(c::Method::kFpdl, params);
+  EXPECT_TRUE(compare("123456789", "123456798"));
+  EXPECT_FALSE(compare("123456789", "987654321"));
+}
+
+TEST(Comparators, JaroThresholdRespected) {
+  c::ComparatorParams strict;
+  strict.sim_threshold = 0.99;
+  EXPECT_FALSE(c::make_comparator(c::Method::kJaro, strict)("SMITH",
+                                                            "SMYTH"));
+  c::ComparatorParams loose;
+  loose.sim_threshold = 0.5;
+  EXPECT_TRUE(c::make_comparator(c::Method::kJaro, loose)("SMITH", "SMYTH"));
+}
+
+TEST(Comparators, FilterOnlyMethodsAcceptSurvivors) {
+  const auto fbf_only = c::make_comparator(c::Method::kFbfOnly);
+  EXPECT_TRUE(fbf_only("SMITH", "SMIHT"));  // same multiset: 0 diff bits
+  EXPECT_FALSE(fbf_only("SMITH", "JONES"));
+  const auto lf_only = c::make_comparator(c::Method::kLengthOnly);
+  EXPECT_TRUE(lf_only("ABC", "XYZ"));   // same length
+  EXPECT_FALSE(lf_only("A", "ABC"));    // length diff 2 > k=1
+}
+
+TEST(Comparators, AgreesWithJoinEngine) {
+  // The facade must make the exact decisions the join engine makes.
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 60, 17);
+  for (const c::Method method :
+       {c::Method::kDl, c::Method::kFpdl, c::Method::kLfpdl,
+        c::Method::kJaro, c::Method::kSoundex, c::Method::kHamming}) {
+    c::ComparatorParams params;
+    const auto compare = c::make_comparator(method, params);
+    c::JoinConfig join;
+    join.method = method;
+    join.k = params.k;
+    join.sim_threshold = params.sim_threshold;
+    join.field_class = params.field_class;
+    join.collect_matches = true;
+    const auto stats =
+        c::match_strings(dataset.clean, dataset.error, join);
+    std::uint64_t facade_matches = 0;
+    for (const auto& s : dataset.clean) {
+      for (const auto& t : dataset.error) {
+        facade_matches += compare(s, t) ? 1u : 0u;
+      }
+    }
+    EXPECT_EQ(facade_matches, stats.matches) << c::method_name(method);
+  }
+}
+
+}  // namespace

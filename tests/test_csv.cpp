@@ -1,0 +1,146 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "linkage/csv_io.hpp"
+#include "linkage/person_gen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fbf::util::csv_escape;
+using fbf::util::CsvRow;
+using fbf::util::read_csv;
+using fbf::util::read_csv_row;
+using fbf::util::write_csv_row;
+
+TEST(Csv, SimpleRow) {
+  std::istringstream in("a,b,c\n");
+  const auto row = read_csv_row(in);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(*row, (CsvRow{"a", "b", "c"}));
+  EXPECT_FALSE(read_csv_row(in).has_value());
+}
+
+TEST(Csv, QuotedFieldWithComma) {
+  std::istringstream in("\"SMITH, JR\",JOHN\n");
+  const auto row = read_csv_row(in);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[0], "SMITH, JR");
+  EXPECT_EQ((*row)[1], "JOHN");
+}
+
+TEST(Csv, DoubledQuotes) {
+  std::istringstream in("\"O\"\"BRIEN\"\n");
+  const auto row = read_csv_row(in);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[0], "O\"BRIEN");
+}
+
+TEST(Csv, EmbeddedNewlineInsideQuotes) {
+  std::istringstream in("\"line1\nline2\",x\n");
+  const auto row = read_csv_row(in);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[0], "line1\nline2");
+}
+
+TEST(Csv, CrlfTolerated) {
+  std::istringstream in("a,b\r\nc,d\r\n");
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(Csv, LastLineWithoutNewline) {
+  std::istringstream in("a,b\nc,d");
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(Csv, EmptyFieldsPreserved) {
+  std::istringstream in(",,\n");
+  const auto row = read_csv_row(in);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->size(), 3u);
+  for (const auto& f : *row) {
+    EXPECT_TRUE(f.empty());
+  }
+}
+
+TEST(Csv, SkipHeader) {
+  std::istringstream in("h1,h2\nv1,v2\n");
+  const auto rows = read_csv(in, /*skip_header=*/true);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "v1");
+}
+
+TEST(Csv, EscapeRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(csv_escape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(csv_escape("has\nnewline"), "\"has\nnewline\"");
+}
+
+TEST(Csv, RoundTripArbitraryContent) {
+  const std::vector<CsvRow> rows = {
+      {"a", "b,c", "d\"e"}, {"", "line\nbreak", "plain"}};
+  std::ostringstream out;
+  for (const auto& row : rows) {
+    write_csv_row(out, row);
+  }
+  std::istringstream in(out.str());
+  const auto parsed = read_csv(in);
+  EXPECT_EQ(parsed, rows);
+}
+
+TEST(PersonCsv, RoundTrip) {
+  fbf::util::Rng rng(77);
+  const auto people = fbf::linkage::generate_people(50, rng);
+  std::ostringstream out;
+  fbf::linkage::write_person_csv(out, people);
+  std::istringstream in(out.str());
+  const auto parsed = fbf::linkage::read_person_csv(in);
+  ASSERT_EQ(parsed.size(), people.size());
+  for (std::size_t i = 0; i < people.size(); ++i) {
+    EXPECT_EQ(parsed[i].id, people[i].id);
+    for (const auto field : fbf::linkage::all_record_fields()) {
+      EXPECT_EQ(parsed[i].field(field), people[i].field(field));
+    }
+  }
+}
+
+TEST(PersonCsv, MissingFieldsRoundTrip) {
+  fbf::linkage::PersonRecord r;
+  r.id = 7;
+  r.last_name = "SMITH";  // everything else missing
+  std::ostringstream out;
+  fbf::linkage::write_person_csv(out, std::vector{r});
+  std::istringstream in(out.str());
+  const auto parsed = fbf::linkage::read_person_csv(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].id, 7u);
+  EXPECT_EQ(parsed[0].last_name, "SMITH");
+  EXPECT_TRUE(parsed[0].ssn.empty());
+}
+
+TEST(PersonCsv, StrictRejectsMalformedRows) {
+  std::istringstream bad_arity("id,first_name\n1,JOHN\n");
+  EXPECT_THROW(fbf::linkage::read_person_csv(bad_arity),
+               std::runtime_error);
+  std::istringstream bad_id(
+      "h\nnot_a_number,a,b,c,d,e,f,g\n");
+  EXPECT_THROW(fbf::linkage::read_person_csv(bad_id), std::runtime_error);
+}
+
+TEST(PersonCsv, LenientSkipsMalformedRows) {
+  std::istringstream in(
+      "h\nnot_a_number,a,b,c,d,e,f,g\n3,A,B,C,D,M,E,F\n");
+  const auto parsed = fbf::linkage::read_person_csv(in, /*strict=*/false);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].id, 3u);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+#include "metrics/damerau.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "metrics/levenshtein.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fbf::metrics::dl_distance;
+using fbf::metrics::dl_within;
+using fbf::metrics::levenshtein_distance;
+using fbf::metrics::true_dl_distance;
+
+TEST(DamerauOsa, PaperMatrixExample) {
+  // Fig. 1: DL("SUNDAY", "SATURDAY") = 3; substring ("SUN","SAT") = 2.
+  EXPECT_EQ(dl_distance("SUNDAY", "SATURDAY"), 3);
+  EXPECT_EQ(dl_distance("SUN", "SAT"), 2);
+}
+
+TEST(DamerauOsa, TranspositionCostsOne) {
+  EXPECT_EQ(dl_distance("SMITH", "SMIHT"), 1);
+  EXPECT_EQ(dl_distance("AB", "BA"), 1);
+  EXPECT_EQ(dl_distance("13245", "12345"), 1);  // §4 proof example
+}
+
+TEST(DamerauOsa, SingleEditsCostOne) {
+  EXPECT_EQ(dl_distance("123456", "12345"), 1);  // delete
+  EXPECT_EQ(dl_distance("1234", "12345"), 1);    // insert
+  EXPECT_EQ(dl_distance("12346", "12345"), 1);   // substitute
+}
+
+TEST(DamerauOsa, EmptyStrings) {
+  EXPECT_EQ(dl_distance("", ""), 0);
+  EXPECT_EQ(dl_distance("AB", ""), 2);
+  EXPECT_EQ(dl_distance("", "XYZ"), 3);
+}
+
+TEST(DamerauOsa, OsaRestrictionVisible) {
+  // OSA may not edit across a transposed pair: "CA" -> "ABC" is 3 under
+  // OSA but 2 under unrestricted DL (transpose CA->AC, insert B).
+  EXPECT_EQ(dl_distance("CA", "ABC"), 3);
+  EXPECT_EQ(true_dl_distance("CA", "ABC"), 2);
+}
+
+TEST(TrueDl, MatchesOsaWhenNoAdjacentInterference) {
+  EXPECT_EQ(true_dl_distance("SATURDAY", "SUNDAY"), 3);
+  EXPECT_EQ(true_dl_distance("SMITH", "SMIHT"), 1);
+  EXPECT_EQ(true_dl_distance("", "AB"), 2);
+  EXPECT_EQ(true_dl_distance("AB", ""), 2);
+}
+
+namespace prop {
+
+std::string random_string(fbf::util::Rng& rng, std::size_t max_len,
+                          int alphabet) {
+  const auto len = static_cast<std::size_t>(rng.below(max_len + 1));
+  std::string s(len, '\0');
+  for (auto& ch : s) {
+    ch = static_cast<char>('A' + rng.below(static_cast<std::uint64_t>(alphabet)));
+  }
+  return s;
+}
+
+}  // namespace prop
+
+class DamerauProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DamerauProperties, NeverExceedsLevenshtein) {
+  // One transposition replaces two Levenshtein edits, so DL <= Lev always.
+  fbf::util::Rng rng(GetParam());
+  for (int i = 0; i < 800; ++i) {
+    const std::string s = prop::random_string(rng, 10, 5);
+    const std::string t = prop::random_string(rng, 10, 5);
+    EXPECT_LE(dl_distance(s, t), levenshtein_distance(s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST_P(DamerauProperties, AtLeastHalfLevenshtein) {
+  // Each transposition saves at most one edit: Lev <= 2 * DL.
+  fbf::util::Rng rng(GetParam() + 10);
+  for (int i = 0; i < 800; ++i) {
+    const std::string s = prop::random_string(rng, 10, 5);
+    const std::string t = prop::random_string(rng, 10, 5);
+    EXPECT_LE(levenshtein_distance(s, t), 2 * dl_distance(s, t) + 0)
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST_P(DamerauProperties, TrueDlNeverExceedsOsa) {
+  // The unrestricted metric can only find cheaper (or equal) edit scripts.
+  fbf::util::Rng rng(GetParam() + 20);
+  for (int i = 0; i < 800; ++i) {
+    const std::string s = prop::random_string(rng, 10, 4);
+    const std::string t = prop::random_string(rng, 10, 4);
+    EXPECT_LE(true_dl_distance(s, t), dl_distance(s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST_P(DamerauProperties, SymmetryAndIdentity) {
+  fbf::util::Rng rng(GetParam() + 30);
+  for (int i = 0; i < 500; ++i) {
+    const std::string s = prop::random_string(rng, 12, 6);
+    const std::string t = prop::random_string(rng, 12, 6);
+    EXPECT_EQ(dl_distance(s, t), dl_distance(t, s));
+    EXPECT_EQ(true_dl_distance(s, t), true_dl_distance(t, s));
+    EXPECT_EQ(dl_distance(s, s), 0);
+    EXPECT_EQ(true_dl_distance(s, s), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DamerauProperties,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(DlWithin, ThresholdSemantics) {
+  EXPECT_TRUE(dl_within("SMITH", "SMIHT", 1));
+  EXPECT_FALSE(dl_within("SMITH", "JONES", 3));
+  EXPECT_TRUE(dl_within("SMITH", "SMITH", 0));
+}
+
+}  // namespace

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <unordered_set>
+
+#include "datagen/address.hpp"
+#include "datagen/dates.hpp"
+#include "datagen/errors.hpp"
+#include "datagen/name_pools.hpp"
+#include "datagen/names.hpp"
+#include "datagen/phone.hpp"
+#include "datagen/ssn.hpp"
+#include "metrics/damerau.hpp"
+#include "util/ascii.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace dg = fbf::datagen;
+using fbf::util::Rng;
+
+// ---------------------------------------------------------------- names --
+
+TEST(NamePools, NonEmptyAndUpperCase) {
+  EXPECT_GT(dg::male_first_names().size(), 100u);
+  EXPECT_GT(dg::female_first_names().size(), 100u);
+  EXPECT_GT(dg::last_names().size(), 400u);
+  for (const auto name : dg::last_names()) {
+    for (const char ch : name) {
+      EXPECT_TRUE(fbf::util::is_ascii_upper(ch) || ch == ' ')
+          << name;
+    }
+  }
+}
+
+TEST(Names, PoolReachesRequestedSizeUnique) {
+  Rng rng(1);
+  const auto pool = dg::build_last_name_pool(5000, rng);
+  EXPECT_EQ(pool.size(), 5000u);
+  const std::unordered_set<std::string> unique(pool.begin(), pool.end());
+  EXPECT_EQ(unique.size(), pool.size());
+}
+
+TEST(Names, LastNameLengthsWithinPaperBounds) {
+  Rng rng(2);
+  const auto pool = dg::build_last_name_pool(20000, rng);
+  double total = 0;
+  for (const auto& name : pool) {
+    EXPECT_GE(name.size(), 2u) << name;
+    EXPECT_LE(name.size(), 15u) << name;
+    total += static_cast<double>(name.size());
+  }
+  // Paper: mean last-name length 6.89.  Synthetic tail dominates at 20k;
+  // the Table 13 calibration should land near the paper's mean.
+  EXPECT_NEAR(total / static_cast<double>(pool.size()), 6.89, 0.6);
+}
+
+TEST(Names, FirstNameLengthsWithinPaperBounds) {
+  Rng rng(3);
+  const auto pool = dg::build_first_name_pool(5163, rng);
+  double total = 0;
+  for (const auto& name : pool) {
+    EXPECT_GE(name.size(), 2u) << name;
+    EXPECT_LE(name.size(), 11u) << name;
+    total += static_cast<double>(name.size());
+  }
+  EXPECT_NEAR(total / static_cast<double>(pool.size()), 5.96, 0.7);
+}
+
+TEST(Names, SynthesizeNameHitsExactLength) {
+  Rng rng(4);
+  for (int len = 2; len <= 15; ++len) {
+    const std::string name = dg::synthesize_name(len, rng);
+    EXPECT_EQ(name.size(), static_cast<std::size_t>(len));
+    for (const char ch : name) {
+      EXPECT_TRUE(fbf::util::is_ascii_upper(ch)) << name;
+    }
+  }
+}
+
+TEST(Names, SampleWithoutReplacementUnique) {
+  Rng rng(5);
+  const auto pool = dg::build_last_name_pool(1000, rng);
+  const auto sample = dg::sample_from_pool(pool, 500, rng);
+  EXPECT_EQ(sample.size(), 500u);
+  const std::unordered_set<std::string> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), sample.size());
+}
+
+TEST(Names, SampleLargerThanPoolAllowed) {
+  Rng rng(6);
+  const auto pool = dg::build_last_name_pool(100, rng);
+  const auto sample = dg::sample_from_pool(pool, 250, rng);
+  EXPECT_EQ(sample.size(), 250u);
+}
+
+TEST(Names, LengthHistogramSamplesInRange) {
+  Rng rng(7);
+  const auto& hist = dg::last_name_length_histogram();
+  for (int i = 0; i < 2000; ++i) {
+    const int len = dg::sample_length(hist, rng);
+    EXPECT_GE(len, 2);
+    EXPECT_LE(len, 15);
+  }
+}
+
+// ------------------------------------------------------------- addresses --
+
+TEST(Addresses, FormatAndLength) {
+  Rng rng(8);
+  for (int i = 0; i < 500; ++i) {
+    const std::string addr = dg::generate_address(rng);
+    EXPECT_LE(addr.size(), dg::kMaxAddressLength);
+    // NUMBER [DIR] NAME SUFFIX: at least two spaces, leading digits.
+    EXPECT_TRUE(fbf::util::is_ascii_digit(addr.front())) << addr;
+    EXPECT_GE(std::count(addr.begin(), addr.end(), ' '), 2) << addr;
+  }
+}
+
+TEST(Addresses, UniqueBatch) {
+  Rng rng(9);
+  const auto addrs = dg::generate_addresses(2000, rng);
+  EXPECT_EQ(addrs.size(), 2000u);
+  const std::unordered_set<std::string> unique(addrs.begin(), addrs.end());
+  EXPECT_EQ(unique.size(), addrs.size());
+}
+
+// ---------------------------------------------------------------- phones --
+
+TEST(Phones, AllGeneratedNumbersAreValidNanp) {
+  Rng rng(10);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string phone = dg::generate_phone(rng);
+    EXPECT_TRUE(dg::is_valid_nanp(phone)) << phone;
+  }
+}
+
+TEST(Phones, ValidatorRejectsBadNumbers) {
+  EXPECT_FALSE(dg::is_valid_nanp("123456789"));    // 9 digits
+  EXPECT_FALSE(dg::is_valid_nanp("12345678901"));  // 11 digits
+  EXPECT_FALSE(dg::is_valid_nanp("1235551212"));   // NPA starts with 1
+  EXPECT_FALSE(dg::is_valid_nanp("0235551212"));   // NPA starts with 0
+  EXPECT_FALSE(dg::is_valid_nanp("2905551212"));   // NPA middle digit 9
+  EXPECT_FALSE(dg::is_valid_nanp("2151551212"));   // NXX starts with 1
+  EXPECT_FALSE(dg::is_valid_nanp("2159111212"));   // N11 service code
+  EXPECT_FALSE(dg::is_valid_nanp("215555121A"));   // non-digit
+  EXPECT_TRUE(dg::is_valid_nanp("2155551212"));
+}
+
+TEST(Phones, UniqueBatch) {
+  Rng rng(11);
+  const auto phones = dg::generate_phones(3000, rng);
+  const std::unordered_set<std::string> unique(phones.begin(), phones.end());
+  EXPECT_EQ(unique.size(), phones.size());
+}
+
+// ------------------------------------------------------------------ ssns --
+
+TEST(Ssns, AllGeneratedAreValid) {
+  Rng rng(12);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string ssn = dg::generate_ssn(rng);
+    EXPECT_TRUE(dg::is_valid_ssn(ssn)) << ssn;
+  }
+}
+
+TEST(Ssns, ValidatorRejectsSsaExclusions) {
+  EXPECT_FALSE(dg::is_valid_ssn("000121234"));  // area 000
+  EXPECT_FALSE(dg::is_valid_ssn("666121234"));  // area 666
+  EXPECT_FALSE(dg::is_valid_ssn("773121234"));  // area > 772
+  EXPECT_FALSE(dg::is_valid_ssn("123001234"));  // group 00
+  EXPECT_FALSE(dg::is_valid_ssn("123120000"));  // serial 0000
+  EXPECT_FALSE(dg::is_valid_ssn("12312123"));   // 8 digits
+  EXPECT_FALSE(dg::is_valid_ssn("12312123X"));  // non-digit
+  EXPECT_TRUE(dg::is_valid_ssn("123121234"));
+}
+
+// ----------------------------------------------------------------- dates --
+
+TEST(Dates, WindowSizeMatchesPaper) {
+  // Paper: "between 2/25/1912 and 2/24/2012 or 36,525 unique dates".
+  EXPECT_EQ(dg::birthdate_window_days(), 36525);
+}
+
+TEST(Dates, CivilRoundTrip) {
+  for (const std::int64_t day : {-20000, -1, 0, 1, 10000, 15000}) {
+    const dg::CivilDate date = dg::civil_from_days(day);
+    EXPECT_EQ(dg::days_from_civil(date), day);
+  }
+}
+
+TEST(Dates, KnownSerials) {
+  EXPECT_EQ(dg::days_from_civil({1970, 1, 1}), 0);
+  EXPECT_EQ(dg::days_from_civil({1970, 1, 2}), 1);
+  EXPECT_EQ(dg::days_from_civil({1969, 12, 31}), -1);
+  EXPECT_EQ(dg::days_from_civil({2000, 3, 1}),
+            dg::days_from_civil({2000, 2, 29}) + 1);  // leap year
+}
+
+TEST(Dates, GeneratedDatesAreValidAndInWindow) {
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string date = dg::generate_birthdate(rng);
+    EXPECT_EQ(date.size(), 8u);
+    EXPECT_TRUE(dg::is_valid_birthdate(date)) << date;
+  }
+}
+
+TEST(Dates, ValidatorRejectsImpossibleDates) {
+  EXPECT_FALSE(dg::is_valid_birthdate("02301990"));  // Feb 30
+  EXPECT_FALSE(dg::is_valid_birthdate("04311990"));  // Apr 31
+  EXPECT_FALSE(dg::is_valid_birthdate("02291995"));  // not a leap year
+  EXPECT_TRUE(dg::is_valid_birthdate("02291996"));   // leap year
+  EXPECT_FALSE(dg::is_valid_birthdate("13011990"));  // month 13
+  EXPECT_FALSE(dg::is_valid_birthdate("00011990"));  // month 0
+  EXPECT_FALSE(dg::is_valid_birthdate("02241912"));  // before window
+  EXPECT_TRUE(dg::is_valid_birthdate("02251912"));   // window start
+  EXPECT_TRUE(dg::is_valid_birthdate("02242012"));   // window end
+  EXPECT_FALSE(dg::is_valid_birthdate("02252012"));  // after window
+  EXPECT_FALSE(dg::is_valid_birthdate("0225191"));   // 7 chars
+}
+
+TEST(Dates, UniqueBatchUpToWindow) {
+  Rng rng(14);
+  const auto dates = dg::generate_birthdates(5000, rng);
+  const std::unordered_set<std::string> unique(dates.begin(), dates.end());
+  EXPECT_EQ(unique.size(), dates.size());
+}
+
+// ---------------------------------------------------------------- errors --
+
+TEST(Errors, EveryEditKindYieldsSingleDlEdit) {
+  Rng rng(15);
+  for (int i = 0; i < 1000; ++i) {
+    std::string s(2 + rng.below(10), '\0');
+    for (auto& ch : s) {
+      ch = static_cast<char>('A' + rng.below(26));
+    }
+    for (const auto kind :
+         {dg::EditKind::kSubstitution, dg::EditKind::kInsertion,
+          dg::EditKind::kDeletion, dg::EditKind::kTransposition}) {
+      const std::string t =
+          dg::apply_edit(s, kind, dg::Alphabet::kUpperAlpha, rng);
+      EXPECT_EQ(fbf::metrics::dl_distance(s, t), 1)
+          << dg::edit_kind_name(kind) << " s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(Errors, AlphabetRespected) {
+  Rng rng(16);
+  for (int i = 0; i < 500; ++i) {
+    const std::string t =
+        dg::inject_single_edit("123456789", dg::Alphabet::kDigits, rng);
+    for (const char ch : t) {
+      EXPECT_TRUE(fbf::util::is_ascii_digit(ch)) << t;
+    }
+  }
+}
+
+TEST(Errors, DeletionOnSingleCharFallsBackToSubstitution) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const std::string t = dg::apply_edit("A", dg::EditKind::kDeletion,
+                                         dg::Alphabet::kUpperAlpha, rng);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_NE(t, "A");
+  }
+}
+
+TEST(Errors, TranspositionOnUniformStringFallsBack) {
+  Rng rng(18);
+  const std::string t = dg::apply_edit("AAAA", dg::EditKind::kTransposition,
+                                       dg::Alphabet::kUpperAlpha, rng);
+  EXPECT_EQ(fbf::metrics::dl_distance("AAAA", t), 1);
+}
+
+TEST(Errors, InjectEditsBoundsDistance) {
+  // Bound with the unrestricted (true) Damerau–Levenshtein metric: each
+  // injected edit is one true-DL operation and true DL satisfies the
+  // triangle inequality, so true_dl <= edits.  OSA ("DL" in the paper)
+  // violates the triangle inequality, so the same bound does NOT hold for
+  // dl_distance when edits stack on adjacent positions.
+  Rng rng(19);
+  for (int edits = 1; edits <= 4; ++edits) {
+    for (int i = 0; i < 200; ++i) {
+      const std::string t =
+          dg::inject_edits("PHILADELPHIA", edits, dg::Alphabet::kUpperAlpha,
+                           rng);
+      EXPECT_LE(fbf::metrics::true_dl_distance("PHILADELPHIA", t), edits);
+      EXPECT_GE(fbf::metrics::dl_distance("PHILADELPHIA", t), 0);
+    }
+  }
+}
+
+TEST(Errors, MakeErrorCopyPreservesLengthAndIndexes) {
+  Rng rng(20);
+  const std::vector<std::string> clean = {"SMITH", "JONES", "BROWN"};
+  const auto error = dg::make_error_copy(clean, dg::Alphabet::kUpperAlpha, rng);
+  ASSERT_EQ(error.size(), clean.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(fbf::metrics::dl_distance(clean[i], error[i]), 1);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+#include "datagen/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "datagen/dates.hpp"
+#include "datagen/phone.hpp"
+#include "datagen/ssn.hpp"
+#include "metrics/damerau.hpp"
+
+namespace {
+
+namespace dg = fbf::datagen;
+
+TEST(FieldKind, NamesAndClasses) {
+  EXPECT_STREQ(dg::field_kind_name(dg::FieldKind::kSsn), "SSN");
+  EXPECT_STREQ(dg::field_kind_name(dg::FieldKind::kLastName), "LN");
+  EXPECT_EQ(dg::field_class_of(dg::FieldKind::kSsn),
+            fbf::core::FieldClass::kNumeric);
+  EXPECT_EQ(dg::field_class_of(dg::FieldKind::kFirstName),
+            fbf::core::FieldClass::kAlpha);
+  EXPECT_EQ(dg::field_class_of(dg::FieldKind::kAddress),
+            fbf::core::FieldClass::kAlphanumeric);
+}
+
+TEST(FieldKind, FixedLengthFlags) {
+  EXPECT_TRUE(dg::field_is_fixed_length(dg::FieldKind::kSsn));
+  EXPECT_TRUE(dg::field_is_fixed_length(dg::FieldKind::kPhone));
+  EXPECT_TRUE(dg::field_is_fixed_length(dg::FieldKind::kBirthDate));
+  EXPECT_FALSE(dg::field_is_fixed_length(dg::FieldKind::kLastName));
+  EXPECT_FALSE(dg::field_is_fixed_length(dg::FieldKind::kAddress));
+}
+
+TEST(FieldKind, AllKindsTable5Order) {
+  const auto all = dg::all_field_kinds();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all.front(), dg::FieldKind::kFirstName);
+  EXPECT_EQ(all.back(), dg::FieldKind::kAddress);
+}
+
+class DatasetPerField : public ::testing::TestWithParam<dg::FieldKind> {};
+
+TEST_P(DatasetPerField, PairedByIndexWithOneEdit) {
+  const auto dataset = dg::build_paired_dataset(GetParam(), 300, 12345);
+  ASSERT_EQ(dataset.clean.size(), 300u);
+  ASSERT_EQ(dataset.error.size(), 300u);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_EQ(fbf::metrics::dl_distance(dataset.clean[i], dataset.error[i]),
+              1)
+        << dataset.clean[i] << " / " << dataset.error[i];
+  }
+}
+
+TEST_P(DatasetPerField, DeterministicForSeed) {
+  const auto a = dg::build_paired_dataset(GetParam(), 100, 777);
+  const auto b = dg::build_paired_dataset(GetParam(), 100, 777);
+  EXPECT_EQ(a.clean, b.clean);
+  EXPECT_EQ(a.error, b.error);
+}
+
+TEST_P(DatasetPerField, DifferentSeedsDifferentData) {
+  const auto a = dg::build_paired_dataset(GetParam(), 100, 1);
+  const auto b = dg::build_paired_dataset(GetParam(), 100, 2);
+  EXPECT_NE(a.clean, b.clean);
+}
+
+TEST_P(DatasetPerField, CleanEntriesUnique) {
+  const auto dataset = dg::build_paired_dataset(GetParam(), 500, 31);
+  const std::unordered_set<std::string> unique(dataset.clean.begin(),
+                                               dataset.clean.end());
+  EXPECT_EQ(unique.size(), dataset.clean.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFields, DatasetPerField,
+    ::testing::Values(dg::FieldKind::kFirstName, dg::FieldKind::kLastName,
+                      dg::FieldKind::kAddress, dg::FieldKind::kPhone,
+                      dg::FieldKind::kBirthDate, dg::FieldKind::kSsn),
+    [](const auto& param_info) {
+      return std::string(dg::field_kind_name(param_info.param));
+    });
+
+TEST(Dataset, MultiEditExtension) {
+  // true DL is a metric, so stacking 3 single edits keeps true_dl <= 3
+  // (OSA "DL" can exceed the edit count — triangle inequality violation).
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 200, 5, /*edits=*/3);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_LE(
+        fbf::metrics::true_dl_distance(dataset.clean[i], dataset.error[i]),
+        3);
+  }
+}
+
+TEST(Dataset, CleanFieldValuesAreDomainValid) {
+  const auto ssn = dg::build_paired_dataset(dg::FieldKind::kSsn, 200, 8);
+  for (const auto& s : ssn.clean) {
+    EXPECT_TRUE(dg::is_valid_ssn(s)) << s;
+  }
+  const auto ph = dg::build_paired_dataset(dg::FieldKind::kPhone, 200, 8);
+  for (const auto& s : ph.clean) {
+    EXPECT_TRUE(dg::is_valid_nanp(s)) << s;
+  }
+  const auto bi = dg::build_paired_dataset(dg::FieldKind::kBirthDate, 200, 8);
+  for (const auto& s : bi.clean) {
+    EXPECT_TRUE(dg::is_valid_birthdate(s)) << s;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "experiments/curves.hpp"
+#include "experiments/ladder.hpp"
+#include "experiments/protocol.hpp"
+
+namespace {
+
+namespace ex = fbf::experiments;
+namespace c = fbf::core;
+namespace dg = fbf::datagen;
+
+ex::ExperimentConfig tiny_config() {
+  ex::ExperimentConfig config;
+  config.n = 120;
+  config.repeats = 3;
+  config.seed = 2024;
+  return config;
+}
+
+TEST(Protocol, DlBaselineHasNoType2Errors) {
+  const auto dataset = ex::build_dataset(dg::FieldKind::kSsn, tiny_config());
+  const auto row = ex::run_method(dataset, c::Method::kDl, tiny_config());
+  EXPECT_EQ(row.type2, 0u);  // every table in the paper: DL misses nothing
+  EXPECT_GT(row.time_ms, 0.0);
+}
+
+TEST(Protocol, FbfFamilyReproducesDlAccuracyExactly) {
+  // The paper's headline claim, at protocol level: FDL/FPDL rows always
+  // equal the DL row's Type 1 / Type 2 columns.
+  for (const auto kind :
+       {dg::FieldKind::kSsn, dg::FieldKind::kLastName,
+        dg::FieldKind::kAddress}) {
+    const auto config = tiny_config();
+    const auto dataset = ex::build_dataset(kind, config);
+    const auto dl = ex::run_method(dataset, c::Method::kDl, config);
+    for (const auto method :
+         {c::Method::kPdl, c::Method::kFdl, c::Method::kFpdl,
+          c::Method::kLfdl, c::Method::kLfpdl}) {
+      const auto row = ex::run_method(dataset, method, config);
+      EXPECT_EQ(row.type1, dl.type1) << c::method_name(method);
+      EXPECT_EQ(row.type2, dl.type2) << c::method_name(method);
+    }
+  }
+}
+
+TEST(Protocol, FilterOnlyMethodsHaveNoType2) {
+  // Filters are safe: they may over-match (Type 1) but never miss.
+  const auto config = tiny_config();
+  const auto dataset = ex::build_dataset(dg::FieldKind::kSsn, config);
+  for (const auto method : {c::Method::kFbfOnly, c::Method::kLfbfOnly}) {
+    const auto row = ex::run_method(dataset, method, config);
+    EXPECT_EQ(row.type2, 0u) << c::method_name(method);
+  }
+}
+
+TEST(Protocol, GenTimeReportedForFbfMethods) {
+  const auto config = tiny_config();
+  const auto dataset = ex::build_dataset(dg::FieldKind::kSsn, config);
+  EXPECT_GT(ex::run_method(dataset, c::Method::kFpdl, config).gen_ms, 0.0);
+  EXPECT_EQ(ex::run_method(dataset, c::Method::kDl, config).gen_ms, 0.0);
+}
+
+TEST(Protocol, JoinConfigWiring) {
+  const auto config = tiny_config();
+  const auto join = ex::make_join_config(dg::FieldKind::kAddress,
+                                         c::Method::kLfpdl, config);
+  EXPECT_EQ(join.field_class, c::FieldClass::kAlphanumeric);
+  EXPECT_EQ(join.method, c::Method::kLfpdl);
+  EXPECT_EQ(join.k, config.k);
+}
+
+TEST(Ladder, StandardLadderShape) {
+  const auto methods = ex::standard_ladder();
+  ASSERT_EQ(methods.size(), 8u);
+  EXPECT_EQ(methods.front(), c::Method::kDl);
+  EXPECT_EQ(methods.back(), c::Method::kFbfOnly);
+  const auto length = ex::length_ladder();
+  ASSERT_EQ(length.size(), 8u);
+  EXPECT_EQ(length[4], c::Method::kLengthOnly);
+}
+
+TEST(Ladder, RunAndPrint) {
+  auto config = tiny_config();
+  config.n = 80;
+  const auto result =
+      ex::run_ladder(dg::FieldKind::kSsn, ex::standard_ladder(), config);
+  ASSERT_EQ(result.rows.size(), 8u);
+  EXPECT_GT(result.baseline_ms, 0.0);
+  ASSERT_NE(result.find(c::Method::kFpdl), nullptr);
+  EXPECT_EQ(result.find(c::Method::kFpdl)->type2, 0u);
+
+  std::ostringstream os;
+  ex::print_ladder(os, "SSN", result);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("FPDL"), std::string::npos);
+  EXPECT_NE(out.find("Gen"), std::string::npos);
+  EXPECT_NE(out.find("Speedup"), std::string::npos);
+
+  std::ostringstream csv;
+  ex::print_ladder(csv, "SSN", result, /*csv=*/true);
+  EXPECT_NE(csv.str().find("SSN,Type 1,Type 2"), std::string::npos);
+
+  std::ostringstream counters;
+  ex::print_counters(counters, *result.find(c::Method::kFpdl),
+                     result.rows.front().stats.pairs);
+  EXPECT_NE(counters.str().find("fbf_pass"), std::string::npos);
+}
+
+TEST(Curves, SweepPointsHelper) {
+  const auto points = ex::sweep_points(1000, 4000, 1000);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points.front(), 1000u);
+  EXPECT_EQ(points.back(), 4000u);
+}
+
+TEST(Curves, RunCurvesProducesMonotoneFbfAdvantage) {
+  ex::CurveConfig config;
+  config.ns = {50, 100, 200};
+  config.datasets_per_n = 1;
+  config.repeats = 2;
+  config.seed = 7;
+  const c::Method methods[] = {c::Method::kDl, c::Method::kFpdl};
+  const auto series =
+      ex::run_curves(dg::FieldKind::kLastName, methods, config);
+  ASSERT_EQ(series.size(), 2u);
+  ASSERT_EQ(series[0].points.size(), 3u);
+  // Times grow with n for both methods.
+  EXPECT_LT(series[0].points[0].time_ms, series[0].points[2].time_ms);
+  // FPDL beats DL at the largest n.
+  EXPECT_LT(series[1].points[2].time_ms, series[0].points[2].time_ms);
+  // A quadratic fit exists for both.
+  EXPECT_EQ(series[0].fit.coeffs.size(), 3u);
+  EXPECT_EQ(series[1].fit.coeffs.size(), 3u);
+
+  std::ostringstream os;
+  ex::print_polyfit_table(os, series);
+  EXPECT_NE(os.str().find("R^2"), std::string::npos);
+  std::ostringstream curve_os;
+  ex::print_curve_table(curve_os, series);
+  EXPECT_NE(curve_os.str().find("FPDL"), std::string::npos);
+  std::ostringstream speed_os;
+  ex::print_speedup_by_n(speed_os, series, c::Method::kDl, c::Method::kFpdl);
+  EXPECT_NE(speed_os.str().find("speedup"), std::string::npos);
+}
+
+TEST(Curves, MissingMethodHandledGracefully) {
+  std::ostringstream os;
+  ex::print_speedup_by_n(os, {}, c::Method::kDl, c::Method::kFpdl);
+  EXPECT_NE(os.str().find("not in sweep"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+#include "linkage/fellegi_sunter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linkage/person_gen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace lk = fbf::linkage;
+using fbf::util::Rng;
+
+lk::FsModel uniform_model(double m, double u) {
+  lk::FsModel model;
+  for (auto& field : model.fields) {
+    field.m = m;
+    field.u = u;
+  }
+  return model;
+}
+
+TEST(FsModel, WeightSigns) {
+  const auto model = uniform_model(0.9, 0.05);
+  // Agreement on a discriminating field carries positive log2 weight;
+  // disagreement negative.
+  EXPECT_GT(model.weight(lk::RecordField::kSsn, true), 0.0);
+  EXPECT_LT(model.weight(lk::RecordField::kSsn, false), 0.0);
+  // Known value: log2(0.9 / 0.05) = log2(18).
+  EXPECT_NEAR(model.weight(lk::RecordField::kSsn, true), std::log2(18.0),
+              1e-9);
+}
+
+TEST(FsModel, NonDiscriminatingFieldNearZeroWeight) {
+  const auto model = uniform_model(0.5, 0.5);
+  EXPECT_NEAR(model.weight(lk::RecordField::kGender, true), 0.0, 1e-9);
+  EXPECT_NEAR(model.weight(lk::RecordField::kGender, false), 0.0, 1e-9);
+}
+
+TEST(FsModel, ExtremeProbabilitiesClamped) {
+  const auto model = uniform_model(1.0, 0.0);
+  EXPECT_TRUE(std::isfinite(model.weight(lk::RecordField::kSsn, true)));
+  EXPECT_TRUE(std::isfinite(model.weight(lk::RecordField::kSsn, false)));
+}
+
+TEST(FsAgreement, MissingFieldsMarkedInvalid) {
+  lk::PersonRecord a;
+  a.last_name = "SMITH";
+  lk::PersonRecord b;
+  b.last_name = "SMITH";
+  b.first_name = "MARY";  // a.first_name missing
+  const auto gamma = lk::fs_agreement(a, b, nullptr, nullptr,
+                                      {lk::FieldStrategy::kExact, 0});
+  EXPECT_TRUE(gamma.valid[static_cast<std::size_t>(lk::RecordField::kLastName)]);
+  EXPECT_TRUE(gamma.agree[static_cast<std::size_t>(lk::RecordField::kLastName)]);
+  EXPECT_FALSE(
+      gamma.valid[static_cast<std::size_t>(lk::RecordField::kFirstName)]);
+}
+
+TEST(FsAgreement, ApproximateStrategyToleratesTypos) {
+  lk::PersonRecord a;
+  a.last_name = "JOHNSON";
+  lk::PersonRecord b;
+  b.last_name = "JOHNSONN";  // one insertion
+  const auto exact = lk::fs_agreement(a, b, nullptr, nullptr,
+                                      {lk::FieldStrategy::kExact, 0});
+  const auto sa = lk::build_record_signatures(a);
+  const auto sb = lk::build_record_signatures(b);
+  const auto fuzzy =
+      lk::fs_agreement(a, b, &sa, &sb, {lk::FieldStrategy::kFpdl, 1});
+  const auto idx = static_cast<std::size_t>(lk::RecordField::kLastName);
+  EXPECT_FALSE(exact.agree[idx]);
+  EXPECT_TRUE(fuzzy.agree[idx]);
+}
+
+TEST(FsScore, SumsOnlyValidFields) {
+  const auto model = uniform_model(0.9, 0.1);
+  lk::FsAgreement gamma;
+  gamma.valid[0] = true;
+  gamma.agree[0] = true;
+  gamma.valid[1] = true;
+  gamma.agree[1] = false;
+  const double expected = model.weight(lk::RecordField::kFirstName, true) +
+                          model.weight(lk::RecordField::kLastName, false);
+  EXPECT_NEAR(lk::fs_score(gamma, model), expected, 1e-12);
+}
+
+TEST(FsClassify, ThreeWayThresholds) {
+  lk::FsModel model;
+  model.upper_threshold = 5.0;
+  model.lower_threshold = 0.0;
+  EXPECT_EQ(lk::fs_classify(7.0, model), lk::FsDecision::kMatch);
+  EXPECT_EQ(lk::fs_classify(5.0, model), lk::FsDecision::kMatch);
+  EXPECT_EQ(lk::fs_classify(2.0, model), lk::FsDecision::kPossible);
+  EXPECT_EQ(lk::fs_classify(-1.0, model), lk::FsDecision::kNonMatch);
+  EXPECT_STREQ(lk::fs_decision_name(lk::FsDecision::kPossible), "possible");
+}
+
+class FsEmFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(11);
+    clean_ = lk::generate_people(150, rng);
+    lk::RecordErrorModel model;
+    model.field_typo_rate = 0.25;
+    error_ = lk::make_error_records(clean_, model, rng);
+    // Training sample: all diagonal (true) pairs + a slice of random
+    // non-pairs — unlabeled, as EM expects.
+    for (std::uint32_t i = 0; i < clean_.size(); ++i) {
+      sample_.emplace_back(i, i);
+    }
+    for (int draw = 0; draw < 3000; ++draw) {
+      const auto i = static_cast<std::uint32_t>(rng.below(clean_.size()));
+      const auto j = static_cast<std::uint32_t>(rng.below(error_.size()));
+      if (i != j) {
+        sample_.emplace_back(i, j);
+      }
+    }
+  }
+
+  std::vector<lk::PersonRecord> clean_;
+  std::vector<lk::PersonRecord> error_;
+  std::vector<lk::CandidatePair> sample_;
+};
+
+TEST_F(FsEmFixture, EmLearnsDiscriminatingParameters) {
+  lk::FsEmOptions options;
+  options.agreement = {lk::FieldStrategy::kFpdl, 1};
+  const auto model = lk::fs_estimate_em(clean_, error_, sample_, options);
+  // Every field must discriminate: m > u, decisively for SSN/phone.
+  for (const auto field :
+       {lk::RecordField::kSsn, lk::RecordField::kPhone,
+        lk::RecordField::kBirthDate, lk::RecordField::kLastName}) {
+    const auto& p = model.fields[static_cast<std::size_t>(field)];
+    EXPECT_GT(p.m, p.u) << lk::record_field_name(field);
+    EXPECT_GT(p.m, 0.5) << lk::record_field_name(field);
+    EXPECT_LT(p.u, 0.2) << lk::record_field_name(field);
+  }
+  // Gender agrees half the time for non-matches: u near 0.5.
+  const auto& gender =
+      model.fields[static_cast<std::size_t>(lk::RecordField::kGender)];
+  EXPECT_NEAR(gender.u, 0.5, 0.15);
+}
+
+TEST_F(FsEmFixture, FittedModelSeparatesPairs) {
+  lk::FsEmOptions options;
+  options.agreement = {lk::FieldStrategy::kFpdl, 1};
+  const auto model = lk::fs_estimate_em(clean_, error_, sample_, options);
+  const auto stats = lk::fs_link_exhaustive(clean_, error_, model,
+                                            options.agreement);
+  EXPECT_EQ(stats.pairs, 150u * 150u);
+  // High recall on the 150 true pairs, near-zero false positives.
+  EXPECT_GE(stats.true_positives, 140u);
+  EXPECT_LE(stats.false_positives, 5u);
+  EXPECT_EQ(stats.matches + stats.possibles + stats.non_matches,
+            stats.pairs);
+}
+
+TEST_F(FsEmFixture, EmIsDeterministic) {
+  lk::FsEmOptions options;
+  options.agreement = {lk::FieldStrategy::kExact, 0};
+  const auto a = lk::fs_estimate_em(clean_, error_, sample_, options);
+  const auto b = lk::fs_estimate_em(clean_, error_, sample_, options);
+  for (std::size_t f = 0; f < lk::kRecordFieldCount; ++f) {
+    EXPECT_DOUBLE_EQ(a.fields[f].m, b.fields[f].m);
+    EXPECT_DOUBLE_EQ(a.fields[f].u, b.fields[f].u);
+  }
+}
+
+TEST(FsLink, HandModelOnPerfectDuplicates) {
+  Rng rng(21);
+  const auto people = lk::generate_people(60, rng);
+  const auto model = uniform_model(0.95, 0.05);
+  const auto stats = lk::fs_link_exhaustive(
+      people, people, model, {lk::FieldStrategy::kExact, 0});
+  // Self-join: diagonal scores are maximal -> all 60 matched.
+  EXPECT_GE(stats.true_positives, 60u);
+}
+
+}  // namespace

@@ -1,0 +1,62 @@
+#include "metrics/hamming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/damerau.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fbf::metrics::hamming_distance;
+using fbf::metrics::hamming_within;
+
+TEST(Hamming, EqualLengthBasics) {
+  EXPECT_EQ(hamming_distance("KAROLIN", "KATHRIN"), 3);
+  EXPECT_EQ(hamming_distance("1011101", "1001001"), 2);
+  EXPECT_EQ(hamming_distance("SMITH", "SMITH"), 0);
+}
+
+TEST(Hamming, LengthPaddedExtension) {
+  EXPECT_EQ(hamming_distance("ABC", "ABCDE"), 2);
+  EXPECT_EQ(hamming_distance("", "XY"), 2);
+  EXPECT_EQ(hamming_distance("ABC", ""), 3);
+}
+
+TEST(Hamming, ShiftBlindness) {
+  // The failure mode behind the paper's Type 2 errors for Ham: a single
+  // insertion shifts everything, inflating positional mismatches.
+  EXPECT_EQ(fbf::metrics::dl_distance("SMITH", "SMITHS"), 1);
+  EXPECT_EQ(hamming_distance("SMITH", "XSMITH"), 6);
+}
+
+TEST(Hamming, NeverBelowDl) {
+  // Hamming counts a specific edit script (positional substitutions plus
+  // tail), so it upper-bounds the optimal DL script.
+  fbf::util::Rng rng(55);
+  for (int i = 0; i < 1500; ++i) {
+    std::string s(rng.below(10), '\0');
+    std::string t(rng.below(10), '\0');
+    for (auto& ch : s) ch = static_cast<char>('0' + rng.below(4));
+    for (auto& ch : t) ch = static_cast<char>('0' + rng.below(4));
+    EXPECT_GE(hamming_distance(s, t), fbf::metrics::dl_distance(s, t))
+        << s << " " << t;
+  }
+}
+
+TEST(Hamming, WithinThreshold) {
+  EXPECT_TRUE(hamming_within("123456789", "123456780", 1));
+  EXPECT_FALSE(hamming_within("123456789", "023456780", 1));
+}
+
+TEST(Hamming, Symmetric) {
+  fbf::util::Rng rng(56);
+  for (int i = 0; i < 500; ++i) {
+    std::string s(rng.below(8), '\0');
+    std::string t(rng.below(8), '\0');
+    for (auto& ch : s) ch = static_cast<char>('A' + rng.below(3));
+    for (auto& ch : t) ch = static_cast<char>('A' + rng.below(3));
+    EXPECT_EQ(hamming_distance(s, t), hamming_distance(t, s));
+  }
+}
+
+}  // namespace

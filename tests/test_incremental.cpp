@@ -1,0 +1,118 @@
+#include "linkage/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/errors.hpp"
+#include "linkage/person_gen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace lk = fbf::linkage;
+using fbf::util::Rng;
+
+lk::ComparatorConfig fpdl_config() {
+  return lk::make_point_threshold_config(lk::FieldStrategy::kFpdl);
+}
+
+TEST(EntityStore, FirstBatchFoundsEntities) {
+  Rng rng(1);
+  const auto people = lk::generate_people(50, rng);
+  lk::EntityStore store(fpdl_config());
+  const auto stats = store.ingest(people);
+  EXPECT_EQ(stats.batch_size, 50u);
+  EXPECT_EQ(stats.comparisons, 0u);  // empty store: nothing to compare
+  EXPECT_EQ(stats.new_entities, 50u);
+  EXPECT_EQ(stats.merged, 0u);
+  EXPECT_EQ(store.size(), 50u);
+  EXPECT_EQ(store.entity_count(), 50u);
+}
+
+TEST(EntityStore, ExactDuplicatesMerge) {
+  Rng rng(2);
+  const auto people = lk::generate_people(40, rng);
+  lk::EntityStore store(fpdl_config());
+  store.ingest(people);
+  const auto stats = store.ingest(people);  // same records again
+  EXPECT_EQ(stats.merged, 40u);
+  EXPECT_EQ(stats.new_entities, 0u);
+  EXPECT_EQ(store.entity_count(), 40u);
+  EXPECT_EQ(store.size(), 80u);
+  // Each duplicate shares its original's entity id.
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(store.entity_of(i), store.entity_of(40 + i));
+  }
+}
+
+TEST(EntityStore, TypoedDuplicatesStillMerge) {
+  Rng rng(3);
+  const auto clean = lk::generate_people(60, rng);
+  lk::RecordErrorModel model;
+  model.field_typo_rate = 0.2;
+  const auto error = lk::make_error_records(clean, model, rng);
+  lk::EntityStore store(fpdl_config());
+  store.ingest(clean);
+  const auto stats = store.ingest(error);
+  // The comparator threshold tolerates this error model: most merge.
+  EXPECT_GE(stats.merged, 55u);
+}
+
+TEST(EntityStore, DistinctBatchesStayDistinct) {
+  Rng rng1(4);
+  Rng rng2(99);
+  const auto batch_a = lk::generate_people(30, rng1);
+  auto batch_b = lk::generate_people(30, rng2);
+  for (auto& r : batch_b) {
+    r.id += 1000;  // distinct identities
+  }
+  lk::EntityStore store(fpdl_config());
+  store.ingest(batch_a);
+  const auto stats = store.ingest(batch_b);
+  // Random distinct people almost never clear the 4.0 threshold.
+  EXPECT_GE(stats.new_entities, 28u);
+}
+
+TEST(EntityStore, FbfPrunesVerifyCalls) {
+  Rng rng(5);
+  const auto clean = lk::generate_people(120, rng);
+  const auto error = lk::make_error_records(clean, {}, rng);
+
+  lk::EntityStore dl_store(
+      lk::make_point_threshold_config(lk::FieldStrategy::kDl));
+  dl_store.ingest(clean);
+  const auto dl_stats = dl_store.ingest(error);
+
+  lk::EntityStore fpdl_store(fpdl_config());
+  fpdl_store.ingest(clean);
+  const auto fpdl_stats = fpdl_store.ingest(error);
+
+  EXPECT_EQ(fpdl_stats.comparisons, dl_stats.comparisons);
+  EXPECT_LT(fpdl_stats.verify_calls, dl_stats.verify_calls / 5);
+  // Same resolution decisions (FBF only removes guaranteed non-matches).
+  EXPECT_EQ(fpdl_stats.merged, dl_stats.merged);
+  EXPECT_EQ(fpdl_store.entity_count(), dl_store.entity_count());
+}
+
+TEST(EntityStore, BatchMembersDoNotMatchEachOther) {
+  // Two copies of the same person inside ONE batch found separate
+  // entities (store-at-batch-start semantics) — documents the contract.
+  Rng rng(6);
+  const auto people = lk::generate_people(1, rng);
+  std::vector<lk::PersonRecord> batch = {people[0], people[0]};
+  lk::EntityStore store(fpdl_config());
+  const auto stats = store.ingest(batch);
+  EXPECT_EQ(stats.new_entities, 2u);
+  EXPECT_NE(store.entity_of(0), store.entity_of(1));
+}
+
+TEST(EntityStore, GrowingStoreCostsGrowLinearly) {
+  Rng rng(7);
+  const auto base = lk::generate_people(100, rng);
+  lk::EntityStore store(fpdl_config());
+  store.ingest(base);
+  const auto more = lk::generate_people(10, rng);
+  const auto stats = store.ingest(more);
+  EXPECT_EQ(stats.comparisons, 10u * 100u);
+}
+
+}  // namespace

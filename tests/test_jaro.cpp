@@ -1,0 +1,97 @@
+#include "metrics/jaro.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using fbf::metrics::jaro;
+using fbf::metrics::jaro_winkler;
+
+TEST(Jaro, PaperWorkedExample) {
+  // §2.3 computes jaro("SMITH", "SMIHT") = 0.967 by subtracting r/2 with
+  // r = 1 — i.e. halving the transposition penalty twice.  The standard
+  // definition (Jaro 1989, and every reference implementation) subtracts
+  // t = (#out-of-order matches)/2 = 1 whole, giving (1 + 1 + 4/5)/3 =
+  // 0.9333.  We implement the standard metric; the canonical MARTHA /
+  // DIXON / DWAYNE vectors below pin it down.
+  EXPECT_NEAR(jaro("SMITH", "SMIHT"), 0.9333, 5e-4);
+}
+
+TEST(Jaro, PaperDisjointExample) {
+  // §2.3: SMITH vs JONES = 0.0 (the S's are more than one position apart —
+  // window n = floor(5/2) - 1 = 1).
+  EXPECT_DOUBLE_EQ(jaro("SMITH", "JONES"), 0.0);
+}
+
+TEST(Jaro, IdenticalStringsAreOne) {
+  EXPECT_DOUBLE_EQ(jaro("MARTHA", "MARTHA"), 1.0);
+  EXPECT_DOUBLE_EQ(jaro("A", "A"), 1.0);
+}
+
+TEST(Jaro, ClassicReferencePairs) {
+  // Winkler's canonical examples.
+  EXPECT_NEAR(jaro("MARTHA", "MARHTA"), 0.9444, 5e-4);
+  EXPECT_NEAR(jaro("DIXON", "DICKSONX"), 0.7667, 5e-4);
+  EXPECT_NEAR(jaro("DWAYNE", "DUANE"), 0.8222, 5e-4);
+}
+
+TEST(Jaro, EmptyStringConventions) {
+  EXPECT_DOUBLE_EQ(jaro("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(jaro("ABC", ""), 0.0);
+  EXPECT_DOUBLE_EQ(jaro("", "ABC"), 0.0);
+}
+
+TEST(Jaro, NoCommonCharactersIsZero) {
+  EXPECT_DOUBLE_EQ(jaro("AAA", "BBB"), 0.0);
+}
+
+TEST(JaroWinkler, PaperWorkedExample) {
+  // §2.4's 0.977 builds on the paper's non-standard 0.967 Jaro (see
+  // above).  Standard: 0.9333 + 3*0.1*(1 - 0.9333) = 0.9533.
+  EXPECT_NEAR(jaro_winkler("SMITH", "SMIHT"), 0.9533, 1e-3);
+}
+
+TEST(JaroWinkler, ClassicReferencePairs) {
+  EXPECT_NEAR(jaro_winkler("MARTHA", "MARHTA"), 0.9611, 5e-4);
+  EXPECT_NEAR(jaro_winkler("DIXON", "DICKSONX"), 0.8133, 5e-4);
+  EXPECT_NEAR(jaro_winkler("DWAYNE", "DUANE"), 0.8400, 5e-4);
+}
+
+TEST(JaroWinkler, PrefixCappedAtFour) {
+  // Identical 6-char prefix, difference at the end: only 4 prefix chars
+  // may boost.
+  const double base = jaro("PREFIXA", "PREFIXB");
+  EXPECT_NEAR(jaro_winkler("PREFIXA", "PREFIXB"), base + 4 * 0.1 * (1 - base),
+              1e-12);
+}
+
+TEST(JaroWinkler, NeverBelowJaro) {
+  fbf::util::Rng rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    std::string s(1 + rng.below(10), '\0');
+    std::string t(1 + rng.below(10), '\0');
+    for (auto& ch : s) ch = static_cast<char>('A' + rng.below(6));
+    for (auto& ch : t) ch = static_cast<char>('A' + rng.below(6));
+    EXPECT_GE(jaro_winkler(s, t) + 1e-12, jaro(s, t)) << s << " " << t;
+  }
+}
+
+TEST(JaroProperties, SymmetricAndBounded) {
+  fbf::util::Rng rng(78);
+  for (int i = 0; i < 1000; ++i) {
+    std::string s(rng.below(9), '\0');
+    std::string t(rng.below(9), '\0');
+    for (auto& ch : s) ch = static_cast<char>('A' + rng.below(5));
+    for (auto& ch : t) ch = static_cast<char>('A' + rng.below(5));
+    const double st = jaro(s, t);
+    EXPECT_DOUBLE_EQ(st, jaro(t, s)) << s << " " << t;
+    EXPECT_GE(st, 0.0);
+    EXPECT_LE(st, 1.0);
+  }
+}
+
+}  // namespace

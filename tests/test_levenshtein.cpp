@@ -1,0 +1,91 @@
+#include "metrics/levenshtein.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using fbf::metrics::levenshtein_distance;
+using fbf::metrics::levenshtein_within;
+
+TEST(Levenshtein, ClassicExamples) {
+  EXPECT_EQ(levenshtein_distance("SATURDAY", "SUNDAY"), 3);  // paper §2.1
+  EXPECT_EQ(levenshtein_distance("KITTEN", "SITTING"), 3);
+  EXPECT_EQ(levenshtein_distance("FLAW", "LAWN"), 2);
+}
+
+TEST(Levenshtein, EmptyStrings) {
+  EXPECT_EQ(levenshtein_distance("", ""), 0);
+  EXPECT_EQ(levenshtein_distance("ABC", ""), 3);
+  EXPECT_EQ(levenshtein_distance("", "ABCD"), 4);
+}
+
+TEST(Levenshtein, IdenticalStringsZero) {
+  EXPECT_EQ(levenshtein_distance("SMITH", "SMITH"), 0);
+}
+
+TEST(Levenshtein, SingleEdits) {
+  EXPECT_EQ(levenshtein_distance("SMITH", "SMYTH"), 1);   // substitution
+  EXPECT_EQ(levenshtein_distance("SMITH", "SMITHS"), 1);  // insertion
+  EXPECT_EQ(levenshtein_distance("SMITH", "SMIH"), 1);    // deletion
+  EXPECT_EQ(levenshtein_distance("SMITH", "SMIHT"), 2);   // transposition = 2
+}
+
+class LevenshteinProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static std::string random_string(fbf::util::Rng& rng, std::size_t max_len) {
+    const auto len = static_cast<std::size_t>(rng.below(max_len + 1));
+    std::string s(len, '\0');
+    for (auto& ch : s) {
+      ch = static_cast<char>('A' + rng.below(6));  // small alphabet: collisions
+    }
+    return s;
+  }
+};
+
+TEST_P(LevenshteinProperties, SymmetryAndIdentity) {
+  fbf::util::Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const std::string s = random_string(rng, 12);
+    const std::string t = random_string(rng, 12);
+    EXPECT_EQ(levenshtein_distance(s, t), levenshtein_distance(t, s));
+    EXPECT_EQ(levenshtein_distance(s, s), 0);
+  }
+}
+
+TEST_P(LevenshteinProperties, TriangleInequality) {
+  fbf::util::Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 300; ++i) {
+    const std::string a = random_string(rng, 10);
+    const std::string b = random_string(rng, 10);
+    const std::string c = random_string(rng, 10);
+    EXPECT_LE(levenshtein_distance(a, c),
+              levenshtein_distance(a, b) + levenshtein_distance(b, c));
+  }
+}
+
+TEST_P(LevenshteinProperties, BoundedByLongerLength) {
+  fbf::util::Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 500; ++i) {
+    const std::string s = random_string(rng, 12);
+    const std::string t = random_string(rng, 12);
+    const int d = levenshtein_distance(s, t);
+    EXPECT_GE(d, static_cast<int>(std::max(s.size(), t.size()) -
+                                  std::min(s.size(), t.size())));
+    EXPECT_LE(d, static_cast<int>(std::max(s.size(), t.size())));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevenshteinProperties,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(LevenshteinWithin, AgreesWithDistance) {
+  EXPECT_TRUE(levenshtein_within("SMITH", "SMYTH", 1));
+  EXPECT_FALSE(levenshtein_within("SMITH", "JONES", 3));
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+#include "core/match_join.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "datagen/dataset.hpp"
+#include "experiments/protocol.hpp"
+
+namespace {
+
+using fbf::core::FieldClass;
+using fbf::core::JoinConfig;
+using fbf::core::JoinStats;
+using fbf::core::match_strings;
+using fbf::core::Method;
+
+std::vector<std::string> small_clean() {
+  return {"SMITH", "JONES", "TAYLOR", "BROWN", "WILSON"};
+}
+
+std::vector<std::string> small_error() {
+  // One edit each, index-aligned.
+  return {"SMIHT", "JONE", "TAYLORS", "BROWNE", "WILSON"};
+}
+
+JoinConfig base_config(Method method) {
+  JoinConfig config;
+  config.method = method;
+  config.k = 1;
+  config.field_class = FieldClass::kAlpha;
+  return config;
+}
+
+TEST(MatchJoin, DlFindsAllDiagonalPairs) {
+  const auto stats =
+      match_strings(small_clean(), small_error(), base_config(Method::kDl));
+  EXPECT_EQ(stats.pairs, 25u);
+  EXPECT_EQ(stats.diagonal_matches, 5u);
+  EXPECT_EQ(stats.type2(5), 0u);
+}
+
+TEST(MatchJoin, FilterLadderMethodsAgreeWithDl) {
+  const auto baseline =
+      match_strings(small_clean(), small_error(), base_config(Method::kDl));
+  for (const Method method :
+       {Method::kPdl, Method::kFdl, Method::kFpdl, Method::kLdl,
+        Method::kLpdl, Method::kLfdl, Method::kLfpdl}) {
+    const auto stats =
+        match_strings(small_clean(), small_error(), base_config(method));
+    EXPECT_EQ(stats.matches, baseline.matches)
+        << fbf::core::method_name(method);
+    EXPECT_EQ(stats.diagonal_matches, baseline.diagonal_matches)
+        << fbf::core::method_name(method);
+  }
+}
+
+TEST(MatchJoin, FilterOnlyMethodsAreSupersets) {
+  const auto dl =
+      match_strings(small_clean(), small_error(), base_config(Method::kDl));
+  for (const Method method :
+       {Method::kFbfOnly, Method::kLengthOnly, Method::kLfbfOnly}) {
+    const auto stats =
+        match_strings(small_clean(), small_error(), base_config(method));
+    EXPECT_GE(stats.matches, dl.matches) << fbf::core::method_name(method);
+    EXPECT_EQ(stats.diagonal_matches, 5u) << fbf::core::method_name(method);
+  }
+}
+
+TEST(MatchJoin, CountersAccounting) {
+  const auto stats =
+      match_strings(small_clean(), small_error(), base_config(Method::kFpdl));
+  EXPECT_EQ(stats.fbf_evaluated, 25u);        // every pair hits the filter
+  EXPECT_EQ(stats.verify_calls, stats.fbf_pass);  // survivors get verified
+  EXPECT_LE(stats.matches, stats.verify_calls);
+  EXPECT_GT(stats.signature_gen_ms, 0.0);
+}
+
+TEST(MatchJoin, LengthThenFbfCountsFbfOnlyOnLengthSurvivors) {
+  const auto stats =
+      match_strings(small_clean(), small_error(), base_config(Method::kLfpdl));
+  EXPECT_EQ(stats.fbf_evaluated, stats.length_pass);
+  EXPECT_LE(stats.length_pass, stats.pairs);
+}
+
+TEST(MatchJoin, CollectMatchesReturnsPairs) {
+  JoinConfig config = base_config(Method::kDl);
+  config.collect_matches = true;
+  const auto stats = match_strings(small_clean(), small_error(), config);
+  EXPECT_EQ(stats.match_pairs.size(), stats.matches);
+  // Every diagonal pair must appear.
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_NE(std::find(stats.match_pairs.begin(), stats.match_pairs.end(),
+                        std::make_pair(i, i)),
+              stats.match_pairs.end());
+  }
+}
+
+TEST(MatchJoin, ThreadCountDoesNotChangeResults) {
+  // The parallel join must be a pure performance knob.
+  const auto dataset = fbf::datagen::build_paired_dataset(
+      fbf::datagen::FieldKind::kLastName, 200, 77);
+  for (const Method method : {Method::kDl, Method::kFpdl, Method::kLfpdl,
+                              Method::kJaro, Method::kSoundex}) {
+    JoinConfig config = base_config(method);
+    config.threads = 1;
+    const auto serial = match_strings(dataset.clean, dataset.error, config);
+    config.threads = 4;
+    const auto parallel = match_strings(dataset.clean, dataset.error, config);
+    EXPECT_EQ(parallel.matches, serial.matches)
+        << fbf::core::method_name(method);
+    EXPECT_EQ(parallel.diagonal_matches, serial.diagonal_matches);
+    EXPECT_EQ(parallel.fbf_pass, serial.fbf_pass);
+    EXPECT_EQ(parallel.verify_calls, serial.verify_calls);
+    EXPECT_EQ(parallel.length_pass, serial.length_pass);
+  }
+}
+
+TEST(MatchJoin, JaroThresholdControlsMatches) {
+  JoinConfig strict = base_config(Method::kJaro);
+  strict.sim_threshold = 0.99;
+  JoinConfig loose = base_config(Method::kJaro);
+  loose.sim_threshold = 0.5;
+  const auto strict_stats =
+      match_strings(small_clean(), small_error(), strict);
+  const auto loose_stats = match_strings(small_clean(), small_error(), loose);
+  EXPECT_LE(strict_stats.matches, loose_stats.matches);
+}
+
+TEST(MatchJoin, SoundexPrecomputesCodes) {
+  const auto stats = match_strings(small_clean(), small_error(),
+                                   base_config(Method::kSoundex));
+  EXPECT_GE(stats.signature_gen_ms, 0.0);
+  // SMITH/SMIHT share a code; WILSON matches itself.
+  EXPECT_GE(stats.diagonal_matches, 2u);
+}
+
+TEST(MatchJoin, EmptyInputsProduceEmptyStats) {
+  const std::vector<std::string> empty;
+  const auto stats = match_strings(empty, empty, base_config(Method::kDl));
+  EXPECT_EQ(stats.pairs, 0u);
+  EXPECT_EQ(stats.matches, 0u);
+}
+
+TEST(MatchJoin, AsymmetricListSizes) {
+  const std::vector<std::string> left = {"SMITH", "JONES"};
+  const std::vector<std::string> right = {"SMITH"};
+  const auto stats = match_strings(left, right, base_config(Method::kFpdl));
+  EXPECT_EQ(stats.pairs, 2u);
+  EXPECT_EQ(stats.matches, 1u);
+}
+
+// On a realistic dataset: every FBF/length variant must reproduce DL's
+// exact match set — the paper's zero-accuracy-loss claim at join level.
+class JoinEquivalence
+    : public ::testing::TestWithParam<fbf::datagen::FieldKind> {};
+
+TEST_P(JoinEquivalence, FilteredMethodsLoseNothing) {
+  const auto kind = GetParam();
+  const auto dataset = fbf::datagen::build_paired_dataset(kind, 150, 99);
+  fbf::experiments::ExperimentConfig exp;
+  exp.k = 1;
+  const auto base_join =
+      fbf::experiments::make_join_config(kind, Method::kDl, exp);
+  const auto baseline =
+      match_strings(dataset.clean, dataset.error, base_join);
+  for (const Method method :
+       {Method::kPdl, Method::kFdl, Method::kFpdl, Method::kLfdl,
+        Method::kLfpdl}) {
+    auto join = fbf::experiments::make_join_config(kind, method, exp);
+    const auto stats = match_strings(dataset.clean, dataset.error, join);
+    EXPECT_EQ(stats.matches, baseline.matches)
+        << fbf::core::method_name(method) << " on "
+        << fbf::datagen::field_kind_name(kind);
+    EXPECT_EQ(stats.diagonal_matches, baseline.diagonal_matches);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFields, JoinEquivalence,
+    ::testing::Values(fbf::datagen::FieldKind::kFirstName,
+                      fbf::datagen::FieldKind::kLastName,
+                      fbf::datagen::FieldKind::kAddress,
+                      fbf::datagen::FieldKind::kPhone,
+                      fbf::datagen::FieldKind::kBirthDate,
+                      fbf::datagen::FieldKind::kSsn),
+    [](const auto& param_info) {
+      return std::string(fbf::datagen::field_kind_name(param_info.param));
+    });
+
+}  // namespace

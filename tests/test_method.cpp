@@ -1,0 +1,77 @@
+#include "core/method.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace {
+
+namespace c = fbf::core;
+
+TEST(Method, AllMethodsUniqueNames) {
+  std::set<std::string> names;
+  for (const c::Method method : c::all_methods()) {
+    EXPECT_TRUE(names.insert(c::method_name(method)).second)
+        << c::method_name(method);
+  }
+  EXPECT_EQ(names.size(), 16u);
+}
+
+TEST(Method, PaperTableNames) {
+  EXPECT_STREQ(c::method_name(c::Method::kDl), "DL");
+  EXPECT_STREQ(c::method_name(c::Method::kFpdl), "FPDL");
+  EXPECT_STREQ(c::method_name(c::Method::kLengthOnly), "LF");
+  EXPECT_STREQ(c::method_name(c::Method::kLfbfOnly), "LFBF");
+  EXPECT_STREQ(c::method_name(c::Method::kSoundex), "SDX");
+}
+
+TEST(Method, ParseRoundTrip) {
+  for (const c::Method method : c::all_methods()) {
+    const auto parsed = c::parse_method(c::method_name(method));
+    ASSERT_TRUE(parsed.has_value()) << c::method_name(method);
+    EXPECT_EQ(*parsed, method);
+  }
+}
+
+TEST(Method, ParseCaseInsensitive) {
+  EXPECT_EQ(c::parse_method("fpdl"), c::Method::kFpdl);
+  EXPECT_EQ(c::parse_method("Jaro"), c::Method::kJaro);
+  EXPECT_EQ(c::parse_method("lfbf"), c::Method::kLfbfOnly);
+}
+
+TEST(Method, ParseRejectsUnknown) {
+  EXPECT_FALSE(c::parse_method("").has_value());
+  EXPECT_FALSE(c::parse_method("NOPE").has_value());
+  EXPECT_FALSE(c::parse_method("very-long-method-name").has_value());
+}
+
+TEST(Method, FlagConsistency) {
+  // LF* methods use both filters; F* only FBF; L* only length.
+  EXPECT_TRUE(c::method_uses_fbf(c::Method::kLfpdl));
+  EXPECT_TRUE(c::method_uses_length(c::Method::kLfpdl));
+  EXPECT_TRUE(c::method_uses_fbf(c::Method::kFdl));
+  EXPECT_FALSE(c::method_uses_length(c::Method::kFdl));
+  EXPECT_FALSE(c::method_uses_fbf(c::Method::kLpdl));
+  EXPECT_TRUE(c::method_uses_length(c::Method::kLpdl));
+  EXPECT_FALSE(c::method_uses_fbf(c::Method::kDl));
+  EXPECT_FALSE(c::method_uses_length(c::Method::kJaro));
+}
+
+TEST(Method, VerifierAssignment) {
+  EXPECT_EQ(c::method_verifier(c::Method::kDl), c::Verifier::kDl);
+  EXPECT_EQ(c::method_verifier(c::Method::kLfdl), c::Verifier::kDl);
+  EXPECT_EQ(c::method_verifier(c::Method::kFpdl), c::Verifier::kPdl);
+  EXPECT_EQ(c::method_verifier(c::Method::kFbfOnly), c::Verifier::kNone);
+  EXPECT_EQ(c::method_verifier(c::Method::kLengthOnly), c::Verifier::kNone);
+  EXPECT_EQ(c::method_verifier(c::Method::kJaro), c::Verifier::kNone);
+}
+
+TEST(Method, SimilarityFlag) {
+  EXPECT_TRUE(c::method_is_similarity(c::Method::kJaro));
+  EXPECT_TRUE(c::method_is_similarity(c::Method::kWink));
+  EXPECT_FALSE(c::method_is_similarity(c::Method::kDl));
+  EXPECT_FALSE(c::method_is_similarity(c::Method::kFbfOnly));
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+#include "metrics/myers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "metrics/levenshtein.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fbf::metrics::levenshtein_distance;
+using fbf::metrics::myers_distance;
+using fbf::metrics::myers_within;
+
+TEST(Myers, KnownValues) {
+  EXPECT_EQ(myers_distance("KITTEN", "SITTING"), 3);
+  EXPECT_EQ(myers_distance("SATURDAY", "SUNDAY"), 3);
+  EXPECT_EQ(myers_distance("SMITH", "SMITH"), 0);
+}
+
+TEST(Myers, EmptyStrings) {
+  EXPECT_EQ(myers_distance("", ""), 0);
+  EXPECT_EQ(myers_distance("ABC", ""), 3);
+  EXPECT_EQ(myers_distance("", "ABCD"), 4);
+}
+
+TEST(Myers, MatchesDpOnRandomPairs) {
+  fbf::util::Rng rng(4242);
+  for (int i = 0; i < 3000; ++i) {
+    std::string s(rng.below(16), '\0');
+    std::string t(rng.below(16), '\0');
+    for (auto& ch : s) ch = static_cast<char>('A' + rng.below(5));
+    for (auto& ch : t) ch = static_cast<char>('A' + rng.below(5));
+    EXPECT_EQ(myers_distance(s, t), levenshtein_distance(s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST(Myers, ExactlySixtyFourCharPattern) {
+  const std::string s(64, 'A');
+  std::string t = s;
+  t[10] = 'B';
+  t[63] = 'C';
+  EXPECT_EQ(myers_distance(s, t), 2);
+  EXPECT_EQ(myers_distance(s, s), 0);
+}
+
+TEST(Myers, FallsBackBeyondSixtyFour) {
+  const std::string s(70, 'A');
+  std::string t = s + "BB";
+  EXPECT_EQ(myers_distance(s, t), 2);
+}
+
+TEST(Myers, WithinThreshold) {
+  EXPECT_TRUE(myers_within("SMITH", "SMYTH", 1));
+  EXPECT_FALSE(myers_within("SMITH", "SMIHT", 1));  // plain Lev: transposition = 2
+  EXPECT_TRUE(myers_within("SMITH", "SMIHT", 2));
+}
+
+}  // namespace

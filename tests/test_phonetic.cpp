@@ -1,0 +1,125 @@
+#include "metrics/phonetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/names.hpp"
+#include "metrics/soundex.hpp"
+#include "util/ascii.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fbf::metrics::nysiis;
+using fbf::metrics::nysiis_match;
+using fbf::metrics::refined_soundex;
+using fbf::metrics::refined_soundex_match;
+
+TEST(Nysiis, CanonicalVector) {
+  // The most widely cited NYSIIS reference value.
+  EXPECT_EQ(nysiis("SMITH"), "SNAT");
+}
+
+TEST(Nysiis, StructureInvariants) {
+  fbf::util::Rng rng(1);
+  const auto pool = fbf::datagen::build_last_name_pool(2000, rng);
+  for (const auto& name : pool) {
+    const std::string code = nysiis(name);
+    ASSERT_FALSE(code.empty()) << name;
+    EXPECT_LE(code.size(), 6u) << name;
+    // Key characters are upper-case letters only.
+    for (const char ch : code) {
+      EXPECT_TRUE(fbf::util::is_ascii_upper(ch)) << name << " -> " << code;
+    }
+    // The key never ends in S or (unless length-1) A.
+    if (code.size() > 1) {
+      EXPECT_NE(code.back(), 'S') << name << " -> " << code;
+      EXPECT_NE(code.back(), 'A') << name << " -> " << code;
+    }
+    // Determinism + case-insensitivity.
+    EXPECT_EQ(code, nysiis(fbf::util::to_upper_copy(name)));
+  }
+}
+
+TEST(Nysiis, InitialClusterEquivalences) {
+  // PH/PF fold to FF; KN folds to NN; K to C — so these pairs share keys.
+  EXPECT_EQ(nysiis("PHILIP"), nysiis("PFILIP"));
+  EXPECT_EQ(nysiis("KNIGHT"), nysiis("NNIGHT"));
+  EXPECT_EQ(nysiis("KARL"), nysiis("CARL"));
+  EXPECT_EQ(nysiis("SCHMIDT"), nysiis("SSSMIDT"));
+}
+
+TEST(Nysiis, VowelCollapsing) {
+  // All vowels (A, E, I, O, U — NOT Y) recode to A, so vowel-substitution
+  // variants share keys...
+  EXPECT_EQ(nysiis("PETERSON"), nysiis("PETERSEN"));
+  EXPECT_EQ(nysiis("JOHNSON"), nysiis("JOHNSAN"));
+  // ...but a Y substitution survives: NYSIIS separates SMITH from SMYTH
+  // (unlike Soundex, which lumps them together).
+  EXPECT_NE(nysiis("SMITH"), nysiis("SMYTH"));
+  EXPECT_EQ(nysiis("SMYTH"), "SNYT");
+}
+
+TEST(Nysiis, EmptyAndNonAlpha) {
+  EXPECT_EQ(nysiis(""), "");
+  EXPECT_EQ(nysiis("123"), "");
+  EXPECT_EQ(nysiis("O'BRIEN"), nysiis("OBRIEN"));
+}
+
+TEST(Nysiis, MatchPredicate) {
+  EXPECT_TRUE(nysiis_match("PETERSON", "PETERSEN"));
+  EXPECT_FALSE(nysiis_match("SMITH", "JONES"));
+  EXPECT_FALSE(nysiis_match("", ""));
+}
+
+TEST(RefinedSoundex, Structure) {
+  const std::string code = refined_soundex("SMITH");
+  // Leading letter, then digit classes starting with the first letter's
+  // own class.
+  ASSERT_GE(code.size(), 2u);
+  EXPECT_EQ(code[0], 'S');
+  for (std::size_t i = 1; i < code.size(); ++i) {
+    EXPECT_TRUE(code[i] >= '0' && code[i] <= '9') << code;
+  }
+}
+
+TEST(RefinedSoundex, KnownCodes) {
+  // S=3, M=8, I=0, T=6, H=0 -> "S" + 3 8 0 6 0 = "S38060".
+  EXPECT_EQ(refined_soundex("SMITH"), "S38060");
+  // B=1, R=9, A=0, Z=5 -> "B1905".
+  EXPECT_EQ(refined_soundex("BRAZ"), "B1905");
+}
+
+TEST(RefinedSoundex, FinerThanClassicSoundex) {
+  // Classic soundex lumps C/G/K/S/Z into one class; refined separates
+  // S/C/K (3) from G/J (4) and Z/Q/X (5): ROGERS vs ROKERS differ under
+  // refined but collide under classic.
+  EXPECT_EQ(fbf::metrics::soundex("ROGERS"), fbf::metrics::soundex("ROKERS"));
+  EXPECT_NE(refined_soundex("ROGERS"), refined_soundex("ROKERS"));
+}
+
+TEST(RefinedSoundex, DuplicateCollapsing) {
+  EXPECT_EQ(refined_soundex("GAUSS"), refined_soundex("GAUS"));
+  EXPECT_EQ(refined_soundex("LLOYD"), refined_soundex("LOYD"));
+}
+
+TEST(RefinedSoundex, VowelsSeparateConsonants) {
+  // Unlike classic soundex, vowels appear as 0s, so "ROBERT" and
+  // "RBRT" differ (vowel positions carry signal).
+  EXPECT_NE(refined_soundex("ROBERT"), refined_soundex("RBRT"));
+}
+
+TEST(RefinedSoundex, MatchPredicate) {
+  EXPECT_TRUE(refined_soundex_match("SMITH", "SMYTH"));
+  EXPECT_FALSE(refined_soundex_match("", "X"));
+}
+
+TEST(PhoneticFamily, TypoSensitivityOrdering) {
+  // Under single leading-consonant typos, every phonetic code fails
+  // (they all key heavily on the first letter) — the shared weakness the
+  // paper exploits in Tables 7-8.
+  EXPECT_FALSE(fbf::metrics::soundex_match("SMITH", "XMITH"));
+  EXPECT_FALSE(nysiis_match("SMITH", "XMITH"));
+  EXPECT_FALSE(refined_soundex_match("SMITH", "XMITH"));
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+#include "util/polyfit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using fbf::util::polyfit;
+using fbf::util::PolyFit;
+using fbf::util::r_squared;
+using fbf::util::solve_dense;
+
+TEST(SolveDense, Identity) {
+  const auto x = solve_dense({1, 0, 0, 1}, {3.0, 4.0}, 2);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 4.0, 1e-12);
+}
+
+TEST(SolveDense, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  const auto x = solve_dense({0, 1, 1, 0}, {2.0, 5.0}, 2);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 5.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(SolveDense, SingularReturnsNullopt) {
+  EXPECT_FALSE(solve_dense({1, 2, 2, 4}, {1.0, 2.0}, 2).has_value());
+}
+
+TEST(Polyfit, ExactLine) {
+  const std::vector<double> xs = {0, 1, 2, 3};
+  const std::vector<double> ys = {1, 3, 5, 7};  // y = 2x + 1
+  const auto fit = polyfit(xs, ys, 1);
+  ASSERT_TRUE(fit.has_value());
+  ASSERT_EQ(fit->coeffs.size(), 2u);
+  EXPECT_NEAR(fit->coeffs[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit->coeffs[1], 1.0, 1e-9);
+}
+
+TEST(Polyfit, ExactQuadratic) {
+  // The paper's fit form: a n^2 + b n + c.
+  const double a = 1.32e-3;
+  const double b = -0.374;
+  const double c = 512.739;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int n = 1000; n <= 18000; n += 1000) {
+    xs.push_back(n);
+    ys.push_back(a * n * n + b * n + c);
+  }
+  const auto fit = polyfit(xs, ys, 2);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->coeffs[0], a, 1e-9);
+  EXPECT_NEAR(fit->coeffs[1], b, 1e-4);
+  EXPECT_NEAR(fit->coeffs[2], c, 1e-1);
+  EXPECT_NEAR(r_squared(*fit, xs, ys), 1.0, 1e-12);
+}
+
+TEST(Polyfit, NoisyQuadraticRecoversLeadingCoefficient) {
+  fbf::util::Rng rng(5);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int n = 500; n <= 20000; n += 250) {
+    xs.push_back(n);
+    ys.push_back(2e-3 * n * n + 5.0 * n + 100.0 +
+                 (rng.uniform() - 0.5) * 50.0);
+  }
+  const auto fit = polyfit(xs, ys, 2);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->coeffs[0], 2e-3, 1e-5);
+  EXPECT_GT(r_squared(*fit, xs, ys), 0.9999);
+}
+
+TEST(Polyfit, UnderdeterminedReturnsNullopt) {
+  EXPECT_FALSE(polyfit(std::vector<double>{1.0, 2.0},
+                       std::vector<double>{1.0, 2.0}, 2)
+                   .has_value());
+}
+
+TEST(Polyfit, MismatchedLengthsReturnsNullopt) {
+  EXPECT_FALSE(polyfit(std::vector<double>{1.0, 2.0, 3.0},
+                       std::vector<double>{1.0, 2.0}, 1)
+                   .has_value());
+}
+
+TEST(Polyfit, EvaluationUsesHornerConvention) {
+  PolyFit fit;
+  fit.coeffs = {2.0, -3.0, 1.0};  // 2x^2 - 3x + 1
+  EXPECT_DOUBLE_EQ(fit(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fit(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(fit(2.0), 3.0);
+  EXPECT_EQ(fit.degree(), 2u);
+}
+
+TEST(RSquared, ZeroForMeanPrediction) {
+  PolyFit fit;
+  fit.coeffs = {2.0};  // constant = mean of ys
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {1, 2, 3};
+  EXPECT_NEAR(r_squared(fit, xs, ys), 0.0, 1e-12);
+}
+
+TEST(RSquared, EmptyInputIsZero) {
+  PolyFit fit;
+  fit.coeffs = {1.0};
+  EXPECT_DOUBLE_EQ(r_squared(fit, {}, {}), 0.0);
+}
+
+}  // namespace

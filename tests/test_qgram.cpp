@@ -1,0 +1,146 @@
+#include "metrics/qgram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "datagen/errors.hpp"
+#include "metrics/damerau.hpp"
+#include "metrics/levenshtein.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fbf::metrics::dl_distance;
+using fbf::metrics::QgramProfile;
+using fbf::metrics::qgram_count_bound;
+using fbf::metrics::qgram_filter_pass;
+
+TEST(QgramProfile, GramCounts) {
+  EXPECT_EQ(QgramProfile("SMITH", 2).size(), 4u);  // SM MI IT TH
+  EXPECT_EQ(QgramProfile("SMITH", 3).size(), 3u);
+  EXPECT_EQ(QgramProfile("AB", 2).size(), 1u);
+  // Shorter than q: one padded gram keeps the profile non-empty.
+  EXPECT_EQ(QgramProfile("A", 2).size(), 1u);
+  EXPECT_EQ(QgramProfile("", 2).size(), 1u);
+}
+
+TEST(QgramProfile, IdenticalStringsShareAllGrams) {
+  const QgramProfile a("JOHNSON", 2);
+  const QgramProfile b("JOHNSON", 2);
+  EXPECT_EQ(a.common_grams(b), 6);
+}
+
+TEST(QgramProfile, DisjointStringsShareNone) {
+  const QgramProfile a("AAAA", 2);
+  const QgramProfile b("BBBB", 2);
+  EXPECT_EQ(a.common_grams(b), 0);
+}
+
+TEST(QgramProfile, MultisetSemantics) {
+  // "AAA" has two AA grams; "AA" has one: intersection is one, not two.
+  const QgramProfile a("AAA", 2);
+  const QgramProfile b("AA", 2);
+  EXPECT_EQ(a.common_grams(b), 1);
+}
+
+TEST(QgramBound, KnownValues) {
+  // max(5,5) - 2 + 1 - 1*2 = 2 shared bigrams needed for k=1 on 5-char
+  // strings.
+  EXPECT_EQ(qgram_count_bound(5, 5, 2, 1), 2);
+  EXPECT_EQ(qgram_count_bound(9, 9, 2, 1), 6);
+  // Vacuous for short strings / large k.
+  EXPECT_LE(qgram_count_bound(3, 3, 2, 2), 0);
+}
+
+TEST(QgramFilter, ObviousCases) {
+  EXPECT_TRUE(qgram_filter_pass("SMITH", "SMITH", 2, 1));
+  EXPECT_TRUE(qgram_filter_pass("SMITH", "SMYTH", 2, 1));
+  EXPECT_FALSE(qgram_filter_pass("JOHNSON", "WILLIAMS", 2, 1));
+}
+
+TEST(QgramFilter, VacuousBoundNeverRejects) {
+  // k*q >= longer-q+1: the filter must pass everything rather than
+  // reject valid pairs.
+  EXPECT_TRUE(qgram_filter_pass("AB", "ZX", 2, 2));
+}
+
+TEST(QgramFilter, LevenshteinBoundUnsafeAgainstTranspositions) {
+  // The documented counterexample: one transposition (DL = 1) but the
+  // Levenshtein-k bound rejects; the DL-safe bound must pass.
+  ASSERT_EQ(dl_distance("ABCDE", "ABDCE"), 1);
+  EXPECT_FALSE(qgram_filter_pass("ABCDE", "ABDCE", 2, 1));
+  EXPECT_TRUE(fbf::metrics::qgram_filter_pass_dl("ABCDE", "ABDCE", 2, 1));
+}
+
+// Safety properties: the Levenshtein bound against Levenshtein distance,
+// and the DL bound against DL distance.
+class QgramSafety
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(QgramSafety, NoFalseNegativesLevenshtein) {
+  const auto [q, k] = GetParam();
+  fbf::util::Rng rng(fbf::util::fnv1a64("qgram") +
+                     static_cast<std::uint64_t>(q * 10 + k));
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string s(2 + rng.below(13), '\0');
+    for (auto& ch : s) {
+      ch = static_cast<char>('A' + rng.below(12));
+    }
+    std::string t = s;
+    for (int e = 0; e < k; ++e) {
+      t = fbf::datagen::inject_single_edit(
+          t, fbf::datagen::Alphabet::kUpperAlpha, rng);
+    }
+    if (fbf::metrics::levenshtein_distance(s, t) <= k) {
+      EXPECT_TRUE(qgram_filter_pass(s, t, q, k))
+          << "s=" << s << " t=" << t << " q=" << q << " k=" << k;
+    }
+  }
+}
+
+TEST_P(QgramSafety, NoFalseNegativesDamerau) {
+  const auto [q, k] = GetParam();
+  fbf::util::Rng rng(fbf::util::fnv1a64("qgram-dl") +
+                     static_cast<std::uint64_t>(q * 10 + k));
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string s(2 + rng.below(13), '\0');
+    for (auto& ch : s) {
+      ch = static_cast<char>('A' + rng.below(12));
+    }
+    std::string t = s;
+    for (int e = 0; e < k; ++e) {
+      t = fbf::datagen::inject_single_edit(
+          t, fbf::datagen::Alphabet::kUpperAlpha, rng);
+    }
+    if (dl_distance(s, t) <= k) {
+      EXPECT_TRUE(fbf::metrics::qgram_filter_pass_dl(s, t, q, k))
+          << "s=" << s << " t=" << t << " q=" << q << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QK, QgramSafety,
+                         ::testing::Combine(::testing::Values(2, 3),
+                                            ::testing::Values(1, 2)));
+
+TEST(QgramFilter, SelectivityOnRandomPairs) {
+  // The filter must reject a decent share of random unrelated name pairs
+  // (otherwise it is useless as a pre-filter).
+  fbf::util::Rng rng(99);
+  int rejected = 0;
+  constexpr int kPairs = 2000;
+  for (int i = 0; i < kPairs; ++i) {
+    std::string s(6 + rng.below(6), '\0');
+    std::string t(6 + rng.below(6), '\0');
+    for (auto& ch : s) ch = static_cast<char>('A' + rng.below(20));
+    for (auto& ch : t) ch = static_cast<char>('A' + rng.below(20));
+    if (!qgram_filter_pass(s, t, 2, 1)) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, kPairs / 2);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace {
+
+using fbf::util::Rng;
+using fbf::util::SplitMix64;
+
+TEST(SplitMix, DeterministicForSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(3);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull,
+                                    (1ull << 32), (1ull << 62)}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(rng.below(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.below(kBuckets)];
+  }
+  // Each bucket expects 10,000 +- a few hundred; allow generous 5% slack.
+  for (const int count : counts) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets * 0.05);
+  }
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(17);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RangeDegenerate) {
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.range(5, 5), 5);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(23);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, PickWeightedZeroWeightNeverChosen) {
+  Rng rng(31);
+  const double weights[] = {1.0, 0.0, 2.0};
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_NE(rng.pick_weighted(weights), 1u);
+  }
+}
+
+TEST(Rng, PickWeightedProportions) {
+  Rng rng(37);
+  const double weights[] = {1.0, 3.0};
+  int count1 = 0;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.pick_weighted(weights) == 1) {
+      ++count1;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / kDraws, 0.75, 0.02);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(41);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = items;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, items);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.split();
+  // The child stream should not replay the parent's output.
+  Rng parent_replica(43);
+  (void)parent_replica.next();  // consumed by split()
+  EXPECT_NE(child.next(), parent_replica.next());
+}
+
+TEST(Fnv1a, StableKnownValue) {
+  // FNV-1a of the empty string is the offset basis.
+  EXPECT_EQ(fbf::util::fnv1a64(""), 0xCBF29CE484222325ull);
+  EXPECT_NE(fbf::util::fnv1a64("LN"), fbf::util::fnv1a64("FN"));
+  static_assert(fbf::util::fnv1a64("a") != fbf::util::fnv1a64("b"));
+}
+
+}  // namespace

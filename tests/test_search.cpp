@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datagen/dataset.hpp"
+#include "metrics/damerau.hpp"
+#include "search/bk_tree.hpp"
+#include "search/trie_search.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace dg = fbf::datagen;
+using fbf::metrics::dl_distance;
+using fbf::metrics::true_dl_distance;
+using fbf::search::BkTree;
+using fbf::search::TrieSearch;
+
+// ------------------------------------------------------------- BK-tree --
+
+TEST(BkTree, EmptyTree) {
+  BkTree tree;
+  std::vector<std::uint32_t> out;
+  EXPECT_EQ(tree.query("SMITH", 1, out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BkTree, ExactLookup) {
+  const std::vector<std::string> strings = {"SMITH", "JONES", "BROWN"};
+  const BkTree tree(strings);
+  std::vector<std::uint32_t> out;
+  tree.query("JONES", 0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1u);
+}
+
+TEST(BkTree, DuplicateStringsAllReturned) {
+  const std::vector<std::string> strings = {"SMITH", "SMITH", "SMITH"};
+  const BkTree tree(strings);
+  std::vector<std::uint32_t> out;
+  tree.query("SMITH", 0, out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+class BkTreeEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BkTreeEquivalence, MatchesBruteForceTrueDl) {
+  const int k = GetParam();
+  const auto dataset = dg::build_paired_dataset(dg::FieldKind::kLastName,
+                                                250, 77);
+  const BkTree tree(dataset.error);
+  std::vector<std::uint32_t> out;
+  for (const std::string& query : dataset.clean) {
+    out.clear();
+    tree.query(query, k, out);
+    std::set<std::uint32_t> from_tree(out.begin(), out.end());
+    EXPECT_EQ(from_tree.size(), out.size()) << "duplicates for " << query;
+    std::set<std::uint32_t> brute;
+    for (std::uint32_t j = 0; j < dataset.error.size(); ++j) {
+      if (true_dl_distance(query, dataset.error[j]) <= k) {
+        brute.insert(j);
+      }
+    }
+    EXPECT_EQ(from_tree, brute) << query;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, BkTreeEquivalence, ::testing::Values(0, 1, 2));
+
+TEST(BkTree, PruningDoesWork) {
+  // A range query must evaluate far fewer distances than the tree size
+  // on clustered name data at radius 1.
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 2000, 3);
+  const BkTree tree(dataset.error);
+  std::vector<std::uint32_t> out;
+  const std::size_t evals = tree.query(dataset.clean[0], 1, out);
+  EXPECT_LT(evals, tree.size() / 2);
+}
+
+TEST(BkTree, SupersetOfOsaMatches) {
+  // true_dl <= OSA, so radius-k BK results cover every OSA-within-k pair
+  // — the property that makes the tree a safe OSA candidate generator.
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 300, 12);
+  const BkTree tree(dataset.error);
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    out.clear();
+    tree.query(dataset.clean[i], 1, out);
+    const std::set<std::uint32_t> candidates(out.begin(), out.end());
+    for (std::uint32_t j = 0; j < dataset.size(); ++j) {
+      if (dl_distance(dataset.clean[i], dataset.error[j]) <= 1) {
+        EXPECT_TRUE(candidates.count(j)) << i << "," << j;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- trie --
+
+TEST(TrieSearch, EmptyAndExact) {
+  TrieSearch empty;
+  std::vector<std::uint32_t> out;
+  EXPECT_EQ(empty.query("X", 1, out), 0u);
+
+  const std::vector<std::string> strings = {"SMITH", "SMYTH", "JONES"};
+  const TrieSearch trie(strings);
+  out.clear();
+  trie.query("SMITH", 0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0u);
+}
+
+TEST(TrieSearch, PrefixSharingVisitsFewNodes) {
+  // 1000 strings sharing prefixes: visited rows far below total chars.
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 1000, 8);
+  const TrieSearch trie(dataset.error);
+  EXPECT_LT(trie.node_count(),
+            1000u * 8u);  // prefix sharing compresses the dictionary
+  std::vector<std::uint32_t> out;
+  const std::size_t rows = trie.query(dataset.clean[0], 1, out);
+  EXPECT_LT(rows, trie.node_count() / 2);
+}
+
+TEST(TrieSearch, EmptyQueryMatchesShortStrings) {
+  const std::vector<std::string> strings = {"A", "AB", "ABC"};
+  const TrieSearch trie(strings);
+  std::vector<std::uint32_t> out;
+  trie.query("", 1, out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0}));  // only "A" within 1
+}
+
+TEST(TrieSearch, TranspositionCountsAsOne) {
+  const std::vector<std::string> strings = {"SMIHT"};
+  const TrieSearch trie(strings);
+  std::vector<std::uint32_t> out;
+  trie.query("SMITH", 1, out);
+  ASSERT_EQ(out.size(), 1u);  // OSA semantics: transposition = 1 edit
+}
+
+TEST(TrieSearch, DuplicatesAllReported) {
+  const std::vector<std::string> strings = {"SMITH", "SMITH"};
+  const TrieSearch trie(strings);
+  std::vector<std::uint32_t> out;
+  trie.query("SMYTH", 1, out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1}));
+}
+
+class TrieEquivalence
+    : public ::testing::TestWithParam<std::tuple<dg::FieldKind, int>> {};
+
+TEST_P(TrieEquivalence, MatchesBruteForceOsa) {
+  const auto [kind, k] = GetParam();
+  const auto dataset = dg::build_paired_dataset(kind, 220, 41);
+  const TrieSearch trie(dataset.error);
+  std::vector<std::uint32_t> out;
+  for (const std::string& query : dataset.clean) {
+    out.clear();
+    trie.query(query, k, out);
+    std::set<std::uint32_t> from_trie(out.begin(), out.end());
+    EXPECT_EQ(from_trie.size(), out.size());
+    std::set<std::uint32_t> brute;
+    for (std::uint32_t j = 0; j < dataset.error.size(); ++j) {
+      if (dl_distance(query, dataset.error[j]) <= k) {
+        brute.insert(j);
+      }
+    }
+    EXPECT_EQ(from_trie, brute) << query << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FieldsAndRadii, TrieEquivalence,
+    ::testing::Combine(::testing::Values(dg::FieldKind::kLastName,
+                                         dg::FieldKind::kSsn,
+                                         dg::FieldKind::kAddress),
+                       ::testing::Values(0, 1, 2)),
+    [](const auto& param_info) {
+      return std::string(dg::field_kind_name(std::get<0>(param_info.param))) +
+             "_k" + std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace

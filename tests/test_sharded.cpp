@@ -1,0 +1,140 @@
+#include "linkage/sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linkage/person_gen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace lk = fbf::linkage;
+using fbf::util::Rng;
+
+struct Fixture {
+  std::vector<lk::PersonRecord> clean;
+  std::vector<lk::PersonRecord> error;
+
+  explicit Fixture(std::size_t n, std::uint64_t seed = 5) {
+    Rng rng(seed);
+    clean = lk::generate_people(n, rng);
+    lk::RecordErrorModel model;
+    model.field_typo_rate = 0.25;
+    error = lk::make_error_records(clean, model, rng);
+  }
+};
+
+lk::ShardedConfig make_config(std::size_t shards,
+                              lk::PartitionScheme scheme) {
+  lk::ShardedConfig config;
+  config.n_shards = shards;
+  config.scheme = scheme;
+  config.link.comparator =
+      lk::make_point_threshold_config(lk::FieldStrategy::kFpdl);
+  return config;
+}
+
+TEST(Sharded, ReplicateRightIsLossless) {
+  const Fixture fx(120);
+  const auto baseline = lk::link_exhaustive(
+      fx.clean, fx.error, make_config(1, lk::PartitionScheme::kReplicateRight).link);
+  for (const std::size_t shards : {1u, 2u, 4u, 7u}) {
+    const auto result = lk::link_sharded(
+        fx.clean, fx.error,
+        make_config(shards, lk::PartitionScheme::kReplicateRight));
+    EXPECT_EQ(result.total_matches, baseline.matches) << shards;
+    EXPECT_EQ(result.total_true_positives, baseline.true_positives);
+    // Broadcast: total pair count equals the exhaustive product.
+    EXPECT_EQ(result.total_pairs, baseline.candidate_pairs);
+  }
+}
+
+TEST(Sharded, ReplicateRightSlicesLeftEvenly) {
+  const Fixture fx(100);
+  const auto result = lk::link_sharded(
+      fx.clean, fx.error,
+      make_config(4, lk::PartitionScheme::kReplicateRight));
+  ASSERT_EQ(result.shards.size(), 4u);
+  for (const auto& shard : result.shards) {
+    EXPECT_EQ(shard.left_count, 25u);
+    EXPECT_EQ(shard.right_count, 100u);
+  }
+}
+
+TEST(Sharded, HashPartitioningReducesWork) {
+  const Fixture fx(150);
+  const auto broadcast = lk::link_sharded(
+      fx.clean, fx.error,
+      make_config(4, lk::PartitionScheme::kReplicateRight));
+  const auto hashed = lk::link_sharded(
+      fx.clean, fx.error, make_config(4, lk::PartitionScheme::kHashLastName));
+  EXPECT_LT(hashed.total_pairs, broadcast.total_pairs / 2);
+}
+
+TEST(Sharded, HashOnNoisyKeyLosesRecall) {
+  // Typos in the last name move records across shards, so hash(LN)
+  // must lose true pairs relative to replicate-right — the failure mode
+  // this module exists to measure.
+  const Fixture fx(400);
+  const auto lossless = lk::link_sharded(
+      fx.clean, fx.error,
+      make_config(8, lk::PartitionScheme::kReplicateRight));
+  const auto hashed = lk::link_sharded(
+      fx.clean, fx.error, make_config(8, lk::PartitionScheme::kHashLastName));
+  EXPECT_LT(hashed.total_true_positives, lossless.total_true_positives);
+}
+
+TEST(Sharded, SoundexKeyRecallAtLeastRawKey) {
+  // Soundex canonicalizes many single-edit misspellings to the same code,
+  // so its shard assignment survives more typos than raw hashing.
+  const Fixture fx(400);
+  const auto raw = lk::link_sharded(
+      fx.clean, fx.error, make_config(8, lk::PartitionScheme::kHashLastName));
+  const auto sdx = lk::link_sharded(
+      fx.clean, fx.error,
+      make_config(8, lk::PartitionScheme::kHashSoundexLastName));
+  EXPECT_GE(sdx.total_true_positives, raw.total_true_positives);
+}
+
+TEST(Sharded, StatsAreInternallyConsistent) {
+  const Fixture fx(100);
+  const auto result = lk::link_sharded(
+      fx.clean, fx.error, make_config(4, lk::PartitionScheme::kHashLastName));
+  std::uint64_t pairs = 0;
+  std::uint64_t matches = 0;
+  double sum_ms = 0.0;
+  double max_ms = 0.0;
+  for (const auto& shard : result.shards) {
+    pairs += shard.pairs;
+    matches += shard.matches;
+    sum_ms += shard.link_ms;
+    max_ms = std::max(max_ms, shard.link_ms);
+    EXPECT_EQ(shard.pairs,
+              static_cast<std::uint64_t>(shard.left_count) *
+                  shard.right_count);
+  }
+  EXPECT_EQ(result.total_pairs, pairs);
+  EXPECT_EQ(result.total_matches, matches);
+  EXPECT_DOUBLE_EQ(result.sum_ms, sum_ms);
+  EXPECT_DOUBLE_EQ(result.makespan_ms, max_ms);
+  EXPECT_GE(result.imbalance(), 1.0 - 1e-9);
+}
+
+TEST(Sharded, SingleShardEqualsExhaustive) {
+  const Fixture fx(80);
+  const auto config = make_config(1, lk::PartitionScheme::kHashLastName);
+  const auto sharded = lk::link_sharded(fx.clean, fx.error, config);
+  const auto exhaustive = lk::link_exhaustive(fx.clean, fx.error, config.link);
+  EXPECT_EQ(sharded.total_matches, exhaustive.matches);
+  EXPECT_EQ(sharded.total_true_positives, exhaustive.true_positives);
+}
+
+TEST(Sharded, SchemeNames) {
+  EXPECT_STREQ(
+      lk::partition_scheme_name(lk::PartitionScheme::kHashLastName),
+      "hash(LN)");
+  EXPECT_STREQ(
+      lk::partition_scheme_name(lk::PartitionScheme::kReplicateRight),
+      "replicate-right");
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+#include "core/signature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/find_diff_bits.hpp"
+#include "util/ascii.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fbf::core::FieldClass;
+using fbf::core::find_diff_bits;
+using fbf::core::make_signature;
+using fbf::core::set_alpha_bits;
+using fbf::core::set_num_bits;
+using fbf::core::Signature;
+using fbf::core::signature_words;
+
+TEST(NumSignature, PaperFigure4) {
+  // Fig. 4: "8005551212" — digit layout 000 111 222 333 444 555 ... from
+  // bit 0.  Occurrences: 0 x2, 1 x2, 2 x2, 5 x3, 8 x1.
+  const std::uint32_t sig = set_num_bits("8005551212");
+  const std::uint32_t expected = (0b11u << 0) |   // two 0s
+                                 (0b11u << 3) |   // two 1s
+                                 (0b11u << 6) |   // two 2s
+                                 (0b111u << 15) |  // three 5s
+                                 (0b1u << 24);    // one 8
+  EXPECT_EQ(sig, expected);
+}
+
+TEST(NumSignature, CountsCapAtThree) {
+  // "2133333333": only three of the eight 3s are recorded (paper §3).
+  const std::uint32_t sig = set_num_bits("2133333333");
+  EXPECT_EQ(sig, (1u << 6) | (1u << 3) | (0b111u << 9));
+}
+
+TEST(NumSignature, PaperPhoneDifferenceExample) {
+  // §3: FBF difference between "213-333-3333" and "213-333-4444" is 3 + 3
+  // on raw signatures (three 3-bits lost, three 4-bits gained)... the
+  // paper counts 3 changed characters; the XOR sees both sides.
+  const std::uint32_t m = set_num_bits("2133333333");
+  const std::uint32_t n = set_num_bits("2133334444");
+  // m has 3 occurrences of '3' recorded, n has 3 '3's? n = 213333 4444:
+  // '3' occurs 4 times in n -> capped at 3 as well; '4' occurs 4 times ->
+  // capped at 3.  XOR difference = the three new 4-bits.
+  Signature ms;
+  ms.push(m);
+  Signature ns;
+  ns.push(n);
+  EXPECT_EQ(find_diff_bits(ms, ns), 3);
+}
+
+TEST(NumSignature, IgnoresNonDigits) {
+  EXPECT_EQ(set_num_bits("800-555-1212"), set_num_bits("8005551212"));
+  EXPECT_EQ(set_num_bits("ABC"), 0u);
+  EXPECT_EQ(set_num_bits(""), 0u);
+}
+
+TEST(NumSignature, OccupiesOnlyThirtyBits) {
+  fbf::util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    std::string digits(20, '\0');
+    for (auto& ch : digits) {
+      ch = static_cast<char>('0' + rng.below(10));
+    }
+    EXPECT_EQ(set_num_bits(digits) & 0xC0000000u, 0u);
+  }
+}
+
+TEST(NumSignature, ProgressiveOccurrenceBits) {
+  EXPECT_EQ(set_num_bits("7"), 0b001u << 21);
+  EXPECT_EQ(set_num_bits("77"), 0b011u << 21);
+  EXPECT_EQ(set_num_bits("777"), 0b111u << 21);
+  EXPECT_EQ(set_num_bits("7777"), 0b111u << 21);  // capped
+}
+
+TEST(AlphaSignature, PaperFigure3) {
+  // Fig. 3: "SMITH" sets bits H, I, M, S, T in word 0.
+  const Signature sig = set_alpha_bits("SMITH", 1);
+  ASSERT_EQ(sig.size(), 1u);
+  const std::uint32_t expected = (1u << ('S' - 'A')) | (1u << ('M' - 'A')) |
+                                 (1u << ('I' - 'A')) | (1u << ('T' - 'A')) |
+                                 (1u << ('H' - 'A'));
+  EXPECT_EQ(sig.word(0), expected);
+}
+
+TEST(AlphaSignature, CaseInsensitive) {
+  EXPECT_EQ(set_alpha_bits("Smith", 2), set_alpha_bits("SMITH", 2));
+  EXPECT_EQ(set_alpha_bits("sMiTh", 2), set_alpha_bits("SMITH", 2));
+}
+
+TEST(AlphaSignature, SecondOccurrenceGoesToSecondWord) {
+  const Signature sig = set_alpha_bits("ANNA", 2);
+  ASSERT_EQ(sig.size(), 2u);
+  // Word 0: A and N present; word 1: second A and second N.
+  EXPECT_EQ(sig.word(0), (1u << 0) | (1u << ('N' - 'A')));
+  EXPECT_EQ(sig.word(1), (1u << 0) | (1u << ('N' - 'A')));
+}
+
+TEST(AlphaSignature, CapRespectsWordCount) {
+  // "AAAA" with l=2 records two As; with l=4 records four.
+  const Signature two = set_alpha_bits("AAAA", 2);
+  EXPECT_EQ(two.word(0), 1u);
+  EXPECT_EQ(two.word(1), 1u);
+  const Signature four = set_alpha_bits("AAAA", 4);
+  ASSERT_EQ(four.size(), 4u);
+  for (std::size_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(four.word(w), 1u);
+  }
+}
+
+TEST(AlphaSignature, IgnoresDigitsAndPunctuation) {
+  EXPECT_EQ(set_alpha_bits("O'BRIEN-2", 2), set_alpha_bits("OBRIEN", 2));
+}
+
+TEST(AlphaSignature, FormalCondition) {
+  // Paper's invariant: bit c of word j is set iff the (j+1)-th occurrence
+  // of letter c exists in s.  Checked exhaustively on random strings.
+  fbf::util::Rng rng(9);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string s(rng.below(16), '\0');
+    for (auto& ch : s) {
+      ch = static_cast<char>('A' + rng.below(8));
+    }
+    const int l = 1 + static_cast<int>(rng.below(4));
+    const Signature sig = set_alpha_bits(s, l);
+    int counts[26] = {};
+    for (const char ch : s) {
+      ++counts[fbf::util::alpha_index(ch)];
+    }
+    for (int c = 0; c < 26; ++c) {
+      for (int j = 0; j < l; ++j) {
+        const bool bit =
+            (sig.word(static_cast<std::size_t>(j)) >> c) & 1u;
+        EXPECT_EQ(bit, counts[c] >= j + 1)
+            << "s=" << s << " c=" << c << " j=" << j << " l=" << l;
+      }
+    }
+  }
+}
+
+TEST(MakeSignature, WordCountsPerFieldClass) {
+  EXPECT_EQ(make_signature("SMITH", FieldClass::kAlpha, 2).size(), 2u);
+  EXPECT_EQ(make_signature("123456789", FieldClass::kNumeric).size(), 1u);
+  EXPECT_EQ(make_signature("1801 N BROAD ST", FieldClass::kAlphanumeric, 2).size(),
+            3u);
+  EXPECT_EQ(signature_words(FieldClass::kAlpha, 2), 2u);
+  EXPECT_EQ(signature_words(FieldClass::kNumeric, 2), 1u);
+  EXPECT_EQ(signature_words(FieldClass::kAlphanumeric, 2), 3u);
+}
+
+TEST(MakeSignature, AlphanumericCombinesBothParts) {
+  const Signature sig = make_signature("AB12", FieldClass::kAlphanumeric, 1);
+  ASSERT_EQ(sig.size(), 2u);
+  EXPECT_EQ(sig.word(0), 0b11u);                  // A, B
+  EXPECT_EQ(sig.word(1), (1u << 3) | (1u << 6));  // 1, 2
+}
+
+TEST(Signature, EqualityComparesWordsAndSize) {
+  Signature a;
+  a.push(1);
+  a.push(2);
+  Signature b;
+  b.push(1);
+  b.push(2);
+  Signature c;
+  c.push(1);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(FindDiffBits, IdenticalSignaturesZero) {
+  const Signature a = make_signature("SMITH", FieldClass::kAlpha, 2);
+  EXPECT_EQ(find_diff_bits(a, a), 0);
+}
+
+TEST(FindDiffBits, PaperSubstitutionWorstCase) {
+  // §4: one substitution flips at most 2 bits ("12346" vs "12345").
+  const Signature m = make_signature("12346", FieldClass::kNumeric);
+  const Signature n = make_signature("12345", FieldClass::kNumeric);
+  EXPECT_EQ(find_diff_bits(m, n), 2);
+}
+
+TEST(FindDiffBits, PaperTranspositionZero) {
+  const Signature m = make_signature("13245", FieldClass::kNumeric);
+  const Signature n = make_signature("12345", FieldClass::kNumeric);
+  EXPECT_EQ(find_diff_bits(m, n), 0);
+}
+
+TEST(FindDiffBits, PaperInsertDeleteOne) {
+  const Signature m = make_signature("123456", FieldClass::kNumeric);
+  const Signature n = make_signature("12345", FieldClass::kNumeric);
+  EXPECT_EQ(find_diff_bits(m, n), 1);
+  // §4 repeated-character case: "1234566" vs "123456" — the second 6 sets
+  // the "found a second 6" bit.
+  const Signature p = make_signature("1234566", FieldClass::kNumeric);
+  const Signature q = make_signature("123456", FieldClass::kNumeric);
+  EXPECT_EQ(find_diff_bits(p, q), 1);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+#include "core/signature64.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "datagen/errors.hpp"
+#include "metrics/damerau.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fbf::core::fbf_pass64;
+using fbf::core::find_diff_bits64;
+using fbf::core::make_signature64;
+using fbf::core::sig64_has_adjacent_pair;
+using fbf::core::sig64_has_triple;
+
+TEST(Signature64, LetterLayout) {
+  const std::uint64_t sig = make_signature64("AB");
+  EXPECT_EQ(sig & fbf::core::kSig64CountMask, 0b11ull);
+}
+
+TEST(Signature64, SecondOccurrenceWindow) {
+  const std::uint64_t sig = make_signature64("AA");
+  EXPECT_TRUE(sig & (1ull << 0));
+  EXPECT_TRUE(sig & (1ull << 26));
+  EXPECT_FALSE(sig64_has_triple(sig));
+  EXPECT_TRUE(sig64_has_adjacent_pair(sig));
+}
+
+TEST(Signature64, TripleFlagForLetters) {
+  EXPECT_FALSE(sig64_has_triple(make_signature64("AABB")));
+  EXPECT_TRUE(sig64_has_triple(make_signature64("AAA")));
+}
+
+TEST(Signature64, DigitLayoutAndOverflow) {
+  const std::uint64_t sig = make_signature64("05");
+  EXPECT_TRUE(sig & (1ull << 52));
+  EXPECT_TRUE(sig & (1ull << 57));
+  EXPECT_FALSE(sig64_has_triple(sig));
+  EXPECT_TRUE(sig64_has_triple(make_signature64("00")));
+}
+
+TEST(Signature64, CaseInsensitive) {
+  EXPECT_EQ(make_signature64("Smith"), make_signature64("SMITH"));
+  EXPECT_TRUE(sig64_has_adjacent_pair(make_signature64("aA")));
+}
+
+TEST(Signature64, AdjacencyFlag) {
+  EXPECT_FALSE(sig64_has_adjacent_pair(make_signature64("ABAB")));
+  EXPECT_TRUE(sig64_has_adjacent_pair(make_signature64("ABBA")));
+  // Adjacency through a separator does not count.
+  EXPECT_FALSE(sig64_has_adjacent_pair(make_signature64("ABA")));
+}
+
+TEST(Signature64, NonAlnumIgnoredForCounts) {
+  EXPECT_EQ(make_signature64("O'BRIEN") & fbf::core::kSig64CountMask,
+            make_signature64("OBRIEN") & fbf::core::kSig64CountMask);
+}
+
+TEST(Signature64, DiffBitsExcludesFlags) {
+  // "ABA" vs "AABB": flags differ (adjacency), counted bits measure only
+  // the occurrence changes.
+  const std::uint64_t m = make_signature64("AB");
+  const std::uint64_t n = make_signature64("ABB");  // adds second B
+  EXPECT_EQ(find_diff_bits64(m, n), 1);
+  const std::uint64_t p = make_signature64("ABAB");  // has adjacency flag off
+  const std::uint64_t q = make_signature64("AABB");  // same multiset, flag on
+  EXPECT_EQ(find_diff_bits64(p, q), 0);
+}
+
+TEST(Signature64, FilterSafetyProperty) {
+  // Same invariant as the 32-bit filter: one injected edit flips at most
+  // two counted bits, so j edits keep the diff <= 2j.
+  fbf::util::Rng rng(321);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string s(2 + rng.below(14), '\0');
+    for (auto& ch : s) {
+      // Mixed letters and digits to hit both windows.
+      ch = rng.chance(0.7) ? static_cast<char>('A' + rng.below(26))
+                           : static_cast<char>('0' + rng.below(10));
+    }
+    const int edits = 1 + static_cast<int>(rng.below(3));
+    const std::string t = fbf::datagen::inject_edits(
+        s, edits, fbf::datagen::Alphabet::kAlphanumeric, rng);
+    EXPECT_LE(find_diff_bits64(make_signature64(s), make_signature64(t)),
+              2 * edits)
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST(Signature64, FilterContrapositive) {
+  // Reject implies truly farther than k.
+  fbf::util::Rng rng(322);
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string s(1 + rng.below(10), '\0');
+    std::string t(1 + rng.below(10), '\0');
+    for (auto& ch : s) ch = static_cast<char>('A' + rng.below(8));
+    for (auto& ch : t) ch = static_cast<char>('A' + rng.below(8));
+    for (const int k : {1, 2}) {
+      if (!fbf_pass64(make_signature64(s), make_signature64(t), k)) {
+        EXPECT_GT(fbf::metrics::dl_distance(s, t), k)
+            << "s=" << s << " t=" << t << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Signature64, SharperThanTwoWord32OnSecondOccurrences) {
+  // The 64-bit signature carries the same letter information as the
+  // 32-bit l=2 vector plus digit bits — one word instead of two or three.
+  const std::uint64_t m = make_signature64("1801 N BROAD ST");
+  const std::uint64_t n = make_signature64("1801 N BROAD AVE");
+  EXPECT_GT(find_diff_bits64(m, n), 0);
+  EXPECT_EQ(find_diff_bits64(m, m), 0);
+}
+
+}  // namespace

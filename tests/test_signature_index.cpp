@@ -1,0 +1,141 @@
+#include "core/signature_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/find_diff_bits.hpp"
+#include "core/match_join.hpp"
+#include "datagen/dataset.hpp"
+
+namespace {
+
+namespace c = fbf::core;
+namespace dg = fbf::datagen;
+
+TEST(SignatureIndex, RefusesUnsupportedLayouts) {
+  const std::vector<std::string> strings = {"1801 N BROAD ST"};
+  EXPECT_FALSE(c::SignatureIndex::build(strings,
+                                        c::FieldClass::kAlphanumeric, 2, 1)
+                   .has_value());
+  // Alpha with 3+ words exceeds the 64-bit key.
+  EXPECT_FALSE(
+      c::SignatureIndex::build(strings, c::FieldClass::kAlpha, 3, 1)
+          .has_value());
+  // Probe budget: k = 3 on alpha-l2 needs C(52,6)-scale probes.
+  EXPECT_FALSE(
+      c::SignatureIndex::build(strings, c::FieldClass::kAlpha, 2, 3)
+          .has_value());
+  EXPECT_FALSE(
+      c::SignatureIndex::build(strings, c::FieldClass::kNumeric, 1, -1)
+          .has_value());
+}
+
+TEST(SignatureIndex, AcceptsSupportedLayouts) {
+  const std::vector<std::string> strings = {"123456789"};
+  EXPECT_TRUE(c::SignatureIndex::build(strings, c::FieldClass::kNumeric, 1, 1)
+                  .has_value());
+  EXPECT_TRUE(c::SignatureIndex::build(strings, c::FieldClass::kNumeric, 1, 2)
+                  .has_value());
+  EXPECT_TRUE(c::SignatureIndex::build(strings, c::FieldClass::kAlpha, 2, 1)
+                  .has_value());
+  EXPECT_TRUE(c::SignatureIndex::build(strings, c::FieldClass::kAlpha, 1, 1)
+                  .has_value());
+}
+
+TEST(SignatureIndex, ProbeCountsMatchCombinatorics) {
+  const std::vector<std::string> strings = {"123456789"};
+  const auto numeric_k1 =
+      c::SignatureIndex::build(strings, c::FieldClass::kNumeric, 1, 1);
+  ASSERT_TRUE(numeric_k1.has_value());
+  EXPECT_EQ(numeric_k1->probes_per_query(), 1u + 30u + 435u);
+  const auto alpha_k1 =
+      c::SignatureIndex::build(strings, c::FieldClass::kAlpha, 2, 1);
+  ASSERT_TRUE(alpha_k1.has_value());
+  EXPECT_EQ(alpha_k1->probes_per_query(), 1u + 52u + 1326u);
+}
+
+class IndexEquivalence
+    : public ::testing::TestWithParam<dg::FieldKind> {};
+
+TEST_P(IndexEquivalence, QueryReturnsExactlyTheFbfPassSet) {
+  // The index must surface exactly the pairs the scan filter passes.
+  const auto kind = GetParam();
+  const auto cls = dg::field_class_of(kind);
+  const auto dataset = dg::build_paired_dataset(kind, 150, 321);
+  const int k = 1;
+  const auto index = c::SignatureIndex::build(dataset.error, cls, 2, k);
+  ASSERT_TRUE(index.has_value());
+  std::vector<std::uint32_t> candidates;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto sig = c::make_signature(dataset.clean[i], cls, 2);
+    candidates.clear();
+    index->query(sig, candidates);
+    std::set<std::uint32_t> from_index(candidates.begin(), candidates.end());
+    EXPECT_EQ(from_index.size(), candidates.size()) << "duplicate ids";
+    std::set<std::uint32_t> from_scan;
+    for (std::uint32_t j = 0; j < dataset.size(); ++j) {
+      const auto sig_j = c::make_signature(dataset.error[j], cls, 2);
+      if (c::find_diff_bits(sig, sig_j) <= 2 * k) {
+        from_scan.insert(j);
+      }
+    }
+    EXPECT_EQ(from_index, from_scan) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IndexableFields, IndexEquivalence,
+    ::testing::Values(dg::FieldKind::kSsn, dg::FieldKind::kPhone,
+                      dg::FieldKind::kBirthDate, dg::FieldKind::kLastName,
+                      dg::FieldKind::kFirstName),
+    [](const auto& param_info) {
+      return std::string(dg::field_kind_name(param_info.param));
+    });
+
+TEST(IndexedJoin, MatchesScanJoinExactly) {
+  for (const auto kind :
+       {dg::FieldKind::kSsn, dg::FieldKind::kLastName}) {
+    const auto dataset = dg::build_paired_dataset(kind, 300, 55);
+    const auto cls = dg::field_class_of(kind);
+    const auto indexed = c::match_strings_indexed(
+        dataset.clean, dataset.error, cls, 1);
+    ASSERT_TRUE(indexed.has_value());
+    c::JoinConfig scan;
+    scan.method = c::Method::kFpdl;
+    scan.k = 1;
+    scan.field_class = cls;
+    const auto scan_stats =
+        c::match_strings(dataset.clean, dataset.error, scan);
+    EXPECT_EQ(indexed->matches, scan_stats.matches)
+        << dg::field_kind_name(kind);
+    EXPECT_EQ(indexed->diagonal_matches, scan_stats.diagonal_matches);
+    // Index candidates == scan filter survivors.
+    EXPECT_EQ(indexed->candidates, scan_stats.fbf_pass);
+    EXPECT_EQ(indexed->verify_calls, scan_stats.verify_calls);
+  }
+}
+
+TEST(IndexedJoin, RefusalFallsBackToNullopt) {
+  const auto dataset = dg::build_paired_dataset(dg::FieldKind::kAddress, 50, 1);
+  EXPECT_FALSE(c::match_strings_indexed(dataset.clean, dataset.error,
+                                        c::FieldClass::kAlphanumeric, 1)
+                   .has_value());
+}
+
+TEST(IndexedJoin, K2NumericSupported) {
+  const auto dataset = dg::build_paired_dataset(dg::FieldKind::kSsn, 150, 9);
+  const auto indexed = c::match_strings_indexed(
+      dataset.clean, dataset.error, c::FieldClass::kNumeric, 2);
+  ASSERT_TRUE(indexed.has_value());
+  c::JoinConfig scan;
+  scan.method = c::Method::kFpdl;
+  scan.k = 2;
+  scan.field_class = c::FieldClass::kNumeric;
+  const auto scan_stats = c::match_strings(dataset.clean, dataset.error, scan);
+  EXPECT_EQ(indexed->matches, scan_stats.matches);
+  EXPECT_EQ(indexed->candidates, scan_stats.fbf_pass);
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using namespace fbf::util;
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, VarianceBasics) {
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{4.0}), 0.0);
+  // Sample variance of {2, 4, 4, 4, 5, 5, 7, 9} is 32/7.
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, StddevIsSqrtVariance) {
+  const std::vector<double> xs = {1.0, 3.0, 5.0};
+  EXPECT_NEAR(stddev(xs) * stddev(xs), variance(xs), 1e-12);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3.5, -1.0, 7.25};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.25);
+}
+
+TEST(Stats, TrimmedMeanDropsOneMinAndOneMax) {
+  // The paper's 5-run protocol: drop fastest and slowest, average rest.
+  const std::vector<double> runs = {10.0, 100.0, 11.0, 12.0, 1.0};
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_minmax(runs), (10.0 + 11.0 + 12.0) / 3);
+}
+
+TEST(Stats, TrimmedMeanFallsBackBelowThree) {
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_minmax(std::vector<double>{4.0, 8.0}),
+                   6.0);
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_minmax(std::vector<double>{4.0}), 4.0);
+}
+
+TEST(Stats, TrimmedMeanDropsOnlyOneDuplicateExtreme) {
+  const std::vector<double> runs = {1.0, 1.0, 2.0, 3.0, 3.0};
+  // One 1.0 and one 3.0 removed; mean of {1, 2, 3} = 2.
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_minmax(runs), 2.0);
+}
+
+TEST(Stats, SummarizeBundlesAllFields) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_GT(s.stddev, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using fbf::util::fixed;
+using fbf::util::speedup;
+using fbf::util::Table;
+using fbf::util::with_commas;
+
+TEST(Formatting, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(12369182), "12,369,182");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+TEST(Formatting, FixedMatchesPaperStyle) {
+  EXPECT_EQ(fixed(52807.2, 1), "52,807.2");
+  EXPECT_EQ(fixed(0.6, 1), "0.6");
+  EXPECT_EQ(fixed(135098.8, 1), "135,098.8");
+  EXPECT_EQ(fixed(-12.345, 2), "-12.35");
+}
+
+TEST(Formatting, Speedup) {
+  EXPECT_EQ(speedup(62.239), "62.24");
+  EXPECT_EQ(speedup(1.0), "1.00");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"SSN", "Time ms"});
+  table.add_row({"DL", "52,807.2"});
+  table.add_row({"FPDL", "848.4"});
+  std::ostringstream os;
+  table.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("SSN"), std::string::npos);
+  EXPECT_NE(out.find("FPDL"), std::string::npos);
+  EXPECT_NE(out.find("848.4"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table table({"name", "value"});
+  table.add_row({"has,comma", "has\"quote"});
+  std::ostringstream os;
+  table.render_csv(os);
+  EXPECT_EQ(os.str(), "name,value\n\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  std::ostringstream os;
+  table.render_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+}  // namespace
