@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_app_bi"
+  "../bench/bench_app_bi.pdb"
+  "CMakeFiles/bench_app_bi.dir/bench_app_bi.cpp.o"
+  "CMakeFiles/bench_app_bi.dir/bench_app_bi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_bi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

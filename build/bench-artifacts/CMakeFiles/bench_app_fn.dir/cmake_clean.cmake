@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_app_fn"
+  "../bench/bench_app_fn.pdb"
+  "CMakeFiles/bench_app_fn.dir/bench_app_fn.cpp.o"
+  "CMakeFiles/bench_app_fn.dir/bench_app_fn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_fn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_app_ph"
+  "../bench/bench_app_ph.pdb"
+  "CMakeFiles/bench_app_ph.dir/bench_app_ph.cpp.o"
+  "CMakeFiles/bench_app_ph.dir/bench_app_ph.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_ph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

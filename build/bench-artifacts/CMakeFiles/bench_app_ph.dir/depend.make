@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_app_ph.
+# This may be replaced when dependencies are built.

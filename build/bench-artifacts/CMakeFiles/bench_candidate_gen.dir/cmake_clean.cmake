@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_candidate_gen"
+  "../bench/bench_candidate_gen.pdb"
+  "CMakeFiles/bench_candidate_gen.dir/bench_candidate_gen.cpp.o"
+  "CMakeFiles/bench_candidate_gen.dir/bench_candidate_gen.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_candidate_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_per_pair"
+  "../bench/bench_fig6_per_pair.pdb"
+  "CMakeFiles/bench_fig6_per_pair.dir/bench_fig6_per_pair.cpp.o"
+  "CMakeFiles/bench_fig6_per_pair.dir/bench_fig6_per_pair.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_per_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

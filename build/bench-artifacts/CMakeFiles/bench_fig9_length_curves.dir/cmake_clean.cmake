@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_length_curves"
+  "../bench/bench_fig9_length_curves.pdb"
+  "CMakeFiles/bench_fig9_length_curves.dir/bench_fig9_length_curves.cpp.o"
+  "CMakeFiles/bench_fig9_length_curves.dir/bench_fig9_length_curves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_length_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fs_linkage"
+  "../bench/bench_fs_linkage.pdb"
+  "CMakeFiles/bench_fs_linkage.dir/bench_fs_linkage.cpp.o"
+  "CMakeFiles/bench_fs_linkage.dir/bench_fs_linkage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fs_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

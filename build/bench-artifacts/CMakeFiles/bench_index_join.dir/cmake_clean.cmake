@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_index_join"
+  "../bench/bench_index_join.pdb"
+  "CMakeFiles/bench_index_join.dir/bench_index_join.cpp.o"
+  "CMakeFiles/bench_index_join.dir/bench_index_join.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_nightly_update"
+  "../bench/bench_nightly_update.pdb"
+  "CMakeFiles/bench_nightly_update.dir/bench_nightly_update.cpp.o"
+  "CMakeFiles/bench_nightly_update.dir/bench_nightly_update.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nightly_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

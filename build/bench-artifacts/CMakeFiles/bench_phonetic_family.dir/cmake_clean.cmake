@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_phonetic_family"
+  "../bench/bench_phonetic_family.pdb"
+  "CMakeFiles/bench_phonetic_family.dir/bench_phonetic_family.cpp.o"
+  "CMakeFiles/bench_phonetic_family.dir/bench_phonetic_family.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phonetic_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

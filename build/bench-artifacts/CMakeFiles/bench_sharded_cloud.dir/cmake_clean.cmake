@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sharded_cloud"
+  "../bench/bench_sharded_cloud.pdb"
+  "CMakeFiles/bench_sharded_cloud.dir/bench_sharded_cloud.cpp.o"
+  "CMakeFiles/bench_sharded_cloud.dir/bench_sharded_cloud.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sharded_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table12_ln_length"
+  "../bench/bench_table12_ln_length.pdb"
+  "CMakeFiles/bench_table12_ln_length.dir/bench_table12_ln_length.cpp.o"
+  "CMakeFiles/bench_table12_ln_length.dir/bench_table12_ln_length.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_ln_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table12_ln_length.
+# This may be replaced when dependencies are built.

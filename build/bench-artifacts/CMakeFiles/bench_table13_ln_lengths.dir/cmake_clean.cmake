@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table13_ln_lengths"
+  "../bench/bench_table13_ln_lengths.pdb"
+  "CMakeFiles/bench_table13_ln_lengths.dir/bench_table13_ln_lengths.cpp.o"
+  "CMakeFiles/bench_table13_ln_lengths.dir/bench_table13_ln_lengths.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_ln_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

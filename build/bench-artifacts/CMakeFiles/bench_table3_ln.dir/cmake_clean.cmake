@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_ln"
+  "../bench/bench_table3_ln.pdb"
+  "CMakeFiles/bench_table3_ln.dir/bench_table3_ln.cpp.o"
+  "CMakeFiles/bench_table3_ln.dir/bench_table3_ln.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ln.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

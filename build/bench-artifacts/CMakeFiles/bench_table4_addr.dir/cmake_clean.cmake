@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_addr"
+  "../bench/bench_table4_addr.pdb"
+  "CMakeFiles/bench_table4_addr.dir/bench_table4_addr.cpp.o"
+  "CMakeFiles/bench_table4_addr.dir/bench_table4_addr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_addr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_fpdl_matrix"
+  "../bench/bench_table5_fpdl_matrix.pdb"
+  "CMakeFiles/bench_table5_fpdl_matrix.dir/bench_table5_fpdl_matrix.cpp.o"
+  "CMakeFiles/bench_table5_fpdl_matrix.dir/bench_table5_fpdl_matrix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fpdl_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

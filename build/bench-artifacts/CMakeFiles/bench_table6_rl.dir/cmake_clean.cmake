@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_rl"
+  "../bench/bench_table6_rl.pdb"
+  "CMakeFiles/bench_table6_rl.dir/bench_table6_rl.cpp.o"
+  "CMakeFiles/bench_table6_rl.dir/bench_table6_rl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

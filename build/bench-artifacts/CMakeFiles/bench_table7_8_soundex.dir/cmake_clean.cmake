@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_8_soundex"
+  "../bench/bench_table7_8_soundex.pdb"
+  "CMakeFiles/bench_table7_8_soundex.dir/bench_table7_8_soundex.cpp.o"
+  "CMakeFiles/bench_table7_8_soundex.dir/bench_table7_8_soundex.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_8_soundex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

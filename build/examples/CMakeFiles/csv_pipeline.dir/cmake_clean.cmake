@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_pipeline.dir/csv_pipeline.cpp.o"
+  "CMakeFiles/csv_pipeline.dir/csv_pipeline.cpp.o.d"
+  "csv_pipeline"
+  "csv_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dedup_names.cpp" "examples/CMakeFiles/dedup_names.dir/dedup_names.cpp.o" "gcc" "examples/CMakeFiles/dedup_names.dir/dedup_names.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/fbf_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkage/CMakeFiles/fbf_linkage.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/fbf_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/fbf_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fbf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/fbf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

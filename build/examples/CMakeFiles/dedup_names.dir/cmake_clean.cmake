@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_names.dir/dedup_names.cpp.o"
+  "CMakeFiles/dedup_names.dir/dedup_names.cpp.o.d"
+  "dedup_names"
+  "dedup_names.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_names.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dedup_names.
+# This may be replaced when dependencies are built.

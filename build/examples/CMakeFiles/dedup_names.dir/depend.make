@@ -1,0 +1,2 @@
+# Empty dependencies file for dedup_names.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_tuner.dir/field_tuner.cpp.o"
+  "CMakeFiles/field_tuner.dir/field_tuner.cpp.o.d"
+  "field_tuner"
+  "field_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_linkage.dir/record_linkage.cpp.o"
+  "CMakeFiles/record_linkage.dir/record_linkage.cpp.o.d"
+  "record_linkage"
+  "record_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproduce_paper.dir/reproduce_paper.cpp.o"
+  "CMakeFiles/reproduce_paper.dir/reproduce_paper.cpp.o.d"
+  "reproduce_paper"
+  "reproduce_paper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproduce_paper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

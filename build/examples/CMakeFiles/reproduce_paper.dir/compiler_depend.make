@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for reproduce_paper.
+# This may be replaced when dependencies are built.

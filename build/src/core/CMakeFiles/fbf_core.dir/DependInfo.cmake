@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comparators.cpp" "src/core/CMakeFiles/fbf_core.dir/comparators.cpp.o" "gcc" "src/core/CMakeFiles/fbf_core.dir/comparators.cpp.o.d"
+  "/root/repo/src/core/match_join.cpp" "src/core/CMakeFiles/fbf_core.dir/match_join.cpp.o" "gcc" "src/core/CMakeFiles/fbf_core.dir/match_join.cpp.o.d"
+  "/root/repo/src/core/method.cpp" "src/core/CMakeFiles/fbf_core.dir/method.cpp.o" "gcc" "src/core/CMakeFiles/fbf_core.dir/method.cpp.o.d"
+  "/root/repo/src/core/signature.cpp" "src/core/CMakeFiles/fbf_core.dir/signature.cpp.o" "gcc" "src/core/CMakeFiles/fbf_core.dir/signature.cpp.o.d"
+  "/root/repo/src/core/signature64.cpp" "src/core/CMakeFiles/fbf_core.dir/signature64.cpp.o" "gcc" "src/core/CMakeFiles/fbf_core.dir/signature64.cpp.o.d"
+  "/root/repo/src/core/signature_index.cpp" "src/core/CMakeFiles/fbf_core.dir/signature_index.cpp.o" "gcc" "src/core/CMakeFiles/fbf_core.dir/signature_index.cpp.o.d"
+  "/root/repo/src/core/signature_store.cpp" "src/core/CMakeFiles/fbf_core.dir/signature_store.cpp.o" "gcc" "src/core/CMakeFiles/fbf_core.dir/signature_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/fbf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

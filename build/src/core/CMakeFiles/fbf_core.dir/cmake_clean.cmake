@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbf_core.dir/comparators.cpp.o"
+  "CMakeFiles/fbf_core.dir/comparators.cpp.o.d"
+  "CMakeFiles/fbf_core.dir/match_join.cpp.o"
+  "CMakeFiles/fbf_core.dir/match_join.cpp.o.d"
+  "CMakeFiles/fbf_core.dir/method.cpp.o"
+  "CMakeFiles/fbf_core.dir/method.cpp.o.d"
+  "CMakeFiles/fbf_core.dir/signature.cpp.o"
+  "CMakeFiles/fbf_core.dir/signature.cpp.o.d"
+  "CMakeFiles/fbf_core.dir/signature64.cpp.o"
+  "CMakeFiles/fbf_core.dir/signature64.cpp.o.d"
+  "CMakeFiles/fbf_core.dir/signature_index.cpp.o"
+  "CMakeFiles/fbf_core.dir/signature_index.cpp.o.d"
+  "CMakeFiles/fbf_core.dir/signature_store.cpp.o"
+  "CMakeFiles/fbf_core.dir/signature_store.cpp.o.d"
+  "libfbf_core.a"
+  "libfbf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfbf_core.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/address.cpp" "src/datagen/CMakeFiles/fbf_datagen.dir/address.cpp.o" "gcc" "src/datagen/CMakeFiles/fbf_datagen.dir/address.cpp.o.d"
+  "/root/repo/src/datagen/dataset.cpp" "src/datagen/CMakeFiles/fbf_datagen.dir/dataset.cpp.o" "gcc" "src/datagen/CMakeFiles/fbf_datagen.dir/dataset.cpp.o.d"
+  "/root/repo/src/datagen/dates.cpp" "src/datagen/CMakeFiles/fbf_datagen.dir/dates.cpp.o" "gcc" "src/datagen/CMakeFiles/fbf_datagen.dir/dates.cpp.o.d"
+  "/root/repo/src/datagen/errors.cpp" "src/datagen/CMakeFiles/fbf_datagen.dir/errors.cpp.o" "gcc" "src/datagen/CMakeFiles/fbf_datagen.dir/errors.cpp.o.d"
+  "/root/repo/src/datagen/name_pools.cpp" "src/datagen/CMakeFiles/fbf_datagen.dir/name_pools.cpp.o" "gcc" "src/datagen/CMakeFiles/fbf_datagen.dir/name_pools.cpp.o.d"
+  "/root/repo/src/datagen/names.cpp" "src/datagen/CMakeFiles/fbf_datagen.dir/names.cpp.o" "gcc" "src/datagen/CMakeFiles/fbf_datagen.dir/names.cpp.o.d"
+  "/root/repo/src/datagen/phone.cpp" "src/datagen/CMakeFiles/fbf_datagen.dir/phone.cpp.o" "gcc" "src/datagen/CMakeFiles/fbf_datagen.dir/phone.cpp.o.d"
+  "/root/repo/src/datagen/ssn.cpp" "src/datagen/CMakeFiles/fbf_datagen.dir/ssn.cpp.o" "gcc" "src/datagen/CMakeFiles/fbf_datagen.dir/ssn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fbf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fbf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/fbf_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

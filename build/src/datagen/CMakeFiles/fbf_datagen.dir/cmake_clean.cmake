@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbf_datagen.dir/address.cpp.o"
+  "CMakeFiles/fbf_datagen.dir/address.cpp.o.d"
+  "CMakeFiles/fbf_datagen.dir/dataset.cpp.o"
+  "CMakeFiles/fbf_datagen.dir/dataset.cpp.o.d"
+  "CMakeFiles/fbf_datagen.dir/dates.cpp.o"
+  "CMakeFiles/fbf_datagen.dir/dates.cpp.o.d"
+  "CMakeFiles/fbf_datagen.dir/errors.cpp.o"
+  "CMakeFiles/fbf_datagen.dir/errors.cpp.o.d"
+  "CMakeFiles/fbf_datagen.dir/name_pools.cpp.o"
+  "CMakeFiles/fbf_datagen.dir/name_pools.cpp.o.d"
+  "CMakeFiles/fbf_datagen.dir/names.cpp.o"
+  "CMakeFiles/fbf_datagen.dir/names.cpp.o.d"
+  "CMakeFiles/fbf_datagen.dir/phone.cpp.o"
+  "CMakeFiles/fbf_datagen.dir/phone.cpp.o.d"
+  "CMakeFiles/fbf_datagen.dir/ssn.cpp.o"
+  "CMakeFiles/fbf_datagen.dir/ssn.cpp.o.d"
+  "libfbf_datagen.a"
+  "libfbf_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbf_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

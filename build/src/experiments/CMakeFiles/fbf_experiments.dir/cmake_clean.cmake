@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbf_experiments.dir/curves.cpp.o"
+  "CMakeFiles/fbf_experiments.dir/curves.cpp.o.d"
+  "CMakeFiles/fbf_experiments.dir/ladder.cpp.o"
+  "CMakeFiles/fbf_experiments.dir/ladder.cpp.o.d"
+  "CMakeFiles/fbf_experiments.dir/protocol.cpp.o"
+  "CMakeFiles/fbf_experiments.dir/protocol.cpp.o.d"
+  "libfbf_experiments.a"
+  "libfbf_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbf_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

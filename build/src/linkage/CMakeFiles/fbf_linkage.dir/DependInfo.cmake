@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linkage/blocking.cpp" "src/linkage/CMakeFiles/fbf_linkage.dir/blocking.cpp.o" "gcc" "src/linkage/CMakeFiles/fbf_linkage.dir/blocking.cpp.o.d"
+  "/root/repo/src/linkage/clustering.cpp" "src/linkage/CMakeFiles/fbf_linkage.dir/clustering.cpp.o" "gcc" "src/linkage/CMakeFiles/fbf_linkage.dir/clustering.cpp.o.d"
+  "/root/repo/src/linkage/comparator.cpp" "src/linkage/CMakeFiles/fbf_linkage.dir/comparator.cpp.o" "gcc" "src/linkage/CMakeFiles/fbf_linkage.dir/comparator.cpp.o.d"
+  "/root/repo/src/linkage/csv_io.cpp" "src/linkage/CMakeFiles/fbf_linkage.dir/csv_io.cpp.o" "gcc" "src/linkage/CMakeFiles/fbf_linkage.dir/csv_io.cpp.o.d"
+  "/root/repo/src/linkage/engine.cpp" "src/linkage/CMakeFiles/fbf_linkage.dir/engine.cpp.o" "gcc" "src/linkage/CMakeFiles/fbf_linkage.dir/engine.cpp.o.d"
+  "/root/repo/src/linkage/fellegi_sunter.cpp" "src/linkage/CMakeFiles/fbf_linkage.dir/fellegi_sunter.cpp.o" "gcc" "src/linkage/CMakeFiles/fbf_linkage.dir/fellegi_sunter.cpp.o.d"
+  "/root/repo/src/linkage/incremental.cpp" "src/linkage/CMakeFiles/fbf_linkage.dir/incremental.cpp.o" "gcc" "src/linkage/CMakeFiles/fbf_linkage.dir/incremental.cpp.o.d"
+  "/root/repo/src/linkage/person_gen.cpp" "src/linkage/CMakeFiles/fbf_linkage.dir/person_gen.cpp.o" "gcc" "src/linkage/CMakeFiles/fbf_linkage.dir/person_gen.cpp.o.d"
+  "/root/repo/src/linkage/record.cpp" "src/linkage/CMakeFiles/fbf_linkage.dir/record.cpp.o" "gcc" "src/linkage/CMakeFiles/fbf_linkage.dir/record.cpp.o.d"
+  "/root/repo/src/linkage/sharded.cpp" "src/linkage/CMakeFiles/fbf_linkage.dir/sharded.cpp.o" "gcc" "src/linkage/CMakeFiles/fbf_linkage.dir/sharded.cpp.o.d"
+  "/root/repo/src/linkage/standardize.cpp" "src/linkage/CMakeFiles/fbf_linkage.dir/standardize.cpp.o" "gcc" "src/linkage/CMakeFiles/fbf_linkage.dir/standardize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fbf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/fbf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/fbf_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbf_linkage.dir/blocking.cpp.o"
+  "CMakeFiles/fbf_linkage.dir/blocking.cpp.o.d"
+  "CMakeFiles/fbf_linkage.dir/clustering.cpp.o"
+  "CMakeFiles/fbf_linkage.dir/clustering.cpp.o.d"
+  "CMakeFiles/fbf_linkage.dir/comparator.cpp.o"
+  "CMakeFiles/fbf_linkage.dir/comparator.cpp.o.d"
+  "CMakeFiles/fbf_linkage.dir/csv_io.cpp.o"
+  "CMakeFiles/fbf_linkage.dir/csv_io.cpp.o.d"
+  "CMakeFiles/fbf_linkage.dir/engine.cpp.o"
+  "CMakeFiles/fbf_linkage.dir/engine.cpp.o.d"
+  "CMakeFiles/fbf_linkage.dir/fellegi_sunter.cpp.o"
+  "CMakeFiles/fbf_linkage.dir/fellegi_sunter.cpp.o.d"
+  "CMakeFiles/fbf_linkage.dir/incremental.cpp.o"
+  "CMakeFiles/fbf_linkage.dir/incremental.cpp.o.d"
+  "CMakeFiles/fbf_linkage.dir/person_gen.cpp.o"
+  "CMakeFiles/fbf_linkage.dir/person_gen.cpp.o.d"
+  "CMakeFiles/fbf_linkage.dir/record.cpp.o"
+  "CMakeFiles/fbf_linkage.dir/record.cpp.o.d"
+  "CMakeFiles/fbf_linkage.dir/sharded.cpp.o"
+  "CMakeFiles/fbf_linkage.dir/sharded.cpp.o.d"
+  "CMakeFiles/fbf_linkage.dir/standardize.cpp.o"
+  "CMakeFiles/fbf_linkage.dir/standardize.cpp.o.d"
+  "libfbf_linkage.a"
+  "libfbf_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbf_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

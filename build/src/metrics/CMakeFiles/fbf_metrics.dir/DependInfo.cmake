@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/damerau.cpp" "src/metrics/CMakeFiles/fbf_metrics.dir/damerau.cpp.o" "gcc" "src/metrics/CMakeFiles/fbf_metrics.dir/damerau.cpp.o.d"
+  "/root/repo/src/metrics/hamming.cpp" "src/metrics/CMakeFiles/fbf_metrics.dir/hamming.cpp.o" "gcc" "src/metrics/CMakeFiles/fbf_metrics.dir/hamming.cpp.o.d"
+  "/root/repo/src/metrics/jaro.cpp" "src/metrics/CMakeFiles/fbf_metrics.dir/jaro.cpp.o" "gcc" "src/metrics/CMakeFiles/fbf_metrics.dir/jaro.cpp.o.d"
+  "/root/repo/src/metrics/levenshtein.cpp" "src/metrics/CMakeFiles/fbf_metrics.dir/levenshtein.cpp.o" "gcc" "src/metrics/CMakeFiles/fbf_metrics.dir/levenshtein.cpp.o.d"
+  "/root/repo/src/metrics/myers.cpp" "src/metrics/CMakeFiles/fbf_metrics.dir/myers.cpp.o" "gcc" "src/metrics/CMakeFiles/fbf_metrics.dir/myers.cpp.o.d"
+  "/root/repo/src/metrics/pdl.cpp" "src/metrics/CMakeFiles/fbf_metrics.dir/pdl.cpp.o" "gcc" "src/metrics/CMakeFiles/fbf_metrics.dir/pdl.cpp.o.d"
+  "/root/repo/src/metrics/phonetic.cpp" "src/metrics/CMakeFiles/fbf_metrics.dir/phonetic.cpp.o" "gcc" "src/metrics/CMakeFiles/fbf_metrics.dir/phonetic.cpp.o.d"
+  "/root/repo/src/metrics/qgram.cpp" "src/metrics/CMakeFiles/fbf_metrics.dir/qgram.cpp.o" "gcc" "src/metrics/CMakeFiles/fbf_metrics.dir/qgram.cpp.o.d"
+  "/root/repo/src/metrics/soundex.cpp" "src/metrics/CMakeFiles/fbf_metrics.dir/soundex.cpp.o" "gcc" "src/metrics/CMakeFiles/fbf_metrics.dir/soundex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbf_metrics.dir/damerau.cpp.o"
+  "CMakeFiles/fbf_metrics.dir/damerau.cpp.o.d"
+  "CMakeFiles/fbf_metrics.dir/hamming.cpp.o"
+  "CMakeFiles/fbf_metrics.dir/hamming.cpp.o.d"
+  "CMakeFiles/fbf_metrics.dir/jaro.cpp.o"
+  "CMakeFiles/fbf_metrics.dir/jaro.cpp.o.d"
+  "CMakeFiles/fbf_metrics.dir/levenshtein.cpp.o"
+  "CMakeFiles/fbf_metrics.dir/levenshtein.cpp.o.d"
+  "CMakeFiles/fbf_metrics.dir/myers.cpp.o"
+  "CMakeFiles/fbf_metrics.dir/myers.cpp.o.d"
+  "CMakeFiles/fbf_metrics.dir/pdl.cpp.o"
+  "CMakeFiles/fbf_metrics.dir/pdl.cpp.o.d"
+  "CMakeFiles/fbf_metrics.dir/phonetic.cpp.o"
+  "CMakeFiles/fbf_metrics.dir/phonetic.cpp.o.d"
+  "CMakeFiles/fbf_metrics.dir/qgram.cpp.o"
+  "CMakeFiles/fbf_metrics.dir/qgram.cpp.o.d"
+  "CMakeFiles/fbf_metrics.dir/soundex.cpp.o"
+  "CMakeFiles/fbf_metrics.dir/soundex.cpp.o.d"
+  "libfbf_metrics.a"
+  "libfbf_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbf_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/bk_tree.cpp" "src/search/CMakeFiles/fbf_search.dir/bk_tree.cpp.o" "gcc" "src/search/CMakeFiles/fbf_search.dir/bk_tree.cpp.o.d"
+  "/root/repo/src/search/trie_search.cpp" "src/search/CMakeFiles/fbf_search.dir/trie_search.cpp.o" "gcc" "src/search/CMakeFiles/fbf_search.dir/trie_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/fbf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbf_search.dir/bk_tree.cpp.o"
+  "CMakeFiles/fbf_search.dir/bk_tree.cpp.o.d"
+  "CMakeFiles/fbf_search.dir/trie_search.cpp.o"
+  "CMakeFiles/fbf_search.dir/trie_search.cpp.o.d"
+  "libfbf_search.a"
+  "libfbf_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbf_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbf_util.dir/ascii.cpp.o"
+  "CMakeFiles/fbf_util.dir/ascii.cpp.o.d"
+  "CMakeFiles/fbf_util.dir/bitops.cpp.o"
+  "CMakeFiles/fbf_util.dir/bitops.cpp.o.d"
+  "CMakeFiles/fbf_util.dir/cli.cpp.o"
+  "CMakeFiles/fbf_util.dir/cli.cpp.o.d"
+  "CMakeFiles/fbf_util.dir/csv.cpp.o"
+  "CMakeFiles/fbf_util.dir/csv.cpp.o.d"
+  "CMakeFiles/fbf_util.dir/polyfit.cpp.o"
+  "CMakeFiles/fbf_util.dir/polyfit.cpp.o.d"
+  "CMakeFiles/fbf_util.dir/rng.cpp.o"
+  "CMakeFiles/fbf_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fbf_util.dir/stats.cpp.o"
+  "CMakeFiles/fbf_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fbf_util.dir/table.cpp.o"
+  "CMakeFiles/fbf_util.dir/table.cpp.o.d"
+  "CMakeFiles/fbf_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/fbf_util.dir/thread_pool.cpp.o.d"
+  "libfbf_util.a"
+  "libfbf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ascii.cpp" "tests/CMakeFiles/fbf_tests.dir/test_ascii.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_ascii.cpp.o.d"
+  "/root/repo/tests/test_bitops.cpp" "tests/CMakeFiles/fbf_tests.dir/test_bitops.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_bitops.cpp.o.d"
+  "/root/repo/tests/test_blocking.cpp" "tests/CMakeFiles/fbf_tests.dir/test_blocking.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_blocking.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/fbf_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_clustering.cpp" "tests/CMakeFiles/fbf_tests.dir/test_clustering.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_clustering.cpp.o.d"
+  "/root/repo/tests/test_comparators.cpp" "tests/CMakeFiles/fbf_tests.dir/test_comparators.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_comparators.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/fbf_tests.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_damerau.cpp" "tests/CMakeFiles/fbf_tests.dir/test_damerau.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_damerau.cpp.o.d"
+  "/root/repo/tests/test_datagen.cpp" "tests/CMakeFiles/fbf_tests.dir/test_datagen.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_datagen.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/fbf_tests.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_experiments.cpp" "tests/CMakeFiles/fbf_tests.dir/test_experiments.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_experiments.cpp.o.d"
+  "/root/repo/tests/test_fellegi_sunter.cpp" "tests/CMakeFiles/fbf_tests.dir/test_fellegi_sunter.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_fellegi_sunter.cpp.o.d"
+  "/root/repo/tests/test_filter_safety.cpp" "tests/CMakeFiles/fbf_tests.dir/test_filter_safety.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_filter_safety.cpp.o.d"
+  "/root/repo/tests/test_hamming.cpp" "tests/CMakeFiles/fbf_tests.dir/test_hamming.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_hamming.cpp.o.d"
+  "/root/repo/tests/test_incremental.cpp" "tests/CMakeFiles/fbf_tests.dir/test_incremental.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_incremental.cpp.o.d"
+  "/root/repo/tests/test_jaro.cpp" "tests/CMakeFiles/fbf_tests.dir/test_jaro.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_jaro.cpp.o.d"
+  "/root/repo/tests/test_join_config.cpp" "tests/CMakeFiles/fbf_tests.dir/test_join_config.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_join_config.cpp.o.d"
+  "/root/repo/tests/test_levenshtein.cpp" "tests/CMakeFiles/fbf_tests.dir/test_levenshtein.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_levenshtein.cpp.o.d"
+  "/root/repo/tests/test_linkage.cpp" "tests/CMakeFiles/fbf_tests.dir/test_linkage.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_linkage.cpp.o.d"
+  "/root/repo/tests/test_match_join.cpp" "tests/CMakeFiles/fbf_tests.dir/test_match_join.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_match_join.cpp.o.d"
+  "/root/repo/tests/test_method.cpp" "tests/CMakeFiles/fbf_tests.dir/test_method.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_method.cpp.o.d"
+  "/root/repo/tests/test_myers.cpp" "tests/CMakeFiles/fbf_tests.dir/test_myers.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_myers.cpp.o.d"
+  "/root/repo/tests/test_pdl.cpp" "tests/CMakeFiles/fbf_tests.dir/test_pdl.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_pdl.cpp.o.d"
+  "/root/repo/tests/test_phonetic.cpp" "tests/CMakeFiles/fbf_tests.dir/test_phonetic.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_phonetic.cpp.o.d"
+  "/root/repo/tests/test_polyfit.cpp" "tests/CMakeFiles/fbf_tests.dir/test_polyfit.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_polyfit.cpp.o.d"
+  "/root/repo/tests/test_qgram.cpp" "tests/CMakeFiles/fbf_tests.dir/test_qgram.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_qgram.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/fbf_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_search.cpp" "tests/CMakeFiles/fbf_tests.dir/test_search.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_search.cpp.o.d"
+  "/root/repo/tests/test_sharded.cpp" "tests/CMakeFiles/fbf_tests.dir/test_sharded.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_sharded.cpp.o.d"
+  "/root/repo/tests/test_signature.cpp" "tests/CMakeFiles/fbf_tests.dir/test_signature.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_signature.cpp.o.d"
+  "/root/repo/tests/test_signature64.cpp" "tests/CMakeFiles/fbf_tests.dir/test_signature64.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_signature64.cpp.o.d"
+  "/root/repo/tests/test_signature_index.cpp" "tests/CMakeFiles/fbf_tests.dir/test_signature_index.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_signature_index.cpp.o.d"
+  "/root/repo/tests/test_soundex.cpp" "tests/CMakeFiles/fbf_tests.dir/test_soundex.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_soundex.cpp.o.d"
+  "/root/repo/tests/test_standardize.cpp" "tests/CMakeFiles/fbf_tests.dir/test_standardize.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_standardize.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/fbf_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/fbf_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/fbf_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/fbf_tests.dir/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/search/CMakeFiles/fbf_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiments/CMakeFiles/fbf_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkage/CMakeFiles/fbf_linkage.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/fbf_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fbf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/fbf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
