@@ -8,21 +8,123 @@
 // under each comparator strategy, reporting total update time and the
 // resolution outcome.  Expected shape: FDL/FPDL cut the DL update by the
 // same ~45x factor as Table 6, with identical entity counts.
+#include <filesystem>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "datagen/errors.hpp"
 #include "linkage/incremental.hpp"
 #include "linkage/person_gen.hpp"
+#include "linkage/snapshot.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+// Durable-ingest scenario: run the FPDL update with checkpointing, kill
+// the writer after --crash-after batches, recover from snapshot+journal,
+// and check the recovered store against an uninterrupted run.
+void run_crash_recovery(const std::vector<fbf::linkage::PersonRecord>& master,
+                        const std::vector<std::vector<fbf::linkage::PersonRecord>>& nightly,
+                        const fbf::bench::BenchOptions& opts,
+                        std::size_t checkpoint_every, std::size_t crash_after) {
+  namespace lk = fbf::linkage;
+  namespace u = fbf::util;
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("fbf_nightly_" + std::to_string(static_cast<unsigned>(opts.config.seed)));
+  fs::create_directories(dir);
+  lk::DurabilityConfig durability;
+  durability.snapshot_path = (dir / "master.snapshot").string();
+  durability.journal_path = (dir / "nightly.journal").string();
+  durability.checkpoint_every = checkpoint_every;
+  fs::remove(durability.snapshot_path);
+  fs::remove(durability.journal_path);
+
+  const auto comparator =
+      lk::make_point_threshold_config(lk::FieldStrategy::kFpdl, opts.config.k);
+  crash_after = std::min(crash_after, nightly.size());
+
+  u::Stopwatch ingest_watch;
+  lk::DurableEntityStore durable(comparator, durability);
+  if (!durable.ingest(master).ok()) {
+    std::fprintf(stderr, "durable master ingest failed\n");
+    return;
+  }
+  for (std::size_t b = 0; b < crash_after; ++b) {
+    if (!durable.ingest(nightly[b]).ok()) {
+      std::fprintf(stderr, "durable batch ingest failed\n");
+      return;
+    }
+  }
+  const double ingest_ms = ingest_watch.elapsed_ms();
+  // Simulated crash: `durable` is abandoned; only the files survive.
+
+  u::Stopwatch recover_watch;
+  lk::DurableEntityStore recovered(comparator, durability);
+  const auto report = recovered.recover();
+  const double recover_ms = recover_watch.elapsed_ms();
+  if (!report.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 report.status().to_string().c_str());
+    return;
+  }
+  for (std::size_t b = crash_after; b < nightly.size(); ++b) {
+    if (!recovered.ingest(nightly[b]).ok()) {
+      std::fprintf(stderr, "post-recovery ingest failed\n");
+      return;
+    }
+  }
+
+  lk::EntityStore uninterrupted(comparator);
+  uninterrupted.ingest(master);
+  for (const auto& batch : nightly) {
+    uninterrupted.ingest(batch);
+  }
+  const bool entities_match =
+      recovered.store().entity_count() == uninterrupted.entity_count() &&
+      recovered.store().size() == uninterrupted.size();
+
+  u::Table table({"metric", "value"});
+  table.add_row({"batches before crash",
+                 u::with_commas(static_cast<std::int64_t>(crash_after + 1))});
+  table.add_row({"checkpoint every",
+                 u::with_commas(static_cast<std::int64_t>(checkpoint_every))});
+  table.add_row({"snapshot loaded", report->snapshot_loaded ? "yes" : "no"});
+  table.add_row({"journal batches replayed",
+                 u::with_commas(static_cast<std::int64_t>(
+                     report->journal_batches_replayed))});
+  table.add_row({"ingest ms (pre-crash)", u::fixed(ingest_ms, 1)});
+  table.add_row({"recovery ms", u::fixed(recover_ms, 1)});
+  table.add_row({"entities after resume",
+                 u::with_commas(static_cast<std::int64_t>(
+                     recovered.store().entity_count()))});
+  table.add_row({"matches uninterrupted run", entities_match ? "yes" : "NO"});
+  if (opts.csv) {
+    table.render_csv(std::cout);
+  } else {
+    std::printf("\nCrash/recovery scenario (FPDL, durable ingest)\n");
+    table.render(std::cout);
+  }
+  fs::remove(durability.snapshot_path);
+  fs::remove(durability.journal_path);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   namespace lk = fbf::linkage;
   namespace u = fbf::util;
   const fbf::util::CliArgs extra(argc, argv);
   const auto batches = static_cast<int>(extra.get_int("batches", 5));
-  auto opts = fbf::bench::parse_options(argc, argv, /*default_n=*/800,
-                                        /*default_k=*/1, {"batches"});
+  const auto checkpoint_every =
+      static_cast<std::size_t>(extra.get_int("checkpoint-every", 2));
+  const auto crash_after =
+      static_cast<std::size_t>(extra.get_int("crash-after", 3));
+  auto opts = fbf::bench::parse_options(
+      argc, argv, /*default_n=*/800,
+      /*default_k=*/1, {"batches", "checkpoint-every", "crash-after"});
   fbf::bench::print_header("Nightly update simulation", opts);
 
   // Master list + nightly batches: half of each batch are returning
@@ -85,5 +187,6 @@ int main(int argc, char** argv) {
                 "master list; FDL/FPDL resolve identically to DL)\n",
                 batches, batch_size, opts.config.n);
   }
+  run_crash_recovery(master, nightly, opts, checkpoint_every, crash_after);
   return 0;
 }

@@ -52,17 +52,36 @@ int main(int argc, char** argv) {
   {
     std::ofstream out(error_path);
     lk::write_person_csv(out, error);
+    // Real exports are dirty: sprinkle in rows a strict loader would
+    // choke on.  The quarantine loader must survive them.
+    out << "not_a_number,GARBLED,ROW,,,,,\n";
+    out << "truncated,row\n";
+    out << ",,,,,,,\n";
   }
-  std::printf("wrote %s and %s (%zu records each)\n", clean_path.c_str(),
-              error_path.c_str(), n);
+  std::printf("wrote %s and %s (%zu records each; 3 dirty rows in the "
+              "error file)\n",
+              clean_path.c_str(), error_path.c_str(), n);
 
-  // 2. Import (as a fresh consumer would) and standardize each record —
+  // 2. Import (as a fresh consumer would): dirty rows are quarantined
+  // with line numbers instead of aborting the load, then standardize —
   // a no-op on our generated data, but the step real exports need
   // (mixed case, punctuation, formatted phones/dates).
   std::ifstream clean_in(clean_path);
   std::ifstream error_in(error_path);
   auto left = lk::read_person_csv(clean_in);
-  auto right = lk::read_person_csv(error_in);
+  const auto right_load = lk::read_person_csv_quarantine(error_in);
+  if (!right_load.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 right_load.status().to_string().c_str());
+    return 1;
+  }
+  auto right = right_load.value().records;
+  std::printf("quarantine report: %zu of %zu rows rejected\n",
+              right_load.value().quarantined.size(),
+              right_load.value().rows_read);
+  for (const auto& bad : right_load.value().quarantined) {
+    std::printf("  line %zu: %s\n", bad.line, bad.reason.c_str());
+  }
   for (auto& r : left) {
     lk::standardize_record(r);
   }

@@ -2,8 +2,7 @@
 
 #include <cstdlib>
 #include <stdexcept>
-
-#include "util/csv.hpp"
+#include <utility>
 
 namespace fbf::linkage {
 
@@ -26,41 +25,75 @@ void write_person_csv(std::ostream& out,
   }
 }
 
-std::vector<PersonRecord> read_person_csv(std::istream& in, bool strict) {
-  std::vector<PersonRecord> records;
+namespace {
+
+/// Parses one data row into `out`; returns the rejection reason on
+/// failure.
+std::string parse_person_row(u::CsvRow& row, PersonRecord& out) {
+  if (row.size() < 8) {
+    return "expected >= 8 columns, got " + std::to_string(row.size());
+  }
+  char* end = nullptr;
+  const unsigned long long id = std::strtoull(row[0].c_str(), &end, 10);
+  if (end == row[0].c_str() || *end != '\0') {
+    return "non-numeric id '" + row[0] + "'";
+  }
+  out.id = id;
+  out.first_name = std::move(row[1]);
+  out.last_name = std::move(row[2]);
+  out.address = std::move(row[3]);
+  out.phone = std::move(row[4]);
+  out.gender = std::move(row[5]);
+  out.ssn = std::move(row[6]);
+  out.birth_date = std::move(row[7]);
+  return {};
+}
+
+}  // namespace
+
+u::Result<PersonCsvLoad> read_person_csv_quarantine(std::istream& in) {
+  PersonCsvLoad load;
+  u::CsvRowReader reader(in);
   bool header = true;
-  while (auto row = u::read_csv_row(in)) {
+  while (auto row = reader.next()) {
     if (header) {
       header = false;
       continue;
     }
-    if (row->size() < 8) {
-      if (strict) {
-        throw std::runtime_error("person CSV row has fewer than 8 columns");
-      }
-      continue;
-    }
-    char* end = nullptr;
-    const unsigned long long id = std::strtoull((*row)[0].c_str(), &end, 10);
-    if (end == (*row)[0].c_str() || *end != '\0') {
-      if (strict) {
-        throw std::runtime_error("person CSV row has non-numeric id: " +
-                                 (*row)[0]);
-      }
-      continue;
-    }
+    ++load.rows_read;
     PersonRecord r;
-    r.id = id;
-    r.first_name = std::move((*row)[1]);
-    r.last_name = std::move((*row)[2]);
-    r.address = std::move((*row)[3]);
-    r.phone = std::move((*row)[4]);
-    r.gender = std::move((*row)[5]);
-    r.ssn = std::move((*row)[6]);
-    r.birth_date = std::move((*row)[7]);
-    records.push_back(std::move(r));
+    std::string reason = parse_person_row(*row, r);
+    if (reason.empty()) {
+      load.records.push_back(std::move(r));
+    } else {
+      load.quarantined.push_back(
+          {reader.row_line(), std::move(reason), std::move(*row)});
+    }
   }
-  return records;
+  if (in.bad()) {
+    return u::Status::io_error("stream failed after line " +
+                               std::to_string(reader.row_line()));
+  }
+  return load;
+}
+
+std::vector<PersonRecord> read_person_csv(
+    std::istream& in, bool strict, std::vector<QuarantinedRow>* quarantine) {
+  auto result = read_person_csv_quarantine(in);
+  if (!result.ok()) {
+    throw std::runtime_error("person CSV read failed: " +
+                             result.status().to_string());
+  }
+  PersonCsvLoad& load = result.value();
+  if (strict && !load.quarantined.empty()) {
+    const QuarantinedRow& bad = load.quarantined.front();
+    throw std::runtime_error("person CSV line " + std::to_string(bad.line) +
+                             ": " + bad.reason);
+  }
+  if (quarantine != nullptr) {
+    *quarantine = std::move(load.quarantined);
+  }
+  return std::move(load.records);
 }
 
 }  // namespace fbf::linkage

@@ -4,6 +4,11 @@
 //   id,first_name,last_name,address,phone,gender,ssn,birth_date
 // Empty cells mean missing values.  Round-trips losslessly; the reader
 // tolerates extra trailing columns (common in real exports).
+//
+// Real exports are dirty: the quarantine loader never lets one malformed
+// row abort a multi-million-row load — bad rows are collected with their
+// line numbers and reasons so the operator can fix the export while the
+// clean rows proceed through the pipeline.
 #pragma once
 
 #include <istream>
@@ -12,6 +17,8 @@
 #include <vector>
 
 #include "linkage/record.hpp"
+#include "util/csv.hpp"
+#include "util/status.hpp"
 
 namespace fbf::linkage {
 
@@ -22,9 +29,35 @@ namespace fbf::linkage {
 void write_person_csv(std::ostream& out,
                       std::span<const PersonRecord> records);
 
-/// Reads records.  `strict` throws std::runtime_error on malformed rows
-/// (wrong arity, non-numeric id); otherwise such rows are skipped.
-[[nodiscard]] std::vector<PersonRecord> read_person_csv(std::istream& in,
-                                                        bool strict = true);
+/// One rejected row: where it was, why, and the raw cells for the report.
+struct QuarantinedRow {
+  std::size_t line = 0;  ///< 1-based physical line the row started on
+  std::string reason;
+  fbf::util::CsvRow fields;
+};
+
+/// Outcome of a quarantining load.
+struct PersonCsvLoad {
+  std::vector<PersonRecord> records;
+  std::vector<QuarantinedRow> quarantined;
+  std::size_t rows_read = 0;  ///< data rows seen (header excluded)
+
+  [[nodiscard]] bool clean() const noexcept { return quarantined.empty(); }
+};
+
+/// Reads records, quarantining malformed rows instead of aborting: every
+/// valid row is returned even when bad rows are interleaved.  No exception
+/// escapes on malformed *content*; the only error is kIoError when the
+/// stream itself fails mid-read.
+[[nodiscard]] fbf::util::Result<PersonCsvLoad> read_person_csv_quarantine(
+    std::istream& in);
+
+/// Reads records.  `strict` throws std::runtime_error naming the line
+/// number of the first malformed row; otherwise bad rows are skipped and
+/// — when `quarantine` is non-null — reported there with line numbers
+/// (previously they vanished silently).
+[[nodiscard]] std::vector<PersonRecord> read_person_csv(
+    std::istream& in, bool strict = true,
+    std::vector<QuarantinedRow>* quarantine = nullptr);
 
 }  // namespace fbf::linkage

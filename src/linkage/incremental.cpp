@@ -61,4 +61,39 @@ IngestStats EntityStore::ingest(std::span<const PersonRecord> batch) {
   return stats;
 }
 
+fbf::util::Status EntityStore::restore(
+    std::vector<PersonRecord> records, std::vector<std::uint32_t> entity_ids,
+    std::uint32_t entity_total, std::vector<RecordSignatures> signatures) {
+  namespace u = fbf::util;
+  if (entity_ids.size() != records.size()) {
+    return u::Status::invalid_argument(
+        "entity_ids size " + std::to_string(entity_ids.size()) +
+        " != record count " + std::to_string(records.size()));
+  }
+  if (!signatures.empty() && signatures.size() != records.size()) {
+    return u::Status::invalid_argument(
+        "signatures size " + std::to_string(signatures.size()) +
+        " != record count " + std::to_string(records.size()));
+  }
+  for (const std::uint32_t id : entity_ids) {
+    if (id >= entity_total) {
+      return u::Status::invalid_argument(
+          "entity id " + std::to_string(id) + " >= entity total " +
+          std::to_string(entity_total));
+    }
+  }
+  if (uses_fbf_ && signatures.empty()) {
+    signatures.reserve(records.size());
+    for (const PersonRecord& r : records) {
+      signatures.push_back(build_record_signatures(r));
+    }
+  }
+  records_ = std::move(records);
+  entity_ids_ = std::move(entity_ids);
+  entity_total_ = entity_total;
+  signatures_ = uses_fbf_ ? std::move(signatures)
+                          : std::vector<RecordSignatures>{};
+  return {};
+}
+
 }  // namespace fbf::linkage

@@ -18,6 +18,7 @@
 
 #include "linkage/comparator.hpp"
 #include "linkage/record.hpp"
+#include "util/status.hpp"
 
 namespace fbf::linkage {
 
@@ -64,6 +65,33 @@ class EntityStore {
   [[nodiscard]] std::span<const PersonRecord> records() const noexcept {
     return records_;
   }
+
+  /// Entity id per stored record (parallel to records()).
+  [[nodiscard]] std::span<const std::uint32_t> entity_ids() const noexcept {
+    return entity_ids_;
+  }
+
+  /// Precomputed per-record signatures — empty when the comparator never
+  /// consults FBF.
+  [[nodiscard]] std::span<const RecordSignatures> signatures() const noexcept {
+    return signatures_;
+  }
+
+  [[nodiscard]] const ComparatorConfig& comparator() const noexcept {
+    return comparator_;
+  }
+
+  [[nodiscard]] bool uses_fbf() const noexcept { return uses_fbf_; }
+
+  /// Replaces the store contents wholesale (snapshot recovery).
+  /// `signatures` may be empty, in which case they are recomputed when the
+  /// comparator needs them; when provided they must be record-parallel.
+  /// Validates shape (parallel arrays, entity ids < entity_total) and
+  /// leaves the store unchanged on error.
+  [[nodiscard]] fbf::util::Status restore(
+      std::vector<PersonRecord> records,
+      std::vector<std::uint32_t> entity_ids, std::uint32_t entity_total,
+      std::vector<RecordSignatures> signatures = {});
 
  private:
   ComparatorConfig comparator_;

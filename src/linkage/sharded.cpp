@@ -58,21 +58,68 @@ ShardedResult link_sharded(std::span<const PersonRecord> left,
   }
   ShardedResult result;
   result.shards.reserve(n);
+  std::optional<fbf::util::FaultInjector> injector;
+  if (config.fault.has_value()) {
+    injector.emplace(config.fault->faults);
+  }
   for (std::size_t s = 0; s < n; ++s) {
-    const LinkStats stats =
-        link_exhaustive(left_parts[s], right_parts[s], config.link);
     ShardStats shard;
     shard.left_count = left_parts[s].size();
     shard.right_count = right_parts[s].size();
-    shard.pairs = stats.candidate_pairs;
-    shard.matches = stats.matches;
-    shard.true_positives = stats.true_positives;
-    shard.link_ms = stats.link_ms;
-    result.total_pairs += shard.pairs;
-    result.total_matches += shard.matches;
-    result.total_true_positives += shard.true_positives;
-    result.makespan_ms = std::max(result.makespan_ms, shard.link_ms);
-    result.sum_ms += shard.link_ms;
+    if (injector.has_value()) {
+      // Bounded retry loop: each failed attempt costs the (simulated)
+      // exponential backoff a real scheduler would wait before
+      // re-dispatching the partition to another node.
+      const ShardFaultPolicy& policy = *config.fault;
+      const int max_attempts = std::max(1, policy.max_attempts);
+      shard.completed = false;
+      double backoff = policy.backoff_base_ms;
+      for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        shard.attempts = attempt;
+        if (injector->shard_attempt_fails(s, attempt)) {
+          ++result.retries;
+          shard.backoff_ms += backoff;
+          backoff *= policy.backoff_multiplier;
+          continue;
+        }
+        const LinkStats stats =
+            link_exhaustive(left_parts[s], right_parts[s], config.link);
+        shard.link_ms = stats.link_ms;
+        if (injector->shard_attempt_straggles(s, attempt)) {
+          shard.straggled = true;
+          shard.link_ms *= injector->straggle_factor();
+        }
+        shard.pairs = stats.candidate_pairs;
+        shard.matches = stats.matches;
+        shard.true_positives = stats.true_positives;
+        shard.completed = true;
+        break;
+      }
+    } else {
+      const LinkStats stats =
+          link_exhaustive(left_parts[s], right_parts[s], config.link);
+      shard.pairs = stats.candidate_pairs;
+      shard.matches = stats.matches;
+      shard.true_positives = stats.true_positives;
+      shard.link_ms = stats.link_ms;
+    }
+    const double shard_wall = shard.link_ms + shard.backoff_ms;
+    if (shard.completed) {
+      result.total_pairs += shard.pairs;
+      result.total_matches += shard.matches;
+      result.total_true_positives += shard.true_positives;
+    } else {
+      // Degrade, don't die: the run finishes without this partition and
+      // the loss is reported instead of silently shrinking the result.
+      ++result.failed_shards;
+      result.dropped_pairs += static_cast<std::uint64_t>(shard.left_count) *
+                              shard.right_count;
+      result.dropped_left += shard.left_count;
+      result.dropped_right += shard.right_count;
+      result.dropped_shard_ids.push_back(s);
+    }
+    result.makespan_ms = std::max(result.makespan_ms, shard_wall);
+    result.sum_ms += shard_wall;
     result.shards.push_back(shard);
   }
   return result;

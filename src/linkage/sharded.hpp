@@ -10,13 +10,20 @@
 //  * total comparison work and its balance across nodes (makespan),
 //  * the recall consequences of each partitioning scheme — hashing on a
 //    noisy natural key silently drops cross-shard true pairs, the same
-//    failure mode the paper attributes to blocking.
+//    failure mode the paper attributes to blocking,
+//  * the failure modes that dominate real distributed runs: a shard can
+//    fail (retried with bounded exponential backoff, then dropped) or
+//    straggle (inflating the makespan), and the run completes anyway,
+//    reporting exactly which partitions were lost and bounding the
+//    recall impact.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "linkage/engine.hpp"
+#include "util/fault.hpp"
 
 namespace fbf::linkage {
 
@@ -29,10 +36,23 @@ enum class PartitionScheme {
 
 [[nodiscard]] const char* partition_scheme_name(PartitionScheme s) noexcept;
 
+/// Retry/degradation policy for injected shard faults.  Backoff is
+/// *simulated*: the delay a real scheduler would sleep is recorded in the
+/// shard's wall-clock instead of actually sleeping, keeping runs fast and
+/// deterministic.
+struct ShardFaultPolicy {
+  fbf::util::FaultConfig faults;
+  int max_attempts = 4;          ///< first try + bounded retries
+  double backoff_base_ms = 1.0;  ///< delay before retry #1
+  double backoff_multiplier = 2.0;  ///< exponential growth per retry
+};
+
 struct ShardedConfig {
   std::size_t n_shards = 4;
   PartitionScheme scheme = PartitionScheme::kReplicateRight;
   LinkConfig link;  ///< comparator each node runs
+  /// Fault injection + retry policy; nullopt = fault-free run.
+  std::optional<ShardFaultPolicy> fault;
 };
 
 /// Per-node view of the run.
@@ -43,6 +63,10 @@ struct ShardStats {
   std::uint64_t matches = 0;
   std::uint64_t true_positives = 0;
   double link_ms = 0.0;
+  int attempts = 1;          ///< 1 = clean first try
+  bool completed = true;     ///< false: dropped after max_attempts
+  bool straggled = false;    ///< at least one slow attempt
+  double backoff_ms = 0.0;   ///< simulated retry delay (in the wall-clock)
 };
 
 struct ShardedResult {
@@ -53,12 +77,31 @@ struct ShardedResult {
   double makespan_ms = 0.0;  ///< slowest shard (distributed wall-clock)
   double sum_ms = 0.0;       ///< total work across shards
 
+  // Degradation accounting: what the failed shards took with them.
+  std::size_t failed_shards = 0;
+  std::uint64_t retries = 0;        ///< failed attempts across all shards
+  std::uint64_t dropped_pairs = 0;  ///< pair space never evaluated
+  std::size_t dropped_left = 0;     ///< left records on failed shards
+  std::size_t dropped_right = 0;
+  std::vector<std::size_t> dropped_shard_ids;
+
   /// Work imbalance: makespan / (sum / shards); 1.0 = perfectly balanced.
   [[nodiscard]] double imbalance() const noexcept {
     if (shards.empty() || sum_ms <= 0.0) {
       return 1.0;
     }
     return makespan_ms / (sum_ms / static_cast<double>(shards.size()));
+  }
+
+  /// Upper bound on the recall lost to shard failures: the fraction of
+  /// the candidate pair space that was never evaluated.  Every true pair
+  /// lost to a failure lived in a dropped partition, so
+  /// recall_loss <= dropped_pair_fraction of the pair universe.
+  [[nodiscard]] double dropped_pair_fraction() const noexcept {
+    const double universe =
+        static_cast<double>(total_pairs) + static_cast<double>(dropped_pairs);
+    return universe > 0.0 ? static_cast<double>(dropped_pairs) / universe
+                          : 0.0;
   }
 };
 

@@ -1,0 +1,467 @@
+#include "linkage/snapshot.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <type_traits>
+
+#include "util/rng.hpp"
+
+namespace fbf::linkage {
+
+namespace u = fbf::util;
+namespace fs = std::filesystem;
+
+namespace {
+
+// --- byte-level encoding helpers (host-endian, length-prefixed) --------
+
+constexpr std::uint64_t kSnapshotMagic = 0x31504E5346424600ull;  // "\0FBFSNP1"
+constexpr std::uint32_t kFrameMagic = 0x4C4E524Au;               // "JRNL"
+// A snapshot payload larger than this is structurally implausible for
+// this store and is rejected before any allocation is attempted.
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 32;
+
+template <typename T>
+void put(std::string& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.append(bytes, sizeof(T));
+}
+
+void put_string(std::string& out, const std::string& s) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked reader over a verified payload.
+struct Reader {
+  std::string_view data;
+  std::size_t pos = 0;
+
+  template <typename T>
+  bool get(T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (data.size() - pos < sizeof(T)) {
+      return false;
+    }
+    std::memcpy(&value, data.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+  }
+
+  bool get_string(std::string& s) {
+    std::uint32_t len = 0;
+    if (!get(len) || data.size() - pos < len) {
+      return false;
+    }
+    s.assign(data.data() + pos, len);
+    pos += len;
+    return true;
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos == data.size(); }
+};
+
+void put_record(std::string& out, const PersonRecord& r) {
+  put<std::uint64_t>(out, r.id);
+  for (const RecordField f : all_record_fields()) {
+    put_string(out, r.field(f));
+  }
+}
+
+bool get_record(Reader& in, PersonRecord& r) {
+  if (!in.get(r.id)) {
+    return false;
+  }
+  for (const RecordField f : all_record_fields()) {
+    if (!in.get_string(r.field(f))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void put_signatures(std::string& out, const RecordSignatures& sigs) {
+  for (const fbf::core::Signature& sig : sigs.sigs) {
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(sig.size()));
+    for (const std::uint32_t word : sig.words()) {
+      put<std::uint32_t>(out, word);
+    }
+  }
+}
+
+bool get_signatures(Reader& in, RecordSignatures& sigs) {
+  for (fbf::core::Signature& sig : sigs.sigs) {
+    std::uint8_t n = 0;
+    if (!in.get(n) || n > fbf::core::Signature::kMaxWords) {
+      return false;
+    }
+    sig = {};
+    for (std::uint8_t w = 0; w < n; ++w) {
+      std::uint32_t word = 0;
+      if (!in.get(word)) {
+        return false;
+      }
+      sig.push(word);
+    }
+  }
+  return true;
+}
+
+std::string encode_batch(std::span<const PersonRecord> batch) {
+  std::string payload;
+  put<std::uint64_t>(payload, batch.size());
+  for (const PersonRecord& r : batch) {
+    put_record(payload, r);
+  }
+  return payload;
+}
+
+/// Reads exactly `n` bytes; short reads report how many bytes arrived.
+bool read_exact(std::istream& in, std::string& out, std::size_t n,
+                std::size_t& got) {
+  out.resize(n);
+  in.read(out.data(), static_cast<std::streamsize>(n));
+  got = static_cast<std::size_t>(in.gcount());
+  out.resize(got);
+  return got == n;
+}
+
+}  // namespace
+
+// --- snapshot ----------------------------------------------------------
+
+u::Status write_snapshot(std::ostream& out, const EntityStore& store,
+                         std::uint64_t batches_ingested) {
+  const bool has_sigs =
+      store.uses_fbf() && store.signatures().size() == store.records().size();
+  std::string payload;
+  put<std::uint64_t>(payload, batches_ingested);
+  put<std::uint32_t>(payload, static_cast<std::uint32_t>(store.entity_count()));
+  put<std::uint8_t>(payload, has_sigs ? 1 : 0);
+  put<std::uint64_t>(payload, store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    put_record(payload, store.records()[i]);
+    put<std::uint32_t>(payload, store.entity_ids()[i]);
+    if (has_sigs) {
+      put_signatures(payload, store.signatures()[i]);
+    }
+  }
+  std::string header;
+  put<std::uint64_t>(header, kSnapshotMagic);
+  put<std::uint32_t>(header, kSnapshotVersion);
+  put<std::uint64_t>(header, payload.size());
+  put<std::uint64_t>(header, u::fnv1a64(payload));
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.flush();
+  if (!out) {
+    return u::Status::io_error("snapshot write failed");
+  }
+  return {};
+}
+
+u::Result<std::uint64_t> read_snapshot(std::istream& in, EntityStore& store) {
+  std::string header;
+  std::size_t got = 0;
+  if (!read_exact(in, header, 28, got)) {
+    return u::Status::data_loss("snapshot header truncated at byte " +
+                                std::to_string(got));
+  }
+  Reader h{header};
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t payload_size = 0;
+  std::uint64_t checksum = 0;
+  h.get(magic);
+  h.get(version);
+  h.get(payload_size);
+  h.get(checksum);
+  if (magic != kSnapshotMagic) {
+    return u::Status::data_loss("bad snapshot magic");
+  }
+  if (version != kSnapshotVersion) {
+    return u::Status::data_loss("unsupported snapshot version " +
+                                std::to_string(version));
+  }
+  if (payload_size > kMaxPayloadBytes) {
+    return u::Status::data_loss("implausible snapshot payload size");
+  }
+  std::string payload;
+  if (!read_exact(in, payload, static_cast<std::size_t>(payload_size), got)) {
+    return u::Status::data_loss("snapshot payload truncated: " +
+                                std::to_string(got) + " of " +
+                                std::to_string(payload_size) + " bytes");
+  }
+  if (u::fnv1a64(payload) != checksum) {
+    return u::Status::data_loss("snapshot checksum mismatch");
+  }
+  // The payload is now checksum-verified; structural errors past this
+  // point mean the writer and reader disagree, which is still data loss.
+  Reader r{payload};
+  std::uint64_t batches_ingested = 0;
+  std::uint32_t entity_total = 0;
+  std::uint8_t has_sigs = 0;
+  std::uint64_t n_records = 0;
+  if (!r.get(batches_ingested) || !r.get(entity_total) || !r.get(has_sigs) ||
+      !r.get(n_records)) {
+    return u::Status::data_loss("snapshot payload header malformed");
+  }
+  std::vector<PersonRecord> records;
+  std::vector<std::uint32_t> entity_ids;
+  std::vector<RecordSignatures> signatures;
+  records.reserve(static_cast<std::size_t>(n_records));
+  entity_ids.reserve(static_cast<std::size_t>(n_records));
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    PersonRecord rec;
+    std::uint32_t entity = 0;
+    if (!get_record(r, rec) || !r.get(entity)) {
+      return u::Status::data_loss("snapshot record " + std::to_string(i) +
+                                  " malformed");
+    }
+    records.push_back(std::move(rec));
+    entity_ids.push_back(entity);
+    if (has_sigs != 0) {
+      RecordSignatures sigs;
+      if (!get_signatures(r, sigs)) {
+        return u::Status::data_loss("snapshot signatures " +
+                                    std::to_string(i) + " malformed");
+      }
+      signatures.push_back(sigs);
+    }
+  }
+  if (!r.done()) {
+    return u::Status::data_loss("snapshot payload has trailing bytes");
+  }
+  u::Status restored = store.restore(std::move(records), std::move(entity_ids),
+                                     entity_total, std::move(signatures));
+  if (!restored.ok()) {
+    return u::Status::data_loss("snapshot inconsistent: " +
+                                restored.message());
+  }
+  return batches_ingested;
+}
+
+// --- journal -----------------------------------------------------------
+
+u::Status append_journal(std::ostream& out, std::uint64_t seq,
+                         std::span<const PersonRecord> batch) {
+  const std::string payload = encode_batch(batch);
+  std::string frame;
+  put<std::uint32_t>(frame, kFrameMagic);
+  put<std::uint64_t>(frame, seq);
+  put<std::uint64_t>(frame, payload.size());
+  put<std::uint64_t>(frame, u::fnv1a64(payload));
+  frame += payload;
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out.flush();
+  if (!out) {
+    return u::Status::io_error("journal append failed at seq " +
+                               std::to_string(seq));
+  }
+  return {};
+}
+
+u::Result<JournalReplay> read_journal(std::istream& in) {
+  JournalReplay replay;
+  for (;;) {
+    std::string header;
+    std::size_t got = 0;
+    if (!read_exact(in, header, 28, got)) {
+      replay.dropped_tail_bytes += got;  // 0 at a clean end of stream
+      return replay;
+    }
+    Reader h{header};
+    std::uint32_t magic = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t payload_size = 0;
+    std::uint64_t checksum = 0;
+    h.get(magic);
+    h.get(seq);
+    h.get(payload_size);
+    h.get(checksum);
+    if (magic != kFrameMagic || payload_size > kMaxPayloadBytes) {
+      replay.dropped_tail_bytes += header.size();
+      return replay;  // damaged frame: stop at the intact prefix
+    }
+    std::string payload;
+    if (!read_exact(in, payload, static_cast<std::size_t>(payload_size),
+                    got)) {
+      replay.dropped_tail_bytes += header.size() + got;
+      return replay;  // crash cut the append short
+    }
+    if (u::fnv1a64(payload) != checksum) {
+      replay.dropped_tail_bytes += header.size() + payload.size();
+      return replay;
+    }
+    Reader r{payload};
+    std::uint64_t n = 0;
+    if (!r.get(n)) {
+      replay.dropped_tail_bytes += header.size() + payload.size();
+      return replay;
+    }
+    JournalFrame frame;
+    frame.seq = seq;
+    frame.batch.reserve(static_cast<std::size_t>(n));
+    bool intact = true;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      PersonRecord rec;
+      if (!get_record(r, rec)) {
+        intact = false;
+        break;
+      }
+      frame.batch.push_back(std::move(rec));
+    }
+    if (!intact || !r.done()) {
+      replay.dropped_tail_bytes += header.size() + payload.size();
+      return replay;
+    }
+    replay.frames.push_back(std::move(frame));
+  }
+}
+
+// --- durable store -----------------------------------------------------
+
+DurableEntityStore::DurableEntityStore(ComparatorConfig comparator,
+                                       DurabilityConfig config)
+    : comparator_(comparator),
+      config_(std::move(config)),
+      store_(std::move(comparator)) {}
+
+u::Result<IngestStats> DurableEntityStore::ingest(
+    std::span<const PersonRecord> batch) {
+  // Write-ahead: the frame must be durable before the store mutates, so a
+  // crash between the two replays the batch instead of losing it.
+  {
+    std::string frame_payload = encode_batch(batch);
+    std::string frame;
+    put<std::uint32_t>(frame, kFrameMagic);
+    put<std::uint64_t>(frame, batches_ingested_);
+    put<std::uint64_t>(frame, frame_payload.size());
+    put<std::uint64_t>(frame, u::fnv1a64(frame_payload));
+    frame += frame_payload;
+    std::size_t write_size = frame.size();
+    if (config_.faults != nullptr) {
+      write_size = config_.faults->truncated_size(frame.size(), "journal");
+    }
+    std::ofstream out(config_.journal_path,
+                      std::ios::binary | std::ios::app);
+    out.write(frame.data(), static_cast<std::streamsize>(write_size));
+    out.flush();
+    if (!out) {
+      return u::Status::io_error("journal append failed: " +
+                                 config_.journal_path);
+    }
+    if (write_size != frame.size()) {
+      // The injected crash cut the append short: the in-memory store is
+      // intentionally NOT updated (the process would be dead) — callers
+      // recover() to continue.
+      return u::Status::unavailable("journal append truncated (injected "
+                                    "crash) at seq " +
+                                    std::to_string(batches_ingested_));
+    }
+  }
+  IngestStats stats = store_.ingest(batch);
+  ++batches_ingested_;
+  if (config_.checkpoint_every > 0 &&
+      batches_ingested_ - last_checkpoint_batch_ >= config_.checkpoint_every) {
+    if (!checkpoint().ok()) {
+      ++checkpoint_failures_;  // degrade: journal intact, nothing lost
+    }
+  }
+  return stats;
+}
+
+u::Status DurableEntityStore::checkpoint() {
+  std::ostringstream buffer;
+  u::Status written = write_snapshot(buffer, store_, batches_ingested_);
+  if (!written.ok()) {
+    return written;
+  }
+  std::string bytes = std::move(buffer).str();
+  if (config_.faults != nullptr) {
+    (void)config_.faults->corrupt_bytes(bytes, "snapshot");
+  }
+  const std::string tmp_path = config_.snapshot_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      return u::Status::io_error("snapshot write failed: " + tmp_path);
+    }
+  }
+  // Verify the bytes that actually landed before the old snapshot or the
+  // journal is touched — a corrupt checkpoint must cost nothing.
+  {
+    std::ifstream check(tmp_path, std::ios::binary);
+    EntityStore scratch(comparator_);
+    const auto verified = read_snapshot(check, scratch);
+    if (!verified.ok()) {
+      std::error_code ec;
+      fs::remove(tmp_path, ec);
+      return verified.status();
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, config_.snapshot_path, ec);
+  if (ec) {
+    return u::Status::io_error("snapshot rename failed: " + ec.message());
+  }
+  // The snapshot now covers every journaled batch: reset the journal.
+  std::ofstream truncate(config_.journal_path,
+                         std::ios::binary | std::ios::trunc);
+  if (!truncate) {
+    return u::Status::io_error("journal reset failed: " +
+                               config_.journal_path);
+  }
+  last_checkpoint_batch_ = batches_ingested_;
+  return {};
+}
+
+u::Result<RecoveryReport> DurableEntityStore::recover() {
+  RecoveryReport report;
+  EntityStore fresh(comparator_);
+  std::uint64_t position = 0;
+  if (fs::exists(config_.snapshot_path)) {
+    std::ifstream in(config_.snapshot_path, std::ios::binary);
+    auto loaded = read_snapshot(in, fresh);
+    if (!loaded.ok()) {
+      return loaded.status();  // a present-but-corrupt snapshot is data loss
+    }
+    position = loaded.value();
+    report.snapshot_loaded = true;
+  }
+  if (fs::exists(config_.journal_path)) {
+    std::ifstream in(config_.journal_path, std::ios::binary);
+    auto replay = read_journal(in);
+    if (!replay.ok()) {
+      return replay.status();
+    }
+    report.dropped_tail_bytes = replay->dropped_tail_bytes;
+    for (JournalFrame& frame : replay->frames) {
+      if (frame.seq < position) {
+        ++report.journal_batches_skipped;  // covered by the snapshot
+        continue;
+      }
+      if (frame.seq != position) {
+        break;  // gap: keep the contiguous prefix only
+      }
+      (void)fresh.ingest(frame.batch);
+      ++position;
+      ++report.journal_batches_replayed;
+    }
+  }
+  store_ = std::move(fresh);
+  batches_ingested_ = position;
+  last_checkpoint_batch_ = report.snapshot_loaded
+                               ? position - report.journal_batches_replayed
+                               : 0;
+  report.batches_ingested = position;
+  return report;
+}
+
+}  // namespace fbf::linkage

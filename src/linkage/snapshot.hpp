@@ -1,0 +1,137 @@
+// Checkpointed durability for the EntityStore.
+//
+// The paper's operational setting is a nightly batch pipeline (§1: the
+// master list is "updated daily... approximately 8 hours per night").  A
+// crash at hour 7 must not cost the night: the store persists as a
+// versioned, checksummed *snapshot* plus an append-only *batch journal*,
+// and recover() rebuilds exactly the state after the last durable batch.
+//
+//   ingest(batch)  -> append journal frame (write-ahead, flushed)
+//                  -> apply to the in-memory store
+//                  -> every N batches: checkpoint (snapshot + journal reset)
+//   recover()      -> load snapshot (checksum-verified) + replay journal
+//
+// Every frame and the snapshot payload carry an FNV-1a checksum; a crash
+// mid-append leaves a partial tail frame that replay detects and drops —
+// recovery is always prefix-consistent, never silently wrong.  Snapshots
+// are written to a temp file, re-read and verified, and only then renamed
+// over the previous snapshot; the journal is truncated only after the new
+// snapshot is proven readable, so an injected corruption loses a
+// checkpoint, not data.  Files are host-endian, machine-local artifacts
+// (a recovery target, not an interchange format).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "linkage/incremental.hpp"
+#include "util/fault.hpp"
+#include "util/status.hpp"
+
+namespace fbf::linkage {
+
+/// Bumped on any layout change; readers reject other versions.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Serializes `store` (records, entity ids, precomputed signatures) with
+/// a versioned, checksummed header.  `batches_ingested` records the
+/// logical journal position the snapshot covers.
+[[nodiscard]] fbf::util::Status write_snapshot(
+    std::ostream& out, const EntityStore& store,
+    std::uint64_t batches_ingested);
+
+/// Deserializes into `store` (constructed with the intended comparator)
+/// and returns the snapshot's batches_ingested position.  kDataLoss on
+/// any checksum, version or structure mismatch — a corrupt snapshot is
+/// detected, never loaded.
+[[nodiscard]] fbf::util::Result<std::uint64_t> read_snapshot(
+    std::istream& in, EntityStore& store);
+
+/// Appends one checksummed journal frame holding `batch` at logical
+/// position `seq`.
+[[nodiscard]] fbf::util::Status append_journal(
+    std::ostream& out, std::uint64_t seq,
+    std::span<const PersonRecord> batch);
+
+/// One replayed journal frame.
+struct JournalFrame {
+  std::uint64_t seq = 0;
+  std::vector<PersonRecord> batch;
+};
+
+struct JournalReplay {
+  std::vector<JournalFrame> frames;  ///< intact frames, in file order
+  std::size_t dropped_tail_bytes = 0;  ///< partial/corrupt tail (crash cut)
+};
+
+/// Reads frames until end of stream or the first damaged frame.  A crash
+/// mid-append legitimately leaves a partial tail — that tail is counted
+/// in `dropped_tail_bytes`, not treated as fatal, so replay yields the
+/// longest intact prefix.
+[[nodiscard]] fbf::util::Result<JournalReplay> read_journal(std::istream& in);
+
+/// Durability policy for a checkpointed store.
+struct DurabilityConfig {
+  std::string snapshot_path;
+  std::string journal_path;
+  /// Batches between automatic checkpoints; 0 = checkpoint() manually.
+  std::size_t checkpoint_every = 4;
+  /// Optional write-path fault injection (snapshot corruption, journal
+  /// truncation) — tests and benches; production passes nullptr.
+  fbf::util::FaultInjector* faults = nullptr;
+};
+
+/// What recover() found on disk.
+struct RecoveryReport {
+  bool snapshot_loaded = false;
+  std::size_t journal_batches_replayed = 0;
+  std::size_t journal_batches_skipped = 0;  ///< pre-snapshot leftovers
+  std::size_t dropped_tail_bytes = 0;
+  std::uint64_t batches_ingested = 0;  ///< logical position after recovery
+};
+
+/// EntityStore wrapper that survives crashes: write-ahead journaling per
+/// batch, periodic snapshots, and prefix-consistent recovery.
+class DurableEntityStore {
+ public:
+  DurableEntityStore(ComparatorConfig comparator, DurabilityConfig config);
+
+  /// Journals the batch (flushed before it is applied), ingests it, then
+  /// checkpoints when the policy says so.  A failed *checkpoint* degrades
+  /// (counted, journal kept) rather than failing the ingest; a failed
+  /// journal append fails the ingest before the store changes.
+  [[nodiscard]] fbf::util::Result<IngestStats> ingest(
+      std::span<const PersonRecord> batch);
+
+  /// Snapshot now and reset the journal.  The journal is only truncated
+  /// after the new snapshot has been re-read and checksum-verified.
+  [[nodiscard]] fbf::util::Status checkpoint();
+
+  /// Rebuilds in-memory state from the snapshot + journal on disk.
+  /// Succeeds with an empty store when neither file exists (cold start).
+  [[nodiscard]] fbf::util::Result<RecoveryReport> recover();
+
+  [[nodiscard]] const EntityStore& store() const noexcept { return store_; }
+  [[nodiscard]] std::uint64_t batches_ingested() const noexcept {
+    return batches_ingested_;
+  }
+  [[nodiscard]] std::uint64_t checkpoint_failures() const noexcept {
+    return checkpoint_failures_;
+  }
+  [[nodiscard]] const DurabilityConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  ComparatorConfig comparator_;
+  DurabilityConfig config_;
+  EntityStore store_;
+  std::uint64_t batches_ingested_ = 0;
+  std::uint64_t last_checkpoint_batch_ = 0;
+  std::uint64_t checkpoint_failures_ = 0;
+};
+
+}  // namespace fbf::linkage

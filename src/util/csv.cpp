@@ -2,20 +2,24 @@
 
 namespace fbf::util {
 
-std::optional<CsvRow> read_csv_row(std::istream& in) {
+std::optional<CsvRow> CsvRowReader::next() {
   CsvRow row;
   std::string field;
   bool in_quotes = false;
   bool any_char = false;
+  const std::size_t start_line = next_line_;
   int ch;
-  while ((ch = in.get()) != std::istream::traits_type::eof()) {
+  while ((ch = in_.get()) != std::istream::traits_type::eof()) {
     any_char = true;
     const char c = static_cast<char>(ch);
+    if (c == '\n') {
+      ++next_line_;
+    }
     if (in_quotes) {
       if (c == '"') {
-        if (in.peek() == '"') {
+        if (in_.peek() == '"') {
           field.push_back('"');
-          in.get();
+          in_.get();
         } else {
           in_quotes = false;
         }
@@ -36,6 +40,7 @@ std::optional<CsvRow> read_csv_row(std::istream& in) {
         break;  // tolerate CRLF
       case '\n':
         row.push_back(std::move(field));
+        row_line_ = start_line;
         return row;
       default:
         field.push_back(c);
@@ -46,7 +51,13 @@ std::optional<CsvRow> read_csv_row(std::istream& in) {
     return std::nullopt;
   }
   row.push_back(std::move(field));
+  row_line_ = start_line;
   return row;
+}
+
+std::optional<CsvRow> read_csv_row(std::istream& in) {
+  CsvRowReader reader(in);
+  return reader.next();
 }
 
 std::vector<CsvRow> read_csv(std::istream& in, bool skip_header) {

@@ -1,0 +1,77 @@
+#include "util/fault.hpp"
+
+#include "util/rng.hpp"
+
+namespace fbf::util {
+
+std::uint64_t FaultInjector::bits(std::string_view site, std::uint64_t a,
+                                  std::uint64_t b) const noexcept {
+  // Mix the site label and both indices into one key, then run it through
+  // splitmix64 so neighbouring keys decorrelate.
+  std::uint64_t key = fnv1a64(site);
+  key ^= a + 0x9E3779B97F4A7C15ull;
+  key *= 0x100000001B3ull;
+  key ^= b + 0xD1B54A32D192ED03ull;
+  return SplitMix64(config_.seed ^ key).next();
+}
+
+double FaultInjector::draw(std::string_view site, std::uint64_t a,
+                           std::uint64_t b) const noexcept {
+  return static_cast<double>(bits(site, a, b) >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::shard_attempt_fails(std::size_t shard, int attempt) {
+  const bool permanent =
+      config_.fail_shard >= 0 &&
+      static_cast<std::size_t>(config_.fail_shard) == shard;
+  const bool fails =
+      permanent || (config_.shard_fail_rate > 0.0 &&
+                    draw("shard-fail", shard,
+                         static_cast<std::uint64_t>(attempt)) <
+                        config_.shard_fail_rate);
+  if (fails) {
+    ++counters_.shard_failures;
+  }
+  return fails;
+}
+
+bool FaultInjector::shard_attempt_straggles(std::size_t shard, int attempt) {
+  const bool straggles =
+      config_.shard_straggle_rate > 0.0 &&
+      draw("shard-straggle", shard, static_cast<std::uint64_t>(attempt)) <
+          config_.shard_straggle_rate;
+  if (straggles) {
+    ++counters_.stragglers;
+  }
+  return straggles;
+}
+
+std::optional<std::size_t> FaultInjector::corrupt_bytes(
+    std::string& bytes, std::string_view site) {
+  if (bytes.empty() || config_.snapshot_corrupt_rate <= 0.0 ||
+      draw(site, 0, counters_.bytes_corrupted) >=
+          config_.snapshot_corrupt_rate) {
+    return std::nullopt;
+  }
+  const std::uint64_t r = bits(site, 1, counters_.bytes_corrupted);
+  const std::size_t offset = static_cast<std::size_t>(r % bytes.size());
+  const int bit = static_cast<int>((r >> 32) % 8);
+  bytes[offset] = static_cast<char>(
+      static_cast<unsigned char>(bytes[offset]) ^ (1u << bit));
+  ++counters_.bytes_corrupted;
+  return offset;
+}
+
+std::size_t FaultInjector::truncated_size(std::size_t size,
+                                          std::string_view site) {
+  if (size == 0 || config_.journal_truncate_rate <= 0.0 ||
+      draw(site, 2, counters_.truncations) >=
+          config_.journal_truncate_rate) {
+    return size;
+  }
+  const std::uint64_t r = bits(site, 3, counters_.truncations);
+  ++counters_.truncations;
+  return static_cast<std::size_t>(r % size);  // always < size: a real cut
+}
+
+}  // namespace fbf::util

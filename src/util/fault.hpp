@@ -1,0 +1,82 @@
+// Deterministic fault injection for the simulated distributed layer.
+//
+// Real nightly runs die in ways the happy path never exercises: a node
+// drops out mid-join, a straggler triples the makespan, a snapshot write
+// loses a byte, a journal append is cut short by the very crash it was
+// guarding against.  FaultInjector turns those into reproducible events:
+// every decision is a pure function of (seed, site, shard, attempt), so a
+// failing run replays bit-for-bit under a debugger, tests can assert
+// exact outcomes, and the decision for shard 3 / attempt 2 does not
+// depend on how many other faults were drawn before it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fbf::util {
+
+/// Fault rates, all default-off (a default FaultConfig injects nothing).
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  double shard_fail_rate = 0.0;      ///< P(one shard attempt fails)
+  double shard_straggle_rate = 0.0;  ///< P(one shard attempt runs slow)
+  double straggle_factor = 4.0;      ///< simulated slowdown multiplier
+  double snapshot_corrupt_rate = 0.0;  ///< P(a snapshot write flips a byte)
+  double journal_truncate_rate = 0.0;  ///< P(a journal append is cut short)
+  int fail_shard = -1;  ///< this shard index fails EVERY attempt (permanent)
+};
+
+/// Tallies of what was actually injected (for reports and assertions).
+struct FaultCounters {
+  std::uint64_t shard_failures = 0;
+  std::uint64_t stragglers = 0;
+  std::uint64_t bytes_corrupted = 0;
+  std::uint64_t truncations = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config = {}) : config_(config) {}
+
+  /// True when the given (shard, attempt) should fail.  `fail_shard`
+  /// faults are permanent; rate faults are independent per attempt.
+  [[nodiscard]] bool shard_attempt_fails(std::size_t shard, int attempt);
+
+  /// True when the given (shard, attempt) should run slow.
+  [[nodiscard]] bool shard_attempt_straggles(std::size_t shard, int attempt);
+
+  [[nodiscard]] double straggle_factor() const noexcept {
+    return config_.straggle_factor;
+  }
+
+  /// Maybe flips one bit of one byte of `bytes` (site-keyed draw);
+  /// returns the corrupted offset when a corruption fired.
+  std::optional<std::size_t> corrupt_bytes(std::string& bytes,
+                                           std::string_view site);
+
+  /// Number of bytes of a `size`-byte write that actually reach the disk
+  /// — strictly less than `size` when a truncation fires (models a crash
+  /// mid-append; the writer should be treated as dead afterwards).
+  [[nodiscard]] std::size_t truncated_size(std::size_t size,
+                                           std::string_view site);
+
+  [[nodiscard]] const FaultCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Uniform [0, 1) draw keyed by (seed, site, a, b) — order-independent.
+  [[nodiscard]] double draw(std::string_view site, std::uint64_t a,
+                            std::uint64_t b) const noexcept;
+  /// Raw 64-bit stream for picking offsets/bits, same keying.
+  [[nodiscard]] std::uint64_t bits(std::string_view site, std::uint64_t a,
+                                   std::uint64_t b) const noexcept;
+
+  FaultConfig config_;
+  FaultCounters counters_;
+};
+
+}  // namespace fbf::util

@@ -1,0 +1,30 @@
+#include "util/status.hpp"
+
+namespace fbf::util {
+
+const char* status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kDataLoss: return "data-loss";
+    case StatusCode::kFailedPrecondition: return "failed-precondition";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kIoError: return "io-error";
+  }
+  return "?";
+}
+
+std::string Status::to_string() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace fbf::util

@@ -1,0 +1,105 @@
+// Error propagation for the I/O and pipeline APIs.
+//
+// Bare `throw` is fine for programmer errors, but the fault-tolerant
+// ingest path treats failure as data: a corrupt snapshot, a truncated
+// journal or a failed shard is an *expected* runtime outcome that callers
+// inspect, count and degrade on rather than unwind past.  Status carries
+// a coarse code plus a human-readable message; Result<T> is the
+// status-or-value return type of every recoverable operation in the
+// snapshot / journal / CSV-load path.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fbf::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     ///< caller passed something unusable
+  kNotFound,            ///< file or entry absent (often a cold start, not fatal)
+  kDataLoss,            ///< checksum/structure mismatch: the bytes are lying
+  kFailedPrecondition,  ///< operation ordering violated
+  kUnavailable,         ///< transient: a retry may succeed (injected faults)
+  kIoError,             ///< the stream/file itself failed
+};
+
+[[nodiscard]] const char* status_code_name(StatusCode code) noexcept;
+
+/// Value-type status: default construction is success; error factories
+/// below attach a code and message.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+
+  /// "code: message" (or "ok") for logs and exception payloads.
+  [[nodiscard]] std::string to_string() const;
+
+  static Status invalid_argument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status not_found(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status data_loss(std::string msg) {
+    return {StatusCode::kDataLoss, std::move(msg)};
+  }
+  static Status failed_precondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
+  }
+  static Status io_error(std::string msg) {
+    return {StatusCode::kIoError, std::move(msg)};
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Status-or-value.  Constructing from a Status requires a non-OK status
+/// (an OK status carries no T, so it would be a logic error).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(state_).ok() && "Result needs a value or an error");
+  }
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(state_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// OK status when holding a value, the error otherwise.
+  [[nodiscard]] Status status() const {
+    return ok() ? Status() : std::get<Status>(state_);
+  }
+
+  [[nodiscard]] T& value() & { return std::get<T>(state_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(state_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(state_)); }
+
+  [[nodiscard]] T* operator->() { return &std::get<T>(state_); }
+  [[nodiscard]] const T* operator->() const { return &std::get<T>(state_); }
+  [[nodiscard]] T& operator*() & { return std::get<T>(state_); }
+  [[nodiscard]] const T& operator*() const& { return std::get<T>(state_); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace fbf::util

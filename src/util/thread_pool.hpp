@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -29,7 +30,10 @@ class ThreadPool {
   /// Enqueues a task.  Must not be called after destruction has begun.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing.  If any
+  /// task threw, rethrows the first captured exception here (subsequent
+  /// ones are dropped); without this, a throwing task would terminate the
+  /// worker thread and take the whole process down.
   void wait_idle();
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
@@ -44,6 +48,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_error_;  // guarded by mutex_
 };
 
 /// Splits [0, count) into `n_chunks` near-equal contiguous ranges and

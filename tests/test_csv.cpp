@@ -143,4 +143,95 @@ TEST(PersonCsv, LenientSkipsMalformedRows) {
   EXPECT_EQ(parsed[0].id, 3u);
 }
 
+TEST(CsvRowReader, TracksPhysicalLineNumbers) {
+  // Row 3 spans two physical lines (quoted newline); the reader must
+  // report the line each row STARTS on, not a logical row index.
+  std::istringstream in("a,b\nc,d\n\"x\ny\",z\nlast,row\n");
+  fbf::util::CsvRowReader reader(in);
+  ASSERT_TRUE(reader.next().has_value());
+  EXPECT_EQ(reader.row_line(), 1u);
+  ASSERT_TRUE(reader.next().has_value());
+  EXPECT_EQ(reader.row_line(), 2u);
+  ASSERT_TRUE(reader.next().has_value());
+  EXPECT_EQ(reader.row_line(), 3u);
+  ASSERT_TRUE(reader.next().has_value());
+  EXPECT_EQ(reader.row_line(), 5u);  // multi-line row pushed us to line 5
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(PersonCsv, StrictErrorNamesTheLine) {
+  std::istringstream bad_id("h\n1,A,B,C,D,M,E,F\nnot_a_number,a,b,c,d,e,f,g\n");
+  try {
+    (void)fbf::linkage::read_person_csv(bad_id);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PersonCsv, QuarantineCollectsBadRowsWithLinesAndReasons) {
+  // Interleaved good/bad rows: every valid record survives, every bad
+  // row lands in quarantine with its physical line number and a reason,
+  // and nothing throws.
+  std::istringstream in(
+      "id,ln,fn,mn,sx,dob,ssn,zip\n"  // line 1: header
+      "1,SMITH,JOHN,Q,M,1970,123,44\n"      // line 2: good
+      "oops,SMITH,JANE,Q,F,1971,124,44\n"   // line 3: bad id
+      "2,DOE,JANE,Q,F,1971,124,44\n"        // line 4: good
+      "3,SHORT\n"                           // line 5: bad arity
+      "4,ROE,RICK,R,M,1980,125,55\n");      // line 6: good
+  const auto load = fbf::linkage::read_person_csv_quarantine(in);
+  ASSERT_TRUE(load.ok()) << load.status().to_string();
+  EXPECT_EQ(load->rows_read, 5u);
+  EXPECT_FALSE(load->clean());
+  ASSERT_EQ(load->records.size(), 3u);
+  EXPECT_EQ(load->records[0].id, 1u);
+  EXPECT_EQ(load->records[1].id, 2u);
+  EXPECT_EQ(load->records[2].id, 4u);
+  ASSERT_EQ(load->quarantined.size(), 2u);
+  EXPECT_EQ(load->quarantined[0].line, 3u);
+  EXPECT_NE(load->quarantined[0].reason.find("non-numeric id"),
+            std::string::npos);
+  EXPECT_EQ(load->quarantined[0].fields[0], "oops");
+  EXPECT_EQ(load->quarantined[1].line, 5u);
+  EXPECT_NE(load->quarantined[1].reason.find("expected >= 8 columns"),
+            std::string::npos);
+}
+
+TEST(PersonCsv, QuarantineOfCleanFileIsEmpty) {
+  fbf::util::Rng rng(31);
+  const auto people = fbf::linkage::generate_people(20, rng);
+  std::ostringstream out;
+  fbf::linkage::write_person_csv(out, people);
+  std::istringstream in(out.str());
+  const auto load = fbf::linkage::read_person_csv_quarantine(in);
+  ASSERT_TRUE(load.ok());
+  EXPECT_TRUE(load->clean());
+  EXPECT_EQ(load->records.size(), 20u);
+  EXPECT_EQ(load->rows_read, 20u);
+}
+
+TEST(PersonCsv, AllRowsBadStillReturnsInsteadOfThrowing) {
+  std::istringstream in("h\nx\ny\nz\n");
+  const auto load = fbf::linkage::read_person_csv_quarantine(in);
+  ASSERT_TRUE(load.ok());
+  EXPECT_TRUE(load->records.empty());
+  ASSERT_EQ(load->quarantined.size(), 3u);
+  EXPECT_EQ(load->quarantined[0].line, 2u);
+  EXPECT_EQ(load->quarantined[2].line, 4u);
+}
+
+TEST(PersonCsv, LenientOutParamReportsSkips) {
+  std::istringstream in(
+      "h\nnot_a_number,a,b,c,d,e,f,g\n3,A,B,C,D,M,E,F\nbad\n");
+  std::vector<fbf::linkage::QuarantinedRow> quarantine;
+  const auto parsed =
+      fbf::linkage::read_person_csv(in, /*strict=*/false, &quarantine);
+  ASSERT_EQ(parsed.size(), 1u);
+  ASSERT_EQ(quarantine.size(), 2u);
+  EXPECT_EQ(quarantine[0].line, 2u);
+  EXPECT_EQ(quarantine[1].line, 4u);
+}
+
 }  // namespace

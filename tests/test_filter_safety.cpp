@@ -199,4 +199,54 @@ TEST(FilterSafetyEdgeCases, TranspositionFlipsZeroBits) {
   }
 }
 
+TEST(SignatureFuzz, ArbitraryBytesNeverCrashAndMatchTheCleanedString) {
+  // Dirty ingest feeds raw CSV bytes into make_signature: embedded NULs,
+  // control bytes and non-ASCII must never crash, must always produce the
+  // layout-correct word count, and must equal the signature of the string
+  // with all non-contributing bytes removed (non-letters for kAlpha,
+  // non-digits for kNumeric, non-alnum for kAlphanumeric).
+  fbf::util::Rng rng(fbf::util::fnv1a64("sig-fuzz"));
+  const FieldClass classes[] = {FieldClass::kAlpha, FieldClass::kNumeric,
+                                FieldClass::kAlphanumeric};
+  for (int iter = 0; iter < 4000; ++iter) {
+    const auto len = static_cast<std::size_t>(rng.below(33));
+    std::string s(len, '\0');
+    for (auto& ch : s) {
+      ch = static_cast<char>(rng.below(256));
+    }
+    for (const FieldClass cls : classes) {
+      for (int l = 1; l <= fbf::core::kMaxAlphaWords; ++l) {
+        const Signature sig = make_signature(s, cls, l);
+        EXPECT_EQ(sig.size(), fbf::core::signature_words(cls, l));
+        // Deterministic: same bytes, same signature.
+        EXPECT_TRUE(sig == make_signature(s, cls, l));
+        // Non-contributing bytes are ignored, not misindexed.
+        std::string cleaned;
+        for (const char raw : s) {
+          const unsigned char uc = static_cast<unsigned char>(raw);
+          const bool is_alpha = (uc >= 'A' && uc <= 'Z') ||
+                                (uc >= 'a' && uc <= 'z');
+          const bool is_digit = uc >= '0' && uc <= '9';
+          if ((cls == FieldClass::kAlpha && is_alpha) ||
+              (cls == FieldClass::kNumeric && is_digit) ||
+              (cls == FieldClass::kAlphanumeric && (is_alpha || is_digit))) {
+            cleaned.push_back(raw);
+          }
+        }
+        EXPECT_TRUE(sig == make_signature(cleaned, cls, l))
+            << "len=" << s.size() << " cleaned=" << cleaned;
+      }
+    }
+  }
+}
+
+TEST(SignatureFuzz, EmbeddedNulIsIgnoredLikeAnyNonAlnumByte) {
+  const std::string with_nul("A\0B", 3);
+  const Signature sig = make_signature(with_nul, FieldClass::kAlpha, 2);
+  EXPECT_TRUE(sig == make_signature("AB", FieldClass::kAlpha, 2));
+  const std::string nul_digits("1\0\0002", 4);
+  EXPECT_TRUE(make_signature(nul_digits, FieldClass::kNumeric, 1) ==
+              make_signature("12", FieldClass::kNumeric, 1));
+}
+
 }  // namespace

@@ -128,6 +128,130 @@ TEST(Sharded, SingleShardEqualsExhaustive) {
   EXPECT_EQ(sharded.total_true_positives, exhaustive.true_positives);
 }
 
+TEST(Sharded, FaultFreePolicyChangesNothing) {
+  // An armed-but-all-zero fault policy must reproduce the fault-free run.
+  const Fixture fx(100);
+  const auto config = make_config(4, lk::PartitionScheme::kReplicateRight);
+  auto faulty = config;
+  faulty.fault = lk::ShardFaultPolicy{};
+  const auto plain = lk::link_sharded(fx.clean, fx.error, config);
+  const auto armed = lk::link_sharded(fx.clean, fx.error, faulty);
+  EXPECT_EQ(armed.total_pairs, plain.total_pairs);
+  EXPECT_EQ(armed.total_true_positives, plain.total_true_positives);
+  EXPECT_EQ(armed.failed_shards, 0u);
+  EXPECT_EQ(armed.retries, 0u);
+  EXPECT_EQ(armed.dropped_pairs, 0u);
+  for (const auto& shard : armed.shards) {
+    EXPECT_EQ(shard.attempts, 1);
+    EXPECT_TRUE(shard.completed);
+  }
+}
+
+TEST(Sharded, PermanentShardFailureDegradesGracefully) {
+  // Acceptance scenario: one shard fails every attempt.  The run must
+  // complete, retries must be bounded and counted, and the result must
+  // report the dropped partition instead of crashing.
+  const Fixture fx(200);
+  auto config = make_config(4, lk::PartitionScheme::kReplicateRight);
+  lk::ShardFaultPolicy policy;
+  policy.faults.fail_shard = 2;
+  policy.max_attempts = 3;
+  config.fault = policy;
+  const auto baseline = lk::link_sharded(
+      fx.clean, fx.error, make_config(4, lk::PartitionScheme::kReplicateRight));
+
+  const auto result = lk::link_sharded(fx.clean, fx.error, config);
+  EXPECT_EQ(result.failed_shards, 1u);
+  ASSERT_EQ(result.dropped_shard_ids.size(), 1u);
+  EXPECT_EQ(result.dropped_shard_ids[0], 2u);
+  EXPECT_EQ(result.retries, 3u);  // every bounded attempt failed
+  EXPECT_EQ(result.shards[2].attempts, 3);
+  EXPECT_FALSE(result.shards[2].completed);
+  EXPECT_GT(result.shards[2].backoff_ms, 0.0);
+  // The surviving shards are untouched...
+  EXPECT_EQ(result.total_pairs + result.dropped_pairs,
+            baseline.total_pairs);
+  EXPECT_EQ(result.dropped_pairs,
+            static_cast<std::uint64_t>(result.shards[2].left_count) *
+                result.shards[2].right_count);
+  EXPECT_EQ(result.dropped_left, result.shards[2].left_count);
+  // ...and the recall impact is bounded and reported: under
+  // replicate-right each left record has at most one true pair, so the
+  // true positives lost cannot exceed the dropped left records.
+  EXPECT_LE(baseline.total_true_positives - result.total_true_positives,
+            result.dropped_left);
+  EXPECT_GT(result.dropped_pair_fraction(), 0.0);
+  EXPECT_LT(result.dropped_pair_fraction(), 1.0);
+}
+
+TEST(Sharded, TransientFailuresRetryWithBoundedBackoff) {
+  const Fixture fx(150);
+  auto config = make_config(8, lk::PartitionScheme::kReplicateRight);
+  lk::ShardFaultPolicy policy;
+  policy.faults.seed = 1234;
+  policy.faults.shard_fail_rate = 0.5;
+  policy.max_attempts = 8;  // transient faults at 0.5 almost always clear
+  policy.backoff_base_ms = 2.0;
+  policy.backoff_multiplier = 2.0;
+  config.fault = policy;
+  const auto result = lk::link_sharded(fx.clean, fx.error, config);
+  EXPECT_GT(result.retries, 0u);  // seed 1234 draws some failures
+  std::uint64_t counted_retries = 0;
+  for (const auto& shard : result.shards) {
+    ASSERT_LE(shard.attempts, policy.max_attempts);
+    if (shard.completed) {
+      // A shard that needed a attempts carries the geometric backoff sum.
+      counted_retries += static_cast<std::uint64_t>(shard.attempts - 1);
+      double expected_backoff = 0.0;
+      double step = policy.backoff_base_ms;
+      for (int a = 1; a < shard.attempts; ++a) {
+        expected_backoff += step;
+        step *= policy.backoff_multiplier;
+      }
+      EXPECT_DOUBLE_EQ(shard.backoff_ms, expected_backoff);
+    } else {
+      counted_retries += static_cast<std::uint64_t>(shard.attempts);
+    }
+  }
+  EXPECT_EQ(result.retries, counted_retries);
+}
+
+TEST(Sharded, StragglersInflateRecordedTimeNotResults) {
+  const Fixture fx(120);
+  auto config = make_config(4, lk::PartitionScheme::kReplicateRight);
+  lk::ShardFaultPolicy policy;
+  policy.faults.seed = 5;
+  policy.faults.shard_straggle_rate = 1.0;
+  policy.faults.straggle_factor = 10.0;
+  config.fault = policy;
+  const auto result = lk::link_sharded(fx.clean, fx.error, config);
+  const auto baseline = lk::link_sharded(
+      fx.clean, fx.error, make_config(4, lk::PartitionScheme::kReplicateRight));
+  EXPECT_EQ(result.total_true_positives, baseline.total_true_positives);
+  EXPECT_EQ(result.failed_shards, 0u);
+  for (const auto& shard : result.shards) {
+    EXPECT_TRUE(shard.straggled);
+    EXPECT_TRUE(shard.completed);
+  }
+}
+
+TEST(Sharded, AllShardsFailingStillCompletes) {
+  // Worst case: nothing survives.  The run must return (zero results,
+  // full accounting) rather than crash or hang.
+  const Fixture fx(60);
+  auto config = make_config(3, lk::PartitionScheme::kReplicateRight);
+  lk::ShardFaultPolicy policy;
+  policy.faults.shard_fail_rate = 1.0;
+  policy.max_attempts = 2;
+  config.fault = policy;
+  const auto result = lk::link_sharded(fx.clean, fx.error, config);
+  EXPECT_EQ(result.failed_shards, 3u);
+  EXPECT_EQ(result.total_pairs, 0u);
+  EXPECT_EQ(result.total_true_positives, 0u);
+  EXPECT_DOUBLE_EQ(result.dropped_pair_fraction(), 1.0);
+  EXPECT_EQ(result.retries, 6u);  // 3 shards x 2 bounded attempts
+}
+
 TEST(Sharded, SchemeNames) {
   EXPECT_STREQ(
       lk::partition_scheme_name(lk::PartitionScheme::kHashLastName),

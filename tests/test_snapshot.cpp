@@ -1,0 +1,372 @@
+#include "linkage/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "linkage/person_gen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace lk = fbf::linkage;
+namespace u = fbf::util;
+namespace fs = std::filesystem;
+using fbf::util::Rng;
+
+lk::ComparatorConfig fpdl_config() {
+  return lk::make_point_threshold_config(lk::FieldStrategy::kFpdl);
+}
+
+std::vector<std::vector<lk::PersonRecord>> make_batches(std::size_t n_batches,
+                                                        std::size_t batch_size,
+                                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<lk::PersonRecord>> batches;
+  batches.reserve(n_batches);
+  std::uint64_t next_id = 0;
+  for (std::size_t b = 0; b < n_batches; ++b) {
+    auto batch = lk::generate_people(batch_size, rng);
+    for (auto& r : batch) {
+      r.id = next_id++;
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+void expect_stores_equal(const lk::EntityStore& a, const lk::EntityStore& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.entity_count(), b.entity_count());
+  ASSERT_EQ(a.signatures().size(), b.signatures().size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entity_ids()[i], b.entity_ids()[i]) << "record " << i;
+    EXPECT_EQ(a.records()[i].id, b.records()[i].id) << "record " << i;
+    for (const auto field : lk::all_record_fields()) {
+      EXPECT_EQ(a.records()[i].field(field), b.records()[i].field(field));
+    }
+    if (!a.signatures().empty()) {
+      for (std::size_t f = 0; f < lk::kRecordFieldCount; ++f) {
+        EXPECT_TRUE(a.signatures()[i].sigs[f] == b.signatures()[i].sigs[f])
+            << "record " << i << " field " << f;
+      }
+    }
+  }
+}
+
+/// Per-test scratch paths under gtest's temp dir, removed on teardown.
+class SnapshotFiles : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    base_ = fs::path(::testing::TempDir()) /
+            (std::string("fbf_") + info->name());
+    fs::create_directories(base_);
+    snapshot_ = (base_ / "store.snap").string();
+    journal_ = (base_ / "store.journal").string();
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(base_, ec);
+  }
+
+  [[nodiscard]] lk::DurabilityConfig durability(
+      std::size_t checkpoint_every = 4,
+      u::FaultInjector* faults = nullptr) const {
+    lk::DurabilityConfig config;
+    config.snapshot_path = snapshot_;
+    config.journal_path = journal_;
+    config.checkpoint_every = checkpoint_every;
+    config.faults = faults;
+    return config;
+  }
+
+  fs::path base_;
+  std::string snapshot_;
+  std::string journal_;
+};
+
+TEST(Snapshot, RoundTripPreservesRecordsIdsAndSignatures) {
+  lk::EntityStore store(fpdl_config());
+  const auto batches = make_batches(3, 40, 1);
+  for (const auto& batch : batches) {
+    store.ingest(batch);
+  }
+  std::ostringstream out;
+  ASSERT_TRUE(lk::write_snapshot(out, store, 3).ok());
+  lk::EntityStore loaded(fpdl_config());
+  std::istringstream in(out.str());
+  const auto seq = lk::read_snapshot(in, loaded);
+  ASSERT_TRUE(seq.ok()) << seq.status().to_string();
+  EXPECT_EQ(seq.value(), 3u);
+  expect_stores_equal(store, loaded);
+}
+
+TEST(Snapshot, RoundTripWithoutFbfComparator) {
+  // A DL-only comparator keeps no signatures; the snapshot must say so
+  // and the loaded store must behave identically.
+  const auto config = lk::make_point_threshold_config(lk::FieldStrategy::kDl);
+  lk::EntityStore store(config);
+  store.ingest(make_batches(1, 30, 2).front());
+  std::ostringstream out;
+  ASSERT_TRUE(lk::write_snapshot(out, store, 1).ok());
+  lk::EntityStore loaded(config);
+  std::istringstream in(out.str());
+  ASSERT_TRUE(lk::read_snapshot(in, loaded).ok());
+  EXPECT_TRUE(loaded.signatures().empty());
+  expect_stores_equal(store, loaded);
+}
+
+TEST(Snapshot, EverySingleByteCorruptionIsDetected) {
+  // Property (acceptance): write -> corrupt one byte -> load must fail
+  // via checksum/structure checks, at EVERY byte offset.  A silently
+  // wrong load would poison every later nightly run.
+  lk::EntityStore store(fpdl_config());
+  store.ingest(make_batches(1, 12, 3).front());
+  std::ostringstream out;
+  ASSERT_TRUE(lk::write_snapshot(out, store, 1).ok());
+  const std::string bytes = out.str();
+  Rng rng(44);
+  for (std::size_t offset = 0; offset < bytes.size(); ++offset) {
+    std::string corrupt = bytes;
+    const int bit = static_cast<int>(rng.below(8));
+    corrupt[offset] = static_cast<char>(
+        static_cast<unsigned char>(corrupt[offset]) ^ (1u << bit));
+    lk::EntityStore loaded(fpdl_config());
+    std::istringstream in(corrupt);
+    const auto result = lk::read_snapshot(in, loaded);
+    EXPECT_FALSE(result.ok()) << "byte " << offset << " bit " << bit
+                              << " flipped but the snapshot loaded";
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), u::StatusCode::kDataLoss);
+    }
+  }
+}
+
+TEST(Snapshot, TruncatedSnapshotIsDetected) {
+  lk::EntityStore store(fpdl_config());
+  store.ingest(make_batches(1, 10, 4).front());
+  std::ostringstream out;
+  ASSERT_TRUE(lk::write_snapshot(out, store, 1).ok());
+  const std::string bytes = out.str();
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{10},
+                                 std::size_t{27}, bytes.size() / 2,
+                                 bytes.size() - 1}) {
+    lk::EntityStore loaded(fpdl_config());
+    std::istringstream in(bytes.substr(0, keep));
+    EXPECT_FALSE(lk::read_snapshot(in, loaded).ok()) << "kept " << keep;
+  }
+}
+
+TEST(Journal, TruncationAtEveryPointYieldsAnIntactPrefix) {
+  // Property (acceptance): however many tail bytes a crash destroys, the
+  // replay is a frame-aligned prefix of what was appended — never a
+  // half-applied batch, never an error.
+  const auto batches = make_batches(4, 8, 5);
+  std::ostringstream out;
+  std::vector<std::size_t> frame_end;  // cumulative byte offset per frame
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    ASSERT_TRUE(lk::append_journal(out, b, batches[b]).ok());
+    frame_end.push_back(out.str().size());
+  }
+  const std::string bytes = out.str();
+  for (std::size_t keep = 0; keep <= bytes.size(); ++keep) {
+    // A cut at `keep` preserves every frame that ends at or before it.
+    std::size_t expect_frames = 0;
+    while (expect_frames < frame_end.size() &&
+           frame_end[expect_frames] <= keep) {
+      ++expect_frames;
+    }
+    std::istringstream in(bytes.substr(0, keep));
+    const auto replay = lk::read_journal(in);
+    ASSERT_TRUE(replay.ok()) << "kept " << keep;
+    ASSERT_EQ(replay->frames.size(), expect_frames) << "kept " << keep;
+    const std::size_t prefix_bytes =
+        expect_frames == 0 ? 0 : frame_end[expect_frames - 1];
+    EXPECT_EQ(replay->dropped_tail_bytes, keep - prefix_bytes)
+        << "kept " << keep;
+    for (std::size_t f = 0; f < replay->frames.size(); ++f) {
+      EXPECT_EQ(replay->frames[f].seq, f);
+      ASSERT_EQ(replay->frames[f].batch.size(), batches[f].size());
+      for (std::size_t r = 0; r < batches[f].size(); ++r) {
+        EXPECT_EQ(replay->frames[f].batch[r].id, batches[f][r].id);
+      }
+    }
+  }
+}
+
+TEST(Journal, CorruptMiddleFrameStopsAtThePrefix) {
+  const auto batches = make_batches(3, 6, 6);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    ASSERT_TRUE(lk::append_journal(out, b, batches[b]).ok());
+  }
+  std::string bytes = out.str();
+  // Flip a byte inside the second frame's payload region.
+  const std::size_t offset = bytes.size() / 2;
+  bytes[offset] = static_cast<char>(
+      static_cast<unsigned char>(bytes[offset]) ^ 0x40);
+  std::istringstream in(bytes);
+  const auto replay = lk::read_journal(in);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_LT(replay->frames.size(), batches.size());
+  for (std::size_t f = 0; f < replay->frames.size(); ++f) {
+    EXPECT_EQ(replay->frames[f].seq, f);
+  }
+}
+
+TEST_F(SnapshotFiles, CrashRecoveryRestoresExactlyThePostBatchKStore) {
+  // Acceptance scenario: ingest N batches, "kill" after batch k, recover,
+  // and the store must equal the uninterrupted post-batch-k state — same
+  // entity count, ids and signatures; then re-ingesting the remaining
+  // batches must land exactly where an uninterrupted run lands.
+  const std::size_t n_batches = 7;
+  const std::size_t crash_after = 4;  // not on a checkpoint boundary
+  const auto batches = make_batches(n_batches, 25, 7);
+
+  lk::DurableEntityStore durable(fpdl_config(), durability(/*every=*/3));
+  for (std::size_t b = 0; b < crash_after; ++b) {
+    ASSERT_TRUE(durable.ingest(batches[b]).ok());
+  }
+  // Simulated crash: `durable` is abandoned; a fresh process recovers
+  // from the files alone.
+  lk::DurableEntityStore recovered(fpdl_config(), durability(/*every=*/3));
+  const auto report = recovered.recover();
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report->snapshot_loaded);  // checkpoint fired at batch 3
+  EXPECT_EQ(report->journal_batches_replayed, 1u);  // batch 3..4 delta
+  EXPECT_EQ(report->batches_ingested, crash_after);
+
+  lk::EntityStore uninterrupted(fpdl_config());
+  for (std::size_t b = 0; b < crash_after; ++b) {
+    uninterrupted.ingest(batches[b]);
+  }
+  expect_stores_equal(uninterrupted, recovered.store());
+
+  // Continue the night: the recovered pipeline must converge with the
+  // never-crashed one.
+  for (std::size_t b = crash_after; b < n_batches; ++b) {
+    ASSERT_TRUE(recovered.ingest(batches[b]).ok());
+    uninterrupted.ingest(batches[b]);
+  }
+  expect_stores_equal(uninterrupted, recovered.store());
+}
+
+TEST_F(SnapshotFiles, RecoverOnColdStartYieldsEmptyStore) {
+  lk::DurableEntityStore durable(fpdl_config(), durability());
+  const auto report = durable.recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->snapshot_loaded);
+  EXPECT_EQ(report->batches_ingested, 0u);
+  EXPECT_EQ(durable.store().size(), 0u);
+}
+
+TEST_F(SnapshotFiles, CheckpointEveryNWritesSnapshotAndResetsJournal) {
+  const auto batches = make_batches(4, 10, 8);
+  lk::DurableEntityStore durable(fpdl_config(), durability(/*every=*/2));
+  ASSERT_TRUE(durable.ingest(batches[0]).ok());
+  EXPECT_FALSE(fs::exists(snapshot_));
+  EXPECT_GT(fs::file_size(journal_), 0u);
+  ASSERT_TRUE(durable.ingest(batches[1]).ok());
+  EXPECT_TRUE(fs::exists(snapshot_));
+  EXPECT_EQ(fs::file_size(journal_), 0u);  // reset after the checkpoint
+  ASSERT_TRUE(durable.ingest(batches[2]).ok());
+  EXPECT_GT(fs::file_size(journal_), 0u);
+  EXPECT_EQ(durable.checkpoint_failures(), 0u);
+}
+
+TEST_F(SnapshotFiles, ManualCheckpointOnlyWhenEveryIsZero) {
+  const auto batches = make_batches(3, 10, 9);
+  lk::DurableEntityStore durable(fpdl_config(), durability(/*every=*/0));
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(durable.ingest(batch).ok());
+  }
+  EXPECT_FALSE(fs::exists(snapshot_));
+  ASSERT_TRUE(durable.checkpoint().ok());
+  EXPECT_TRUE(fs::exists(snapshot_));
+  EXPECT_EQ(fs::file_size(journal_), 0u);
+}
+
+TEST_F(SnapshotFiles, InjectedSnapshotCorruptionDegradesWithoutDataLoss) {
+  // Every checkpoint write is corrupted; verification catches it before
+  // the journal is reset, so ingest keeps succeeding and recovery comes
+  // from the (complete) journal.
+  u::FaultConfig faults;
+  faults.seed = 21;
+  faults.snapshot_corrupt_rate = 1.0;
+  u::FaultInjector injector(faults);
+  const auto batches = make_batches(4, 12, 10);
+  lk::DurableEntityStore durable(fpdl_config(),
+                                 durability(/*every=*/2, &injector));
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(durable.ingest(batch).ok());
+  }
+  // The policy is every-N-since-last-SUCCESS, so after the first failure
+  // at batch 2 every later batch retries: failures at batches 2, 3, 4.
+  EXPECT_EQ(durable.checkpoint_failures(), 3u);
+  EXPECT_FALSE(fs::exists(snapshot_));  // never a corrupt snapshot on disk
+  EXPECT_GT(injector.counters().bytes_corrupted, 0u);
+
+  lk::DurableEntityStore recovered(fpdl_config(), durability(/*every=*/0));
+  const auto report = recovered.recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->snapshot_loaded);
+  EXPECT_EQ(report->journal_batches_replayed, batches.size());
+  lk::EntityStore uninterrupted(fpdl_config());
+  for (const auto& batch : batches) {
+    uninterrupted.ingest(batch);
+  }
+  expect_stores_equal(uninterrupted, recovered.store());
+}
+
+TEST_F(SnapshotFiles, InjectedJournalTruncationRecoversThePrefix) {
+  // The injected crash cuts an append short; ingest reports it and the
+  // recovered store is exactly the pre-crash prefix.
+  u::FaultConfig faults;
+  faults.seed = 23;
+  faults.journal_truncate_rate = 1.0;  // the very first append is cut
+  u::FaultInjector injector(faults);
+  const auto batches = make_batches(3, 15, 11);
+
+  lk::DurableEntityStore safe(fpdl_config(), durability(/*every=*/0));
+  ASSERT_TRUE(safe.ingest(batches[0]).ok());
+  ASSERT_TRUE(safe.ingest(batches[1]).ok());
+
+  // Same files, but this writer's next append is cut by the injector.
+  lk::DurableEntityStore crasher(fpdl_config(),
+                                 durability(/*every=*/0, &injector));
+  ASSERT_TRUE(crasher.recover().ok());
+  EXPECT_EQ(crasher.batches_ingested(), 2u);
+  const auto cut = crasher.ingest(batches[2]);
+  EXPECT_FALSE(cut.ok());
+  EXPECT_EQ(cut.status().code(), u::StatusCode::kUnavailable);
+
+  lk::DurableEntityStore recovered(fpdl_config(), durability(/*every=*/0));
+  const auto report = recovered.recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->dropped_tail_bytes, 0u);
+  EXPECT_EQ(report->batches_ingested, 2u);  // prefix: batches 0 and 1 only
+  lk::EntityStore prefix(fpdl_config());
+  prefix.ingest(batches[0]);
+  prefix.ingest(batches[1]);
+  expect_stores_equal(prefix, recovered.store());
+}
+
+TEST(EntityStoreRestore, RejectsInconsistentShapes) {
+  lk::EntityStore store(fpdl_config());
+  std::vector<lk::PersonRecord> two(2);
+  EXPECT_FALSE(store.restore(two, {0u}, 1).ok());  // ids not parallel
+  EXPECT_FALSE(store.restore(two, {0u, 5u}, 2).ok());  // id >= total
+  EXPECT_TRUE(store.restore(two, {0u, 1u}, 2).ok());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.entity_count(), 2u);
+  // FPDL comparator: signatures were recomputed during restore.
+  EXPECT_EQ(store.signatures().size(), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace {
+
+using fbf::util::Result;
+using fbf::util::Status;
+using fbf::util::StatusCode;
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::data_loss("checksum mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "checksum mismatch");
+  EXPECT_EQ(s.to_string(), "data-loss: checksum mismatch");
+  EXPECT_EQ(Status::not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::io_error("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::invalid_argument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::failed_precondition("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kDataLoss, StatusCode::kFailedPrecondition,
+        StatusCode::kUnavailable, StatusCode::kIoError}) {
+    EXPECT_STRNE(fbf::util::status_code_name(code), "?");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  const Result<int> r(Status::io_error("disk gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(r.status().message(), "disk gone");
+}
+
+TEST(Result, SupportsMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 7);
+  const std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(Result, ArrowAccessesMembers) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace {
@@ -39,6 +40,41 @@ TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
   ThreadPool pool(2);
   pool.wait_idle();  // must not deadlock
   EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(ThreadPool, TaskExceptionRethrownFromWaitIdle) {
+  // Regression: a throwing task used to escape the worker thread and
+  // call std::terminate.  It must instead surface at wait_idle().
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task blew up"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task blew up");
+  }
+}
+
+TEST(ThreadPool, PoolIsReusableAfterTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("first"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error was consumed; the pool keeps working.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();  // must not rethrow again
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, FirstExceptionWinsOthersAreSwallowed) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.wait_idle();  // remaining captured errors do not resurface
 }
 
 TEST(ParallelChunks, CoversRangeExactlyOnce) {
