@@ -49,9 +49,11 @@ std::string parse_person_row(u::CsvRow& row, PersonRecord& out) {
   return {};
 }
 
-}  // namespace
-
-u::Result<PersonCsvLoad> read_person_csv_quarantine(std::istream& in) {
+/// Shared loader; with `stop_on_first_bad` the scan ends at the first
+/// quarantined row (strict callers throw it away anyway — no point
+/// parsing, and allocating, the rest of a large dirty file).
+u::Result<PersonCsvLoad> load_person_csv(std::istream& in,
+                                         bool stop_on_first_bad) {
   PersonCsvLoad load;
   u::CsvRowReader reader(in);
   bool header = true;
@@ -68,6 +70,9 @@ u::Result<PersonCsvLoad> read_person_csv_quarantine(std::istream& in) {
     } else {
       load.quarantined.push_back(
           {reader.row_line(), std::move(reason), std::move(*row)});
+      if (stop_on_first_bad) {
+        break;
+      }
     }
   }
   if (in.bad()) {
@@ -77,9 +82,15 @@ u::Result<PersonCsvLoad> read_person_csv_quarantine(std::istream& in) {
   return load;
 }
 
+}  // namespace
+
+u::Result<PersonCsvLoad> read_person_csv_quarantine(std::istream& in) {
+  return load_person_csv(in, /*stop_on_first_bad=*/false);
+}
+
 std::vector<PersonRecord> read_person_csv(
     std::istream& in, bool strict, std::vector<QuarantinedRow>* quarantine) {
-  auto result = read_person_csv_quarantine(in);
+  auto result = load_person_csv(in, /*stop_on_first_bad=*/strict);
   if (!result.ok()) {
     throw std::runtime_error("person CSV read failed: " +
                              result.status().to_string());

@@ -20,8 +20,10 @@ namespace {
 constexpr std::uint64_t kSnapshotMagic = 0x31504E5346424600ull;  // "\0FBFSNP1"
 constexpr std::uint32_t kFrameMagic = 0x4C4E524Au;               // "JRNL"
 // A snapshot payload larger than this is structurally implausible for
-// this store and is rejected before any allocation is attempted.
-constexpr std::uint64_t kMaxPayloadBytes = 1ull << 32;
+// this store and is rejected outright.  read_exact() additionally grows
+// its buffer in bounded chunks, so a corrupt length field that slips
+// past this check can only ever allocate as much as the stream holds.
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
 
 template <typename T>
 void put(std::string& out, T value) {
@@ -121,13 +123,42 @@ std::string encode_batch(std::span<const PersonRecord> batch) {
 }
 
 /// Reads exactly `n` bytes; short reads report how many bytes arrived.
+/// The buffer grows chunk by chunk as bytes actually arrive, so a lying
+/// length field in a damaged header can never force an `n`-sized
+/// allocation for data the stream does not hold.
 bool read_exact(std::istream& in, std::string& out, std::size_t n,
                 std::size_t& got) {
-  out.resize(n);
-  in.read(out.data(), static_cast<std::streamsize>(n));
-  got = static_cast<std::size_t>(in.gcount());
+  constexpr std::size_t kChunk = 1u << 20;
+  out.clear();
+  got = 0;
+  while (got < n) {
+    const std::size_t want = std::min(kChunk, n - got);
+    out.resize(got + want);
+    in.read(out.data() + got, static_cast<std::streamsize>(want));
+    const auto arrived = static_cast<std::size_t>(in.gcount());
+    got += arrived;
+    if (arrived < want) {
+      break;
+    }
+  }
   out.resize(got);
   return got == n;
+}
+
+/// The one definition of the journal frame layout: header (magic, seq,
+/// payload size, payload checksum) followed by the encoded batch.  Both
+/// the live writer and append_journal() emit exactly these bytes, so the
+/// replayer can never disagree with one of them.
+std::string encode_frame(std::uint64_t seq,
+                         std::span<const PersonRecord> batch) {
+  const std::string payload = encode_batch(batch);
+  std::string frame;
+  put<std::uint32_t>(frame, kFrameMagic);
+  put<std::uint64_t>(frame, seq);
+  put<std::uint64_t>(frame, payload.size());
+  put<std::uint64_t>(frame, u::fnv1a64(payload));
+  frame += payload;
+  return frame;
 }
 
 }  // namespace
@@ -249,13 +280,7 @@ u::Result<std::uint64_t> read_snapshot(std::istream& in, EntityStore& store) {
 
 u::Status append_journal(std::ostream& out, std::uint64_t seq,
                          std::span<const PersonRecord> batch) {
-  const std::string payload = encode_batch(batch);
-  std::string frame;
-  put<std::uint32_t>(frame, kFrameMagic);
-  put<std::uint64_t>(frame, seq);
-  put<std::uint64_t>(frame, payload.size());
-  put<std::uint64_t>(frame, u::fnv1a64(payload));
-  frame += payload;
+  const std::string frame = encode_frame(seq, batch);
   out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
   out.flush();
   if (!out) {
@@ -336,16 +361,11 @@ u::Result<IngestStats> DurableEntityStore::ingest(
   // Write-ahead: the frame must be durable before the store mutates, so a
   // crash between the two replays the batch instead of losing it.
   {
-    std::string frame_payload = encode_batch(batch);
-    std::string frame;
-    put<std::uint32_t>(frame, kFrameMagic);
-    put<std::uint64_t>(frame, batches_ingested_);
-    put<std::uint64_t>(frame, frame_payload.size());
-    put<std::uint64_t>(frame, u::fnv1a64(frame_payload));
-    frame += frame_payload;
+    const std::string frame = encode_frame(batches_ingested_, batch);
     std::size_t write_size = frame.size();
     if (config_.faults != nullptr) {
-      write_size = config_.faults->truncated_size(frame.size(), "journal");
+      write_size = config_.faults->truncated_size(frame.size(), "journal",
+                                                  batches_ingested_);
     }
     std::ofstream out(config_.journal_path,
                       std::ios::binary | std::ios::app);
@@ -383,7 +403,8 @@ u::Status DurableEntityStore::checkpoint() {
   }
   std::string bytes = std::move(buffer).str();
   if (config_.faults != nullptr) {
-    (void)config_.faults->corrupt_bytes(bytes, "snapshot");
+    (void)config_.faults->corrupt_bytes(bytes, "snapshot",
+                                        batches_ingested_);
   }
   const std::string tmp_path = config_.snapshot_path + ".tmp";
   {
@@ -442,6 +463,7 @@ u::Result<RecoveryReport> DurableEntityStore::recover() {
       return replay.status();
     }
     report.dropped_tail_bytes = replay->dropped_tail_bytes;
+    std::vector<const JournalFrame*> replayed;
     for (JournalFrame& frame : replay->frames) {
       if (frame.seq < position) {
         ++report.journal_batches_skipped;  // covered by the snapshot
@@ -451,8 +473,35 @@ u::Result<RecoveryReport> DurableEntityStore::recover() {
         break;  // gap: keep the contiguous prefix only
       }
       (void)fresh.ingest(frame.batch);
+      replayed.push_back(&frame);
       ++position;
       ++report.journal_batches_replayed;
+    }
+    // The write-ahead guarantee needs the on-disk journal to be exactly
+    // the replayed frames: ingest() appends, and replay stops at the
+    // first damaged frame — so a damaged tail, pre-snapshot leftovers or
+    // post-gap frames left in place would strand every batch appended
+    // after them on the next recovery.  Rewrite before accepting ingests.
+    if (report.dropped_tail_bytes > 0 ||
+        replayed.size() != replay->frames.size()) {
+      const std::string tmp_path = config_.journal_path + ".tmp";
+      {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        for (const JournalFrame* frame : replayed) {
+          u::Status appended = append_journal(out, frame->seq, frame->batch);
+          if (!appended.ok()) {
+            std::error_code ec;
+            fs::remove(tmp_path, ec);
+            return appended;
+          }
+        }
+      }
+      std::error_code ec;
+      fs::rename(tmp_path, config_.journal_path, ec);
+      if (ec) {
+        return u::Status::io_error("journal rewrite failed: " +
+                                   ec.message());
+      }
     }
   }
   store_ = std::move(fresh);

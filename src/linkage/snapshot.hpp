@@ -112,6 +112,10 @@ class DurableEntityStore {
 
   /// Rebuilds in-memory state from the snapshot + journal on disk.
   /// Succeeds with an empty store when neither file exists (cold start).
+  /// When the journal held anything beyond the replayed frames (a
+  /// crash-damaged tail, pre-snapshot leftovers), it is rewritten to
+  /// exactly the replayed prefix so later appends stay replayable — a
+  /// second crash can never lose batches acknowledged after a recovery.
   [[nodiscard]] fbf::util::Result<RecoveryReport> recover();
 
   [[nodiscard]] const EntityStore& store() const noexcept { return store_; }

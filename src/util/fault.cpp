@@ -47,13 +47,12 @@ bool FaultInjector::shard_attempt_straggles(std::size_t shard, int attempt) {
 }
 
 std::optional<std::size_t> FaultInjector::corrupt_bytes(
-    std::string& bytes, std::string_view site) {
+    std::string& bytes, std::string_view site, std::uint64_t sequence) {
   if (bytes.empty() || config_.snapshot_corrupt_rate <= 0.0 ||
-      draw(site, 0, counters_.bytes_corrupted) >=
-          config_.snapshot_corrupt_rate) {
+      draw(site, 0, sequence) >= config_.snapshot_corrupt_rate) {
     return std::nullopt;
   }
-  const std::uint64_t r = bits(site, 1, counters_.bytes_corrupted);
+  const std::uint64_t r = bits(site, 1, sequence);
   const std::size_t offset = static_cast<std::size_t>(r % bytes.size());
   const int bit = static_cast<int>((r >> 32) % 8);
   bytes[offset] = static_cast<char>(
@@ -63,13 +62,13 @@ std::optional<std::size_t> FaultInjector::corrupt_bytes(
 }
 
 std::size_t FaultInjector::truncated_size(std::size_t size,
-                                          std::string_view site) {
+                                          std::string_view site,
+                                          std::uint64_t sequence) {
   if (size == 0 || config_.journal_truncate_rate <= 0.0 ||
-      draw(site, 2, counters_.truncations) >=
-          config_.journal_truncate_rate) {
+      draw(site, 2, sequence) >= config_.journal_truncate_rate) {
     return size;
   }
-  const std::uint64_t r = bits(site, 3, counters_.truncations);
+  const std::uint64_t r = bits(site, 3, sequence);
   ++counters_.truncations;
   return static_cast<std::size_t>(r % size);  // always < size: a real cut
 }

@@ -51,16 +51,22 @@ class FaultInjector {
     return config_.straggle_factor;
   }
 
-  /// Maybe flips one bit of one byte of `bytes` (site-keyed draw);
-  /// returns the corrupted offset when a corruption fired.
+  /// Maybe flips one bit of one byte of `bytes`; returns the corrupted
+  /// offset when a corruption fired.  `sequence` is the caller's logical
+  /// position for this write (e.g. batches ingested) so the decision is a
+  /// pure function of (seed, site, sequence), independent of how many
+  /// earlier faults fired.
   std::optional<std::size_t> corrupt_bytes(std::string& bytes,
-                                           std::string_view site);
+                                           std::string_view site,
+                                           std::uint64_t sequence);
 
   /// Number of bytes of a `size`-byte write that actually reach the disk
   /// — strictly less than `size` when a truncation fires (models a crash
   /// mid-append; the writer should be treated as dead afterwards).
+  /// `sequence` keys the draw as in corrupt_bytes().
   [[nodiscard]] std::size_t truncated_size(std::size_t size,
-                                           std::string_view site);
+                                           std::string_view site,
+                                           std::uint64_t sequence);
 
   [[nodiscard]] const FaultCounters& counters() const noexcept {
     return counters_;

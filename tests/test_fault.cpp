@@ -18,8 +18,8 @@ TEST(FaultInjector, DefaultConfigInjectsNothing) {
       EXPECT_FALSE(injector.shard_attempt_straggles(shard, attempt));
     }
   }
-  EXPECT_FALSE(injector.corrupt_bytes(bytes, "snap").has_value());
-  EXPECT_EQ(injector.truncated_size(100, "journal"), 100u);
+  EXPECT_FALSE(injector.corrupt_bytes(bytes, "snap", 0).has_value());
+  EXPECT_EQ(injector.truncated_size(100, "journal", 0), 100u);
   EXPECT_EQ(injector.counters().shard_failures, 0u);
   EXPECT_EQ(injector.counters().bytes_corrupted, 0u);
 }
@@ -56,6 +56,30 @@ TEST(FaultInjector, DecisionsAreOrderIndependent) {
   EXPECT_EQ(busy.shard_attempt_fails(5, 2), expected);
 }
 
+TEST(FaultInjector, WriteFaultsAreKeyedBySequenceNotHistory) {
+  // corrupt_bytes/truncated_size decisions for a given sequence must not
+  // depend on how many earlier faults fired.
+  FaultConfig config;
+  config.seed = 31;
+  config.snapshot_corrupt_rate = 0.5;
+  config.journal_truncate_rate = 0.5;
+  const std::string original(128, 'y');
+  FaultInjector fresh(config);
+  std::string fresh_bytes = original;
+  const auto expected_offset = fresh.corrupt_bytes(fresh_bytes, "snap", 9);
+  const std::size_t expected_size = fresh.truncated_size(777, "journal", 9);
+  FaultInjector busy(config);
+  for (std::uint64_t seq = 0; seq < 9; ++seq) {
+    std::string scratch = original;
+    (void)busy.corrupt_bytes(scratch, "snap", seq);
+    (void)busy.truncated_size(777, "journal", seq);
+  }
+  std::string busy_bytes = original;
+  EXPECT_EQ(busy.corrupt_bytes(busy_bytes, "snap", 9), expected_offset);
+  EXPECT_EQ(busy_bytes, fresh_bytes);
+  EXPECT_EQ(busy.truncated_size(777, "journal", 9), expected_size);
+}
+
 TEST(FaultInjector, RateOneAlwaysFiresRateZeroNever) {
   FaultConfig always;
   always.shard_fail_rate = 1.0;
@@ -86,7 +110,7 @@ TEST(FaultInjector, CorruptionFlipsExactlyOneBit) {
   FaultInjector injector(config);
   const std::string original(256, 'a');
   std::string bytes = original;
-  const auto offset = injector.corrupt_bytes(bytes, "snap");
+  const auto offset = injector.corrupt_bytes(bytes, "snap", 0);
   ASSERT_TRUE(offset.has_value());
   ASSERT_LT(*offset, bytes.size());
   EXPECT_NE(bytes, original);
@@ -107,7 +131,9 @@ TEST(FaultInjector, TruncationAlwaysShortensTheWrite) {
   config.journal_truncate_rate = 1.0;
   FaultInjector injector(config);
   for (int i = 0; i < 50; ++i) {
-    EXPECT_LT(injector.truncated_size(1000, "journal"), 1000u);
+    EXPECT_LT(injector.truncated_size(
+                  1000, "journal", static_cast<std::uint64_t>(i)),
+              1000u);
   }
   EXPECT_EQ(injector.counters().truncations, 50u);
 }

@@ -357,6 +357,51 @@ TEST_F(SnapshotFiles, InjectedJournalTruncationRecoversThePrefix) {
   expect_stores_equal(prefix, recovered.store());
 }
 
+TEST_F(SnapshotFiles, RecoveryCleansTheJournalSoASecondCrashLosesNothing) {
+  // Regression: recover() used to leave the damaged tail bytes on disk
+  // while ingest() kept appending after them; replay stops at the first
+  // damaged frame, so every batch acknowledged after the first recovery
+  // was silently unrecoverable by a second crash.  recover() must hand
+  // back a journal that is exactly the replayed prefix.
+  u::FaultConfig faults;
+  faults.seed = 23;
+  faults.journal_truncate_rate = 1.0;
+  u::FaultInjector injector(faults);
+  const auto batches = make_batches(3, 12, 12);
+
+  lk::DurableEntityStore safe(fpdl_config(), durability(/*every=*/0));
+  ASSERT_TRUE(safe.ingest(batches[0]).ok());
+
+  // Crash mid-append of batch 1: a partial frame lands on disk.
+  lk::DurableEntityStore crasher(fpdl_config(),
+                                 durability(/*every=*/0, &injector));
+  ASSERT_TRUE(crasher.recover().ok());
+  EXPECT_FALSE(crasher.ingest(batches[1]).ok());
+
+  // First recovery drops the damaged tail and must also remove it from
+  // the journal file...
+  lk::DurableEntityStore second(fpdl_config(), durability(/*every=*/0));
+  const auto first = second.recover();
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  EXPECT_GT(first->dropped_tail_bytes, 0u);
+  EXPECT_EQ(first->batches_ingested, 1u);
+  ASSERT_TRUE(second.ingest(batches[1]).ok());
+  ASSERT_TRUE(second.ingest(batches[2]).ok());
+
+  // ...so batches acknowledged after the recovery survive a SECOND
+  // crash instead of sitting behind an unreadable frame.
+  lk::DurableEntityStore third(fpdl_config(), durability(/*every=*/0));
+  const auto again = third.recover();
+  ASSERT_TRUE(again.ok()) << again.status().to_string();
+  EXPECT_EQ(again->dropped_tail_bytes, 0u);
+  EXPECT_EQ(again->batches_ingested, batches.size());
+  lk::EntityStore uninterrupted(fpdl_config());
+  for (const auto& batch : batches) {
+    uninterrupted.ingest(batch);
+  }
+  expect_stores_equal(uninterrupted, third.store());
+}
+
 TEST(EntityStoreRestore, RejectsInconsistentShapes) {
   lk::EntityStore store(fpdl_config());
   std::vector<lk::PersonRecord> two(2);
