@@ -8,6 +8,8 @@
 //   --threads T    parallel join threads (paper: 1)
 //   --full         paper-scale preset (n=5000, repeats=5)
 //   --csv          machine-readable output
+//   --json         machine-readable per-stage timings (one JSON object to
+//                  stdout; feeds the BENCH_*.json perf trajectory files)
 // Unknown flags abort with a message instead of being silently ignored.
 #pragma once
 
@@ -25,6 +27,7 @@ namespace fbf::bench {
 struct BenchOptions {
   fbf::experiments::ExperimentConfig config;
   bool csv = false;
+  bool json = false;
   bool full = false;
 };
 
@@ -41,6 +44,7 @@ inline BenchOptions parse_options(
   BenchOptions opts;
   opts.full = args.get_bool("full");
   opts.csv = args.get_bool("csv");
+  opts.json = args.get_bool("json");
   opts.config.n = static_cast<std::size_t>(
       args.get_int("n", opts.full ? 5000 : static_cast<std::int64_t>(default_n)));
   opts.config.k = static_cast<int>(args.get_int("k", default_k));
@@ -62,7 +66,7 @@ inline BenchOptions parse_options(
 
 /// Standard header line naming the experiment and its parameters.
 inline void print_header(const char* title, const BenchOptions& opts) {
-  if (opts.csv) {
+  if (opts.csv || opts.json) {
     return;
   }
   std::printf("=== %s ===\n", title);
@@ -71,6 +75,57 @@ inline void print_header(const char* title, const BenchOptions& opts) {
               static_cast<unsigned long long>(opts.config.seed),
               opts.config.threads,
               opts.full ? " (paper scale)" : " (quick scale; --full for paper scale)");
+}
+
+/// Minimal JSON string escape (titles/method names are plain ASCII, but
+/// stay correct if one ever grows a quote or backslash).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Emits one ladder run as a JSON object with per-stage timings: the Gen
+/// row (signature_gen_ms), the pair-evaluation time (join_ms), throughput
+/// in pairs/s and the filter kernel variant the join used.  This is the
+/// BENCH_*.json perf-trajectory format.
+inline void print_ladder_json(std::ostream& os, const char* title,
+                              const fbf::experiments::LadderResult& result,
+                              const BenchOptions& opts) {
+  os << "{\n  \"bench\": \"" << json_escape(title) << "\",\n";
+  os << "  \"n\": " << opts.config.n << ", \"k\": " << opts.config.k
+     << ", \"threads\": " << opts.config.threads
+     << ", \"repeats\": " << opts.config.repeats
+     << ", \"seed\": " << opts.config.seed << ",\n";
+  os << "  \"rows\": [\n";
+  for (std::size_t r = 0; r < result.rows.size(); ++r) {
+    const auto& row = result.rows[r];
+    const double pairs_per_s =
+        row.time_ms > 0.0
+            ? static_cast<double>(row.stats.pairs) / (row.time_ms / 1000.0)
+            : 0.0;
+    os << "    {\"method\": \"" << fbf::core::method_name(row.method)
+       << "\", \"join_ms\": " << row.time_ms
+       << ", \"signature_gen_ms\": " << row.gen_ms
+       << ", \"pairs\": " << row.stats.pairs
+       << ", \"pairs_per_s\": " << pairs_per_s
+       << ", \"kernel\": \"" << row.stats.kernel << "\""
+       << ", \"tiles\": " << row.stats.tiles
+       << ", \"type1\": " << row.type1 << ", \"type2\": " << row.type2
+       << ", \"length_pass\": " << row.stats.length_pass
+       << ", \"fbf_evaluated\": " << row.stats.fbf_evaluated
+       << ", \"fbf_pass\": " << row.stats.fbf_pass
+       << ", \"verify_calls\": " << row.stats.verify_calls
+       << ", \"matches\": " << row.stats.matches << "}"
+       << (r + 1 < result.rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
 }
 
 /// Body shared by all standard-ladder table benches (Tables 1–4 and the
@@ -86,6 +141,10 @@ inline int run_ladder_bench(const char* title, fbf::datagen::FieldKind kind,
   }
   print_header(title, opts);
   const auto result = ex::run_ladder(kind, ex::standard_ladder(), opts.config);
+  if (opts.json) {
+    print_ladder_json(std::cout, title, result, opts);
+    return 0;
+  }
   ex::print_ladder(std::cout, title, result, opts.csv);
   if (!opts.csv) {
     std::printf("\nFilter accounting:\n");

@@ -4,14 +4,21 @@
 //  * signature generation (the Gen rows: ~60 ns per numeric signature);
 //  * DL vs banded PDL vs Myers on representative demographic strings;
 //  * Jaro / Jaro-Winkler / Hamming / Soundex for context.
-// google-benchmark binary: supports --benchmark_filter etc.
+//  * the batched tile kernel over packed SoA planes vs the per-pair
+//    scan — the PackedSignatureStore speedup, per layout and kernel.
+// google-benchmark binary: supports --benchmark_filter etc., plus --json
+// as shorthand for --benchmark_format=json (BENCH_*.json recording).
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/fbf.hpp"
+#include "core/fbf_kernel.hpp"
+#include "core/packed_signature_store.hpp"
 #include "core/signature64.hpp"
+#include "core/signature_store.hpp"
 #include "datagen/dataset.hpp"
 #include "metrics/damerau.hpp"
 #include "metrics/hamming.hpp"
@@ -261,6 +268,111 @@ void BM_FilterSignature64(benchmark::State& state) {
 }
 BENCHMARK(BM_FilterSignature64);
 
+/// Paper-scale (n = 5000) candidate list in both layouts: the classic
+/// array-of-structs store (per-pair scan baseline) and the packed SoA
+/// planes (batched kernel).  One "iteration" filters one query signature
+/// against the whole list, so items-per-second is pairs/s.
+struct ScanWorkload {
+  std::vector<std::string> queries;
+  c::SignatureStore aos;
+  c::SignatureStore aos_queries;
+  c::PackedSignatureStore packed;
+  c::PackedSignatureStore packed_queries;
+
+  static const ScanWorkload& get(dg::FieldKind kind, c::FieldClass cls) {
+    static const ScanWorkload ln =
+        make(dg::FieldKind::kLastName, c::FieldClass::kAlpha);
+    static const ScanWorkload ssn =
+        make(dg::FieldKind::kSsn, c::FieldClass::kNumeric);
+    static const ScanWorkload ad =
+        make(dg::FieldKind::kAddress, c::FieldClass::kAlphanumeric);
+    switch (cls) {
+      case c::FieldClass::kNumeric: return ssn;
+      case c::FieldClass::kAlphanumeric: return ad;
+      default: break;
+    }
+    (void)kind;
+    return ln;
+  }
+
+  static constexpr std::size_t kN = 5000;
+
+ private:
+  static ScanWorkload make(dg::FieldKind kind, c::FieldClass cls) {
+    const auto dataset = dg::build_paired_dataset(kind, kN, 13);
+    ScanWorkload w;
+    w.queries = dataset.clean;
+    w.aos = c::SignatureStore(dataset.error, cls);
+    w.aos_queries = c::SignatureStore(dataset.clean, cls);
+    w.packed = c::PackedSignatureStore(dataset.error, cls);
+    w.packed_queries = c::PackedSignatureStore(dataset.clean, cls);
+    return w;
+  }
+};
+
+/// Baseline: one query against all 5000 candidates through the per-pair
+/// FindDiffBits (AoS store, per-call PopcountKind dispatch) — the shape
+/// of the old match_strings hot loop.
+void BM_ScanPerPair(benchmark::State& state, c::FieldClass cls) {
+  const auto& w = ScanWorkload::get(dg::FieldKind::kLastName, cls);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    int survivors = 0;
+    const c::Signature& q = w.aos_queries[i];
+    for (std::size_t j = 0; j < ScanWorkload::kN; ++j) {
+      survivors += static_cast<int>(
+          c::find_diff_bits(q, w.aos[j], u::PopcountKind::kHardware) <= 2);
+    }
+    benchmark::DoNotOptimize(survivors);
+    i = (i + 1) % ScanWorkload::kN;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ScanWorkload::kN));
+}
+
+/// Batched tile kernel over the packed planes (same query, same
+/// candidates, same survivors — checked in tests/test_fbf_kernel.cpp).
+void BM_ScanBatched(benchmark::State& state, c::FieldClass cls,
+                    c::KernelKind kind) {
+  if (kind == c::KernelKind::kAvx2 &&
+      c::best_kernel() != c::KernelKind::kAvx2) {
+    state.SkipWithError("AVX2 not supported on this CPU");
+    return;
+  }
+  const auto& w = ScanWorkload::get(dg::FieldKind::kLastName, cls);
+  const bool two = w.packed.words() == 2;
+  std::vector<std::uint64_t> bitmap((ScanWorkload::kN + 63) / 64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t survivors = c::filter_tile(
+        w.packed_queries.word(0, i), w.packed.plane(0),
+        two ? w.packed_queries.word(1, i) : 0,
+        two ? w.packed.plane(1) : nullptr, ScanWorkload::kN, 2,
+        bitmap.data(), kind);
+    benchmark::DoNotOptimize(survivors);
+    benchmark::DoNotOptimize(bitmap.data());
+    i = (i + 1) % ScanWorkload::kN;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ScanWorkload::kN));
+}
+
+BENCHMARK_CAPTURE(BM_ScanPerPair, alpha_l2, c::FieldClass::kAlpha);
+BENCHMARK_CAPTURE(BM_ScanPerPair, numeric, c::FieldClass::kNumeric);
+BENCHMARK_CAPTURE(BM_ScanPerPair, alnum, c::FieldClass::kAlphanumeric);
+BENCHMARK_CAPTURE(BM_ScanBatched, alpha_l2_scalar64, c::FieldClass::kAlpha,
+                  c::KernelKind::kScalar64);
+BENCHMARK_CAPTURE(BM_ScanBatched, alpha_l2_avx2, c::FieldClass::kAlpha,
+                  c::KernelKind::kAvx2);
+BENCHMARK_CAPTURE(BM_ScanBatched, numeric_scalar64, c::FieldClass::kNumeric,
+                  c::KernelKind::kScalar64);
+BENCHMARK_CAPTURE(BM_ScanBatched, numeric_avx2, c::FieldClass::kNumeric,
+                  c::KernelKind::kAvx2);
+BENCHMARK_CAPTURE(BM_ScanBatched, alnum_scalar64,
+                  c::FieldClass::kAlphanumeric, c::KernelKind::kScalar64);
+BENCHMARK_CAPTURE(BM_ScanBatched, alnum_avx2, c::FieldClass::kAlphanumeric,
+                  c::KernelKind::kAvx2);
+
 void BM_FullPipeline_FpdlPair(benchmark::State& state) {
   // One FPDL pair evaluation end to end (filter + verify when passed),
   // amortized over a realistic mix of near and far pairs.
@@ -281,4 +393,30 @@ BENCHMARK(BM_FullPipeline_FpdlPair);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: accept --json as shorthand for --benchmark_format=json so
+// this binary matches the table benches' flag convention (and the
+// BENCH_*.json recording workflow).
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      json = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  static char json_flag[] = "--benchmark_format=json";
+  if (json) {
+    args.push_back(json_flag);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Baseline-vs-packed end-to-end join comparison (the tentpole ablation).
+//
+// Runs the same FPDL / LFPDL joins twice — once forcing the classic
+// per-pair AoS scan (JoinConfig::packed = false) and once on the default
+// packed SoA planes + batched tile kernel — and verifies the two paths
+// produce IDENTICAL per-stage counters (FBF pass counts, matches,
+// verify calls) before reporting the speedup.  --json emits the
+// BENCH_packed_join.json perf-trajectory record.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/fbf_kernel.hpp"
+#include "core/match_join.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+namespace c = fbf::core;
+namespace dg = fbf::datagen;
+namespace ex = fbf::experiments;
+namespace u = fbf::util;
+
+struct Comparison {
+  const char* field;
+  const char* method;
+  c::JoinStats baseline;
+  c::JoinStats packed;
+  double baseline_ms = 0.0;
+  double packed_ms = 0.0;
+};
+
+double timed_join(const dg::PairedDataset& dataset, const c::JoinConfig& join,
+                  int repeats, c::JoinStats& out) {
+  std::vector<double> times;
+  for (int rep = 0; rep < repeats; ++rep) {
+    auto stats = c::match_strings(dataset.clean, dataset.error, join);
+    times.push_back(stats.join_ms);
+    if (rep == repeats - 1) {
+      out = std::move(stats);
+    }
+  }
+  return u::trimmed_mean_drop_minmax(times);
+}
+
+bool counters_match(const c::JoinStats& a, const c::JoinStats& b) {
+  return a.length_pass == b.length_pass &&
+         a.fbf_evaluated == b.fbf_evaluated && a.fbf_pass == b.fbf_pass &&
+         a.verify_calls == b.verify_calls && a.matches == b.matches &&
+         a.diagonal_matches == b.diagonal_matches;
+}
+
+Comparison compare(const char* field, dg::FieldKind kind, c::Method method,
+                   const fbf::bench::BenchOptions& opts) {
+  const auto dataset =
+      dg::build_paired_dataset(kind, opts.config.n, opts.config.seed);
+  Comparison cmp;
+  cmp.field = field;
+  cmp.method = c::method_name(method);
+  auto join = ex::make_join_config(kind, method, opts.config);
+  join.packed = false;
+  cmp.baseline_ms =
+      timed_join(dataset, join, opts.config.repeats, cmp.baseline);
+  join.packed = true;
+  cmp.packed_ms = timed_join(dataset, join, opts.config.repeats, cmp.packed);
+  if (!counters_match(cmp.baseline, cmp.packed)) {
+    std::fprintf(stderr,
+                 "FATAL: packed path diverged from baseline on %s/%s "
+                 "(fbf_pass %llu vs %llu, matches %llu vs %llu)\n",
+                 field, cmp.method,
+                 static_cast<unsigned long long>(cmp.baseline.fbf_pass),
+                 static_cast<unsigned long long>(cmp.packed.fbf_pass),
+                 static_cast<unsigned long long>(cmp.baseline.matches),
+                 static_cast<unsigned long long>(cmp.packed.matches));
+    std::exit(1);
+  }
+  return cmp;
+}
+
+void print_json(const std::vector<Comparison>& rows,
+                const fbf::bench::BenchOptions& opts) {
+  std::printf("{\n  \"bench\": \"packed_join\",\n");
+  std::printf("  \"n\": %zu, \"k\": %d, \"threads\": %zu, \"repeats\": %d, "
+              "\"seed\": %llu,\n",
+              opts.config.n, opts.config.k, opts.config.threads,
+              opts.config.repeats,
+              static_cast<unsigned long long>(opts.config.seed));
+  std::printf("  \"rows\": [\n");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const Comparison& cmp = rows[r];
+    const double pairs_per_s =
+        cmp.packed_ms > 0.0
+            ? static_cast<double>(cmp.packed.pairs) / (cmp.packed_ms / 1000.0)
+            : 0.0;
+    std::printf(
+        "    {\"field\": \"%s\", \"method\": \"%s\", \"kernel\": \"%s\", "
+        "\"baseline_join_ms\": %g, \"join_ms\": %g, \"speedup\": %g, "
+        "\"baseline_signature_gen_ms\": %g, \"signature_gen_ms\": %g, "
+        "\"pairs\": %llu, \"pairs_per_s\": %g, \"fbf_pass\": %llu, "
+        "\"verify_calls\": %llu, \"matches\": %llu, \"tiles\": %llu}%s\n",
+        cmp.field, cmp.method, cmp.packed.kernel, cmp.baseline_ms,
+        cmp.packed_ms,
+        cmp.packed_ms > 0.0 ? cmp.baseline_ms / cmp.packed_ms : 0.0,
+        cmp.baseline.signature_gen_ms, cmp.packed.signature_gen_ms,
+        static_cast<unsigned long long>(cmp.packed.pairs), pairs_per_s,
+        static_cast<unsigned long long>(cmp.packed.fbf_pass),
+        static_cast<unsigned long long>(cmp.packed.verify_calls),
+        static_cast<unsigned long long>(cmp.packed.matches),
+        static_cast<unsigned long long>(cmp.packed.tiles),
+        r + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = fbf::bench::parse_options(argc, argv, /*default_n=*/1000);
+  fbf::bench::print_header("Packed SoA planes + batched kernel vs per-pair scan",
+                           opts);
+  std::vector<Comparison> rows;
+  rows.push_back(compare("SSN", dg::FieldKind::kSsn, c::Method::kFpdl, opts));
+  rows.push_back(
+      compare("LN", dg::FieldKind::kLastName, c::Method::kFpdl, opts));
+  rows.push_back(
+      compare("LN", dg::FieldKind::kLastName, c::Method::kLfpdl, opts));
+  rows.push_back(
+      compare("ADDR", dg::FieldKind::kAddress, c::Method::kFpdl, opts));
+  rows.push_back(
+      compare("LN", dg::FieldKind::kLastName, c::Method::kFbfOnly, opts));
+
+  if (opts.json) {
+    print_json(rows, opts);
+    return 0;
+  }
+  u::Table table({"field", "method", "kernel", "per-pair ms", "packed ms",
+                  "speedup", "fbf pass", "matches"});
+  for (const Comparison& cmp : rows) {
+    table.add_row(
+        {cmp.field, cmp.method, cmp.packed.kernel, u::fixed(cmp.baseline_ms, 2),
+         u::fixed(cmp.packed_ms, 2),
+         u::speedup(cmp.packed_ms > 0.0 ? cmp.baseline_ms / cmp.packed_ms
+                                        : 0.0),
+         u::with_commas(static_cast<std::int64_t>(cmp.packed.fbf_pass)),
+         u::with_commas(static_cast<std::int64_t>(cmp.packed.matches))});
+  }
+  table.render(std::cout);
+  std::printf("(counters verified identical between both paths; kernel "
+              "selected by runtime CPU dispatch: %s)\n",
+              c::kernel_name(c::best_kernel()));
+  return 0;
+}

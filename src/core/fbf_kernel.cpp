@@ -1,0 +1,136 @@
+#include "core/fbf_kernel.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define FBF_X86 1
+#endif
+
+namespace fbf::core {
+
+namespace {
+
+std::size_t filter_tile_scalar(std::uint64_t q0, const std::uint64_t* p0,
+                               std::uint64_t q1, const std::uint64_t* p1,
+                               std::size_t count, int threshold,
+                               std::uint64_t* bitmap) noexcept {
+  std::size_t survivors = 0;
+  const std::size_t n_words = (count + 63) / 64;
+  for (std::size_t w = 0; w < n_words; ++w) {
+    const std::size_t base = w * 64;
+    const std::size_t lanes = std::min<std::size_t>(64, count - base);
+    std::uint64_t bits = 0;
+    for (std::size_t g = 0; g < lanes; ++g) {
+      int diff = std::popcount(q0 ^ p0[base + g]);
+      if (p1 != nullptr) {
+        diff += std::popcount(q1 ^ p1[base + g]);
+      }
+      bits |= static_cast<std::uint64_t>(diff <= threshold) << g;
+    }
+    bitmap[w] = bits;
+    survivors += static_cast<std::size_t>(std::popcount(bits));
+  }
+  return survivors;
+}
+
+#ifdef FBF_X86
+
+/// Per-64-bit-lane popcount of four candidates: VPSHUFB nibble lookup,
+/// byte sums gathered per lane with VPSADBW.
+__attribute__((target("avx2"))) inline __m256i popcnt64x4(__m256i v) noexcept {
+  const __m256i lookup =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                         _mm256_shuffle_epi8(lookup, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) std::size_t filter_tile_avx2(
+    std::uint64_t q0, const std::uint64_t* p0, std::uint64_t q1,
+    const std::uint64_t* p1, std::size_t count, int threshold,
+    std::uint64_t* bitmap) noexcept {
+  const __m256i vq0 =
+      _mm256_set1_epi64x(static_cast<long long>(q0));
+  const __m256i vq1 =
+      _mm256_set1_epi64x(static_cast<long long>(q1));
+  const __m256i vthresh = _mm256_set1_epi64x(threshold);
+  std::size_t survivors = 0;
+  const std::size_t n_words = (count + 63) / 64;
+  for (std::size_t w = 0; w < n_words; ++w) {
+    const std::size_t base = w * 64;
+    const std::size_t lanes = std::min<std::size_t>(64, count - base);
+    std::uint64_t bits = 0;
+    // Groups of 4 candidates; the last group may read into the planes'
+    // zero padding (see the header contract) and is masked below.
+    for (std::size_t g = 0; g < lanes; g += 4) {
+      const __m256i c0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(p0 + base + g));
+      __m256i diff = popcnt64x4(_mm256_xor_si256(c0, vq0));
+      if (p1 != nullptr) {
+        const __m256i c1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(p1 + base + g));
+        diff = _mm256_add_epi64(diff, popcnt64x4(_mm256_xor_si256(c1, vq1)));
+      }
+      const __m256i fail = _mm256_cmpgt_epi64(diff, vthresh);
+      const unsigned pass =
+          ~static_cast<unsigned>(
+              _mm256_movemask_pd(_mm256_castsi256_pd(fail))) &
+          0xFu;
+      bits |= static_cast<std::uint64_t>(pass) << g;
+    }
+    if (lanes < 64) {
+      bits &= (std::uint64_t{1} << lanes) - 1;
+    }
+    bitmap[w] = bits;
+    survivors += static_cast<std::size_t>(std::popcount(bits));
+  }
+  return survivors;
+}
+
+#endif  // FBF_X86
+
+}  // namespace
+
+const char* kernel_name(KernelKind kind) noexcept {
+  switch (kind) {
+    case KernelKind::kScalar64: return "scalar64";
+    case KernelKind::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+KernelKind best_kernel() noexcept {
+#ifdef FBF_X86
+  static const KernelKind kind = __builtin_cpu_supports("avx2")
+                                     ? KernelKind::kAvx2
+                                     : KernelKind::kScalar64;
+  return kind;
+#else
+  return KernelKind::kScalar64;
+#endif
+}
+
+std::size_t filter_tile(std::uint64_t q0, const std::uint64_t* p0,
+                        std::uint64_t q1, const std::uint64_t* p1,
+                        std::size_t count, int threshold,
+                        std::uint64_t* bitmap, KernelKind kind) noexcept {
+  if (count == 0) {
+    return 0;
+  }
+#ifdef FBF_X86
+  if (kind == KernelKind::kAvx2) {
+    return filter_tile_avx2(q0, p0, q1, p1, count, threshold, bitmap);
+  }
+#else
+  (void)kind;
+#endif
+  return filter_tile_scalar(q0, p0, q1, p1, count, threshold, bitmap);
+}
+
+}  // namespace fbf::core

@@ -1,0 +1,60 @@
+// Batched FindDiffBits: one query signature vs a tile of candidates
+// (DESIGN.md §8).
+//
+// The per-pair filter (core/find_diff_bits.hpp) pays a call, a strategy
+// dispatch and a word-count loop per candidate.  Over the packed SoA
+// planes (core/packed_signature_store.hpp) the same predicate is one XOR
+// + popcount per 64-bit plane word with sequential loads, so a whole tile
+// of candidates is filtered in one sweep that the compiler — or the AVX2
+// path below — can keep entirely in registers.  The kernel emits a
+// survivor *bitmap* (bit j set iff candidate j passes) so the caller
+// drains survivors into verification in batches instead of branching per
+// pair.
+//
+// Two implementations, selected by runtime CPU dispatch:
+//   kScalar64 — portable u64 baseline (std::popcount per lane);
+//   kAvx2     — 4 candidates per vector; per-lane popcount via the
+//               VPSHUFB nibble-LUT + VPSADBW horizontal sum (the inner
+//               step of the Harley–Seal AVX2 popcount family), compare
+//               against the threshold, MOVMSKPD into the bitmap.
+// The AVX2 body is compiled with a function-level target attribute, so
+// default builds stay portable and the path is taken only when
+// __builtin_cpu_supports("avx2") says so (see FBF_NATIVE in CMake for
+// whole-tree -march=native instead).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fbf::core {
+
+/// Batched-kernel implementation selector.
+enum class KernelKind {
+  kScalar64,  ///< portable u64 loop
+  kAvx2,      ///< 4-lane AVX2 VPSHUFB popcount
+};
+
+[[nodiscard]] const char* kernel_name(KernelKind kind) noexcept;
+
+/// Best kernel the running CPU supports (cached after the first call).
+[[nodiscard]] KernelKind best_kernel() noexcept;
+
+/// Filters `count` candidates against one query.
+///
+/// Candidate j's signature is p0[j] (and p1[j] when p1 != nullptr, the
+/// two-plane alphanumeric layout); the query is q0/q1.  Bit j of
+/// `bitmap` is set iff popcount(q0^p0[j]) (+ popcount(q1^p1[j])) <=
+/// `threshold` (the FBF pass predicate with threshold = 2k).  `bitmap`
+/// must hold (count+63)/64 words and is fully overwritten.
+///
+/// The planes must be readable up to `count` rounded up to a multiple of
+/// 8 words (AlignedPlane zero-pads to a cache line, so tiles that end at
+/// the store's tail satisfy this automatically).
+///
+/// Returns the number of survivors (set bits).
+std::size_t filter_tile(std::uint64_t q0, const std::uint64_t* p0,
+                        std::uint64_t q1, const std::uint64_t* p1,
+                        std::size_t count, int threshold,
+                        std::uint64_t* bitmap, KernelKind kind) noexcept;
+
+}  // namespace fbf::core

@@ -1,8 +1,11 @@
 #include "core/match_join.hpp"
 
+#include <algorithm>
 #include <functional>
 
+#include "core/fbf_kernel.hpp"
 #include "core/find_diff_bits.hpp"
+#include "core/packed_signature_store.hpp"
 #include "core/signature_store.hpp"
 #include "metrics/damerau.hpp"
 #include "metrics/hamming.hpp"
@@ -50,41 +53,164 @@ inline bool evaluate_pair(std::string_view s, std::string_view t,
   return verify(s, t, k);
 }
 
-/// Runs `kernel(i, j) -> bool` over the S x T pair space, chunked by rows
-/// of S.  Chunk stats are merged in chunk order, so counter totals are
-/// deterministic for any thread count.
-template <typename Kernel>
-void run_pair_space(std::size_t n_left, std::size_t n_right,
-                    std::size_t threads, bool collect, JoinStats& stats,
-                    const Kernel& make_kernel) {
-  std::vector<JoinStats> chunk_stats;
-  const std::size_t n_chunks =
-      std::max<std::size_t>(1, std::min(threads, n_left));
-  chunk_stats.resize(n_chunks);
+/// Runs `tile_fn(i0, i1, j0, j1, local)` over every 2D tile of the S x T
+/// pair space.  Tiles are the thread-pool work unit (contiguous tile-id
+/// ranges per chunk), so skewed shapes (|S| << |T|) still spread across
+/// every thread.  Chunk stats are merged in chunk order and counters are
+/// integer sums, so totals are deterministic for any thread count.
+template <typename MakeTileFn>
+void run_tile_space(std::size_t n_left, std::size_t n_right,
+                    std::size_t threads, JoinStats& stats,
+                    const MakeTileFn& make_tile_fn) {
+  const std::size_t col_tiles = (n_right + kTileCols - 1) / kTileCols;
+  const std::size_t n_tiles = join_tile_count(n_left, n_right);
+  stats.tiles = n_tiles;
+  if (n_tiles == 0) {
+    return;
+  }
+  std::vector<JoinStats> chunk_stats(
+      std::max<std::size_t>(1, std::min(threads, n_tiles)));
   fbf::util::parallel_chunks(
-      n_left, threads,
+      n_tiles, threads,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         JoinStats& local = chunk_stats[chunk];
-        auto kernel = make_kernel();
-        for (std::size_t i = begin; i < end; ++i) {
-          for (std::size_t j = 0; j < n_right; ++j) {
-            if (kernel(i, j, local)) {
-              ++local.matches;
-              if (i == j) {
-                ++local.diagonal_matches;
-              }
-              if (collect) {
-                local.match_pairs.emplace_back(
-                    static_cast<std::uint32_t>(i),
-                    static_cast<std::uint32_t>(j));
-              }
-            }
-          }
+        auto tile_fn = make_tile_fn();
+        for (std::size_t t = begin; t < end; ++t) {
+          const std::size_t i0 = (t / col_tiles) * kTileRows;
+          const std::size_t j0 = (t % col_tiles) * kTileCols;
+          tile_fn(i0, std::min(i0 + kTileRows, n_left), j0,
+                  std::min(j0 + kTileCols, n_right), local);
         }
       });
   for (const JoinStats& local : chunk_stats) {
     stats.merge_counts(local);
   }
+}
+
+/// Generic path: per-pair kernel looped over a tile.
+template <typename MakeKernel>
+void run_pair_tiles(std::size_t n_left, std::size_t n_right,
+                    std::size_t threads, bool collect, JoinStats& stats,
+                    const MakeKernel& make_kernel) {
+  run_tile_space(n_left, n_right, threads, stats, [&] {
+    return [kernel = make_kernel(), collect](
+               std::size_t i0, std::size_t i1, std::size_t j0,
+               std::size_t j1, JoinStats& local) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        for (std::size_t j = j0; j < j1; ++j) {
+          if (kernel(i, j, local)) {
+            ++local.matches;
+            if (i == j) {
+              ++local.diagonal_matches;
+            }
+            if (collect) {
+              local.match_pairs.emplace_back(static_cast<std::uint32_t>(i),
+                                             static_cast<std::uint32_t>(j));
+            }
+          }
+        }
+      }
+    };
+  });
+}
+
+/// Everything the packed/batched FBF tile path needs.
+struct PackedJoinContext {
+  std::span<const std::string> left;
+  std::span<const std::string> right;
+  const PackedSignatureStore* sig_left;
+  const PackedSignatureStore* sig_right;
+  KernelKind kernel;
+  int k;
+  bool use_length;
+  Verifier verifier;
+  bool (*verify)(std::string_view, std::string_view, int);
+  bool collect;
+};
+
+/// Batched FBF tile: the kernel filters one query row against the whole
+/// tile of packed candidates, survivors are drained from the bitmap into
+/// verification.  Counter semantics match the scalar ladder exactly:
+/// fbf_evaluated counts length-filter survivors (ladder order), fbf_pass
+/// counts pairs passing both, verify runs on fbf_pass survivors in
+/// ascending j — identical totals and match sets to the per-pair scan.
+void run_packed_tile(const PackedJoinContext& ctx, std::size_t i0,
+                     std::size_t i1, std::size_t j0, std::size_t j1,
+                     JoinStats& local) {
+  constexpr std::size_t kBitmapWords = (kTileCols + 63) / 64;
+  std::uint64_t bitmap[kBitmapWords];
+  const std::size_t width = j1 - j0;
+  const std::size_t n_bitmap_words = (width + 63) / 64;
+  const bool two_words = ctx.sig_right->words() == 2;
+  const std::uint64_t* p0 = ctx.sig_right->plane(0) + j0;
+  const std::uint64_t* p1 = two_words ? ctx.sig_right->plane(1) + j0 : nullptr;
+  const std::uint32_t* len_right = ctx.sig_right->lengths() + j0;
+  const int threshold = 2 * ctx.k;
+
+  for (std::size_t i = i0; i < i1; ++i) {
+    const std::uint64_t q0 = ctx.sig_left->word(0, i);
+    const std::uint64_t q1 = two_words ? ctx.sig_left->word(1, i) : 0;
+    std::size_t fbf_pass =
+        filter_tile(q0, p0, q1, p1, width, threshold, bitmap, ctx.kernel);
+    if (ctx.use_length) {
+      // Ladder order is length -> FBF: intersect with the length bitmap
+      // and charge fbf_evaluated only for length survivors, so counters
+      // match the scalar ladder bit for bit.
+      const std::uint32_t len_i = ctx.sig_left->lengths()[i];
+      std::size_t length_pass = 0;
+      fbf_pass = 0;
+      for (std::size_t w = 0; w < n_bitmap_words; ++w) {
+        const std::size_t base = w * 64;
+        const std::size_t lanes = std::min<std::size_t>(64, width - base);
+        std::uint64_t len_bits = 0;
+        for (std::size_t b = 0; b < lanes; ++b) {
+          len_bits |= static_cast<std::uint64_t>(m::length_filter_pass(
+                          len_i, len_right[base + b], ctx.k))
+                      << b;
+        }
+        length_pass += static_cast<std::size_t>(std::popcount(len_bits));
+        bitmap[w] &= len_bits;
+        fbf_pass += static_cast<std::size_t>(std::popcount(bitmap[w]));
+      }
+      local.length_pass += length_pass;
+      local.fbf_evaluated += length_pass;
+    } else {
+      local.fbf_evaluated += width;
+    }
+    local.fbf_pass += fbf_pass;
+
+    // Drain survivors (ascending j within the tile).
+    for (std::size_t w = 0; w < n_bitmap_words; ++w) {
+      std::uint64_t bits = bitmap[w];
+      while (bits != 0) {
+        const std::size_t j =
+            j0 + w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        bool is_match = true;
+        if (ctx.verifier != Verifier::kNone) {
+          ++local.verify_calls;
+          is_match = ctx.verify(ctx.left[i], ctx.right[j], ctx.k);
+        }
+        if (is_match) {
+          ++local.matches;
+          if (i == j) {
+            ++local.diagonal_matches;
+          }
+          if (ctx.collect) {
+            local.match_pairs.emplace_back(static_cast<std::uint32_t>(i),
+                                           static_cast<std::uint32_t>(j));
+          }
+        }
+      }
+    }
+  }
+}
+
+bool verify_dl(std::string_view s, std::string_view t, int k) {
+  return m::dl_within(s, t, k);
+}
+bool verify_pdl(std::string_view s, std::string_view t, int k) {
+  return m::pdl_within(s, t, k);
 }
 
 }  // namespace
@@ -112,15 +238,34 @@ JoinStats match_strings(std::span<const std::string> left,
   const Verifier verifier = method_verifier(config.method);
   const int k = config.k;
   const auto popcount = config.popcount;
+  // The batched kernel computes the hardware popcount, so the packed path
+  // is taken for the default strategy and the explicit kBatched request;
+  // the Wegner / LUT ablations need the per-pair scan to mean anything.
+  const bool packed_path =
+      uses_fbf && config.packed &&
+      (popcount == fbf::util::PopcountKind::kHardware ||
+       popcount == fbf::util::PopcountKind::kBatched) &&
+      PackedSignatureStore::supported(config.field_class, config.alpha_words);
 
-  // Precomputation phase (the Gen row): FBF signatures or Soundex codes.
+  // Precomputation phase (the Gen row): FBF signatures (packed planes on
+  // the batched path, classic store on the fallback) or Soundex codes.
   SignatureStore sig_left;
   SignatureStore sig_right;
+  PackedSignatureStore packed_left;
+  PackedSignatureStore packed_right;
   std::vector<std::string> sdx_left;
   std::vector<std::string> sdx_right;
-  if (uses_fbf) {
-    sig_left = SignatureStore(left, config.field_class, config.alpha_words);
-    sig_right = SignatureStore(right, config.field_class, config.alpha_words);
+  if (packed_path) {
+    packed_left = PackedSignatureStore(left, config.field_class,
+                                       config.alpha_words, config.threads);
+    packed_right = PackedSignatureStore(right, config.field_class,
+                                        config.alpha_words, config.threads);
+    stats.signature_gen_ms = packed_left.build_ms() + packed_right.build_ms();
+  } else if (uses_fbf) {
+    sig_left = SignatureStore(left, config.field_class, config.alpha_words,
+                              config.threads);
+    sig_right = SignatureStore(right, config.field_class, config.alpha_words,
+                               config.threads);
     stats.signature_gen_ms = sig_left.build_ms() + sig_right.build_ms();
   } else if (config.method == Method::kSoundex) {
     const fbf::util::Stopwatch gen_timer;
@@ -137,7 +282,7 @@ JoinStats match_strings(std::span<const std::string> left,
 
   const fbf::util::Stopwatch join_timer;
   const auto run = [&](const auto& make_kernel) {
-    run_pair_space(left.size(), right.size(), config.threads,
+    run_pair_tiles(left.size(), right.size(), config.threads,
                    config.collect_matches, stats, make_kernel);
   };
 
@@ -178,11 +323,33 @@ JoinStats match_strings(std::span<const std::string> left,
       });
       break;
     default: {
-      // Filter-ladder methods.  The verifier callable is chosen once.
-      const auto verify_dl = [](std::string_view s, std::string_view t,
-                                int kk) { return m::dl_within(s, t, kk); };
-      const auto verify_pdl = [](std::string_view s, std::string_view t,
-                                 int kk) { return m::pdl_within(s, t, kk); };
+      if (packed_path) {
+        PackedJoinContext ctx;
+        ctx.left = left;
+        ctx.right = right;
+        ctx.sig_left = &packed_left;
+        ctx.sig_right = &packed_right;
+        ctx.kernel = best_kernel();
+        ctx.k = k;
+        ctx.use_length = uses_length;
+        ctx.verifier = verifier;
+        ctx.verify = verifier == Verifier::kDl ? verify_dl : verify_pdl;
+        ctx.collect = config.collect_matches;
+        stats.kernel = ctx.kernel == KernelKind::kAvx2 ? "tile-avx2"
+                                                       : "tile-scalar64";
+        run_tile_space(left.size(), right.size(), config.threads, stats,
+                       [&] {
+                         return [&ctx](std::size_t i0, std::size_t i1,
+                                       std::size_t j0, std::size_t j1,
+                                       JoinStats& local) {
+                           run_packed_tile(ctx, i0, i1, j0, j1, local);
+                         };
+                       });
+        break;
+      }
+      // Per-pair filter ladder (Wegner/LUT ablations, alpha l > 2, or
+      // packed explicitly disabled).  The verifier callable is chosen
+      // once.
       const auto dispatch = [&](auto use_length, auto use_fbf,
                                 const auto& verify) {
         run([&] {
@@ -216,6 +383,10 @@ JoinStats match_strings(std::span<const std::string> left,
       break;
     }
   }
+  // Tiles visit the pair space out of row-major order; restore the
+  // documented ascending (i, j) ordering so collect_matches output is
+  // byte-identical across thread counts and tile shapes.
+  std::sort(stats.match_pairs.begin(), stats.match_pairs.end());
   stats.join_ms = join_timer.elapsed_ms();
   return stats;
 }

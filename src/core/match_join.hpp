@@ -4,9 +4,17 @@
 // Evaluates every pair (s, t) in S x T with the configured method, keeping
 // per-stage counters so the benches can reproduce the paper's "the filter
 // removed 12,369,182 unnecessary comparisons" accounting.  Signature
-// generation is timed separately (the Gen row).  Optionally partitions the
-// row space across a thread pool (extension; default single-threaded, like
-// the paper).
+// generation is timed separately (the Gen row) and fans across the thread
+// pool.  The pair space is walked in 2D cache tiles (kTileRows x
+// kTileCols); tiles — not rows of S — are the parallel work unit, so a
+// 2 x 1,000,000 probe join still spreads across every thread.  For FBF
+// methods on layouts the packed SoA store supports (numeric, alpha l<=2,
+// alphanumeric l<=2) the filter runs as a batched tile kernel over packed
+// 64-bit signature planes (core/fbf_kernel.hpp) with survivors drained
+// into verification from a bitmap; wider layouts and the Wegner/LUT
+// popcount ablations transparently fall back to the classic per-pair
+// scan.  Both paths produce identical counters and match sets
+// (property-tested).
 #pragma once
 
 #include <cstdint>
@@ -32,7 +40,25 @@ struct JoinConfig {
   fbf::util::PopcountKind popcount = fbf::util::PopcountKind::kHardware;
   std::size_t threads = 1;
   bool collect_matches = false;  ///< record matching (i, j) pairs
+  /// Use the packed SoA planes + batched tile kernel when the layout
+  /// supports it (default).  false forces the classic per-pair scan —
+  /// the baseline for benches and equivalence tests.
+  bool packed = true;
 };
+
+/// Tile shape of the 2D pair-space walk (rows of S x columns of T).
+inline constexpr std::size_t kTileRows = 256;
+inline constexpr std::size_t kTileCols = 256;
+
+/// Number of parallel work units (tiles) a join over n_left x n_right
+/// strings schedules.  Exposed so tests can assert the scheduler never
+/// degenerates below the thread count for skewed shapes (|S| << |T|).
+[[nodiscard]] constexpr std::size_t join_tile_count(
+    std::size_t n_left, std::size_t n_right) noexcept {
+  const std::size_t row_tiles = (n_left + kTileRows - 1) / kTileRows;
+  const std::size_t col_tiles = (n_right + kTileCols - 1) / kTileCols;
+  return row_tiles * col_tiles;
+}
 
 /// Per-stage counters and timings for one join.
 struct JoinStats {
@@ -45,9 +71,15 @@ struct JoinStats {
   std::uint64_t diagonal_matches = 0;  ///< matches with i == j (ground truth)
   double signature_gen_ms = 0.0;       ///< Gen row (0 when method needs none)
   double join_ms = 0.0;                ///< pair-evaluation wall time
+  std::uint64_t tiles = 0;             ///< parallel work units scheduled
+  const char* kernel = "pair-scalar";  ///< filter kernel variant used
+  /// Matching (i, j) pairs when collect_matches is set.  Ordering
+  /// guarantee: sorted ascending by (i, j) after the parallel merge, so
+  /// the output is byte-identical for any thread count and tile shape.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> match_pairs;
 
-  /// Accumulates counters (not timings) from another chunk's stats.
+  /// Accumulates counters (not timings / tiles / kernel) from another
+  /// chunk's stats.
   void merge_counts(const JoinStats& other);
 
   /// Type 1 errors (false positives) under index-diagonal ground truth.

@@ -1,0 +1,75 @@
+#include "core/packed_signature_store.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace fbf::core {
+
+AlignedPlane::AlignedPlane(std::size_t count)
+    : count_(count), padded_((count + 7) & ~std::size_t{7}) {
+  if (padded_ == 0) {
+    padded_ = 8;  // keep one readable line even for empty stores
+  }
+  auto* raw = static_cast<std::uint64_t*>(
+      ::operator new[](padded_ * sizeof(std::uint64_t), std::align_val_t{64}));
+  std::memset(raw, 0, padded_ * sizeof(std::uint64_t));
+  data_.reset(raw);
+}
+
+void pack_signature(const Signature& sig, FieldClass cls, int alpha_words,
+                    std::uint64_t* out) noexcept {
+  assert(packed_words(cls, alpha_words) != 0);
+  switch (cls) {
+    case FieldClass::kNumeric:
+      out[0] = sig.word(0);
+      return;
+    case FieldClass::kAlpha:
+      out[0] = sig.word(0);
+      if (alpha_words == 2) {
+        out[0] |= static_cast<std::uint64_t>(sig.word(1)) << 26;
+      }
+      return;
+    case FieldClass::kAlphanumeric: {
+      out[0] = sig.word(0);
+      if (alpha_words == 2) {
+        out[0] |= static_cast<std::uint64_t>(sig.word(1)) << 26;
+      }
+      // The numeric word is the last word of the classic signature.
+      out[1] = sig.word(sig.size() - 1);
+      return;
+    }
+  }
+}
+
+PackedSignatureStore::PackedSignatureStore(
+    std::span<const std::string> strings, FieldClass cls, int alpha_words,
+    std::size_t threads)
+    : size_(strings.size()),
+      words_(packed_words(cls, alpha_words)),
+      cls_(cls),
+      alpha_words_(alpha_words) {
+  assert(words_ != 0 && "unsupported layout; check supported() first");
+  const fbf::util::Stopwatch timer;
+  for (std::size_t w = 0; w < words_; ++w) {
+    planes_[w] = AlignedPlane(size_);
+  }
+  lengths_.resize(size_);
+  fbf::util::parallel_chunks(
+      size_, threads, [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::uint64_t row[2];
+        for (std::size_t i = begin; i < end; ++i) {
+          const Signature sig = make_signature(strings[i], cls_, alpha_words_);
+          pack_signature(sig, cls_, alpha_words_, row);
+          for (std::size_t w = 0; w < words_; ++w) {
+            planes_[w].data()[i] = row[w];
+          }
+          lengths_[i] = static_cast<std::uint32_t>(strings[i].size());
+        }
+      });
+  build_ms_ = timer.elapsed_ms();
+}
+
+}  // namespace fbf::core

@@ -1,0 +1,131 @@
+// Packed structure-of-arrays signature planes for the batched filter
+// kernel (DESIGN.md §8).
+//
+// The classic SignatureStore is an array of structs: each Signature holds
+// up to five 32-bit words plus a size byte (24 bytes), so a filter sweep
+// strides through memory touching mostly padding, and every FindDiffBits
+// call loops over a runtime word count.  The packed store transposes the
+// layout: signatures become 64-bit *words* stored in contiguous, 64-byte-
+// aligned planes (plane w holds word w of every row), so one query can be
+// XOR+popcount-ed against a whole tile of candidates with sequential
+// loads — the shape the batched kernel in core/fbf_kernel.hpp wants.
+//
+// Supported layouts (word counts per row):
+//   numeric                    1 x u64   (30 used bits)
+//   alpha, l <= 2              1 x u64   (word0 | word1 << 26; 52 bits)
+//   alphanumeric, l <= 2       2 x u64   (plane 0 alpha, plane 1 numeric)
+// Wider layouts (alpha l > 2) do not fit the planes and report
+// !supported(); callers fall back to the classic per-pair scan.
+//
+// Packing is a bijective placement into disjoint bit ranges, so
+// popcount(packed(m) XOR packed(n)) == FindDiffBits(m, n) exactly — the
+// filter semantics are unchanged (property-tested).
+//
+// A parallel flat `lengths()` array rides along so the length filter
+// never touches std::string during the join.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/signature.hpp"
+
+namespace fbf::core {
+
+/// 64-byte-aligned uint64 buffer.  Row counts are padded up to a multiple
+/// of 8 words (one cache line) and the padding is zero-filled, so vector
+/// kernels may read whole lines past `count` without faulting.
+class AlignedPlane {
+ public:
+  AlignedPlane() = default;
+  explicit AlignedPlane(std::size_t count);
+
+  [[nodiscard]] std::uint64_t* data() noexcept { return data_.get(); }
+  [[nodiscard]] const std::uint64_t* data() const noexcept {
+    return data_.get();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  /// Allocated size including zero padding (multiple of 8).
+  [[nodiscard]] std::size_t padded_size() const noexcept { return padded_; }
+
+ private:
+  struct Deleter {
+    void operator()(std::uint64_t* p) const noexcept {
+      ::operator delete[](p, std::align_val_t{64});
+    }
+  };
+  std::unique_ptr<std::uint64_t[], Deleter> data_;
+  std::size_t count_ = 0;
+  std::size_t padded_ = 0;
+};
+
+/// Words per packed row for a layout, or 0 when the layout is unsupported.
+[[nodiscard]] constexpr std::size_t packed_words(FieldClass cls,
+                                                 int alpha_words) noexcept {
+  switch (cls) {
+    case FieldClass::kNumeric:
+      return 1;
+    case FieldClass::kAlpha:
+      return alpha_words <= 2 ? 1 : 0;
+    case FieldClass::kAlphanumeric:
+      return alpha_words <= 2 ? 2 : 0;
+  }
+  return 0;
+}
+
+/// Packs one classic signature into its plane words (layout above).
+/// `out` must have room for packed_words() entries.
+void pack_signature(const Signature& sig, FieldClass cls, int alpha_words,
+                    std::uint64_t* out) noexcept;
+
+class PackedSignatureStore {
+ public:
+  PackedSignatureStore() = default;
+
+  /// Builds packed planes + the length array for every string, fanning the
+  /// generation across `threads` pool workers (the Gen row is timed as the
+  /// whole parallel build).  Layout must be supported().
+  PackedSignatureStore(std::span<const std::string> strings, FieldClass cls,
+                       int alpha_words = kDefaultAlphaWords,
+                       std::size_t threads = 1);
+
+  [[nodiscard]] static bool supported(FieldClass cls,
+                                      int alpha_words) noexcept {
+    return packed_words(cls, alpha_words) != 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t words() const noexcept { return words_; }
+  [[nodiscard]] double build_ms() const noexcept { return build_ms_; }
+  [[nodiscard]] FieldClass field_class() const noexcept { return cls_; }
+  [[nodiscard]] int alpha_words() const noexcept { return alpha_words_; }
+
+  /// Plane w: word w of every row, contiguous and 64-byte aligned.
+  [[nodiscard]] const std::uint64_t* plane(std::size_t w) const noexcept {
+    return planes_[w].data();
+  }
+  /// String lengths, flat (the length filter reads these, not strings).
+  [[nodiscard]] const std::uint32_t* lengths() const noexcept {
+    return lengths_.data();
+  }
+
+  /// Row i's word w (tests / per-pair fallbacks).
+  [[nodiscard]] std::uint64_t word(std::size_t w,
+                                   std::size_t i) const noexcept {
+    return planes_[w].data()[i];
+  }
+
+ private:
+  AlignedPlane planes_[2];
+  std::vector<std::uint32_t> lengths_;
+  std::size_t size_ = 0;
+  std::size_t words_ = 0;
+  double build_ms_ = 0.0;
+  FieldClass cls_ = FieldClass::kAlpha;
+  int alpha_words_ = kDefaultAlphaWords;
+};
+
+}  // namespace fbf::core

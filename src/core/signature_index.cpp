@@ -90,6 +90,7 @@ std::optional<SignatureIndex> SignatureIndex::build(
     enumerate_masks(spec->total_bits, weight, 0, 0, index.probe_masks_);
   }
   index.buckets_.reserve(strings.size() * 2);
+  index.indexed_ = strings.size();
   for (std::uint32_t id = 0; id < strings.size(); ++id) {
     const Signature sig = make_signature(strings[id], cls, alpha_words);
     index.buckets_[pack_words(sig, *spec)].push_back(id);
@@ -104,6 +105,10 @@ void SignatureIndex::query(const Signature& sig,
                            std::vector<std::uint32_t>& out) const {
   const auto spec = pack_spec(cls_, alpha_words_);
   const std::uint64_t key = pack_words(sig, *spec);
+  // Typical pass-sets are a handful of ids; grow once up front instead of
+  // reallocating inside the probe loop.
+  out.reserve(out.size() +
+              std::min<std::size_t>(indexed_, 64));
   for (const std::uint64_t mask : probe_masks_) {
     const auto it = buckets_.find(key ^ mask);
     if (it == buckets_.end()) {

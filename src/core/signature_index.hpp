@@ -39,8 +39,10 @@ class SignatureIndex {
       int k, std::size_t max_probes = 200000);
 
   /// Appends to `out` the ids of all indexed strings whose signature
-  /// differs from `sig` in at most 2k bits (the FBF pass-set; may contain
-  /// duplicates never, ids are unique).
+  /// differs from `sig` in at most 2k bits (the FBF pass-set).  The
+  /// appended ids never contain duplicates: each id lives in exactly one
+  /// bucket (keyed by its full signature) and every probe mask is
+  /// distinct, so no bucket is visited twice.
   void query(const Signature& sig, std::vector<std::uint32_t>& out) const;
 
   /// Bucket-probe count per query (diagnostics).
@@ -59,6 +61,7 @@ class SignatureIndex {
 
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets_;
   std::vector<std::uint64_t> probe_masks_;  ///< all XOR masks, weight <= 2k
+  std::size_t indexed_ = 0;                 ///< total ids in the index
   std::size_t words_ = 1;
   int k_ = 1;
   FieldClass cls_ = FieldClass::kNumeric;

@@ -1,17 +1,23 @@
 #include "core/signature_store.hpp"
 
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace fbf::core {
 
 SignatureStore::SignatureStore(std::span<const std::string> strings,
-                               FieldClass cls, int alpha_words)
+                               FieldClass cls, int alpha_words,
+                               std::size_t threads)
     : cls_(cls), alpha_words_(alpha_words) {
-  signatures_.reserve(strings.size());
   const fbf::util::Stopwatch timer;
-  for (const std::string& s : strings) {
-    signatures_.push_back(make_signature(s, cls, alpha_words));
-  }
+  signatures_.resize(strings.size());
+  fbf::util::parallel_chunks(
+      strings.size(), threads,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          signatures_[i] = make_signature(strings[i], cls, alpha_words);
+        }
+      });
   build_ms_ = timer.elapsed_ms();
 }
 

@@ -19,9 +19,11 @@ class SignatureStore {
   SignatureStore() = default;
 
   /// Builds signatures for every string; wall-clock time is recorded and
-  /// retrievable via build_ms().
+  /// retrievable via build_ms().  `threads` > 1 fans generation across a
+  /// pool (the Gen row times the whole parallel build).
   SignatureStore(std::span<const std::string> strings, FieldClass cls,
-                 int alpha_words = kDefaultAlphaWords);
+                 int alpha_words = kDefaultAlphaWords,
+                 std::size_t threads = 1);
 
   [[nodiscard]] const Signature& operator[](std::size_t i) const noexcept {
     return signatures_[i];

@@ -16,20 +16,31 @@ struct Precomputed {
 
 Precomputed precompute_signatures(std::span<const PersonRecord> left,
                                   std::span<const PersonRecord> right,
-                                  const ComparatorConfig& config) {
+                                  const ComparatorConfig& config,
+                                  std::size_t threads) {
   Precomputed pre;
   if (!config_uses_fbf(config)) {
     return pre;
   }
+  // The Gen phase is timed separately from the pair loop (the paper's Gen
+  // row), so it gets its own fan-out across the pool.
   const fbf::util::Stopwatch timer;
-  pre.left.reserve(left.size());
-  for (const PersonRecord& r : left) {
-    pre.left.push_back(build_record_signatures(r));
-  }
-  pre.right.reserve(right.size());
-  for (const PersonRecord& r : right) {
-    pre.right.push_back(build_record_signatures(r));
-  }
+  pre.left.resize(left.size());
+  fbf::util::parallel_chunks(
+      left.size(), threads,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          pre.left[i] = build_record_signatures(left[i]);
+        }
+      });
+  pre.right.resize(right.size());
+  fbf::util::parallel_chunks(
+      right.size(), threads,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          pre.right[i] = build_record_signatures(right[i]);
+        }
+      });
   pre.gen_ms = timer.elapsed_ms();
   pre.built = true;
   return pre;
@@ -89,7 +100,7 @@ LinkStats link_candidates(std::span<const PersonRecord> left,
                           std::span<const CandidatePair> pairs,
                           const LinkConfig& config) {
   const Precomputed pre =
-      precompute_signatures(left, right, config.comparator);
+      precompute_signatures(left, right, config.comparator, config.threads);
   const fbf::util::Stopwatch timer;
   const std::size_t n_chunks =
       std::max<std::size_t>(1, std::min(config.threads, pairs.size()));
@@ -111,7 +122,7 @@ LinkStats link_exhaustive(std::span<const PersonRecord> left,
                           std::span<const PersonRecord> right,
                           const LinkConfig& config) {
   const Precomputed pre =
-      precompute_signatures(left, right, config.comparator);
+      precompute_signatures(left, right, config.comparator, config.threads);
   const fbf::util::Stopwatch timer;
   const std::size_t n_chunks =
       std::max<std::size_t>(1, std::min(config.threads, left.size()));

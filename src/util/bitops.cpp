@@ -21,12 +21,23 @@ int xor_diff_bits(std::span<const std::uint32_t> m,
       }
       break;
     case PopcountKind::kHardware:
+    case PopcountKind::kBatched:  // per-pair call sites: same as hardware
       for (std::size_t i = 0; i < m.size(); ++i) {
         total += popcount_hw(m[i] ^ n[i]);
       }
       break;
   }
   return total;
+}
+
+const char* popcount_kind_name(PopcountKind kind) noexcept {
+  switch (kind) {
+    case PopcountKind::kWegner: return "wegner";
+    case PopcountKind::kHardware: return "hardware";
+    case PopcountKind::kLut: return "lut";
+    case PopcountKind::kBatched: return "batched";
+  }
+  return "?";
 }
 
 }  // namespace fbf::util

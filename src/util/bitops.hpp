@@ -53,19 +53,50 @@ inline constexpr std::array<std::uint8_t, 256> kPopcountTable = make_popcount_ta
          detail::kPopcountTable[(x >> 24) & 0xFFu];
 }
 
+/// 64-bit variants of the same three techniques, used by the packed
+/// signature planes (one u64 carries a whole alpha l<=2 signature).
+[[nodiscard]] constexpr int popcount_wegner64(std::uint64_t x) noexcept {
+  int count = 0;
+  while (x != 0) {
+    ++count;
+    x &= x - 1;
+  }
+  return count;
+}
+
+[[nodiscard]] constexpr int popcount_hw64(std::uint64_t x) noexcept {
+  return std::popcount(x);
+}
+
+[[nodiscard]] constexpr int popcount_lut64(std::uint64_t x) noexcept {
+  int total = 0;
+  for (int byte = 0; byte < 8; ++byte) {
+    total += detail::kPopcountTable[(x >> (8 * byte)) & 0xFFu];
+  }
+  return total;
+}
+
 /// Strategy selector for the population count used inside FindDiffBits.
 enum class PopcountKind {
   kWegner,    ///< Alg. 6 as published (clear-lowest-bit loop)
   kHardware,  ///< std::popcount / POPCNT
   kLut,       ///< byte lookup table
+  kBatched,   ///< batched tile kernel over packed u64 planes (SoA); falls
+              ///< back to kHardware wherever only a single pair is compared
 };
 
-/// Dispatches one 32-bit population count according to `kind`.
+/// Human-readable strategy name (bench/JSON output).
+[[nodiscard]] const char* popcount_kind_name(PopcountKind kind) noexcept;
+
+/// Dispatches one 32-bit population count according to `kind`.  kBatched
+/// has no meaning for a single word and resolves to the hardware count.
 [[nodiscard]] constexpr int popcount(std::uint32_t x, PopcountKind kind) noexcept {
   switch (kind) {
     case PopcountKind::kWegner: return popcount_wegner(x);
     case PopcountKind::kLut: return popcount_lut(x);
-    case PopcountKind::kHardware: break;
+    case PopcountKind::kHardware:
+    case PopcountKind::kBatched:
+      break;
   }
   return popcount_hw(x);
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <limits>
 #include <vector>
 
@@ -70,15 +71,39 @@ TEST_P(PopcountAgreement, SingleBitWords) {
 INSTANTIATE_TEST_SUITE_P(AllStrategies, PopcountAgreement,
                          ::testing::Values(PopcountKind::kWegner,
                                            PopcountKind::kHardware,
-                                           PopcountKind::kLut),
+                                           PopcountKind::kLut,
+                                           PopcountKind::kBatched),
                          [](const auto& param_info) {
                            switch (param_info.param) {
                              case PopcountKind::kWegner: return "Wegner";
                              case PopcountKind::kHardware: return "Hardware";
                              case PopcountKind::kLut: return "Lut";
+                             case PopcountKind::kBatched: return "Batched";
                            }
                            return "Unknown";
                          });
+
+TEST(Bitops, PopcountKindNames) {
+  EXPECT_STREQ(fbf::util::popcount_kind_name(PopcountKind::kWegner), "wegner");
+  EXPECT_STREQ(fbf::util::popcount_kind_name(PopcountKind::kHardware),
+               "hardware");
+  EXPECT_STREQ(fbf::util::popcount_kind_name(PopcountKind::kLut), "lut");
+  EXPECT_STREQ(fbf::util::popcount_kind_name(PopcountKind::kBatched),
+               "batched");
+}
+
+TEST(Bitops, Popcount64Variants) {
+  fbf::util::Rng rng(2024);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t word = rng.next();
+    const int expected = std::popcount(word);
+    EXPECT_EQ(fbf::util::popcount_hw64(word), expected);
+    EXPECT_EQ(fbf::util::popcount_wegner64(word), expected);
+    EXPECT_EQ(fbf::util::popcount_lut64(word), expected);
+  }
+  static_assert(fbf::util::popcount_wegner64(0xFFFFFFFFFFFFFFFFull) == 64);
+  static_assert(fbf::util::popcount_lut64(0x8000000000000001ull) == 2);
+}
 
 TEST(XorDiffBits, EmptySpansAreZero) {
   EXPECT_EQ(xor_diff_bits({}, {}), 0);

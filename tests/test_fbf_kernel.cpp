@@ -1,0 +1,167 @@
+// Equivalence fuzz for the batched filter kernel: every kernel variant
+// must reproduce the u32 per-pair FindDiffBits path bit for bit — same
+// survivor bitmaps, same survivor counts — across layouts, thresholds,
+// tile widths and bitmap word boundaries.
+#include "core/fbf_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/find_diff_bits.hpp"
+#include "core/packed_signature_store.hpp"
+#include "core/signature.hpp"
+#include "datagen/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fbf::core::best_kernel;
+using fbf::core::FieldClass;
+using fbf::core::filter_tile;
+using fbf::core::KernelKind;
+using fbf::core::make_signature;
+using fbf::core::PackedSignatureStore;
+using fbf::core::Signature;
+
+namespace dg = fbf::datagen;
+
+std::vector<KernelKind> kernels_under_test() {
+  std::vector<KernelKind> kinds = {KernelKind::kScalar64};
+  if (best_kernel() == KernelKind::kAvx2) {
+    kinds.push_back(KernelKind::kAvx2);
+  }
+  return kinds;
+}
+
+/// Reference: per-candidate u32 FindDiffBits over classic signatures.
+std::vector<bool> reference_pass(const std::vector<std::string>& query,
+                                 std::size_t qi,
+                                 const std::vector<std::string>& cands,
+                                 FieldClass cls, int alpha_words,
+                                 int threshold) {
+  const Signature q = make_signature(query[qi], cls, alpha_words);
+  std::vector<bool> pass(cands.size());
+  for (std::size_t j = 0; j < cands.size(); ++j) {
+    const Signature c = make_signature(cands[j], cls, alpha_words);
+    pass[j] = fbf::core::find_diff_bits(q, c) <= threshold;
+  }
+  return pass;
+}
+
+void check_layout(dg::FieldKind kind, FieldClass cls, int alpha_words,
+                  std::size_t count, int threshold) {
+  const auto dataset =
+      dg::build_paired_dataset(kind, std::max<std::size_t>(count, 2), 911);
+  std::vector<std::string> cands(dataset.error.begin(),
+                                 dataset.error.begin() +
+                                     static_cast<std::ptrdiff_t>(count));
+  const PackedSignatureStore queries(dataset.clean, cls, alpha_words);
+  const PackedSignatureStore packed(cands, cls, alpha_words);
+  const bool two = packed.words() == 2;
+  std::vector<std::uint64_t> bitmap((count + 63) / 64 + 1);
+  for (const KernelKind kernel : kernels_under_test()) {
+    for (const std::size_t qi : {std::size_t{0}, count / 2, count - 1}) {
+      const auto expected =
+          reference_pass(dataset.clean, qi, cands, cls, alpha_words,
+                         threshold);
+      bitmap.assign(bitmap.size(), ~0ull);  // detect missing overwrites
+      const std::size_t survivors = filter_tile(
+          queries.word(0, qi), packed.plane(0),
+          two ? queries.word(1, qi) : 0, two ? packed.plane(1) : nullptr,
+          count, threshold, bitmap.data(), kernel);
+      std::size_t expected_survivors = 0;
+      for (std::size_t j = 0; j < count; ++j) {
+        const bool bit = (bitmap[j / 64] >> (j % 64)) & 1u;
+        ASSERT_EQ(bit, expected[j])
+            << fbf::core::kernel_name(kernel) << " "
+            << fbf::core::field_class_name(cls) << " l=" << alpha_words
+            << " count=" << count << " thr=" << threshold << " j=" << j;
+        expected_survivors += expected[j] ? 1u : 0u;
+      }
+      EXPECT_EQ(survivors, expected_survivors);
+      // Tail bits beyond count in the last bitmap word must be cleared.
+      if (count % 64 != 0) {
+        const std::uint64_t tail = bitmap[(count - 1) / 64];
+        EXPECT_EQ(tail >> (count % 64), 0u);
+      }
+    }
+  }
+}
+
+TEST(FbfKernel, MatchesPerPairScanAlphaL2) {
+  for (const std::size_t count : {1u, 3u, 63u, 64u, 65u, 127u, 200u, 256u}) {
+    check_layout(dg::FieldKind::kLastName, FieldClass::kAlpha, 2, count, 2);
+  }
+}
+
+TEST(FbfKernel, MatchesPerPairScanAlphaL1) {
+  check_layout(dg::FieldKind::kLastName, FieldClass::kAlpha, 1, 150, 2);
+}
+
+TEST(FbfKernel, MatchesPerPairScanNumeric) {
+  for (const int threshold : {0, 2, 4, 6}) {
+    check_layout(dg::FieldKind::kSsn, FieldClass::kNumeric, 2, 200,
+                 threshold);
+  }
+}
+
+TEST(FbfKernel, MatchesPerPairScanAlphanumericTwoPlanes) {
+  for (const std::size_t count : {5u, 64u, 130u, 256u}) {
+    check_layout(dg::FieldKind::kAddress, FieldClass::kAlphanumeric, 2,
+                 count, 2);
+  }
+}
+
+TEST(FbfKernel, ScalarAndAvx2Agree) {
+  if (best_kernel() != KernelKind::kAvx2) {
+    GTEST_SKIP() << "AVX2 not available on this CPU";
+  }
+  // Random u64 planes (not derived from strings): the kernels must agree
+  // on arbitrary bit patterns, not just reachable signatures.
+  fbf::util::Rng rng(4242);
+  constexpr std::size_t kCount = 333;
+  fbf::core::AlignedPlane p0(kCount);
+  fbf::core::AlignedPlane p1(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    p0.data()[i] = rng.next();
+    p1.data()[i] = rng.next();
+  }
+  std::vector<std::uint64_t> bm_scalar((kCount + 63) / 64);
+  std::vector<std::uint64_t> bm_avx2((kCount + 63) / 64);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t q0 = rng.next();
+    const std::uint64_t q1 = rng.next();
+    const int threshold = static_cast<int>(rng.next() % 70);
+    const bool two = (trial % 2) == 0;
+    const std::size_t s = filter_tile(q0, p0.data(), q1,
+                                      two ? p1.data() : nullptr, kCount,
+                                      threshold, bm_scalar.data(),
+                                      KernelKind::kScalar64);
+    const std::size_t a = filter_tile(q0, p0.data(), q1,
+                                      two ? p1.data() : nullptr, kCount,
+                                      threshold, bm_avx2.data(),
+                                      KernelKind::kAvx2);
+    EXPECT_EQ(s, a) << "trial " << trial;
+    EXPECT_EQ(bm_scalar, bm_avx2) << "trial " << trial;
+  }
+}
+
+TEST(FbfKernel, ZeroCountIsEmpty) {
+  std::uint64_t bitmap[1] = {~0ull};
+  const std::size_t survivors =
+      filter_tile(0, nullptr, 0, nullptr, 0, 2, bitmap, KernelKind::kScalar64);
+  EXPECT_EQ(survivors, 0u);
+}
+
+TEST(FbfKernel, KernelNames) {
+  EXPECT_STREQ(fbf::core::kernel_name(KernelKind::kScalar64), "scalar64");
+  EXPECT_STREQ(fbf::core::kernel_name(KernelKind::kAvx2), "avx2");
+  // best_kernel is stable across calls (cached dispatch).
+  EXPECT_EQ(best_kernel(), best_kernel());
+}
+
+}  // namespace

@@ -8,6 +8,7 @@
 
 #include "datagen/dataset.hpp"
 #include "experiments/protocol.hpp"
+#include "util/bitops.hpp"
 
 namespace {
 
@@ -189,5 +190,142 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto& param_info) {
       return std::string(fbf::datagen::field_kind_name(param_info.param));
     });
+
+void expect_same_stats(const JoinStats& a, const JoinStats& b,
+                       const std::string& label) {
+  EXPECT_EQ(a.pairs, b.pairs) << label;
+  EXPECT_EQ(a.length_pass, b.length_pass) << label;
+  EXPECT_EQ(a.fbf_evaluated, b.fbf_evaluated) << label;
+  EXPECT_EQ(a.fbf_pass, b.fbf_pass) << label;
+  EXPECT_EQ(a.verify_calls, b.verify_calls) << label;
+  EXPECT_EQ(a.matches, b.matches) << label;
+  EXPECT_EQ(a.diagonal_matches, b.diagonal_matches) << label;
+  EXPECT_EQ(a.match_pairs, b.match_pairs) << label;
+}
+
+// The tentpole property: the packed SoA + batched-kernel tiled join must
+// produce IDENTICAL counters and match sets to the classic per-pair scan
+// for every field class, threshold, popcount/kernel strategy and thread
+// count.  The scan with packed=false is the reference.
+TEST(PackedTiledJoin, IdenticalToScalarScanEverywhere) {
+  using fbf::util::PopcountKind;
+  const struct {
+    fbf::datagen::FieldKind kind;
+    std::size_t n;
+  } datasets[] = {{fbf::datagen::FieldKind::kSsn, 180},
+                  {fbf::datagen::FieldKind::kLastName, 180},
+                  {fbf::datagen::FieldKind::kAddress, 120}};
+  for (const auto& d : datasets) {
+    const auto dataset = fbf::datagen::build_paired_dataset(d.kind, d.n, 321);
+    for (const Method method :
+         {Method::kFpdl, Method::kFdl, Method::kLfpdl, Method::kFbfOnly,
+          Method::kLfbfOnly}) {
+      for (const int k : {1, 2, 3}) {
+        fbf::experiments::ExperimentConfig exp;
+        exp.k = k;
+        auto reference_join =
+            fbf::experiments::make_join_config(d.kind, method, exp);
+        reference_join.collect_matches = true;
+        reference_join.packed = false;
+        const auto reference =
+            match_strings(dataset.clean, dataset.error, reference_join);
+        for (const PopcountKind popcount :
+             {PopcountKind::kWegner, PopcountKind::kHardware,
+              PopcountKind::kLut, PopcountKind::kBatched}) {
+          for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                            std::size_t{7}}) {
+            auto join = reference_join;
+            join.packed = true;
+            join.popcount = popcount;
+            join.threads = threads;
+            const auto stats =
+                match_strings(dataset.clean, dataset.error, join);
+            expect_same_stats(
+                reference, stats,
+                std::string(fbf::datagen::field_kind_name(d.kind)) + "/" +
+                    fbf::core::method_name(method) + " k=" +
+                    std::to_string(k) + " pc=" +
+                    fbf::util::popcount_kind_name(popcount) + " t=" +
+                    std::to_string(threads));
+          }
+        }
+      }
+    }
+  }
+}
+
+// Unsupported layouts (alpha l > 2 overflows the 64-bit plane) must fall
+// back to the per-pair scan transparently — same results, scan kernel.
+TEST(PackedTiledJoin, WideAlphaFallsBackToScan) {
+  const auto dataset = fbf::datagen::build_paired_dataset(
+      fbf::datagen::FieldKind::kLastName, 150, 55);
+  for (const int alpha_words : {3, 4}) {
+    JoinConfig reference = base_config(Method::kFpdl);
+    reference.alpha_words = alpha_words;
+    reference.collect_matches = true;
+    reference.packed = false;
+    const auto ref_stats =
+        match_strings(dataset.clean, dataset.error, reference);
+    JoinConfig join = reference;
+    join.packed = true;  // requested but unsupported -> scan fallback
+    const auto stats = match_strings(dataset.clean, dataset.error, join);
+    expect_same_stats(ref_stats, stats,
+                      "alpha_words=" + std::to_string(alpha_words));
+    EXPECT_STREQ(stats.kernel, "pair-scalar");
+  }
+  // Supported layout reports a tile kernel by contrast.
+  JoinConfig packed = base_config(Method::kFpdl);
+  const auto stats = match_strings(dataset.clean, dataset.error, packed);
+  EXPECT_TRUE(std::string(stats.kernel).starts_with("tile-"))
+      << stats.kernel;
+}
+
+// Regression for the pre-tiling scheduler: chunking by rows of S capped
+// parallelism at |S|, so a 2 x 100,000 probe join ran near-serial.  Tiles
+// are the work unit now; a skewed join must schedule at least as many
+// units as threads (and produce correct results).
+TEST(PackedTiledJoin, SkewedJoinSchedulesManyWorkUnits) {
+  constexpr std::size_t kRight = 100000;
+  ASSERT_GE(fbf::core::join_tile_count(2, kRight), 256u);
+  const auto dataset = fbf::datagen::build_paired_dataset(
+      fbf::datagen::FieldKind::kSsn, kRight, 7);
+  const std::vector<std::string> probes = {dataset.clean[0],
+                                           dataset.clean[1]};
+  JoinConfig config = base_config(Method::kFbfOnly);
+  config.field_class = FieldClass::kNumeric;
+  config.threads = 4;
+  const auto stats = match_strings(probes, dataset.error, config);
+  EXPECT_EQ(stats.pairs, 2u * kRight);
+  EXPECT_GE(stats.tiles, config.threads)
+      << "skewed join degenerated below the thread count";
+  // Same counters as the serial run.
+  JoinConfig serial = config;
+  serial.threads = 1;
+  const auto serial_stats = match_strings(probes, dataset.error, serial);
+  EXPECT_EQ(stats.fbf_pass, serial_stats.fbf_pass);
+  EXPECT_EQ(stats.matches, serial_stats.matches);
+}
+
+// The documented ordering guarantee: collect_matches output is sorted
+// ascending by (i, j) and byte-identical across thread counts.
+TEST(PackedTiledJoin, MatchPairsSortedAndThreadInvariant) {
+  const auto dataset = fbf::datagen::build_paired_dataset(
+      fbf::datagen::FieldKind::kLastName, 300, 13);
+  for (const Method method : {Method::kFpdl, Method::kJaro}) {
+    JoinConfig config = base_config(method);
+    config.collect_matches = true;
+    config.threads = 1;
+    const auto serial = match_strings(dataset.clean, dataset.error, config);
+    EXPECT_TRUE(std::is_sorted(serial.match_pairs.begin(),
+                               serial.match_pairs.end()));
+    for (const std::size_t threads : {std::size_t{4}, std::size_t{7}}) {
+      config.threads = threads;
+      const auto parallel =
+          match_strings(dataset.clean, dataset.error, config);
+      EXPECT_EQ(parallel.match_pairs, serial.match_pairs)
+          << fbf::core::method_name(method) << " threads=" << threads;
+    }
+  }
+}
 
 }  // namespace

@@ -1,0 +1,131 @@
+#include "core/packed_signature_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/find_diff_bits.hpp"
+#include "core/signature.hpp"
+#include "datagen/dataset.hpp"
+
+namespace {
+
+using fbf::core::FieldClass;
+using fbf::core::make_signature;
+using fbf::core::pack_signature;
+using fbf::core::packed_words;
+using fbf::core::PackedSignatureStore;
+using fbf::core::Signature;
+
+namespace dg = fbf::datagen;
+
+TEST(PackedStore, SupportedLayouts) {
+  EXPECT_TRUE(PackedSignatureStore::supported(FieldClass::kNumeric, 2));
+  EXPECT_TRUE(PackedSignatureStore::supported(FieldClass::kAlpha, 1));
+  EXPECT_TRUE(PackedSignatureStore::supported(FieldClass::kAlpha, 2));
+  EXPECT_TRUE(PackedSignatureStore::supported(FieldClass::kAlphanumeric, 2));
+  EXPECT_FALSE(PackedSignatureStore::supported(FieldClass::kAlpha, 3));
+  EXPECT_FALSE(PackedSignatureStore::supported(FieldClass::kAlpha, 4));
+  EXPECT_FALSE(PackedSignatureStore::supported(FieldClass::kAlphanumeric, 3));
+  EXPECT_EQ(packed_words(FieldClass::kNumeric, 2), 1u);
+  EXPECT_EQ(packed_words(FieldClass::kAlpha, 2), 1u);
+  EXPECT_EQ(packed_words(FieldClass::kAlphanumeric, 2), 2u);
+  EXPECT_EQ(packed_words(FieldClass::kAlpha, 3), 0u);
+}
+
+/// The packing must be a popcount-preserving bijection: the XOR diff of
+/// two packed rows equals FindDiffBits of the classic signatures, for
+/// every supported layout.  This is the invariant the batched kernel's
+/// correctness rests on.
+TEST(PackedStore, PackedXorDiffEqualsFindDiffBits) {
+  struct Case {
+    dg::FieldKind kind;
+    FieldClass cls;
+    int alpha_words;
+  };
+  const Case cases[] = {
+      {dg::FieldKind::kSsn, FieldClass::kNumeric, 2},
+      {dg::FieldKind::kLastName, FieldClass::kAlpha, 1},
+      {dg::FieldKind::kLastName, FieldClass::kAlpha, 2},
+      {dg::FieldKind::kAddress, FieldClass::kAlphanumeric, 1},
+      {dg::FieldKind::kAddress, FieldClass::kAlphanumeric, 2},
+  };
+  for (const Case& c : cases) {
+    const auto dataset = dg::build_paired_dataset(c.kind, 200, 31);
+    const PackedSignatureStore left(dataset.clean, c.cls, c.alpha_words);
+    const PackedSignatureStore right(dataset.error, c.cls, c.alpha_words);
+    ASSERT_EQ(left.size(), dataset.clean.size());
+    for (std::size_t i = 0; i < left.size(); ++i) {
+      for (std::size_t j = 0; j < right.size(); j += 17) {
+        const Signature a =
+            make_signature(dataset.clean[i], c.cls, c.alpha_words);
+        const Signature b =
+            make_signature(dataset.error[j], c.cls, c.alpha_words);
+        int packed_diff = 0;
+        for (std::size_t w = 0; w < left.words(); ++w) {
+          packed_diff += std::popcount(left.word(w, i) ^ right.word(w, j));
+        }
+        ASSERT_EQ(packed_diff, fbf::core::find_diff_bits(a, b))
+            << fbf::core::field_class_name(c.cls) << " l=" << c.alpha_words
+            << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(PackedStore, LengthsMatchStrings) {
+  const auto dataset = dg::build_paired_dataset(dg::FieldKind::kAddress, 64, 5);
+  const PackedSignatureStore store(dataset.clean, FieldClass::kAlphanumeric);
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    EXPECT_EQ(store.lengths()[i], dataset.clean[i].size());
+  }
+}
+
+TEST(PackedStore, PlanesAreAlignedAndPadded) {
+  const std::vector<std::string> strings = {"SMITH", "JONES", "TAYLOR"};
+  const PackedSignatureStore store(strings, FieldClass::kAlpha, 2);
+  const auto addr = reinterpret_cast<std::uintptr_t>(store.plane(0));
+  EXPECT_EQ(addr % 64, 0u);
+  // Padding past size() must be readable and zero (the AVX2 kernel reads
+  // whole 4-lane groups).
+  for (std::size_t i = store.size(); i < 8; ++i) {
+    EXPECT_EQ(store.plane(0)[i], 0u);
+  }
+}
+
+TEST(PackedStore, ParallelBuildMatchesSerial) {
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 500, 77);
+  const PackedSignatureStore serial(dataset.clean, FieldClass::kAlpha, 2, 1);
+  const PackedSignatureStore parallel(dataset.clean, FieldClass::kAlpha, 2, 7);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial.word(0, i), parallel.word(0, i));
+    EXPECT_EQ(serial.lengths()[i], parallel.lengths()[i]);
+  }
+  EXPECT_GT(serial.build_ms(), 0.0);
+}
+
+TEST(PackedStore, EmptyStore) {
+  const std::vector<std::string> none;
+  const PackedSignatureStore store(none, FieldClass::kNumeric);
+  EXPECT_EQ(store.size(), 0u);
+  // Even an empty store keeps one readable zero line for the kernel.
+  EXPECT_EQ(store.plane(0)[0], 0u);
+}
+
+TEST(PackedStore, PackSignatureAlphanumericUsesLastWordForNumeric) {
+  // "A1" at l=2: alpha word0 bit 0, numeric word bit 3*1 (digit 1, first
+  // occurrence).
+  const Signature sig =
+      make_signature("A1", FieldClass::kAlphanumeric, 2);
+  std::uint64_t row[2] = {0, 0};
+  pack_signature(sig, FieldClass::kAlphanumeric, 2, row);
+  EXPECT_EQ(row[0], 1ull);
+  EXPECT_EQ(row[1], static_cast<std::uint64_t>(1u << 3));
+}
+
+}  // namespace
