@@ -111,6 +111,48 @@ void run_crash_recovery(const std::vector<fbf::linkage::PersonRecord>& master,
   fs::remove(durability.journal_path);
 }
 
+/// One full update run (master list + every nightly batch) under one
+/// store configuration, with everything the before/after comparison
+/// needs to certify "same work, less time".
+struct UpdateRun {
+  double total_ms = 0.0;
+  double signature_ms = 0.0;
+  double match_ms = 0.0;
+  std::uint64_t comparisons = 0;
+  std::uint64_t fbf_evaluations = 0;
+  std::uint64_t verify_calls = 0;
+  std::uint64_t merged = 0;
+  std::uint64_t new_entities = 0;
+  std::size_t entities = 0;
+  std::vector<std::uint32_t> entity_ids;
+};
+
+UpdateRun run_update(const std::vector<fbf::linkage::PersonRecord>& master,
+                     const std::vector<std::vector<fbf::linkage::PersonRecord>>& nightly,
+                     const fbf::linkage::ComparatorConfig& comparator,
+                     const fbf::linkage::EntityStoreOptions& options) {
+  namespace lk = fbf::linkage;
+  UpdateRun run;
+  lk::EntityStore store(comparator, options);
+  const auto fold = [&](const lk::IngestStats& stats) {
+    run.total_ms += stats.signature_ms + stats.match_ms;
+    run.signature_ms += stats.signature_ms;
+    run.match_ms += stats.match_ms;
+    run.comparisons += stats.comparisons;
+    run.fbf_evaluations += stats.fbf_evaluations;
+    run.verify_calls += stats.verify_calls;
+    run.merged += stats.merged;
+    run.new_entities += stats.new_entities;
+  };
+  fold(store.ingest(master));
+  for (const auto& batch : nightly) {
+    fold(store.ingest(batch));
+  }
+  run.entities = store.entity_count();
+  run.entity_ids.assign(store.entity_ids().begin(), store.entity_ids().end());
+  return run;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,31 +195,89 @@ int main(int argc, char** argv) {
   const lk::FieldStrategy strategies[] = {
       lk::FieldStrategy::kDl, lk::FieldStrategy::kPdl,
       lk::FieldStrategy::kFdl, lk::FieldStrategy::kFpdl};
+  struct StrategyRow {
+    const char* name;
+    UpdateRun run;
+  };
+  std::vector<StrategyRow> rows;
+  for (const auto strategy : strategies) {
+    rows.push_back(
+        {lk::field_strategy_name(strategy),
+         run_update(master, nightly,
+                    lk::make_point_threshold_config(strategy, opts.config.k),
+                    {.use_pipeline = true, .threads = opts.config.threads})});
+  }
+
+  // Before/after the PR-3 refactor: the FPDL update through the batched
+  // candidate pipeline vs the preserved per-pair scalar path.  Same
+  // decisions, same counters — the speedup is pure cascade.
+  const auto comparator =
+      lk::make_point_threshold_config(lk::FieldStrategy::kFpdl, opts.config.k);
+  const UpdateRun scalar =
+      run_update(master, nightly, comparator, {.use_pipeline = false});
+  const UpdateRun pipeline =
+      run_update(master, nightly, comparator,
+                 {.use_pipeline = true, .threads = opts.config.threads});
+  const bool identical = scalar.comparisons == pipeline.comparisons &&
+                         scalar.fbf_evaluations == pipeline.fbf_evaluations &&
+                         scalar.verify_calls == pipeline.verify_calls &&
+                         scalar.merged == pipeline.merged &&
+                         scalar.new_entities == pipeline.new_entities &&
+                         scalar.entity_ids == pipeline.entity_ids;
+  const double speedup =
+      pipeline.total_ms > 0.0 ? scalar.total_ms / pipeline.total_ms : 0.0;
+
+  if (opts.json) {
+    std::cout << "{\n  \"bench\": \"nightly_update\",\n"
+              << "  \"n\": " << opts.config.n << ", \"k\": " << opts.config.k
+              << ", \"threads\": " << opts.config.threads
+              << ", \"seed\": " << opts.config.seed
+              << ", \"batches\": " << batches
+              << ", \"batch_size\": " << batch_size << ",\n"
+              << "  \"strategies\": [\n";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const auto& row = rows[r];
+      std::cout << "    {\"strategy\": \"" << fbf::bench::json_escape(row.name)
+                << "\", \"update_ms\": " << row.run.total_ms
+                << ", \"entities\": " << row.run.entities
+                << ", \"merged\": " << row.run.merged
+                << ", \"comparisons\": " << row.run.comparisons
+                << ", \"fbf_evaluations\": " << row.run.fbf_evaluations
+                << ", \"verify_calls\": " << row.run.verify_calls << "}"
+                << (r + 1 < rows.size() ? "," : "") << "\n";
+    }
+    std::cout << "  ],\n  \"pipeline_vs_scalar\": {\n"
+              << "    \"strategy\": \"FPDL\",\n"
+              << "    \"scalar_ms\": " << scalar.total_ms
+              << ", \"pipeline_ms\": " << pipeline.total_ms
+              << ", \"speedup\": " << speedup << ",\n"
+              << "    \"scalar_signature_ms\": " << scalar.signature_ms
+              << ", \"scalar_match_ms\": " << scalar.match_ms
+              << ", \"pipeline_signature_ms\": " << pipeline.signature_ms
+              << ", \"pipeline_match_ms\": " << pipeline.match_ms << ",\n"
+              << "    \"identical_decisions_and_counters\": "
+              << (identical ? "true" : "false") << ",\n"
+              << "    \"merged\": " << pipeline.merged
+              << ", \"new_entities\": " << pipeline.new_entities
+              << ", \"entities\": " << pipeline.entities
+              << ", \"comparisons\": " << pipeline.comparisons
+              << ", \"fbf_evaluations\": " << pipeline.fbf_evaluations
+              << ", \"verify_calls\": " << pipeline.verify_calls << "\n"
+              << "  }\n}\n";
+    return identical ? 0 : 1;
+  }
+
   u::Table table({"strategy", "entities", "merged", "verify calls",
                   "update ms", "speedup"});
-  double baseline = 0.0;
-  for (const auto strategy : strategies) {
-    lk::EntityStore store(
-        lk::make_point_threshold_config(strategy, opts.config.k));
-    store.ingest(master);
-    double total_ms = 0.0;
-    std::uint64_t merged = 0;
-    std::uint64_t verify_calls = 0;
-    for (const auto& batch : nightly) {
-      const auto stats = store.ingest(batch);
-      total_ms += stats.signature_ms + stats.match_ms;
-      merged += stats.merged;
-      verify_calls += stats.verify_calls;
-    }
-    if (strategy == lk::FieldStrategy::kDl) {
-      baseline = total_ms;
-    }
-    table.add_row({lk::field_strategy_name(strategy),
-                   u::with_commas(static_cast<std::int64_t>(store.entity_count())),
-                   u::with_commas(static_cast<std::int64_t>(merged)),
-                   u::with_commas(static_cast<std::int64_t>(verify_calls)),
-                   u::fixed(total_ms, 1),
-                   u::speedup(total_ms > 0 ? baseline / total_ms : 0.0)});
+  const double baseline = rows.front().run.total_ms;
+  for (const auto& row : rows) {
+    table.add_row(
+        {row.name,
+         u::with_commas(static_cast<std::int64_t>(row.run.entities)),
+         u::with_commas(static_cast<std::int64_t>(row.run.merged)),
+         u::with_commas(static_cast<std::int64_t>(row.run.verify_calls)),
+         u::fixed(row.run.total_ms, 1),
+         u::speedup(row.run.total_ms > 0 ? baseline / row.run.total_ms : 0.0)});
   }
   if (opts.csv) {
     table.render_csv(std::cout);
@@ -186,7 +286,11 @@ int main(int argc, char** argv) {
     std::printf("\n(%d nightly batches of %zu records against a %zu-record "
                 "master list; FDL/FPDL resolve identically to DL)\n",
                 batches, batch_size, opts.config.n);
+    std::printf("\nPipeline vs scalar (FPDL): %.1f ms -> %.1f ms (%.1fx), "
+                "decisions+counters %s\n",
+                scalar.total_ms, pipeline.total_ms, speedup,
+                identical ? "identical" : "DIVERGED");
   }
   run_crash_recovery(master, nightly, opts, checkpoint_every, crash_after);
-  return 0;
+  return identical ? 0 : 1;
 }

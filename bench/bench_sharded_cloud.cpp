@@ -10,6 +10,7 @@
 //     blocking recall problem the paper describes;
 //   * hash(Soundex(LN)): the classic compromise.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "linkage/person_gen.hpp"
@@ -26,8 +27,12 @@ int main(int argc, char** argv) {
   const auto clean = lk::generate_people(opts.config.n, rng);
   const auto error = lk::make_error_records(clean, {}, rng);
 
-  u::Table table({"scheme", "shards", "total pairs", "TP", "recall",
-                  "makespan ms", "sum ms", "imbalance"});
+  struct SchemeRow {
+    const char* scheme;
+    std::size_t shards;
+    lk::ShardedResult result;
+  };
+  std::vector<SchemeRow> scheme_rows;
   const lk::PartitionScheme schemes[] = {
       lk::PartitionScheme::kReplicateRight,
       lk::PartitionScheme::kHashLastName,
@@ -41,9 +46,17 @@ int main(int argc, char** argv) {
           lk::make_point_threshold_config(lk::FieldStrategy::kFpdl,
                                           opts.config.k);
       config.link.threads = opts.config.threads;
-      const auto result = lk::link_sharded(clean, error, config);
+      scheme_rows.push_back({lk::partition_scheme_name(scheme), shards,
+                             lk::link_sharded(clean, error, config)});
+    }
+  }
+  if (!opts.json) {
+    u::Table table({"scheme", "shards", "total pairs", "TP", "recall",
+                    "makespan ms", "sum ms", "imbalance"});
+    for (const auto& row : scheme_rows) {
+      const auto& result = row.result;
       table.add_row(
-          {lk::partition_scheme_name(scheme), std::to_string(shards),
+          {row.scheme, std::to_string(row.shards),
            u::with_commas(static_cast<std::int64_t>(result.total_pairs)),
            u::with_commas(
                static_cast<std::int64_t>(result.total_true_positives)),
@@ -53,14 +66,14 @@ int main(int argc, char** argv) {
            u::fixed(result.makespan_ms, 1), u::fixed(result.sum_ms, 1),
            u::fixed(result.imbalance(), 2)});
     }
-  }
-  if (opts.csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render(std::cout);
-    std::printf("\n(replicate-right keeps recall at the comparator's "
-                "ceiling; hash(LN) trades recall for shard-fold less "
-                "work — the distributed analogue of blocking loss)\n");
+    if (opts.csv) {
+      table.render_csv(std::cout);
+    } else {
+      table.render(std::cout);
+      std::printf("\n(replicate-right keeps recall at the comparator's "
+                  "ceiling; hash(LN) trades recall for shard-fold less "
+                  "work — the distributed analogue of blocking loss)\n");
+    }
   }
 
   // Failure scenarios: the same replicate-right run under injected shard
@@ -83,8 +96,11 @@ int main(int argc, char** argv) {
   scenarios[3].faults.shard_straggle_rate = 0.25;
   scenarios[3].faults.straggle_factor = 4.0;
 
-  u::Table faults_table({"scenario", "retries", "failed", "dropped pairs",
-                         "dropped %", "TP", "recall", "makespan ms"});
+  struct FaultRow {
+    const char* name;
+    lk::ShardedResult result;
+  };
+  std::vector<FaultRow> fault_rows;
   for (const auto& scenario : scenarios) {
     lk::ShardedConfig config;
     config.n_shards = 8;
@@ -95,9 +111,49 @@ int main(int argc, char** argv) {
     lk::ShardFaultPolicy policy;
     policy.faults = scenario.faults;
     config.fault = policy;
-    const auto result = lk::link_sharded(clean, error, config);
+    fault_rows.push_back({scenario.name, lk::link_sharded(clean, error, config)});
+  }
+
+  if (opts.json) {
+    std::cout << "{\n  \"bench\": \"sharded_cloud\",\n"
+              << "  \"n\": " << opts.config.n << ", \"k\": " << opts.config.k
+              << ", \"threads\": " << opts.config.threads
+              << ", \"seed\": " << opts.config.seed << ",\n"
+              << "  \"schemes\": [\n";
+    for (std::size_t r = 0; r < scheme_rows.size(); ++r) {
+      const auto& row = scheme_rows[r];
+      std::cout << "    {\"scheme\": \"" << fbf::bench::json_escape(row.scheme)
+                << "\", \"shards\": " << row.shards
+                << ", \"total_pairs\": " << row.result.total_pairs
+                << ", \"true_positives\": " << row.result.total_true_positives
+                << ", \"makespan_ms\": " << row.result.makespan_ms
+                << ", \"sum_ms\": " << row.result.sum_ms
+                << ", \"imbalance\": " << row.result.imbalance() << "}"
+                << (r + 1 < scheme_rows.size() ? "," : "") << "\n";
+    }
+    std::cout << "  ],\n  \"fault_scenarios\": [\n";
+    for (std::size_t r = 0; r < fault_rows.size(); ++r) {
+      const auto& row = fault_rows[r];
+      std::cout << "    {\"scenario\": \"" << fbf::bench::json_escape(row.name)
+                << "\", \"retries\": " << row.result.retries
+                << ", \"failed_shards\": " << row.result.failed_shards
+                << ", \"dropped_pairs\": " << row.result.dropped_pairs
+                << ", \"dropped_pair_fraction\": "
+                << row.result.dropped_pair_fraction()
+                << ", \"true_positives\": " << row.result.total_true_positives
+                << ", \"makespan_ms\": " << row.result.makespan_ms << "}"
+                << (r + 1 < fault_rows.size() ? "," : "") << "\n";
+    }
+    std::cout << "  ]\n}\n";
+    return 0;
+  }
+
+  u::Table faults_table({"scenario", "retries", "failed", "dropped pairs",
+                         "dropped %", "TP", "recall", "makespan ms"});
+  for (const auto& row : fault_rows) {
+    const auto& result = row.result;
     faults_table.add_row(
-        {scenario.name,
+        {row.name,
          u::with_commas(static_cast<std::int64_t>(result.retries)),
          u::with_commas(static_cast<std::int64_t>(result.failed_shards)),
          u::with_commas(static_cast<std::int64_t>(result.dropped_pairs)),

@@ -68,7 +68,13 @@ int main(int argc, char** argv) {
   // (mixed case, punctuation, formatted phones/dates).
   std::ifstream clean_in(clean_path);
   std::ifstream error_in(error_path);
-  auto left = lk::read_person_csv(clean_in);
+  auto left_load = lk::read_person_csv(clean_in);
+  if (!left_load.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 left_load.status().to_string().c_str());
+    return 1;
+  }
+  auto left = std::move(left_load).value();
   const auto right_load = lk::read_person_csv_quarantine(error_in);
   if (!right_load.ok()) {
     std::fprintf(stderr, "load failed: %s\n",

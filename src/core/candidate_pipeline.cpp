@@ -1,0 +1,237 @@
+#include "core/candidate_pipeline.hpp"
+
+#include <cassert>
+
+#include "metrics/damerau.hpp"
+#include "metrics/length_filter.hpp"
+#include "metrics/pdl.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace fbf::core {
+
+namespace m = fbf::metrics;
+
+namespace {
+
+[[nodiscard]] bool batched_capable(const PipelineConfig& config) noexcept {
+  // The batched kernel computes the hardware popcount, so it stands in for
+  // the default strategy and the explicit kBatched request only; the
+  // Wegner / LUT popcount ablations must run their own per-pair loops.
+  return !config.force_per_pair &&
+         (config.popcount == fbf::util::PopcountKind::kHardware ||
+          config.popcount == fbf::util::PopcountKind::kBatched) &&
+         PackedSignatureStore::supported(config.field_class,
+                                         config.alpha_words);
+}
+
+}  // namespace
+
+CandidatePipeline::CandidatePipeline(const PipelineConfig& config)
+    : config_(config), batched_(batched_capable(config)) {
+  if (batched_) {
+    kernel_ = best_kernel();
+    packed_ = PackedSignatureStore(config.field_class, config.alpha_words);
+  }
+}
+
+CandidatePipeline::CandidatePipeline(const PipelineConfig& config,
+                                     std::span<const std::string> candidates,
+                                     std::size_t threads)
+    : CandidatePipeline(config) {
+  append(candidates, threads);
+}
+
+void CandidatePipeline::append(std::span<const std::string> candidates,
+                               std::size_t threads) {
+  if (batched_) {
+    packed_.append(candidates, threads);
+    size_ = packed_.size();
+    return;
+  }
+  const fbf::util::Stopwatch timer;
+  const std::size_t base = size_;
+  classic_.resize(base + candidates.size());
+  classic_lengths_.resize(base + candidates.size());
+  fbf::util::parallel_chunks(
+      candidates.size(), threads,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          classic_[base + i] = make_signature(candidates[i],
+                                              config_.field_class,
+                                              config_.alpha_words);
+          classic_lengths_[base + i] =
+              static_cast<std::uint32_t>(candidates[i].size());
+        }
+      });
+  size_ = base + candidates.size();
+  classic_build_ms_ += timer.elapsed_ms();
+}
+
+void CandidatePipeline::append_signature(const Signature& sig,
+                                         std::uint32_t length) {
+  if (batched_) {
+    packed_.append_signature(sig, length);
+    size_ = packed_.size();
+    return;
+  }
+  classic_.push_back(sig);
+  classic_lengths_.push_back(length);
+  ++size_;
+}
+
+const char* CandidatePipeline::kernel_name() const noexcept {
+  if (!batched_) {
+    return "pair-scalar";
+  }
+  return kernel_ == KernelKind::kAvx2 ? "tile-avx2" : "tile-scalar64";
+}
+
+double CandidatePipeline::build_ms() const noexcept {
+  return batched_ ? packed_.build_ms() : classic_build_ms_;
+}
+
+CandidatePipeline::Query CandidatePipeline::make_query(
+    std::string_view s) const {
+  return make_query(make_signature(s, config_.field_class,
+                                   config_.alpha_words),
+                    static_cast<std::uint32_t>(s.size()));
+}
+
+CandidatePipeline::Query CandidatePipeline::make_query(
+    const Signature& sig, std::uint32_t length) const {
+  Query q;
+  q.sig = sig;
+  q.length = length;
+  if (batched_) {
+    std::uint64_t row[2] = {0, 0};
+    pack_signature(sig, config_.field_class, config_.alpha_words, row);
+    q.w0 = row[0];
+    q.w1 = row[1];
+  }
+  return q;
+}
+
+CandidatePipeline::Query CandidatePipeline::row_query(std::size_t i) const {
+  Query q;
+  if (batched_) {
+    q.w0 = packed_.word(0, i);
+    q.w1 = packed_.words() == 2 ? packed_.word(1, i) : 0;
+    q.length = packed_.lengths()[i];
+  } else {
+    q.sig = classic_[i];
+    q.length = classic_lengths_[i];
+  }
+  return q;
+}
+
+std::size_t CandidatePipeline::filter(const Query& q, std::size_t begin,
+                                      std::size_t end,
+                                      const std::uint64_t* eligible,
+                                      std::uint64_t* bitmap,
+                                      PipelineCounters& counters) const {
+  assert(begin % 64 == 0 && "bitmap lanes must stay word-aligned");
+  assert(end <= size_);
+  if (begin >= end) {
+    return 0;
+  }
+  return batched_ ? filter_batched(q, begin, end, eligible, bitmap, counters)
+                  : filter_per_pair(q, begin, end, eligible, bitmap, counters);
+}
+
+std::size_t CandidatePipeline::filter_batched(
+    const Query& q, std::size_t begin, std::size_t end,
+    const std::uint64_t* eligible, std::uint64_t* bitmap,
+    PipelineCounters& counters) const {
+  const std::size_t width = end - begin;
+  const std::size_t n_words = bitmap_words(width);
+  const bool two_words = packed_.words() == 2;
+  // begin % 64 == 0 keeps the plane offset a multiple of 8, so the
+  // kernel's cache-line over-read stays inside the zero-padded planes.
+  const std::uint64_t* p0 = packed_.plane(0) + begin;
+  const std::uint64_t* p1 = two_words ? packed_.plane(1) + begin : nullptr;
+  std::size_t survivors =
+      filter_tile(q.w0, p0, q.w1, p1, width, 2 * config_.k, bitmap, kernel_);
+
+  if (eligible == nullptr && !config_.use_length) {
+    counters.fbf_evaluated += width;
+    counters.fbf_pass += survivors;
+    return survivors;
+  }
+
+  // Pre-FBF gate: eligibility first (charged to no counter), then the
+  // length filter (charging length_pass), then fbf_evaluated for lanes
+  // that reached the FBF stage — ladder order, bit for bit.
+  const std::uint32_t* len = packed_.lengths() + begin;
+  survivors = 0;
+  for (std::size_t w = 0; w < n_words; ++w) {
+    const std::size_t base = w * 64;
+    const std::size_t lanes = std::min<std::size_t>(64, width - base);
+    std::uint64_t pre = lanes == 64 ? ~std::uint64_t{0}
+                                    : (std::uint64_t{1} << lanes) - 1;
+    if (eligible != nullptr) {
+      pre &= eligible[w];
+    }
+    if (config_.use_length) {
+      std::uint64_t len_bits = 0;
+      for (std::size_t b = 0; b < lanes; ++b) {
+        len_bits |= static_cast<std::uint64_t>(m::length_filter_pass(
+                        q.length, len[base + b], config_.k))
+                    << b;
+      }
+      counters.length_pass +=
+          static_cast<std::uint64_t>(std::popcount(len_bits & pre));
+      pre &= len_bits;
+    }
+    counters.fbf_evaluated += static_cast<std::uint64_t>(std::popcount(pre));
+    bitmap[w] &= pre;
+    survivors += static_cast<std::size_t>(std::popcount(bitmap[w]));
+  }
+  counters.fbf_pass += survivors;
+  return survivors;
+}
+
+std::size_t CandidatePipeline::filter_per_pair(
+    const Query& q, std::size_t begin, std::size_t end,
+    const std::uint64_t* eligible, std::uint64_t* bitmap,
+    PipelineCounters& counters) const {
+  const std::size_t width = end - begin;
+  for (std::size_t w = 0; w < bitmap_words(width); ++w) {
+    bitmap[w] = 0;
+  }
+  std::size_t survivors = 0;
+  for (std::size_t j = begin; j < end; ++j) {
+    const std::size_t lane = j - begin;
+    if (eligible != nullptr &&
+        (eligible[lane / 64] >> (lane % 64) & 1) == 0) {
+      continue;
+    }
+    if (config_.use_length) {
+      if (!m::length_filter_pass(q.length, classic_lengths_[j], config_.k)) {
+        continue;
+      }
+      ++counters.length_pass;
+    }
+    ++counters.fbf_evaluated;
+    if (find_diff_bits(q.sig, classic_[j], config_.popcount) >
+        2 * config_.k) {
+      continue;
+    }
+    ++counters.fbf_pass;
+    bitmap[lane / 64] |= std::uint64_t{1} << (lane % 64);
+    ++survivors;
+  }
+  return survivors;
+}
+
+bool CandidatePipeline::verify(std::string_view a, std::string_view b,
+                               PipelineCounters& counters) const {
+  if (config_.verifier == Verifier::kNone) {
+    return true;  // filter-only methods report survivors as matches
+  }
+  ++counters.verify_calls;
+  return config_.verifier == Verifier::kDl ? m::dl_within(a, b, config_.k)
+                                           : m::pdl_within(a, b, config_.k);
+}
+
+}  // namespace fbf::core

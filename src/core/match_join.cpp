@@ -2,11 +2,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 
-#include "core/fbf_kernel.hpp"
-#include "core/find_diff_bits.hpp"
-#include "core/packed_signature_store.hpp"
-#include "core/signature_store.hpp"
+#include "core/candidate_pipeline.hpp"
 #include "metrics/damerau.hpp"
 #include "metrics/hamming.hpp"
 #include "metrics/jaro.hpp"
@@ -23,14 +21,10 @@ namespace {
 
 namespace m = fbf::metrics;
 
-/// Evaluates one pair through the filter ladder, updating `stats`.
-/// Marked always_inline so each instantiation site folds the constant
-/// configuration branches.
-template <bool kUseLength, bool kUseFbf, typename VerifyFn>
-inline bool evaluate_pair(std::string_view s, std::string_view t,
-                          [[maybe_unused]] const Signature* sig_s,
-                          [[maybe_unused]] const Signature* sig_t, int k,
-                          [[maybe_unused]] fbf::util::PopcountKind popcount,
+/// Evaluates one pair through the non-FBF ladder (length filter +
+/// verifier only; FBF methods run through CandidatePipeline instead).
+template <bool kUseLength, typename VerifyFn>
+inline bool evaluate_pair(std::string_view s, std::string_view t, int k,
                           Verifier verifier, const VerifyFn& verify,
                           JoinStats& stats) {
   if constexpr (kUseLength) {
@@ -38,13 +32,6 @@ inline bool evaluate_pair(std::string_view s, std::string_view t,
       return false;
     }
     ++stats.length_pass;
-  }
-  if constexpr (kUseFbf) {
-    ++stats.fbf_evaluated;
-    if (find_diff_bits(*sig_s, *sig_t, popcount) > 2 * k) {
-      return false;
-    }
-    ++stats.fbf_pass;
   }
   if (verifier == Verifier::kNone) {
     return true;  // filter-only methods report survivors as matches
@@ -114,96 +101,43 @@ void run_pair_tiles(std::size_t n_left, std::size_t n_right,
   });
 }
 
-/// Everything the packed/batched FBF tile path needs.
-struct PackedJoinContext {
-  std::span<const std::string> left;
-  std::span<const std::string> right;
-  const PackedSignatureStore* sig_left;
-  const PackedSignatureStore* sig_right;
-  KernelKind kernel;
-  int k;
-  bool use_length;
-  Verifier verifier;
-  bool (*verify)(std::string_view, std::string_view, int);
-  bool collect;
-};
-
-/// Batched FBF tile: the kernel filters one query row against the whole
-/// tile of packed candidates, survivors are drained from the bitmap into
-/// verification.  Counter semantics match the scalar ladder exactly:
-/// fbf_evaluated counts length-filter survivors (ladder order), fbf_pass
-/// counts pairs passing both, verify runs on fbf_pass survivors in
-/// ascending j — identical totals and match sets to the per-pair scan.
-void run_packed_tile(const PackedJoinContext& ctx, std::size_t i0,
-                     std::size_t i1, std::size_t j0, std::size_t j1,
-                     JoinStats& local) {
+/// FBF tile body: both join sides are CandidatePipelines.  The right
+/// pipeline filters each left row-query against the tile's candidate
+/// range (batched kernel or per-pair fallback — the pipeline decides) and
+/// survivors drain from the bitmap into verification in ascending j.
+/// Counter semantics are the scalar ladder's, bit for bit (see
+/// core/candidate_pipeline.hpp).
+void run_pipeline_tile(const CandidatePipeline& pipe_left,
+                       const CandidatePipeline& pipe_right,
+                       std::span<const std::string> left,
+                       std::span<const std::string> right, bool collect,
+                       std::size_t i0, std::size_t i1, std::size_t j0,
+                       std::size_t j1, JoinStats& local) {
   constexpr std::size_t kBitmapWords = (kTileCols + 63) / 64;
   std::uint64_t bitmap[kBitmapWords];
-  const std::size_t width = j1 - j0;
-  const std::size_t n_bitmap_words = (width + 63) / 64;
-  const bool two_words = ctx.sig_right->words() == 2;
-  const std::uint64_t* p0 = ctx.sig_right->plane(0) + j0;
-  const std::uint64_t* p1 = two_words ? ctx.sig_right->plane(1) + j0 : nullptr;
-  const std::uint32_t* len_right = ctx.sig_right->lengths() + j0;
-  const int threshold = 2 * ctx.k;
-
+  PipelineCounters counters;
   for (std::size_t i = i0; i < i1; ++i) {
-    const std::uint64_t q0 = ctx.sig_left->word(0, i);
-    const std::uint64_t q1 = two_words ? ctx.sig_left->word(1, i) : 0;
-    std::size_t fbf_pass =
-        filter_tile(q0, p0, q1, p1, width, threshold, bitmap, ctx.kernel);
-    if (ctx.use_length) {
-      // Ladder order is length -> FBF: intersect with the length bitmap
-      // and charge fbf_evaluated only for length survivors, so counters
-      // match the scalar ladder bit for bit.
-      const std::uint32_t len_i = ctx.sig_left->lengths()[i];
-      std::size_t length_pass = 0;
-      fbf_pass = 0;
-      for (std::size_t w = 0; w < n_bitmap_words; ++w) {
-        const std::size_t base = w * 64;
-        const std::size_t lanes = std::min<std::size_t>(64, width - base);
-        std::uint64_t len_bits = 0;
-        for (std::size_t b = 0; b < lanes; ++b) {
-          len_bits |= static_cast<std::uint64_t>(m::length_filter_pass(
-                          len_i, len_right[base + b], ctx.k))
-                      << b;
-        }
-        length_pass += static_cast<std::size_t>(std::popcount(len_bits));
-        bitmap[w] &= len_bits;
-        fbf_pass += static_cast<std::size_t>(std::popcount(bitmap[w]));
-      }
-      local.length_pass += length_pass;
-      local.fbf_evaluated += length_pass;
-    } else {
-      local.fbf_evaluated += width;
-    }
-    local.fbf_pass += fbf_pass;
-
-    // Drain survivors (ascending j within the tile).
-    for (std::size_t w = 0; w < n_bitmap_words; ++w) {
-      std::uint64_t bits = bitmap[w];
-      while (bits != 0) {
-        const std::size_t j =
-            j0 + w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
-        bits &= bits - 1;
-        bool is_match = true;
-        if (ctx.verifier != Verifier::kNone) {
-          ++local.verify_calls;
-          is_match = ctx.verify(ctx.left[i], ctx.right[j], ctx.k);
-        }
-        if (is_match) {
-          ++local.matches;
-          if (i == j) {
-            ++local.diagonal_matches;
+    const CandidatePipeline::Query q = pipe_left.row_query(i);
+    pipe_right.filter(q, j0, j1, nullptr, bitmap, counters);
+    CandidatePipeline::for_each_survivor(
+        bitmap, j1 - j0, [&](std::size_t lane) {
+          const std::size_t j = j0 + lane;
+          if (pipe_right.verify(left[i], right[j], counters)) {
+            ++local.matches;
+            if (i == j) {
+              ++local.diagonal_matches;
+            }
+            if (collect) {
+              local.match_pairs.emplace_back(static_cast<std::uint32_t>(i),
+                                             static_cast<std::uint32_t>(j));
+            }
           }
-          if (ctx.collect) {
-            local.match_pairs.emplace_back(static_cast<std::uint32_t>(i),
-                                           static_cast<std::uint32_t>(j));
-          }
-        }
-      }
-    }
+        });
   }
+  local.length_pass += counters.length_pass;
+  local.fbf_evaluated += counters.fbf_evaluated;
+  local.fbf_pass += counters.fbf_pass;
+  local.verify_calls += counters.verify_calls;
 }
 
 bool verify_dl(std::string_view s, std::string_view t, int k) {
@@ -237,36 +171,27 @@ JoinStats match_strings(std::span<const std::string> left,
   const bool uses_length = method_uses_length(config.method);
   const Verifier verifier = method_verifier(config.method);
   const int k = config.k;
-  const auto popcount = config.popcount;
-  // The batched kernel computes the hardware popcount, so the packed path
-  // is taken for the default strategy and the explicit kBatched request;
-  // the Wegner / LUT ablations need the per-pair scan to mean anything.
-  const bool packed_path =
-      uses_fbf && config.packed &&
-      (popcount == fbf::util::PopcountKind::kHardware ||
-       popcount == fbf::util::PopcountKind::kBatched) &&
-      PackedSignatureStore::supported(config.field_class, config.alpha_words);
 
-  // Precomputation phase (the Gen row): FBF signatures (packed planes on
-  // the batched path, classic store on the fallback) or Soundex codes.
-  SignatureStore sig_left;
-  SignatureStore sig_right;
-  PackedSignatureStore packed_left;
-  PackedSignatureStore packed_right;
+  // Precomputation phase (the Gen row): FBF methods build both sides'
+  // pipelines (packed planes or classic signatures — the pipeline picks
+  // per layout and popcount strategy); Soundex pre-encodes both lists.
+  std::optional<CandidatePipeline> pipe_left;
+  std::optional<CandidatePipeline> pipe_right;
   std::vector<std::string> sdx_left;
   std::vector<std::string> sdx_right;
-  if (packed_path) {
-    packed_left = PackedSignatureStore(left, config.field_class,
-                                       config.alpha_words, config.threads);
-    packed_right = PackedSignatureStore(right, config.field_class,
-                                        config.alpha_words, config.threads);
-    stats.signature_gen_ms = packed_left.build_ms() + packed_right.build_ms();
-  } else if (uses_fbf) {
-    sig_left = SignatureStore(left, config.field_class, config.alpha_words,
-                              config.threads);
-    sig_right = SignatureStore(right, config.field_class, config.alpha_words,
-                               config.threads);
-    stats.signature_gen_ms = sig_left.build_ms() + sig_right.build_ms();
+  if (uses_fbf) {
+    PipelineConfig pcfg;
+    pcfg.field_class = config.field_class;
+    pcfg.alpha_words = config.alpha_words;
+    pcfg.k = k;
+    pcfg.use_length = uses_length;
+    pcfg.verifier = verifier;
+    pcfg.popcount = config.popcount;
+    pcfg.force_per_pair = !config.packed;
+    pipe_left.emplace(pcfg, left, config.threads);
+    pipe_right.emplace(pcfg, right, config.threads);
+    stats.signature_gen_ms = pipe_left->build_ms() + pipe_right->build_ms();
+    stats.kernel = pipe_right->kernel_name();
   } else if (config.method == Method::kSoundex) {
     const fbf::util::Stopwatch gen_timer;
     sdx_left.reserve(left.size());
@@ -323,62 +248,42 @@ JoinStats match_strings(std::span<const std::string> left,
       });
       break;
     default: {
-      if (packed_path) {
-        PackedJoinContext ctx;
-        ctx.left = left;
-        ctx.right = right;
-        ctx.sig_left = &packed_left;
-        ctx.sig_right = &packed_right;
-        ctx.kernel = best_kernel();
-        ctx.k = k;
-        ctx.use_length = uses_length;
-        ctx.verifier = verifier;
-        ctx.verify = verifier == Verifier::kDl ? verify_dl : verify_pdl;
-        ctx.collect = config.collect_matches;
-        stats.kernel = ctx.kernel == KernelKind::kAvx2 ? "tile-avx2"
-                                                       : "tile-scalar64";
+      if (uses_fbf) {
+        const bool collect = config.collect_matches;
         run_tile_space(left.size(), right.size(), config.threads, stats,
                        [&] {
-                         return [&ctx](std::size_t i0, std::size_t i1,
-                                       std::size_t j0, std::size_t j1,
-                                       JoinStats& local) {
-                           run_packed_tile(ctx, i0, i1, j0, j1, local);
+                         return [&, collect](std::size_t i0, std::size_t i1,
+                                             std::size_t j0, std::size_t j1,
+                                             JoinStats& local) {
+                           run_pipeline_tile(*pipe_left, *pipe_right, left,
+                                             right, collect, i0, i1, j0, j1,
+                                             local);
                          };
                        });
         break;
       }
-      // Per-pair filter ladder (Wegner/LUT ablations, alpha l > 2, or
-      // packed explicitly disabled).  The verifier callable is chosen
-      // once.
-      const auto dispatch = [&](auto use_length, auto use_fbf,
-                                const auto& verify) {
+      // Length-filter / verifier-only ladder (kL* methods without FBF,
+      // bare DL / PDL).  The verifier callable is chosen once.
+      const auto dispatch = [&](auto use_length, const auto& verify) {
         run([&] {
           return [&, verify](std::size_t i, std::size_t j, JoinStats& local) {
-            const Signature* si = use_fbf ? &sig_left[i] : nullptr;
-            const Signature* sj = use_fbf ? &sig_right[j] : nullptr;
-            return evaluate_pair<decltype(use_length)::value,
-                                 decltype(use_fbf)::value>(
-                left[i], right[j], si, sj, k, popcount, verifier, verify,
-                local);
+            return evaluate_pair<decltype(use_length)::value>(
+                left[i], right[j], k, verifier, verify, local);
           };
         });
       };
       using std::bool_constant;
-      const auto pick_verifier = [&](auto use_length, auto use_fbf) {
+      const auto pick_verifier = [&](auto use_length) {
         if (verifier == Verifier::kDl) {
-          dispatch(use_length, use_fbf, verify_dl);
+          dispatch(use_length, verify_dl);
         } else {
-          dispatch(use_length, use_fbf, verify_pdl);
+          dispatch(use_length, verify_pdl);
         }
       };
-      if (uses_length && uses_fbf) {
-        pick_verifier(bool_constant<true>{}, bool_constant<true>{});
-      } else if (uses_length) {
-        pick_verifier(bool_constant<true>{}, bool_constant<false>{});
-      } else if (uses_fbf) {
-        pick_verifier(bool_constant<false>{}, bool_constant<true>{});
+      if (uses_length) {
+        pick_verifier(bool_constant<true>{});
       } else {
-        pick_verifier(bool_constant<false>{}, bool_constant<false>{});
+        pick_verifier(bool_constant<false>{});
       }
       break;
     }

@@ -1,5 +1,6 @@
 #include "core/packed_signature_store.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -8,15 +9,36 @@
 
 namespace fbf::core {
 
-AlignedPlane::AlignedPlane(std::size_t count)
-    : count_(count), padded_((count + 7) & ~std::size_t{7}) {
-  if (padded_ == 0) {
-    padded_ = 8;  // keep one readable line even for empty stores
+namespace {
+
+constexpr std::size_t round_up_line(std::size_t n) noexcept {
+  const std::size_t padded = (n + 7) & ~std::size_t{7};
+  return padded == 0 ? 8 : padded;  // keep one readable line even when empty
+}
+
+}  // namespace
+
+AlignedPlane::AlignedPlane(std::size_t count) {
+  ensure(count);
+  count_ = count;
+}
+
+void AlignedPlane::ensure(std::size_t count) {
+  const std::size_t needed = round_up_line(count);
+  if (needed <= padded_ && data_ != nullptr) {
+    return;
   }
+  // Geometric growth keeps append() amortized O(1) per row; the tail past
+  // the copied prefix is zero-filled to preserve the over-read invariant.
+  const std::size_t grown = std::max(needed, padded_ * 2);
   auto* raw = static_cast<std::uint64_t*>(
-      ::operator new[](padded_ * sizeof(std::uint64_t), std::align_val_t{64}));
-  std::memset(raw, 0, padded_ * sizeof(std::uint64_t));
+      ::operator new[](grown * sizeof(std::uint64_t), std::align_val_t{64}));
+  if (count_ != 0) {
+    std::memcpy(raw, data_.get(), count_ * sizeof(std::uint64_t));
+  }
+  std::memset(raw + count_, 0, (grown - count_) * sizeof(std::uint64_t));
   data_.reset(raw);
+  padded_ = grown;
 }
 
 void pack_signature(const Signature& sig, FieldClass cls, int alpha_words,
@@ -44,32 +66,65 @@ void pack_signature(const Signature& sig, FieldClass cls, int alpha_words,
   }
 }
 
-PackedSignatureStore::PackedSignatureStore(
-    std::span<const std::string> strings, FieldClass cls, int alpha_words,
-    std::size_t threads)
-    : size_(strings.size()),
-      words_(packed_words(cls, alpha_words)),
+PackedSignatureStore::PackedSignatureStore(FieldClass cls, int alpha_words)
+    : words_(packed_words(cls, alpha_words)),
       cls_(cls),
       alpha_words_(alpha_words) {
   assert(words_ != 0 && "unsupported layout; check supported() first");
-  const fbf::util::Stopwatch timer;
   for (std::size_t w = 0; w < words_; ++w) {
-    planes_[w] = AlignedPlane(size_);
+    planes_[w].ensure(0);
   }
-  lengths_.resize(size_);
+}
+
+PackedSignatureStore::PackedSignatureStore(
+    std::span<const std::string> strings, FieldClass cls, int alpha_words,
+    std::size_t threads)
+    : PackedSignatureStore(cls, alpha_words) {
+  append(strings, threads);
+}
+
+void PackedSignatureStore::reserve_rows(std::size_t total) {
+  for (std::size_t w = 0; w < words_; ++w) {
+    planes_[w].ensure(total);
+    planes_[w].set_size(total);
+  }
+  lengths_.resize(total);
+}
+
+void PackedSignatureStore::append(std::span<const std::string> strings,
+                                  std::size_t threads) {
+  assert(words_ != 0 && "layout not established; use the layout ctor");
+  const fbf::util::Stopwatch timer;
+  const std::size_t base = size_;
+  reserve_rows(base + strings.size());
   fbf::util::parallel_chunks(
-      size_, threads, [&](std::size_t, std::size_t begin, std::size_t end) {
+      strings.size(), threads,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
         std::uint64_t row[2];
         for (std::size_t i = begin; i < end; ++i) {
           const Signature sig = make_signature(strings[i], cls_, alpha_words_);
           pack_signature(sig, cls_, alpha_words_, row);
           for (std::size_t w = 0; w < words_; ++w) {
-            planes_[w].data()[i] = row[w];
+            planes_[w].data()[base + i] = row[w];
           }
-          lengths_[i] = static_cast<std::uint32_t>(strings[i].size());
+          lengths_[base + i] = static_cast<std::uint32_t>(strings[i].size());
         }
       });
-  build_ms_ = timer.elapsed_ms();
+  size_ = base + strings.size();
+  build_ms_ += timer.elapsed_ms();
+}
+
+void PackedSignatureStore::append_signature(const Signature& sig,
+                                            std::uint32_t length) {
+  assert(words_ != 0 && "layout not established; use the layout ctor");
+  reserve_rows(size_ + 1);
+  std::uint64_t row[2];
+  pack_signature(sig, cls_, alpha_words_, row);
+  for (std::size_t w = 0; w < words_; ++w) {
+    planes_[w].data()[size_] = row[w];
+  }
+  lengths_[size_] = length;
+  ++size_;
 }
 
 }  // namespace fbf::core

@@ -23,6 +23,12 @@
 //
 // A parallel flat `lengths()` array rides along so the length filter
 // never touches std::string during the join.
+//
+// The store grows *incrementally*: append() packs new rows into spare
+// capacity (geometric doubling, no full repack per batch), which is what
+// lets the incremental EntityStore keep a packed image of the master list
+// across nightly batches.  Words past size() up to padded_size() are
+// always zero, so vector kernels may read whole cache lines past the tail.
 #pragma once
 
 #include <cstdint>
@@ -35,9 +41,10 @@
 
 namespace fbf::core {
 
-/// 64-byte-aligned uint64 buffer.  Row counts are padded up to a multiple
-/// of 8 words (one cache line) and the padding is zero-filled, so vector
-/// kernels may read whole lines past `count` without faulting.
+/// 64-byte-aligned uint64 buffer with amortized geometric growth.  The
+/// allocated size is a multiple of 8 words (one cache line) and every
+/// word past the written count is zero-filled, so vector kernels may read
+/// whole lines past the logical end without faulting.
 class AlignedPlane {
  public:
   AlignedPlane() = default;
@@ -50,6 +57,13 @@ class AlignedPlane {
   [[nodiscard]] std::size_t size() const noexcept { return count_; }
   /// Allocated size including zero padding (multiple of 8).
   [[nodiscard]] std::size_t padded_size() const noexcept { return padded_; }
+
+  /// Grows the buffer so at least `count` words are writable, preserving
+  /// existing contents and keeping the tail zero-filled.  Amortized O(1)
+  /// per word (geometric doubling); never shrinks.
+  void ensure(std::size_t count);
+  /// Marks `count` words as written (must be <= padded_size()).
+  void set_size(std::size_t count) noexcept { count_ = count; }
 
  private:
   struct Deleter {
@@ -85,6 +99,10 @@ class PackedSignatureStore {
  public:
   PackedSignatureStore() = default;
 
+  /// Empty store with an established layout, ready for append().  Layout
+  /// must be supported().
+  PackedSignatureStore(FieldClass cls, int alpha_words);
+
   /// Builds packed planes + the length array for every string, fanning the
   /// generation across `threads` pool workers (the Gen row is timed as the
   /// whole parallel build).  Layout must be supported().
@@ -97,11 +115,25 @@ class PackedSignatureStore {
     return packed_words(cls, alpha_words) != 0;
   }
 
+  /// Appends one batch of strings (signatures generated here, fanned
+  /// across `threads`).  Existing rows are never repacked: new rows land
+  /// in spare capacity, growing geometrically when exhausted.
+  void append(std::span<const std::string> strings, std::size_t threads = 1);
+
+  /// Appends one pre-built signature (caller already paid generation —
+  /// e.g. the EntityStore keeps classic per-record signatures for its
+  /// snapshot format and feeds them here instead of re-deriving).
+  void append_signature(const Signature& sig, std::uint32_t length);
+
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t words() const noexcept { return words_; }
   [[nodiscard]] double build_ms() const noexcept { return build_ms_; }
   [[nodiscard]] FieldClass field_class() const noexcept { return cls_; }
   [[nodiscard]] int alpha_words() const noexcept { return alpha_words_; }
+  /// Allocated rows per plane (multiple of 8; rows past size() are zero).
+  [[nodiscard]] std::size_t padded_size() const noexcept {
+    return planes_[0].padded_size();
+  }
 
   /// Plane w: word w of every row, contiguous and 64-byte aligned.
   [[nodiscard]] const std::uint64_t* plane(std::size_t w) const noexcept {
@@ -119,6 +151,8 @@ class PackedSignatureStore {
   }
 
  private:
+  void reserve_rows(std::size_t total);
+
   AlignedPlane planes_[2];
   std::vector<std::uint32_t> lengths_;
   std::size_t size_ = 0;

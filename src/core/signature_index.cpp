@@ -1,6 +1,7 @@
 #include "core/signature_index.hpp"
 
-#include "metrics/pdl.hpp"
+#include "core/candidate_pipeline.hpp"
+#include "core/match_join.hpp"
 #include "util/timer.hpp"
 
 namespace fbf::core {
@@ -126,31 +127,70 @@ std::uint64_t SignatureIndex::pack(const Signature& sig) const noexcept {
 std::optional<IndexJoinStats> match_strings_indexed(
     std::span<const std::string> left, std::span<const std::string> right,
     FieldClass cls, int k, int alpha_words) {
+  PipelineConfig pcfg;
+  pcfg.field_class = cls;
+  pcfg.alpha_words = alpha_words;
+  pcfg.k = k;
+  pcfg.use_length = false;
+  pcfg.verifier = Verifier::kPdl;
+
   const fbf::util::Stopwatch build_timer;
   auto index = SignatureIndex::build(right, cls, alpha_words, k);
-  if (!index) {
-    return std::nullopt;
+  if (!index && !CandidatePipeline(pcfg).batched()) {
+    return std::nullopt;  // alpha l >= 3: neither acceleration applies
   }
+  // The pipeline owns the right-hand candidate state either way: on the
+  // probe path only its verifier runs; on the tile-scan path its packed
+  // planes replace the bucket probes.
+  const CandidatePipeline pipe(pcfg, right);
   IndexJoinStats stats;
   stats.build_ms = build_timer.elapsed_ms();
   stats.pairs = static_cast<std::uint64_t>(left.size()) * right.size();
   const fbf::util::Stopwatch join_timer;
-  std::vector<std::uint32_t> candidates;
-  for (std::uint32_t i = 0; i < left.size(); ++i) {
-    candidates.clear();
-    const Signature sig = make_signature(left[i], cls, alpha_words);
-    index->query(sig, candidates);
-    stats.candidates += candidates.size();
-    for (const std::uint32_t j : candidates) {
-      ++stats.verify_calls;
-      if (fbf::metrics::pdl_within(left[i], right[j], k)) {
-        ++stats.matches;
-        if (i == j) {
-          ++stats.diagonal_matches;
+  PipelineCounters counters;
+
+  if (index) {
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t i = 0; i < left.size(); ++i) {
+      candidates.clear();
+      const Signature sig = make_signature(left[i], cls, alpha_words);
+      index->query(sig, candidates);
+      stats.candidates += candidates.size();
+      for (const std::uint32_t j : candidates) {
+        if (pipe.verify(left[i], right[j], counters)) {
+          ++stats.matches;
+          if (i == j) {
+            ++stats.diagonal_matches;
+          }
         }
       }
     }
+  } else {
+    // Degraded path: sweep the packed planes tile by tile.  Same FBF
+    // pass-set as the probes would surface (the filter predicate is
+    // identical), so matches are unchanged — only candidate generation
+    // cost differs.
+    stats.path = "tile-scan";
+    std::uint64_t bitmap[(kTileCols + 63) / 64];
+    for (std::uint32_t i = 0; i < left.size(); ++i) {
+      const CandidatePipeline::Query q = pipe.make_query(left[i]);
+      for (std::size_t j0 = 0; j0 < right.size(); j0 += kTileCols) {
+        const std::size_t j1 = std::min(j0 + kTileCols, right.size());
+        stats.candidates += pipe.filter(q, j0, j1, nullptr, bitmap, counters);
+        CandidatePipeline::for_each_survivor(
+            bitmap, j1 - j0, [&](std::size_t lane) {
+              const std::size_t j = j0 + lane;
+              if (pipe.verify(left[i], right[j], counters)) {
+                ++stats.matches;
+                if (i == static_cast<std::uint32_t>(j)) {
+                  ++stats.diagonal_matches;
+                }
+              }
+            });
+      }
+    }
   }
+  stats.verify_calls = counters.verify_calls;
   stats.join_ms = join_timer.elapsed_ms();
   return stats;
 }

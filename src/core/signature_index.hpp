@@ -71,17 +71,25 @@ class SignatureIndex {
 /// Statistics from an index-accelerated join.
 struct IndexJoinStats {
   std::uint64_t pairs = 0;          ///< |S| * |T| (for comparison)
-  std::uint64_t candidates = 0;     ///< pairs surfaced by the index
+  std::uint64_t candidates = 0;     ///< pairs surfaced by the filter stage
   std::uint64_t verify_calls = 0;   ///< PDL invocations
   std::uint64_t matches = 0;
   std::uint64_t diagonal_matches = 0;
   double build_ms = 0.0;
   double join_ms = 0.0;
+  /// Candidate generation used: "index-probe" (bucket probes) or
+  /// "tile-scan" (batched pipeline sweep when the index refuses the
+  /// layout/threshold but the packed kernel still applies).
+  const char* path = "index-probe";
 };
 
 /// The FPDL join with index-based candidate generation.  Produces exactly
-/// the same matches as the scan join (Method::kFpdl).  Returns nullopt if
-/// the index cannot be built for this layout/threshold.
+/// the same matches as the scan join (Method::kFpdl); verification runs
+/// through the shared CandidatePipeline.  When the index refuses the
+/// layout/threshold (alphanumeric, k >= 3 on alpha) but the batched
+/// kernel applies, the join degrades to a pipeline tile-scan
+/// (path = "tile-scan") instead of failing.  Returns nullopt only when
+/// neither acceleration applies (alpha l >= 3).
 [[nodiscard]] std::optional<IndexJoinStats> match_strings_indexed(
     std::span<const std::string> left, std::span<const std::string> right,
     FieldClass cls, int k, int alpha_words = kDefaultAlphaWords);

@@ -1,6 +1,6 @@
 #include "linkage/comparator.hpp"
 
-#include "core/find_diff_bits.hpp"
+#include "core/candidate_pipeline.hpp"
 #include "metrics/damerau.hpp"
 #include "metrics/pdl.hpp"
 #include "metrics/soundex.hpp"
@@ -70,11 +70,12 @@ bool config_uses_fbf(const ComparatorConfig& config) noexcept {
   return false;
 }
 
-RecordSignatures build_record_signatures(const PersonRecord& r) {
+RecordSignatures build_record_signatures(const PersonRecord& r,
+                                         int alpha_words) {
   RecordSignatures out;
   for (const RecordField field : all_record_fields()) {
-    out.sigs[static_cast<std::size_t>(field)] =
-        c::make_signature(r.field(field), record_field_class(field));
+    out.sigs[static_cast<std::size_t>(field)] = c::make_signature(
+        r.field(field), record_field_class(field), alpha_words);
   }
   return out;
 }
@@ -108,7 +109,8 @@ double score_pair(const PersonRecord& a, const PersonRecord& b,
       case FieldStrategy::kFbfOnly: {
         const auto idx = static_cast<std::size_t>(rule.field);
         ++counters.fbf_evaluations;
-        if (!c::fbf_pass(sa->sigs[idx], sb->sigs[idx], rule.k)) {
+        if (!c::CandidatePipeline::pair_pass(sa->sigs[idx], sb->sigs[idx],
+                                             rule.k)) {
           matched = false;
           break;
         }

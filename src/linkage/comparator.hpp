@@ -43,6 +43,10 @@ struct FieldRule {
 struct ComparatorConfig {
   std::vector<FieldRule> rules;
   double match_threshold = 4.0;
+  /// Signature word count for alphabetic fields (paper l).  l <= 2 packs
+  /// into the batched kernel's planes; l >= 3 exercises the per-pair
+  /// fallback in every pipeline consumer.
+  int alpha_words = fbf::core::kDefaultAlphaWords;
 };
 
 /// The default rule set modeled on the department's point-and-threshold
@@ -81,7 +85,11 @@ struct CompareCounters {
 /// True when any rule in `config` needs precomputed signatures.
 [[nodiscard]] bool config_uses_fbf(const ComparatorConfig& config) noexcept;
 
-/// Builds signatures for all fields of one record.
-[[nodiscard]] RecordSignatures build_record_signatures(const PersonRecord& r);
+/// Builds signatures for all fields of one record.  `alpha_words` applies
+/// to the alphabetic fields (pass the comparator's value so filter state
+/// and signatures agree).
+[[nodiscard]] RecordSignatures build_record_signatures(
+    const PersonRecord& r,
+    int alpha_words = fbf::core::kDefaultAlphaWords);
 
 }  // namespace fbf::linkage

@@ -1,7 +1,6 @@
 #include "linkage/csv_io.hpp"
 
 #include <cstdlib>
-#include <stdexcept>
 #include <utility>
 
 namespace fbf::linkage {
@@ -88,18 +87,18 @@ u::Result<PersonCsvLoad> read_person_csv_quarantine(std::istream& in) {
   return load_person_csv(in, /*stop_on_first_bad=*/false);
 }
 
-std::vector<PersonRecord> read_person_csv(
+u::Result<std::vector<PersonRecord>> read_person_csv(
     std::istream& in, bool strict, std::vector<QuarantinedRow>* quarantine) {
   auto result = load_person_csv(in, /*stop_on_first_bad=*/strict);
   if (!result.ok()) {
-    throw std::runtime_error("person CSV read failed: " +
-                             result.status().to_string());
+    return result.status();
   }
   PersonCsvLoad& load = result.value();
   if (strict && !load.quarantined.empty()) {
     const QuarantinedRow& bad = load.quarantined.front();
-    throw std::runtime_error("person CSV line " + std::to_string(bad.line) +
-                             ": " + bad.reason);
+    return u::Status::invalid_argument("person CSV line " +
+                                      std::to_string(bad.line) + ": " +
+                                      bad.reason);
   }
   if (quarantine != nullptr) {
     *quarantine = std::move(load.quarantined);

@@ -52,11 +52,12 @@ struct PersonCsvLoad {
 [[nodiscard]] fbf::util::Result<PersonCsvLoad> read_person_csv_quarantine(
     std::istream& in);
 
-/// Reads records.  `strict` throws std::runtime_error naming the line
+/// Reads records.  `strict` fails with kInvalidArgument naming the line
 /// number of the first malformed row; otherwise bad rows are skipped and
 /// — when `quarantine` is non-null — reported there with line numbers
-/// (previously they vanished silently).
-[[nodiscard]] std::vector<PersonRecord> read_person_csv(
+/// (previously they vanished silently).  A failing stream is kIoError in
+/// either mode.  Never throws.
+[[nodiscard]] fbf::util::Result<std::vector<PersonRecord>> read_person_csv(
     std::istream& in, bool strict = true,
     std::vector<QuarantinedRow>* quarantine = nullptr);
 

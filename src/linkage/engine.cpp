@@ -30,7 +30,7 @@ Precomputed precompute_signatures(std::span<const PersonRecord> left,
       left.size(), threads,
       [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          pre.left[i] = build_record_signatures(left[i]);
+          pre.left[i] = build_record_signatures(left[i], config.alpha_words);
         }
       });
   pre.right.resize(right.size());
@@ -38,7 +38,8 @@ Precomputed precompute_signatures(std::span<const PersonRecord> left,
       right.size(), threads,
       [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          pre.right[i] = build_record_signatures(right[i]);
+          pre.right[i] =
+              build_record_signatures(right[i], config.alpha_words);
         }
       });
   pre.gen_ms = timer.elapsed_ms();
@@ -95,6 +96,29 @@ LinkStats finish(std::vector<ChunkResult>& chunks, std::uint64_t pairs,
 
 }  // namespace
 
+LinkageContext::LinkageContext(std::span<const PersonRecord> right,
+                               const ComparatorConfig& comparator,
+                               std::size_t threads)
+    : right_(right), bank_(comparator) {
+  const fbf::util::Stopwatch timer;
+  const bool uses_fbf = config_uses_fbf(comparator);
+  if (uses_fbf) {
+    signatures_.resize(right.size());
+    fbf::util::parallel_chunks(
+        right.size(), threads,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            signatures_[i] =
+                build_record_signatures(right[i], comparator.alpha_words);
+          }
+        });
+  }
+  for (std::size_t i = 0; i < right.size(); ++i) {
+    bank_.append(right[i], uses_fbf ? &signatures_[i] : nullptr);
+  }
+  gen_ms_ = timer.elapsed_ms();
+}
+
 LinkStats link_candidates(std::span<const PersonRecord> left,
                           std::span<const PersonRecord> right,
                           std::span<const CandidatePair> pairs,
@@ -121,6 +145,13 @@ LinkStats link_candidates(std::span<const PersonRecord> left,
 LinkStats link_exhaustive(std::span<const PersonRecord> left,
                           std::span<const PersonRecord> right,
                           const LinkConfig& config) {
+  if (config.use_pipeline) {
+    const LinkageContext ctx(right, config.comparator, config.threads);
+    LinkStats stats = link_exhaustive(left, ctx, config);
+    stats.signature_gen_ms += ctx.gen_ms();
+    return stats;
+  }
+  // Per-pair baseline: the pre-pipeline nested score_pair loop.
   const Precomputed pre =
       precompute_signatures(left, right, config.comparator, config.threads);
   const fbf::util::Stopwatch timer;
@@ -144,6 +175,62 @@ LinkStats link_exhaustive(std::span<const PersonRecord> left,
   return finish(chunks,
                 static_cast<std::uint64_t>(left.size()) * right.size(),
                 pre.gen_ms, timer);
+}
+
+LinkStats link_exhaustive(std::span<const PersonRecord> left,
+                          const LinkageContext& right_ctx,
+                          const LinkConfig& config) {
+  const std::span<const PersonRecord> right = right_ctx.right();
+  const bool uses_fbf = config_uses_fbf(config.comparator);
+  // Left-side generation is per call; the right side was paid once by the
+  // context's builder.
+  const fbf::util::Stopwatch gen_timer;
+  std::vector<RecordSignatures> left_sigs;
+  if (uses_fbf) {
+    left_sigs.resize(left.size());
+    fbf::util::parallel_chunks(
+        left.size(), config.threads,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            left_sigs[i] = build_record_signatures(
+                left[i], config.comparator.alpha_words);
+          }
+        });
+  }
+  const double gen_ms = gen_timer.elapsed_ms();
+  const fbf::util::Stopwatch timer;
+  const std::size_t n_chunks =
+      std::max<std::size_t>(1, std::min(config.threads, left.size()));
+  std::vector<ChunkResult> chunks(n_chunks);
+  fbf::util::parallel_chunks(
+      left.size(), config.threads,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        ChunkResult& out = chunks[chunk];
+        RecordFilterBank::Scratch scratch;
+        for (std::size_t i = begin; i < end; ++i) {
+          right_ctx.bank().score_all(left[i],
+                                     uses_fbf ? &left_sigs[i] : nullptr,
+                                     right, right.size(), scratch,
+                                     out.counters);
+          for (std::size_t j = 0; j < right.size(); ++j) {
+            if (scratch.scores[j] >= config.comparator.match_threshold) {
+              ++out.matches;
+              if (left[i].id == right[j].id) {
+                ++out.true_positives;
+              } else {
+                ++out.false_positives;
+              }
+              if (config.collect_matches) {
+                out.match_pairs.emplace_back(static_cast<std::uint32_t>(i),
+                                             static_cast<std::uint32_t>(j));
+              }
+            }
+          }
+        }
+      });
+  return finish(chunks,
+                static_cast<std::uint64_t>(left.size()) * right.size(),
+                gen_ms, timer);
 }
 
 }  // namespace fbf::linkage

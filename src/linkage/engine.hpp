@@ -14,6 +14,7 @@
 #include "linkage/blocking.hpp"
 #include "linkage/comparator.hpp"
 #include "linkage/record.hpp"
+#include "linkage/record_filter.hpp"
 
 namespace fbf::linkage {
 
@@ -21,6 +22,43 @@ struct LinkConfig {
   ComparatorConfig comparator;
   std::size_t threads = 1;
   bool collect_matches = false;
+  /// Route exhaustive linkage through the RecordFilterBank (batched FBF
+  /// sweeps).  false = the per-pair score_pair loop, kept as the
+  /// equivalence baseline.  Candidate-pair-list linkage is always
+  /// per-pair (there is no contiguous candidate range to sweep).
+  bool use_pipeline = true;
+};
+
+/// Precomputed right-hand-side linkage state: field signatures plus the
+/// per-rule filter bank.  Build once, link many — the sharded runner's
+/// replicate-right scheme broadcasts one context to every shard instead
+/// of re-deriving filter state per shard.  `right` must outlive the
+/// context (records are referenced, not copied).
+class LinkageContext {
+ public:
+  LinkageContext(std::span<const PersonRecord> right,
+                 const ComparatorConfig& comparator,
+                 std::size_t threads = 1);
+
+  [[nodiscard]] std::span<const PersonRecord> right() const noexcept {
+    return right_;
+  }
+  [[nodiscard]] const RecordFilterBank& bank() const noexcept {
+    return bank_;
+  }
+  [[nodiscard]] std::span<const RecordSignatures> signatures()
+      const noexcept {
+    return signatures_;
+  }
+  /// Signature + bank build time (charged to the Gen row once, not per
+  /// linkage call).
+  [[nodiscard]] double gen_ms() const noexcept { return gen_ms_; }
+
+ private:
+  std::span<const PersonRecord> right_;
+  std::vector<RecordSignatures> signatures_;
+  RecordFilterBank bank_;
+  double gen_ms_ = 0.0;
 };
 
 /// Confusion counts + stage counters + timings for one linkage run.
@@ -53,6 +91,13 @@ struct LinkStats {
 /// list (the paper's Table 6 setting).
 [[nodiscard]] LinkStats link_exhaustive(std::span<const PersonRecord> left,
                                         std::span<const PersonRecord> right,
+                                        const LinkConfig& config);
+
+/// Exhaustive linkage against a prebuilt right-hand context.  The
+/// context's gen time is NOT added to the returned signature_gen_ms (the
+/// caller amortizes it across calls); left-side generation is.
+[[nodiscard]] LinkStats link_exhaustive(std::span<const PersonRecord> left,
+                                        const LinkageContext& right_ctx,
                                         const LinkConfig& config);
 
 }  // namespace fbf::linkage

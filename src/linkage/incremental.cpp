@@ -1,12 +1,31 @@
 #include "linkage/incremental.hpp"
 
+#include <algorithm>
+
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace fbf::linkage {
 
-EntityStore::EntityStore(ComparatorConfig comparator)
+EntityStore::EntityStore(ComparatorConfig comparator,
+                         EntityStoreOptions options)
     : comparator_(std::move(comparator)),
-      uses_fbf_(config_uses_fbf(comparator_)) {}
+      options_(options),
+      uses_fbf_(config_uses_fbf(comparator_)) {
+  if (options_.use_pipeline) {
+    bank_.emplace(comparator_);
+  }
+}
+
+void EntityStore::rebuild_bank() {
+  if (!options_.use_pipeline) {
+    return;
+  }
+  bank_.emplace(comparator_);
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    bank_->append(records_[i], uses_fbf_ ? &signatures_[i] : nullptr);
+  }
+}
 
 IngestStats EntityStore::ingest(std::span<const PersonRecord> batch) {
   IngestStats stats;
@@ -17,44 +36,94 @@ IngestStats EntityStore::ingest(std::span<const PersonRecord> batch) {
     const fbf::util::Stopwatch sig_timer;
     batch_sigs.reserve(batch.size());
     for (const PersonRecord& r : batch) {
-      batch_sigs.push_back(build_record_signatures(r));
+      batch_sigs.push_back(
+          build_record_signatures(r, comparator_.alpha_words));
     }
     stats.signature_ms = sig_timer.elapsed_ms();
   }
   const fbf::util::Stopwatch match_timer;
   const std::size_t store_size_at_start = records_.size();
-  for (std::size_t b = 0; b < batch.size(); ++b) {
-    const PersonRecord& incoming = batch[b];
-    const RecordSignatures* incoming_sigs =
-        uses_fbf_ ? &batch_sigs[b] : nullptr;
-    double best_score = 0.0;
-    std::size_t best_index = store_size_at_start;  // sentinel: none
-    CompareCounters counters;
-    for (std::size_t s = 0; s < store_size_at_start; ++s) {
-      ++stats.comparisons;
-      const double score =
-          score_pair(incoming, records_[s], incoming_sigs,
-                     uses_fbf_ ? &signatures_[s] : nullptr, comparator_,
-                     counters);
-      if (score >= comparator_.match_threshold && score > best_score) {
-        best_score = score;
-        best_index = s;
-      }
+  std::vector<Decision> decisions(batch.size());
+
+  if (bank_.has_value()) {
+    // Pipeline path: each batch record scores against the pre-batch store
+    // through the per-rule filter bank.  Decisions are independent (batch
+    // records never compare against each other), so they fan across the
+    // pool; the sequential commit below assigns entity ids in batch
+    // order, making results byte-identical to the scalar path for any
+    // thread count.
+    const std::size_t n_chunks = std::max<std::size_t>(
+        1, std::min(options_.threads, batch.size()));
+    std::vector<CompareCounters> chunk_counters(n_chunks);
+    fbf::util::parallel_chunks(
+        batch.size(), options_.threads,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          RecordFilterBank::Scratch scratch;
+          CompareCounters& counters = chunk_counters[chunk];
+          for (std::size_t b = begin; b < end; ++b) {
+            bank_->score_all(batch[b], uses_fbf_ ? &batch_sigs[b] : nullptr,
+                             records_, store_size_at_start, scratch,
+                             counters);
+            Decision& d = decisions[b];
+            d.index = store_size_at_start;  // sentinel: none
+            for (std::size_t s = 0; s < store_size_at_start; ++s) {
+              const double score = scratch.scores[s];
+              if (score >= comparator_.match_threshold &&
+                  score > d.score) {
+                d.score = score;
+                d.index = s;
+              }
+            }
+          }
+        });
+    stats.comparisons += static_cast<std::uint64_t>(batch.size()) *
+                         store_size_at_start;
+    for (const CompareCounters& counters : chunk_counters) {
+      stats.fbf_evaluations += counters.fbf_evaluations;
+      stats.verify_calls += counters.verify_calls;
     }
-    stats.fbf_evaluations += counters.fbf_evaluations;
-    stats.verify_calls += counters.verify_calls;
+  } else {
+    // Scalar reference path: record-at-a-time score_pair loop.
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      const PersonRecord& incoming = batch[b];
+      const RecordSignatures* incoming_sigs =
+          uses_fbf_ ? &batch_sigs[b] : nullptr;
+      CompareCounters counters;
+      Decision& d = decisions[b];
+      d.index = store_size_at_start;  // sentinel: none
+      for (std::size_t s = 0; s < store_size_at_start; ++s) {
+        ++stats.comparisons;
+        const double score =
+            score_pair(incoming, records_[s], incoming_sigs,
+                       uses_fbf_ ? &signatures_[s] : nullptr, comparator_,
+                       counters);
+        if (score >= comparator_.match_threshold && score > d.score) {
+          d.score = score;
+          d.index = s;
+        }
+      }
+      stats.fbf_evaluations += counters.fbf_evaluations;
+      stats.verify_calls += counters.verify_calls;
+    }
+  }
+
+  // Commit in batch order (entity ids depend on earlier decisions).
+  for (std::size_t b = 0; b < batch.size(); ++b) {
     std::uint32_t entity;
-    if (best_index < store_size_at_start) {
-      entity = entity_ids_[best_index];
+    if (decisions[b].index < store_size_at_start) {
+      entity = entity_ids_[decisions[b].index];
       ++stats.merged;
     } else {
       entity = entity_total_++;
       ++stats.new_entities;
     }
-    records_.push_back(incoming);
+    records_.push_back(batch[b]);
     entity_ids_.push_back(entity);
     if (uses_fbf_) {
       signatures_.push_back(batch_sigs[b]);
+    }
+    if (bank_.has_value()) {
+      bank_->append(records_.back(), uses_fbf_ ? &signatures_.back() : nullptr);
     }
   }
   stats.match_ms = match_timer.elapsed_ms();
@@ -85,7 +154,8 @@ fbf::util::Status EntityStore::restore(
   if (uses_fbf_ && signatures.empty()) {
     signatures.reserve(records.size());
     for (const PersonRecord& r : records) {
-      signatures.push_back(build_record_signatures(r));
+      signatures.push_back(
+          build_record_signatures(r, comparator_.alpha_words));
     }
   }
   records_ = std::move(records);
@@ -93,6 +163,7 @@ fbf::util::Status EntityStore::restore(
   entity_total_ = entity_total;
   signatures_ = uses_fbf_ ? std::move(signatures)
                           : std::vector<RecordSignatures>{};
+  rebuild_bank();
   return {};
 }
 

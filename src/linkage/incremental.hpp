@@ -16,8 +16,11 @@
 #include <span>
 #include <vector>
 
+#include <optional>
+
 #include "linkage/comparator.hpp"
 #include "linkage/record.hpp"
+#include "linkage/record_filter.hpp"
 #include "util/status.hpp"
 
 namespace fbf::linkage {
@@ -34,12 +37,29 @@ struct IngestStats {
   double match_ms = 0.0;
 };
 
+/// EntityStore tuning knobs.  Defaults give the fast path; the scalar
+/// path is the pre-pipeline reference implementation, kept for the
+/// equivalence property tests and the nightly bench's before/after
+/// comparison.
+struct EntityStoreOptions {
+  /// Route ingest scoring through the RecordFilterBank (batched FBF tile
+  /// sweeps per field rule).  false = the original record-at-a-time
+  /// score_pair loop.
+  bool use_pipeline = true;
+  /// Batch records score independently against the pre-batch store, so
+  /// ingest fans them across this many pool workers.  Decisions and
+  /// counters are byte-identical for any value (entity ids are assigned
+  /// sequentially afterwards).
+  std::size_t threads = 1;
+};
+
 /// Append-only resolved-entity store with incremental matching.
 class EntityStore {
  public:
   /// `comparator` decides record-pair similarity; its match_threshold is
   /// the attach threshold.
-  explicit EntityStore(ComparatorConfig comparator);
+  explicit EntityStore(ComparatorConfig comparator,
+                       EntityStoreOptions options = {});
 
   /// Matches every record in `batch` against the current store contents
   /// (records already in the store — not other batch members — mirroring
@@ -94,12 +114,24 @@ class EntityStore {
       std::vector<RecordSignatures> signatures = {});
 
  private:
+  /// One batch record's match decision against the pre-batch store
+  /// (computed in parallel; committed sequentially).
+  struct Decision {
+    double score = 0.0;
+    std::size_t index = 0;  ///< best store index, or sentinel = none
+  };
+
+  void rebuild_bank();
+
   ComparatorConfig comparator_;
+  EntityStoreOptions options_;
   bool uses_fbf_ = false;
   std::vector<PersonRecord> records_;
   std::vector<RecordSignatures> signatures_;
   std::vector<std::uint32_t> entity_ids_;
   std::uint32_t entity_total_ = 0;
+  /// Pipeline filter state over records_ (engaged iff use_pipeline).
+  std::optional<RecordFilterBank> bank_;
 };
 
 }  // namespace fbf::linkage

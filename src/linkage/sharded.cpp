@@ -38,15 +38,17 @@ ShardedResult link_sharded(std::span<const PersonRecord> left,
                            std::span<const PersonRecord> right,
                            const ShardedConfig& config) {
   const std::size_t n = std::max<std::size_t>(1, config.n_shards);
-  // Materialize each node's local partitions.
+  const bool replicate = config.scheme == PartitionScheme::kReplicateRight;
+  // Materialize each node's local partitions.  Replicate-right does NOT
+  // copy the right list per shard: every node links against the same
+  // broadcast context (signatures + filter bank built once) — the real
+  // system ships the master list's filter state to each node, not the
+  // strings seven times over.
   std::vector<std::vector<PersonRecord>> left_parts(n);
-  std::vector<std::vector<PersonRecord>> right_parts(n);
-  if (config.scheme == PartitionScheme::kReplicateRight) {
+  std::vector<std::vector<PersonRecord>> right_parts(replicate ? 0 : n);
+  if (replicate) {
     for (std::size_t i = 0; i < left.size(); ++i) {
       left_parts[i % n].push_back(left[i]);
-    }
-    for (std::size_t s = 0; s < n; ++s) {
-      right_parts[s].assign(right.begin(), right.end());
     }
   } else {
     for (const PersonRecord& r : left) {
@@ -56,6 +58,19 @@ ShardedResult link_sharded(std::span<const PersonRecord> left,
       right_parts[shard_of(r, config.scheme, n)].push_back(r);
     }
   }
+  std::optional<LinkageContext> broadcast;
+  if (replicate && config.link.use_pipeline) {
+    broadcast.emplace(right, config.link.comparator, config.link.threads);
+  }
+  const auto run_shard = [&](std::size_t s) {
+    if (broadcast.has_value()) {
+      return link_exhaustive(left_parts[s], *broadcast, config.link);
+    }
+    return link_exhaustive(
+        left_parts[s],
+        replicate ? right : std::span<const PersonRecord>(right_parts[s]),
+        config.link);
+  };
   ShardedResult result;
   result.shards.reserve(n);
   std::optional<fbf::util::FaultInjector> injector;
@@ -65,7 +80,7 @@ ShardedResult link_sharded(std::span<const PersonRecord> left,
   for (std::size_t s = 0; s < n; ++s) {
     ShardStats shard;
     shard.left_count = left_parts[s].size();
-    shard.right_count = right_parts[s].size();
+    shard.right_count = replicate ? right.size() : right_parts[s].size();
     if (injector.has_value()) {
       // Bounded retry loop: each failed attempt costs the (simulated)
       // exponential backoff a real scheduler would wait before
@@ -82,8 +97,7 @@ ShardedResult link_sharded(std::span<const PersonRecord> left,
           backoff *= policy.backoff_multiplier;
           continue;
         }
-        const LinkStats stats =
-            link_exhaustive(left_parts[s], right_parts[s], config.link);
+        const LinkStats stats = run_shard(s);
         shard.link_ms = stats.link_ms;
         if (injector->shard_attempt_straggles(s, attempt)) {
           shard.straggled = true;
@@ -96,8 +110,7 @@ ShardedResult link_sharded(std::span<const PersonRecord> left,
         break;
       }
     } else {
-      const LinkStats stats =
-          link_exhaustive(left_parts[s], right_parts[s], config.link);
+      const LinkStats stats = run_shard(s);
       shard.pairs = stats.candidate_pairs;
       shard.matches = stats.matches;
       shard.true_positives = stats.true_positives;

@@ -1,0 +1,361 @@
+// Property tests for the CandidatePipeline refactor (DESIGN.md §9): every
+// consumer routed through the pipeline must be *indistinguishable* from
+// the preserved pre-refactor scalar path — identical decisions AND
+// identical ladder counters — across packed layouts (numeric, alpha
+// l <= 2), the alpha l >= 3 per-pair fallback, k in {1,2,3}, and thread
+// counts.  These are the tests that let the batched kernel replace the
+// per-pair loops without a semantics audit at every call site.
+#include "core/candidate_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "datagen/dataset.hpp"
+#include "linkage/engine.hpp"
+#include "linkage/incremental.hpp"
+#include "linkage/person_gen.hpp"
+#include "linkage/sharded.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace c = fbf::core;
+namespace dg = fbf::datagen;
+namespace lk = fbf::linkage;
+using fbf::util::Rng;
+
+// ---------------------------------------------------------------------------
+// Layer 1: the filter stage itself.  Batched tile sweep vs the forced
+// per-pair scan must produce bit-identical survivor bitmaps and identical
+// counters for every layout / k / gate combination.
+// ---------------------------------------------------------------------------
+
+struct LayoutCase {
+  dg::FieldKind kind;
+  c::FieldClass cls;
+  int alpha_words;
+};
+
+void expect_filter_equivalence(const LayoutCase& layout, int k,
+                               bool use_length, bool with_eligible) {
+  const auto dataset = dg::build_paired_dataset(layout.kind, 200, 417);
+  c::PipelineConfig cfg;
+  cfg.field_class = layout.cls;
+  cfg.alpha_words = layout.alpha_words;
+  cfg.k = k;
+  cfg.use_length = use_length;
+  const c::CandidatePipeline batched(cfg, dataset.error);
+  c::PipelineConfig scalar_cfg = cfg;
+  scalar_cfg.force_per_pair = true;
+  const c::CandidatePipeline scalar(scalar_cfg, dataset.error);
+  ASSERT_TRUE(batched.batched());
+  ASSERT_FALSE(scalar.batched());
+
+  const std::size_t n = dataset.error.size();
+  const std::size_t words = c::CandidatePipeline::bitmap_words(n);
+  std::vector<std::uint64_t> eligible(words);
+  for (std::size_t w = 0; w < words; ++w) {
+    // Deterministic ragged mask; distinct per word so boundaries differ.
+    eligible[w] = 0x9e3779b97f4a7c15ull * (w + 1) | 1ull;
+  }
+  std::vector<std::uint64_t> bm_batched(words);
+  std::vector<std::uint64_t> bm_scalar(words);
+  c::PipelineCounters pc_batched;
+  c::PipelineCounters pc_scalar;
+  for (std::size_t i = 0; i < dataset.size(); i += 3) {
+    const auto qb = batched.make_query(dataset.clean[i]);
+    const auto qs = scalar.make_query(dataset.clean[i]);
+    const std::uint64_t* mask = with_eligible ? eligible.data() : nullptr;
+    const std::size_t sb =
+        batched.filter(qb, 0, n, mask, bm_batched.data(), pc_batched);
+    const std::size_t ss =
+        scalar.filter(qs, 0, n, mask, bm_scalar.data(), pc_scalar);
+    ASSERT_EQ(sb, ss) << "i=" << i;
+    for (std::size_t w = 0; w < words; ++w) {
+      ASSERT_EQ(bm_batched[w], bm_scalar[w])
+          << dg::field_kind_name(layout.kind) << " k=" << k
+          << " len=" << use_length << " elig=" << with_eligible
+          << " i=" << i << " word " << w;
+    }
+  }
+  EXPECT_EQ(pc_batched.length_pass, pc_scalar.length_pass);
+  EXPECT_EQ(pc_batched.fbf_evaluated, pc_scalar.fbf_evaluated);
+  EXPECT_EQ(pc_batched.fbf_pass, pc_scalar.fbf_pass);
+}
+
+TEST(PipelineFilter, BatchedMatchesPerPairAcrossLayoutsAndK) {
+  const LayoutCase layouts[] = {
+      {dg::FieldKind::kSsn, c::FieldClass::kNumeric, 2},
+      {dg::FieldKind::kLastName, c::FieldClass::kAlpha, 1},
+      {dg::FieldKind::kLastName, c::FieldClass::kAlpha, 2},
+      {dg::FieldKind::kAddress, c::FieldClass::kAlphanumeric, 2},
+  };
+  for (const auto& layout : layouts) {
+    for (const int k : {1, 2, 3}) {
+      expect_filter_equivalence(layout, k, /*use_length=*/false,
+                                /*with_eligible=*/false);
+      expect_filter_equivalence(layout, k, /*use_length=*/true,
+                                /*with_eligible=*/false);
+      expect_filter_equivalence(layout, k, /*use_length=*/false,
+                                /*with_eligible=*/true);
+      expect_filter_equivalence(layout, k, /*use_length=*/true,
+                                /*with_eligible=*/true);
+    }
+  }
+}
+
+TEST(PipelineFilter, AlphaThreeWordsFallsBackTransparently) {
+  // alpha l = 3 cannot pack; the pipeline must degrade to the per-pair
+  // scan behind the same interface and agree with the raw predicate.
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 120, 5);
+  c::PipelineConfig cfg;
+  cfg.field_class = c::FieldClass::kAlpha;
+  cfg.alpha_words = 3;
+  cfg.k = 1;
+  const c::CandidatePipeline pipe(cfg, dataset.error);
+  EXPECT_FALSE(pipe.batched());
+  EXPECT_STREQ(pipe.kernel_name(), "pair-scalar");
+
+  const std::size_t n = dataset.error.size();
+  std::vector<std::uint64_t> bitmap(c::CandidatePipeline::bitmap_words(n));
+  c::PipelineCounters pc;
+  for (std::size_t i = 0; i < dataset.size(); i += 7) {
+    const auto q = pipe.make_query(dataset.clean[i]);
+    pipe.filter(q, 0, n, nullptr, bitmap.data(), pc);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto sig_j =
+          c::make_signature(dataset.error[j], c::FieldClass::kAlpha, 3);
+      const bool expect = c::CandidatePipeline::pair_pass(q.sig, sig_j, 1);
+      const bool got = (bitmap[j / 64] >> (j % 64) & 1) != 0;
+      ASSERT_EQ(got, expect) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(PipelineFilter, IncrementalAppendEqualsBulkConstruction) {
+  // The append-only candidate side: growing the pipeline batch by batch
+  // filters identically to building it in one shot.
+  const auto dataset = dg::build_paired_dataset(dg::FieldKind::kSsn, 150, 23);
+  c::PipelineConfig cfg;
+  cfg.field_class = c::FieldClass::kNumeric;
+  const c::CandidatePipeline bulk(cfg, dataset.error);
+  c::CandidatePipeline grown(cfg);
+  grown.append(std::span(dataset.error).first(31));
+  grown.append(std::span(dataset.error).subspan(31, 64));
+  grown.append(std::span(dataset.error).subspan(95));
+  ASSERT_EQ(grown.size(), bulk.size());
+
+  const std::size_t words =
+      c::CandidatePipeline::bitmap_words(dataset.error.size());
+  std::vector<std::uint64_t> bm_bulk(words);
+  std::vector<std::uint64_t> bm_grown(words);
+  c::PipelineCounters pc;
+  for (std::size_t i = 0; i < dataset.size(); i += 5) {
+    const auto q = bulk.make_query(dataset.clean[i]);
+    bulk.filter(q, 0, bulk.size(), nullptr, bm_bulk.data(), pc);
+    grown.filter(q, 0, grown.size(), nullptr, bm_grown.data(), pc);
+    for (std::size_t w = 0; w < words; ++w) {
+      ASSERT_EQ(bm_grown[w], bm_bulk[w]) << "i=" << i << " word " << w;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: EntityStore::ingest.  The pipeline path must reproduce the
+// scalar score_pair path byte for byte: same entity ids, same merge /
+// new-entity decisions, same comparisons / fbf_evaluations / verify_calls.
+// ---------------------------------------------------------------------------
+
+void expect_store_equivalence(const lk::ComparatorConfig& config,
+                              std::size_t threads, std::uint64_t seed,
+                              std::size_t n) {
+  Rng rng(seed);
+  const auto clean = lk::generate_people(n, rng);
+  lk::RecordErrorModel model;
+  model.field_typo_rate = 0.15;
+  const auto error = lk::make_error_records(clean, model, rng);
+  const auto more = lk::generate_people(n / 3, rng);
+
+  lk::EntityStore fast(config, {.use_pipeline = true, .threads = threads});
+  lk::EntityStore ref(config, {.use_pipeline = false});
+  for (const auto& batch : {clean, error, more}) {
+    const auto fs = fast.ingest(batch);
+    const auto rs = ref.ingest(batch);
+    EXPECT_EQ(fs.comparisons, rs.comparisons);
+    EXPECT_EQ(fs.fbf_evaluations, rs.fbf_evaluations);
+    EXPECT_EQ(fs.verify_calls, rs.verify_calls);
+    EXPECT_EQ(fs.merged, rs.merged);
+    EXPECT_EQ(fs.new_entities, rs.new_entities);
+  }
+  ASSERT_EQ(fast.size(), ref.size());
+  ASSERT_EQ(fast.entity_count(), ref.entity_count());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    ASSERT_EQ(fast.entity_of(i), ref.entity_of(i)) << "record " << i;
+  }
+}
+
+TEST(EntityStoreEquivalence, DefaultRulesAcrossKAndThreads) {
+  // The default rule set touches every layout at once: alpha names,
+  // alphanumeric address, numeric phone/ssn/birth date, exact gender.
+  for (const int k : {1, 2, 3}) {
+    const auto config =
+        lk::make_point_threshold_config(lk::FieldStrategy::kFpdl, k);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      expect_store_equivalence(config, threads,
+                               static_cast<std::uint64_t>(100 + k), 75);
+    }
+  }
+}
+
+TEST(EntityStoreEquivalence, FdlVerifier) {
+  const auto config =
+      lk::make_point_threshold_config(lk::FieldStrategy::kFdl, 2);
+  expect_store_equivalence(config, 4, 7, 60);
+}
+
+TEST(EntityStoreEquivalence, NumericOnlyRules) {
+  // Pure numeric layout: every FBF rule sweeps a 1-word plane.
+  lk::ComparatorConfig config;
+  config.rules = {
+      {lk::RecordField::kSsn, lk::FieldStrategy::kFpdl, 4.0, 1},
+      {lk::RecordField::kPhone, lk::FieldStrategy::kFpdl, 2.0, 1},
+      {lk::RecordField::kBirthDate, lk::FieldStrategy::kFpdl, 2.0, 2},
+  };
+  config.match_threshold = 4.0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    expect_store_equivalence(config, threads, 31, 70);
+  }
+}
+
+TEST(EntityStoreEquivalence, AlphaThreeWordFallback) {
+  // l = 3 alpha signatures cannot pack: the bank's alpha rules run the
+  // per-pair fallback inside the same pipeline interface, and must still
+  // be byte-identical to the scalar path.
+  auto config = lk::make_point_threshold_config(lk::FieldStrategy::kFpdl, 1);
+  config.alpha_words = 3;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    expect_store_equivalence(config, threads, 53, 60);
+  }
+}
+
+TEST(EntityStoreEquivalence, RestoredStoreKeepsEquivalence) {
+  // Snapshot recovery rebuilds the filter bank; post-restore ingest must
+  // still match the scalar path.
+  const auto config =
+      lk::make_point_threshold_config(lk::FieldStrategy::kFpdl, 1);
+  Rng rng(77);
+  const auto base = lk::generate_people(50, rng);
+  const auto next = lk::make_error_records(base, {}, rng);
+
+  lk::EntityStore donor(config);
+  donor.ingest(base);
+  lk::EntityStore fast(config, {.use_pipeline = true, .threads = 4});
+  ASSERT_TRUE(fast.restore(
+                      std::vector(donor.records().begin(),
+                                  donor.records().end()),
+                      std::vector(donor.entity_ids().begin(),
+                                  donor.entity_ids().end()),
+                      static_cast<std::uint32_t>(donor.entity_count()))
+                  .ok());
+  lk::EntityStore ref(config, {.use_pipeline = false});
+  ref.ingest(base);
+
+  const auto fs = fast.ingest(next);
+  const auto rs = ref.ingest(next);
+  EXPECT_EQ(fs.merged, rs.merged);
+  EXPECT_EQ(fs.new_entities, rs.new_entities);
+  EXPECT_EQ(fs.fbf_evaluations, rs.fbf_evaluations);
+  EXPECT_EQ(fs.verify_calls, rs.verify_calls);
+  ASSERT_EQ(fast.size(), ref.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    ASSERT_EQ(fast.entity_of(i), ref.entity_of(i)) << "record " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 3: the linkage engine and the sharded runner.
+// ---------------------------------------------------------------------------
+
+std::vector<lk::CandidatePair> sorted_pairs(std::vector<lk::CandidatePair> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+void expect_link_equivalence(const lk::ComparatorConfig& comparator,
+                             std::size_t threads, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto left = lk::generate_people(120, rng);
+  const auto right = lk::make_error_records(left, {}, rng);
+
+  lk::LinkConfig pipe;
+  pipe.comparator = comparator;
+  pipe.threads = threads;
+  pipe.collect_matches = true;
+  pipe.use_pipeline = true;
+  lk::LinkConfig scalar = pipe;
+  scalar.use_pipeline = false;
+
+  const auto a = lk::link_exhaustive(left, right, pipe);
+  const auto b = lk::link_exhaustive(left, right, scalar);
+  EXPECT_EQ(a.candidate_pairs, b.candidate_pairs);
+  EXPECT_EQ(a.matches, b.matches);
+  EXPECT_EQ(a.true_positives, b.true_positives);
+  EXPECT_EQ(a.false_positives, b.false_positives);
+  EXPECT_EQ(a.counters.field_comparisons, b.counters.field_comparisons);
+  EXPECT_EQ(a.counters.fbf_evaluations, b.counters.fbf_evaluations);
+  EXPECT_EQ(a.counters.verify_calls, b.counters.verify_calls);
+  EXPECT_EQ(sorted_pairs(a.match_pairs), sorted_pairs(b.match_pairs));
+}
+
+TEST(EngineEquivalence, ExhaustivePipelineMatchesScalar) {
+  for (const int k : {1, 2}) {
+    const auto config =
+        lk::make_point_threshold_config(lk::FieldStrategy::kFpdl, k);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      expect_link_equivalence(config, threads,
+                              static_cast<std::uint64_t>(200 + k));
+    }
+  }
+  auto fallback = lk::make_point_threshold_config(lk::FieldStrategy::kFpdl);
+  fallback.alpha_words = 3;
+  expect_link_equivalence(fallback, 4, 209);
+}
+
+TEST(ShardedEquivalence, AllSchemesMatchScalarPath) {
+  Rng rng(88);
+  const auto left = lk::generate_people(150, rng);
+  const auto right = lk::make_error_records(left, {}, rng);
+  for (const auto scheme :
+       {lk::PartitionScheme::kReplicateRight, lk::PartitionScheme::kHashLastName,
+        lk::PartitionScheme::kHashSoundexLastName}) {
+    lk::ShardedConfig pipe;
+    pipe.n_shards = 4;
+    pipe.scheme = scheme;
+    pipe.link.comparator =
+        lk::make_point_threshold_config(lk::FieldStrategy::kFpdl);
+    pipe.link.use_pipeline = true;
+    lk::ShardedConfig scalar = pipe;
+    scalar.link.use_pipeline = false;
+
+    const auto a = lk::link_sharded(left, right, pipe);
+    const auto b = lk::link_sharded(left, right, scalar);
+    ASSERT_EQ(a.shards.size(), b.shards.size());
+    EXPECT_EQ(a.total_pairs, b.total_pairs);
+    EXPECT_EQ(a.total_matches, b.total_matches);
+    EXPECT_EQ(a.total_true_positives, b.total_true_positives);
+    for (std::size_t s = 0; s < a.shards.size(); ++s) {
+      EXPECT_EQ(a.shards[s].pairs, b.shards[s].pairs) << "shard " << s;
+      EXPECT_EQ(a.shards[s].matches, b.shards[s].matches) << "shard " << s;
+      EXPECT_EQ(a.shards[s].true_positives, b.shards[s].true_positives)
+          << "shard " << s;
+    }
+  }
+}
+
+}  // namespace

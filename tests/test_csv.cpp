@@ -102,7 +102,9 @@ TEST(PersonCsv, RoundTrip) {
   std::ostringstream out;
   fbf::linkage::write_person_csv(out, people);
   std::istringstream in(out.str());
-  const auto parsed = fbf::linkage::read_person_csv(in);
+  const auto load = fbf::linkage::read_person_csv(in);
+  ASSERT_TRUE(load.ok()) << load.status().to_string();
+  const auto& parsed = *load;
   ASSERT_EQ(parsed.size(), people.size());
   for (std::size_t i = 0; i < people.size(); ++i) {
     EXPECT_EQ(parsed[i].id, people[i].id);
@@ -119,7 +121,9 @@ TEST(PersonCsv, MissingFieldsRoundTrip) {
   std::ostringstream out;
   fbf::linkage::write_person_csv(out, std::vector{r});
   std::istringstream in(out.str());
-  const auto parsed = fbf::linkage::read_person_csv(in);
+  const auto load = fbf::linkage::read_person_csv(in);
+  ASSERT_TRUE(load.ok()) << load.status().to_string();
+  const auto& parsed = *load;
   ASSERT_EQ(parsed.size(), 1u);
   EXPECT_EQ(parsed[0].id, 7u);
   EXPECT_EQ(parsed[0].last_name, "SMITH");
@@ -128,19 +132,25 @@ TEST(PersonCsv, MissingFieldsRoundTrip) {
 
 TEST(PersonCsv, StrictRejectsMalformedRows) {
   std::istringstream bad_arity("id,first_name\n1,JOHN\n");
-  EXPECT_THROW(fbf::linkage::read_person_csv(bad_arity),
-               std::runtime_error);
+  const auto arity_load = fbf::linkage::read_person_csv(bad_arity);
+  ASSERT_FALSE(arity_load.ok());
+  EXPECT_EQ(arity_load.status().code(),
+            fbf::util::StatusCode::kInvalidArgument);
   std::istringstream bad_id(
       "h\nnot_a_number,a,b,c,d,e,f,g\n");
-  EXPECT_THROW(fbf::linkage::read_person_csv(bad_id), std::runtime_error);
+  const auto id_load = fbf::linkage::read_person_csv(bad_id);
+  ASSERT_FALSE(id_load.ok());
+  EXPECT_EQ(id_load.status().code(),
+            fbf::util::StatusCode::kInvalidArgument);
 }
 
 TEST(PersonCsv, LenientSkipsMalformedRows) {
   std::istringstream in(
       "h\nnot_a_number,a,b,c,d,e,f,g\n3,A,B,C,D,M,E,F\n");
-  const auto parsed = fbf::linkage::read_person_csv(in, /*strict=*/false);
-  ASSERT_EQ(parsed.size(), 1u);
-  EXPECT_EQ(parsed[0].id, 3u);
+  const auto load = fbf::linkage::read_person_csv(in, /*strict=*/false);
+  ASSERT_TRUE(load.ok()) << load.status().to_string();
+  ASSERT_EQ(load->size(), 1u);
+  EXPECT_EQ((*load)[0].id, 3u);
 }
 
 TEST(CsvRowReader, TracksPhysicalLineNumbers) {
@@ -161,13 +171,10 @@ TEST(CsvRowReader, TracksPhysicalLineNumbers) {
 
 TEST(PersonCsv, StrictErrorNamesTheLine) {
   std::istringstream bad_id("h\n1,A,B,C,D,M,E,F\nnot_a_number,a,b,c,d,e,f,g\n");
-  try {
-    (void)fbf::linkage::read_person_csv(bad_id);
-    FAIL() << "expected std::runtime_error";
-  } catch (const std::runtime_error& e) {
-    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
-        << e.what();
-  }
+  const auto load = fbf::linkage::read_person_csv(bad_id);
+  ASSERT_FALSE(load.ok());
+  EXPECT_NE(load.status().message().find("line 3"), std::string::npos)
+      << load.status().to_string();
 }
 
 TEST(PersonCsv, QuarantineCollectsBadRowsWithLinesAndReasons) {
@@ -226,9 +233,10 @@ TEST(PersonCsv, LenientOutParamReportsSkips) {
   std::istringstream in(
       "h\nnot_a_number,a,b,c,d,e,f,g\n3,A,B,C,D,M,E,F\nbad\n");
   std::vector<fbf::linkage::QuarantinedRow> quarantine;
-  const auto parsed =
+  const auto load =
       fbf::linkage::read_person_csv(in, /*strict=*/false, &quarantine);
-  ASSERT_EQ(parsed.size(), 1u);
+  ASSERT_TRUE(load.ok()) << load.status().to_string();
+  ASSERT_EQ(load->size(), 1u);
   ASSERT_EQ(quarantine.size(), 2u);
   EXPECT_EQ(quarantine[0].line, 2u);
   EXPECT_EQ(quarantine[1].line, 4u);

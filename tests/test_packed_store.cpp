@@ -4,6 +4,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -115,6 +116,90 @@ TEST(PackedStore, EmptyStore) {
   EXPECT_EQ(store.size(), 0u);
   // Even an empty store keeps one readable zero line for the kernel.
   EXPECT_EQ(store.plane(0)[0], 0u);
+}
+
+/// Incremental growth invariant (DESIGN.md §9): appending batch by batch
+/// must land byte-for-byte on the bulk build — same packed words, same
+/// lengths — for every supported layout, and the zero padding past size()
+/// must survive every growth step (the batched kernel reads whole cache
+/// lines past the tail).
+TEST(PackedStore, IncrementalAppendMatchesBulkBuild) {
+  struct Case {
+    dg::FieldKind kind;
+    FieldClass cls;
+    int alpha_words;
+  };
+  const Case cases[] = {
+      {dg::FieldKind::kSsn, FieldClass::kNumeric, 2},
+      {dg::FieldKind::kLastName, FieldClass::kAlpha, 2},
+      {dg::FieldKind::kAddress, FieldClass::kAlphanumeric, 2},
+  };
+  for (const Case& c : cases) {
+    const auto dataset = dg::build_paired_dataset(c.kind, 300, 91);
+    const auto& all = dataset.clean;
+    const PackedSignatureStore bulk(all, c.cls, c.alpha_words);
+
+    PackedSignatureStore inc(c.cls, c.alpha_words);
+    // Ragged batch sizes exercise growth mid-line and mid-batch.
+    const std::size_t splits[] = {1, 7, 64, 100, 128};
+    std::size_t next = 0;
+    for (const std::size_t len : splits) {
+      inc.append(std::span(all).subspan(next, len), /*threads=*/3);
+      next += len;
+      ASSERT_EQ(inc.size(), next);
+      ASSERT_EQ(inc.padded_size() % 8, 0u);
+      ASSERT_GE(inc.padded_size(), inc.size());
+      // Zero-tail invariant after every append.
+      for (std::size_t w = 0; w < inc.words(); ++w) {
+        for (std::size_t i = inc.size(); i < inc.padded_size(); ++i) {
+          ASSERT_EQ(inc.word(w, i), 0u)
+              << fbf::core::field_class_name(c.cls) << " plane " << w
+              << " row " << i << " after " << next << " rows";
+        }
+      }
+    }
+    ASSERT_EQ(next, all.size());
+    ASSERT_EQ(inc.size(), bulk.size());
+    ASSERT_EQ(inc.words(), bulk.words());
+    for (std::size_t i = 0; i < bulk.size(); ++i) {
+      ASSERT_EQ(inc.lengths()[i], bulk.lengths()[i]) << "row " << i;
+      for (std::size_t w = 0; w < bulk.words(); ++w) {
+        ASSERT_EQ(inc.word(w, i), bulk.word(w, i))
+            << fbf::core::field_class_name(c.cls) << " plane " << w
+            << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(PackedStore, AppendSignatureMatchesStringAppend) {
+  // The pre-built-signature entry point (EntityStore's path) must pack
+  // identically to the string path.
+  const auto dataset = dg::build_paired_dataset(dg::FieldKind::kAddress, 50, 3);
+  const PackedSignatureStore bulk(dataset.clean, FieldClass::kAlphanumeric, 2);
+  PackedSignatureStore inc(FieldClass::kAlphanumeric, 2);
+  for (const std::string& s : dataset.clean) {
+    inc.append_signature(make_signature(s, FieldClass::kAlphanumeric, 2),
+                         static_cast<std::uint32_t>(s.size()));
+  }
+  ASSERT_EQ(inc.size(), bulk.size());
+  for (std::size_t i = 0; i < bulk.size(); ++i) {
+    EXPECT_EQ(inc.lengths()[i], bulk.lengths()[i]);
+    for (std::size_t w = 0; w < bulk.words(); ++w) {
+      EXPECT_EQ(inc.word(w, i), bulk.word(w, i));
+    }
+  }
+}
+
+TEST(PackedStore, AppendAccumulatesBuildTime) {
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 4000, 11);
+  PackedSignatureStore store(FieldClass::kAlpha, 2);
+  store.append(std::span(dataset.clean).first(2000));
+  const double after_first = store.build_ms();
+  EXPECT_GT(after_first, 0.0);
+  store.append(std::span(dataset.clean).subspan(2000));
+  EXPECT_GE(store.build_ms(), after_first);
 }
 
 TEST(PackedStore, PackSignatureAlphanumericUsesLastWordForNumeric) {

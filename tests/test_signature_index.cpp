@@ -117,10 +117,32 @@ TEST(IndexedJoin, MatchesScanJoinExactly) {
   }
 }
 
-TEST(IndexedJoin, RefusalFallsBackToNullopt) {
+TEST(IndexedJoin, IndexRefusalDegradesToTileScan) {
+  // Alphanumeric exceeds the 64-bit probe key, but the packed planes
+  // still cover it: the join degrades to a pipeline tile-scan with the
+  // exact scan-join results instead of failing.
   const auto dataset = dg::build_paired_dataset(dg::FieldKind::kAddress, 50, 1);
+  const auto indexed = c::match_strings_indexed(
+      dataset.clean, dataset.error, c::FieldClass::kAlphanumeric, 1);
+  ASSERT_TRUE(indexed.has_value());
+  EXPECT_STREQ(indexed->path, "tile-scan");
+  c::JoinConfig scan;
+  scan.method = c::Method::kFpdl;
+  scan.k = 1;
+  scan.field_class = c::FieldClass::kAlphanumeric;
+  const auto scan_stats = c::match_strings(dataset.clean, dataset.error, scan);
+  EXPECT_EQ(indexed->matches, scan_stats.matches);
+  EXPECT_EQ(indexed->candidates, scan_stats.fbf_pass);
+  EXPECT_EQ(indexed->verify_calls, scan_stats.verify_calls);
+}
+
+TEST(IndexedJoin, UnpackableLayoutReturnsNullopt) {
+  // Alpha l = 3 fits neither the probe key nor the packed planes —
+  // nothing to accelerate, so the caller must use the scan join.
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 50, 1);
   EXPECT_FALSE(c::match_strings_indexed(dataset.clean, dataset.error,
-                                        c::FieldClass::kAlphanumeric, 1)
+                                        c::FieldClass::kAlpha, 1, 3)
                    .has_value());
 }
 
