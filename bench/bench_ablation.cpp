@@ -49,7 +49,7 @@ void ablate_popcount(const fbf::bench::BenchOptions& opts) {
   std::printf("-- popcount strategy (FBF-only join, SSN) --\n");
   const auto dataset =
       dg::build_paired_dataset(dg::FieldKind::kSsn, opts.config.n,
-                               opts.config.seed);
+                               opts.config.seed).value();
   u::Table table({"strategy", "Time ms"});
   const std::pair<const char*, u::PopcountKind> kinds[] = {
       {"Wegner (Alg.6)", u::PopcountKind::kWegner},
@@ -70,7 +70,7 @@ void ablate_popcount(const fbf::bench::BenchOptions& opts) {
 void ablate_alpha_words(const fbf::bench::BenchOptions& opts) {
   std::printf("-- signature width l (FPDL, LN) --\n");
   const auto dataset = dg::build_paired_dataset(
-      dg::FieldKind::kLastName, opts.config.n, opts.config.seed);
+      dg::FieldKind::kLastName, opts.config.n, opts.config.seed).value();
   u::Table table({"l", "bytes/sig", "fbf pass", "verify calls", "Time ms"});
   for (const int l : {1, 2, 3, 4}) {
     auto config = opts.config;
@@ -91,7 +91,7 @@ void ablate_alpha_words(const fbf::bench::BenchOptions& opts) {
 void ablate_threshold(const fbf::bench::BenchOptions& opts) {
   std::printf("-- threshold k (SSN): FBF selectivity erosion --\n");
   const auto dataset = dg::build_paired_dataset(
-      dg::FieldKind::kSsn, opts.config.n, opts.config.seed);
+      dg::FieldKind::kSsn, opts.config.n, opts.config.seed).value();
   u::Table table({"k", "fbf pass", "FPDL ms", "DL ms", "speedup"});
   for (const int k : {1, 2, 3}) {
     auto config = opts.config;
@@ -115,7 +115,7 @@ void ablate_threshold(const fbf::bench::BenchOptions& opts) {
 void ablate_threads(const fbf::bench::BenchOptions& opts) {
   std::printf("-- thread scaling (FPDL, LN) — extension --\n");
   const auto dataset = dg::build_paired_dataset(
-      dg::FieldKind::kLastName, opts.config.n, opts.config.seed);
+      dg::FieldKind::kLastName, opts.config.n, opts.config.seed).value();
   u::Table table({"threads", "Time ms", "scaling"});
   double base = 0.0;
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
@@ -179,7 +179,7 @@ void ablate_filter_family(const fbf::bench::BenchOptions& opts) {
   std::printf("-- filter family: FBF(32x2) vs signature64 vs q-gram (LN, "
               "FPDL-style pipeline) --\n");
   const auto dataset = dg::build_paired_dataset(
-      dg::FieldKind::kLastName, opts.config.n, opts.config.seed);
+      dg::FieldKind::kLastName, opts.config.n, opts.config.seed).value();
   const int k = opts.config.k;
   const std::size_t n = dataset.size();
   u::Table table({"filter", "build ms", "pass", "verify", "matches",

@@ -49,7 +49,7 @@ struct SignatureWorkload {
     static const SignatureWorkload workload = [] {
       SignatureWorkload w;
       const auto dataset =
-          dg::build_paired_dataset(dg::FieldKind::kSsn, 4096, 7);
+          dg::build_paired_dataset(dg::FieldKind::kSsn, 4096, 7).value();
       for (std::size_t i = 0; i < dataset.size(); ++i) {
         w.left.push_back(
             c::make_signature(dataset.clean[i], c::FieldClass::kNumeric));
@@ -95,7 +95,7 @@ struct StringWorkload {
 
  private:
   static StringWorkload make(dg::FieldKind kind) {
-    const auto dataset = dg::build_paired_dataset(kind, 1024, 11);
+    const auto dataset = dg::build_paired_dataset(kind, 1024, 11).value();
     return StringWorkload{dataset.clean, dataset.error};
   }
 };
@@ -299,7 +299,7 @@ struct ScanWorkload {
 
  private:
   static ScanWorkload make(dg::FieldKind kind, c::FieldClass cls) {
-    const auto dataset = dg::build_paired_dataset(kind, kN, 13);
+    const auto dataset = dg::build_paired_dataset(kind, kN, 13).value();
     ScanWorkload w;
     w.queries = dataset.clean;
     w.aos = c::SignatureStore(dataset.error, cls);

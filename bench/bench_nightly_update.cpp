@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "core/exec_policy.hpp"
 #include "datagen/errors.hpp"
 #include "linkage/incremental.hpp"
 #include "linkage/person_gen.hpp"
@@ -205,7 +206,9 @@ int main(int argc, char** argv) {
         {lk::field_strategy_name(strategy),
          run_update(master, nightly,
                     lk::make_point_threshold_config(strategy, opts.config.k),
-                    {.use_pipeline = true, .threads = opts.config.threads})});
+                    fbf::core::ExecPolicy{
+                        .use_pipeline = true,
+                        .threads = opts.config.threads})});
   }
 
   // Before/after the PR-3 refactor: the FPDL update through the batched
@@ -214,10 +217,12 @@ int main(int argc, char** argv) {
   const auto comparator =
       lk::make_point_threshold_config(lk::FieldStrategy::kFpdl, opts.config.k);
   const UpdateRun scalar =
-      run_update(master, nightly, comparator, {.use_pipeline = false});
+      run_update(master, nightly, comparator,
+                 fbf::core::ExecPolicy{.use_pipeline = false});
   const UpdateRun pipeline =
       run_update(master, nightly, comparator,
-                 {.use_pipeline = true, .threads = opts.config.threads});
+                 fbf::core::ExecPolicy{.use_pipeline = true,
+                                       .threads = opts.config.threads});
   const bool identical = scalar.comparisons == pipeline.comparisons &&
                          scalar.fbf_evaluations == pipeline.fbf_evaluations &&
                          scalar.verify_calls == pipeline.verify_calls &&

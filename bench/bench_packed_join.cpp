@@ -56,7 +56,7 @@ bool counters_match(const c::JoinStats& a, const c::JoinStats& b) {
 Comparison compare(const char* field, dg::FieldKind kind, c::Method method,
                    const fbf::bench::BenchOptions& opts) {
   const auto dataset =
-      dg::build_paired_dataset(kind, opts.config.n, opts.config.seed);
+      dg::build_paired_dataset(kind, opts.config.n, opts.config.seed).value();
   Comparison cmp;
   cmp.field = field;
   cmp.method = c::method_name(method);

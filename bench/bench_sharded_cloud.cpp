@@ -9,23 +9,71 @@
 //     key silently lose true pairs — the distributed analogue of the
 //     blocking recall problem the paper describes;
 //   * hash(Soundex(LN)): the classic compromise.
+//
+// --transport=inprocess|tcp selects the delivery backend: the in-process
+// reference transport, or real loopback sockets (a ShardServer hosting
+// the shard workers, frame protocol, per-request deadlines).  Counters
+// are transport-independent by construction — same seed, same numbers —
+// which is the acceptance check for the socket layer.
 #include <iostream>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "linkage/person_gen.hpp"
+#include "linkage/shard_service.hpp"
 #include "linkage/sharded.hpp"
+#include "net/tcp.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   namespace lk = fbf::linkage;
   namespace u = fbf::util;
-  const auto opts = fbf::bench::parse_options(argc, argv, /*default_n=*/600);
+  const auto opts = fbf::bench::parse_options(argc, argv, /*default_n=*/600,
+                                              /*default_k=*/1, {"transport"});
+  const fbf::util::CliArgs extra(argc, argv);
+  const std::string transport_name =
+      extra.get_string("transport", "inprocess");
+  if (transport_name != "inprocess" && transport_name != "tcp") {
+    std::fprintf(stderr,
+                 "--transport must be 'inprocess' or 'tcp' (got '%s')\n",
+                 transport_name.c_str());
+    return 2;
+  }
+  const bool use_tcp = transport_name == "tcp";
   fbf::bench::print_header("Sharded cloud linkage (extension)", opts);
+  if (!opts.csv && !opts.json) {
+    std::printf("transport: %s\n\n", transport_name.c_str());
+  }
 
   fbf::util::Rng rng(opts.config.seed);
   const auto clean = lk::generate_people(opts.config.n, rng);
   const auto error = lk::make_error_records(clean, {}, rng);
+
+  // One run through the selected backend.  TCP brings up a fresh shard
+  // server per run (ephemeral port) and points the driver's transport at
+  // it; the injected server stall must exceed the client deadline or the
+  // deadline fault never manifests.
+  const auto run_sharded = [&](lk::ShardedConfig config) {
+    if (!use_tcp) {
+      return lk::link_sharded(clean, error, config);
+    }
+    lk::ShardLinkService service(config.link, error);
+    fbf::net::ShardServerOptions server_opts;
+    server_opts.injected_delay_ms = 900.0;
+    fbf::net::TcpTransportOptions client_opts;
+    client_opts.deadline_ms = 500.0;
+    if (config.fault.has_value()) {
+      server_opts.faults = config.fault->faults;
+      client_opts.faults = config.fault->faults;
+    }
+    fbf::net::ShardServer server(service.handler(), server_opts);
+    client_opts.port = server.port();
+    fbf::net::TcpTransport transport(client_opts);
+    config.transport = &transport;
+    return lk::link_sharded(clean, error, config);
+  };
 
   struct SchemeRow {
     const char* scheme;
@@ -45,9 +93,9 @@ int main(int argc, char** argv) {
       config.link.comparator =
           lk::make_point_threshold_config(lk::FieldStrategy::kFpdl,
                                           opts.config.k);
-      config.link.threads = opts.config.threads;
-      scheme_rows.push_back({lk::partition_scheme_name(scheme), shards,
-                             lk::link_sharded(clean, error, config)});
+      config.link.exec.threads = opts.config.threads;
+      scheme_rows.push_back(
+          {lk::partition_scheme_name(scheme), shards, run_sharded(config)});
     }
   }
   if (!opts.json) {
@@ -107,18 +155,19 @@ int main(int argc, char** argv) {
     config.scheme = lk::PartitionScheme::kReplicateRight;
     config.link.comparator = lk::make_point_threshold_config(
         lk::FieldStrategy::kFpdl, opts.config.k);
-    config.link.threads = opts.config.threads;
+    config.link.exec.threads = opts.config.threads;
     lk::ShardFaultPolicy policy;
     policy.faults = scenario.faults;
     config.fault = policy;
-    fault_rows.push_back({scenario.name, lk::link_sharded(clean, error, config)});
+    fault_rows.push_back({scenario.name, run_sharded(config)});
   }
 
   if (opts.json) {
     std::cout << "{\n  \"bench\": \"sharded_cloud\",\n"
               << "  \"n\": " << opts.config.n << ", \"k\": " << opts.config.k
               << ", \"threads\": " << opts.config.threads
-              << ", \"seed\": " << opts.config.seed << ",\n"
+              << ", \"seed\": " << opts.config.seed
+              << ", \"transport\": \"" << transport_name << "\",\n"
               << "  \"schemes\": [\n";
     for (std::size_t r = 0; r < scheme_rows.size(); ++r) {
       const auto& row = scheme_rows[r];

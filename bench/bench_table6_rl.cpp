@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     lk::LinkConfig config;
     config.comparator =
         lk::make_point_threshold_config(strategy, opts.config.k);
-    config.threads = opts.config.threads;
+    config.exec.threads = opts.config.threads;
     std::vector<double> times;
     lk::LinkStats last;
     for (int rep = 0; rep < opts.config.repeats; ++rep) {

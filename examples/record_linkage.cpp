@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   for (const auto strategy : strategies) {
     lk::LinkConfig config;
     config.comparator = lk::make_point_threshold_config(strategy);
-    config.threads = threads;
+    config.exec.threads = threads;
     const lk::LinkStats stats =
         blocking == "none"
             ? lk::link_exhaustive(clean, error, config)

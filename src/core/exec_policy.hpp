@@ -1,0 +1,28 @@
+// Execution policy: the knobs that decide *how* a linkage-layer operation
+// runs, not *what* it computes.
+//
+// Before this struct existed the same two knobs lived as loose fields on
+// every config that ran a scoring loop (LinkConfig::use_pipeline/threads,
+// EntityStoreOptions::use_pipeline/threads), so call sites copied them
+// field by field and new execution options meant touching every struct.
+// ExecPolicy is now embedded in both; the old field names survive one
+// release as deprecated reference aliases (see TUTORIAL §11 migration
+// notes).  Results are policy-independent by contract: any (use_pipeline,
+// threads) combination produces identical decisions and counters — the
+// equivalence property tests pin that.
+#pragma once
+
+#include <cstddef>
+
+namespace fbf::core {
+
+struct ExecPolicy {
+  /// Route scoring through the batched filter pipeline (RecordFilterBank
+  /// / CandidatePipeline tile sweeps).  false = the per-pair scalar loop,
+  /// kept as the equivalence baseline.
+  bool use_pipeline = true;
+  /// Worker threads for the parallel portions; 1 = sequential.
+  std::size_t threads = 1;
+};
+
+}  // namespace fbf::core

@@ -99,8 +99,18 @@ std::vector<std::string> generate_field(FieldKind kind, std::size_t n,
   return {};
 }
 
-PairedDataset build_paired_dataset(FieldKind kind, std::size_t n,
-                                   std::uint64_t seed, int edits) {
+fbf::util::Result<PairedDataset> build_paired_dataset(FieldKind kind,
+                                                      std::size_t n,
+                                                      std::uint64_t seed,
+                                                      int edits) {
+  if (n == 0) {
+    return fbf::util::Status::invalid_argument(
+        "build_paired_dataset: n must be positive");
+  }
+  if (edits < 1) {
+    return fbf::util::Status::invalid_argument(
+        "build_paired_dataset: edits must be >= 1");
+  }
   fbf::util::Rng rng(seed ^ fbf::util::fnv1a64(field_kind_name(kind)));
   PairedDataset dataset;
   dataset.kind = kind;

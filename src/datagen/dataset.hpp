@@ -14,6 +14,7 @@
 #include "core/signature.hpp"
 #include "datagen/errors.hpp"
 #include "util/rng.hpp"
+#include "util/status.hpp"
 
 namespace fbf::datagen {
 
@@ -60,10 +61,11 @@ struct PairedDataset {
 
 /// Builds a paired dataset of `n` entries for `kind`, deterministically
 /// from `seed`.  `edits` > 1 injects multiple edits per entry (extension;
-/// the paper uses 1).
-[[nodiscard]] PairedDataset build_paired_dataset(FieldKind kind,
-                                                 std::size_t n,
-                                                 std::uint64_t seed,
-                                                 int edits = 1);
+/// the paper uses 1).  Invalid shapes — an empty dataset or a
+/// non-positive edit count — come back as invalid_argument instead of
+/// throwing (the loaders finished their Result<T> migration; see
+/// ROADMAP).
+[[nodiscard]] fbf::util::Result<PairedDataset> build_paired_dataset(
+    FieldKind kind, std::size_t n, std::uint64_t seed, int edits = 1);
 
 }  // namespace fbf::datagen

@@ -9,7 +9,7 @@ namespace dg = fbf::datagen;
 
 fbf::datagen::PairedDataset build_dataset(dg::FieldKind kind,
                                           const ExperimentConfig& config) {
-  return dg::build_paired_dataset(kind, config.n, config.seed, config.edits);
+  return dg::build_paired_dataset(kind, config.n, config.seed, config.edits).value();
 }
 
 c::JoinConfig make_join_config(dg::FieldKind kind, c::Method method,

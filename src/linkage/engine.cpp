@@ -124,13 +124,13 @@ LinkStats link_candidates(std::span<const PersonRecord> left,
                           std::span<const CandidatePair> pairs,
                           const LinkConfig& config) {
   const Precomputed pre =
-      precompute_signatures(left, right, config.comparator, config.threads);
+      precompute_signatures(left, right, config.comparator, config.exec.threads);
   const fbf::util::Stopwatch timer;
   const std::size_t n_chunks =
-      std::max<std::size_t>(1, std::min(config.threads, pairs.size()));
+      std::max<std::size_t>(1, std::min(config.exec.threads, pairs.size()));
   std::vector<ChunkResult> chunks(n_chunks);
   fbf::util::parallel_chunks(
-      pairs.size(), config.threads,
+      pairs.size(), config.exec.threads,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         ChunkResult& out = chunks[chunk];
         for (std::size_t p = begin; p < end; ++p) {
@@ -145,21 +145,21 @@ LinkStats link_candidates(std::span<const PersonRecord> left,
 LinkStats link_exhaustive(std::span<const PersonRecord> left,
                           std::span<const PersonRecord> right,
                           const LinkConfig& config) {
-  if (config.use_pipeline) {
-    const LinkageContext ctx(right, config.comparator, config.threads);
+  if (config.exec.use_pipeline) {
+    const LinkageContext ctx(right, config.comparator, config.exec.threads);
     LinkStats stats = link_exhaustive(left, ctx, config);
     stats.signature_gen_ms += ctx.gen_ms();
     return stats;
   }
   // Per-pair baseline: the pre-pipeline nested score_pair loop.
   const Precomputed pre =
-      precompute_signatures(left, right, config.comparator, config.threads);
+      precompute_signatures(left, right, config.comparator, config.exec.threads);
   const fbf::util::Stopwatch timer;
   const std::size_t n_chunks =
-      std::max<std::size_t>(1, std::min(config.threads, left.size()));
+      std::max<std::size_t>(1, std::min(config.exec.threads, left.size()));
   std::vector<ChunkResult> chunks(n_chunks);
   fbf::util::parallel_chunks(
-      left.size(), config.threads,
+      left.size(), config.exec.threads,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         ChunkResult& out = chunks[chunk];
         for (std::size_t i = begin; i < end; ++i) {
@@ -189,7 +189,7 @@ LinkStats link_exhaustive(std::span<const PersonRecord> left,
   if (uses_fbf) {
     left_sigs.resize(left.size());
     fbf::util::parallel_chunks(
-        left.size(), config.threads,
+        left.size(), config.exec.threads,
         [&](std::size_t, std::size_t begin, std::size_t end) {
           for (std::size_t i = begin; i < end; ++i) {
             left_sigs[i] = build_record_signatures(
@@ -200,10 +200,10 @@ LinkStats link_exhaustive(std::span<const PersonRecord> left,
   const double gen_ms = gen_timer.elapsed_ms();
   const fbf::util::Stopwatch timer;
   const std::size_t n_chunks =
-      std::max<std::size_t>(1, std::min(config.threads, left.size()));
+      std::max<std::size_t>(1, std::min(config.exec.threads, left.size()));
   std::vector<ChunkResult> chunks(n_chunks);
   fbf::util::parallel_chunks(
-      left.size(), config.threads,
+      left.size(), config.exec.threads,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         ChunkResult& out = chunks[chunk];
         RecordFilterBank::Scratch scratch;

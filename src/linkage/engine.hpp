@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "core/exec_policy.hpp"
 #include "linkage/blocking.hpp"
 #include "linkage/comparator.hpp"
 #include "linkage/record.hpp"
@@ -20,13 +21,36 @@ namespace fbf::linkage {
 
 struct LinkConfig {
   ComparatorConfig comparator;
-  std::size_t threads = 1;
+  /// How the linkage executes (pipeline vs per-pair scalar loop, thread
+  /// count).  Candidate-pair-list linkage is always per-pair regardless
+  /// (there is no contiguous candidate range to sweep).
+  core::ExecPolicy exec;
   bool collect_matches = false;
-  /// Route exhaustive linkage through the RecordFilterBank (batched FBF
-  /// sweeps).  false = the per-pair score_pair loop, kept as the
-  /// equivalence baseline.  Candidate-pair-list linkage is always
-  /// per-pair (there is no contiguous candidate range to sweep).
-  bool use_pipeline = true;
+
+  // Deprecated aliases into exec (one release, then removed): old code
+  // wrote `config.threads` / `config.use_pipeline` directly.  The struct's
+  // own constructors must bind the references without tripping the
+  // deprecation warning they exist to emit at *call sites*.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  [[deprecated("use exec.threads")]] std::size_t& threads = exec.threads;
+  [[deprecated("use exec.use_pipeline")]] bool& use_pipeline =
+      exec.use_pipeline;
+
+  LinkConfig() = default;
+  // The reference aliases pin each instance to its own exec, so copying
+  // copies the referees and leaves the references alone.
+  LinkConfig(const LinkConfig& other)
+      : comparator(other.comparator),
+        exec(other.exec),
+        collect_matches(other.collect_matches) {}
+  LinkConfig& operator=(const LinkConfig& other) {
+    comparator = other.comparator;
+    exec = other.exec;
+    collect_matches = other.collect_matches;
+    return *this;
+  }
+#pragma GCC diagnostic pop
 };
 
 /// Precomputed right-hand-side linkage state: field signatures plus the

@@ -12,13 +12,13 @@ EntityStore::EntityStore(ComparatorConfig comparator,
     : comparator_(std::move(comparator)),
       options_(options),
       uses_fbf_(config_uses_fbf(comparator_)) {
-  if (options_.use_pipeline) {
+  if (options_.exec.use_pipeline) {
     bank_.emplace(comparator_);
   }
 }
 
 void EntityStore::rebuild_bank() {
-  if (!options_.use_pipeline) {
+  if (!options_.exec.use_pipeline) {
     return;
   }
   bank_.emplace(comparator_);
@@ -53,10 +53,10 @@ IngestStats EntityStore::ingest(std::span<const PersonRecord> batch) {
     // order, making results byte-identical to the scalar path for any
     // thread count.
     const std::size_t n_chunks = std::max<std::size_t>(
-        1, std::min(options_.threads, batch.size()));
+        1, std::min(options_.exec.threads, batch.size()));
     std::vector<CompareCounters> chunk_counters(n_chunks);
     fbf::util::parallel_chunks(
-        batch.size(), options_.threads,
+        batch.size(), options_.exec.threads,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
           RecordFilterBank::Scratch scratch;
           CompareCounters& counters = chunk_counters[chunk];

@@ -18,6 +18,7 @@
 
 #include <optional>
 
+#include "core/exec_policy.hpp"
 #include "linkage/comparator.hpp"
 #include "linkage/record.hpp"
 #include "linkage/record_filter.hpp"
@@ -40,17 +41,30 @@ struct IngestStats {
 /// EntityStore tuning knobs.  Defaults give the fast path; the scalar
 /// path is the pre-pipeline reference implementation, kept for the
 /// equivalence property tests and the nightly bench's before/after
-/// comparison.
+/// comparison.  Batch records score independently against the pre-batch
+/// store, so ingest fans them across exec.threads pool workers; decisions
+/// and counters are byte-identical for any policy (entity ids are
+/// assigned sequentially afterwards).
 struct EntityStoreOptions {
-  /// Route ingest scoring through the RecordFilterBank (batched FBF tile
-  /// sweeps per field rule).  false = the original record-at-a-time
-  /// score_pair loop.
-  bool use_pipeline = true;
-  /// Batch records score independently against the pre-batch store, so
-  /// ingest fans them across this many pool workers.  Decisions and
-  /// counters are byte-identical for any value (entity ids are assigned
-  /// sequentially afterwards).
-  std::size_t threads = 1;
+  core::ExecPolicy exec;
+
+  // Deprecated aliases into exec (one release, then removed).  The
+  // pragmas keep the struct's own constructors — which must bind the
+  // references — from tripping the warning meant for call sites.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  [[deprecated("use exec.use_pipeline")]] bool& use_pipeline =
+      exec.use_pipeline;
+  [[deprecated("use exec.threads")]] std::size_t& threads = exec.threads;
+
+  EntityStoreOptions() = default;
+  EntityStoreOptions(core::ExecPolicy policy) : exec(policy) {}  // NOLINT(google-explicit-constructor)
+  EntityStoreOptions(const EntityStoreOptions& other) : exec(other.exec) {}
+  EntityStoreOptions& operator=(const EntityStoreOptions& other) {
+    exec = other.exec;
+    return *this;
+  }
+#pragma GCC diagnostic pop
 };
 
 /// Append-only resolved-entity store with incremental matching.

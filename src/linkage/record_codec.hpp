@@ -1,0 +1,22 @@
+// PersonRecord / RecordSignatures byte codec, shared by the snapshot +
+// journal files (durability) and the shard link protocol (networking).
+// One definition of the record layout means the recovery path and the
+// wire path can never disagree about what a serialized record looks like.
+#pragma once
+
+#include <string>
+
+#include "linkage/record.hpp"
+#include "linkage/record_filter.hpp"
+#include "util/wire.hpp"
+
+namespace fbf::linkage::wire {
+
+void put_record(std::string& out, const PersonRecord& r);
+[[nodiscard]] bool get_record(fbf::util::wire::Reader& in, PersonRecord& r);
+
+void put_signatures(std::string& out, const RecordSignatures& sigs);
+[[nodiscard]] bool get_signatures(fbf::util::wire::Reader& in,
+                                  RecordSignatures& sigs);
+
+}  // namespace fbf::linkage::wire

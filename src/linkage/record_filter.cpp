@@ -98,7 +98,7 @@ const char* RecordFilterBank::kernel_name() const noexcept {
 
 void RecordFilterBank::score_all(const PersonRecord& incoming,
                                  const RecordSignatures* incoming_sigs,
-                                 std::span<const PersonRecord> stored,
+                                 std::span<const PersonRecord> /*stored*/,
                                  std::size_t count, Scratch& scratch,
                                  CompareCounters& counters) const {
   assert(count <= size_);

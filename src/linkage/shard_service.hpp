@@ -1,0 +1,87 @@
+// ShardLinkService: the server side of the shard link protocol.
+//
+// link_sharded encodes each shard's partition slices into a kLinkRequest
+// payload and hands it to a ShardTransport; this service is the handler
+// on the other end — it decodes the slices, runs link_exhaustive with the
+// driver's LinkConfig, and encodes the resulting ShardStats subset as the
+// kLinkReply payload.  The same handler instance backs both transports
+// (InProcessTransport calls it in place; a ShardServer hosts it behind
+// real sockets), which is what makes the transport equivalence property
+// testable: identical bytes in, identical bytes out.
+//
+// Replicate-right runs do not ship the broadcast right list in every
+// request.  The request carries a broadcast flag instead, and the service
+// links against its own copy of the right list through a lazily built
+// LinkageContext (signatures + filter bank built once, shared by every
+// shard worker) — the wire-level analogue of the in-process broadcast.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "linkage/engine.hpp"
+#include "net/transport.hpp"
+#include "util/status.hpp"
+
+namespace fbf::linkage {
+
+/// Decoded kLinkRequest payload.
+struct LinkRequest {
+  std::vector<PersonRecord> left;
+  std::vector<PersonRecord> right;  ///< empty when broadcast_right
+  bool broadcast_right = false;     ///< link against the service's right list
+};
+
+/// Subset of ShardStats that crosses the wire (the counters the driver
+/// merges; scheduling fields like attempts/backoff stay driver-side).
+struct ShardReply {
+  std::uint64_t pairs = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t true_positives = 0;
+  double link_ms = 0.0;
+};
+
+[[nodiscard]] std::string encode_link_request(
+    std::span<const PersonRecord> left, std::span<const PersonRecord> right,
+    bool broadcast_right);
+[[nodiscard]] fbf::util::Result<LinkRequest> decode_link_request(
+    std::string_view payload);
+
+[[nodiscard]] std::string encode_shard_reply(const ShardReply& reply);
+[[nodiscard]] fbf::util::Result<ShardReply> decode_shard_reply(
+    std::string_view payload);
+
+class ShardLinkService {
+ public:
+  /// `right` must outlive the service (broadcast requests link against
+  /// it).  The LinkConfig is the driver's — same comparator, same
+  /// ExecPolicy — so results match a local run exactly.
+  ShardLinkService(LinkConfig config, std::span<const PersonRecord> right);
+
+  /// Processes one request payload (kPing -> empty pong payload,
+  /// kLinkRequest -> encoded ShardReply).
+  [[nodiscard]] fbf::util::Result<std::string> handle(
+      const net::FrameContext& ctx, std::string_view payload);
+
+  /// The service as a transport handler.
+  [[nodiscard]] net::ShardHandler handler() {
+    return [this](const net::FrameContext& ctx, std::string_view payload) {
+      return handle(ctx, payload);
+    };
+  }
+
+ private:
+  const LinkageContext& broadcast_context();
+
+  LinkConfig config_;
+  std::span<const PersonRecord> right_;
+  std::mutex mu_;  ///< guards lazy broadcast_ build (workers race to it)
+  std::optional<LinkageContext> broadcast_;
+};
+
+}  // namespace fbf::linkage

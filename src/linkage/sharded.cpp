@@ -1,7 +1,10 @@
 #include "linkage/sharded.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
+#include "linkage/shard_service.hpp"
 #include "metrics/soundex.hpp"
 #include "util/rng.hpp"
 
@@ -40,10 +43,11 @@ ShardedResult link_sharded(std::span<const PersonRecord> left,
   const std::size_t n = std::max<std::size_t>(1, config.n_shards);
   const bool replicate = config.scheme == PartitionScheme::kReplicateRight;
   // Materialize each node's local partitions.  Replicate-right does NOT
-  // copy the right list per shard: every node links against the same
-  // broadcast context (signatures + filter bank built once) — the real
-  // system ships the master list's filter state to each node, not the
-  // strings seven times over.
+  // ship the right list per shard: the request carries a broadcast flag
+  // and every node links against the service's shared right-hand state
+  // (signatures + filter bank built once) — the real system ships the
+  // master list's filter state to each node, not the strings seven times
+  // over.
   std::vector<std::vector<PersonRecord>> left_parts(n);
   std::vector<std::vector<PersonRecord>> right_parts(replicate ? 0 : n);
   if (replicate) {
@@ -58,63 +62,75 @@ ShardedResult link_sharded(std::span<const PersonRecord> left,
       right_parts[shard_of(r, config.scheme, n)].push_back(r);
     }
   }
-  std::optional<LinkageContext> broadcast;
-  if (replicate && config.link.use_pipeline) {
-    broadcast.emplace(right, config.link.comparator, config.link.threads);
-  }
-  const auto run_shard = [&](std::size_t s) {
-    if (broadcast.has_value()) {
-      return link_exhaustive(left_parts[s], *broadcast, config.link);
+  // Delivery backend.  Without an external transport, shard workers are a
+  // local ShardLinkService behind the in-process reference transport —
+  // the exact request/reply bytes a socket run would carry, minus the
+  // sockets.  Injected failure decisions live in the transport either
+  // way; the driver only decides *retry* and draws straggles.
+  std::optional<ShardLinkService> local_service;
+  std::optional<net::InProcessTransport> local_transport;
+  net::ShardTransport* transport = config.transport;
+  if (transport == nullptr) {
+    std::optional<fbf::util::FaultConfig> faults;
+    if (config.fault.has_value()) {
+      faults = config.fault->faults;
     }
-    return link_exhaustive(
-        left_parts[s],
-        replicate ? right : std::span<const PersonRecord>(right_parts[s]),
-        config.link);
-  };
-  ShardedResult result;
-  result.shards.reserve(n);
+    local_service.emplace(config.link, right);
+    local_transport.emplace(local_service->handler(), faults);
+    transport = &*local_transport;
+  }
   std::optional<fbf::util::FaultInjector> injector;
   if (config.fault.has_value()) {
     injector.emplace(config.fault->faults);
   }
+  const fbf::util::RetryPolicy retry =
+      config.fault.has_value() ? config.fault->retry : fbf::util::RetryPolicy{};
+  const int max_attempts = retry.bounded_attempts();
+  ShardedResult result;
+  result.shards.reserve(n);
   for (std::size_t s = 0; s < n; ++s) {
     ShardStats shard;
     shard.left_count = left_parts[s].size();
     shard.right_count = replicate ? right.size() : right_parts[s].size();
-    if (injector.has_value()) {
-      // Bounded retry loop: each failed attempt costs the (simulated)
-      // exponential backoff a real scheduler would wait before
-      // re-dispatching the partition to another node.
-      const ShardFaultPolicy& policy = *config.fault;
-      const int max_attempts = std::max(1, policy.max_attempts);
-      shard.completed = false;
-      double backoff = policy.backoff_base_ms;
-      for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-        shard.attempts = attempt;
-        if (injector->shard_attempt_fails(s, attempt)) {
-          ++result.retries;
-          shard.backoff_ms += backoff;
-          backoff *= policy.backoff_multiplier;
-          continue;
+    const std::string request = encode_link_request(
+        left_parts[s],
+        replicate ? std::span<const PersonRecord>{}
+                  : std::span<const PersonRecord>(right_parts[s]),
+        replicate);
+    // Bounded retry loop: each failed attempt — injected fault, transport
+    // error, or undecodable reply — costs the exponential backoff a real
+    // scheduler would wait before re-dispatching the partition.  The
+    // in-process transport records that delay in the simulated
+    // wall-clock; a real-time transport sleeps it.
+    shard.completed = false;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      shard.attempts = attempt;
+      auto raw = transport->call(s, attempt, net::FrameType::kLinkRequest,
+                                 request);
+      fbf::util::Result<ShardReply> reply =
+          raw.ok() ? decode_shard_reply(raw.value())
+                   : fbf::util::Result<ShardReply>(raw.status());
+      if (!reply.ok()) {
+        ++result.retries;
+        const double delay = retry.next_delay_ms(attempt);
+        shard.backoff_ms += delay;
+        if (transport->real_time() && attempt < max_attempts) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(delay));
         }
-        const LinkStats stats = run_shard(s);
-        shard.link_ms = stats.link_ms;
-        if (injector->shard_attempt_straggles(s, attempt)) {
-          shard.straggled = true;
-          shard.link_ms *= injector->straggle_factor();
-        }
-        shard.pairs = stats.candidate_pairs;
-        shard.matches = stats.matches;
-        shard.true_positives = stats.true_positives;
-        shard.completed = true;
-        break;
+        continue;
       }
-    } else {
-      const LinkStats stats = run_shard(s);
-      shard.pairs = stats.candidate_pairs;
-      shard.matches = stats.matches;
-      shard.true_positives = stats.true_positives;
-      shard.link_ms = stats.link_ms;
+      shard.link_ms = reply.value().link_ms;
+      if (injector.has_value() &&
+          injector->shard_attempt_straggles(s, attempt)) {
+        shard.straggled = true;
+        shard.link_ms *= injector->straggle_factor();
+      }
+      shard.pairs = reply.value().pairs;
+      shard.matches = reply.value().matches;
+      shard.true_positives = reply.value().true_positives;
+      shard.completed = true;
+      break;
     }
     const double shard_wall = shard.link_ms + shard.backoff_ms;
     if (shard.completed) {

@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "linkage/engine.hpp"
+#include "net/transport.hpp"
 #include "util/fault.hpp"
+#include "util/retry.hpp"
 
 namespace fbf::linkage {
 
@@ -36,15 +38,15 @@ enum class PartitionScheme {
 
 [[nodiscard]] const char* partition_scheme_name(PartitionScheme s) noexcept;
 
-/// Retry/degradation policy for injected shard faults.  Backoff is
-/// *simulated*: the delay a real scheduler would sleep is recorded in the
-/// shard's wall-clock instead of actually sleeping, keeping runs fast and
-/// deterministic.
+/// Retry/degradation policy for injected shard faults.  On the in-process
+/// transport backoff is *simulated*: the delay a real scheduler would
+/// sleep is recorded in the shard's wall-clock instead of actually
+/// sleeping, keeping runs fast and deterministic.  On a real-time
+/// transport (TCP) the same delays are slept for real.
 struct ShardFaultPolicy {
   fbf::util::FaultConfig faults;
-  int max_attempts = 4;          ///< first try + bounded retries
-  double backoff_base_ms = 1.0;  ///< delay before retry #1
-  double backoff_multiplier = 2.0;  ///< exponential growth per retry
+  /// Bounded exponential backoff, shared with the transport layer.
+  fbf::util::RetryPolicy retry;
 };
 
 struct ShardedConfig {
@@ -53,6 +55,14 @@ struct ShardedConfig {
   LinkConfig link;  ///< comparator each node runs
   /// Fault injection + retry policy; nullopt = fault-free run.
   std::optional<ShardFaultPolicy> fault;
+  /// Delivery backend.  nullptr = a private InProcessTransport wrapping a
+  /// local ShardLinkService (the deterministic reference).  Point it at a
+  /// TcpTransport to route every shard attempt over real loopback
+  /// sockets; the driver's retry loop, counters and degradation
+  /// accounting are identical either way.  When a transport is supplied,
+  /// fault *injection* belongs to that transport (and its server) — the
+  /// driver still draws straggle decisions from `fault->faults` locally.
+  net::ShardTransport* transport = nullptr;
 };
 
 /// Per-node view of the run.
@@ -107,8 +117,9 @@ struct ShardedResult {
 
 /// Runs the sharded linkage.  Shards execute sequentially here (we are
 /// measuring partitioning effects, not providing parallelism — use
-/// LinkConfig::threads for that); per-shard times are still recorded so
-/// makespan models the distributed schedule.
+/// LinkConfig::exec.threads for that); per-shard times are still recorded
+/// so makespan models the distributed schedule.  Every shard attempt is a
+/// request/reply through the configured ShardTransport.
 [[nodiscard]] ShardedResult link_sharded(std::span<const PersonRecord> left,
                                          std::span<const PersonRecord> right,
                                          const ShardedConfig& config);

@@ -1,12 +1,12 @@
 #include "linkage/snapshot.hpp"
 
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <type_traits>
 
+#include "linkage/record_codec.hpp"
 #include "util/rng.hpp"
+#include "util/wire.hpp"
 
 namespace fbf::linkage {
 
@@ -15,7 +15,15 @@ namespace fs = std::filesystem;
 
 namespace {
 
-// --- byte-level encoding helpers (host-endian, length-prefixed) --------
+// Byte-level encoding (host-endian, length-prefixed) comes from
+// util::wire; the record/signature layout is shared with the network
+// shard protocol via linkage/record_codec.
+using fbf::util::wire::put;
+using fbf::util::wire::Reader;
+using wire::get_record;
+using wire::get_signatures;
+using wire::put_record;
+using wire::put_signatures;
 
 constexpr std::uint64_t kSnapshotMagic = 0x31504E5346424600ull;  // "\0FBFSNP1"
 constexpr std::uint32_t kFrameMagic = 0x4C4E524Au;               // "JRNL"
@@ -24,94 +32,6 @@ constexpr std::uint32_t kFrameMagic = 0x4C4E524Au;               // "JRNL"
 // its buffer in bounded chunks, so a corrupt length field that slips
 // past this check can only ever allocate as much as the stream holds.
 constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
-
-template <typename T>
-void put(std::string& out, T value) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  char bytes[sizeof(T)];
-  std::memcpy(bytes, &value, sizeof(T));
-  out.append(bytes, sizeof(T));
-}
-
-void put_string(std::string& out, const std::string& s) {
-  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
-  out.append(s);
-}
-
-/// Bounds-checked reader over a verified payload.
-struct Reader {
-  std::string_view data;
-  std::size_t pos = 0;
-
-  template <typename T>
-  bool get(T& value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    if (data.size() - pos < sizeof(T)) {
-      return false;
-    }
-    std::memcpy(&value, data.data() + pos, sizeof(T));
-    pos += sizeof(T);
-    return true;
-  }
-
-  bool get_string(std::string& s) {
-    std::uint32_t len = 0;
-    if (!get(len) || data.size() - pos < len) {
-      return false;
-    }
-    s.assign(data.data() + pos, len);
-    pos += len;
-    return true;
-  }
-
-  [[nodiscard]] bool done() const noexcept { return pos == data.size(); }
-};
-
-void put_record(std::string& out, const PersonRecord& r) {
-  put<std::uint64_t>(out, r.id);
-  for (const RecordField f : all_record_fields()) {
-    put_string(out, r.field(f));
-  }
-}
-
-bool get_record(Reader& in, PersonRecord& r) {
-  if (!in.get(r.id)) {
-    return false;
-  }
-  for (const RecordField f : all_record_fields()) {
-    if (!in.get_string(r.field(f))) {
-      return false;
-    }
-  }
-  return true;
-}
-
-void put_signatures(std::string& out, const RecordSignatures& sigs) {
-  for (const fbf::core::Signature& sig : sigs.sigs) {
-    put<std::uint8_t>(out, static_cast<std::uint8_t>(sig.size()));
-    for (const std::uint32_t word : sig.words()) {
-      put<std::uint32_t>(out, word);
-    }
-  }
-}
-
-bool get_signatures(Reader& in, RecordSignatures& sigs) {
-  for (fbf::core::Signature& sig : sigs.sigs) {
-    std::uint8_t n = 0;
-    if (!in.get(n) || n > fbf::core::Signature::kMaxWords) {
-      return false;
-    }
-    sig = {};
-    for (std::uint8_t w = 0; w < n; ++w) {
-      std::uint32_t word = 0;
-      if (!in.get(word)) {
-        return false;
-      }
-      sig.push(word);
-    }
-  }
-  return true;
-}
 
 std::string encode_batch(std::span<const PersonRecord> batch) {
   std::string payload;

@@ -1,0 +1,113 @@
+#include "net/frame.hpp"
+
+#include "util/rng.hpp"
+#include "util/wire.hpp"
+
+namespace fbf::net {
+
+namespace w = fbf::util::wire;
+
+namespace {
+
+/// Payload checksum seeded by the header fields: flipping any header bit
+/// changes the expected checksum, so header and payload share one check.
+std::uint64_t frame_checksum(const FrameContext& ctx, std::string_view payload) {
+  std::uint64_t seed = 0xCBF29CE484222325ull;
+  seed ^= static_cast<std::uint64_t>(ctx.type) << 48;
+  seed ^= static_cast<std::uint64_t>(ctx.shard) << 16;
+  seed ^= static_cast<std::uint64_t>(ctx.attempt);
+  seed ^= static_cast<std::uint64_t>(payload.size()) << 32;
+  std::uint64_t hash = fbf::util::SplitMix64(seed).next();
+  for (const char ch : payload) {
+    hash ^= static_cast<std::uint8_t>(ch);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+bool known_frame_type(std::uint16_t type) noexcept {
+  return type >= static_cast<std::uint16_t>(FrameType::kLinkRequest) &&
+         type <= static_cast<std::uint16_t>(FrameType::kPong);
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::kLinkRequest: return "link-request";
+    case FrameType::kLinkReply: return "link-reply";
+    case FrameType::kError: return "error";
+    case FrameType::kPing: return "ping";
+    case FrameType::kPong: return "pong";
+  }
+  return "?";
+}
+
+std::string encode_frame(const FrameContext& ctx, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  w::put<std::uint32_t>(frame, kFrameMagic);
+  w::put<std::uint16_t>(frame, static_cast<std::uint16_t>(ctx.type));
+  w::put<std::uint16_t>(frame, 0);  // reserved
+  w::put<std::uint32_t>(frame, ctx.shard);
+  w::put<std::uint32_t>(frame, ctx.attempt);
+  w::put<std::uint32_t>(frame, static_cast<std::uint32_t>(payload.size()));
+  w::put<std::uint64_t>(frame, frame_checksum(ctx, payload));
+  frame.append(payload);
+  return frame;
+}
+
+DecodedFrame try_decode_frame(std::string_view buffer) {
+  DecodedFrame out;
+  if (buffer.size() < kFrameHeaderBytes) {
+    return out;  // kNeedMore
+  }
+  w::Reader header{buffer.substr(0, kFrameHeaderBytes)};
+  std::uint32_t magic = 0;
+  std::uint16_t type = 0;
+  std::uint16_t reserved = 0;
+  std::uint32_t shard = 0;
+  std::uint32_t attempt = 0;
+  std::uint32_t length = 0;
+  std::uint64_t checksum = 0;
+  header.get(magic);
+  header.get(type);
+  header.get(reserved);
+  header.get(shard);
+  header.get(attempt);
+  header.get(length);
+  header.get(checksum);
+  const auto corrupt = [&out](const char* why) {
+    out.status = DecodeStatus::kCorrupt;
+    out.error = why;
+    return out;
+  };
+  if (magic != kFrameMagic) {
+    return corrupt("bad frame magic");
+  }
+  if (reserved != 0) {
+    return corrupt("nonzero reserved field");
+  }
+  if (!known_frame_type(type)) {
+    return corrupt("unknown frame type");
+  }
+  if (length > kMaxFramePayloadBytes) {
+    return corrupt("implausible payload length");
+  }
+  if (buffer.size() < kFrameHeaderBytes + length) {
+    return out;  // kNeedMore: payload still in flight
+  }
+  out.ctx.type = static_cast<FrameType>(type);
+  out.ctx.shard = shard;
+  out.ctx.attempt = attempt;
+  out.payload = buffer.substr(kFrameHeaderBytes, length);
+  if (frame_checksum(out.ctx, out.payload) != checksum) {
+    out.payload = {};
+    return corrupt("frame checksum mismatch");
+  }
+  out.status = DecodeStatus::kFrame;
+  out.consumed = kFrameHeaderBytes + length;
+  return out;
+}
+
+}  // namespace fbf::net

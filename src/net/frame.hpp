@@ -1,0 +1,74 @@
+// Length-prefixed, checksummed frame codec for the shard link protocol.
+//
+// Every message on a shard connection is one frame:
+//
+//   magic   u32   "FBFW" — protocol marker
+//   type    u16   FrameType
+//   rsvd    u16   must be zero
+//   shard   u32   routing context: which logical shard worker
+//   attempt u32   routing context: the driver's retry attempt (1-based)
+//   length  u32   payload byte count (bounded by kMaxFramePayloadBytes)
+//   check   u64   FNV-1a of the payload, seeded by the header fields
+//   payload length bytes
+//
+// The checksum seed folds in type/shard/attempt/length, so a bit flip
+// anywhere in the frame — header or payload — fails verification.  The
+// decoder is incremental: feed it the receive buffer as bytes arrive and
+// it reports "need more", one complete frame, or corruption.  A frame is
+// never trusted until the checksum passes; a lying length field is
+// rejected before any allocation larger than the bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fbf::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x57464246u;  // "FBFW"
+inline constexpr std::size_t kFrameHeaderBytes = 28;
+/// A link request ships two partition slices of demographic records; even
+/// paper-scale runs are a few MB.  Anything above this bound is a corrupt
+/// or hostile length field, not a real message.
+inline constexpr std::uint32_t kMaxFramePayloadBytes = 1u << 26;
+
+enum class FrameType : std::uint16_t {
+  kLinkRequest = 1,  ///< partition slices to link (client -> server)
+  kLinkReply = 2,    ///< encoded ShardStats (server -> client)
+  kError = 3,        ///< status code + message (server -> client)
+  kPing = 4,         ///< liveness probe (client -> server)
+  kPong = 5,         ///< liveness answer (server -> client)
+};
+
+[[nodiscard]] const char* frame_type_name(FrameType type) noexcept;
+
+/// Routing context carried by every frame, visible to the transport layer
+/// without decoding the payload (fault decisions key off it).
+struct FrameContext {
+  FrameType type = FrameType::kPing;
+  std::uint32_t shard = 0;
+  std::uint32_t attempt = 1;
+};
+
+[[nodiscard]] std::string encode_frame(const FrameContext& ctx,
+                                       std::string_view payload);
+
+enum class DecodeStatus {
+  kNeedMore,  ///< buffer holds a frame prefix; keep reading
+  kFrame,     ///< one complete, checksum-verified frame decoded
+  kCorrupt,   ///< the bytes can never become a valid frame
+};
+
+struct DecodedFrame {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  FrameContext ctx;
+  std::string_view payload;   ///< view into the caller's buffer
+  std::size_t consumed = 0;   ///< bytes to drop from the buffer front
+  const char* error = nullptr;  ///< set when status == kCorrupt
+};
+
+/// Attempts to decode one frame from the front of `buffer`.  The returned
+/// payload view aliases `buffer` and is valid until the buffer mutates.
+[[nodiscard]] DecodedFrame try_decode_frame(std::string_view buffer);
+
+}  // namespace fbf::net

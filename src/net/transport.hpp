@@ -1,0 +1,92 @@
+// ShardTransport: how the sharded linkage driver reaches a shard worker.
+//
+// The driver (linkage::link_sharded) owns partitioning, retry/backoff and
+// degradation accounting; the transport owns *delivery*: hand a request
+// payload to the worker for (shard, attempt), return the reply payload or
+// a Status describing why the attempt failed.  Two implementations:
+//
+//  * InProcessTransport — invokes the handler directly.  Deterministic
+//    reference: injected faults come straight from the FaultInjector
+//    decision, no sockets involved.
+//  * TcpTransport (net/tcp.hpp) — real loopback sockets against a
+//    ShardServer.  The same fault decisions manifest as real connection
+//    failures (refused connect, mid-frame disconnect, deadline expiry,
+//    garbled frame).
+//
+// Both route the same encoded payloads through the same handler, so a
+// run's counters (matches, retries, dropped shards) are transport-
+// independent — the equivalence property tests assert exactly that.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/frame.hpp"
+#include "util/fault.hpp"
+#include "util/status.hpp"
+
+namespace fbf::net {
+
+/// Server-side request processor: decode `payload` for `ctx`, do the
+/// work, return the reply payload (or an error Status, which the
+/// transport surfaces to the caller as a failed attempt).
+using ShardHandler = std::function<fbf::util::Result<std::string>(
+    const FrameContext& ctx, std::string_view payload)>;
+
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  /// Delivers `request` to the worker for (shard, attempt) and returns
+  /// the reply payload.  A non-OK result is one failed attempt; the
+  /// caller decides whether to retry.
+  [[nodiscard]] virtual fbf::util::Result<std::string> call(
+      std::size_t shard, int attempt, FrameType type,
+      std::string_view request) = 0;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// True when delays (backoff, deadlines) happen in real time; false
+  /// when the caller should only *record* them (simulated wall-clock).
+  [[nodiscard]] virtual bool real_time() const noexcept { return false; }
+};
+
+/// The deterministic reference transport: calls the handler in place.
+/// With a FaultConfig armed, failure decisions are drawn per (shard,
+/// attempt) exactly like the TCP path draws them — minus the sockets.
+class InProcessTransport final : public ShardTransport {
+ public:
+  explicit InProcessTransport(
+      ShardHandler handler,
+      std::optional<fbf::util::FaultConfig> faults = std::nullopt)
+      : handler_(std::move(handler)) {
+    if (faults.has_value()) {
+      injector_.emplace(*faults);
+    }
+  }
+
+  [[nodiscard]] fbf::util::Result<std::string> call(
+      std::size_t shard, int attempt, FrameType type,
+      std::string_view request) override {
+    if (injector_.has_value() && injector_->shard_attempt_fails(shard, attempt)) {
+      return fbf::util::Status::unavailable("injected shard fault");
+    }
+    FrameContext ctx;
+    ctx.type = type;
+    ctx.shard = static_cast<std::uint32_t>(shard);
+    ctx.attempt = attempt > 0 ? static_cast<std::uint32_t>(attempt) : 1u;
+    return handler_(ctx, request);
+  }
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "inprocess";
+  }
+
+ private:
+  ShardHandler handler_;
+  std::optional<fbf::util::FaultInjector> injector_;
+};
+
+}  // namespace fbf::net

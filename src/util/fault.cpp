@@ -20,15 +20,43 @@ double FaultInjector::draw(std::string_view site, std::uint64_t a,
   return static_cast<double>(bits(site, a, b) >> 11) * 0x1.0p-53;
 }
 
-bool FaultInjector::shard_attempt_fails(std::size_t shard, int attempt) {
+const char* net_fault_kind_name(NetFaultKind kind) noexcept {
+  switch (kind) {
+    case NetFaultKind::kConnectRefused: return "connect-refused";
+    case NetFaultKind::kMidFrameDisconnect: return "mid-frame-disconnect";
+    case NetFaultKind::kDeadlineExpiry: return "deadline-expiry";
+    case NetFaultKind::kGarbledFrame: return "garbled-frame";
+  }
+  return "?";
+}
+
+bool FaultInjector::would_fail(std::size_t shard, int attempt) const noexcept {
   const bool permanent =
       config_.fail_shard >= 0 &&
       static_cast<std::size_t>(config_.fail_shard) == shard;
-  const bool fails =
-      permanent || (config_.shard_fail_rate > 0.0 &&
-                    draw("shard-fail", shard,
-                         static_cast<std::uint64_t>(attempt)) <
-                        config_.shard_fail_rate);
+  return permanent || (config_.shard_fail_rate > 0.0 &&
+                       draw("shard-fail", shard,
+                            static_cast<std::uint64_t>(attempt)) <
+                           config_.shard_fail_rate);
+}
+
+bool FaultInjector::would_straggle(std::size_t shard,
+                                   int attempt) const noexcept {
+  return config_.shard_straggle_rate > 0.0 &&
+         draw("shard-straggle", shard, static_cast<std::uint64_t>(attempt)) <
+             config_.shard_straggle_rate;
+}
+
+NetFaultKind FaultInjector::net_fault_kind(std::size_t shard,
+                                           int attempt) const noexcept {
+  const std::uint64_t r =
+      bits("net-fault-kind", shard, static_cast<std::uint64_t>(attempt));
+  return static_cast<NetFaultKind>(
+      r % static_cast<std::uint64_t>(kNetFaultKindCount));
+}
+
+bool FaultInjector::shard_attempt_fails(std::size_t shard, int attempt) {
+  const bool fails = would_fail(shard, attempt);
   if (fails) {
     ++counters_.shard_failures;
   }
@@ -36,10 +64,7 @@ bool FaultInjector::shard_attempt_fails(std::size_t shard, int attempt) {
 }
 
 bool FaultInjector::shard_attempt_straggles(std::size_t shard, int attempt) {
-  const bool straggles =
-      config_.shard_straggle_rate > 0.0 &&
-      draw("shard-straggle", shard, static_cast<std::uint64_t>(attempt)) <
-          config_.shard_straggle_rate;
+  const bool straggles = would_straggle(shard, attempt);
   if (straggles) {
     ++counters_.stragglers;
   }

@@ -36,15 +36,46 @@ struct FaultCounters {
   std::uint64_t truncations = 0;
 };
 
+/// How a failed shard attempt manifests at the socket layer.  The
+/// *decision* that an attempt fails is shard_attempt_fails(); the *kind*
+/// picks which real failure the TCP transport produces.  The in-process
+/// transport ignores the kind (there is no socket to break), which is
+/// exactly why the two transports stay counter-equivalent: same failure
+/// decisions, different manifestations.
+enum class NetFaultKind {
+  kConnectRefused,      ///< client connects to a port nobody listens on
+  kMidFrameDisconnect,  ///< server closes after a partial reply frame
+  kDeadlineExpiry,      ///< server stalls past the client's deadline
+  kGarbledFrame,        ///< one reply byte flipped -> checksum reject
+};
+
+inline constexpr int kNetFaultKindCount = 4;
+
+[[nodiscard]] const char* net_fault_kind_name(NetFaultKind kind) noexcept;
+
 class FaultInjector {
  public:
   explicit FaultInjector(FaultConfig config = {}) : config_(config) {}
 
-  /// True when the given (shard, attempt) should fail.  `fail_shard`
+  /// Pure decision: would the given (shard, attempt) fail?  `fail_shard`
   /// faults are permanent; rate faults are independent per attempt.
+  /// Const and counter-free so the transport client and server can both
+  /// evaluate it from their own injector instance and always agree.
+  [[nodiscard]] bool would_fail(std::size_t shard, int attempt) const noexcept;
+
+  /// Pure decision: would the given (shard, attempt) run slow?
+  [[nodiscard]] bool would_straggle(std::size_t shard,
+                                    int attempt) const noexcept;
+
+  /// Which socket failure a failing (shard, attempt) manifests as.
+  /// Pure draw over the four kinds, keyed like would_fail().
+  [[nodiscard]] NetFaultKind net_fault_kind(std::size_t shard,
+                                            int attempt) const noexcept;
+
+  /// would_fail() plus the shard_failures tally.
   [[nodiscard]] bool shard_attempt_fails(std::size_t shard, int attempt);
 
-  /// True when the given (shard, attempt) should run slow.
+  /// would_straggle() plus the stragglers tally.
   [[nodiscard]] bool shard_attempt_straggles(std::size_t shard, int attempt);
 
   [[nodiscard]] double straggle_factor() const noexcept {

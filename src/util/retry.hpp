@@ -1,0 +1,46 @@
+// Bounded exponential-backoff retry policy.
+//
+// One policy type shared by every layer that retries: the sharded linkage
+// driver (ShardFaultPolicy) and the socket transport (TcpTransport connect
+// establishment) consume the same three knobs instead of carrying private
+// copies.  The policy is pure arithmetic — whether a delay is actually
+// slept (sockets) or recorded in a simulated wall-clock (in-process
+// shards) is the caller's business.
+#pragma once
+
+#include <algorithm>
+
+namespace fbf::util {
+
+struct RetryPolicy {
+  int max_attempts = 4;             ///< first try + bounded retries
+  double backoff_base_ms = 1.0;     ///< delay after the first failure
+  double backoff_multiplier = 2.0;  ///< exponential growth per retry
+
+  /// max_attempts clamped to at least one try.
+  [[nodiscard]] int bounded_attempts() const noexcept {
+    return std::max(1, max_attempts);
+  }
+
+  /// Delay to wait after failed attempt number `attempt` (1-based):
+  /// base * multiplier^(attempt-1).  Attempts below 1 are treated as 1.
+  [[nodiscard]] double next_delay_ms(int attempt) const noexcept {
+    double delay = backoff_base_ms;
+    for (int a = 1; a < attempt; ++a) {
+      delay *= backoff_multiplier;
+    }
+    return delay;
+  }
+
+  /// Total backoff accumulated by `failures` consecutive failed attempts
+  /// (the geometric series the retry loop would have waited through).
+  [[nodiscard]] double total_delay_ms(int failures) const noexcept {
+    double total = 0.0;
+    for (int a = 1; a <= failures; ++a) {
+      total += next_delay_ms(a);
+    }
+    return total;
+  }
+};
+
+}  // namespace fbf::util

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/exec_policy.hpp"
 #include "datagen/dataset.hpp"
 #include "linkage/engine.hpp"
 #include "linkage/incremental.hpp"
@@ -43,7 +44,7 @@ struct LayoutCase {
 
 void expect_filter_equivalence(const LayoutCase& layout, int k,
                                bool use_length, bool with_eligible) {
-  const auto dataset = dg::build_paired_dataset(layout.kind, 200, 417);
+  const auto dataset = dg::build_paired_dataset(layout.kind, 200, 417).value();
   c::PipelineConfig cfg;
   cfg.field_class = layout.cls;
   cfg.alpha_words = layout.alpha_words;
@@ -113,7 +114,7 @@ TEST(PipelineFilter, AlphaThreeWordsFallsBackTransparently) {
   // alpha l = 3 cannot pack; the pipeline must degrade to the per-pair
   // scan behind the same interface and agree with the raw predicate.
   const auto dataset =
-      dg::build_paired_dataset(dg::FieldKind::kLastName, 120, 5);
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 120, 5).value();
   c::PipelineConfig cfg;
   cfg.field_class = c::FieldClass::kAlpha;
   cfg.alpha_words = 3;
@@ -141,7 +142,7 @@ TEST(PipelineFilter, AlphaThreeWordsFallsBackTransparently) {
 TEST(PipelineFilter, IncrementalAppendEqualsBulkConstruction) {
   // The append-only candidate side: growing the pipeline batch by batch
   // filters identically to building it in one shot.
-  const auto dataset = dg::build_paired_dataset(dg::FieldKind::kSsn, 150, 23);
+  const auto dataset = dg::build_paired_dataset(dg::FieldKind::kSsn, 150, 23).value();
   c::PipelineConfig cfg;
   cfg.field_class = c::FieldClass::kNumeric;
   const c::CandidatePipeline bulk(cfg, dataset.error);
@@ -182,8 +183,10 @@ void expect_store_equivalence(const lk::ComparatorConfig& config,
   const auto error = lk::make_error_records(clean, model, rng);
   const auto more = lk::generate_people(n / 3, rng);
 
-  lk::EntityStore fast(config, {.use_pipeline = true, .threads = threads});
-  lk::EntityStore ref(config, {.use_pipeline = false});
+  lk::EntityStore fast(
+      config, fbf::core::ExecPolicy{.use_pipeline = true, .threads = threads});
+  lk::EntityStore ref(config,
+                      fbf::core::ExecPolicy{.use_pipeline = false});
   for (const auto& batch : {clean, error, more}) {
     const auto fs = fast.ingest(batch);
     const auto rs = ref.ingest(batch);
@@ -255,7 +258,8 @@ TEST(EntityStoreEquivalence, RestoredStoreKeepsEquivalence) {
 
   lk::EntityStore donor(config);
   donor.ingest(base);
-  lk::EntityStore fast(config, {.use_pipeline = true, .threads = 4});
+  lk::EntityStore fast(
+      config, fbf::core::ExecPolicy{.use_pipeline = true, .threads = 4});
   ASSERT_TRUE(fast.restore(
                       std::vector(donor.records().begin(),
                                   donor.records().end()),
@@ -263,7 +267,8 @@ TEST(EntityStoreEquivalence, RestoredStoreKeepsEquivalence) {
                                   donor.entity_ids().end()),
                       static_cast<std::uint32_t>(donor.entity_count()))
                   .ok());
-  lk::EntityStore ref(config, {.use_pipeline = false});
+  lk::EntityStore ref(config,
+                      fbf::core::ExecPolicy{.use_pipeline = false});
   ref.ingest(base);
 
   const auto fs = fast.ingest(next);
@@ -295,11 +300,11 @@ void expect_link_equivalence(const lk::ComparatorConfig& comparator,
 
   lk::LinkConfig pipe;
   pipe.comparator = comparator;
-  pipe.threads = threads;
+  pipe.exec.threads = threads;
   pipe.collect_matches = true;
-  pipe.use_pipeline = true;
+  pipe.exec.use_pipeline = true;
   lk::LinkConfig scalar = pipe;
-  scalar.use_pipeline = false;
+  scalar.exec.use_pipeline = false;
 
   const auto a = lk::link_exhaustive(left, right, pipe);
   const auto b = lk::link_exhaustive(left, right, scalar);
@@ -339,9 +344,9 @@ TEST(ShardedEquivalence, AllSchemesMatchScalarPath) {
     pipe.scheme = scheme;
     pipe.link.comparator =
         lk::make_point_threshold_config(lk::FieldStrategy::kFpdl);
-    pipe.link.use_pipeline = true;
+    pipe.link.exec.use_pipeline = true;
     lk::ShardedConfig scalar = pipe;
-    scalar.link.use_pipeline = false;
+    scalar.link.exec.use_pipeline = false;
 
     const auto a = lk::link_sharded(left, right, pipe);
     const auto b = lk::link_sharded(left, right, scalar);

@@ -120,7 +120,7 @@ TEST(Clustering, EndToEndDeduplication) {
   // duplicate structure with near-perfect pairwise quality.
   const auto dataset =
       fbf::datagen::build_paired_dataset(fbf::datagen::FieldKind::kSsn, 150,
-                                         5);
+                                         5).value();
   std::vector<std::string> list;
   std::vector<std::uint64_t> truth;
   for (std::size_t i = 0; i < dataset.size(); ++i) {

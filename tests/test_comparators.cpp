@@ -60,7 +60,7 @@ TEST(Comparators, FilterOnlyMethodsAcceptSurvivors) {
 TEST(Comparators, AgreesWithJoinEngine) {
   // The facade must make the exact decisions the join engine makes.
   const auto dataset =
-      dg::build_paired_dataset(dg::FieldKind::kLastName, 60, 17);
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 60, 17).value();
   for (const c::Method method :
        {c::Method::kDl, c::Method::kFpdl, c::Method::kLfpdl,
         c::Method::kJaro, c::Method::kSoundex, c::Method::kHamming}) {

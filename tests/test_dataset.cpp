@@ -42,7 +42,7 @@ TEST(FieldKind, AllKindsTable5Order) {
 class DatasetPerField : public ::testing::TestWithParam<dg::FieldKind> {};
 
 TEST_P(DatasetPerField, PairedByIndexWithOneEdit) {
-  const auto dataset = dg::build_paired_dataset(GetParam(), 300, 12345);
+  const auto dataset = dg::build_paired_dataset(GetParam(), 300, 12345).value();
   ASSERT_EQ(dataset.clean.size(), 300u);
   ASSERT_EQ(dataset.error.size(), 300u);
   for (std::size_t i = 0; i < dataset.size(); ++i) {
@@ -53,20 +53,20 @@ TEST_P(DatasetPerField, PairedByIndexWithOneEdit) {
 }
 
 TEST_P(DatasetPerField, DeterministicForSeed) {
-  const auto a = dg::build_paired_dataset(GetParam(), 100, 777);
-  const auto b = dg::build_paired_dataset(GetParam(), 100, 777);
+  const auto a = dg::build_paired_dataset(GetParam(), 100, 777).value();
+  const auto b = dg::build_paired_dataset(GetParam(), 100, 777).value();
   EXPECT_EQ(a.clean, b.clean);
   EXPECT_EQ(a.error, b.error);
 }
 
 TEST_P(DatasetPerField, DifferentSeedsDifferentData) {
-  const auto a = dg::build_paired_dataset(GetParam(), 100, 1);
-  const auto b = dg::build_paired_dataset(GetParam(), 100, 2);
+  const auto a = dg::build_paired_dataset(GetParam(), 100, 1).value();
+  const auto b = dg::build_paired_dataset(GetParam(), 100, 2).value();
   EXPECT_NE(a.clean, b.clean);
 }
 
 TEST_P(DatasetPerField, CleanEntriesUnique) {
-  const auto dataset = dg::build_paired_dataset(GetParam(), 500, 31);
+  const auto dataset = dg::build_paired_dataset(GetParam(), 500, 31).value();
   const std::unordered_set<std::string> unique(dataset.clean.begin(),
                                                dataset.clean.end());
   EXPECT_EQ(unique.size(), dataset.clean.size());
@@ -81,11 +81,22 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(dg::field_kind_name(param_info.param));
     });
 
+TEST(Dataset, InvalidShapesComeBackAsStatusNotThrow) {
+  const auto empty = dg::build_paired_dataset(dg::FieldKind::kLastName, 0, 1);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), fbf::util::StatusCode::kInvalidArgument);
+  const auto no_edits =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 10, 1, /*edits=*/0);
+  ASSERT_FALSE(no_edits.ok());
+  EXPECT_EQ(no_edits.status().code(),
+            fbf::util::StatusCode::kInvalidArgument);
+}
+
 TEST(Dataset, MultiEditExtension) {
   // true DL is a metric, so stacking 3 single edits keeps true_dl <= 3
   // (OSA "DL" can exceed the edit count — triangle inequality violation).
   const auto dataset =
-      dg::build_paired_dataset(dg::FieldKind::kLastName, 200, 5, /*edits=*/3);
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 200, 5, /*edits=*/3).value();
   for (std::size_t i = 0; i < dataset.size(); ++i) {
     EXPECT_LE(
         fbf::metrics::true_dl_distance(dataset.clean[i], dataset.error[i]),
@@ -94,15 +105,15 @@ TEST(Dataset, MultiEditExtension) {
 }
 
 TEST(Dataset, CleanFieldValuesAreDomainValid) {
-  const auto ssn = dg::build_paired_dataset(dg::FieldKind::kSsn, 200, 8);
+  const auto ssn = dg::build_paired_dataset(dg::FieldKind::kSsn, 200, 8).value();
   for (const auto& s : ssn.clean) {
     EXPECT_TRUE(dg::is_valid_ssn(s)) << s;
   }
-  const auto ph = dg::build_paired_dataset(dg::FieldKind::kPhone, 200, 8);
+  const auto ph = dg::build_paired_dataset(dg::FieldKind::kPhone, 200, 8).value();
   for (const auto& s : ph.clean) {
     EXPECT_TRUE(dg::is_valid_nanp(s)) << s;
   }
-  const auto bi = dg::build_paired_dataset(dg::FieldKind::kBirthDate, 200, 8);
+  const auto bi = dg::build_paired_dataset(dg::FieldKind::kBirthDate, 200, 8).value();
   for (const auto& s : bi.clean) {
     EXPECT_TRUE(dg::is_valid_birthdate(s)) << s;
   }

@@ -80,6 +80,43 @@ TEST(FaultInjector, WriteFaultsAreKeyedBySequenceNotHistory) {
   EXPECT_EQ(busy.truncated_size(777, "journal", 9), expected_size);
 }
 
+TEST(FaultInjector, NetFaultKindIsDeterministicAndCoversAllKinds) {
+  FaultConfig config;
+  config.seed = 321;
+  config.shard_fail_rate = 1.0;
+  const FaultInjector a(config);
+  const FaultInjector b(config);
+  bool seen[fbf::util::kNetFaultKindCount] = {};
+  for (std::size_t shard = 0; shard < 8; ++shard) {
+    for (int attempt = 1; attempt <= 16; ++attempt) {
+      const auto kind = a.net_fault_kind(shard, attempt);
+      EXPECT_EQ(kind, b.net_fault_kind(shard, attempt));
+      seen[static_cast<int>(kind)] = true;
+      EXPECT_STRNE(fbf::util::net_fault_kind_name(kind), "?");
+    }
+  }
+  for (const bool kind_seen : seen) {
+    EXPECT_TRUE(kind_seen) << "a fault kind never drawn in 128 draws";
+  }
+}
+
+TEST(FaultInjector, PureDecisionsMatchCountingOnes) {
+  FaultConfig config;
+  config.seed = 55;
+  config.shard_fail_rate = 0.5;
+  config.shard_straggle_rate = 0.5;
+  const FaultInjector pure(config);
+  FaultInjector counting(config);
+  for (std::size_t shard = 0; shard < 6; ++shard) {
+    for (int attempt = 1; attempt <= 6; ++attempt) {
+      EXPECT_EQ(pure.would_fail(shard, attempt),
+                counting.shard_attempt_fails(shard, attempt));
+      EXPECT_EQ(pure.would_straggle(shard, attempt),
+                counting.shard_attempt_straggles(shard, attempt));
+    }
+  }
+}
+
 TEST(FaultInjector, RateOneAlwaysFiresRateZeroNever) {
   FaultConfig always;
   always.shard_fail_rate = 1.0;

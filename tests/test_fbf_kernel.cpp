@@ -55,7 +55,7 @@ std::vector<bool> reference_pass(const std::vector<std::string>& query,
 void check_layout(dg::FieldKind kind, FieldClass cls, int alpha_words,
                   std::size_t count, int threshold) {
   const auto dataset =
-      dg::build_paired_dataset(kind, std::max<std::size_t>(count, 2), 911);
+      dg::build_paired_dataset(kind, std::max<std::size_t>(count, 2), 911).value();
   std::vector<std::string> cands(dataset.error.begin(),
                                  dataset.error.begin() +
                                      static_cast<std::ptrdiff_t>(count));

@@ -13,7 +13,7 @@ namespace dg = fbf::datagen;
 
 const dg::PairedDataset& ln_dataset() {
   static const dg::PairedDataset dataset =
-      dg::build_paired_dataset(dg::FieldKind::kLastName, 250, 2024);
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 250, 2024).value();
   return dataset;
 }
 

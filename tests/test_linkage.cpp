@@ -2,6 +2,7 @@
 
 #include "linkage/comparator.hpp"
 #include "linkage/engine.hpp"
+#include "linkage/incremental.hpp"
 #include "linkage/person_gen.hpp"
 #include "linkage/record.hpp"
 #include "util/rng.hpp"
@@ -225,9 +226,9 @@ TEST(Engine, ThreadsDoNotChangeResults) {
   lk::LinkConfig config;
   config.comparator =
       lk::make_point_threshold_config(lk::FieldStrategy::kFpdl);
-  config.threads = 1;
+  config.exec.threads = 1;
   const auto serial = lk::link_exhaustive(clean, error, config);
-  config.threads = 4;
+  config.exec.threads = 4;
   const auto parallel = lk::link_exhaustive(clean, error, config);
   EXPECT_EQ(parallel.matches, serial.matches);
   EXPECT_EQ(parallel.true_positives, serial.true_positives);
@@ -254,5 +255,35 @@ TEST(Engine, FalseNegativesAccounting) {
   const auto stats = lk::link_exhaustive(clean, error, config);
   EXPECT_EQ(stats.false_negatives(60), 60 - stats.true_positives);
 }
+
+// The one-release compatibility shims: writing through the old loose
+// member names must land in the embedded ExecPolicy, and copies must
+// carry values (not re-alias the source's exec).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ExecPolicyMigration, DeprecatedAliasesWriteThroughToExec) {
+  lk::LinkConfig config;
+  config.threads = 7;
+  config.use_pipeline = false;
+  EXPECT_EQ(config.exec.threads, 7u);
+  EXPECT_FALSE(config.exec.use_pipeline);
+
+  lk::LinkConfig copy = config;
+  EXPECT_EQ(copy.exec.threads, 7u);
+  copy.threads = 3;  // the copy's alias binds the copy's exec, not the source's
+  EXPECT_EQ(copy.exec.threads, 3u);
+  EXPECT_EQ(config.exec.threads, 7u);
+
+  lk::EntityStoreOptions options;
+  options.use_pipeline = false;
+  options.threads = 5;
+  EXPECT_FALSE(options.exec.use_pipeline);
+  EXPECT_EQ(options.exec.threads, 5u);
+  lk::EntityStoreOptions options_copy = options;
+  options_copy.threads = 2;
+  EXPECT_EQ(options.exec.threads, 5u);
+  EXPECT_EQ(options_copy.exec.threads, 2u);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace

@@ -102,7 +102,7 @@ TEST(MatchJoin, CollectMatchesReturnsPairs) {
 TEST(MatchJoin, ThreadCountDoesNotChangeResults) {
   // The parallel join must be a pure performance knob.
   const auto dataset = fbf::datagen::build_paired_dataset(
-      fbf::datagen::FieldKind::kLastName, 200, 77);
+      fbf::datagen::FieldKind::kLastName, 200, 77).value();
   for (const Method method : {Method::kDl, Method::kFpdl, Method::kLfpdl,
                               Method::kJaro, Method::kSoundex}) {
     JoinConfig config = base_config(method);
@@ -160,7 +160,7 @@ class JoinEquivalence
 
 TEST_P(JoinEquivalence, FilteredMethodsLoseNothing) {
   const auto kind = GetParam();
-  const auto dataset = fbf::datagen::build_paired_dataset(kind, 150, 99);
+  const auto dataset = fbf::datagen::build_paired_dataset(kind, 150, 99).value();
   fbf::experiments::ExperimentConfig exp;
   exp.k = 1;
   const auto base_join =
@@ -216,7 +216,7 @@ TEST(PackedTiledJoin, IdenticalToScalarScanEverywhere) {
                   {fbf::datagen::FieldKind::kLastName, 180},
                   {fbf::datagen::FieldKind::kAddress, 120}};
   for (const auto& d : datasets) {
-    const auto dataset = fbf::datagen::build_paired_dataset(d.kind, d.n, 321);
+    const auto dataset = fbf::datagen::build_paired_dataset(d.kind, d.n, 321).value();
     for (const Method method :
          {Method::kFpdl, Method::kFdl, Method::kLfpdl, Method::kFbfOnly,
           Method::kLfbfOnly}) {
@@ -258,7 +258,7 @@ TEST(PackedTiledJoin, IdenticalToScalarScanEverywhere) {
 // back to the per-pair scan transparently — same results, scan kernel.
 TEST(PackedTiledJoin, WideAlphaFallsBackToScan) {
   const auto dataset = fbf::datagen::build_paired_dataset(
-      fbf::datagen::FieldKind::kLastName, 150, 55);
+      fbf::datagen::FieldKind::kLastName, 150, 55).value();
   for (const int alpha_words : {3, 4}) {
     JoinConfig reference = base_config(Method::kFpdl);
     reference.alpha_words = alpha_words;
@@ -288,7 +288,7 @@ TEST(PackedTiledJoin, SkewedJoinSchedulesManyWorkUnits) {
   constexpr std::size_t kRight = 100000;
   ASSERT_GE(fbf::core::join_tile_count(2, kRight), 256u);
   const auto dataset = fbf::datagen::build_paired_dataset(
-      fbf::datagen::FieldKind::kSsn, kRight, 7);
+      fbf::datagen::FieldKind::kSsn, kRight, 7).value();
   const std::vector<std::string> probes = {dataset.clean[0],
                                            dataset.clean[1]};
   JoinConfig config = base_config(Method::kFbfOnly);
@@ -310,7 +310,7 @@ TEST(PackedTiledJoin, SkewedJoinSchedulesManyWorkUnits) {
 // ascending by (i, j) and byte-identical across thread counts.
 TEST(PackedTiledJoin, MatchPairsSortedAndThreadInvariant) {
   const auto dataset = fbf::datagen::build_paired_dataset(
-      fbf::datagen::FieldKind::kLastName, 300, 13);
+      fbf::datagen::FieldKind::kLastName, 300, 13).value();
   for (const Method method : {Method::kFpdl, Method::kJaro}) {
     JoinConfig config = base_config(method);
     config.collect_matches = true;

@@ -1,0 +1,135 @@
+// Frame codec property tests: round-trip identity, incremental decoding
+// at every truncation point, and the corruption guarantee — no single-bit
+// flip anywhere in a frame (header or payload) survives the checksum.
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace {
+
+namespace net = fbf::net;
+
+net::FrameContext make_ctx(net::FrameType type, std::uint32_t shard,
+                           std::uint32_t attempt) {
+  net::FrameContext ctx;
+  ctx.type = type;
+  ctx.shard = shard;
+  ctx.attempt = attempt;
+  return ctx;
+}
+
+TEST(FrameCodec, RoundTripsPayloadAndContext) {
+  for (const std::string& payload :
+       {std::string{}, std::string("x"), std::string("hello shard"),
+        std::string(4096, '\xab')}) {
+    const auto ctx = make_ctx(net::FrameType::kLinkRequest, 5, 3);
+    const std::string frame = net::encode_frame(ctx, payload);
+    ASSERT_EQ(frame.size(), net::kFrameHeaderBytes + payload.size());
+    const auto decoded = net::try_decode_frame(frame);
+    ASSERT_EQ(decoded.status, net::DecodeStatus::kFrame);
+    EXPECT_EQ(decoded.ctx.type, net::FrameType::kLinkRequest);
+    EXPECT_EQ(decoded.ctx.shard, 5u);
+    EXPECT_EQ(decoded.ctx.attempt, 3u);
+    EXPECT_EQ(decoded.payload, payload);
+    EXPECT_EQ(decoded.consumed, frame.size());
+  }
+}
+
+TEST(FrameCodec, EveryTypeRoundTrips) {
+  for (const auto type :
+       {net::FrameType::kLinkRequest, net::FrameType::kLinkReply,
+        net::FrameType::kError, net::FrameType::kPing, net::FrameType::kPong}) {
+    const std::string frame = net::encode_frame(make_ctx(type, 1, 1), "p");
+    const auto decoded = net::try_decode_frame(frame);
+    ASSERT_EQ(decoded.status, net::DecodeStatus::kFrame);
+    EXPECT_EQ(decoded.ctx.type, type);
+  }
+}
+
+TEST(FrameCodec, NeedsMoreAtEveryTruncationPoint) {
+  const std::string frame =
+      net::encode_frame(make_ctx(net::FrameType::kLinkReply, 2, 1),
+                        "truncate me anywhere");
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const auto decoded =
+        net::try_decode_frame(std::string_view(frame.data(), len));
+    EXPECT_EQ(decoded.status, net::DecodeStatus::kNeedMore)
+        << "prefix of " << len << " bytes";
+    EXPECT_EQ(decoded.consumed, 0u);
+  }
+}
+
+// The corruption fuzz: flip every bit of every byte, one at a time.  A
+// flipped frame must never decode as a valid frame — the type/length
+// sanity checks or the seeded checksum catch it.  (A flip that *grows*
+// the length field may legitimately report kNeedMore; what is forbidden
+// is kFrame.)
+TEST(FrameCodec, NoSingleBitFlipSurvives) {
+  const std::string frame = net::encode_frame(
+      make_ctx(net::FrameType::kLinkRequest, 7, 2), "payload under test");
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = frame;
+      mutated[i] = static_cast<char>(static_cast<unsigned char>(mutated[i]) ^
+                                     (1u << bit));
+      const auto decoded = net::try_decode_frame(mutated);
+      EXPECT_NE(decoded.status, net::DecodeStatus::kFrame)
+          << "bit " << bit << " of byte " << i << " slipped through";
+    }
+  }
+}
+
+TEST(FrameCodec, RejectsBadMagic) {
+  std::string frame =
+      net::encode_frame(make_ctx(net::FrameType::kPing, 0, 1), {});
+  frame[0] = 'X';
+  const auto decoded = net::try_decode_frame(frame);
+  EXPECT_EQ(decoded.status, net::DecodeStatus::kCorrupt);
+  EXPECT_NE(decoded.error, nullptr);
+}
+
+TEST(FrameCodec, RejectsUnknownTypeAndReservedBits) {
+  std::string bad_type =
+      net::encode_frame(make_ctx(net::FrameType::kPing, 0, 1), {});
+  const std::uint16_t type = 999;
+  std::memcpy(bad_type.data() + 4, &type, sizeof(type));
+  EXPECT_EQ(net::try_decode_frame(bad_type).status,
+            net::DecodeStatus::kCorrupt);
+
+  std::string bad_reserved =
+      net::encode_frame(make_ctx(net::FrameType::kPing, 0, 1), {});
+  bad_reserved[6] = 1;  // reserved u16 must be zero
+  EXPECT_EQ(net::try_decode_frame(bad_reserved).status,
+            net::DecodeStatus::kCorrupt);
+}
+
+TEST(FrameCodec, RejectsImplausibleLength) {
+  std::string frame =
+      net::encode_frame(make_ctx(net::FrameType::kLinkRequest, 0, 1), "abc");
+  const std::uint32_t huge = net::kMaxFramePayloadBytes + 1;
+  std::memcpy(frame.data() + 16, &huge, sizeof(huge));
+  const auto decoded = net::try_decode_frame(frame);
+  EXPECT_EQ(decoded.status, net::DecodeStatus::kCorrupt);
+}
+
+TEST(FrameCodec, DecodesExactlyOneFrameFromAStream) {
+  const std::string first =
+      net::encode_frame(make_ctx(net::FrameType::kLinkRequest, 1, 1), "one");
+  const std::string second =
+      net::encode_frame(make_ctx(net::FrameType::kLinkReply, 2, 4), "two");
+  const std::string stream = first + second;
+  const auto a = net::try_decode_frame(stream);
+  ASSERT_EQ(a.status, net::DecodeStatus::kFrame);
+  EXPECT_EQ(a.payload, "one");
+  EXPECT_EQ(a.consumed, first.size());
+  const auto b =
+      net::try_decode_frame(std::string_view(stream).substr(a.consumed));
+  ASSERT_EQ(b.status, net::DecodeStatus::kFrame);
+  EXPECT_EQ(b.payload, "two");
+  EXPECT_EQ(b.ctx.attempt, 4u);
+}
+
+}  // namespace

@@ -55,7 +55,7 @@ TEST(PackedStore, PackedXorDiffEqualsFindDiffBits) {
       {dg::FieldKind::kAddress, FieldClass::kAlphanumeric, 2},
   };
   for (const Case& c : cases) {
-    const auto dataset = dg::build_paired_dataset(c.kind, 200, 31);
+    const auto dataset = dg::build_paired_dataset(c.kind, 200, 31).value();
     const PackedSignatureStore left(dataset.clean, c.cls, c.alpha_words);
     const PackedSignatureStore right(dataset.error, c.cls, c.alpha_words);
     ASSERT_EQ(left.size(), dataset.clean.size());
@@ -78,7 +78,7 @@ TEST(PackedStore, PackedXorDiffEqualsFindDiffBits) {
 }
 
 TEST(PackedStore, LengthsMatchStrings) {
-  const auto dataset = dg::build_paired_dataset(dg::FieldKind::kAddress, 64, 5);
+  const auto dataset = dg::build_paired_dataset(dg::FieldKind::kAddress, 64, 5).value();
   const PackedSignatureStore store(dataset.clean, FieldClass::kAlphanumeric);
   for (std::size_t i = 0; i < store.size(); ++i) {
     EXPECT_EQ(store.lengths()[i], dataset.clean[i].size());
@@ -99,7 +99,7 @@ TEST(PackedStore, PlanesAreAlignedAndPadded) {
 
 TEST(PackedStore, ParallelBuildMatchesSerial) {
   const auto dataset =
-      dg::build_paired_dataset(dg::FieldKind::kLastName, 500, 77);
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 500, 77).value();
   const PackedSignatureStore serial(dataset.clean, FieldClass::kAlpha, 2, 1);
   const PackedSignatureStore parallel(dataset.clean, FieldClass::kAlpha, 2, 7);
   ASSERT_EQ(serial.size(), parallel.size());
@@ -135,7 +135,7 @@ TEST(PackedStore, IncrementalAppendMatchesBulkBuild) {
       {dg::FieldKind::kAddress, FieldClass::kAlphanumeric, 2},
   };
   for (const Case& c : cases) {
-    const auto dataset = dg::build_paired_dataset(c.kind, 300, 91);
+    const auto dataset = dg::build_paired_dataset(c.kind, 300, 91).value();
     const auto& all = dataset.clean;
     const PackedSignatureStore bulk(all, c.cls, c.alpha_words);
 
@@ -175,7 +175,7 @@ TEST(PackedStore, IncrementalAppendMatchesBulkBuild) {
 TEST(PackedStore, AppendSignatureMatchesStringAppend) {
   // The pre-built-signature entry point (EntityStore's path) must pack
   // identically to the string path.
-  const auto dataset = dg::build_paired_dataset(dg::FieldKind::kAddress, 50, 3);
+  const auto dataset = dg::build_paired_dataset(dg::FieldKind::kAddress, 50, 3).value();
   const PackedSignatureStore bulk(dataset.clean, FieldClass::kAlphanumeric, 2);
   PackedSignatureStore inc(FieldClass::kAlphanumeric, 2);
   for (const std::string& s : dataset.clean) {
@@ -193,7 +193,7 @@ TEST(PackedStore, AppendSignatureMatchesStringAppend) {
 
 TEST(PackedStore, AppendAccumulatesBuildTime) {
   const auto dataset =
-      dg::build_paired_dataset(dg::FieldKind::kLastName, 4000, 11);
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 4000, 11).value();
   PackedSignatureStore store(FieldClass::kAlpha, 2);
   store.append(std::span(dataset.clean).first(2000));
   const double after_first = store.build_ms();

@@ -49,7 +49,7 @@ class BkTreeEquivalence : public ::testing::TestWithParam<int> {};
 TEST_P(BkTreeEquivalence, MatchesBruteForceTrueDl) {
   const int k = GetParam();
   const auto dataset = dg::build_paired_dataset(dg::FieldKind::kLastName,
-                                                250, 77);
+                                                250, 77).value();
   const BkTree tree(dataset.error);
   std::vector<std::uint32_t> out;
   for (const std::string& query : dataset.clean) {
@@ -73,7 +73,7 @@ TEST(BkTree, PruningDoesWork) {
   // A range query must evaluate far fewer distances than the tree size
   // on clustered name data at radius 1.
   const auto dataset =
-      dg::build_paired_dataset(dg::FieldKind::kLastName, 2000, 3);
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 2000, 3).value();
   const BkTree tree(dataset.error);
   std::vector<std::uint32_t> out;
   const std::size_t evals = tree.query(dataset.clean[0], 1, out);
@@ -84,7 +84,7 @@ TEST(BkTree, SupersetOfOsaMatches) {
   // true_dl <= OSA, so radius-k BK results cover every OSA-within-k pair
   // — the property that makes the tree a safe OSA candidate generator.
   const auto dataset =
-      dg::build_paired_dataset(dg::FieldKind::kLastName, 300, 12);
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 300, 12).value();
   const BkTree tree(dataset.error);
   std::vector<std::uint32_t> out;
   for (std::size_t i = 0; i < dataset.size(); ++i) {
@@ -117,7 +117,7 @@ TEST(TrieSearch, EmptyAndExact) {
 TEST(TrieSearch, PrefixSharingVisitsFewNodes) {
   // 1000 strings sharing prefixes: visited rows far below total chars.
   const auto dataset =
-      dg::build_paired_dataset(dg::FieldKind::kLastName, 1000, 8);
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 1000, 8).value();
   const TrieSearch trie(dataset.error);
   EXPECT_LT(trie.node_count(),
             1000u * 8u);  // prefix sharing compresses the dictionary
@@ -157,7 +157,7 @@ class TrieEquivalence
 
 TEST_P(TrieEquivalence, MatchesBruteForceOsa) {
   const auto [kind, k] = GetParam();
-  const auto dataset = dg::build_paired_dataset(kind, 220, 41);
+  const auto dataset = dg::build_paired_dataset(kind, 220, 41).value();
   const TrieSearch trie(dataset.error);
   std::vector<std::uint32_t> out;
   for (const std::string& query : dataset.clean) {

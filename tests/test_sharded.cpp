@@ -155,7 +155,7 @@ TEST(Sharded, PermanentShardFailureDegradesGracefully) {
   auto config = make_config(4, lk::PartitionScheme::kReplicateRight);
   lk::ShardFaultPolicy policy;
   policy.faults.fail_shard = 2;
-  policy.max_attempts = 3;
+  policy.retry.max_attempts = 3;
   config.fault = policy;
   const auto baseline = lk::link_sharded(
       fx.clean, fx.error, make_config(4, lk::PartitionScheme::kReplicateRight));
@@ -190,23 +190,23 @@ TEST(Sharded, TransientFailuresRetryWithBoundedBackoff) {
   lk::ShardFaultPolicy policy;
   policy.faults.seed = 1234;
   policy.faults.shard_fail_rate = 0.5;
-  policy.max_attempts = 8;  // transient faults at 0.5 almost always clear
-  policy.backoff_base_ms = 2.0;
-  policy.backoff_multiplier = 2.0;
+  policy.retry.max_attempts = 8;  // transient faults at 0.5 almost always clear
+  policy.retry.backoff_base_ms = 2.0;
+  policy.retry.backoff_multiplier = 2.0;
   config.fault = policy;
   const auto result = lk::link_sharded(fx.clean, fx.error, config);
   EXPECT_GT(result.retries, 0u);  // seed 1234 draws some failures
   std::uint64_t counted_retries = 0;
   for (const auto& shard : result.shards) {
-    ASSERT_LE(shard.attempts, policy.max_attempts);
+    ASSERT_LE(shard.attempts, policy.retry.max_attempts);
     if (shard.completed) {
       // A shard that needed a attempts carries the geometric backoff sum.
       counted_retries += static_cast<std::uint64_t>(shard.attempts - 1);
       double expected_backoff = 0.0;
-      double step = policy.backoff_base_ms;
+      double step = policy.retry.backoff_base_ms;
       for (int a = 1; a < shard.attempts; ++a) {
         expected_backoff += step;
-        step *= policy.backoff_multiplier;
+        step *= policy.retry.backoff_multiplier;
       }
       EXPECT_DOUBLE_EQ(shard.backoff_ms, expected_backoff);
     } else {
@@ -242,7 +242,7 @@ TEST(Sharded, AllShardsFailingStillCompletes) {
   auto config = make_config(3, lk::PartitionScheme::kReplicateRight);
   lk::ShardFaultPolicy policy;
   policy.faults.shard_fail_rate = 1.0;
-  policy.max_attempts = 2;
+  policy.retry.max_attempts = 2;
   config.fault = policy;
   const auto result = lk::link_sharded(fx.clean, fx.error, config);
   EXPECT_EQ(result.failed_shards, 3u);

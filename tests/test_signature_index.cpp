@@ -63,7 +63,7 @@ TEST_P(IndexEquivalence, QueryReturnsExactlyTheFbfPassSet) {
   // The index must surface exactly the pairs the scan filter passes.
   const auto kind = GetParam();
   const auto cls = dg::field_class_of(kind);
-  const auto dataset = dg::build_paired_dataset(kind, 150, 321);
+  const auto dataset = dg::build_paired_dataset(kind, 150, 321).value();
   const int k = 1;
   const auto index = c::SignatureIndex::build(dataset.error, cls, 2, k);
   ASSERT_TRUE(index.has_value());
@@ -97,7 +97,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(IndexedJoin, MatchesScanJoinExactly) {
   for (const auto kind :
        {dg::FieldKind::kSsn, dg::FieldKind::kLastName}) {
-    const auto dataset = dg::build_paired_dataset(kind, 300, 55);
+    const auto dataset = dg::build_paired_dataset(kind, 300, 55).value();
     const auto cls = dg::field_class_of(kind);
     const auto indexed = c::match_strings_indexed(
         dataset.clean, dataset.error, cls, 1);
@@ -121,7 +121,7 @@ TEST(IndexedJoin, IndexRefusalDegradesToTileScan) {
   // Alphanumeric exceeds the 64-bit probe key, but the packed planes
   // still cover it: the join degrades to a pipeline tile-scan with the
   // exact scan-join results instead of failing.
-  const auto dataset = dg::build_paired_dataset(dg::FieldKind::kAddress, 50, 1);
+  const auto dataset = dg::build_paired_dataset(dg::FieldKind::kAddress, 50, 1).value();
   const auto indexed = c::match_strings_indexed(
       dataset.clean, dataset.error, c::FieldClass::kAlphanumeric, 1);
   ASSERT_TRUE(indexed.has_value());
@@ -140,14 +140,14 @@ TEST(IndexedJoin, UnpackableLayoutReturnsNullopt) {
   // Alpha l = 3 fits neither the probe key nor the packed planes —
   // nothing to accelerate, so the caller must use the scan join.
   const auto dataset =
-      dg::build_paired_dataset(dg::FieldKind::kLastName, 50, 1);
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 50, 1).value();
   EXPECT_FALSE(c::match_strings_indexed(dataset.clean, dataset.error,
                                         c::FieldClass::kAlpha, 1, 3)
                    .has_value());
 }
 
 TEST(IndexedJoin, K2NumericSupported) {
-  const auto dataset = dg::build_paired_dataset(dg::FieldKind::kSsn, 150, 9);
+  const auto dataset = dg::build_paired_dataset(dg::FieldKind::kSsn, 150, 9).value();
   const auto indexed = c::match_strings_indexed(
       dataset.clean, dataset.error, c::FieldClass::kNumeric, 2);
   ASSERT_TRUE(indexed.has_value());

@@ -1,0 +1,361 @@
+// Transport-layer tests: the shard link protocol codecs, the in-process
+// reference transport, the real TCP path (server event loop + frame
+// protocol + deadlines), each injected fault kind manifesting as a real
+// socket failure, and the headline property — link_sharded produces
+// identical counters over InProcessTransport and TcpTransport for the
+// same fault seed.
+#include "net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "linkage/person_gen.hpp"
+#include "linkage/shard_service.hpp"
+#include "linkage/sharded.hpp"
+#include "net/tcp.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace lk = fbf::linkage;
+namespace net = fbf::net;
+namespace u = fbf::util;
+
+net::ShardHandler echo_handler() {
+  return [](const net::FrameContext&, std::string_view payload) {
+    return u::Result<std::string>(std::string(payload));
+  };
+}
+
+// --- link protocol codecs ----------------------------------------------
+
+TEST(ShardProtocol, LinkRequestRoundTrips) {
+  u::Rng rng(11);
+  const auto left = lk::generate_people(7, rng);
+  const auto right = lk::generate_people(5, rng);
+  const std::string payload = lk::encode_link_request(left, right, false);
+  const auto decoded = lk::decode_link_request(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  ASSERT_EQ(decoded.value().left.size(), left.size());
+  ASSERT_EQ(decoded.value().right.size(), right.size());
+  EXPECT_FALSE(decoded.value().broadcast_right);
+  for (std::size_t i = 0; i < left.size(); ++i) {
+    EXPECT_EQ(decoded.value().left[i].last_name, left[i].last_name);
+    EXPECT_EQ(decoded.value().left[i].id, left[i].id);
+  }
+}
+
+TEST(ShardProtocol, BroadcastRequestShipsNoRightRecords) {
+  u::Rng rng(12);
+  const auto left = lk::generate_people(4, rng);
+  const auto right = lk::generate_people(300, rng);
+  const std::string broadcast = lk::encode_link_request(left, right, true);
+  const std::string inline_right = lk::encode_link_request(left, right, false);
+  EXPECT_LT(broadcast.size(), inline_right.size() / 4)
+      << "broadcast flag should replace the right list, not ship it";
+  const auto decoded = lk::decode_link_request(broadcast);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().broadcast_right);
+  EXPECT_TRUE(decoded.value().right.empty());
+}
+
+TEST(ShardProtocol, TruncatedRequestIsRejected) {
+  u::Rng rng(13);
+  const auto left = lk::generate_people(3, rng);
+  const std::string payload = lk::encode_link_request(left, {}, true);
+  for (const std::size_t len : {payload.size() - 1, payload.size() / 2,
+                                std::size_t{0}}) {
+    const auto decoded =
+        lk::decode_link_request(std::string_view(payload).substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes";
+  }
+  const auto trailing = lk::decode_link_request(payload + "x");
+  EXPECT_FALSE(trailing.ok());
+}
+
+TEST(ShardProtocol, ShardReplyRoundTrips) {
+  lk::ShardReply reply;
+  reply.pairs = 1234;
+  reply.matches = 56;
+  reply.true_positives = 55;
+  reply.link_ms = 7.25;
+  const auto decoded = lk::decode_shard_reply(lk::encode_shard_reply(reply));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().pairs, 1234u);
+  EXPECT_EQ(decoded.value().matches, 56u);
+  EXPECT_EQ(decoded.value().true_positives, 55u);
+  EXPECT_DOUBLE_EQ(decoded.value().link_ms, 7.25);
+  EXPECT_FALSE(lk::decode_shard_reply("short").ok());
+}
+
+// --- in-process transport ----------------------------------------------
+
+TEST(InProcessTransport, RoutesPayloadAndContext) {
+  net::FrameContext seen;
+  net::InProcessTransport transport(
+      [&seen](const net::FrameContext& ctx, std::string_view payload) {
+        seen = ctx;
+        return u::Result<std::string>(std::string(payload) + "!");
+      });
+  const auto reply =
+      transport.call(3, 2, net::FrameType::kLinkRequest, "ping");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value(), "ping!");
+  EXPECT_EQ(seen.shard, 3u);
+  EXPECT_EQ(seen.attempt, 2u);
+  EXPECT_FALSE(transport.real_time());
+}
+
+TEST(InProcessTransport, InjectedFaultFailsTheAttempt) {
+  u::FaultConfig faults;
+  faults.fail_shard = 1;
+  net::InProcessTransport transport(echo_handler(), faults);
+  EXPECT_FALSE(transport.call(1, 1, net::FrameType::kLinkRequest, "x").ok());
+  EXPECT_TRUE(transport.call(0, 1, net::FrameType::kLinkRequest, "x").ok());
+}
+
+// --- TCP transport ------------------------------------------------------
+
+TEST(TcpTransport, PingPongAndEcho) {
+  net::ShardServer server(echo_handler());
+  net::TcpTransportOptions opts;
+  opts.port = server.port();
+  net::TcpTransport transport(opts);
+  EXPECT_TRUE(transport.real_time());
+  ASSERT_TRUE(transport.ping().ok());
+  const auto reply =
+      transport.call(4, 1, net::FrameType::kLinkRequest, "over the wire");
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  EXPECT_EQ(reply.value(), "over the wire");
+  EXPECT_GE(server.counters().requests_served.load(), 1u);
+}
+
+TEST(TcpTransport, HandlerErrorComesBackAsStatus) {
+  net::ShardServer server(
+      [](const net::FrameContext&, std::string_view) {
+        return u::Result<std::string>(
+            u::Status::invalid_argument("bad request shape"));
+      });
+  net::TcpTransportOptions opts;
+  opts.port = server.port();
+  net::TcpTransport transport(opts);
+  const auto reply = transport.call(0, 1, net::FrameType::kLinkRequest, "x");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), u::StatusCode::kInvalidArgument);
+  EXPECT_NE(reply.status().message().find("bad request shape"),
+            std::string::npos);
+}
+
+TEST(TcpTransport, ConnectToDeadPortIsRefused) {
+  // No server at all: transport pointed at a bound-but-not-listening
+  // port must observe a real ECONNREFUSED, quickly.
+  net::ShardServer server(echo_handler());
+  net::TcpTransportOptions opts;
+  opts.port = server.port();
+  u::FaultConfig faults;
+  faults.fail_shard = 0;  // shard 0 fails every attempt
+  faults.seed = 902;
+  opts.faults = faults;
+  net::TcpTransport transport(opts);
+  // Find an attempt whose kind draw is kConnectRefused and call it.
+  const u::FaultInjector probe(faults);
+  int attempt = -1;
+  for (int a = 1; a <= 64; ++a) {
+    if (probe.net_fault_kind(0, a) == u::NetFaultKind::kConnectRefused) {
+      attempt = a;
+      break;
+    }
+  }
+  ASSERT_GT(attempt, 0) << "no refused-kind draw in 64 attempts";
+  const auto reply =
+      transport.call(0, attempt, net::FrameType::kLinkRequest, "x");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(transport.stats().connect_refused, 1u)
+      << reply.status().to_string();
+}
+
+// Each server-side fault kind must manifest as its distinct real failure.
+TEST(TcpTransport, EachServerFaultKindManifests) {
+  u::FaultConfig faults;
+  faults.fail_shard = 0;
+  faults.seed = 31;
+  const u::FaultInjector probe(faults);
+  int disconnect_attempt = -1;
+  int garble_attempt = -1;
+  int delay_attempt = -1;
+  for (int a = 1; a <= 128; ++a) {
+    const auto kind = probe.net_fault_kind(0, a);
+    if (kind == u::NetFaultKind::kMidFrameDisconnect &&
+        disconnect_attempt < 0) {
+      disconnect_attempt = a;
+    } else if (kind == u::NetFaultKind::kGarbledFrame && garble_attempt < 0) {
+      garble_attempt = a;
+    } else if (kind == u::NetFaultKind::kDeadlineExpiry && delay_attempt < 0) {
+      delay_attempt = a;
+    }
+  }
+  ASSERT_GT(disconnect_attempt, 0);
+  ASSERT_GT(garble_attempt, 0);
+  ASSERT_GT(delay_attempt, 0);
+
+  net::ShardServerOptions server_opts;
+  server_opts.faults = faults;
+  server_opts.injected_delay_ms = 400.0;
+  net::ShardServer server(echo_handler(), server_opts);
+  net::TcpTransportOptions opts;
+  opts.port = server.port();
+  opts.faults = faults;
+  opts.deadline_ms = 150.0;  // < injected_delay_ms so the stall expires it
+  net::TcpTransport transport(opts);
+
+  const auto cut = transport.call(0, disconnect_attempt,
+                                  net::FrameType::kLinkRequest, "payload");
+  ASSERT_FALSE(cut.ok());
+  EXPECT_EQ(transport.stats().disconnects, 1u) << cut.status().to_string();
+  EXPECT_GE(server.counters().injected_disconnects.load(), 1u);
+
+  const auto garbled = transport.call(0, garble_attempt,
+                                      net::FrameType::kLinkRequest, "payload");
+  ASSERT_FALSE(garbled.ok());
+  EXPECT_EQ(transport.stats().garbled, 1u) << garbled.status().to_string();
+  EXPECT_GE(server.counters().injected_garbles.load(), 1u);
+
+  const auto late = transport.call(0, delay_attempt,
+                                   net::FrameType::kLinkRequest, "payload");
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(transport.stats().deadline_expired, 1u)
+      << late.status().to_string();
+  EXPECT_GE(server.counters().injected_delays.load(), 1u);
+}
+
+// --- the headline property: transport equivalence -----------------------
+
+struct EquivalenceCase {
+  const char* name;
+  u::FaultConfig faults;
+  bool with_fault_policy;
+};
+
+void expect_transport_equivalence(const EquivalenceCase& c) {
+  u::Rng rng(77);
+  const auto left = lk::generate_people(60, rng);
+  const auto right = lk::make_error_records(left, {}, rng);
+
+  lk::ShardedConfig config;
+  config.n_shards = 4;
+  config.scheme = lk::PartitionScheme::kReplicateRight;
+  config.link.comparator =
+      lk::make_point_threshold_config(lk::FieldStrategy::kFpdl);
+  if (c.with_fault_policy) {
+    lk::ShardFaultPolicy policy;
+    policy.faults = c.faults;
+    policy.retry.max_attempts = 3;
+    policy.retry.backoff_base_ms = 0.25;  // real sleeps on TCP: keep tiny
+    config.fault = policy;
+  }
+
+  // Reference run: driver-owned in-process transport.
+  const auto in_process = lk::link_sharded(left, right, config);
+
+  // Socket run: same seed, real frames, real failures.
+  lk::ShardLinkService service(config.link, right);
+  net::ShardServerOptions server_opts;
+  server_opts.faults = c.faults;
+  server_opts.injected_delay_ms = 300.0;
+  net::ShardServer server(service.handler(), server_opts);
+  net::TcpTransportOptions client_opts;
+  client_opts.port = server.port();
+  client_opts.faults = c.faults;
+  client_opts.deadline_ms = 120.0;
+  net::TcpTransport transport(client_opts);
+  config.transport = &transport;
+  const auto tcp = lk::link_sharded(left, right, config);
+
+  EXPECT_EQ(tcp.total_pairs, in_process.total_pairs) << c.name;
+  EXPECT_EQ(tcp.total_matches, in_process.total_matches) << c.name;
+  EXPECT_EQ(tcp.total_true_positives, in_process.total_true_positives)
+      << c.name;
+  EXPECT_EQ(tcp.retries, in_process.retries) << c.name;
+  EXPECT_EQ(tcp.failed_shards, in_process.failed_shards) << c.name;
+  EXPECT_EQ(tcp.dropped_pairs, in_process.dropped_pairs) << c.name;
+  EXPECT_EQ(tcp.dropped_shard_ids, in_process.dropped_shard_ids) << c.name;
+  ASSERT_EQ(tcp.shards.size(), in_process.shards.size()) << c.name;
+  for (std::size_t s = 0; s < tcp.shards.size(); ++s) {
+    EXPECT_EQ(tcp.shards[s].attempts, in_process.shards[s].attempts)
+        << c.name << " shard " << s;
+    EXPECT_EQ(tcp.shards[s].completed, in_process.shards[s].completed)
+        << c.name << " shard " << s;
+    EXPECT_EQ(tcp.shards[s].straggled, in_process.shards[s].straggled)
+        << c.name << " shard " << s;
+    EXPECT_EQ(tcp.shards[s].matches, in_process.shards[s].matches)
+        << c.name << " shard " << s;
+    EXPECT_DOUBLE_EQ(tcp.shards[s].backoff_ms, in_process.shards[s].backoff_ms)
+        << c.name << " shard " << s;
+  }
+}
+
+TEST(TransportEquivalence, FaultFree) {
+  expect_transport_equivalence({"fault-free", {}, false});
+}
+
+TEST(TransportEquivalence, TransientFaults) {
+  EquivalenceCase c{"transient", {}, true};
+  c.faults.seed = 404;
+  c.faults.shard_fail_rate = 0.4;  // all four kinds get drawn across runs
+  expect_transport_equivalence(c);
+}
+
+TEST(TransportEquivalence, PermanentShardFailure) {
+  EquivalenceCase c{"dead shard", {}, true};
+  c.faults.seed = 405;
+  c.faults.fail_shard = 2;
+  expect_transport_equivalence(c);
+}
+
+TEST(TransportEquivalence, Stragglers) {
+  EquivalenceCase c{"stragglers", {}, true};
+  c.faults.seed = 406;
+  c.faults.shard_straggle_rate = 0.5;
+  expect_transport_equivalence(c);
+}
+
+TEST(TransportEquivalence, HashPartitioningWithFaults) {
+  u::Rng rng(52);
+  const auto left = lk::generate_people(80, rng);
+  const auto right = lk::make_error_records(left, {}, rng);
+  lk::ShardedConfig config;
+  config.n_shards = 3;
+  config.scheme = lk::PartitionScheme::kHashLastName;
+  config.link.comparator =
+      lk::make_point_threshold_config(lk::FieldStrategy::kFpdl);
+  lk::ShardFaultPolicy policy;
+  policy.faults.seed = 9;
+  policy.faults.shard_fail_rate = 0.3;
+  policy.retry.max_attempts = 2;
+  policy.retry.backoff_base_ms = 0.25;
+  config.fault = policy;
+  const auto in_process = lk::link_sharded(left, right, config);
+
+  lk::ShardLinkService service(config.link, right);
+  net::ShardServerOptions server_opts;
+  server_opts.faults = policy.faults;
+  server_opts.injected_delay_ms = 300.0;
+  net::ShardServer server(service.handler(), server_opts);
+  net::TcpTransportOptions client_opts;
+  client_opts.port = server.port();
+  client_opts.faults = policy.faults;
+  client_opts.deadline_ms = 120.0;
+  net::TcpTransport transport(client_opts);
+  config.transport = &transport;
+  const auto tcp = lk::link_sharded(left, right, config);
+
+  EXPECT_EQ(tcp.total_matches, in_process.total_matches);
+  EXPECT_EQ(tcp.total_true_positives, in_process.total_true_positives);
+  EXPECT_EQ(tcp.retries, in_process.retries);
+  EXPECT_EQ(tcp.failed_shards, in_process.failed_shards);
+}
+
+}  // namespace
