@@ -10,6 +10,7 @@
 // same ~45x factor as Table 6, with identical entity counts.
 #include <filesystem>
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "core/exec_policy.hpp"
@@ -17,38 +18,39 @@
 #include "linkage/incremental.hpp"
 #include "linkage/person_gen.hpp"
 #include "linkage/snapshot.hpp"
+#include "storage/local_dir.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace {
 
-// Durable-ingest scenario: run the FPDL update with checkpointing, kill
-// the writer after --crash-after batches, recover from snapshot+journal,
-// and check the recovered store against an uninterrupted run.
+// Durable-ingest scenario: run the FPDL update with incremental
+// checkpointing onto a LocalDirBackend, kill the writer after
+// --crash-after batches, recover from manifest+deltas+journal, and check
+// the recovered store against an uninterrupted run.
 void run_crash_recovery(const std::vector<fbf::linkage::PersonRecord>& master,
                         const std::vector<std::vector<fbf::linkage::PersonRecord>>& nightly,
                         const fbf::bench::BenchOptions& opts,
                         std::size_t checkpoint_every, std::size_t crash_after) {
   namespace lk = fbf::linkage;
+  namespace st = fbf::storage;
   namespace u = fbf::util;
   namespace fs = std::filesystem;
   const fs::path dir =
       fs::temp_directory_path() /
       ("fbf_nightly_" + std::to_string(static_cast<unsigned>(opts.config.seed)));
-  fs::create_directories(dir);
-  lk::DurabilityConfig durability;
-  durability.snapshot_path = (dir / "master.snapshot").string();
-  durability.journal_path = (dir / "nightly.journal").string();
+  fs::remove_all(dir);
+  lk::DurabilityPolicy durability;
   durability.checkpoint_every = checkpoint_every;
-  fs::remove(durability.snapshot_path);
-  fs::remove(durability.journal_path);
 
   const auto comparator =
       lk::make_point_threshold_config(lk::FieldStrategy::kFpdl, opts.config.k);
   crash_after = std::min(crash_after, nightly.size());
 
   u::Stopwatch ingest_watch;
-  lk::DurableEntityStore durable(comparator, durability);
+  lk::DurableEntityStore durable(
+      comparator, std::make_shared<st::LocalDirBackend>(dir.string()),
+      durability);
   if (!durable.ingest(master).ok()) {
     std::fprintf(stderr, "durable master ingest failed\n");
     return;
@@ -60,10 +62,12 @@ void run_crash_recovery(const std::vector<fbf::linkage::PersonRecord>& master,
     }
   }
   const double ingest_ms = ingest_watch.elapsed_ms();
-  // Simulated crash: `durable` is abandoned; only the files survive.
+  durable.simulate_crash();  // only the backend's blobs survive
 
   u::Stopwatch recover_watch;
-  lk::DurableEntityStore recovered(comparator, durability);
+  lk::DurableEntityStore recovered(
+      comparator, std::make_shared<st::LocalDirBackend>(dir.string()),
+      durability);
   const auto report = recovered.recover();
   const double recover_ms = recover_watch.elapsed_ms();
   if (!report.ok()) {
@@ -93,6 +97,9 @@ void run_crash_recovery(const std::vector<fbf::linkage::PersonRecord>& master,
   table.add_row({"checkpoint every",
                  u::with_commas(static_cast<std::int64_t>(checkpoint_every))});
   table.add_row({"snapshot loaded", report->snapshot_loaded ? "yes" : "no"});
+  table.add_row({"deltas applied",
+                 u::with_commas(static_cast<std::int64_t>(
+                     report->deltas_applied))});
   table.add_row({"journal batches replayed",
                  u::with_commas(static_cast<std::int64_t>(
                      report->journal_batches_replayed))});
@@ -108,8 +115,8 @@ void run_crash_recovery(const std::vector<fbf::linkage::PersonRecord>& master,
     std::printf("\nCrash/recovery scenario (FPDL, durable ingest)\n");
     table.render(std::cout);
   }
-  fs::remove(durability.snapshot_path);
-  fs::remove(durability.journal_path);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
 }
 
 /// One full update run (master list + every nightly batch) under one

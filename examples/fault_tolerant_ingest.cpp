@@ -1,11 +1,12 @@
 // Fault-tolerant ingest walkthrough — the durability layer end to end:
 //
-//   1. ingest nightly batches through DurableEntityStore (journal +
-//      periodic checkpoints),
+//   1. ingest nightly batches through DurableEntityStore on a
+//      LocalDirBackend (write-ahead journal + incremental manifest/delta
+//      checkpoints),
 //   2. "crash" mid-run and recover exactly the pre-crash store from
-//      snapshot + journal replay,
-//   3. re-run with injected snapshot corruption and journal truncation
-//      to show the failure paths degrade instead of losing data.
+//      base + deltas + journal replay,
+//   3. re-run with injected storage faults (checkpoint corruption) to
+//      show the failure paths degrade instead of losing data.
 //
 //   build/examples/fault_tolerant_ingest [--n 400] [--batches 6]
 //                                        [--checkpoint-every 2]
@@ -13,16 +14,19 @@
 //                                        [--dir /tmp]
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <vector>
 
 #include "linkage/incremental.hpp"
 #include "linkage/person_gen.hpp"
 #include "linkage/snapshot.hpp"
+#include "storage/local_dir.hpp"
 #include "util/cli.hpp"
 #include "util/fault.hpp"
 
 int main(int argc, char** argv) {
   namespace lk = fbf::linkage;
+  namespace st = fbf::storage;
   namespace u = fbf::util;
   namespace fs = std::filesystem;
   const u::CliArgs args(argc, argv);
@@ -58,18 +62,19 @@ int main(int argc, char** argv) {
 
   const auto comparator =
       lk::make_point_threshold_config(lk::FieldStrategy::kFpdl);
-  lk::DurabilityConfig durability;
-  durability.snapshot_path = dir + "/fbf_example.snapshot";
-  durability.journal_path = dir + "/fbf_example.journal";
-  durability.checkpoint_every = checkpoint_every;
-  fs::remove(durability.snapshot_path);
-  fs::remove(durability.journal_path);
+  const std::string store_dir = dir + "/fbf_example_store";
+  fs::remove_all(store_dir);
+  const auto backend = [&] {
+    return std::make_shared<st::LocalDirBackend>(store_dir);
+  };
+  lk::DurabilityPolicy policy;
+  policy.checkpoint_every = checkpoint_every;
 
   // --- 1. Durable ingest, crashing after `crash_after` batches. -------
-  std::printf("=== durable ingest (checkpoint every %zu batches) ===\n",
-              checkpoint_every);
+  std::printf("=== durable ingest (checkpoint every %zu batches, %s) ===\n",
+              checkpoint_every, backend()->description().c_str());
   {
-    lk::DurableEntityStore store(comparator, durability);
+    lk::DurableEntityStore store(comparator, backend(), policy);
     if (!store.ingest(master).ok()) {
       std::fprintf(stderr, "master ingest failed\n");
       return 1;
@@ -84,11 +89,15 @@ int main(int argc, char** argv) {
     }
     std::printf("-- simulated crash after %zu of %zu batches --\n",
                 crash_after, n_batches);
-    // The store object is abandoned here; only the files survive.
+    std::printf("checkpoints: %llu (%llu deltas), journal syncs: %llu\n",
+                static_cast<unsigned long long>(store.stats().checkpoints),
+                static_cast<unsigned long long>(store.stats().deltas_written),
+                static_cast<unsigned long long>(store.stats().journal_syncs));
+    store.simulate_crash();  // only the backend's blobs survive
   }
 
-  // --- 2. Recovery: snapshot + journal replay. ------------------------
-  lk::DurableEntityStore recovered(comparator, durability);
+  // --- 2. Recovery: manifest -> base -> deltas -> journal replay. -----
+  lk::DurableEntityStore recovered(comparator, backend(), policy);
   const auto report = recovered.recover();
   if (!report.ok()) {
     std::fprintf(stderr, "recover failed: %s\n",
@@ -96,8 +105,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\n=== recovery ===\n");
-  std::printf("snapshot loaded: %s\n",
-              report.value().snapshot_loaded ? "yes" : "no");
+  std::printf("snapshot loaded: %s (%zu deltas applied)\n",
+              report.value().snapshot_loaded ? "yes" : "no",
+              report.value().deltas_applied);
   std::printf("journal batches replayed: %llu (tail bytes dropped: %zu)\n",
               static_cast<unsigned long long>(
                   report.value().journal_batches_replayed),
@@ -124,16 +134,15 @@ int main(int argc, char** argv) {
 
   // --- 3. Injected storage faults. ------------------------------------
   std::printf("\n=== injected faults ===\n");
-  fs::remove(durability.snapshot_path);
-  fs::remove(durability.journal_path);
+  fs::remove_all(store_dir);
   u::FaultConfig faults;
   faults.seed = seed;
   faults.snapshot_corrupt_rate = 1.0;  // every checkpoint write is damaged
   u::FaultInjector injector(faults);
-  lk::DurabilityConfig faulty = durability;
-  faulty.faults = &injector;
   {
-    lk::DurableEntityStore store(comparator, faulty);
+    lk::DurableEntityStore store(
+        comparator, std::make_shared<st::LocalDirBackend>(store_dir, &injector),
+        policy);
     (void)store.ingest(master);
     for (std::size_t b = 0; b < crash_after; ++b) {
       (void)store.ingest(batches[b]);
@@ -141,20 +150,22 @@ int main(int argc, char** argv) {
     std::printf("checkpoint attempts failed (corruption caught before "
                 "install): %llu\n",
                 static_cast<unsigned long long>(store.checkpoint_failures()));
-    std::printf("corrupt snapshot on disk: %s\n",
-                fs::exists(durability.snapshot_path) ? "YES (bug!)" : "no");
+    const bool chain_on_disk =
+        store.backend()->exists(policy.manifest_ref()).value();
+    std::printf("corrupt checkpoint chain on disk: %s\n",
+                chain_on_disk ? "YES (bug!)" : "no");
   }
-  lk::DurableEntityStore after_faults(comparator, durability);
+  lk::DurableEntityStore after_faults(comparator, backend(), policy);
   const auto faulty_report = after_faults.recover();
   if (faulty_report.ok()) {
-    std::printf("recovery without the snapshot replayed %llu batches from "
+    std::printf("recovery without a checkpoint replayed %llu batches from "
                 "the journal -> %zu entities\n",
                 static_cast<unsigned long long>(
                     faulty_report.value().journal_batches_replayed),
                 after_faults.store().entity_count());
   }
 
-  fs::remove(durability.snapshot_path);
-  fs::remove(durability.journal_path);
+  std::error_code ec;
+  fs::remove_all(store_dir, ec);
   return 0;
 }

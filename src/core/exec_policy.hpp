@@ -5,9 +5,9 @@
 // every config that ran a scoring loop (LinkConfig::use_pipeline/threads,
 // EntityStoreOptions::use_pipeline/threads), so call sites copied them
 // field by field and new execution options meant touching every struct.
-// ExecPolicy is now embedded in both; the old field names survive one
-// release as deprecated reference aliases (see TUTORIAL §11 migration
-// notes).  Results are policy-independent by contract: any (use_pipeline,
+// ExecPolicy is now embedded in both and `config.exec.<knob>` is the only
+// spelling — the one-release deprecated reference aliases are gone (see
+// TUTORIAL §11).  Results are policy-independent by contract: any (use_pipeline,
 // threads) combination produces identical decisions and counters — the
 // equivalence property tests pin that.
 #pragma once

@@ -26,31 +26,6 @@ struct LinkConfig {
   /// (there is no contiguous candidate range to sweep).
   core::ExecPolicy exec;
   bool collect_matches = false;
-
-  // Deprecated aliases into exec (one release, then removed): old code
-  // wrote `config.threads` / `config.use_pipeline` directly.  The struct's
-  // own constructors must bind the references without tripping the
-  // deprecation warning they exist to emit at *call sites*.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  [[deprecated("use exec.threads")]] std::size_t& threads = exec.threads;
-  [[deprecated("use exec.use_pipeline")]] bool& use_pipeline =
-      exec.use_pipeline;
-
-  LinkConfig() = default;
-  // The reference aliases pin each instance to its own exec, so copying
-  // copies the referees and leaves the references alone.
-  LinkConfig(const LinkConfig& other)
-      : comparator(other.comparator),
-        exec(other.exec),
-        collect_matches(other.collect_matches) {}
-  LinkConfig& operator=(const LinkConfig& other) {
-    comparator = other.comparator;
-    exec = other.exec;
-    collect_matches = other.collect_matches;
-    return *this;
-  }
-#pragma GCC diagnostic pop
 };
 
 /// Precomputed right-hand-side linkage state: field signatures plus the

@@ -48,23 +48,8 @@ struct IngestStats {
 struct EntityStoreOptions {
   core::ExecPolicy exec;
 
-  // Deprecated aliases into exec (one release, then removed).  The
-  // pragmas keep the struct's own constructors — which must bind the
-  // references — from tripping the warning meant for call sites.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  [[deprecated("use exec.use_pipeline")]] bool& use_pipeline =
-      exec.use_pipeline;
-  [[deprecated("use exec.threads")]] std::size_t& threads = exec.threads;
-
   EntityStoreOptions() = default;
   EntityStoreOptions(core::ExecPolicy policy) : exec(policy) {}  // NOLINT(google-explicit-constructor)
-  EntityStoreOptions(const EntityStoreOptions& other) : exec(other.exec) {}
-  EntityStoreOptions& operator=(const EntityStoreOptions& other) {
-    exec = other.exec;
-    return *this;
-  }
-#pragma GCC diagnostic pop
 };
 
 /// Append-only resolved-entity store with incremental matching.

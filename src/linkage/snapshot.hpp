@@ -1,60 +1,134 @@
-// Checkpointed durability for the EntityStore.
+// Checkpointed durability for the EntityStore, over pluggable storage.
 //
 // The paper's operational setting is a nightly batch pipeline (§1: the
 // master list is "updated daily... approximately 8 hours per night").  A
-// crash at hour 7 must not cost the night: the store persists as a
-// versioned, checksummed *snapshot* plus an append-only *batch journal*,
-// and recover() rebuilds exactly the state after the last durable batch.
+// crash at hour 7 must not cost the night: the store persists as
+// checksummed blobs in a storage::StorageBackend, and recover() rebuilds
+// exactly the state after the last durable batch.
 //
-//   ingest(batch)  -> append journal frame (write-ahead, flushed)
+// Layout (all blobs named under DurabilityPolicy::prefix):
+//
+//   MANIFEST            names the current base + ordered delta segments
+//   base-<B>.snap       full snapshot covering batches [0, B)
+//   delta-<F>-<T>.seg   records appended during batches [F, T)
+//   journal             append-only write-ahead batch frames
+//
+// Checkpoints are *incremental*: after the first full base, each
+// checkpoint writes only the records added since the last one — O(changes),
+// not O(store) — and a count/size-triggered compaction folds the deltas
+// back into a fresh base.  The manifest is replaced atomically, so a
+// crash anywhere in a checkpoint leaves the previous manifest (plus at
+// worst an orphan blob that the next checkpoint sweeps).
+//
+//   ingest(batch)  -> append journal frame (group-commit sync policy)
 //                  -> apply to the in-memory store
-//                  -> every N batches: checkpoint (snapshot + journal reset)
-//   recover()      -> load snapshot (checksum-verified) + replay journal
+//                  -> every N batches: checkpoint (delta or base + manifest
+//                     swap + journal reset)
+//   recover()      -> manifest -> base -> deltas -> journal tail replay
+//                     (or the pre-manifest monolithic snapshot, read
+//                     unchanged through the same backend — migration path)
 //
-// Every frame and the snapshot payload carry an FNV-1a checksum; a crash
-// mid-append leaves a partial tail frame that replay detects and drops —
-// recovery is always prefix-consistent, never silently wrong.  Snapshots
-// are written to a temp file, re-read and verified, and only then renamed
-// over the previous snapshot; the journal is truncated only after the new
-// snapshot is proven readable, so an injected corruption loses a
-// checkpoint, not data.  Files are host-endian, machine-local artifacts
-// (a recovery target, not an interchange format).
+// Every blob payload carries an FNV-1a checksum; journal frames replay to
+// the longest intact prefix, a damaged base/delta/manifest is detected,
+// never silently loaded.  The journal's group-commit policy batches
+// syncs (N appends or T milliseconds); the durability window it opens is
+// exactly the unsynced suffix, and replay order is policy-independent.
 #pragma once
 
 #include <cstdint>
-#include <istream>
-#include <ostream>
+#include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "linkage/incremental.hpp"
-#include "util/fault.hpp"
+#include "storage/backend.hpp"
 #include "util/status.hpp"
+
+namespace fbf::util {
+class FaultInjector;
+}
 
 namespace fbf::linkage {
 
-/// Bumped on any layout change; readers reject other versions.
+/// Bumped on any layout change; readers reject other versions.  The base
+/// snapshot format is unchanged from the pre-manifest era on purpose:
+/// legacy monolithic snapshots are valid bases.
 inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kDeltaVersion = 1;
+inline constexpr std::uint32_t kManifestVersion = 1;
 
-/// Serializes `store` (records, entity ids, precomputed signatures) with
+// --- codec: structures <-> checksummed bytes ---------------------------
+
+/// Full-store snapshot (records, entity ids, precomputed signatures) with
 /// a versioned, checksummed header.  `batches_ingested` records the
 /// logical journal position the snapshot covers.
-[[nodiscard]] fbf::util::Status write_snapshot(
-    std::ostream& out, const EntityStore& store,
-    std::uint64_t batches_ingested);
+[[nodiscard]] std::string encode_snapshot(const EntityStore& store,
+                                          std::uint64_t batches_ingested);
 
-/// Deserializes into `store` (constructed with the intended comparator)
-/// and returns the snapshot's batches_ingested position.  kDataLoss on
-/// any checksum, version or structure mismatch — a corrupt snapshot is
+/// Decodes into `store` (constructed with the intended comparator) and
+/// returns the snapshot's batches_ingested position.  kDataLoss on any
+/// checksum, version or structure mismatch — a corrupt snapshot is
 /// detected, never loaded.
-[[nodiscard]] fbf::util::Result<std::uint64_t> read_snapshot(
-    std::istream& in, EntityStore& store);
+[[nodiscard]] fbf::util::Result<std::uint64_t> decode_snapshot(
+    std::string_view bytes, EntityStore& store);
 
-/// Appends one checksummed journal frame holding `batch` at logical
-/// position `seq`.
-[[nodiscard]] fbf::util::Status append_journal(
-    std::ostream& out, std::uint64_t seq,
-    std::span<const PersonRecord> batch);
+/// One incremental checkpoint segment: the records appended while
+/// batches [from_batches, to_batches) ran, plus the entity total after
+/// them.  Applies on top of a store holding exactly `from_record`
+/// records.
+struct DeltaSegment {
+  std::uint64_t from_batches = 0;
+  std::uint64_t to_batches = 0;
+  std::uint64_t from_record = 0;
+  std::uint32_t entity_total = 0;  ///< store-wide total AFTER this segment
+  std::vector<PersonRecord> records;
+  std::vector<std::uint32_t> entity_ids;
+  std::vector<RecordSignatures> signatures;  ///< empty when none are kept
+};
+
+/// Encodes the suffix of `store` starting at record `from_record` as a
+/// delta segment covering batches [from_batches, to_batches).
+[[nodiscard]] std::string encode_delta(const EntityStore& store,
+                                       std::size_t from_record,
+                                       std::uint64_t from_batches,
+                                       std::uint64_t to_batches);
+
+[[nodiscard]] fbf::util::Result<DeltaSegment> decode_delta(
+    std::string_view bytes);
+
+/// The manifest: which base blob plus which delta segments, in order,
+/// reconstruct the store.  Replaced atomically on every checkpoint.
+struct SnapshotManifest {
+  struct Segment {
+    std::string blob;
+    std::uint64_t from_batches = 0;
+    std::uint64_t to_batches = 0;
+    std::uint64_t from_record = 0;
+    std::uint64_t to_record = 0;
+  };
+  std::string base_blob;  ///< empty = no checkpoint has completed yet
+  std::uint64_t base_batches = 0;
+  std::uint64_t base_records = 0;
+  std::vector<Segment> deltas;
+
+  /// Journal position / record count the full chain covers.
+  [[nodiscard]] std::uint64_t batches_covered() const noexcept {
+    return deltas.empty() ? base_batches : deltas.back().to_batches;
+  }
+  [[nodiscard]] std::uint64_t records_covered() const noexcept {
+    return deltas.empty() ? base_records : deltas.back().to_record;
+  }
+};
+
+[[nodiscard]] std::string encode_manifest(const SnapshotManifest& manifest);
+[[nodiscard]] fbf::util::Result<SnapshotManifest> decode_manifest(
+    std::string_view bytes);
+
+/// One checksummed write-ahead frame holding `batch` at position `seq`.
+[[nodiscard]] std::string encode_journal_frame(
+    std::uint64_t seq, std::span<const PersonRecord> batch);
 
 /// One replayed journal frame.
 struct JournalFrame {
@@ -63,79 +137,204 @@ struct JournalFrame {
 };
 
 struct JournalReplay {
-  std::vector<JournalFrame> frames;  ///< intact frames, in file order
+  std::vector<JournalFrame> frames;  ///< intact frames, in order
   std::size_t dropped_tail_bytes = 0;  ///< partial/corrupt tail (crash cut)
 };
 
-/// Reads frames until end of stream or the first damaged frame.  A crash
-/// mid-append legitimately leaves a partial tail — that tail is counted
-/// in `dropped_tail_bytes`, not treated as fatal, so replay yields the
-/// longest intact prefix.
-[[nodiscard]] fbf::util::Result<JournalReplay> read_journal(std::istream& in);
+/// Decodes frames until the end of `bytes` or the first damaged frame.
+/// A crash mid-sync legitimately leaves a partial tail — that tail is
+/// counted in `dropped_tail_bytes`, not treated as fatal, so replay
+/// yields the longest intact prefix.
+[[nodiscard]] JournalReplay replay_journal(std::string_view bytes);
 
-/// Durability policy for a checkpointed store.
-struct DurabilityConfig {
-  std::string snapshot_path;
-  std::string journal_path;
-  /// Batches between automatic checkpoints; 0 = checkpoint() manually.
-  std::size_t checkpoint_every = 4;
-  /// Optional write-path fault injection (snapshot corruption, journal
-  /// truncation) — tests and benches; production passes nullptr.
-  fbf::util::FaultInjector* faults = nullptr;
+// --- blob level --------------------------------------------------------
+
+/// Snapshot `store` into the blob `ref` of `backend`.
+[[nodiscard]] fbf::util::Status write_snapshot(
+    storage::StorageBackend& backend, const storage::BlobRef& ref,
+    const EntityStore& store, std::uint64_t batches_ingested);
+
+/// Loads the snapshot blob `ref` into `store`; returns its position.
+[[nodiscard]] fbf::util::Result<std::uint64_t> read_snapshot(
+    storage::StorageBackend& backend, const storage::BlobRef& ref,
+    EntityStore& store);
+
+// --- policy ------------------------------------------------------------
+
+/// When the journal syncs.  The default — every append — is the
+/// fsync-per-batch behavior of the pre-storage layer.  Raising max_batch
+/// (or setting max_delay_ms) amortizes one sync across many small
+/// batches; the cost is a durability window of at most that many
+/// acknowledged-but-unsynced batches on a crash.  Replay ORDER is
+/// policy-independent: whatever prefix survives, entity ids come out
+/// identical to an uninterrupted run over that prefix.
+struct GroupCommitPolicy {
+  std::size_t max_batch = 1;  ///< sync after this many appends
+  double max_delay_ms = 0.0;  ///< also sync when the oldest pending append
+                              ///< is this old (0 = no timer)
 };
 
-/// What recover() found on disk.
+/// Durability policy for a checkpointed store: blob naming, checkpoint
+/// cadence, compaction trigger and journal sync batching.
+struct DurabilityPolicy {
+  /// Prepended to every blob name ("" = backend root).
+  std::string prefix;
+  /// Journal blob name (legacy stores journaled under other names).
+  std::string journal_name = "journal";
+  /// Pre-manifest monolithic snapshot blob read when no MANIFEST exists
+  /// (the migration path); never written.
+  std::string legacy_snapshot_name = "store.snap";
+  /// Batches between automatic checkpoints; 0 = checkpoint() manually.
+  std::size_t checkpoint_every = 4;
+  /// Fold deltas into a fresh base after this many segments (0 = never
+  /// by count).  Compaction also fires when the deltas together hold
+  /// more records than the base (size trigger).
+  std::size_t compact_every = 8;
+  GroupCommitPolicy group_commit;
+
+  [[nodiscard]] storage::BlobRef manifest_ref() const {
+    return {prefix + "MANIFEST"};
+  }
+  [[nodiscard]] storage::BlobRef journal_ref() const {
+    return {prefix + journal_name};
+  }
+  [[nodiscard]] storage::BlobRef legacy_snapshot_ref() const {
+    return {prefix + legacy_snapshot_name};
+  }
+  [[nodiscard]] storage::BlobRef base_ref(std::uint64_t batches) const {
+    return {prefix + "base-" + std::to_string(batches) + ".snap"};
+  }
+  [[nodiscard]] storage::BlobRef delta_ref(std::uint64_t from,
+                                           std::uint64_t to) const {
+    return {prefix + "delta-" + std::to_string(from) + "-" +
+            std::to_string(to) + ".seg"};
+  }
+};
+
+/// Degradation accounting, ShardedResult-style: a durable store keeps
+/// serving through backend trouble, and this is what the trouble cost.
+struct DurabilityStats {
+  std::uint64_t checkpoints = 0;          ///< successful (base or delta)
+  std::uint64_t checkpoint_failures = 0;  ///< failed attempts (retried on
+                                          ///< the very next batch)
+  std::uint64_t deltas_written = 0;
+  std::uint64_t compactions = 0;  ///< deltas folded into a new base
+  std::uint64_t journal_appends = 0;
+  std::uint64_t journal_syncs = 0;  ///< < appends under group commit
+  std::string last_error;  ///< most recent checkpoint/journal failure
+};
+
+/// What recover() found in the backend.
 struct RecoveryReport {
-  bool snapshot_loaded = false;
+  bool snapshot_loaded = false;    ///< a base (or legacy snapshot) loaded
+  bool legacy_snapshot = false;    ///< it was a pre-manifest monolithic file
+  std::size_t deltas_applied = 0;
   std::size_t journal_batches_replayed = 0;
-  std::size_t journal_batches_skipped = 0;  ///< pre-snapshot leftovers
+  std::size_t journal_batches_skipped = 0;  ///< pre-checkpoint leftovers
   std::size_t dropped_tail_bytes = 0;
   std::uint64_t batches_ingested = 0;  ///< logical position after recovery
 };
 
+/// Pre-storage-layer durability config: filesystem paths + write-path
+/// fault injection.  Only consumed by the deprecated path constructor,
+/// which forwards to a LocalDirBackend over the snapshot directory.
+struct DurabilityConfig {
+  std::string snapshot_path;
+  std::string journal_path;  ///< must share snapshot_path's directory
+  std::size_t checkpoint_every = 4;
+  fbf::util::FaultInjector* faults = nullptr;
+};
+
 /// EntityStore wrapper that survives crashes: write-ahead journaling per
-/// batch, periodic snapshots, and prefix-consistent recovery.
+/// batch (group-commit sync policy), incremental checkpoints, and
+/// prefix-consistent recovery — against any StorageBackend.
 class DurableEntityStore {
  public:
+  DurableEntityStore(ComparatorConfig comparator,
+                     std::shared_ptr<storage::StorageBackend> backend,
+                     DurabilityPolicy policy = {});
+
+  [[deprecated(
+      "construct with a storage::StorageBackend; path configs forward to "
+      "LocalDirBackend for one release")]]
   DurableEntityStore(ComparatorConfig comparator, DurabilityConfig config);
 
-  /// Journals the batch (flushed before it is applied), ingests it, then
-  /// checkpoints when the policy says so.  A failed *checkpoint* degrades
-  /// (counted, journal kept) rather than failing the ingest; a failed
-  /// journal append fails the ingest before the store changes.
+  /// Best-effort sync of pending journal appends (see simulate_crash()).
+  ~DurableEntityStore();
+
+  DurableEntityStore(const DurableEntityStore&) = delete;
+  DurableEntityStore& operator=(const DurableEntityStore&) = delete;
+
+  /// Journals the batch (synced per the group-commit policy), ingests
+  /// it, then checkpoints when the policy says so.  A failed *checkpoint*
+  /// degrades (counted in stats(), journal kept, retried on the next
+  /// batch) rather than failing the ingest; a failed journal append
+  /// fails the ingest before the store changes.
   [[nodiscard]] fbf::util::Result<IngestStats> ingest(
       std::span<const PersonRecord> batch);
 
-  /// Snapshot now and reset the journal.  The journal is only truncated
-  /// after the new snapshot has been re-read and checksum-verified.
+  /// Checkpoint now: a delta of the records added since the last
+  /// checkpoint (or a full base when none exists / compaction triggers),
+  /// then an atomic manifest swap, then a journal reset.  The journal is
+  /// only reset after the new blob AND manifest have been read back and
+  /// checksum-verified, so an injected corruption loses a checkpoint,
+  /// never data.
   [[nodiscard]] fbf::util::Status checkpoint();
 
-  /// Rebuilds in-memory state from the snapshot + journal on disk.
-  /// Succeeds with an empty store when neither file exists (cold start).
-  /// When the journal held anything beyond the replayed frames (a
-  /// crash-damaged tail, pre-snapshot leftovers), it is rewritten to
-  /// exactly the replayed prefix so later appends stay replayable — a
-  /// second crash can never lose batches acknowledged after a recovery.
+  /// Rebuilds in-memory state from the backend: manifest -> base ->
+  /// deltas -> journal tail (or the legacy monolithic snapshot when no
+  /// manifest exists).  Succeeds with an empty store when the backend
+  /// holds nothing (cold start).  When the journal held anything beyond
+  /// the replayed frames (a crash-damaged tail, pre-checkpoint
+  /// leftovers), it is rewritten to exactly the replayed prefix so later
+  /// appends stay replayable — a second crash can never lose batches
+  /// acknowledged after a recovery.
   [[nodiscard]] fbf::util::Result<RecoveryReport> recover();
+
+  /// Test hook: abandon the journal handle WITHOUT syncing pending
+  /// group-commit appends — models kill -9 at this instant.  The store
+  /// refuses further ingests; recover through a fresh instance.
+  void simulate_crash();
 
   [[nodiscard]] const EntityStore& store() const noexcept { return store_; }
   [[nodiscard]] std::uint64_t batches_ingested() const noexcept {
     return batches_ingested_;
   }
   [[nodiscard]] std::uint64_t checkpoint_failures() const noexcept {
-    return checkpoint_failures_;
+    return stats_.checkpoint_failures;
   }
-  [[nodiscard]] const DurabilityConfig& config() const noexcept {
-    return config_;
+  [[nodiscard]] const DurabilityStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const DurabilityPolicy& policy() const noexcept {
+    return policy_;
+  }
+  [[nodiscard]] const SnapshotManifest& manifest() const noexcept {
+    return manifest_;
+  }
+  [[nodiscard]] const std::shared_ptr<storage::StorageBackend>& backend()
+      const noexcept {
+    return backend_;
   }
 
  private:
+  [[nodiscard]] fbf::util::Status ensure_journal();
+  [[nodiscard]] fbf::util::Status sync_journal();
+  /// Removes base-/delta- blobs the manifest no longer references.
+  void sweep_unreferenced_blobs();
+
   ComparatorConfig comparator_;
-  DurabilityConfig config_;
+  std::shared_ptr<storage::StorageBackend> backend_;
+  DurabilityPolicy policy_;
   EntityStore store_;
+  SnapshotManifest manifest_;
+  std::unique_ptr<storage::AppendHandle> journal_;
   std::uint64_t batches_ingested_ = 0;
   std::uint64_t last_checkpoint_batch_ = 0;
-  std::uint64_t checkpoint_failures_ = 0;
+  std::size_t pending_appends_ = 0;
+  double pending_since_ms_ = 0.0;  ///< steady-clock stamp of oldest pending
+  bool crashed_ = false;
+  DurabilityStats stats_;
 };
 
 }  // namespace fbf::linkage

@@ -1,0 +1,40 @@
+#include "storage/backend.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/fault.hpp"
+
+namespace fbf::storage {
+
+StorageBackend::PutFate StorageBackend::draw_put_fate(
+    const BlobRef& ref, std::size_t size, std::uint64_t sequence) {
+  PutFate fate;
+  fate.landed = size;
+  if (faults_ == nullptr) {
+    return fate;
+  }
+  if (faults_->put_fails(ref.name, sequence)) {
+    fate.fail = true;
+    fate.landed = 0;
+    return fate;
+  }
+  fate.landed = faults_->torn_write_size(size, ref.name, sequence);
+  if (fate.landed == size && faults_->object_lost(ref.name, sequence)) {
+    fate.lost = true;
+  }
+  return fate;
+}
+
+void StorageBackend::maybe_slow_op(const BlobRef& ref,
+                                   std::uint64_t sequence) {
+  if (faults_ == nullptr || !faults_->backend_slow(ref.name, sequence)) {
+    return;
+  }
+  const double ms = faults_->config().slow_backend_ms;
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
+}  // namespace fbf::storage

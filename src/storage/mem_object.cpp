@@ -1,0 +1,150 @@
+#include "storage/mem_object.hpp"
+
+#include <algorithm>
+
+#include "util/fault.hpp"
+
+namespace fbf::storage {
+
+namespace u = fbf::util;
+
+/// Buffers appends until sync() publishes them into the object map.
+class MemAppendHandle final : public AppendHandle {
+ public:
+  MemAppendHandle(MemObjectBackend* backend, BlobRef ref)
+      : backend_(backend), ref_(std::move(ref)) {}
+
+  [[nodiscard]] u::Status append(std::string_view bytes) override {
+    if (dead_) {
+      return u::Status::unavailable("append handle dead after torn sync: " +
+                                    ref_.name);
+    }
+    pending_.append(bytes);
+    return {};
+  }
+
+  [[nodiscard]] u::Status sync() override {
+    if (dead_) {
+      return u::Status::unavailable("append handle dead after torn sync: " +
+                                    ref_.name);
+    }
+    if (pending_.empty()) {
+      return {};
+    }
+    std::size_t landed = pending_.size();
+    if (backend_->faults() != nullptr) {
+      const std::uint64_t seq = backend_->next_seq(ref_.name);
+      if (backend_->faults()->put_fails(ref_.name, seq)) {
+        return u::Status::io_error("injected sync failure: " + ref_.name);
+      }
+      landed = backend_->faults()->torn_write_size(pending_.size(), ref_.name,
+                                                   seq);
+    }
+    {
+      std::lock_guard<std::mutex> lock(backend_->mu_);
+      backend_->objects_[ref_.name].append(pending_.data(), landed);
+    }
+    if (landed < pending_.size()) {
+      dead_ = true;  // the injected crash happened mid-sync
+      return u::Status::unavailable("torn journal sync (injected crash): " +
+                                    ref_.name);
+    }
+    pending_.clear();
+    return {};
+  }
+
+  [[nodiscard]] std::size_t pending_bytes() const noexcept override {
+    return pending_.size();
+  }
+
+ private:
+  MemObjectBackend* backend_;
+  BlobRef ref_;
+  std::string pending_;
+  bool dead_ = false;
+};
+
+std::uint64_t MemObjectBackend::next_seq(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_seq_[name]++;
+}
+
+u::Status MemObjectBackend::put(const BlobRef& ref, std::string_view bytes) {
+  const std::uint64_t seq = next_seq(ref.name);
+  maybe_slow_op(ref, seq);
+  const PutFate fate = draw_put_fate(ref, bytes.size(), seq);
+  if (fate.fail) {
+    return u::Status::io_error("injected put failure: " + ref.name);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fate.landed < bytes.size()) {
+    // Torn upload: the partial object replaces the old one (the modeled
+    // service has no atomic replace).
+    objects_[ref.name].assign(bytes.data(), fate.landed);
+    return u::Status::unavailable("torn put (injected crash): " + ref.name);
+  }
+  if (fate.lost) {
+    objects_.erase(ref.name);  // acked, then the key vanished
+    return {};
+  }
+  objects_[ref.name].assign(bytes.data(), bytes.size());
+  return {};
+}
+
+u::Result<std::string> MemObjectBackend::get(const BlobRef& ref) {
+  maybe_slow_op(ref, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = objects_.find(ref.name);
+  if (it == objects_.end()) {
+    return u::Status::not_found("blob not found: " + ref.name);
+  }
+  return it->second;
+}
+
+u::Result<std::vector<BlobRef>> MemObjectBackend::list(
+    std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BlobRef> refs;
+  for (const auto& [name, bytes] : objects_) {
+    if (name.starts_with(prefix)) {
+      refs.push_back(BlobRef{name});
+    }
+  }
+  return refs;  // map order is already sorted
+}
+
+u::Status MemObjectBackend::remove(const BlobRef& ref) {
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_.erase(ref.name);
+  return {};
+}
+
+u::Result<bool> MemObjectBackend::exists(const BlobRef& ref) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.find(ref.name) != objects_.end();
+}
+
+u::Result<std::unique_ptr<AppendHandle>> MemObjectBackend::open_append(
+    const BlobRef& ref, bool truncate) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (truncate) {
+      objects_[ref.name].clear();
+    } else {
+      objects_.try_emplace(ref.name);
+    }
+  }
+  return std::unique_ptr<AppendHandle>(new MemAppendHandle(this, ref));
+}
+
+void MemObjectBackend::poke(const BlobRef& ref, std::string bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_[ref.name] = std::move(bytes);
+}
+
+std::size_t MemObjectBackend::object_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+}  // namespace fbf::storage

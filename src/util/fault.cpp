@@ -98,4 +98,50 @@ std::size_t FaultInjector::truncated_size(std::size_t size,
   return static_cast<std::size_t>(r % size);  // always < size: a real cut
 }
 
+bool FaultInjector::put_fails(std::string_view name, std::uint64_t sequence) {
+  const bool fails =
+      config_.put_fail_rate > 0.0 &&
+      draw("storage-put-fail", fnv1a64(name), sequence) < config_.put_fail_rate;
+  if (fails) {
+    ++counters_.put_failures;
+  }
+  return fails;
+}
+
+std::size_t FaultInjector::torn_write_size(std::size_t size,
+                                           std::string_view name,
+                                           std::uint64_t sequence) {
+  if (size == 0 || config_.torn_write_rate <= 0.0 ||
+      draw("storage-torn-write", fnv1a64(name), sequence) >=
+          config_.torn_write_rate) {
+    return size;
+  }
+  const std::uint64_t r = bits("storage-torn-offset", fnv1a64(name), sequence);
+  ++counters_.torn_writes;
+  return static_cast<std::size_t>(r % size);  // always < size: a real tear
+}
+
+bool FaultInjector::object_lost(std::string_view name, std::uint64_t sequence) {
+  const bool lost =
+      config_.lost_object_rate > 0.0 &&
+      draw("storage-lost-object", fnv1a64(name), sequence) <
+          config_.lost_object_rate;
+  if (lost) {
+    ++counters_.lost_objects;
+  }
+  return lost;
+}
+
+bool FaultInjector::backend_slow(std::string_view name,
+                                 std::uint64_t sequence) {
+  const bool slow =
+      config_.slow_backend_rate > 0.0 &&
+      draw("storage-slow", fnv1a64(name), sequence) <
+          config_.slow_backend_rate;
+  if (slow) {
+    ++counters_.slow_ops;
+  }
+  return slow;
+}
+
 }  // namespace fbf::util

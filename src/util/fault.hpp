@@ -26,6 +26,15 @@ struct FaultConfig {
   double snapshot_corrupt_rate = 0.0;  ///< P(a snapshot write flips a byte)
   double journal_truncate_rate = 0.0;  ///< P(a journal append is cut short)
   int fail_shard = -1;  ///< this shard index fails EVERY attempt (permanent)
+
+  // Storage-backend faults (src/storage), keyed by blob name + the
+  // backend's per-blob operation sequence so the decision for one blob
+  // never depends on traffic to another.
+  double put_fail_rate = 0.0;   ///< P(a blob put reports failure, nothing lands)
+  double torn_write_rate = 0.0; ///< P(a put/sync lands only a byte prefix)
+  double lost_object_rate = 0.0;  ///< P(a put acks but the object vanishes)
+  double slow_backend_rate = 0.0; ///< P(a backend op is tagged slow)
+  double slow_backend_ms = 0.0;   ///< simulated delay when slow fires (0 = tally only)
 };
 
 /// Tallies of what was actually injected (for reports and assertions).
@@ -34,6 +43,10 @@ struct FaultCounters {
   std::uint64_t stragglers = 0;
   std::uint64_t bytes_corrupted = 0;
   std::uint64_t truncations = 0;
+  std::uint64_t put_failures = 0;
+  std::uint64_t torn_writes = 0;
+  std::uint64_t lost_objects = 0;
+  std::uint64_t slow_ops = 0;
 };
 
 /// How a failed shard attempt manifests at the socket layer.  The
@@ -98,6 +111,31 @@ class FaultInjector {
   [[nodiscard]] std::size_t truncated_size(std::size_t size,
                                            std::string_view site,
                                            std::uint64_t sequence);
+
+  // --- storage-backend faults (src/storage) ---------------------------
+  // All keyed by (seed, site, fnv1a64(blob name), sequence): the same
+  // blob at the same per-blob operation index always draws the same
+  // fate, regardless of interleaved traffic to other blobs.
+
+  /// Does this put fail outright (nothing lands, caller sees an error)?
+  [[nodiscard]] bool put_fails(std::string_view name, std::uint64_t sequence);
+
+  /// Bytes of a `size`-byte put/sync that actually land — strictly less
+  /// than `size` when a torn write fires (a non-atomic backend crashed
+  /// mid-object; the partial object is observable).
+  [[nodiscard]] std::size_t torn_write_size(std::size_t size,
+                                            std::string_view name,
+                                            std::uint64_t sequence);
+
+  /// Does this put ack and then lose the object (failed async
+  /// replication: the write "succeeded" but a later get finds nothing)?
+  [[nodiscard]] bool object_lost(std::string_view name,
+                                 std::uint64_t sequence);
+
+  /// Is this backend op tagged slow?  Tallied always; callers sleep
+  /// config().slow_backend_ms when it is > 0.
+  [[nodiscard]] bool backend_slow(std::string_view name,
+                                  std::uint64_t sequence);
 
   [[nodiscard]] const FaultCounters& counters() const noexcept {
     return counters_;

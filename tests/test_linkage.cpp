@@ -256,34 +256,4 @@ TEST(Engine, FalseNegativesAccounting) {
   EXPECT_EQ(stats.false_negatives(60), 60 - stats.true_positives);
 }
 
-// The one-release compatibility shims: writing through the old loose
-// member names must land in the embedded ExecPolicy, and copies must
-// carry values (not re-alias the source's exec).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(ExecPolicyMigration, DeprecatedAliasesWriteThroughToExec) {
-  lk::LinkConfig config;
-  config.threads = 7;
-  config.use_pipeline = false;
-  EXPECT_EQ(config.exec.threads, 7u);
-  EXPECT_FALSE(config.exec.use_pipeline);
-
-  lk::LinkConfig copy = config;
-  EXPECT_EQ(copy.exec.threads, 7u);
-  copy.threads = 3;  // the copy's alias binds the copy's exec, not the source's
-  EXPECT_EQ(copy.exec.threads, 3u);
-  EXPECT_EQ(config.exec.threads, 7u);
-
-  lk::EntityStoreOptions options;
-  options.use_pipeline = false;
-  options.threads = 5;
-  EXPECT_FALSE(options.exec.use_pipeline);
-  EXPECT_EQ(options.exec.threads, 5u);
-  lk::EntityStoreOptions options_copy = options;
-  options_copy.threads = 2;
-  EXPECT_EQ(options.exec.threads, 5u);
-  EXPECT_EQ(options_copy.exec.threads, 2u);
-}
-#pragma GCC diagnostic pop
-
 }  // namespace

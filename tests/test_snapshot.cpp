@@ -2,18 +2,21 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "linkage/person_gen.hpp"
+#include "storage/local_dir.hpp"
+#include "storage/mem_object.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 namespace lk = fbf::linkage;
+namespace st = fbf::storage;
 namespace u = fbf::util;
 namespace fs = std::filesystem;
 using fbf::util::Rng;
@@ -58,7 +61,8 @@ void expect_stores_equal(const lk::EntityStore& a, const lk::EntityStore& b) {
   }
 }
 
-/// Per-test scratch paths under gtest's temp dir, removed on teardown.
+/// Per-test scratch directory backing a LocalDirBackend, removed on
+/// teardown.
 class SnapshotFiles : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -66,8 +70,6 @@ class SnapshotFiles : public ::testing::Test {
     base_ = fs::path(::testing::TempDir()) /
             (std::string("fbf_") + info->name());
     fs::create_directories(base_);
-    snapshot_ = (base_ / "store.snap").string();
-    journal_ = (base_ / "store.journal").string();
   }
 
   void TearDown() override {
@@ -75,20 +77,28 @@ class SnapshotFiles : public ::testing::Test {
     fs::remove_all(base_, ec);
   }
 
-  [[nodiscard]] lk::DurabilityConfig durability(
-      std::size_t checkpoint_every = 4,
+  [[nodiscard]] std::shared_ptr<st::LocalDirBackend> backend(
       u::FaultInjector* faults = nullptr) const {
-    lk::DurabilityConfig config;
-    config.snapshot_path = snapshot_;
-    config.journal_path = journal_;
-    config.checkpoint_every = checkpoint_every;
-    config.faults = faults;
-    return config;
+    return std::make_shared<st::LocalDirBackend>(base_.string(), faults);
+  }
+
+  [[nodiscard]] static lk::DurabilityPolicy policy(
+      std::size_t checkpoint_every = 4) {
+    lk::DurabilityPolicy p;
+    p.checkpoint_every = checkpoint_every;
+    return p;
+  }
+
+  /// True when a checkpoint chain (manifest) exists in the directory.
+  [[nodiscard]] bool has_manifest() const {
+    return fs::exists(base_ / "MANIFEST");
+  }
+
+  [[nodiscard]] std::uintmax_t journal_size() const {
+    return fs::file_size(base_ / "journal");
   }
 
   fs::path base_;
-  std::string snapshot_;
-  std::string journal_;
 };
 
 TEST(Snapshot, RoundTripPreservesRecordsIdsAndSignatures) {
@@ -97,11 +107,9 @@ TEST(Snapshot, RoundTripPreservesRecordsIdsAndSignatures) {
   for (const auto& batch : batches) {
     store.ingest(batch);
   }
-  std::ostringstream out;
-  ASSERT_TRUE(lk::write_snapshot(out, store, 3).ok());
+  const std::string bytes = lk::encode_snapshot(store, 3);
   lk::EntityStore loaded(fpdl_config());
-  std::istringstream in(out.str());
-  const auto seq = lk::read_snapshot(in, loaded);
+  const auto seq = lk::decode_snapshot(bytes, loaded);
   ASSERT_TRUE(seq.ok()) << seq.status().to_string();
   EXPECT_EQ(seq.value(), 3u);
   expect_stores_equal(store, loaded);
@@ -113,24 +121,20 @@ TEST(Snapshot, RoundTripWithoutFbfComparator) {
   const auto config = lk::make_point_threshold_config(lk::FieldStrategy::kDl);
   lk::EntityStore store(config);
   store.ingest(make_batches(1, 30, 2).front());
-  std::ostringstream out;
-  ASSERT_TRUE(lk::write_snapshot(out, store, 1).ok());
+  const std::string bytes = lk::encode_snapshot(store, 1);
   lk::EntityStore loaded(config);
-  std::istringstream in(out.str());
-  ASSERT_TRUE(lk::read_snapshot(in, loaded).ok());
+  ASSERT_TRUE(lk::decode_snapshot(bytes, loaded).ok());
   EXPECT_TRUE(loaded.signatures().empty());
   expect_stores_equal(store, loaded);
 }
 
 TEST(Snapshot, EverySingleByteCorruptionIsDetected) {
-  // Property (acceptance): write -> corrupt one byte -> load must fail
+  // Property (acceptance): encode -> corrupt one byte -> decode must fail
   // via checksum/structure checks, at EVERY byte offset.  A silently
   // wrong load would poison every later nightly run.
   lk::EntityStore store(fpdl_config());
   store.ingest(make_batches(1, 12, 3).front());
-  std::ostringstream out;
-  ASSERT_TRUE(lk::write_snapshot(out, store, 1).ok());
-  const std::string bytes = out.str();
+  const std::string bytes = lk::encode_snapshot(store, 1);
   Rng rng(44);
   for (std::size_t offset = 0; offset < bytes.size(); ++offset) {
     std::string corrupt = bytes;
@@ -138,8 +142,7 @@ TEST(Snapshot, EverySingleByteCorruptionIsDetected) {
     corrupt[offset] = static_cast<char>(
         static_cast<unsigned char>(corrupt[offset]) ^ (1u << bit));
     lk::EntityStore loaded(fpdl_config());
-    std::istringstream in(corrupt);
-    const auto result = lk::read_snapshot(in, loaded);
+    const auto result = lk::decode_snapshot(corrupt, loaded);
     EXPECT_FALSE(result.ok()) << "byte " << offset << " bit " << bit
                               << " flipped but the snapshot loaded";
     if (!result.ok()) {
@@ -151,16 +154,31 @@ TEST(Snapshot, EverySingleByteCorruptionIsDetected) {
 TEST(Snapshot, TruncatedSnapshotIsDetected) {
   lk::EntityStore store(fpdl_config());
   store.ingest(make_batches(1, 10, 4).front());
-  std::ostringstream out;
-  ASSERT_TRUE(lk::write_snapshot(out, store, 1).ok());
-  const std::string bytes = out.str();
+  const std::string bytes = lk::encode_snapshot(store, 1);
   for (const std::size_t keep : {std::size_t{0}, std::size_t{10},
                                  std::size_t{27}, bytes.size() / 2,
                                  bytes.size() - 1}) {
     lk::EntityStore loaded(fpdl_config());
-    std::istringstream in(bytes.substr(0, keep));
-    EXPECT_FALSE(lk::read_snapshot(in, loaded).ok()) << "kept " << keep;
+    EXPECT_FALSE(lk::decode_snapshot(bytes.substr(0, keep), loaded).ok())
+        << "kept " << keep;
   }
+}
+
+TEST(Snapshot, BlobRoundTripThroughBackend) {
+  auto backend = std::make_shared<st::MemObjectBackend>();
+  lk::EntityStore store(fpdl_config());
+  store.ingest(make_batches(1, 20, 14).front());
+  const st::BlobRef ref{"nightly.snap"};
+  ASSERT_TRUE(lk::write_snapshot(*backend, ref, store, 1).ok());
+  lk::EntityStore loaded(fpdl_config());
+  const auto seq = lk::read_snapshot(*backend, ref, loaded);
+  ASSERT_TRUE(seq.ok()) << seq.status().to_string();
+  EXPECT_EQ(seq.value(), 1u);
+  expect_stores_equal(store, loaded);
+  EXPECT_EQ(lk::read_snapshot(*backend, st::BlobRef{"absent"}, loaded)
+                .status()
+                .code(),
+            u::StatusCode::kNotFound);
 }
 
 TEST(Journal, TruncationAtEveryPointYieldsAnIntactPrefix) {
@@ -168,13 +186,12 @@ TEST(Journal, TruncationAtEveryPointYieldsAnIntactPrefix) {
   // replay is a frame-aligned prefix of what was appended — never a
   // half-applied batch, never an error.
   const auto batches = make_batches(4, 8, 5);
-  std::ostringstream out;
+  std::string bytes;
   std::vector<std::size_t> frame_end;  // cumulative byte offset per frame
   for (std::size_t b = 0; b < batches.size(); ++b) {
-    ASSERT_TRUE(lk::append_journal(out, b, batches[b]).ok());
-    frame_end.push_back(out.str().size());
+    bytes += lk::encode_journal_frame(b, batches[b]);
+    frame_end.push_back(bytes.size());
   }
-  const std::string bytes = out.str();
   for (std::size_t keep = 0; keep <= bytes.size(); ++keep) {
     // A cut at `keep` preserves every frame that ends at or before it.
     std::size_t expect_frames = 0;
@@ -182,19 +199,18 @@ TEST(Journal, TruncationAtEveryPointYieldsAnIntactPrefix) {
            frame_end[expect_frames] <= keep) {
       ++expect_frames;
     }
-    std::istringstream in(bytes.substr(0, keep));
-    const auto replay = lk::read_journal(in);
-    ASSERT_TRUE(replay.ok()) << "kept " << keep;
-    ASSERT_EQ(replay->frames.size(), expect_frames) << "kept " << keep;
+    const auto replay = lk::replay_journal(
+        std::string_view(bytes).substr(0, keep));
+    ASSERT_EQ(replay.frames.size(), expect_frames) << "kept " << keep;
     const std::size_t prefix_bytes =
         expect_frames == 0 ? 0 : frame_end[expect_frames - 1];
-    EXPECT_EQ(replay->dropped_tail_bytes, keep - prefix_bytes)
+    EXPECT_EQ(replay.dropped_tail_bytes, keep - prefix_bytes)
         << "kept " << keep;
-    for (std::size_t f = 0; f < replay->frames.size(); ++f) {
-      EXPECT_EQ(replay->frames[f].seq, f);
-      ASSERT_EQ(replay->frames[f].batch.size(), batches[f].size());
+    for (std::size_t f = 0; f < replay.frames.size(); ++f) {
+      EXPECT_EQ(replay.frames[f].seq, f);
+      ASSERT_EQ(replay.frames[f].batch.size(), batches[f].size());
       for (std::size_t r = 0; r < batches[f].size(); ++r) {
-        EXPECT_EQ(replay->frames[f].batch[r].id, batches[f][r].id);
+        EXPECT_EQ(replay.frames[f].batch[r].id, batches[f][r].id);
       }
     }
   }
@@ -202,21 +218,18 @@ TEST(Journal, TruncationAtEveryPointYieldsAnIntactPrefix) {
 
 TEST(Journal, CorruptMiddleFrameStopsAtThePrefix) {
   const auto batches = make_batches(3, 6, 6);
-  std::ostringstream out;
+  std::string bytes;
   for (std::size_t b = 0; b < batches.size(); ++b) {
-    ASSERT_TRUE(lk::append_journal(out, b, batches[b]).ok());
+    bytes += lk::encode_journal_frame(b, batches[b]);
   }
-  std::string bytes = out.str();
   // Flip a byte inside the second frame's payload region.
   const std::size_t offset = bytes.size() / 2;
   bytes[offset] = static_cast<char>(
       static_cast<unsigned char>(bytes[offset]) ^ 0x40);
-  std::istringstream in(bytes);
-  const auto replay = lk::read_journal(in);
-  ASSERT_TRUE(replay.ok());
-  EXPECT_LT(replay->frames.size(), batches.size());
-  for (std::size_t f = 0; f < replay->frames.size(); ++f) {
-    EXPECT_EQ(replay->frames[f].seq, f);
+  const auto replay = lk::replay_journal(bytes);
+  EXPECT_LT(replay.frames.size(), batches.size());
+  for (std::size_t f = 0; f < replay.frames.size(); ++f) {
+    EXPECT_EQ(replay.frames[f].seq, f);
   }
 }
 
@@ -229,16 +242,19 @@ TEST_F(SnapshotFiles, CrashRecoveryRestoresExactlyThePostBatchKStore) {
   const std::size_t crash_after = 4;  // not on a checkpoint boundary
   const auto batches = make_batches(n_batches, 25, 7);
 
-  lk::DurableEntityStore durable(fpdl_config(), durability(/*every=*/3));
+  lk::DurableEntityStore durable(fpdl_config(), backend(),
+                                 policy(/*every=*/3));
   for (std::size_t b = 0; b < crash_after; ++b) {
     ASSERT_TRUE(durable.ingest(batches[b]).ok());
   }
-  // Simulated crash: `durable` is abandoned; a fresh process recovers
-  // from the files alone.
-  lk::DurableEntityStore recovered(fpdl_config(), durability(/*every=*/3));
+  durable.simulate_crash();
+  // A fresh process recovers from the backend alone.
+  lk::DurableEntityStore recovered(fpdl_config(), backend(),
+                                   policy(/*every=*/3));
   const auto report = recovered.recover();
   ASSERT_TRUE(report.ok()) << report.status().to_string();
   EXPECT_TRUE(report->snapshot_loaded);  // checkpoint fired at batch 3
+  EXPECT_FALSE(report->legacy_snapshot);
   EXPECT_EQ(report->journal_batches_replayed, 1u);  // batch 3..4 delta
   EXPECT_EQ(report->batches_ingested, crash_after);
 
@@ -258,7 +274,7 @@ TEST_F(SnapshotFiles, CrashRecoveryRestoresExactlyThePostBatchKStore) {
 }
 
 TEST_F(SnapshotFiles, RecoverOnColdStartYieldsEmptyStore) {
-  lk::DurableEntityStore durable(fpdl_config(), durability());
+  lk::DurableEntityStore durable(fpdl_config(), backend(), policy());
   const auto report = durable.recover();
   ASSERT_TRUE(report.ok());
   EXPECT_FALSE(report->snapshot_loaded);
@@ -266,53 +282,59 @@ TEST_F(SnapshotFiles, RecoverOnColdStartYieldsEmptyStore) {
   EXPECT_EQ(durable.store().size(), 0u);
 }
 
-TEST_F(SnapshotFiles, CheckpointEveryNWritesSnapshotAndResetsJournal) {
+TEST_F(SnapshotFiles, CheckpointEveryNWritesManifestAndResetsJournal) {
   const auto batches = make_batches(4, 10, 8);
-  lk::DurableEntityStore durable(fpdl_config(), durability(/*every=*/2));
+  lk::DurableEntityStore durable(fpdl_config(), backend(),
+                                 policy(/*every=*/2));
   ASSERT_TRUE(durable.ingest(batches[0]).ok());
-  EXPECT_FALSE(fs::exists(snapshot_));
-  EXPECT_GT(fs::file_size(journal_), 0u);
+  EXPECT_FALSE(has_manifest());
+  EXPECT_GT(journal_size(), 0u);
   ASSERT_TRUE(durable.ingest(batches[1]).ok());
-  EXPECT_TRUE(fs::exists(snapshot_));
-  EXPECT_EQ(fs::file_size(journal_), 0u);  // reset after the checkpoint
+  EXPECT_TRUE(has_manifest());
+  EXPECT_EQ(journal_size(), 0u);  // reset after the checkpoint
   ASSERT_TRUE(durable.ingest(batches[2]).ok());
-  EXPECT_GT(fs::file_size(journal_), 0u);
+  EXPECT_GT(journal_size(), 0u);
   EXPECT_EQ(durable.checkpoint_failures(), 0u);
+  EXPECT_EQ(durable.stats().checkpoints, 1u);
 }
 
 TEST_F(SnapshotFiles, ManualCheckpointOnlyWhenEveryIsZero) {
   const auto batches = make_batches(3, 10, 9);
-  lk::DurableEntityStore durable(fpdl_config(), durability(/*every=*/0));
+  lk::DurableEntityStore durable(fpdl_config(), backend(),
+                                 policy(/*every=*/0));
   for (const auto& batch : batches) {
     ASSERT_TRUE(durable.ingest(batch).ok());
   }
-  EXPECT_FALSE(fs::exists(snapshot_));
+  EXPECT_FALSE(has_manifest());
   ASSERT_TRUE(durable.checkpoint().ok());
-  EXPECT_TRUE(fs::exists(snapshot_));
-  EXPECT_EQ(fs::file_size(journal_), 0u);
+  EXPECT_TRUE(has_manifest());
+  EXPECT_EQ(journal_size(), 0u);
 }
 
 TEST_F(SnapshotFiles, InjectedSnapshotCorruptionDegradesWithoutDataLoss) {
   // Every checkpoint write is corrupted; verification catches it before
-  // the journal is reset, so ingest keeps succeeding and recovery comes
-  // from the (complete) journal.
+  // the manifest swap and the journal reset, so ingest keeps succeeding
+  // and recovery comes from the (complete) journal.
   u::FaultConfig faults;
   faults.seed = 21;
   faults.snapshot_corrupt_rate = 1.0;
   u::FaultInjector injector(faults);
   const auto batches = make_batches(4, 12, 10);
-  lk::DurableEntityStore durable(fpdl_config(),
-                                 durability(/*every=*/2, &injector));
+  lk::DurableEntityStore durable(fpdl_config(), backend(&injector),
+                                 policy(/*every=*/2));
   for (const auto& batch : batches) {
     ASSERT_TRUE(durable.ingest(batch).ok());
   }
   // The policy is every-N-since-last-SUCCESS, so after the first failure
   // at batch 2 every later batch retries: failures at batches 2, 3, 4.
   EXPECT_EQ(durable.checkpoint_failures(), 3u);
-  EXPECT_FALSE(fs::exists(snapshot_));  // never a corrupt snapshot on disk
+  EXPECT_FALSE(has_manifest());  // never a corrupt chain on disk
+  EXPECT_TRUE(durable.backend()->list("base-").value().empty());
   EXPECT_GT(injector.counters().bytes_corrupted, 0u);
+  EXPECT_FALSE(durable.stats().last_error.empty());
 
-  lk::DurableEntityStore recovered(fpdl_config(), durability(/*every=*/0));
+  lk::DurableEntityStore recovered(fpdl_config(), backend(),
+                                   policy(/*every=*/0));
   const auto report = recovered.recover();
   ASSERT_TRUE(report.ok());
   EXPECT_FALSE(report->snapshot_loaded);
@@ -333,20 +355,21 @@ TEST_F(SnapshotFiles, InjectedJournalTruncationRecoversThePrefix) {
   u::FaultInjector injector(faults);
   const auto batches = make_batches(3, 15, 11);
 
-  lk::DurableEntityStore safe(fpdl_config(), durability(/*every=*/0));
+  lk::DurableEntityStore safe(fpdl_config(), backend(), policy(/*every=*/0));
   ASSERT_TRUE(safe.ingest(batches[0]).ok());
   ASSERT_TRUE(safe.ingest(batches[1]).ok());
 
-  // Same files, but this writer's next append is cut by the injector.
-  lk::DurableEntityStore crasher(fpdl_config(),
-                                 durability(/*every=*/0, &injector));
+  // Same directory, but this writer's next append is cut by the injector.
+  lk::DurableEntityStore crasher(fpdl_config(), backend(&injector),
+                                 policy(/*every=*/0));
   ASSERT_TRUE(crasher.recover().ok());
   EXPECT_EQ(crasher.batches_ingested(), 2u);
   const auto cut = crasher.ingest(batches[2]);
   EXPECT_FALSE(cut.ok());
   EXPECT_EQ(cut.status().code(), u::StatusCode::kUnavailable);
 
-  lk::DurableEntityStore recovered(fpdl_config(), durability(/*every=*/0));
+  lk::DurableEntityStore recovered(fpdl_config(), backend(),
+                                   policy(/*every=*/0));
   const auto report = recovered.recover();
   ASSERT_TRUE(report.ok());
   EXPECT_GT(report->dropped_tail_bytes, 0u);
@@ -369,18 +392,18 @@ TEST_F(SnapshotFiles, RecoveryCleansTheJournalSoASecondCrashLosesNothing) {
   u::FaultInjector injector(faults);
   const auto batches = make_batches(3, 12, 12);
 
-  lk::DurableEntityStore safe(fpdl_config(), durability(/*every=*/0));
+  lk::DurableEntityStore safe(fpdl_config(), backend(), policy(/*every=*/0));
   ASSERT_TRUE(safe.ingest(batches[0]).ok());
 
   // Crash mid-append of batch 1: a partial frame lands on disk.
-  lk::DurableEntityStore crasher(fpdl_config(),
-                                 durability(/*every=*/0, &injector));
+  lk::DurableEntityStore crasher(fpdl_config(), backend(&injector),
+                                 policy(/*every=*/0));
   ASSERT_TRUE(crasher.recover().ok());
   EXPECT_FALSE(crasher.ingest(batches[1]).ok());
 
   // First recovery drops the damaged tail and must also remove it from
-  // the journal file...
-  lk::DurableEntityStore second(fpdl_config(), durability(/*every=*/0));
+  // the journal blob...
+  lk::DurableEntityStore second(fpdl_config(), backend(), policy(/*every=*/0));
   const auto first = second.recover();
   ASSERT_TRUE(first.ok()) << first.status().to_string();
   EXPECT_GT(first->dropped_tail_bytes, 0u);
@@ -390,7 +413,7 @@ TEST_F(SnapshotFiles, RecoveryCleansTheJournalSoASecondCrashLosesNothing) {
 
   // ...so batches acknowledged after the recovery survive a SECOND
   // crash instead of sitting behind an unreadable frame.
-  lk::DurableEntityStore third(fpdl_config(), durability(/*every=*/0));
+  lk::DurableEntityStore third(fpdl_config(), backend(), policy(/*every=*/0));
   const auto again = third.recover();
   ASSERT_TRUE(again.ok()) << again.status().to_string();
   EXPECT_EQ(again->dropped_tail_bytes, 0u);
@@ -401,6 +424,30 @@ TEST_F(SnapshotFiles, RecoveryCleansTheJournalSoASecondCrashLosesNothing) {
   }
   expect_stores_equal(uninterrupted, third.store());
 }
+
+// The one-release migration shim: the path-config constructor must behave
+// exactly like a LocalDirBackend over the snapshot's directory, so stores
+// built before the storage layer keep working while call sites migrate.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(SnapshotFiles, DeprecatedPathConfigForwardsToLocalDirBackend) {
+  const auto batches = make_batches(3, 10, 13);
+  lk::DurabilityConfig config;
+  config.snapshot_path = (base_ / "store.snap").string();
+  config.journal_path = (base_ / "journal").string();
+  config.checkpoint_every = 2;
+  lk::DurableEntityStore legacy(fpdl_config(), config);
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(legacy.ingest(batch).ok());
+  }
+  EXPECT_TRUE(has_manifest());  // checkpointing went through the backend
+
+  // A new-API instance over the same directory recovers the same store.
+  lk::DurableEntityStore modern(fpdl_config(), backend(), policy());
+  ASSERT_TRUE(modern.recover().ok());
+  expect_stores_equal(legacy.store(), modern.store());
+}
+#pragma GCC diagnostic pop
 
 TEST(EntityStoreRestore, RejectsInconsistentShapes) {
   lk::EntityStore store(fpdl_config());
