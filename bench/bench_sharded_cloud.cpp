@@ -16,6 +16,7 @@
 // are transport-independent by construction — same seed, same numbers —
 // which is the acceptance check for the socket layer.
 #include <iostream>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -54,12 +55,26 @@ int main(int argc, char** argv) {
   // One run through the selected backend.  TCP brings up a fresh shard
   // server per run (ephemeral port) and points the driver's transport at
   // it; the injected server stall must exceed the client deadline or the
-  // deadline fault never manifests.
-  const auto run_sharded = [&](lk::ShardedConfig config) {
-    if (!use_tcp) {
-      return lk::link_sharded(clean, error, config);
-    }
+  // deadline fault never manifests.  Either way the transport is built
+  // here (not inside the driver) so its per-NetFaultKind delivery stats
+  // survive the run and land in the --json artifact.
+  struct RunOutput {
+    lk::ShardedResult result;
+    fbf::net::TransportStats transport;
+  };
+  const auto run_sharded = [&](lk::ShardedConfig config) -> RunOutput {
     lk::ShardLinkService service(config.link, error);
+    if (!use_tcp) {
+      // Same wiring link_sharded would do internally — made explicit so
+      // the transport outlives the call.
+      std::optional<fbf::util::FaultConfig> faults;
+      if (config.fault.has_value()) {
+        faults = config.fault->faults;
+      }
+      fbf::net::InProcessTransport transport(service.handler(), faults);
+      config.transport = &transport;
+      return {lk::link_sharded(clean, error, config), transport.stats()};
+    }
     fbf::net::ShardServerOptions server_opts;
     server_opts.injected_delay_ms = 900.0;
     fbf::net::TcpTransportOptions client_opts;
@@ -72,13 +87,13 @@ int main(int argc, char** argv) {
     client_opts.port = server.port();
     fbf::net::TcpTransport transport(client_opts);
     config.transport = &transport;
-    return lk::link_sharded(clean, error, config);
+    return {lk::link_sharded(clean, error, config), transport.stats()};
   };
 
   struct SchemeRow {
     const char* scheme;
     std::size_t shards;
-    lk::ShardedResult result;
+    RunOutput out;
   };
   std::vector<SchemeRow> scheme_rows;
   const lk::PartitionScheme schemes[] = {
@@ -102,7 +117,7 @@ int main(int argc, char** argv) {
     u::Table table({"scheme", "shards", "total pairs", "TP", "recall",
                     "makespan ms", "sum ms", "imbalance"});
     for (const auto& row : scheme_rows) {
-      const auto& result = row.result;
+      const auto& result = row.out.result;
       table.add_row(
           {row.scheme, std::to_string(row.shards),
            u::with_commas(static_cast<std::int64_t>(result.total_pairs)),
@@ -146,7 +161,7 @@ int main(int argc, char** argv) {
 
   struct FaultRow {
     const char* name;
-    lk::ShardedResult result;
+    RunOutput out;
   };
   std::vector<FaultRow> fault_rows;
   for (const auto& scenario : scenarios) {
@@ -171,27 +186,42 @@ int main(int argc, char** argv) {
               << "  \"schemes\": [\n";
     for (std::size_t r = 0; r < scheme_rows.size(); ++r) {
       const auto& row = scheme_rows[r];
+      const auto& result = row.out.result;
       std::cout << "    {\"scheme\": \"" << fbf::bench::json_escape(row.scheme)
                 << "\", \"shards\": " << row.shards
-                << ", \"total_pairs\": " << row.result.total_pairs
-                << ", \"true_positives\": " << row.result.total_true_positives
-                << ", \"makespan_ms\": " << row.result.makespan_ms
-                << ", \"sum_ms\": " << row.result.sum_ms
-                << ", \"imbalance\": " << row.result.imbalance() << "}"
+                << ", \"total_pairs\": " << result.total_pairs
+                << ", \"true_positives\": " << result.total_true_positives
+                << ", \"makespan_ms\": " << result.makespan_ms
+                << ", \"sum_ms\": " << result.sum_ms
+                << ", \"imbalance\": " << result.imbalance() << "}"
                 << (r + 1 < scheme_rows.size() ? "," : "") << "\n";
     }
+    // Per-NetFaultKind delivery tallies make each injected-fault run
+    // auditable from the artifact alone: which kinds fired, how often,
+    // and that every failure is classified (other_errors stays 0).
+    const auto print_transport_stats = [](const fbf::net::TransportStats& s) {
+      std::cout << "\"transport_stats\": {\"calls\": " << s.calls
+                << ", \"ok\": " << s.ok
+                << ", \"connect_refused\": " << s.connect_refused
+                << ", \"disconnects\": " << s.disconnects
+                << ", \"deadline_expired\": " << s.deadline_expired
+                << ", \"garbled\": " << s.garbled
+                << ", \"other_errors\": " << s.other_errors << "}";
+    };
     std::cout << "  ],\n  \"fault_scenarios\": [\n";
     for (std::size_t r = 0; r < fault_rows.size(); ++r) {
       const auto& row = fault_rows[r];
+      const auto& result = row.out.result;
       std::cout << "    {\"scenario\": \"" << fbf::bench::json_escape(row.name)
-                << "\", \"retries\": " << row.result.retries
-                << ", \"failed_shards\": " << row.result.failed_shards
-                << ", \"dropped_pairs\": " << row.result.dropped_pairs
+                << "\", \"retries\": " << result.retries
+                << ", \"failed_shards\": " << result.failed_shards
+                << ", \"dropped_pairs\": " << result.dropped_pairs
                 << ", \"dropped_pair_fraction\": "
-                << row.result.dropped_pair_fraction()
-                << ", \"true_positives\": " << row.result.total_true_positives
-                << ", \"makespan_ms\": " << row.result.makespan_ms << "}"
-                << (r + 1 < fault_rows.size() ? "," : "") << "\n";
+                << result.dropped_pair_fraction()
+                << ", \"true_positives\": " << result.total_true_positives
+                << ", \"makespan_ms\": " << result.makespan_ms << ", ";
+      print_transport_stats(row.out.transport);
+      std::cout << "}" << (r + 1 < fault_rows.size() ? "," : "") << "\n";
     }
     std::cout << "  ]\n}\n";
     return 0;
@@ -200,7 +230,7 @@ int main(int argc, char** argv) {
   u::Table faults_table({"scenario", "retries", "failed", "dropped pairs",
                          "dropped %", "TP", "recall", "makespan ms"});
   for (const auto& row : fault_rows) {
-    const auto& result = row.result;
+    const auto& result = row.out.result;
     faults_table.add_row(
         {row.name,
          u::with_commas(static_cast<std::int64_t>(result.retries)),
@@ -222,6 +252,18 @@ int main(int argc, char** argv) {
     faults_table.render(std::cout);
     std::printf("\n(a dead shard costs its pair share of recall, never the "
                 "run; transient faults cost only retries)\n");
+    u::Table stats_table({"scenario", "calls", "ok", "refused", "disconnect",
+                          "deadline", "garbled", "other"});
+    for (const auto& row : fault_rows) {
+      const auto& s = row.out.transport;
+      stats_table.add_row(
+          {row.name, std::to_string(s.calls), std::to_string(s.ok),
+           std::to_string(s.connect_refused), std::to_string(s.disconnects),
+           std::to_string(s.deadline_expired), std::to_string(s.garbled),
+           std::to_string(s.other_errors)});
+    }
+    std::printf("\nTransport delivery, by manifested fault kind\n");
+    stats_table.render(std::cout);
   }
   return 0;
 }

@@ -1,0 +1,30 @@
+#include "cluster/rebalance.hpp"
+
+namespace fbf::cluster {
+
+const char* migration_step_name(MigrationStep step) noexcept {
+  switch (step) {
+    case MigrationStep::kFetchManifest: return "fetch-manifest";
+    case MigrationStep::kFetchBase: return "fetch-base";
+    case MigrationStep::kInstallBase: return "install-base";
+    case MigrationStep::kDeltaTraffic: return "delta-traffic";
+    case MigrationStep::kFetchDeltas: return "fetch-deltas";
+    case MigrationStep::kInstallDeltas: return "install-deltas";
+    case MigrationStep::kVerify: return "verify";
+    case MigrationStep::kHandoff: return "handoff";
+    case MigrationStep::kCleanup: return "cleanup";
+  }
+  return "?";
+}
+
+const MigrationStep (&all_migration_steps() noexcept)[9] {
+  static constexpr MigrationStep kSteps[9] = {
+      MigrationStep::kFetchManifest, MigrationStep::kFetchBase,
+      MigrationStep::kInstallBase,   MigrationStep::kDeltaTraffic,
+      MigrationStep::kFetchDeltas,   MigrationStep::kInstallDeltas,
+      MigrationStep::kVerify,        MigrationStep::kHandoff,
+      MigrationStep::kCleanup};
+  return kSteps;
+}
+
+}  // namespace fbf::cluster

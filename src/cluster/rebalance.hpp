@@ -1,0 +1,69 @@
+// Live-rebalance protocol: the steps that move one partition's state to
+// a new replica set while traffic continues, and the crash matrix the
+// property tests walk.
+//
+// Migration reuses the storage-layer idiom from PR 5: a partition's
+// state on a node is a MANIFEST + base blob + delta chain, so a transfer
+// is (bulk base copy) + (catch-up of the deltas that arrived while the
+// base was in flight) + (read-back verify) + (atomic handoff of ring
+// ownership) + (source cleanup).  Every step is a transport call against
+// a specific node, which is exactly where a node can die — the crash
+// matrix is steps × {source, dest}, and the invariant under every cell
+// is: ownership changes only at kHandoff, a kill before it leaves the
+// old replica set authoritative and complete, a kill after it leaves the
+// new set authoritative and complete.  Either way no partition is lost,
+// so match decisions stay byte-identical to the static cluster.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cluster/ring.hpp"
+
+namespace fbf::cluster {
+
+/// The ordered steps of one partition migration.
+enum class MigrationStep : std::uint8_t {
+  kFetchManifest = 0,  ///< read the source's MANIFEST (what exists?)
+  kFetchBase,          ///< bulk read of the base blob from the source
+  kInstallBase,        ///< write the base onto each new replica
+  kDeltaTraffic,       ///< live writes land at the source mid-transfer
+  kFetchDeltas,        ///< read the catch-up delta chain from the source
+  kInstallDeltas,      ///< write the delta chain onto each new replica
+  kVerify,             ///< dest manifest must equal the source manifest
+  kHandoff,            ///< atomic ownership flip (driver-side, no I/O)
+  kCleanup,            ///< drop state from replicas that left the set
+};
+
+inline constexpr int kMigrationStepCount = 9;
+
+[[nodiscard]] const char* migration_step_name(MigrationStep step) noexcept;
+
+/// All steps in protocol order (crash-matrix iteration).
+[[nodiscard]] const MigrationStep (&all_migration_steps() noexcept)[9];
+
+/// Scripted node death during a rebalance: when the membership event's
+/// first migration reaches `step`, the chosen victim drops dead (every
+/// later call to it fails) and stays dead for the rest of the run.
+struct MigrationKill {
+  MigrationStep step = MigrationStep::kFetchBase;
+  enum class Victim : std::uint8_t {
+    kSource,  ///< the replica the state is being read from
+    kDest,    ///< the first new replica the state is being written to
+  };
+  Victim victim = Victim::kSource;
+};
+
+/// What the rebalance did, for reports and assertions.
+struct MigrationStats {
+  std::size_t partitions_considered = 0;  ///< replica set changed
+  std::size_t completed = 0;              ///< handoff reached
+  std::size_t aborted = 0;                ///< old set stayed authoritative
+  std::uint64_t base_transfers = 0;
+  std::uint64_t delta_transfers = 0;
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t source_failovers = 0;  ///< transfer restarted off another holder
+  std::size_t orphaned_copies = 0;     ///< cleanup failed; stray state left
+};
+
+}  // namespace fbf::cluster

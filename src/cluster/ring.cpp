@@ -1,0 +1,102 @@
+#include "cluster/ring.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace fbf::cluster {
+
+namespace u = fbf::util;
+
+HashRing::HashRing(RingOptions options) : options_(options) {
+  if (options_.vnodes_per_node == 0) {
+    options_.vnodes_per_node = 1;
+  }
+}
+
+std::uint64_t HashRing::vnode_point(NodeId node, std::size_t index) const
+    noexcept {
+  // One SplitMix64 step over a mixed (seed, node, index) state: pure,
+  // platform-stable, and independent per (node, index).
+  return u::SplitMix64(options_.seed ^
+                       (static_cast<std::uint64_t>(node) * 0xD1B54A32D192ED03ull) ^
+                       (static_cast<std::uint64_t>(index) * 0x2545F4914F6CDD1Dull))
+      .next();
+}
+
+u::Status HashRing::add_node(NodeId node) {
+  if (contains(node)) {
+    return u::Status::invalid_argument("ring: node already present");
+  }
+  for (std::size_t v = 0; v < options_.vnodes_per_node; ++v) {
+    points_.emplace_back(vnode_point(node, v), node);
+  }
+  std::sort(points_.begin(), points_.end());
+  members_.insert(
+      std::lower_bound(members_.begin(), members_.end(), node), node);
+  return {};
+}
+
+u::Status HashRing::remove_node(NodeId node) {
+  if (!contains(node)) {
+    return u::Status::invalid_argument("ring: node not present");
+  }
+  std::erase_if(points_, [node](const auto& p) { return p.second == node; });
+  members_.erase(std::lower_bound(members_.begin(), members_.end(), node));
+  return {};
+}
+
+bool HashRing::contains(NodeId node) const noexcept {
+  return std::binary_search(members_.begin(), members_.end(), node);
+}
+
+std::uint64_t HashRing::partition_of(std::uint64_t key_hash) const noexcept {
+  if (points_.empty()) {
+    return 0;
+  }
+  auto it = std::lower_bound(points_.begin(), points_.end(),
+                             std::pair<std::uint64_t, NodeId>{key_hash, 0});
+  if (it == points_.end()) {
+    it = points_.begin();  // wraparound
+  }
+  return it->first;
+}
+
+std::vector<NodeId> HashRing::replicas(std::uint64_t key_hash,
+                                       std::size_t count) const {
+  std::vector<NodeId> out;
+  if (points_.empty() || count == 0) {
+    return out;
+  }
+  const std::size_t want = std::min(count, members_.size());
+  out.reserve(want);
+  const std::size_t start = static_cast<std::size_t>(
+      std::lower_bound(points_.begin(), points_.end(),
+                       std::pair<std::uint64_t, NodeId>{key_hash, 0}) -
+      points_.begin());
+  for (std::size_t step = 0; step < points_.size() && out.size() < want;
+       ++step) {
+    const NodeId node = points_[(start + step) % points_.size()].second;
+    if (std::find(out.begin(), out.end(), node) == out.end()) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+NodeId HashRing::owner(std::uint64_t key_hash) const {
+  const auto r = replicas(key_hash, 1);
+  return r.empty() ? NodeId{0} : r[0];
+}
+
+std::uint64_t HashRing::key_hash(std::string_view key,
+                                 std::uint64_t seed) noexcept {
+  return u::SplitMix64(u::fnv1a64(key) ^ seed).next();
+}
+
+std::uint64_t HashRing::key_hash(std::uint64_t key,
+                                 std::uint64_t seed) noexcept {
+  return u::SplitMix64(key * 0x9E3779B97F4A7C15ull ^ seed).next();
+}
+
+}  // namespace fbf::cluster

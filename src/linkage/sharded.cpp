@@ -112,7 +112,10 @@ ShardedResult link_sharded(std::span<const PersonRecord> left,
                    : fbf::util::Result<ShardReply>(raw.status());
       if (!reply.ok()) {
         ++result.retries;
-        const double delay = retry.next_delay_ms(attempt);
+        // Keyed by shard id so full-jitter policies desynchronize the
+        // retry schedules of concurrently failing shards.
+        const double delay =
+            retry.delay_ms(attempt, static_cast<std::uint64_t>(s));
         shard.backoff_ms += delay;
         if (transport->real_time() && attempt < max_attempts) {
           std::this_thread::sleep_for(

@@ -27,7 +27,7 @@ std::uint64_t frame_checksum(const FrameContext& ctx, std::string_view payload) 
 
 bool known_frame_type(std::uint16_t type) noexcept {
   return type >= static_cast<std::uint16_t>(FrameType::kLinkRequest) &&
-         type <= static_cast<std::uint16_t>(FrameType::kPong);
+         type <= static_cast<std::uint16_t>(FrameType::kStateDrop);
 }
 
 }  // namespace
@@ -39,6 +39,10 @@ const char* frame_type_name(FrameType type) noexcept {
     case FrameType::kError: return "error";
     case FrameType::kPing: return "ping";
     case FrameType::kPong: return "pong";
+    case FrameType::kReplicaWrite: return "replica-write";
+    case FrameType::kReplicaQuery: return "replica-query";
+    case FrameType::kStateFetch: return "state-fetch";
+    case FrameType::kStateDrop: return "state-drop";
   }
   return "?";
 }

@@ -38,6 +38,11 @@ enum class FrameType : std::uint16_t {
   kError = 3,        ///< status code + message (server -> client)
   kPing = 4,         ///< liveness probe (client -> server)
   kPong = 5,         ///< liveness answer (server -> client)
+  // Elastic cluster protocol (src/cluster): replica state management.
+  kReplicaWrite = 6,  ///< install a partition base/delta on one replica
+  kReplicaQuery = 7,  ///< link a stored partition against the broadcast right
+  kStateFetch = 8,    ///< read one migration blob (manifest/base/delta)
+  kStateDrop = 9,     ///< drop a partition's state after ownership handoff
 };
 
 [[nodiscard]] const char* frame_type_name(FrameType type) noexcept;

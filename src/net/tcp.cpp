@@ -248,6 +248,9 @@ void ShardServer::event_loop() {
       while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
       }
     }
+    // Connections accepted below have no pollfd entry yet; only the
+    // first `polled` entries of conns are mirrored in pfds this round.
+    const std::size_t polled = conns.size();
     if ((pfds[0].revents & POLLIN) != 0) {
       while (true) {
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -259,8 +262,9 @@ void ShardServer::event_loop() {
       }
     }
     // Walk backwards (pfds[2+i] is conns[i]): dispatch or close removes
-    // the connection without disturbing lower indices.
-    for (std::size_t i = conns.size(); i-- > 0;) {
+    // the connection without disturbing lower indices, and the freshly
+    // accepted tail (>= polled) is left for the next poll round.
+    for (std::size_t i = polled; i-- > 0;) {
       if ((pfds[2 + i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
         continue;
       }

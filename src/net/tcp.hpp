@@ -119,16 +119,9 @@ struct TcpTransportOptions {
   fbf::util::FaultConfig faults;
 };
 
-/// Client-side tallies by observed failure mode.
-struct TcpTransportStats {
-  std::uint64_t calls = 0;
-  std::uint64_t ok = 0;
-  std::uint64_t connect_refused = 0;
-  std::uint64_t disconnects = 0;
-  std::uint64_t deadline_expired = 0;
-  std::uint64_t garbled = 0;
-  std::uint64_t other_errors = 0;
-};
+/// Client-side tallies by observed failure mode (the shared per-kind
+/// breakdown; see net::TransportStats).
+using TcpTransportStats = TransportStats;
 
 class TcpTransport final : public ShardTransport {
  public:
@@ -148,7 +141,7 @@ class TcpTransport final : public ShardTransport {
   /// Round-trips an empty kPing frame (liveness / smoke tests).
   [[nodiscard]] fbf::util::Status ping();
 
-  [[nodiscard]] const TcpTransportStats& stats() const noexcept {
+  [[nodiscard]] const TransportStats& stats() const noexcept override {
     return stats_;
   }
 
@@ -161,7 +154,7 @@ class TcpTransport final : public ShardTransport {
   std::optional<fbf::util::FaultInjector> injector_;
   int dead_fd_ = -1;  ///< bound, never listened: connecting here is refused
   std::uint16_t dead_port_ = 0;
-  TcpTransportStats stats_;
+  TransportStats stats_;
 };
 
 }  // namespace fbf::net

@@ -35,6 +35,46 @@ namespace fbf::net {
 using ShardHandler = std::function<fbf::util::Result<std::string>(
     const FrameContext& ctx, std::string_view payload)>;
 
+/// Client-side delivery tallies, broken down by the NetFaultKind each
+/// failed call manifested as.  Both transports maintain one: the TCP
+/// client classifies the *observed* socket failure, the in-process
+/// transport records the injected kind draw directly — so an injected-
+/// fault run is auditable (and comparable across transports) from the
+/// stats alone.
+struct TransportStats {
+  std::uint64_t calls = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t connect_refused = 0;   ///< NetFaultKind::kConnectRefused
+  std::uint64_t disconnects = 0;       ///< NetFaultKind::kMidFrameDisconnect
+  std::uint64_t deadline_expired = 0;  ///< NetFaultKind::kDeadlineExpiry
+  std::uint64_t garbled = 0;           ///< NetFaultKind::kGarbledFrame
+  std::uint64_t other_errors = 0;      ///< failures outside the four kinds
+
+  [[nodiscard]] std::uint64_t& by_kind(fbf::util::NetFaultKind kind) noexcept {
+    switch (kind) {
+      case fbf::util::NetFaultKind::kConnectRefused: return connect_refused;
+      case fbf::util::NetFaultKind::kMidFrameDisconnect: return disconnects;
+      case fbf::util::NetFaultKind::kDeadlineExpiry: return deadline_expired;
+      case fbf::util::NetFaultKind::kGarbledFrame: return garbled;
+    }
+    return other_errors;
+  }
+  [[nodiscard]] std::uint64_t failures(
+      fbf::util::NetFaultKind kind) const noexcept {
+    switch (kind) {
+      case fbf::util::NetFaultKind::kConnectRefused: return connect_refused;
+      case fbf::util::NetFaultKind::kMidFrameDisconnect: return disconnects;
+      case fbf::util::NetFaultKind::kDeadlineExpiry: return deadline_expired;
+      case fbf::util::NetFaultKind::kGarbledFrame: return garbled;
+    }
+    return 0;
+  }
+  [[nodiscard]] std::uint64_t total_failures() const noexcept {
+    return connect_refused + disconnects + deadline_expired + garbled +
+           other_errors;
+  }
+};
+
 class ShardTransport {
  public:
   virtual ~ShardTransport() = default;
@@ -51,6 +91,9 @@ class ShardTransport {
   /// True when delays (backoff, deadlines) happen in real time; false
   /// when the caller should only *record* them (simulated wall-clock).
   [[nodiscard]] virtual bool real_time() const noexcept { return false; }
+
+  /// Per-kind delivery tallies for this client.
+  [[nodiscard]] virtual const TransportStats& stats() const noexcept = 0;
 };
 
 /// The deterministic reference transport: calls the handler in place.
@@ -70,23 +113,39 @@ class InProcessTransport final : public ShardTransport {
   [[nodiscard]] fbf::util::Result<std::string> call(
       std::size_t shard, int attempt, FrameType type,
       std::string_view request) override {
+    ++stats_.calls;
     if (injector_.has_value() && injector_->shard_attempt_fails(shard, attempt)) {
+      // No socket to break, but the kind draw is the same one the TCP
+      // path would manifest — tally it so fault runs are auditable and
+      // per-kind stats stay transport-comparable.
+      ++stats_.by_kind(injector_->net_fault_kind(shard, attempt));
       return fbf::util::Status::unavailable("injected shard fault");
     }
     FrameContext ctx;
     ctx.type = type;
     ctx.shard = static_cast<std::uint32_t>(shard);
     ctx.attempt = attempt > 0 ? static_cast<std::uint32_t>(attempt) : 1u;
-    return handler_(ctx, request);
+    fbf::util::Result<std::string> reply = handler_(ctx, request);
+    if (reply.ok()) {
+      ++stats_.ok;
+    } else {
+      ++stats_.other_errors;
+    }
+    return reply;
   }
 
   [[nodiscard]] const char* name() const noexcept override {
     return "inprocess";
   }
 
+  [[nodiscard]] const TransportStats& stats() const noexcept override {
+    return stats_;
+  }
+
  private:
   ShardHandler handler_;
   std::optional<fbf::util::FaultInjector> injector_;
+  TransportStats stats_;
 };
 
 }  // namespace fbf::net

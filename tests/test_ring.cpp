@@ -1,0 +1,205 @@
+// Consistent-hash ring properties: set-determinism (placement is a pure
+// function of the membership set, never insertion history), the key-
+// movement bound under membership change (the whole point of consistent
+// hashing), replica-group distinctness, and durable partition ids.
+#include "cluster/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace {
+
+namespace cl = fbf::cluster;
+
+cl::HashRing make_ring(std::vector<cl::NodeId> nodes,
+                       std::uint64_t seed = 42,
+                       std::size_t vnodes = 64) {
+  cl::HashRing ring({seed, vnodes});
+  for (const cl::NodeId n : nodes) {
+    EXPECT_TRUE(ring.add_node(n).ok());
+  }
+  return ring;
+}
+
+std::vector<std::uint64_t> sample_keys(std::size_t n) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    keys.push_back(cl::HashRing::key_hash(k, /*seed=*/42));
+  }
+  return keys;
+}
+
+TEST(HashRing, MembershipBookkeeping) {
+  cl::HashRing ring({7, 16});
+  EXPECT_EQ(ring.node_count(), 0u);
+  EXPECT_TRUE(ring.add_node(3).ok());
+  EXPECT_TRUE(ring.add_node(1).ok());
+  EXPECT_FALSE(ring.add_node(3).ok()) << "duplicate add must be rejected";
+  EXPECT_EQ(ring.node_count(), 2u);
+  EXPECT_EQ(ring.point_count(), 32u);
+  EXPECT_TRUE(ring.contains(1));
+  EXPECT_FALSE(ring.contains(2));
+  EXPECT_EQ(ring.nodes(), (std::vector<cl::NodeId>{1, 3}));
+  EXPECT_TRUE(ring.remove_node(3).ok());
+  EXPECT_FALSE(ring.remove_node(3).ok()) << "double remove must be rejected";
+  EXPECT_EQ(ring.node_count(), 1u);
+  EXPECT_EQ(ring.point_count(), 16u);
+}
+
+TEST(HashRing, EmptyRingDegradesQuietly) {
+  const cl::HashRing ring({1, 8});
+  EXPECT_EQ(ring.partition_of(123), 0u);
+  EXPECT_TRUE(ring.replicas(123, 3).empty());
+  EXPECT_EQ(ring.owner(123), 0u);
+}
+
+TEST(HashRing, PlacementIgnoresInsertionOrder) {
+  // Same membership set, three different construction histories — every
+  // placement decision must agree (this is what lets a driver, a server
+  // and a test each build the ring independently).
+  const auto a = make_ring({0, 1, 2, 3, 4});
+  const auto b = make_ring({4, 2, 0, 3, 1});
+  auto c = make_ring({0, 1, 2, 3, 4, 5});
+  ASSERT_TRUE(c.remove_node(5).ok());
+  for (const std::uint64_t key : sample_keys(2000)) {
+    const auto owner = a.owner(key);
+    EXPECT_EQ(b.owner(key), owner);
+    EXPECT_EQ(c.owner(key), owner);
+    EXPECT_EQ(a.partition_of(key), b.partition_of(key));
+    EXPECT_EQ(a.replicas(key, 3), b.replicas(key, 3));
+    EXPECT_EQ(a.replicas(key, 3), c.replicas(key, 3));
+  }
+}
+
+TEST(HashRing, KeyHashIsSeededAndPure) {
+  const std::uint64_t h1 = cl::HashRing::key_hash(std::uint64_t{99}, 7);
+  EXPECT_EQ(h1, cl::HashRing::key_hash(std::uint64_t{99}, 7));
+  EXPECT_NE(h1, cl::HashRing::key_hash(std::uint64_t{99}, 8))
+      << "seed must matter";
+  const std::uint64_t s1 = cl::HashRing::key_hash("smith", 7);
+  EXPECT_EQ(s1, cl::HashRing::key_hash("smith", 7));
+  EXPECT_NE(s1, cl::HashRing::key_hash("smyth", 7));
+}
+
+TEST(HashRing, AddingANodeMovesOnlyItsShare) {
+  // The headline consistent-hashing property.  With N=8 going on 9,
+  // the expected share of moved keys is 1/9; vnode granularity leaves
+  // variance, so assert a generous multiple — and, crucially, that every
+  // moved key moved *to the new node*: nothing reshuffles between
+  // incumbents.
+  const std::size_t kKeys = 20000;
+  const auto keys = sample_keys(kKeys);
+  auto ring = make_ring({0, 1, 2, 3, 4, 5, 6, 7});
+  std::vector<cl::NodeId> before;
+  before.reserve(kKeys);
+  for (const std::uint64_t key : keys) {
+    before.push_back(ring.owner(key));
+  }
+  ASSERT_TRUE(ring.add_node(8).ok());
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const cl::NodeId now = ring.owner(keys[i]);
+    if (now != before[i]) {
+      ++moved;
+      EXPECT_EQ(now, 8u) << "a key moved between incumbent nodes";
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  const double frac = static_cast<double>(moved) / static_cast<double>(kKeys);
+  EXPECT_LT(frac, 2.5 / 9.0) << "moved " << moved << " of " << kKeys;
+}
+
+TEST(HashRing, RemovingANodeMovesOnlyItsKeys) {
+  const std::size_t kKeys = 20000;
+  const auto keys = sample_keys(kKeys);
+  auto ring = make_ring({0, 1, 2, 3, 4, 5, 6, 7});
+  std::vector<cl::NodeId> before;
+  before.reserve(kKeys);
+  for (const std::uint64_t key : keys) {
+    before.push_back(ring.owner(key));
+  }
+  ASSERT_TRUE(ring.remove_node(3).ok());
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const cl::NodeId now = ring.owner(keys[i]);
+    if (now != before[i]) {
+      ++moved;
+      EXPECT_EQ(before[i], 3u) << "a key not owned by the removed node moved";
+      EXPECT_NE(now, 3u);
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  const double frac = static_cast<double>(moved) / static_cast<double>(kKeys);
+  EXPECT_LT(frac, 2.5 / 8.0);
+}
+
+TEST(HashRing, ReplicaGroupsAreDistinctAndPrimaryFirst) {
+  const auto ring = make_ring({0, 1, 2, 3, 4});
+  for (const std::uint64_t key : sample_keys(2000)) {
+    const auto group = ring.replicas(key, 3);
+    ASSERT_EQ(group.size(), 3u);
+    EXPECT_EQ(group[0], ring.owner(key));
+    auto sorted = group;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end())
+        << "replica group repeated a node";
+  }
+}
+
+TEST(HashRing, ReplicaCountClampsToMembership) {
+  const auto ring = make_ring({0, 1});
+  const auto group = ring.replicas(12345, 5);
+  ASSERT_EQ(group.size(), 2u);
+  EXPECT_NE(group[0], group[1]);
+}
+
+TEST(HashRing, PartitionIdsAreDurableRingPositions) {
+  // partition_of returns the covering vnode point.  The point is a plain
+  // ring position: resolving it back through replicas() starts at the
+  // same node, and after a membership change the same pid re-resolves
+  // under the new ring — state keyed by pid survives any churn.
+  auto ring = make_ring({0, 1, 2, 3});
+  const auto keys = sample_keys(500);
+  for (const std::uint64_t key : keys) {
+    const std::uint64_t pid = ring.partition_of(key);
+    EXPECT_EQ(ring.replicas(pid, 1)[0], ring.owner(key));
+  }
+  // Keys whose owner survives an add keep their pid (their covering
+  // point did not change hands).
+  std::map<std::uint64_t, std::uint64_t> pid_before;
+  for (const std::uint64_t key : keys) {
+    pid_before[key] = ring.partition_of(key);
+  }
+  std::map<std::uint64_t, cl::NodeId> owner_before;
+  for (const std::uint64_t key : keys) {
+    owner_before[key] = ring.owner(key);
+  }
+  ASSERT_TRUE(ring.add_node(4).ok());
+  for (const std::uint64_t key : keys) {
+    if (ring.owner(key) == owner_before[key]) {
+      EXPECT_EQ(ring.partition_of(key), pid_before[key]);
+    }
+  }
+}
+
+TEST(HashRing, VnodesSpreadLoad) {
+  // 64 vnodes per node keep the deterministic seed's spread sane: no
+  // node owns more than ~3x its fair share of 20k keys.
+  const auto ring = make_ring({0, 1, 2, 3, 4, 5, 6, 7});
+  std::map<cl::NodeId, std::size_t> owned;
+  const auto keys = sample_keys(20000);
+  for (const std::uint64_t key : keys) {
+    ++owned[ring.owner(key)];
+  }
+  const double fair =
+      static_cast<double>(keys.size()) / static_cast<double>(ring.node_count());
+  for (const auto& [node, count] : owned) {
+    EXPECT_LT(static_cast<double>(count), 3.0 * fair) << "node " << node;
+  }
+}
+
+}  // namespace

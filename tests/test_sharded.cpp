@@ -252,6 +252,75 @@ TEST(Sharded, AllShardsFailingStillCompletes) {
   EXPECT_EQ(result.retries, 6u);  // 3 shards x 2 bounded attempts
 }
 
+TEST(RetryPolicy, FullJitterIsDeterministicAndBounded) {
+  fbf::util::RetryPolicy policy;
+  policy.backoff_base_ms = 4.0;
+  policy.backoff_multiplier = 2.0;
+  policy.full_jitter = true;
+  policy.jitter_seed = 9;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    for (const std::uint64_t key : {0ull, 1ull, 7ull, 123456789ull}) {
+      const double d = policy.delay_ms(attempt, key);
+      EXPECT_EQ(d, policy.delay_ms(attempt, key)) << "same draw must replay";
+      EXPECT_GE(d, 0.0);
+      EXPECT_LT(d, policy.next_delay_ms(attempt))
+          << "jittered delay must stay under the nominal schedule";
+    }
+  }
+  // Different keys desynchronize: shards retrying after a common failure
+  // must not thunder back in lockstep.
+  bool any_differ = false;
+  for (std::uint64_t key = 1; key < 8 && !any_differ; ++key) {
+    any_differ = policy.delay_ms(3, key) != policy.delay_ms(3, 0);
+  }
+  EXPECT_TRUE(any_differ);
+  // Jitter off: delay_ms is exactly the legacy geometric schedule.
+  policy.full_jitter = false;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    EXPECT_DOUBLE_EQ(policy.delay_ms(attempt, 42),
+                     policy.next_delay_ms(attempt));
+  }
+}
+
+TEST(Sharded, JitteredBackoffKeepsDecisionsAndReplaysExactly) {
+  // Turning jitter on changes *when* retries happen, never what they
+  // compute — and the jittered schedule is still seeded, so a rerun
+  // reproduces the same backoff to the bit.
+  const Fixture fx(150);
+  auto config = make_config(8, lk::PartitionScheme::kReplicateRight);
+  lk::ShardFaultPolicy policy;
+  policy.faults.seed = 1234;
+  policy.faults.shard_fail_rate = 0.5;
+  policy.retry.max_attempts = 8;
+  policy.retry.backoff_base_ms = 2.0;
+  config.fault = policy;
+  const auto plain = lk::link_sharded(fx.clean, fx.error, config);
+
+  policy.retry.full_jitter = true;
+  policy.retry.jitter_seed = 77;
+  config.fault = policy;
+  const auto jittered = lk::link_sharded(fx.clean, fx.error, config);
+  EXPECT_EQ(jittered.total_matches, plain.total_matches);
+  EXPECT_EQ(jittered.total_true_positives, plain.total_true_positives);
+  EXPECT_EQ(jittered.retries, plain.retries);
+  double plain_backoff = 0.0;
+  double jittered_backoff = 0.0;
+  for (std::size_t s = 0; s < plain.shards.size(); ++s) {
+    EXPECT_EQ(jittered.shards[s].attempts, plain.shards[s].attempts);
+    EXPECT_LE(jittered.shards[s].backoff_ms, plain.shards[s].backoff_ms);
+    plain_backoff += plain.shards[s].backoff_ms;
+    jittered_backoff += jittered.shards[s].backoff_ms;
+  }
+  EXPECT_LT(jittered_backoff, plain_backoff)
+      << "seed 1234 draws retries; jitter must shave some waiting";
+
+  const auto replay = lk::link_sharded(fx.clean, fx.error, config);
+  for (std::size_t s = 0; s < replay.shards.size(); ++s) {
+    EXPECT_DOUBLE_EQ(replay.shards[s].backoff_ms,
+                     jittered.shards[s].backoff_ms);
+  }
+}
+
 TEST(Sharded, SchemeNames) {
   EXPECT_STREQ(
       lk::partition_scheme_name(lk::PartitionScheme::kHashLastName),

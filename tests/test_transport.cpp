@@ -231,6 +231,84 @@ TEST(TcpTransport, EachServerFaultKindManifests) {
   EXPECT_GE(server.counters().injected_delays.load(), 1u);
 }
 
+// --- per-kind delivery stats --------------------------------------------
+
+TEST(TransportStats, InProcessTalliesEachInjectedKind) {
+  u::FaultConfig faults;
+  faults.fail_shard = 0;
+  faults.seed = 31;
+  net::InProcessTransport transport(echo_handler(), faults);
+  // Drive enough attempts that the kind draw covers all four; the stats
+  // must agree with an independent replay of the same pure draws.
+  const u::FaultInjector probe(faults);
+  net::TransportStats expected;
+  const int kAttempts = 64;
+  for (int a = 1; a <= kAttempts; ++a) {
+    ASSERT_FALSE(transport.call(0, a, net::FrameType::kLinkRequest, "x").ok());
+    ++expected.by_kind(probe.net_fault_kind(0, a));
+  }
+  EXPECT_EQ(transport.stats().calls, static_cast<std::uint64_t>(kAttempts));
+  EXPECT_EQ(transport.stats().ok, 0u);
+  EXPECT_EQ(transport.stats().connect_refused, expected.connect_refused);
+  EXPECT_EQ(transport.stats().disconnects, expected.disconnects);
+  EXPECT_EQ(transport.stats().deadline_expired, expected.deadline_expired);
+  EXPECT_EQ(transport.stats().garbled, expected.garbled);
+  EXPECT_GT(expected.connect_refused, 0u);
+  EXPECT_GT(expected.disconnects, 0u);
+  EXPECT_GT(expected.deadline_expired, 0u);
+  EXPECT_GT(expected.garbled, 0u);
+  EXPECT_EQ(transport.stats().total_failures(),
+            static_cast<std::uint64_t>(kAttempts));
+  // Successful calls land in ok, not in any failure bucket.
+  ASSERT_TRUE(transport.call(1, 1, net::FrameType::kLinkRequest, "x").ok());
+  EXPECT_EQ(transport.stats().ok, 1u);
+}
+
+TEST(TransportStats, ByKindAndFailuresAgree) {
+  net::TransportStats stats;
+  ++stats.by_kind(u::NetFaultKind::kGarbledFrame);
+  ++stats.by_kind(u::NetFaultKind::kGarbledFrame);
+  ++stats.by_kind(u::NetFaultKind::kDeadlineExpiry);
+  EXPECT_EQ(stats.failures(u::NetFaultKind::kGarbledFrame), 2u);
+  EXPECT_EQ(stats.failures(u::NetFaultKind::kDeadlineExpiry), 1u);
+  EXPECT_EQ(stats.failures(u::NetFaultKind::kConnectRefused), 0u);
+  EXPECT_EQ(stats.total_failures(), 3u);
+}
+
+TEST(TransportStats, TcpClassifiesObservedFailuresLikeTheDraw) {
+  // The TCP client does not see the injector's kind draw — it sees a
+  // refused connect, a cut socket, a stall, a bad checksum — yet its
+  // per-kind stats must match the draws, because each kind manifests
+  // as its distinct real failure.
+  u::FaultConfig faults;
+  faults.fail_shard = 0;
+  faults.seed = 31;
+  net::ShardServerOptions server_opts;
+  server_opts.faults = faults;
+  server_opts.injected_delay_ms = 400.0;
+  net::ShardServer server(echo_handler(), server_opts);
+  net::TcpTransportOptions opts;
+  opts.port = server.port();
+  opts.faults = faults;
+  opts.deadline_ms = 150.0;
+  net::TcpTransport transport(opts);
+
+  const u::FaultInjector probe(faults);
+  net::TransportStats expected;
+  const int kAttempts = 12;
+  for (int a = 1; a <= kAttempts; ++a) {
+    ASSERT_FALSE(transport.call(0, a, net::FrameType::kLinkRequest, "x").ok());
+    ++expected.by_kind(probe.net_fault_kind(0, a));
+  }
+  EXPECT_EQ(transport.stats().connect_refused, expected.connect_refused);
+  EXPECT_EQ(transport.stats().disconnects, expected.disconnects);
+  EXPECT_EQ(transport.stats().deadline_expired, expected.deadline_expired);
+  EXPECT_EQ(transport.stats().garbled, expected.garbled);
+  EXPECT_EQ(transport.stats().other_errors, 0u);
+  EXPECT_EQ(transport.stats().total_failures(),
+            static_cast<std::uint64_t>(kAttempts));
+}
+
 // --- the headline property: transport equivalence -----------------------
 
 struct EquivalenceCase {
