@@ -31,6 +31,26 @@ struct BenchOptions {
   bool full = false;
 };
 
+/// Machine-readable output feeds the BENCH_*.json perf-trajectory files,
+/// which get compared across commits.  A non-optimized binary distorts
+/// every ratio in them (a past recording shipped with
+/// "library_build_type": "debug" and poisoned the baseline), so refuse
+/// to record rather than record numbers that lie.  NDEBUG is the proxy:
+/// Release and RelWithDebInfo define it, Debug does not.
+inline void require_optimized_build_for_recording(bool recording) {
+#ifndef NDEBUG
+  if (recording) {
+    std::fprintf(stderr,
+                 "refusing to emit machine-readable benchmark output from a "
+                 "non-optimized build (NDEBUG unset): rebuild with "
+                 "-DCMAKE_BUILD_TYPE=Release before recording BENCH_*.json\n");
+    std::exit(2);
+  }
+#else
+  (void)recording;
+#endif
+}
+
 /// Parses the common flags.  `default_n` is the bench's quick-run size.
 /// `extra_flags` names bench-specific flags (parsed separately by the
 /// caller) so the unknown-flag check does not reject them.
@@ -61,6 +81,7 @@ inline BenchOptions parse_options(
     std::fprintf(stderr, "unknown flag: --%s\n", unknown.front().c_str());
     std::exit(2);
   }
+  require_optimized_build_for_recording(opts.json);
   return opts;
 }
 

@@ -10,6 +10,7 @@
 // as shorthand for --benchmark_format=json (BENCH_*.json recording).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -357,6 +358,150 @@ void BM_ScanBatched(benchmark::State& state, c::FieldClass cls,
                           static_cast<std::int64_t>(ScanWorkload::kN));
 }
 
+/// The many-query×tile block kernel: Q query signatures filtered against
+/// all 5000 candidates in one sweep, so each packed plane word is loaded
+/// once per Q queries instead of once per query.  Items/s is pairs/s;
+/// bytes/s is plane traffic (the quantity register blocking divides by
+/// Q), so the GB/s column reads directly against memory bandwidth — see
+/// EXPERIMENTS.md "ceiling vs memory bandwidth".
+void BM_FilterBlock(benchmark::State& state, c::FieldClass cls,
+                    c::KernelKind kind, std::size_t q, bool prune) {
+  if (!c::kernel_supported(kind)) {
+    state.SkipWithError("kernel not supported on this CPU");
+    return;
+  }
+  const auto& w = ScanWorkload::get(dg::FieldKind::kLastName, cls);
+  const bool two = w.packed.words() == 2;
+  const int tail = w.packed.max_tail_popcount();
+  constexpr std::size_t kWords = (ScanWorkload::kN + 63) / 64;
+  std::vector<std::uint64_t> bitmaps(q * kWords);
+  std::uint64_t q0[c::kMaxBlockQueries];
+  std::uint64_t q1[c::kMaxBlockQueries];
+  std::size_t i = 0;
+  for (auto _ : state) {
+    for (std::size_t b = 0; b < q; ++b) {
+      const std::size_t qi = (i + b) % ScanWorkload::kN;
+      q0[b] = w.packed_queries.word(0, qi);
+      if (two) {
+        q1[b] = w.packed_queries.word(1, qi);
+      }
+    }
+    const std::size_t survivors = c::filter_block(
+        q0, two ? q1 : nullptr, q, w.packed.plane(0),
+        two ? w.packed.plane(1) : nullptr, ScanWorkload::kN, 2, tail, prune,
+        bitmaps.data(), kWords, kind);
+    benchmark::DoNotOptimize(survivors);
+    benchmark::DoNotOptimize(bitmaps.data());
+    i = (i + q) % ScanWorkload::kN;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ScanWorkload::kN * q));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(ScanWorkload::kN * w.packed.words() *
+                                sizeof(std::uint64_t)));
+}
+
+#define FBF_FILTER_BLOCK_ROWS(layout, cls)                                   \
+  BENCHMARK_CAPTURE(BM_FilterBlock, layout##_scalar64_q1, cls,               \
+                    c::KernelKind::kScalar64, 1, true);                      \
+  BENCHMARK_CAPTURE(BM_FilterBlock, layout##_scalar64_q4, cls,               \
+                    c::KernelKind::kScalar64, 4, true);                      \
+  BENCHMARK_CAPTURE(BM_FilterBlock, layout##_scalar64_q8, cls,               \
+                    c::KernelKind::kScalar64, 8, true);                      \
+  BENCHMARK_CAPTURE(BM_FilterBlock, layout##_avx2_q1, cls,                   \
+                    c::KernelKind::kAvx2, 1, true);                          \
+  BENCHMARK_CAPTURE(BM_FilterBlock, layout##_avx2_q4, cls,                   \
+                    c::KernelKind::kAvx2, 4, true);                          \
+  BENCHMARK_CAPTURE(BM_FilterBlock, layout##_avx2_q8, cls,                   \
+                    c::KernelKind::kAvx2, 8, true);                          \
+  BENCHMARK_CAPTURE(BM_FilterBlock, layout##_avx512_q1, cls,                 \
+                    c::KernelKind::kAvx512, 1, true);                        \
+  BENCHMARK_CAPTURE(BM_FilterBlock, layout##_avx512_q4, cls,                 \
+                    c::KernelKind::kAvx512, 4, true);                        \
+  BENCHMARK_CAPTURE(BM_FilterBlock, layout##_avx512_q8, cls,                 \
+                    c::KernelKind::kAvx512, 8, true)
+
+FBF_FILTER_BLOCK_ROWS(numeric, c::FieldClass::kNumeric);
+FBF_FILTER_BLOCK_ROWS(alpha_l2, c::FieldClass::kAlpha);
+FBF_FILTER_BLOCK_ROWS(alnum, c::FieldClass::kAlphanumeric);
+#undef FBF_FILTER_BLOCK_ROWS
+
+/// Streaming-regime workload: one synthetic 256 MB plane (32 M packed
+/// words, alpha-layout 52-bit density), far past every cache level, so
+/// the kernel reads candidates from DRAM.  This is the regime register
+/// blocking was built for: the plane is streamed once per Q queries
+/// instead of once per query, so pairs/s should scale with Q until the
+/// popcount ALUs saturate.  The L1-resident rows above measure compute
+/// ceilings; these rows measure the bandwidth ceiling.
+struct StreamWorkload {
+  static constexpr std::size_t kN = 32'000'000;
+  c::AlignedPlane p0;
+
+  static const StreamWorkload& instance() {
+    static const StreamWorkload w = [] {
+      StreamWorkload s;
+      s.p0.ensure(kN);
+      s.p0.set_size(kN);
+      std::uint64_t x = 0x9e3779b97f4a7c15ull;
+      for (std::size_t i = 0; i < kN; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.p0.data()[i] = x & ((1ull << 52) - 1);
+      }
+      return s;
+    }();
+    return w;
+  }
+};
+
+void BM_FilterBlockStream(benchmark::State& state, c::KernelKind kind,
+                          std::size_t q) {
+  if (!c::kernel_supported(kind)) {
+    state.SkipWithError("kernel not supported on this CPU");
+    return;
+  }
+  const auto& w = StreamWorkload::instance();
+  constexpr std::size_t kWords = (StreamWorkload::kN + 63) / 64;
+  std::vector<std::uint64_t> bitmaps(q * kWords);
+  std::uint64_t q0[c::kMaxBlockQueries];
+  for (std::size_t b = 0; b < c::kMaxBlockQueries; ++b) {
+    q0[b] = 0x5a5a5a5aull * (b + 1);
+  }
+  for (auto _ : state) {
+    const std::size_t survivors =
+        c::filter_block(q0, nullptr, q, w.p0.data(), nullptr,
+                        StreamWorkload::kN, 2, 0, true, bitmaps.data(),
+                        kWords, kind);
+    benchmark::DoNotOptimize(survivors);
+    benchmark::DoNotOptimize(bitmaps.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(StreamWorkload::kN * q));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(StreamWorkload::kN * sizeof(std::uint64_t)));
+}
+
+BENCHMARK_CAPTURE(BM_FilterBlockStream, scalar64_q1, c::KernelKind::kScalar64,
+                  1);
+BENCHMARK_CAPTURE(BM_FilterBlockStream, scalar64_q8, c::KernelKind::kScalar64,
+                  8);
+BENCHMARK_CAPTURE(BM_FilterBlockStream, avx2_q1, c::KernelKind::kAvx2, 1);
+BENCHMARK_CAPTURE(BM_FilterBlockStream, avx2_q8, c::KernelKind::kAvx2, 8);
+BENCHMARK_CAPTURE(BM_FilterBlockStream, avx512_q1, c::KernelKind::kAvx512, 1);
+BENCHMARK_CAPTURE(BM_FilterBlockStream, avx512_q8, c::KernelKind::kAvx512, 8);
+
+// Plane-pruning ablation: only the two-plane alnum layout has a plane 1
+// to skip, so the noprune rows isolate what the early-out buys there.
+BENCHMARK_CAPTURE(BM_FilterBlock, alnum_scalar64_q8_noprune,
+                  c::FieldClass::kAlphanumeric, c::KernelKind::kScalar64, 8,
+                  false);
+BENCHMARK_CAPTURE(BM_FilterBlock, alnum_avx2_q8_noprune,
+                  c::FieldClass::kAlphanumeric, c::KernelKind::kAvx2, 8,
+                  false);
+
 BENCHMARK_CAPTURE(BM_ScanPerPair, alpha_l2, c::FieldClass::kAlpha);
 BENCHMARK_CAPTURE(BM_ScanPerPair, numeric, c::FieldClass::kNumeric);
 BENCHMARK_CAPTURE(BM_ScanPerPair, alnum, c::FieldClass::kAlphanumeric);
@@ -399,16 +544,35 @@ BENCHMARK(BM_FullPipeline_FpdlPair);
 int main(int argc, char** argv) {
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc) + 1);
-  bool json = false;
+  bool shorthand = false;
+  [[maybe_unused]] bool recording = false;
   for (int i = 0; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--json") {
-      json = true;
+    const std::string_view arg(argv[i]);
+    if (arg == "--json") {
+      shorthand = true;
+      recording = true;
       continue;
+    }
+    if (arg.starts_with("--benchmark_format=json") ||
+        arg.starts_with("--benchmark_out")) {
+      recording = true;
     }
     args.push_back(argv[i]);
   }
+#ifndef NDEBUG
+  // Same recording guard as bench_common.hpp parse_options: BENCH_*.json
+  // numbers from a non-optimized build poison the perf trajectory (a past
+  // recording shipped with "library_build_type": "debug").
+  if (recording) {
+    std::fprintf(stderr,
+                 "refusing to emit machine-readable benchmark output from a "
+                 "non-optimized build (NDEBUG unset): rebuild with "
+                 "-DCMAKE_BUILD_TYPE=Release before recording\n");
+    return 2;
+  }
+#endif
   static char json_flag[] = "--benchmark_format=json";
-  if (json) {
+  if (shorthand) {
     args.push_back(json_flag);
   }
   int n = static_cast<int>(args.size());

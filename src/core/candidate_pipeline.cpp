@@ -81,10 +81,9 @@ void CandidatePipeline::append_signature(const Signature& sig,
 }
 
 const char* CandidatePipeline::kernel_name() const noexcept {
-  if (!batched_) {
-    return "pair-scalar";
-  }
-  return kernel_ == KernelKind::kAvx2 ? "tile-avx2" : "tile-scalar64";
+  // One shared kind→name table (core/fbf_kernel.hpp) so a new kernel
+  // kind cannot go stale here while benches/tests pick it up.
+  return batched_ ? tile_kernel_label(kernel_) : "pair-scalar";
 }
 
 double CandidatePipeline::build_ms() const noexcept {
@@ -144,27 +143,92 @@ std::size_t CandidatePipeline::filter_batched(
     const std::uint64_t* eligible, std::uint64_t* bitmap,
     PipelineCounters& counters) const {
   const std::size_t width = end - begin;
-  const std::size_t n_words = bitmap_words(width);
   const bool two_words = packed_.words() == 2;
   // begin % 64 == 0 keeps the plane offset a multiple of 8, so the
   // kernel's cache-line over-read stays inside the zero-padded planes.
   const std::uint64_t* p0 = packed_.plane(0) + begin;
   const std::uint64_t* p1 = two_words ? packed_.plane(1) + begin : nullptr;
-  std::size_t survivors =
-      filter_tile(q.w0, p0, q.w1, p1, width, 2 * config_.k, bitmap, kernel_);
+  const std::uint64_t qw0 = q.w0;
+  const std::uint64_t qw1 = q.w1;
+  const std::size_t survivors = fbf::core::filter_block(
+      &qw0, two_words ? &qw1 : nullptr, 1, p0, p1, width, 2 * config_.k,
+      packed_.max_tail_popcount(), config_.prune_planes, bitmap,
+      bitmap_words(width), kernel_);
 
   if (eligible == nullptr && !config_.use_length) {
     counters.fbf_evaluated += width;
     counters.fbf_pass += survivors;
     return survivors;
   }
+  return apply_pre_gates(q.length, begin, width, eligible, bitmap, counters);
+}
 
-  // Pre-FBF gate: eligibility first (charged to no counter), then the
-  // length filter (charging length_pass), then fbf_evaluated for lanes
-  // that reached the FBF stage — ladder order, bit for bit.
+std::size_t CandidatePipeline::filter_block(
+    std::span<const Query> queries, std::size_t begin, std::size_t end,
+    const std::uint64_t* eligible, std::uint64_t* bitmaps,
+    std::size_t bitmap_stride, PipelineCounters& counters) const {
+  assert(begin % 64 == 0 && "bitmap lanes must stay word-aligned");
+  assert(end <= size_);
+  if (begin >= end || queries.empty()) {
+    return 0;
+  }
+  const std::size_t width = end - begin;
+  assert(bitmap_stride >= bitmap_words(width));
+  if (!batched_) {
+    std::size_t survivors = 0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      survivors += filter_per_pair(queries[i], begin, end, eligible,
+                                   bitmaps + i * bitmap_stride, counters);
+    }
+    return survivors;
+  }
+
+  const bool two_words = packed_.words() == 2;
+  const std::uint64_t* p0 = packed_.plane(0) + begin;
+  const std::uint64_t* p1 = two_words ? packed_.plane(1) + begin : nullptr;
+  const int tail_bound = packed_.max_tail_popcount();
+  std::size_t total = 0;
+  // Gather the packed query words SoA-style per register-resident chunk.
+  std::uint64_t q0[kMaxBlockQueries];
+  std::uint64_t q1[kMaxBlockQueries];
+  for (std::size_t base_q = 0; base_q < queries.size();
+       base_q += kMaxBlockQueries) {
+    const std::size_t m =
+        std::min(kMaxBlockQueries, queries.size() - base_q);
+    for (std::size_t i = 0; i < m; ++i) {
+      q0[i] = queries[base_q + i].w0;
+      q1[i] = queries[base_q + i].w1;
+    }
+    const std::size_t raw = fbf::core::filter_block(
+        q0, two_words ? q1 : nullptr, m, p0, p1, width, 2 * config_.k,
+        tail_bound, config_.prune_planes, bitmaps + base_q * bitmap_stride,
+        bitmap_stride, kernel_);
+    if (eligible == nullptr && !config_.use_length) {
+      counters.fbf_evaluated += width * m;
+      counters.fbf_pass += raw;
+      total += raw;
+      continue;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      total += apply_pre_gates(queries[base_q + i].length, begin, width,
+                               eligible, bitmaps + (base_q + i) * bitmap_stride,
+                               counters);
+    }
+  }
+  return total;
+}
+
+// Pre-FBF gate: eligibility first (charged to no counter), then the
+// length filter (charging length_pass), then fbf_evaluated for lanes
+// that reached the FBF stage — ladder order, bit for bit.  `bitmap`
+// holds the raw FBF survivor bits on entry and the gated bits on exit.
+std::size_t CandidatePipeline::apply_pre_gates(
+    std::uint32_t query_length, std::size_t begin, std::size_t width,
+    const std::uint64_t* eligible, std::uint64_t* bitmap,
+    PipelineCounters& counters) const {
   const std::uint32_t* len = packed_.lengths() + begin;
-  survivors = 0;
-  for (std::size_t w = 0; w < n_words; ++w) {
+  std::size_t survivors = 0;
+  for (std::size_t w = 0; w < bitmap_words(width); ++w) {
     const std::size_t base = w * 64;
     const std::size_t lanes = std::min<std::size_t>(64, width - base);
     std::uint64_t pre = lanes == 64 ? ~std::uint64_t{0}
@@ -176,7 +240,7 @@ std::size_t CandidatePipeline::filter_batched(
       std::uint64_t len_bits = 0;
       for (std::size_t b = 0; b < lanes; ++b) {
         len_bits |= static_cast<std::uint64_t>(m::length_filter_pass(
-                        q.length, len[base + b], config_.k))
+                        query_length, len[base + b], config_.k))
                     << b;
       }
       counters.length_pass +=

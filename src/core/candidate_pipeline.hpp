@@ -56,6 +56,11 @@ struct PipelineConfig {
   Verifier verifier = Verifier::kPdl;
   fbf::util::PopcountKind popcount = fbf::util::PopcountKind::kHardware;
   bool force_per_pair = false;
+  /// Plane-level pruning inside the batched kernel (skip the plane-1 load
+  /// for candidate groups fully decided by plane 0).  Pure performance
+  /// switch: survivor bitmaps and counters are identical either way
+  /// (property-tested); exposed for the bench ablation.
+  bool prune_planes = true;
 };
 
 /// Per-stage counters, merged additively across tiles / chunks / shards.
@@ -97,7 +102,9 @@ class CandidatePipeline {
   /// planes; false = transparent per-pair fallback (alpha l >= 3, popcount
   /// ablations, or force_per_pair).
   [[nodiscard]] bool batched() const noexcept { return batched_; }
-  /// Filter kernel variant: "tile-avx2", "tile-scalar64" or "pair-scalar".
+  /// Filter kernel variant: tile_kernel_label(kind) in batched mode
+  /// ("tile-scalar64", "tile-avx2", "tile-avx512", "tile-neon"), else
+  /// "pair-scalar".
   [[nodiscard]] const char* kernel_name() const noexcept;
   /// Cumulative candidate-side signature build time (the Gen row).
   [[nodiscard]] double build_ms() const noexcept;
@@ -147,6 +154,21 @@ class CandidatePipeline {
                      const std::uint64_t* eligible, std::uint64_t* bitmap,
                      PipelineCounters& counters) const;
 
+  /// Filters candidates [begin, end) against many queries in one blocked
+  /// sweep: in batched mode each packed plane word is loaded once per
+  /// kMaxBlockQueries queries (core/fbf_kernel.hpp filter_block) instead
+  /// of once per query.  Query i's bitmap lands at
+  /// `bitmaps + i * bitmap_stride` (stride must be >= bitmap_words(end -
+  /// begin)); `eligible`, when non-null, is one candidate-side mask
+  /// applied to every query.  Bitmaps, counters and the returned total
+  /// survivor count are byte-identical to queries.size() successive
+  /// filter() calls — in per-pair fallback mode that is literally what
+  /// runs.  Any query count is accepted.
+  std::size_t filter_block(std::span<const Query> queries, std::size_t begin,
+                           std::size_t end, const std::uint64_t* eligible,
+                           std::uint64_t* bitmaps, std::size_t bitmap_stride,
+                           PipelineCounters& counters) const;
+
   // -- verify stage -----------------------------------------------------
 
   /// Runs the configured verifier on one surviving pair, charging
@@ -183,6 +205,10 @@ class CandidatePipeline {
                              std::size_t end, const std::uint64_t* eligible,
                              std::uint64_t* bitmap,
                              PipelineCounters& counters) const;
+  std::size_t apply_pre_gates(std::uint32_t query_length, std::size_t begin,
+                              std::size_t width, const std::uint64_t* eligible,
+                              std::uint64_t* bitmap,
+                              PipelineCounters& counters) const;
   std::size_t filter_per_pair(const Query& q, std::size_t begin,
                               std::size_t end, const std::uint64_t* eligible,
                               std::uint64_t* bitmap,

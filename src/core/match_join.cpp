@@ -12,6 +12,7 @@
 #include "metrics/myers.hpp"
 #include "metrics/pdl.hpp"
 #include "metrics/soundex.hpp"
+#include "util/affinity.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -47,12 +48,45 @@ inline bool evaluate_pair(std::string_view s, std::string_view t, int k,
 /// integer sums, so totals are deterministic for any thread count.
 template <typename MakeTileFn>
 void run_tile_space(std::size_t n_left, std::size_t n_right,
-                    std::size_t threads, JoinStats& stats,
+                    std::size_t threads, bool affinity, JoinStats& stats,
                     const MakeTileFn& make_tile_fn) {
   const std::size_t col_tiles = (n_right + kTileCols - 1) / kTileCols;
+  const std::size_t row_tiles = (n_left + kTileRows - 1) / kTileRows;
   const std::size_t n_tiles = join_tile_count(n_left, n_right);
   stats.tiles = n_tiles;
   if (n_tiles == 0) {
+    return;
+  }
+  // Affinity schedule: worker w is pinned to CPU w and owns tile rows
+  // r % n_workers == w, so one core streams a row's plane data end to
+  // end.  Needs >= 2 workers — parallel_chunks runs a single chunk
+  // inline on the caller, and pinning the caller would leak affinity
+  // past the join.  Counters stay deterministic: chunk stats are merged
+  // in worker order and counters are integer sums, so both schedules
+  // produce identical totals (and match_pairs are sorted afterwards).
+  const std::size_t n_workers =
+      std::max<std::size_t>(1, std::min(threads, row_tiles));
+  if (affinity && n_workers >= 2) {
+    stats.affinity_schedule = true;
+    std::vector<JoinStats> chunk_stats(n_workers);
+    fbf::util::parallel_chunks(
+        n_workers, n_workers,
+        [&](std::size_t chunk, std::size_t worker, std::size_t) {
+          JoinStats& local = chunk_stats[chunk];
+          fbf::util::pin_current_thread(worker);
+          auto tile_fn = make_tile_fn();
+          for (std::size_t r = worker; r < row_tiles; r += n_workers) {
+            const std::size_t i0 = r * kTileRows;
+            const std::size_t i1 = std::min(i0 + kTileRows, n_left);
+            for (std::size_t c = 0; c < col_tiles; ++c) {
+              const std::size_t j0 = c * kTileCols;
+              tile_fn(i0, i1, j0, std::min(j0 + kTileCols, n_right), local);
+            }
+          }
+        });
+    for (const JoinStats& local : chunk_stats) {
+      stats.merge_counts(local);
+    }
     return;
   }
   std::vector<JoinStats> chunk_stats(
@@ -77,9 +111,9 @@ void run_tile_space(std::size_t n_left, std::size_t n_right,
 /// Generic path: per-pair kernel looped over a tile.
 template <typename MakeKernel>
 void run_pair_tiles(std::size_t n_left, std::size_t n_right,
-                    std::size_t threads, bool collect, JoinStats& stats,
-                    const MakeKernel& make_kernel) {
-  run_tile_space(n_left, n_right, threads, stats, [&] {
+                    std::size_t threads, bool affinity, bool collect,
+                    JoinStats& stats, const MakeKernel& make_kernel) {
+  run_tile_space(n_left, n_right, threads, affinity, stats, [&] {
     return [kernel = make_kernel(), collect](
                std::size_t i0, std::size_t i1, std::size_t j0,
                std::size_t j1, JoinStats& local) {
@@ -101,12 +135,13 @@ void run_pair_tiles(std::size_t n_left, std::size_t n_right,
   });
 }
 
-/// FBF tile body: both join sides are CandidatePipelines.  The right
-/// pipeline filters each left row-query against the tile's candidate
-/// range (batched kernel or per-pair fallback — the pipeline decides) and
-/// survivors drain from the bitmap into verification in ascending j.
-/// Counter semantics are the scalar ladder's, bit for bit (see
-/// core/candidate_pipeline.hpp).
+/// FBF tile body: both join sides are CandidatePipelines.  Left rows are
+/// swept in blocks of kMaxBlockQueries row-queries, so the right
+/// pipeline's filter_block loads each packed plane word of the tile once
+/// per Q queries (batched mode; the per-pair fallback just loops — the
+/// pipeline decides).  Each query's survivors then drain from its bitmap
+/// into verification in ascending (i, j).  Counter semantics are the
+/// scalar ladder's, bit for bit (see core/candidate_pipeline.hpp).
 void run_pipeline_tile(const CandidatePipeline& pipe_left,
                        const CandidatePipeline& pipe_right,
                        std::span<const std::string> left,
@@ -114,25 +149,34 @@ void run_pipeline_tile(const CandidatePipeline& pipe_left,
                        std::size_t i0, std::size_t i1, std::size_t j0,
                        std::size_t j1, JoinStats& local) {
   constexpr std::size_t kBitmapWords = (kTileCols + 63) / 64;
-  std::uint64_t bitmap[kBitmapWords];
+  std::uint64_t bitmaps[kMaxBlockQueries * kBitmapWords];
+  CandidatePipeline::Query queries[kMaxBlockQueries];
   PipelineCounters counters;
-  for (std::size_t i = i0; i < i1; ++i) {
-    const CandidatePipeline::Query q = pipe_left.row_query(i);
-    pipe_right.filter(q, j0, j1, nullptr, bitmap, counters);
-    CandidatePipeline::for_each_survivor(
-        bitmap, j1 - j0, [&](std::size_t lane) {
-          const std::size_t j = j0 + lane;
-          if (pipe_right.verify(left[i], right[j], counters)) {
-            ++local.matches;
-            if (i == j) {
-              ++local.diagonal_matches;
+  for (std::size_t i = i0; i < i1; i += kMaxBlockQueries) {
+    const std::size_t n_queries = std::min(kMaxBlockQueries, i1 - i);
+    for (std::size_t b = 0; b < n_queries; ++b) {
+      queries[b] = pipe_left.row_query(i + b);
+    }
+    pipe_right.filter_block({queries, n_queries}, j0, j1, nullptr, bitmaps,
+                            kBitmapWords, counters);
+    for (std::size_t b = 0; b < n_queries; ++b) {
+      const std::size_t row = i + b;
+      CandidatePipeline::for_each_survivor(
+          bitmaps + b * kBitmapWords, j1 - j0, [&](std::size_t lane) {
+            const std::size_t j = j0 + lane;
+            if (pipe_right.verify(left[row], right[j], counters)) {
+              ++local.matches;
+              if (row == j) {
+                ++local.diagonal_matches;
+              }
+              if (collect) {
+                local.match_pairs.emplace_back(
+                    static_cast<std::uint32_t>(row),
+                    static_cast<std::uint32_t>(j));
+              }
             }
-            if (collect) {
-              local.match_pairs.emplace_back(static_cast<std::uint32_t>(i),
-                                             static_cast<std::uint32_t>(j));
-            }
-          }
-        });
+          });
+    }
   }
   local.length_pass += counters.length_pass;
   local.fbf_evaluated += counters.fbf_evaluated;
@@ -206,8 +250,12 @@ JoinStats match_strings(std::span<const std::string> left,
   }
 
   const fbf::util::Stopwatch join_timer;
+  const bool affinity =
+      config.affinity == TileAffinity::kOn ||
+      (config.affinity == TileAffinity::kAuto &&
+       fbf::util::numa_node_count() > 1);
   const auto run = [&](const auto& make_kernel) {
-    run_pair_tiles(left.size(), right.size(), config.threads,
+    run_pair_tiles(left.size(), right.size(), config.threads, affinity,
                    config.collect_matches, stats, make_kernel);
   };
 
@@ -250,8 +298,8 @@ JoinStats match_strings(std::span<const std::string> left,
     default: {
       if (uses_fbf) {
         const bool collect = config.collect_matches;
-        run_tile_space(left.size(), right.size(), config.threads, stats,
-                       [&] {
+        run_tile_space(left.size(), right.size(), config.threads, affinity,
+                       stats, [&] {
                          return [&, collect](std::size_t i0, std::size_t i1,
                                              std::size_t j0, std::size_t j1,
                                              JoinStats& local) {

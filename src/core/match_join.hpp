@@ -29,6 +29,19 @@
 
 namespace fbf::core {
 
+/// Worker/tile-ownership policy for the parallel join (DESIGN.md §13).
+/// The default schedule hands contiguous tile-id ranges to a shared
+/// worker pool; the affinity schedule instead pins each worker to a CPU
+/// and makes it *own* tile rows (row r → worker r % n_workers), so a
+/// row's plane data streams through one core's cache — and stays in one
+/// NUMA domain — for the whole join.  Counters and match sets are
+/// byte-identical under either schedule (integer sums + sorted pairs).
+enum class TileAffinity {
+  kAuto,  ///< affinity schedule only when the machine has > 1 NUMA node
+  kOff,   ///< always the shared-queue schedule
+  kOn,    ///< force pinning + row ownership (tests / benches)
+};
+
 /// Join configuration.  Defaults reproduce the paper's headline setup:
 /// FPDL at k = 1 on alphabetic strings with the 2-word signature.
 struct JoinConfig {
@@ -44,6 +57,9 @@ struct JoinConfig {
   /// supports it (default).  false forces the classic per-pair scan —
   /// the baseline for benches and equivalence tests.
   bool packed = true;
+  /// Tile-ownership schedule; kAuto is a graceful no-op on single-node
+  /// machines (the shared queue is better there — no pinning overhead).
+  TileAffinity affinity = TileAffinity::kAuto;
 };
 
 /// Tile shape of the 2D pair-space walk (rows of S x columns of T).
@@ -73,6 +89,7 @@ struct JoinStats {
   double join_ms = 0.0;                ///< pair-evaluation wall time
   std::uint64_t tiles = 0;             ///< parallel work units scheduled
   const char* kernel = "pair-scalar";  ///< filter kernel variant used
+  bool affinity_schedule = false;      ///< row-ownership schedule ran
   /// Matching (i, j) pairs when collect_matches is set.  Ordering
   /// guarantee: sorted ascending by (i, j) after the parallel merge, so
   /// the output is byte-identical for any thread count and tile shape.

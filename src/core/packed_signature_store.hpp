@@ -90,6 +90,18 @@ class AlignedPlane {
   return 0;
 }
 
+/// Maximum popcount the *last* plane's XOR diff can contribute for a
+/// layout — the "max remaining popcount" bound the block kernel's
+/// early-accept prune needs (see core/fbf_kernel.hpp).  The two-plane
+/// alphanumeric layout keeps the numeric word in plane 1 and only 30 of
+/// its 64 bits are ever set (3 occurrence bits × 10 digits), so the
+/// plane-1 diff sets at most 30 bits.  Single-plane layouts have no
+/// remaining plane: 0.
+[[nodiscard]] constexpr int max_tail_popcount(FieldClass cls,
+                                              int alpha_words) noexcept {
+  return packed_words(cls, alpha_words) == 2 ? 30 : 0;
+}
+
 /// Packs one classic signature into its plane words (layout above).
 /// `out` must have room for packed_words() entries.
 void pack_signature(const Signature& sig, FieldClass cls, int alpha_words,
@@ -127,6 +139,10 @@ class PackedSignatureStore {
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t words() const noexcept { return words_; }
+  /// This store's layout bound for the kernel's early-accept prune.
+  [[nodiscard]] int max_tail_popcount() const noexcept {
+    return fbf::core::max_tail_popcount(cls_, alpha_words_);
+  }
   [[nodiscard]] double build_ms() const noexcept { return build_ms_; }
   [[nodiscard]] FieldClass field_class() const noexcept { return cls_; }
   [[nodiscard]] int alpha_words() const noexcept { return alpha_words_; }

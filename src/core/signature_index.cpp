@@ -166,27 +166,40 @@ std::optional<IndexJoinStats> match_strings_indexed(
       }
     }
   } else {
-    // Degraded path: sweep the packed planes tile by tile.  Same FBF
-    // pass-set as the probes would surface (the filter predicate is
+    // Degraded path: sweep the packed planes tile by tile, batching
+    // kMaxBlockQueries probe queries per sweep so each plane word is
+    // loaded once per block (core/fbf_kernel.hpp filter_block).  Same
+    // FBF pass-set as the probes would surface (the filter predicate is
     // identical), so matches are unchanged — only candidate generation
     // cost differs.
     stats.path = "tile-scan";
-    std::uint64_t bitmap[(kTileCols + 63) / 64];
-    for (std::uint32_t i = 0; i < left.size(); ++i) {
-      const CandidatePipeline::Query q = pipe.make_query(left[i]);
+    constexpr std::size_t kBitmapWords = (kTileCols + 63) / 64;
+    std::uint64_t bitmaps[kMaxBlockQueries * kBitmapWords];
+    CandidatePipeline::Query queries[kMaxBlockQueries];
+    for (std::size_t i0 = 0; i0 < left.size(); i0 += kMaxBlockQueries) {
+      const std::size_t n_queries =
+          std::min(kMaxBlockQueries, left.size() - i0);
+      for (std::size_t b = 0; b < n_queries; ++b) {
+        queries[b] = pipe.make_query(left[i0 + b]);
+      }
       for (std::size_t j0 = 0; j0 < right.size(); j0 += kTileCols) {
         const std::size_t j1 = std::min(j0 + kTileCols, right.size());
-        stats.candidates += pipe.filter(q, j0, j1, nullptr, bitmap, counters);
-        CandidatePipeline::for_each_survivor(
-            bitmap, j1 - j0, [&](std::size_t lane) {
-              const std::size_t j = j0 + lane;
-              if (pipe.verify(left[i], right[j], counters)) {
-                ++stats.matches;
-                if (i == static_cast<std::uint32_t>(j)) {
-                  ++stats.diagonal_matches;
+        stats.candidates +=
+            pipe.filter_block({queries, n_queries}, j0, j1, nullptr, bitmaps,
+                              kBitmapWords, counters);
+        for (std::size_t b = 0; b < n_queries; ++b) {
+          const std::size_t i = i0 + b;
+          CandidatePipeline::for_each_survivor(
+              bitmaps + b * kBitmapWords, j1 - j0, [&](std::size_t lane) {
+                const std::size_t j = j0 + lane;
+                if (pipe.verify(left[i], right[j], counters)) {
+                  ++stats.matches;
+                  if (i == j) {
+                    ++stats.diagonal_matches;
+                  }
                 }
-              }
-            });
+              });
+        }
       }
     }
   }

@@ -1,0 +1,55 @@
+#include "util/affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <sched.h>
+#include <cstring>
+#endif
+
+namespace fbf::util {
+
+std::size_t cpu_count() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+std::size_t numa_node_count() noexcept {
+#if defined(__linux__)
+  // Count /sys/devices/system/node/node<N> entries.  sysfs is the
+  // portable-enough source that needs no libnuma dependency.
+  static const std::size_t nodes = [] {
+    DIR* dir = ::opendir("/sys/devices/system/node");
+    if (dir == nullptr) {
+      return std::size_t{1};
+    }
+    std::size_t count = 0;
+    while (const dirent* entry = ::readdir(dir)) {
+      if (std::strncmp(entry->d_name, "node", 4) == 0 &&
+          entry->d_name[4] >= '0' && entry->d_name[4] <= '9') {
+        ++count;
+      }
+    }
+    ::closedir(dir);
+    return count == 0 ? std::size_t{1} : count;
+  }();
+  return nodes;
+#else
+  return 1;
+#endif
+}
+
+bool pin_current_thread(std::size_t cpu) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % cpu_count(), &set);
+  return ::sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace fbf::util

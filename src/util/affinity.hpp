@@ -1,0 +1,36 @@
+// CPU / NUMA topology probes and worker pinning for the affinity-aware
+// parallel join (DESIGN.md §13).
+//
+// The tiled join's workers pull tiles from a shared queue, so on a
+// multi-socket box a tile's candidate planes migrate between L3 domains
+// as whichever worker happens to dequeue them streams them in.  The
+// affinity-aware schedule instead *owns* tile rows per worker (row r →
+// worker r % n_workers) and pins each worker to one CPU, so a row's
+// query-side plane data is streamed by the same core — and stays in the
+// same NUMA domain — for the whole join.
+//
+// Everything here degrades gracefully: on single-node machines,
+// non-Linux builds, or restricted-affinity environments (cgroup CPU
+// masks, test sandboxes) the probes report what they can and
+// pin_current_thread is a best-effort no-op that never fails the join.
+#pragma once
+
+#include <cstddef>
+
+namespace fbf::util {
+
+/// Number of online CPUs visible to this process (>= 1).
+[[nodiscard]] std::size_t cpu_count() noexcept;
+
+/// Number of NUMA memory nodes (Linux: /sys/devices/system/node).
+/// Returns 1 when the topology cannot be read — callers treat "unknown"
+/// as "single node" and skip affinity work.
+[[nodiscard]] std::size_t numa_node_count() noexcept;
+
+/// Best-effort: pins the calling thread to CPU `cpu % cpu_count()`.
+/// Returns true when the kernel accepted the mask; false (and no side
+/// effect) on unsupported platforms or when the scheduler refuses —
+/// callers must treat pinning as an optimization, never a requirement.
+bool pin_current_thread(std::size_t cpu) noexcept;
+
+}  // namespace fbf::util

@@ -139,6 +139,126 @@ TEST(PipelineFilter, AlphaThreeWordsFallsBackTransparently) {
   }
 }
 
+// filter_block must be *indistinguishable* from Q successive filter()
+// calls: same per-query bitmaps, same counters, same survivor total —
+// for any Q (including > kMaxBlockQueries, which exercises chunking),
+// every layout (including the per-pair fallback), gates on or off.
+void expect_block_equivalence(const LayoutCase& layout, int k,
+                              bool use_length, bool with_eligible) {
+  const auto dataset = dg::build_paired_dataset(layout.kind, 180, 631).value();
+  c::PipelineConfig cfg;
+  cfg.field_class = layout.cls;
+  cfg.alpha_words = layout.alpha_words;
+  cfg.k = k;
+  cfg.use_length = use_length;
+  const c::CandidatePipeline pipe(cfg, dataset.error);
+
+  const std::size_t n = dataset.error.size();
+  const std::size_t words = c::CandidatePipeline::bitmap_words(n);
+  const std::size_t stride = words + 1;  // probe stride handling too
+  std::vector<std::uint64_t> eligible(words);
+  for (std::size_t w = 0; w < words; ++w) {
+    eligible[w] = 0x9e3779b97f4a7c15ull * (w + 1) | 1ull;
+  }
+  const std::uint64_t* mask = with_eligible ? eligible.data() : nullptr;
+  for (const std::size_t n_queries :
+       {std::size_t{1}, std::size_t{3}, std::size_t{8}, std::size_t{13}}) {
+    std::vector<c::CandidatePipeline::Query> queries;
+    for (std::size_t i = 0; i < n_queries; ++i) {
+      queries.push_back(pipe.make_query(dataset.clean[i * 7 % n]));
+    }
+    std::vector<std::uint64_t> bm_block(n_queries * stride, ~0ull);
+    std::vector<std::uint64_t> bm_seq(words);
+    c::PipelineCounters pc_block;
+    c::PipelineCounters pc_seq;
+    const std::size_t block_survivors = pipe.filter_block(
+        queries, 0, n, mask, bm_block.data(), stride, pc_block);
+    std::size_t seq_survivors = 0;
+    for (std::size_t i = 0; i < n_queries; ++i) {
+      seq_survivors +=
+          pipe.filter(queries[i], 0, n, mask, bm_seq.data(), pc_seq);
+      for (std::size_t w = 0; w < words; ++w) {
+        ASSERT_EQ(bm_block[i * stride + w], bm_seq[w])
+            << dg::field_kind_name(layout.kind) << " k=" << k
+            << " len=" << use_length << " elig=" << with_eligible
+            << " Q=" << n_queries << " query=" << i << " word " << w;
+      }
+    }
+    EXPECT_EQ(block_survivors, seq_survivors);
+    EXPECT_EQ(pc_block.length_pass, pc_seq.length_pass);
+    EXPECT_EQ(pc_block.fbf_evaluated, pc_seq.fbf_evaluated);
+    EXPECT_EQ(pc_block.fbf_pass, pc_seq.fbf_pass);
+    EXPECT_EQ(pc_block.verify_calls, pc_seq.verify_calls);
+  }
+}
+
+TEST(PipelineFilter, FilterBlockEqualsSequentialFilters) {
+  const LayoutCase layouts[] = {
+      {dg::FieldKind::kSsn, c::FieldClass::kNumeric, 2},
+      {dg::FieldKind::kLastName, c::FieldClass::kAlpha, 2},
+      {dg::FieldKind::kAddress, c::FieldClass::kAlphanumeric, 2},
+      // alpha l = 3: per-pair fallback — filter_block literally loops.
+      {dg::FieldKind::kLastName, c::FieldClass::kAlpha, 3},
+  };
+  for (const auto& layout : layouts) {
+    for (const int k : {1, 2}) {
+      for (const bool use_length : {false, true}) {
+        for (const bool with_eligible : {false, true}) {
+          expect_block_equivalence(layout, k, use_length, with_eligible);
+        }
+      }
+    }
+  }
+}
+
+TEST(PipelineFilter, PrunePlanesAblationIsIdentical) {
+  // prune_planes is a pure performance switch: bitmaps, counters and
+  // survivor totals must be byte-identical with pruning on or off, on
+  // the layout where pruning actually does something (two planes).
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kAddress, 220, 93).value();
+  for (const int k : {1, 2}) {
+    c::PipelineConfig cfg;
+    cfg.field_class = c::FieldClass::kAlphanumeric;
+    cfg.k = k;
+    const c::CandidatePipeline pruned(cfg, dataset.error);
+    c::PipelineConfig noprune_cfg = cfg;
+    noprune_cfg.prune_planes = false;
+    const c::CandidatePipeline unpruned(noprune_cfg, dataset.error);
+    ASSERT_TRUE(pruned.batched());
+
+    const std::size_t n = dataset.error.size();
+    const std::size_t words = c::CandidatePipeline::bitmap_words(n);
+    std::vector<c::CandidatePipeline::Query> qp;
+    std::vector<c::CandidatePipeline::Query> qu;
+    for (std::size_t i = 0; i < 8; ++i) {
+      qp.push_back(pruned.make_query(dataset.clean[i]));
+      qu.push_back(unpruned.make_query(dataset.clean[i]));
+    }
+    std::vector<std::uint64_t> bm_p(qp.size() * words);
+    std::vector<std::uint64_t> bm_u(qu.size() * words);
+    c::PipelineCounters pc_p;
+    c::PipelineCounters pc_u;
+    const std::size_t sp =
+        pruned.filter_block(qp, 0, n, nullptr, bm_p.data(), words, pc_p);
+    const std::size_t su =
+        unpruned.filter_block(qu, 0, n, nullptr, bm_u.data(), words, pc_u);
+    EXPECT_EQ(sp, su) << "k=" << k;
+    EXPECT_EQ(bm_p, bm_u) << "k=" << k;
+    EXPECT_EQ(pc_p.fbf_evaluated, pc_u.fbf_evaluated);
+    EXPECT_EQ(pc_p.fbf_pass, pc_u.fbf_pass);
+  }
+}
+
+TEST(PipelineFilter, KernelNameComesFromSharedTable) {
+  c::PipelineConfig cfg;
+  cfg.field_class = c::FieldClass::kNumeric;
+  const c::CandidatePipeline pipe(cfg);
+  ASSERT_TRUE(pipe.batched());
+  EXPECT_STREQ(pipe.kernel_name(),
+               c::tile_kernel_label(c::best_kernel()));
+}
+
 TEST(PipelineFilter, IncrementalAppendEqualsBulkConstruction) {
   // The append-only candidate side: growing the pipeline batch by batch
   // filters identically to building it in one shot.

@@ -1,13 +1,15 @@
-// Equivalence fuzz for the batched filter kernel: every kernel variant
+// Equivalence fuzz for the batched filter kernels: every kernel variant
 // must reproduce the u32 per-pair FindDiffBits path bit for bit — same
 // survivor bitmaps, same survivor counts — across layouts, thresholds,
-// tile widths and bitmap word boundaries.
+// tile widths, bitmap word boundaries, query block sizes (filter_block)
+// and pruning settings.
 #include "core/fbf_kernel.hpp"
 
 #include <gtest/gtest.h>
 
 #include <bit>
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -19,20 +21,31 @@
 
 namespace {
 
+using fbf::core::all_kernel_kinds;
 using fbf::core::best_kernel;
 using fbf::core::FieldClass;
+using fbf::core::filter_block;
 using fbf::core::filter_tile;
+using fbf::core::kernel_from_name;
+using fbf::core::kernel_name;
+using fbf::core::kernel_supported;
 using fbf::core::KernelKind;
+using fbf::core::kMaxBlockQueries;
 using fbf::core::make_signature;
+using fbf::core::max_tail_popcount;
 using fbf::core::PackedSignatureStore;
 using fbf::core::Signature;
+using fbf::core::tile_kernel_label;
 
 namespace dg = fbf::datagen;
 
+/// Every kind the running CPU can execute (scalar64 always qualifies).
 std::vector<KernelKind> kernels_under_test() {
-  std::vector<KernelKind> kinds = {KernelKind::kScalar64};
-  if (best_kernel() == KernelKind::kAvx2) {
-    kinds.push_back(KernelKind::kAvx2);
+  std::vector<KernelKind> kinds;
+  for (const KernelKind kind : all_kernel_kinds()) {
+    if (kernel_supported(kind)) {
+      kinds.push_back(kind);
+    }
   }
   return kinds;
 }
@@ -77,7 +90,7 @@ void check_layout(dg::FieldKind kind, FieldClass cls, int alpha_words,
       for (std::size_t j = 0; j < count; ++j) {
         const bool bit = (bitmap[j / 64] >> (j % 64)) & 1u;
         ASSERT_EQ(bit, expected[j])
-            << fbf::core::kernel_name(kernel) << " "
+            << kernel_name(kernel) << " "
             << fbf::core::field_class_name(cls) << " l=" << alpha_words
             << " count=" << count << " thr=" << threshold << " j=" << j;
         expected_survivors += expected[j] ? 1u : 0u;
@@ -87,6 +100,65 @@ void check_layout(dg::FieldKind kind, FieldClass cls, int alpha_words,
       if (count % 64 != 0) {
         const std::uint64_t tail = bitmap[(count - 1) / 64];
         EXPECT_EQ(tail >> (count % 64), 0u);
+      }
+    }
+  }
+}
+
+/// filter_block fuzz: every query's bitmap must equal the per-pair
+/// reference for any Q (including the > kMaxBlockQueries chunked case),
+/// ragged tail tiles, both prune settings and every supported kind.
+void check_block(dg::FieldKind kind, FieldClass cls, int alpha_words,
+                 std::size_t count, int k) {
+  const int threshold = 2 * k;
+  const std::size_t pool =
+      std::max<std::size_t>(count, 16);  // enough rows for 13 queries
+  const auto dataset = dg::build_paired_dataset(kind, pool, 1337).value();
+  std::vector<std::string> cands(dataset.error.begin(),
+                                 dataset.error.begin() +
+                                     static_cast<std::ptrdiff_t>(count));
+  const PackedSignatureStore queries(dataset.clean, cls, alpha_words);
+  const PackedSignatureStore packed(cands, cls, alpha_words);
+  const bool two = packed.words() == 2;
+  const int tail_bound = max_tail_popcount(cls, alpha_words);
+  const std::size_t words = (count + 63) / 64;
+  const std::size_t stride = words + 1;  // probe stride handling too
+  for (const std::size_t n_queries :
+       {std::size_t{1}, std::size_t{3}, std::size_t{4}, std::size_t{8},
+        std::size_t{13}}) {
+    std::vector<std::uint64_t> q0(n_queries);
+    std::vector<std::uint64_t> q1(n_queries);
+    for (std::size_t i = 0; i < n_queries; ++i) {
+      q0[i] = queries.word(0, i);
+      q1[i] = two ? queries.word(1, i) : 0;
+    }
+    std::vector<std::uint64_t> bitmaps(n_queries * stride);
+    for (const KernelKind kernel : kernels_under_test()) {
+      for (const bool prune : {false, true}) {
+        bitmaps.assign(bitmaps.size(), ~0ull);
+        const std::size_t survivors = filter_block(
+            q0.data(), two ? q1.data() : nullptr, n_queries, packed.plane(0),
+            two ? packed.plane(1) : nullptr, count, threshold, tail_bound,
+            prune, bitmaps.data(), stride, kernel);
+        std::size_t expected_total = 0;
+        for (std::size_t i = 0; i < n_queries; ++i) {
+          const auto expected = reference_pass(dataset.clean, i, cands, cls,
+                                               alpha_words, threshold);
+          const std::uint64_t* bitmap = bitmaps.data() + i * stride;
+          for (std::size_t j = 0; j < count; ++j) {
+            const bool bit = (bitmap[j / 64] >> (j % 64)) & 1u;
+            ASSERT_EQ(bit, expected[j])
+                << kernel_name(kernel) << " "
+                << fbf::core::field_class_name(cls) << " l=" << alpha_words
+                << " count=" << count << " k=" << k << " Q=" << n_queries
+                << " prune=" << prune << " query=" << i << " j=" << j;
+            expected_total += expected[j] ? 1u : 0u;
+          }
+          if (count % 64 != 0) {
+            EXPECT_EQ(bitmap[(count - 1) / 64] >> (count % 64), 0u);
+          }
+        }
+        EXPECT_EQ(survivors, expected_total);
       }
     }
   }
@@ -116,37 +188,128 @@ TEST(FbfKernel, MatchesPerPairScanAlphanumericTwoPlanes) {
   }
 }
 
-TEST(FbfKernel, ScalarAndAvx2Agree) {
-  if (best_kernel() != KernelKind::kAvx2) {
-    GTEST_SKIP() << "AVX2 not available on this CPU";
+TEST(FbfKernel, FilterBlockMatchesPerPairAlphaL2) {
+  for (const std::size_t count : {1u, 5u, 64u, 65u, 200u, 256u}) {
+    for (const int k : {1, 2}) {
+      check_block(dg::FieldKind::kLastName, FieldClass::kAlpha, 2, count, k);
+    }
   }
-  // Random u64 planes (not derived from strings): the kernels must agree
-  // on arbitrary bit patterns, not just reachable signatures.
+}
+
+TEST(FbfKernel, FilterBlockMatchesPerPairAlphaL1) {
+  for (const int k : {1, 2}) {
+    check_block(dg::FieldKind::kLastName, FieldClass::kAlpha, 1, 131, k);
+  }
+}
+
+TEST(FbfKernel, FilterBlockMatchesPerPairNumeric) {
+  for (const std::size_t count : {3u, 64u, 193u, 256u}) {
+    for (const int k : {1, 2}) {
+      check_block(dg::FieldKind::kSsn, FieldClass::kNumeric, 2, count, k);
+    }
+  }
+}
+
+TEST(FbfKernel, FilterBlockMatchesPerPairAlphanumericTwoPlanes) {
+  for (const std::size_t count : {7u, 64u, 150u, 256u}) {
+    for (const int k : {1, 2}) {
+      check_block(dg::FieldKind::kAddress, FieldClass::kAlphanumeric, 2,
+                  count, k);
+    }
+  }
+}
+
+/// Random u64 planes (not derived from strings): all kinds must agree on
+/// arbitrary bit patterns, with pruning on or off, for single-plane and
+/// two-plane inputs, against the scalar64 baseline.
+TEST(FbfKernel, AllKindsAgreeOnRandomPlanes) {
   fbf::util::Rng rng(4242);
   constexpr std::size_t kCount = 333;
+  constexpr std::size_t kWords = (kCount + 63) / 64;
   fbf::core::AlignedPlane p0(kCount);
   fbf::core::AlignedPlane p1(kCount);
   for (std::size_t i = 0; i < kCount; ++i) {
     p0.data()[i] = rng.next();
     p1.data()[i] = rng.next();
   }
-  std::vector<std::uint64_t> bm_scalar((kCount + 63) / 64);
-  std::vector<std::uint64_t> bm_avx2((kCount + 63) / 64);
-  for (int trial = 0; trial < 50; ++trial) {
-    const std::uint64_t q0 = rng.next();
-    const std::uint64_t q1 = rng.next();
+  const auto kinds = kernels_under_test();
+  fbf::core::AlignedPlane p1_masked(kCount);
+  std::vector<std::uint64_t> queries0(kMaxBlockQueries);
+  std::vector<std::uint64_t> queries1(kMaxBlockQueries);
+  std::vector<std::uint64_t> baseline(kMaxBlockQueries * kWords);
+  std::vector<std::uint64_t> other(kMaxBlockQueries * kWords);
+  for (int trial = 0; trial < 40; ++trial) {
     const int threshold = static_cast<int>(rng.next() % 70);
+    // A tail bound is only sound when it dominates every plane-1 diff;
+    // confine plane-1 bits to the low tail_bound positions so the random
+    // bound genuinely does (mirrors max_tail_popcount <= used bits).
+    const int tail_bound = static_cast<int>(rng.next() % 65);
+    const std::uint64_t tail_mask =
+        tail_bound == 64 ? ~0ull : (1ull << tail_bound) - 1;
+    for (std::size_t i = 0; i < kMaxBlockQueries; ++i) {
+      queries0[i] = rng.next();
+      queries1[i] = rng.next() & tail_mask;
+    }
+    for (std::size_t i = 0; i < p1.size(); ++i) {
+      p1_masked.data()[i] = p1.data()[i] & tail_mask;
+    }
     const bool two = (trial % 2) == 0;
-    const std::size_t s = filter_tile(q0, p0.data(), q1,
-                                      two ? p1.data() : nullptr, kCount,
-                                      threshold, bm_scalar.data(),
-                                      KernelKind::kScalar64);
-    const std::size_t a = filter_tile(q0, p0.data(), q1,
-                                      two ? p1.data() : nullptr, kCount,
-                                      threshold, bm_avx2.data(),
-                                      KernelKind::kAvx2);
-    EXPECT_EQ(s, a) << "trial " << trial;
-    EXPECT_EQ(bm_scalar, bm_avx2) << "trial " << trial;
+    const std::size_t n_queries =
+        1 + static_cast<std::size_t>(trial) % kMaxBlockQueries;
+    const std::size_t s = filter_block(
+        queries0.data(), two ? queries1.data() : nullptr, n_queries,
+        p0.data(), two ? p1_masked.data() : nullptr, kCount, threshold,
+        tail_bound, /*prune=*/false, baseline.data(), kWords,
+        KernelKind::kScalar64);
+    for (const KernelKind kernel : kinds) {
+      for (const bool prune : {false, true}) {
+        const std::size_t o = filter_block(
+            queries0.data(), two ? queries1.data() : nullptr, n_queries,
+            p0.data(), two ? p1_masked.data() : nullptr, kCount, threshold,
+            tail_bound, prune, other.data(), kWords, kernel);
+        EXPECT_EQ(s, o) << "trial " << trial << " " << kernel_name(kernel)
+                        << " prune=" << prune;
+        for (std::size_t w = 0; w < n_queries * kWords; ++w) {
+          ASSERT_EQ(baseline[w], other[w])
+              << "trial " << trial << " " << kernel_name(kernel)
+              << " prune=" << prune << " word " << w;
+        }
+      }
+    }
+  }
+}
+
+/// filter_tile is exactly filter_block with one query.
+TEST(FbfKernel, FilterTileEqualsSingleQueryBlock) {
+  fbf::util::Rng rng(99);
+  constexpr std::size_t kCount = 201;
+  constexpr std::size_t kWords = (kCount + 63) / 64;
+  fbf::core::AlignedPlane p0(kCount);
+  fbf::core::AlignedPlane p1(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    p0.data()[i] = rng.next();
+    p1.data()[i] = rng.next();
+  }
+  for (const KernelKind kernel : kernels_under_test()) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const std::uint64_t q0 = rng.next();
+      const std::uint64_t q1 = rng.next();
+      const int threshold = static_cast<int>(rng.next() % 70);
+      const bool two = (trial % 2) == 0;
+      std::uint64_t tile_bm[kWords];
+      std::uint64_t block_bm[kWords];
+      const std::size_t st =
+          filter_tile(q0, p0.data(), q1, two ? p1.data() : nullptr, kCount,
+                      threshold, tile_bm, kernel);
+      const std::size_t sb = filter_block(
+          &q0, two ? &q1 : nullptr, 1, p0.data(), two ? p1.data() : nullptr,
+          kCount, threshold, /*tail_bound=*/64, /*prune=*/true, block_bm,
+          kWords, kernel);
+      EXPECT_EQ(st, sb);
+      for (std::size_t w = 0; w < kWords; ++w) {
+        ASSERT_EQ(tile_bm[w], block_bm[w]) << kernel_name(kernel);
+      }
+    }
   }
 }
 
@@ -155,13 +318,60 @@ TEST(FbfKernel, ZeroCountIsEmpty) {
   const std::size_t survivors =
       filter_tile(0, nullptr, 0, nullptr, 0, 2, bitmap, KernelKind::kScalar64);
   EXPECT_EQ(survivors, 0u);
+  const std::uint64_t q0 = 0;
+  EXPECT_EQ(filter_block(&q0, nullptr, 0, nullptr, nullptr, 64, 2, 0, true,
+                         bitmap, 1, KernelKind::kScalar64),
+            0u);
 }
 
-TEST(FbfKernel, KernelNames) {
-  EXPECT_STREQ(fbf::core::kernel_name(KernelKind::kScalar64), "scalar64");
-  EXPECT_STREQ(fbf::core::kernel_name(KernelKind::kAvx2), "avx2");
-  // best_kernel is stable across calls (cached dispatch).
-  EXPECT_EQ(best_kernel(), best_kernel());
+TEST(FbfKernel, KernelNameTableRoundTrips) {
+  for (const KernelKind kind : all_kernel_kinds()) {
+    const auto parsed = kernel_from_name(kernel_name(kind));
+    ASSERT_TRUE(parsed.has_value()) << kernel_name(kind);
+    EXPECT_EQ(*parsed, kind);
+    // The pipeline-facing label is the short name with a "tile-" prefix.
+    EXPECT_EQ(std::string(tile_kernel_label(kind)),
+              std::string("tile-") + kernel_name(kind));
+  }
+  EXPECT_FALSE(kernel_from_name("no-such-kernel").has_value());
+  EXPECT_FALSE(kernel_from_name("").has_value());
+  EXPECT_STREQ(kernel_name(KernelKind::kScalar64), "scalar64");
+  EXPECT_STREQ(kernel_name(KernelKind::kAvx2), "avx2");
+  EXPECT_STREQ(kernel_name(KernelKind::kAvx512), "avx512");
+  EXPECT_STREQ(kernel_name(KernelKind::kNeon), "neon");
+  EXPECT_TRUE(kernel_supported(KernelKind::kScalar64));
+}
+
+/// FBF_FORCE_KERNEL overrides dispatch per call; unsupported or unknown
+/// values fall back to the detected best.  The original environment is
+/// restored so this test composes with a CI leg that exports the
+/// variable for the whole suite.
+TEST(FbfKernel, ForceKernelEnvOverride) {
+  const char* original = std::getenv("FBF_FORCE_KERNEL");
+  const std::string saved = original != nullptr ? original : "";
+  ::unsetenv("FBF_FORCE_KERNEL");
+  const KernelKind detected = best_kernel();
+  EXPECT_EQ(detected, best_kernel());  // cached detection is stable
+
+  for (const KernelKind kind : kernels_under_test()) {
+    ::setenv("FBF_FORCE_KERNEL", kernel_name(kind), 1);
+    EXPECT_EQ(best_kernel(), kind) << kernel_name(kind);
+  }
+  // Unknown and unsupported names fall back to the detected best.
+  ::setenv("FBF_FORCE_KERNEL", "no-such-kernel", 1);
+  EXPECT_EQ(best_kernel(), detected);
+  for (const KernelKind kind : all_kernel_kinds()) {
+    if (!kernel_supported(kind)) {
+      ::setenv("FBF_FORCE_KERNEL", kernel_name(kind), 1);
+      EXPECT_EQ(best_kernel(), detected) << kernel_name(kind);
+    }
+  }
+
+  if (original != nullptr) {
+    ::setenv("FBF_FORCE_KERNEL", saved.c_str(), 1);
+  } else {
+    ::unsetenv("FBF_FORCE_KERNEL");
+  }
 }
 
 }  // namespace

@@ -213,4 +213,32 @@ TEST(PackedStore, PackSignatureAlphanumericUsesLastWordForNumeric) {
   EXPECT_EQ(row[1], static_cast<std::uint64_t>(1u << 3));
 }
 
+// The plane-pruning bound: plane 1 can contribute at most 30 differing
+// bits (the numeric word uses 30 of its 64 bits), and single-plane
+// layouts have no tail at all.  The member must agree with the free
+// function the kernels consume.
+TEST(PackedStore, MaxTailPopcountBoundsPlaneOne) {
+  using fbf::core::max_tail_popcount;
+  EXPECT_EQ(max_tail_popcount(FieldClass::kAlphanumeric, 2), 30);
+  EXPECT_EQ(max_tail_popcount(FieldClass::kAlphanumeric, 1), 30);
+  EXPECT_EQ(max_tail_popcount(FieldClass::kNumeric, 2), 0);
+  EXPECT_EQ(max_tail_popcount(FieldClass::kAlpha, 1), 0);
+  EXPECT_EQ(max_tail_popcount(FieldClass::kAlpha, 2), 0);
+
+  const PackedSignatureStore alnum(FieldClass::kAlphanumeric, 2);
+  EXPECT_EQ(alnum.max_tail_popcount(), 30);
+  const PackedSignatureStore alpha(FieldClass::kAlpha, 2);
+  EXPECT_EQ(alpha.max_tail_popcount(), 0);
+
+  // The bound must actually dominate every real plane-1 diff.
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kAddress, 200, 77).value();
+  const PackedSignatureStore store(dataset.clean, FieldClass::kAlphanumeric, 2);
+  ASSERT_EQ(store.words(), 2u);
+  for (std::size_t i = 0; i + 1 < store.size(); ++i) {
+    const int tail_diff = std::popcount(store.word(1, i) ^ store.word(1, i + 1));
+    EXPECT_LE(tail_diff, store.max_tail_popcount());
+  }
+}
+
 }  // namespace
