@@ -1,0 +1,433 @@
+#include "core/block_index.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+
+#include "util/thread_pool.hpp"
+
+namespace fbf::core {
+
+namespace {
+
+// Polynomial rolling hash over bytes with an odd base, evaluated mod
+// 2^64.  The odd base has a multiplicative inverse mod 2^64, which is
+// what makes every deletion variant hashable in O(1) from prefix and
+// positional-suffix tables (see variant_* below) — enumerating the whole
+// depth-2 neighborhood of a string costs O(l^2) total instead of O(l^3).
+// Collisions only ever surface extra candidates (the verifier decides),
+// so a 64-bit rolling hash is sound here.
+constexpr std::uint64_t kBase = 1099511628211ull;  // FNV prime, odd
+
+constexpr std::uint64_t inverse_mod_2_64(std::uint64_t b) {
+  // Newton iteration: each step doubles the number of correct low bits.
+  std::uint64_t x = b;  // correct to 3 bits for odd b
+  for (int i = 0; i < 5; ++i) {
+    x *= 2 - b * x;
+  }
+  return x;
+}
+constexpr std::uint64_t kInvBase = inverse_mod_2_64(kBase);
+static_assert(kBase * kInvBase == 1, "base must be invertible mod 2^64");
+
+// Strings longer than this skip key enumeration: stored ones become
+// unconditional candidates (long_ids_), querying ones receive the full id
+// range.  Keeps the depth-2 neighborhood (C(l,2) keys) bounded; our field
+// data tops out near 30 characters.
+constexpr std::size_t kMaxEnumLength = 64;
+
+// Minimum piece length for the piece family to be worth indexing: below
+// this, equal-length strings share pieces so often that the family only
+// adds candidates the deletion family would not have surfaced.
+constexpr std::size_t kMinPieceLength = 4;
+
+constexpr std::uint64_t kPieceSeed = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kDeletionSeed = 0xc2b2ae3d27d4eb4full;
+
+/// splitmix64 finalizer: spreads the polynomial hash across all 64 bits
+/// before it becomes a postings key.
+[[nodiscard]] constexpr std::uint64_t finalize(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// kBase^i mod 2^64 for i <= kMaxEnumLength.
+const std::uint64_t* power_table() {
+  static const auto table = [] {
+    std::array<std::uint64_t, kMaxEnumLength + 1> t{};
+    t[0] = 1;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      t[i] = t[i - 1] * kBase;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+/// Reusable per-call buffers (thread_local at the call sites: generate()
+/// runs from the worker pool).
+struct KeyScratch {
+  std::vector<std::uint64_t> pre;   ///< pre[i] = rolling hash of s[0, i)
+  std::vector<std::uint64_t> suf;   ///< suf[i] = sum_{m>=i} s[m]*B^(l-1-m)
+  std::vector<std::uint64_t> keys;  ///< sorted unique key hashes
+  std::vector<std::uint32_t> ids;   ///< generate() gather buffer
+};
+
+/// Emits the key hashes for `s` into scratch.keys — sorted unique when
+/// `dedup` (the append path, so the index never stores duplicate
+/// postings), raw enumeration order otherwise (the probe path: duplicate
+/// keys only re-surface ids the final candidate dedup removes anyway).
+/// Returns false when the string is too long to enumerate (caller takes
+/// the always-candidate path).
+bool collect_keys(std::string_view s, int k, KeyScratch& scratch,
+                  bool dedup = true) {
+  scratch.keys.clear();
+  const std::size_t l = s.size();
+  if (l > kMaxEnumLength) {
+    return false;
+  }
+  const std::uint64_t* pw = power_table();
+  scratch.pre.resize(l + 1);
+  scratch.suf.resize(l + 1);
+  scratch.pre[0] = 0;
+  for (std::size_t i = 0; i < l; ++i) {
+    scratch.pre[i + 1] =
+        scratch.pre[i] * kBase + static_cast<unsigned char>(s[i]);
+  }
+  scratch.suf[l] = 0;
+  for (std::size_t m = l; m-- > 0;) {
+    scratch.suf[m] = scratch.suf[m + 1] +
+                     static_cast<unsigned char>(s[m]) * pw[l - 1 - m];
+  }
+  const std::uint64_t* pre = scratch.pre.data();
+  const std::uint64_t* suf = scratch.suf.data();
+  std::vector<std::uint64_t>& keys = scratch.keys;
+
+  // Piece family: 2k+1 near-equal contiguous pieces, keyed by (length,
+  // piece index, content) — a piece only ever meets the same piece of an
+  // equal-length string, at the same position.  Emitted only when every
+  // piece is at least kMinPieceLength characters: short pieces (2-3 chars
+  // of a last name) are shared by huge equal-length cohorts and flood the
+  // candidate set, and the deletion family below is a complete cover on
+  // its own — the gate is a pure selectivity decision, applied
+  // identically on append and probe (piece keys embed l, so both sides
+  // of any equal-length pair take the same branch).
+  const std::size_t n_pieces = 2 * static_cast<std::size_t>(k) + 1;
+  if (l >= n_pieces * kMinPieceLength) {
+    for (std::size_t p = 0; p < n_pieces; ++p) {
+      const std::size_t a = p * l / n_pieces;
+      const std::size_t b = (p + 1) * l / n_pieces;
+      const std::uint64_t content = pre[b] - pre[a] * pw[b - a];
+      keys.push_back(
+          finalize(content ^ finalize(kPieceSeed ^ (l * 8 + p))));
+    }
+  }
+
+  // Deletion family: content hash of every variant with d <= k deletions.
+  // Exponents are (variant_length - 1 - variant_pos), so characters after
+  // a deleted position keep their original suf[] contribution — each
+  // variant is a prefix term plus suffix sums, O(1) apiece.
+  keys.push_back(finalize(suf[0] ^ kDeletionSeed));  // d = 0
+  if (k >= 1) {
+    for (std::size_t i = 0; i < l; ++i) {
+      keys.push_back(
+          finalize((pre[i] * pw[l - 1 - i] + suf[i + 1]) ^ kDeletionSeed));
+    }
+  }
+  if (k >= 2 && l >= 2) {
+    for (std::size_t i = 0; i + 1 < l; ++i) {
+      const std::uint64_t head = pre[i] * pw[l - 2 - i];
+      for (std::size_t j = i + 1; j < l; ++j) {
+        const std::uint64_t middle = (suf[i + 1] - suf[j]) * kInvBase;
+        keys.push_back(
+            finalize((head + middle + suf[j + 1]) ^ kDeletionSeed));
+      }
+    }
+  }
+  if (dedup) {
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  }
+  return true;
+}
+
+}  // namespace
+
+void PackedPostings::build(std::vector<PostingEntry> entries) {
+  // Near-linear sort: scatter by the hashes' top bits (uniform after the
+  // splitmix64 finalizer, so buckets average ~1 entry), then
+  // comparison-sort only the rare bucket with more than one entry.  The
+  // result is the same fully sorted order a global std::sort would
+  // produce, at a fraction of the build cost.
+  const auto cmp = [](const PostingEntry& a, const PostingEntry& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.id < b.id;
+  };
+  if (!entries.empty()) {
+    const int radix_bits =
+        std::max(1, static_cast<int>(std::bit_width(entries.size())));
+    const int radix_shift = 64 - radix_bits;
+    std::vector<std::size_t> starts((std::size_t{1} << radix_bits) + 1, 0);
+    for (const PostingEntry& e : entries) {
+      ++starts[(e.hash >> radix_shift) + 1];
+    }
+    for (std::size_t b = 1; b < starts.size(); ++b) {
+      starts[b] += starts[b - 1];
+    }
+    std::vector<PostingEntry> scattered(entries.size());
+    std::vector<std::size_t> cursor(starts.begin(), starts.end() - 1);
+    for (const PostingEntry& e : entries) {
+      scattered[cursor[e.hash >> radix_shift]++] = e;
+    }
+    for (std::size_t b = 0; b + 1 < starts.size(); ++b) {
+      if (starts[b + 1] - starts[b] > 1) {
+        std::sort(scattered.begin() + static_cast<std::ptrdiff_t>(starts[b]),
+                  scattered.begin() + static_cast<std::ptrdiff_t>(starts[b + 1]),
+                  cmp);
+      }
+    }
+    entries = std::move(scattered);
+  }
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](const PostingEntry& a, const PostingEntry& b) {
+                              return a.hash == b.hash && a.id == b.id;
+                            }),
+                entries.end());
+  keys_.clear();
+  offsets_.clear();
+  count_ = entries.size();
+  keys_.reserve(count_);
+  offsets_.reserve(count_ + 1);
+  std::uint32_t max_id = 0;
+  for (const PostingEntry& e : entries) {
+    max_id = std::max(max_id, e.id);
+  }
+  bits_per_id_ = std::max(1, static_cast<int>(std::bit_width(max_id)));
+  bits_.assign((count_ * static_cast<std::size_t>(bits_per_id_) + 63) / 64 + 1,
+               0);
+  for (std::size_t pos = 0; pos < count_; ++pos) {
+    if (pos == 0 || entries[pos].hash != entries[pos - 1].hash) {
+      keys_.push_back(entries[pos].hash);
+      offsets_.push_back(pos);
+    }
+    const std::size_t bit = pos * static_cast<std::size_t>(bits_per_id_);
+    const std::size_t word = bit / 64;
+    const std::size_t shift = bit % 64;
+    const std::uint64_t id = entries[pos].id;
+    bits_[word] |= id << shift;
+    if (shift + static_cast<std::size_t>(bits_per_id_) > 64) {
+      bits_[word + 1] |= id >> (64 - shift);
+    }
+  }
+  offsets_.push_back(count_);
+
+  // Bucket acceleration: key hashes are splitmix64-finalized, so their
+  // top bits are uniform — a radix table of ~key_count buckets narrows
+  // find() to an expected O(1) scan instead of a full binary search
+  // (probes are the hot path: one per key family member per query).
+  const int bucket_bits =
+      std::max(1, static_cast<int>(std::bit_width(keys_.size())));
+  bucket_shift_ = 64 - bucket_bits;
+  const std::size_t n_buckets = std::size_t{1} << bucket_bits;
+  bucket_starts_.assign(n_buckets + 1, 0);
+  for (const std::uint64_t key : keys_) {
+    ++bucket_starts_[(key >> bucket_shift_) + 1];
+  }
+  for (std::size_t b = 1; b <= n_buckets; ++b) {
+    bucket_starts_[b] += bucket_starts_[b - 1];
+  }
+}
+
+PackedPostings::Range PackedPostings::find(std::uint64_t hash) const noexcept {
+  if (keys_.empty()) {
+    return {};
+  }
+  const std::size_t bucket = hash >> bucket_shift_;
+  const std::size_t lo = bucket_starts_[bucket];
+  const std::size_t hi = bucket_starts_[bucket + 1];
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (keys_[i] == hash) {
+      return {offsets_[i], offsets_[i + 1]};
+    }
+  }
+  return {};
+}
+
+std::uint32_t PackedPostings::id_at(std::size_t pos) const noexcept {
+  const std::size_t bit = pos * static_cast<std::size_t>(bits_per_id_);
+  const std::size_t word = bit / 64;
+  const std::size_t shift = bit % 64;
+  std::uint64_t v = bits_[word] >> shift;
+  if (shift + static_cast<std::size_t>(bits_per_id_) > 64) {
+    v |= bits_[word + 1] << (64 - shift);
+  }
+  const std::uint64_t mask =
+      bits_per_id_ == 64 ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << bits_per_id_) - 1;
+  return static_cast<std::uint32_t>(v & mask);
+}
+
+BlockIndexGenerator::BlockIndexGenerator(int k) : k_(k) {}
+
+BlockIndexGenerator::BlockIndexGenerator(int k,
+                                         std::span<const std::string> values,
+                                         std::size_t threads)
+    : k_(k) {
+  append(values, threads);
+}
+
+void BlockIndexGenerator::append(std::string_view value) {
+  const auto id = static_cast<std::uint32_t>(size_++);
+  thread_local KeyScratch scratch;
+  if (!collect_keys(value, k_, scratch)) {
+    long_ids_.push_back(id);
+    return;
+  }
+  insert_keys(scratch.keys, id);
+  maybe_compact();
+}
+
+void BlockIndexGenerator::append(std::span<const std::string> values,
+                                 std::size_t threads) {
+  const auto base_id = static_cast<std::uint32_t>(size_);
+  const std::size_t n_chunks =
+      std::max<std::size_t>(1, std::min(threads, values.size()));
+  std::vector<std::vector<PostingEntry>> chunk_entries(n_chunks);
+  std::vector<std::vector<std::uint32_t>> chunk_long(n_chunks);
+  fbf::util::parallel_chunks(
+      values.size(), threads,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        KeyScratch scratch;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto id = static_cast<std::uint32_t>(base_id + i);
+          // No per-string dedup: the CSR build below deduplicates
+          // (hash, id) pairs globally anyway.
+          if (!collect_keys(values[i], k_, scratch, /*dedup=*/false)) {
+            chunk_long[chunk].push_back(id);
+            continue;
+          }
+          for (const std::uint64_t key : scratch.keys) {
+            chunk_entries[chunk].push_back({key, id});
+          }
+        }
+      });
+  size_ += values.size();
+  // Merge new entries with the existing tiers and rebuild the CSR base:
+  // the result depends only on the entry multiset, so any thread count
+  // (and any bulk/single append interleaving) yields the same index.
+  std::vector<PostingEntry> entries;
+  std::size_t total = base_.entry_count() + overflow_entries_;
+  for (const auto& chunk : chunk_entries) {
+    total += chunk.size();
+  }
+  entries.reserve(total);
+  for (std::size_t i = 0; i < base_.key_count(); ++i) {
+    const PackedPostings::Range r = base_.range_at(i);
+    for (std::size_t pos = r.begin; pos < r.end; ++pos) {
+      entries.push_back({base_.key_at(i), base_.id_at(pos)});
+    }
+  }
+  for (const auto& [key, ids] : overflow_) {
+    for (const std::uint32_t id : ids) {
+      entries.push_back({key, id});
+    }
+  }
+  for (auto& chunk : chunk_entries) {
+    entries.insert(entries.end(), chunk.begin(), chunk.end());
+  }
+  base_.build(std::move(entries));
+  overflow_.clear();
+  overflow_entries_ = 0;
+  for (const auto& chunk : chunk_long) {
+    long_ids_.insert(long_ids_.end(), chunk.begin(), chunk.end());
+  }
+}
+
+void BlockIndexGenerator::insert_keys(std::span<const std::uint64_t> keys,
+                                      std::uint32_t id) {
+  for (const std::uint64_t key : keys) {
+    overflow_[key].push_back(id);
+  }
+  overflow_entries_ += keys.size();
+}
+
+void BlockIndexGenerator::maybe_compact() {
+  // Fold the overflow tier in once it stops being small relative to the
+  // base; the threshold keeps steady single-record ingest amortized
+  // O(keys) per append.
+  if (overflow_entries_ >= 4096 &&
+      overflow_entries_ * 4 >= base_.entry_count()) {
+    compact();
+  }
+}
+
+void BlockIndexGenerator::compact() {
+  if (overflow_.empty()) {
+    return;
+  }
+  std::vector<PostingEntry> entries;
+  entries.reserve(base_.entry_count() + overflow_entries_);
+  for (std::size_t i = 0; i < base_.key_count(); ++i) {
+    const PackedPostings::Range r = base_.range_at(i);
+    for (std::size_t pos = r.begin; pos < r.end; ++pos) {
+      entries.push_back({base_.key_at(i), base_.id_at(pos)});
+    }
+  }
+  for (const auto& [key, ids] : overflow_) {
+    for (const std::uint32_t id : ids) {
+      entries.push_back({key, id});
+    }
+  }
+  base_.build(std::move(entries));
+  overflow_.clear();
+  overflow_entries_ = 0;
+  ++compactions_;
+}
+
+void BlockIndexGenerator::generate(std::string_view query,
+                                   std::vector<std::uint32_t>& out) const {
+  const std::size_t start = out.size();
+  thread_local KeyScratch scratch;
+  if (!collect_keys(query, k_, scratch, /*dedup=*/false)) {
+    // Query too long to enumerate: every stored id is a candidate (rare;
+    // sound by construction — the filter and verifier still run).
+    out.reserve(start + size_);
+    for (std::size_t j = 0; j < size_; ++j) {
+      out.push_back(static_cast<std::uint32_t>(j));
+    }
+    return;
+  }
+  for (const std::uint64_t key : scratch.keys) {
+    const PackedPostings::Range r = base_.find(key);
+    for (std::size_t pos = r.begin; pos < r.end; ++pos) {
+      out.push_back(base_.id_at(pos));
+    }
+    if (!overflow_.empty()) {
+      if (const auto it = overflow_.find(key); it != overflow_.end()) {
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
+    }
+  }
+  out.insert(out.end(), long_ids_.begin(), long_ids_.end());
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
+  out.erase(std::unique(out.begin() + static_cast<std::ptrdiff_t>(start),
+                        out.end()),
+            out.end());
+}
+
+BlockIndexStats BlockIndexGenerator::stats() const noexcept {
+  BlockIndexStats s;
+  s.entries = base_.entry_count();
+  s.keys = base_.key_count();
+  s.bits_per_id = base_.bits_per_id();
+  s.overflow_entries = overflow_entries_;
+  s.long_strings = long_ids_.size();
+  s.compactions = compactions_;
+  return s;
+}
+
+}  // namespace fbf::core

@@ -1,0 +1,170 @@
+// BlockIndexGenerator: sub-quadratic candidate generation by pigeonhole
+// block partitioning + deletion neighborhoods (DESIGN.md §14; after the
+// case-decomposition index of SNIPPETS.md #1).
+//
+// Two key families per stored string s, both hashed to 64-bit keys in one
+// inverted index:
+//
+//   * Piece keys (the Hamming / no-indel case): s is split into 2k+1
+//     contiguous pieces, keyed by (length, piece index, piece content).
+//     An OSA script with no insertions or deletions preserves length and
+//     touches at most 2k positions (a substitution touches 1, an adjacent
+//     transposition 2), so at least one of the 2k+1 pieces is untouched
+//     and matches the other string's same piece exactly.  Emitted only
+//     when every piece is long enough to be selective (short pieces are
+//     shared by whole equal-length cohorts); the gate depends only on
+//     (length, k), so append and probe always agree on it.
+//
+//   * Deletion keys (the general case, FastSS-style): every variant of s
+//     with up to k characters deleted, keyed by variant content.  Any
+//     OSA script of <= k ops is neutralized by <= k deletions per side —
+//     delete the inserted/deleted character on its own side and, for each
+//     substitution or transposition, one character on each side — after
+//     which both sides' variants are equal.  This family alone is a
+//     complete cover of { (s, t) : OSA(s, t) <= k }; the piece family is
+//     the cheaper, more selective probe for the dominant substitution
+//     case.  Candidates are the deduplicated union.
+//
+// Because generation can only over-approximate (hash collisions and piece
+// false-sharers surface extra candidates; the families never miss a true
+// pair), the downstream FBF filter + verifier produce exactly the dense
+// generator's match set — the zero-false-negative property tests pin this
+// across layouts, k, thread counts and incremental appends.
+//
+// Storage is a CSR bit-packed postings list (PackedPostings): sorted
+// 64-bit key hashes, an offset table, and ids packed at
+// ceil(log2(max_id+1)) bits — ~20 bits per id at a million rows, the
+// snippet's own improvement note — rebuilt deterministically on compact.
+// Incremental appends land in a small overflow tier (hash map) probed
+// alongside the frozen CSR base and folded in when it grows past a
+// fraction of the base, so ingest never rebuilds per record.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/candidate_generator.hpp"
+
+namespace fbf::core {
+
+/// One postings entry: a key hash and the id stored under it.
+struct PostingEntry {
+  std::uint64_t hash = 0;
+  std::uint32_t id = 0;
+};
+
+/// Immutable CSR postings store with bit-packed ids.  Keys are sorted
+/// unique 64-bit hashes; key i's ids live at packed positions
+/// [offset(i), offset(i+1)), ascending.  Ids are packed at
+/// max(1, bit_width(max_id)) bits, so the store widens automatically past
+/// 2^20 ids (round-trip property-tested at the boundary).
+class PackedPostings {
+ public:
+  /// Replaces the contents.  `entries` is sorted and deduplicated here;
+  /// the result is a pure function of the entry multiset, independent of
+  /// input order (deterministic across build thread counts).
+  void build(std::vector<PostingEntry> entries);
+
+  struct Range {
+    std::size_t begin = 0;
+    std::size_t end = 0;  ///< one past the last packed position
+  };
+
+  /// Packed position range for `hash`; empty range when absent.
+  [[nodiscard]] Range find(std::uint64_t hash) const noexcept;
+
+  /// Id at packed position `pos` (< entry_count()).
+  [[nodiscard]] std::uint32_t id_at(std::size_t pos) const noexcept;
+
+  [[nodiscard]] std::size_t key_count() const noexcept {
+    return keys_.size();
+  }
+  [[nodiscard]] std::uint64_t key_at(std::size_t i) const noexcept {
+    return keys_[i];
+  }
+  [[nodiscard]] Range range_at(std::size_t i) const noexcept {
+    return {offsets_[i], offsets_[i + 1]};
+  }
+  [[nodiscard]] std::size_t entry_count() const noexcept { return count_; }
+  [[nodiscard]] int bits_per_id() const noexcept { return bits_per_id_; }
+
+ private:
+  std::vector<std::uint64_t> keys_;     ///< sorted unique key hashes
+  std::vector<std::uint64_t> offsets_;  ///< key i -> [offsets_[i], offsets_[i+1])
+  std::vector<std::uint64_t> bits_;     ///< bit-packed ids
+  /// Radix acceleration over the (uniform) key hashes: bucket b covers
+  /// keys_[bucket_starts_[b], bucket_starts_[b + 1]), making find() an
+  /// expected O(1) scan.
+  std::vector<std::size_t> bucket_starts_;
+  int bucket_shift_ = 63;
+  int bits_per_id_ = 1;
+  std::size_t count_ = 0;
+};
+
+/// Diagnostics for benches and the selectivity accounting.
+struct BlockIndexStats {
+  std::size_t entries = 0;        ///< postings entries in the CSR base
+  std::size_t keys = 0;           ///< distinct key hashes in the base
+  int bits_per_id = 1;            ///< packed id width
+  std::size_t overflow_entries = 0;  ///< entries awaiting compaction
+  std::size_t long_strings = 0;   ///< always-candidate escape hatch size
+  std::size_t compactions = 0;    ///< overflow folds into the base
+};
+
+class BlockIndexGenerator final : public CandidateGenerator {
+ public:
+  explicit BlockIndexGenerator(int k);
+  /// Bulk build: key generation fans across `threads`; the CSR pack is
+  /// sequential and deterministic.
+  BlockIndexGenerator(int k, std::span<const std::string> values,
+                      std::size_t threads = 1);
+
+  /// True when the pigeonhole construction is sound and affordable for
+  /// `k` (k in [0, 2]; larger k explodes the deletion neighborhood and
+  /// consumers fall back to the dense generator).
+  [[nodiscard]] static bool supported(int k) noexcept {
+    return k >= 0 && k <= 2;
+  }
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "block-index";
+  }
+  [[nodiscard]] bool indexed() const noexcept override { return true; }
+  [[nodiscard]] std::size_t size() const noexcept override { return size_; }
+  [[nodiscard]] int k() const noexcept { return k_; }
+
+  void append(std::string_view value) override;
+  /// Bulk append with parallel key generation; folds the overflow tier
+  /// into the CSR base afterwards.
+  void append(std::span<const std::string> values, std::size_t threads = 1);
+
+  void generate(std::string_view query,
+                std::vector<std::uint32_t>& out) const override;
+
+  /// Folds the overflow tier into the CSR base (also runs automatically
+  /// when the overflow outgrows a fraction of the base).
+  void compact();
+
+  [[nodiscard]] BlockIndexStats stats() const noexcept;
+
+ private:
+  void insert_keys(std::span<const std::uint64_t> keys, std::uint32_t id);
+  void maybe_compact();
+
+  int k_ = 1;
+  std::size_t size_ = 0;
+  PackedPostings base_;
+  /// Incremental tier: key hash -> ids appended since the last compact.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> overflow_;
+  std::size_t overflow_entries_ = 0;
+  /// Ids of strings too long to enumerate deletion variants for; they are
+  /// unconditional candidates (sound and cheap — such strings are rare).
+  std::vector<std::uint32_t> long_ids_;
+  std::size_t compactions_ = 0;
+};
+
+}  // namespace fbf::core

@@ -156,6 +156,7 @@ std::size_t CandidatePipeline::filter_batched(
       bitmap_words(width), kernel_);
 
   if (eligible == nullptr && !config_.use_length) {
+    counters.candidates_generated += width;
     counters.fbf_evaluated += width;
     counters.fbf_pass += survivors;
     return survivors;
@@ -204,6 +205,7 @@ std::size_t CandidatePipeline::filter_block(
         tail_bound, config_.prune_planes, bitmaps + base_q * bitmap_stride,
         bitmap_stride, kernel_);
     if (eligible == nullptr && !config_.use_length) {
+      counters.candidates_generated += width * m;
       counters.fbf_evaluated += width * m;
       counters.fbf_pass += raw;
       total += raw;
@@ -236,6 +238,8 @@ std::size_t CandidatePipeline::apply_pre_gates(
     if (eligible != nullptr) {
       pre &= eligible[w];
     }
+    counters.candidates_generated +=
+        static_cast<std::uint64_t>(std::popcount(pre));
     if (config_.use_length) {
       std::uint64_t len_bits = 0;
       for (std::size_t b = 0; b < lanes; ++b) {
@@ -270,6 +274,7 @@ std::size_t CandidatePipeline::filter_per_pair(
         (eligible[lane / 64] >> (lane % 64) & 1) == 0) {
       continue;
     }
+    ++counters.candidates_generated;
     if (config_.use_length) {
       if (!m::length_filter_pass(q.length, classic_lengths_[j], config_.k)) {
         continue;
@@ -286,6 +291,103 @@ std::size_t CandidatePipeline::filter_per_pair(
     ++survivors;
   }
   return survivors;
+}
+
+std::size_t CandidatePipeline::filter_ids(
+    const Query& q, std::span<const std::uint32_t> ids,
+    std::vector<std::uint32_t>& survivors,
+    PipelineCounters& counters) const {
+  counters.candidates_generated += ids.size();
+  if (!batched_) {
+    std::size_t appended = 0;
+    for (const std::uint32_t id : ids) {
+      if (config_.use_length) {
+        if (!m::length_filter_pass(q.length, classic_lengths_[id],
+                                   config_.k)) {
+          continue;
+        }
+        ++counters.length_pass;
+      }
+      ++counters.fbf_evaluated;
+      if (find_diff_bits(q.sig, classic_[id], config_.popcount) >
+          2 * config_.k) {
+        continue;
+      }
+      ++counters.fbf_pass;
+      survivors.push_back(id);
+      ++appended;
+    }
+    return appended;
+  }
+
+  // Gather the candidates' packed plane words into aligned scratch and run
+  // the same blocked kernel as the tile sweep (one query, gathered lanes).
+  // The scratch tail is zeroed out to the kernel's 8-word granularity so
+  // its over-read stays defined; zero lanes are masked off below.
+  constexpr std::size_t kGather = 256;
+  static_assert(kGather % 64 == 0);
+  alignas(64) std::uint64_t g0[kGather];
+  alignas(64) std::uint64_t g1[kGather];
+  std::uint64_t bitmap[kGather / 64];
+  const bool two_words = packed_.words() == 2;
+  const std::uint64_t* p0 = packed_.plane(0);
+  const std::uint64_t* p1 = two_words ? packed_.plane(1) : nullptr;
+  const std::uint32_t* len = packed_.lengths();
+  const std::uint64_t qw0 = q.w0;
+  const std::uint64_t qw1 = q.w1;
+  std::size_t appended = 0;
+  for (std::size_t base = 0; base < ids.size(); base += kGather) {
+    const std::size_t n = std::min(kGather, ids.size() - base);
+    const std::size_t padded = (n + 7) / 8 * 8;
+    for (std::size_t i = 0; i < n; ++i) {
+      g0[i] = p0[ids[base + i]];
+    }
+    for (std::size_t i = n; i < padded; ++i) {
+      g0[i] = 0;
+    }
+    if (two_words) {
+      for (std::size_t i = 0; i < n; ++i) {
+        g1[i] = p1[ids[base + i]];
+      }
+      for (std::size_t i = n; i < padded; ++i) {
+        g1[i] = 0;
+      }
+    }
+    fbf::core::filter_block(&qw0, two_words ? &qw1 : nullptr, 1, g0,
+                            two_words ? g1 : nullptr, n, 2 * config_.k,
+                            packed_.max_tail_popcount(), config_.prune_planes,
+                            bitmap, bitmap_words(n), kernel_);
+    for (std::size_t w = 0; w < bitmap_words(n); ++w) {
+      const std::size_t lane_base = w * 64;
+      const std::size_t lanes = std::min<std::size_t>(64, n - lane_base);
+      std::uint64_t pre = lanes == 64 ? ~std::uint64_t{0}
+                                      : (std::uint64_t{1} << lanes) - 1;
+      if (config_.use_length) {
+        std::uint64_t len_bits = 0;
+        for (std::size_t b = 0; b < lanes; ++b) {
+          len_bits |= static_cast<std::uint64_t>(m::length_filter_pass(
+                          q.length, len[ids[base + lane_base + b]],
+                          config_.k))
+                      << b;
+        }
+        counters.length_pass +=
+            static_cast<std::uint64_t>(std::popcount(len_bits & pre));
+        pre &= len_bits;
+      }
+      counters.fbf_evaluated +=
+          static_cast<std::uint64_t>(std::popcount(pre));
+      std::uint64_t bits = bitmap[w] & pre;
+      counters.fbf_pass += static_cast<std::uint64_t>(std::popcount(bits));
+      while (bits != 0) {
+        const std::size_t lane =
+            lane_base + static_cast<std::size_t>(std::countr_zero(bits));
+        survivors.push_back(ids[base + lane]);
+        ++appended;
+        bits &= bits - 1;
+      }
+    }
+  }
+  return appended;
 }
 
 bool CandidatePipeline::verify(std::string_view a, std::string_view b,

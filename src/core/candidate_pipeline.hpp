@@ -22,11 +22,16 @@
 // without repacking (amortized growth in PackedSignatureStore).
 //
 // Counter semantics (shared by batched and fallback paths, property-
-// tested): length_pass counts pairs passing the length filter;
-// fbf_evaluated is charged only for pairs that reached the FBF stage
-// (ladder order: length — or an external eligibility mask — first);
-// fbf_pass counts pairs surviving both; verify_calls counts verifier
-// invocations.  Both paths produce bit-identical survivor sets.
+// tested): candidates_generated counts pairs the generate stage put into
+// the cascade (post-eligibility, pre-length — the dense sweep charges
+// every eligible lane, filter_ids charges every generated id);
+// length_pass counts pairs passing the length filter; fbf_evaluated is
+// charged only for pairs that reached the FBF stage (ladder order:
+// length — or an external eligibility mask — first); fbf_pass counts
+// pairs surviving both; verify_calls counts verifier invocations.  The
+// ladder is monotone: candidates_generated >= length input >=
+// fbf_evaluated >= fbf_pass >= verify-driven work.  Both paths produce
+// bit-identical survivor sets.
 #pragma once
 
 #include <bit>
@@ -65,12 +70,14 @@ struct PipelineConfig {
 
 /// Per-stage counters, merged additively across tiles / chunks / shards.
 struct PipelineCounters {
+  std::uint64_t candidates_generated = 0;
   std::uint64_t length_pass = 0;
   std::uint64_t fbf_evaluated = 0;
   std::uint64_t fbf_pass = 0;
   std::uint64_t verify_calls = 0;
 
   void merge(const PipelineCounters& other) noexcept {
+    candidates_generated += other.candidates_generated;
     length_pass += other.length_pass;
     fbf_evaluated += other.fbf_evaluated;
     fbf_pass += other.fbf_pass;
@@ -168,6 +175,21 @@ class CandidatePipeline {
                            std::size_t end, const std::uint64_t* eligible,
                            std::uint64_t* bitmaps, std::size_t bitmap_stride,
                            PipelineCounters& counters) const;
+
+  /// Filters an explicit candidate id list — the output of an indexed
+  /// CandidateGenerator — against `q`, appending surviving ids to
+  /// `survivors` in ascending order and returning how many were appended.
+  /// In batched mode the candidates' packed plane words are gathered into
+  /// aligned scratch and pushed through the same filter_block kernel as
+  /// the tile sweep; fallback mode runs the per-pair predicate.  Ladder
+  /// semantics match filter(): every id charges candidates_generated,
+  /// then the length filter (when configured) and FBF charge as usual —
+  /// so dense-vs-indexed runs differ only in candidates_generated and in
+  /// stages the skipped ids would have failed anyway.  `ids` must be
+  /// sorted ascending, duplicate-free, and all < size().
+  std::size_t filter_ids(const Query& q, std::span<const std::uint32_t> ids,
+                         std::vector<std::uint32_t>& survivors,
+                         PipelineCounters& counters) const;
 
   // -- verify stage -----------------------------------------------------
 

@@ -4,6 +4,8 @@
 #include <functional>
 #include <optional>
 
+#include "core/block_index.hpp"
+#include "core/candidate_generator.hpp"
 #include "core/candidate_pipeline.hpp"
 #include "metrics/damerau.hpp"
 #include "metrics/hamming.hpp"
@@ -178,10 +180,64 @@ void run_pipeline_tile(const CandidatePipeline& pipe_left,
           });
     }
   }
+  local.candidates_generated += counters.candidates_generated;
   local.length_pass += counters.length_pass;
   local.fbf_evaluated += counters.fbf_evaluated;
   local.fbf_pass += counters.fbf_pass;
   local.verify_calls += counters.verify_calls;
+}
+
+/// Indexed FBF join body: probe the block index per left row, gather-
+/// filter the candidate ids through the right pipeline, verify survivors.
+/// Left rows are the parallel work unit (contiguous chunks); per-chunk
+/// stats merge in chunk order, and matches sort afterwards, so output is
+/// identical for any thread count — and, by the generator soundness
+/// contract, identical to the dense tile sweep's.
+void run_indexed_join(const BlockIndexGenerator& gen,
+                      const CandidatePipeline& pipe_left,
+                      const CandidatePipeline& pipe_right,
+                      std::span<const std::string> left,
+                      std::span<const std::string> right,
+                      std::size_t threads, bool collect, JoinStats& stats) {
+  const std::size_t n_chunks =
+      std::max<std::size_t>(1, std::min(threads, left.size()));
+  stats.tiles = n_chunks;
+  std::vector<JoinStats> chunk_stats(n_chunks);
+  fbf::util::parallel_chunks(
+      left.size(), threads,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        JoinStats& local = chunk_stats[chunk];
+        PipelineCounters counters;
+        std::vector<std::uint32_t> ids;
+        std::vector<std::uint32_t> survivors;
+        for (std::size_t i = begin; i < end; ++i) {
+          ids.clear();
+          gen.generate(left[i], ids);
+          survivors.clear();
+          pipe_right.filter_ids(pipe_left.row_query(i), ids, survivors,
+                                counters);
+          for (const std::uint32_t j : survivors) {
+            if (pipe_right.verify(left[i], right[j], counters)) {
+              ++local.matches;
+              if (i == j) {
+                ++local.diagonal_matches;
+              }
+              if (collect) {
+                local.match_pairs.emplace_back(static_cast<std::uint32_t>(i),
+                                               j);
+              }
+            }
+          }
+        }
+        local.candidates_generated += counters.candidates_generated;
+        local.length_pass += counters.length_pass;
+        local.fbf_evaluated += counters.fbf_evaluated;
+        local.fbf_pass += counters.fbf_pass;
+        local.verify_calls += counters.verify_calls;
+      });
+  for (const JoinStats& local : chunk_stats) {
+    stats.merge_counts(local);
+  }
 }
 
 bool verify_dl(std::string_view s, std::string_view t, int k) {
@@ -194,6 +250,7 @@ bool verify_pdl(std::string_view s, std::string_view t, int k) {
 }  // namespace
 
 void JoinStats::merge_counts(const JoinStats& other) {
+  candidates_generated += other.candidates_generated;
   length_pass += other.length_pass;
   fbf_evaluated += other.fbf_evaluated;
   fbf_pass += other.fbf_pass;
@@ -221,6 +278,7 @@ JoinStats match_strings(std::span<const std::string> left,
   // per layout and popcount strategy); Soundex pre-encodes both lists.
   std::optional<CandidatePipeline> pipe_left;
   std::optional<CandidatePipeline> pipe_right;
+  std::optional<BlockIndexGenerator> block_gen;
   std::vector<std::string> sdx_left;
   std::vector<std::string> sdx_right;
   if (uses_fbf) {
@@ -236,6 +294,19 @@ JoinStats match_strings(std::span<const std::string> left,
     pipe_right.emplace(pcfg, right, config.threads);
     stats.signature_gen_ms = pipe_left->build_ms() + pipe_right->build_ms();
     stats.kernel = pipe_right->kernel_name();
+    // Soundness gate for indexed generation: the block index covers
+    // { OSA <= k }, not the FBF pass-set, so filter-only methods
+    // (Verifier::kNone reports survivors as matches) must stay dense —
+    // as must k outside the supported pigeonhole range.  The gate runs
+    // after the FBF_FORCE_GENERATOR override so forcing "block" can
+    // never change answers, only engage the index where it is sound.
+    if (select_generator(config.generator) == GeneratorKind::kBlockIndex &&
+        verifier != Verifier::kNone && BlockIndexGenerator::supported(k)) {
+      const fbf::util::Stopwatch index_timer;
+      block_gen.emplace(k, right, config.threads);
+      stats.signature_gen_ms += index_timer.elapsed_ms();
+      stats.generator = block_gen->name();
+    }
   } else if (config.method == Method::kSoundex) {
     const fbf::util::Stopwatch gen_timer;
     sdx_left.reserve(left.size());
@@ -298,6 +369,11 @@ JoinStats match_strings(std::span<const std::string> left,
     default: {
       if (uses_fbf) {
         const bool collect = config.collect_matches;
+        if (block_gen) {
+          run_indexed_join(*block_gen, *pipe_left, *pipe_right, left, right,
+                           config.threads, collect, stats);
+          break;
+        }
         run_tile_space(left.size(), right.size(), config.threads, affinity,
                        stats, [&] {
                          return [&, collect](std::size_t i0, std::size_t i1,

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/exec_policy.hpp"
 #include "core/method.hpp"
 #include "core/signature.hpp"
 #include "util/bitops.hpp"
@@ -60,6 +61,16 @@ struct JoinConfig {
   /// Tile-ownership schedule; kAuto is a graceful no-op on single-node
   /// machines (the shared queue is better there — no pinning overhead).
   TileAffinity affinity = TileAffinity::kAuto;
+  /// Candidate generation strategy for FBF methods (DESIGN.md §14).
+  /// kBlockIndex builds a pigeonhole block / deletion-neighborhood index
+  /// over the right side and probes it per left row instead of sweeping
+  /// tiles — sub-quadratic when matches are sparse.  It engages only
+  /// where provably sound (a real verifier runs and
+  /// BlockIndexGenerator::supported(k)); otherwise the join silently
+  /// runs dense.  FBF_FORCE_GENERATOR overrides the request the same way
+  /// FBF_FORCE_KERNEL picks the filter kernel.  Match sets are
+  /// generator-independent by contract (property-tested).
+  GeneratorKind generator = GeneratorKind::kDense;
 };
 
 /// Tile shape of the 2D pair-space walk (rows of S x columns of T).
@@ -79,6 +90,11 @@ inline constexpr std::size_t kTileCols = 256;
 /// Per-stage counters and timings for one join.
 struct JoinStats {
   std::uint64_t pairs = 0;             ///< |S| * |T|
+  /// Pairs the generate stage admitted into the cascade: |S| * |T| for
+  /// the dense sweep, the sum of per-query candidate-list lengths for an
+  /// indexed generator.  Top rung of the counter ladder; its ratio to
+  /// `pairs` is the generator's selectivity.
+  std::uint64_t candidates_generated = 0;
   std::uint64_t length_pass = 0;       ///< survivors of the length filter
   std::uint64_t fbf_evaluated = 0;     ///< FindDiffBits invocations
   std::uint64_t fbf_pass = 0;          ///< survivors of the FBF filter
@@ -89,6 +105,7 @@ struct JoinStats {
   double join_ms = 0.0;                ///< pair-evaluation wall time
   std::uint64_t tiles = 0;             ///< parallel work units scheduled
   const char* kernel = "pair-scalar";  ///< filter kernel variant used
+  const char* generator = "dense";     ///< candidate generator that ran
   bool affinity_schedule = false;      ///< row-ownership schedule ran
   /// Matching (i, j) pairs when collect_matches is set.  Ordering
   /// guarantee: sorted ascending by (i, j) after the parallel merge, so

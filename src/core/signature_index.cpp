@@ -1,5 +1,8 @@
 #include "core/signature_index.hpp"
 
+#include <algorithm>
+
+#include "core/block_index.hpp"
 #include "core/candidate_pipeline.hpp"
 #include "core/match_join.hpp"
 #include "util/timer.hpp"
@@ -119,20 +122,86 @@ void SignatureIndex::query(const Signature& sig,
   }
 }
 
+void SignatureIndex::insert(std::string_view value) {
+  const auto spec = pack_spec(cls_, alpha_words_);
+  const Signature sig = make_signature(value, cls_, alpha_words_);
+  buckets_[pack_words(sig, *spec)].push_back(
+      static_cast<std::uint32_t>(indexed_++));
+}
+
 std::uint64_t SignatureIndex::pack(const Signature& sig) const noexcept {
   const auto spec = pack_spec(cls_, alpha_words_);
   return pack_words(sig, *spec);
 }
 
+std::optional<SignatureProbeGenerator> SignatureProbeGenerator::create(
+    FieldClass cls, int alpha_words, int k) {
+  auto index = SignatureIndex::build({}, cls, alpha_words, k);
+  if (!index) {
+    return std::nullopt;
+  }
+  return SignatureProbeGenerator(std::move(*index), cls, alpha_words);
+}
+
+void SignatureProbeGenerator::append(std::string_view value) {
+  index_.insert(value);
+  ++size_;
+}
+
+void SignatureProbeGenerator::generate(std::string_view query,
+                                       std::vector<std::uint32_t>& out) const {
+  const auto start = static_cast<std::ptrdiff_t>(out.size());
+  index_.query(make_signature(query, cls_, alpha_words_), out);
+  // Bucket probes never repeat an id (one bucket per id, distinct
+  // masks); only the ascending-order half of the contract needs work.
+  std::sort(out.begin() + start, out.end());
+}
+
 std::optional<IndexJoinStats> match_strings_indexed(
     std::span<const std::string> left, std::span<const std::string> right,
-    FieldClass cls, int k, int alpha_words) {
+    FieldClass cls, int k, int alpha_words, GeneratorKind generator) {
   PipelineConfig pcfg;
   pcfg.field_class = cls;
   pcfg.alpha_words = alpha_words;
   pcfg.k = k;
   pcfg.use_length = false;
   pcfg.verifier = Verifier::kPdl;
+
+  // Block-index generation keys on string content, not signature bits, so
+  // it accepts every layout the probe index refuses — and kPdl always
+  // verifies, so the soundness gate reduces to supported(k).
+  if (select_generator(generator) == GeneratorKind::kBlockIndex &&
+      BlockIndexGenerator::supported(k)) {
+    const fbf::util::Stopwatch block_build_timer;
+    const BlockIndexGenerator gen(k, right);
+    const CandidatePipeline pipe(pcfg, right);
+    IndexJoinStats stats;
+    stats.build_ms = block_build_timer.elapsed_ms();
+    stats.pairs = static_cast<std::uint64_t>(left.size()) * right.size();
+    stats.path = "block-index";
+    const fbf::util::Stopwatch block_join_timer;
+    PipelineCounters counters;
+    std::vector<std::uint32_t> ids;
+    std::vector<std::uint32_t> survivors;
+    for (std::uint32_t i = 0; i < left.size(); ++i) {
+      ids.clear();
+      survivors.clear();
+      gen.generate(left[i], ids);
+      pipe.filter_ids(pipe.make_query(left[i]), ids, survivors, counters);
+      for (const std::uint32_t j : survivors) {
+        if (pipe.verify(left[i], right[j], counters)) {
+          ++stats.matches;
+          if (i == j) {
+            ++stats.diagonal_matches;
+          }
+        }
+      }
+    }
+    stats.candidates = counters.candidates_generated;
+    stats.verify_calls = counters.verify_calls;
+    stats.join_ms = block_join_timer.elapsed_ms();
+    return stats;
+  }
 
   const fbf::util::Stopwatch build_timer;
   auto index = SignatureIndex::build(right, cls, alpha_words, k);

@@ -21,9 +21,12 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "core/candidate_generator.hpp"
 #include "core/signature.hpp"
 
 namespace fbf::core {
@@ -44,6 +47,10 @@ class SignatureIndex {
   /// bucket (keyed by its full signature) and every probe mask is
   /// distinct, so no bucket is visited twice.
   void query(const Signature& sig, std::vector<std::uint32_t>& out) const;
+
+  /// Appends one string; its id is the append position.  The layout was
+  /// validated at build() time, so insertion never fails.
+  void insert(std::string_view value);
 
   /// Bucket-probe count per query (diagnostics).
   [[nodiscard]] std::size_t probes_per_query() const noexcept {
@@ -68,30 +75,69 @@ class SignatureIndex {
   int alpha_words_ = kDefaultAlphaWords;
 };
 
+/// CandidateGenerator adapter over the XOR-ball bucket probes.  The
+/// generated set is the FBF pass-set, which is a superset of
+/// { j : OSA(query, t_j) <= k } by FBF soundness — so the adapter slots
+/// into any generate→filter→verify consumer and into the unified bench
+/// harness alongside the block index and the tree generators.  create()
+/// returns nullopt exactly where SignatureIndex::build would refuse the
+/// layout / threshold.
+class SignatureProbeGenerator final : public CandidateGenerator {
+ public:
+  static std::optional<SignatureProbeGenerator> create(
+      FieldClass cls, int alpha_words, int k);
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "sig-probe";
+  }
+  [[nodiscard]] bool indexed() const noexcept override { return true; }
+  [[nodiscard]] std::size_t size() const noexcept override { return size_; }
+  void append(std::string_view value) override;
+  void generate(std::string_view query,
+                std::vector<std::uint32_t>& out) const override;
+
+ private:
+  SignatureProbeGenerator(SignatureIndex index, FieldClass cls,
+                          int alpha_words)
+      : index_(std::move(index)), cls_(cls), alpha_words_(alpha_words) {}
+
+  SignatureIndex index_;
+  FieldClass cls_;
+  int alpha_words_;
+  std::size_t size_ = 0;
+};
+
 /// Statistics from an index-accelerated join.
 struct IndexJoinStats {
   std::uint64_t pairs = 0;          ///< |S| * |T| (for comparison)
-  std::uint64_t candidates = 0;     ///< pairs surfaced by the filter stage
+  /// Pairs surfaced by the generate stage (the candidates_generated rung
+  /// of the counter ladder): bucket-probe hits, block-index hits, or the
+  /// full tile sweep's FBF survivors depending on `path`.
+  std::uint64_t candidates = 0;
   std::uint64_t verify_calls = 0;   ///< PDL invocations
   std::uint64_t matches = 0;
   std::uint64_t diagonal_matches = 0;
   double build_ms = 0.0;
   double join_ms = 0.0;
-  /// Candidate generation used: "index-probe" (bucket probes) or
-  /// "tile-scan" (batched pipeline sweep when the index refuses the
+  /// Candidate generation used: "index-probe" (bucket probes),
+  /// "block-index" (pigeonhole block / deletion-neighborhood index), or
+  /// "tile-scan" (batched pipeline sweep when the probe index refuses the
   /// layout/threshold but the packed kernel still applies).
   const char* path = "index-probe";
 };
 
 /// The FPDL join with index-based candidate generation.  Produces exactly
 /// the same matches as the scan join (Method::kFpdl); verification runs
-/// through the shared CandidatePipeline.  When the index refuses the
-/// layout/threshold (alphanumeric, k >= 3 on alpha) but the batched
-/// kernel applies, the join degrades to a pipeline tile-scan
-/// (path = "tile-scan") instead of failing.  Returns nullopt only when
-/// neither acceleration applies (alpha l >= 3).
+/// through the shared CandidatePipeline.  `generator` = kBlockIndex
+/// routes candidate generation through BlockIndexGenerator (any layout,
+/// k <= 2; path = "block-index"); the default probes the signature
+/// index.  When the probe index refuses the layout/threshold
+/// (alphanumeric, k >= 3 on alpha) but the batched kernel applies, the
+/// join degrades to a pipeline tile-scan (path = "tile-scan") instead of
+/// failing.  Returns nullopt only when no acceleration applies.
 [[nodiscard]] std::optional<IndexJoinStats> match_strings_indexed(
     std::span<const std::string> left, std::span<const std::string> right,
-    FieldClass cls, int k, int alpha_words = kDefaultAlphaWords);
+    FieldClass cls, int k, int alpha_words = kDefaultAlphaWords,
+    GeneratorKind generator = GeneratorKind::kDense);
 
 }  // namespace fbf::core

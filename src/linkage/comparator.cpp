@@ -108,6 +108,7 @@ double score_pair(const PersonRecord& a, const PersonRecord& b,
       case FieldStrategy::kFpdl:
       case FieldStrategy::kFbfOnly: {
         const auto idx = static_cast<std::size_t>(rule.field);
+        ++counters.candidates_generated;
         ++counters.fbf_evaluations;
         if (!c::CandidatePipeline::pair_pass(sa->sigs[idx], sb->sigs[idx],
                                              rule.k)) {

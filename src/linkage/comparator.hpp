@@ -70,6 +70,12 @@ struct RecordSignatures {
 /// Counters accumulated while scoring record pairs.
 struct CompareCounters {
   std::uint64_t field_comparisons = 0;
+  /// Field pairs the generate stage admitted into an FBF rule's cascade.
+  /// Equals fbf_evaluations under dense generation (every eligible pair
+  /// enters and is evaluated); under an indexed generator both drop
+  /// together to the candidate-list size, and the dense-vs-indexed gap in
+  /// this counter is the index's saving.
+  std::uint64_t candidates_generated = 0;
   std::uint64_t fbf_evaluations = 0;
   std::uint64_t verify_calls = 0;
 };

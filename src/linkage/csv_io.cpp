@@ -48,6 +48,36 @@ std::string parse_person_row(u::CsvRow& row, PersonRecord& out) {
   return {};
 }
 
+/// Doubled-delimiter triage: an export that doubles a separator ("a,,b")
+/// inserts one spurious empty cell and shifts every later cell right, so
+/// the row grows one column per doubling.  When a row that failed to
+/// parse has more than 8 columns and *exactly* as many empty cells as
+/// surplus columns, dropping the empties restores the original shape
+/// unambiguously; any other empty-cell count could be legitimately
+/// missing data, so the row stays quarantined for the operator.  Returns
+/// true and fills `out` when the repaired row parses.
+bool try_repair_doubled_delimiters(const u::CsvRow& row, PersonRecord& out) {
+  if (row.size() <= 8) {
+    return false;
+  }
+  const std::size_t surplus = row.size() - 8;
+  std::size_t empties = 0;
+  for (const std::string& cell : row) {
+    empties += cell.empty() ? 1 : 0;
+  }
+  if (empties != surplus) {
+    return false;
+  }
+  u::CsvRow repaired;
+  repaired.reserve(8);
+  for (const std::string& cell : row) {
+    if (!cell.empty()) {
+      repaired.push_back(cell);
+    }
+  }
+  return parse_person_row(repaired, out).empty();
+}
+
 /// Shared loader; with `stop_on_first_bad` the scan ends at the first
 /// quarantined row (strict callers throw it away anyway — no point
 /// parsing, and allocating, the rest of a large dirty file).
@@ -65,6 +95,11 @@ u::Result<PersonCsvLoad> load_person_csv(std::istream& in,
     PersonRecord r;
     std::string reason = parse_person_row(*row, r);
     if (reason.empty()) {
+      load.records.push_back(std::move(r));
+    } else if (try_repair_doubled_delimiters(*row, r)) {
+      // parse_person_row only moves cells out after every check passes,
+      // so a failed row is intact for the repair attempt.
+      ++load.repaired;
       load.records.push_back(std::move(r));
     } else {
       load.quarantined.push_back(

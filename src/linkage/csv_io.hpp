@@ -41,6 +41,13 @@ struct PersonCsvLoad {
   std::vector<PersonRecord> records;
   std::vector<QuarantinedRow> quarantined;
   std::size_t rows_read = 0;  ///< data rows seen (header excluded)
+  /// Rows that initially failed to parse but were auto-repaired as
+  /// doubled-delimiter damage ("a,,b"): the row had more than 8 columns
+  /// and exactly as many empty cells as surplus columns, so dropping the
+  /// empties restores the original shape unambiguously.  Repaired rows
+  /// land in `records` at their original position (both load modes —
+  /// strict accepts them too); ambiguous rows stay quarantined.
+  std::size_t repaired = 0;
 
   [[nodiscard]] bool clean() const noexcept { return quarantined.empty(); }
 };

@@ -84,6 +84,8 @@ LinkStats finish(std::vector<ChunkResult>& chunks, std::uint64_t pairs,
     stats.true_positives += chunk.true_positives;
     stats.false_positives += chunk.false_positives;
     stats.counters.field_comparisons += chunk.counters.field_comparisons;
+    stats.counters.candidates_generated +=
+        chunk.counters.candidates_generated;
     stats.counters.fbf_evaluations += chunk.counters.fbf_evaluations;
     stats.counters.verify_calls += chunk.counters.verify_calls;
     stats.match_pairs.insert(stats.match_pairs.end(),
@@ -99,7 +101,15 @@ LinkStats finish(std::vector<ChunkResult>& chunks, std::uint64_t pairs,
 LinkageContext::LinkageContext(std::span<const PersonRecord> right,
                                const ComparatorConfig& comparator,
                                std::size_t threads)
-    : right_(right), bank_(comparator) {
+    : LinkageContext(right, comparator,
+                     core::ExecPolicy{.threads = threads}) {}
+
+LinkageContext::LinkageContext(std::span<const PersonRecord> right,
+                               const ComparatorConfig& comparator,
+                               const core::ExecPolicy& exec)
+    : right_(right),
+      bank_(comparator, RecordFilterOptions{.generator = exec.generator}) {
+  const std::size_t threads = exec.threads;
   const fbf::util::Stopwatch timer;
   const bool uses_fbf = config_uses_fbf(comparator);
   if (uses_fbf) {
@@ -146,7 +156,7 @@ LinkStats link_exhaustive(std::span<const PersonRecord> left,
                           std::span<const PersonRecord> right,
                           const LinkConfig& config) {
   if (config.exec.use_pipeline) {
-    const LinkageContext ctx(right, config.comparator, config.exec.threads);
+    const LinkageContext ctx(right, config.comparator, config.exec);
     LinkStats stats = link_exhaustive(left, ctx, config);
     stats.signature_gen_ms += ctx.gen_ms();
     return stats;

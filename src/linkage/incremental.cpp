@@ -13,7 +13,8 @@ EntityStore::EntityStore(ComparatorConfig comparator,
       options_(options),
       uses_fbf_(config_uses_fbf(comparator_)) {
   if (options_.exec.use_pipeline) {
-    bank_.emplace(comparator_);
+    bank_.emplace(comparator_,
+                  RecordFilterOptions{.generator = options_.exec.generator});
   }
 }
 
@@ -21,7 +22,8 @@ void EntityStore::rebuild_bank() {
   if (!options_.exec.use_pipeline) {
     return;
   }
-  bank_.emplace(comparator_);
+  bank_.emplace(comparator_,
+                RecordFilterOptions{.generator = options_.exec.generator});
   for (std::size_t i = 0; i < records_.size(); ++i) {
     bank_->append(records_[i], uses_fbf_ ? &signatures_[i] : nullptr);
   }
@@ -79,6 +81,7 @@ IngestStats EntityStore::ingest(std::span<const PersonRecord> batch) {
     stats.comparisons += static_cast<std::uint64_t>(batch.size()) *
                          store_size_at_start;
     for (const CompareCounters& counters : chunk_counters) {
+      stats.candidates_generated += counters.candidates_generated;
       stats.fbf_evaluations += counters.fbf_evaluations;
       stats.verify_calls += counters.verify_calls;
     }
@@ -102,6 +105,7 @@ IngestStats EntityStore::ingest(std::span<const PersonRecord> batch) {
           d.index = s;
         }
       }
+      stats.candidates_generated += counters.candidates_generated;
       stats.fbf_evaluations += counters.fbf_evaluations;
       stats.verify_calls += counters.verify_calls;
     }

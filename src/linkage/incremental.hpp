@@ -30,6 +30,9 @@ namespace fbf::linkage {
 struct IngestStats {
   std::uint64_t batch_size = 0;
   std::uint64_t comparisons = 0;     ///< record-vs-store evaluations
+  /// Field pairs admitted into FBF-rule cascades by the generate stage
+  /// (see CompareCounters::candidates_generated).
+  std::uint64_t candidates_generated = 0;
   std::uint64_t fbf_evaluations = 0;
   std::uint64_t verify_calls = 0;
   std::uint64_t merged = 0;        ///< records attached to an existing entity

@@ -34,6 +34,8 @@ namespace m = fbf::metrics;
 RecordFilterBank::RecordFilterBank(const ComparatorConfig& config,
                                    RecordFilterOptions options)
     : config_(config) {
+  const bool want_block = c::select_generator(options.generator) ==
+                          c::GeneratorKind::kBlockIndex;
   rules_.reserve(config_.rules.size());
   for (const FieldRule& rule : config_.rules) {
     RuleState state;
@@ -48,6 +50,13 @@ RecordFilterBank::RecordFilterBank(const ComparatorConfig& config,
       pcfg.popcount = options.popcount;
       pcfg.force_per_pair = options.force_per_pair;
       state.pipe.emplace(pcfg);
+      // Soundness gate per rule: the block index covers { OSA <= k },
+      // not the FBF pass-set, so kFbfOnly (survivors score directly)
+      // must stay dense; so must unsupported k.
+      if (want_block && pcfg.verifier != c::Verifier::kNone &&
+          c::BlockIndexGenerator::supported(rule.k)) {
+        state.gen.emplace(rule.k);
+      }
     }
     rules_.push_back(std::move(state));
   }
@@ -64,6 +73,9 @@ void RecordFilterBank::append(const PersonRecord& r,
     }
     if (!state.pipe.has_value()) {
       continue;
+    }
+    if (state.gen.has_value()) {
+      state.gen->append(value);
     }
     if (bit == 0) {
       state.nonempty.push_back(0);
@@ -121,10 +133,39 @@ void RecordFilterBank::score_all(const PersonRecord& incoming,
           incoming_sigs->sigs[static_cast<std::size_t>(rule.field)],
           static_cast<std::uint32_t>(va.size()));
       c::PipelineCounters pc;
+      if (state.gen.has_value()) {
+        // Indexed generation: probe the rule's block index, then apply
+        // the same pre-cascade eligibility the dense sweep applies —
+        // candidates past `count` (same-batch exclusion) or with the
+        // stored field missing are dropped before any counter charges.
+        scratch.ids.clear();
+        state.gen->generate(va, scratch.ids);
+        std::size_t kept = 0;
+        for (const std::uint32_t j : scratch.ids) {
+          if (j < count &&
+              (state.nonempty[j / 64] >> (j % 64) & 1) != 0) {
+            scratch.ids[kept++] = j;
+          }
+        }
+        scratch.ids.resize(kept);
+        scratch.survivors.clear();
+        pipe.filter_ids(q, scratch.ids, scratch.survivors, pc);
+        counters.candidates_generated += pc.candidates_generated;
+        counters.field_comparisons += pc.fbf_evaluated;
+        counters.fbf_evaluations += pc.fbf_evaluated;
+        for (const std::uint32_t j : scratch.survivors) {
+          if (pipe.verify(va, state.values[j], pc)) {
+            scratch.scores[j] += rule.weight;
+          }
+        }
+        counters.verify_calls += pc.verify_calls;
+        continue;
+      }
       pipe.filter(q, 0, count, state.nonempty.data(), scratch.bitmap.data(),
                   pc);
       // Every eligible (both-fields-present) lane is one field comparison
       // and one FBF evaluation, exactly like the scalar rule body.
+      counters.candidates_generated += pc.candidates_generated;
       counters.field_comparisons += pc.fbf_evaluated;
       counters.fbf_evaluations += pc.fbf_evaluated;
       c::CandidatePipeline::for_each_survivor(

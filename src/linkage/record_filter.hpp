@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "core/block_index.hpp"
 #include "core/candidate_pipeline.hpp"
 #include "linkage/comparator.hpp"
 #include "linkage/record.hpp"
@@ -43,6 +44,14 @@ struct RecordFilterOptions {
   /// Pin every rule to the classic per-pair scan (scalar baseline for
   /// equivalence tests and the popcount ablations).
   bool force_per_pair = false;
+  /// Candidate generation per FBF rule (DESIGN.md §14).  kBlockIndex
+  /// gives each verifying FBF rule a pigeonhole block / deletion-
+  /// neighborhood index over its stored field column, probed per incoming
+  /// record instead of sweeping every stored row; rules where that is
+  /// unsound (kFbfOnly scores survivors directly) or unsupported (k > 2)
+  /// stay dense.  Scores and match decisions are generator-independent
+  /// by contract.  FBF_FORCE_GENERATOR overrides.
+  fbf::core::GeneratorKind generator = fbf::core::GeneratorKind::kDense;
 };
 
 class RecordFilterBank {
@@ -61,10 +70,13 @@ class RecordFilterBank {
   /// Kernel of the first FBF rule ("pair-scalar" when there are none).
   [[nodiscard]] const char* kernel_name() const noexcept;
 
-  /// Reusable per-thread buffers for score_all (scores + survivor bitmap).
+  /// Reusable per-thread buffers for score_all (scores, survivor bitmap,
+  /// and the indexed-generation id lists).
   struct Scratch {
     std::vector<double> scores;
     std::vector<std::uint64_t> bitmap;
+    std::vector<std::uint32_t> ids;
+    std::vector<std::uint32_t> survivors;
   };
 
   /// Scores `incoming` against stored records [0, count) — `stored` is the
@@ -88,6 +100,10 @@ class RecordFilterBank {
   struct RuleState {
     FieldRule rule;
     std::optional<fbf::core::CandidatePipeline> pipe;
+    /// Engaged when the bank's generator is kBlockIndex and the rule
+    /// verifies (kFdl / kFpdl with supported k): score_all probes it and
+    /// filters the generated ids instead of sweeping [0, count).
+    std::optional<fbf::core::BlockIndexGenerator> gen;
     std::vector<std::uint64_t> nonempty;  ///< stored-side field non-empty
     std::vector<std::string> values;      ///< stored-side field column
     std::vector<std::string> codes;       ///< Soundex codes (kSoundex only)

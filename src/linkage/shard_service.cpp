@@ -106,7 +106,10 @@ ShardLinkService::ShardLinkService(LinkConfig config,
 const LinkageContext& ShardLinkService::broadcast_context() {
   const std::scoped_lock lock(mu_);
   if (!broadcast_.has_value()) {
-    broadcast_.emplace(right_, config_.comparator, config_.exec.threads);
+    // Full ExecPolicy so the per-shard context inherits the configured
+    // candidate generator; a rebalance handoff tears the service down and
+    // the replacement shard lazily rebuilds its index here.
+    broadcast_.emplace(right_, config_.comparator, config_.exec);
   }
   return *broadcast_;
 }

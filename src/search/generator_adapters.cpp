@@ -1,0 +1,46 @@
+#include "search/generator_adapters.hpp"
+
+#include <algorithm>
+
+namespace fbf::search {
+
+BkTreeGenerator::BkTreeGenerator(int k, std::span<const std::string> values)
+    : k_(k) {
+  for (const std::string& v : values) {
+    append(v);
+  }
+}
+
+void BkTreeGenerator::append(std::string_view value) {
+  tree_.insert(value, static_cast<std::uint32_t>(size_++));
+}
+
+void BkTreeGenerator::generate(std::string_view query,
+                               std::vector<std::uint32_t>& out) const {
+  const auto start = static_cast<std::ptrdiff_t>(out.size());
+  tree_.query(query, k_, out);
+  // The tree visits each node at most once, so ids are already unique;
+  // sort restores the contract's ascending order.
+  std::sort(out.begin() + start, out.end());
+}
+
+TrieGenerator::TrieGenerator(int k, std::span<const std::string> values)
+    : k_(k) {
+  for (const std::string& v : values) {
+    append(v);
+  }
+}
+
+void TrieGenerator::append(std::string_view value) {
+  trie_.insert(value, static_cast<std::uint32_t>(size_++));
+}
+
+void TrieGenerator::generate(std::string_view query,
+                             std::vector<std::uint32_t>& out) const {
+  const auto start = static_cast<std::ptrdiff_t>(out.size());
+  trie_.query(query, k_, out);
+  // Each id lives at exactly one terminal node, visited once by the DFS.
+  std::sort(out.begin() + start, out.end());
+}
+
+}  // namespace fbf::search

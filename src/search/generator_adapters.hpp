@@ -1,0 +1,67 @@
+// CandidateGenerator adapters over the metric-space baselines (DESIGN.md
+// §14): the BK-tree and the prefix-pruned trie slot into the same
+// generate→filter→verify cascade — and the same unified bench harness —
+// as the block index and the signature probes.
+//
+// Soundness (the generate-stage contract, core/candidate_generator.hpp):
+//   * BkTreeGenerator queries at radius k on true Damerau–Levenshtein,
+//     and true_dl(s, t) <= OSA(s, t) always, so the result is a superset
+//     of { j : OSA(query, t_j) <= k }.
+//   * TrieGenerator computes banded OSA rows down the trie, so the result
+//     is exactly { j : OSA(query, t_j) <= k } — the tightest (and most
+//     expensive per probe) generator.
+// Either way the downstream verifier makes the final decision, so match
+// sets are generator-independent (property-tested).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/candidate_generator.hpp"
+#include "search/bk_tree.hpp"
+#include "search/trie_search.hpp"
+
+namespace fbf::search {
+
+class BkTreeGenerator final : public fbf::core::CandidateGenerator {
+ public:
+  explicit BkTreeGenerator(int k) : k_(k) {}
+  BkTreeGenerator(int k, std::span<const std::string> values);
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "bk-tree";
+  }
+  [[nodiscard]] bool indexed() const noexcept override { return true; }
+  [[nodiscard]] std::size_t size() const noexcept override { return size_; }
+  void append(std::string_view value) override;
+  void generate(std::string_view query,
+                std::vector<std::uint32_t>& out) const override;
+
+ private:
+  int k_ = 1;
+  std::size_t size_ = 0;
+  BkTree tree_;
+};
+
+class TrieGenerator final : public fbf::core::CandidateGenerator {
+ public:
+  explicit TrieGenerator(int k) : k_(k) {}
+  TrieGenerator(int k, std::span<const std::string> values);
+
+  [[nodiscard]] const char* name() const noexcept override { return "trie"; }
+  [[nodiscard]] bool indexed() const noexcept override { return true; }
+  [[nodiscard]] std::size_t size() const noexcept override { return size_; }
+  void append(std::string_view value) override;
+  void generate(std::string_view query,
+                std::vector<std::uint32_t>& out) const override;
+
+ private:
+  int k_ = 1;
+  std::size_t size_ = 0;
+  TrieSearch trie_;
+};
+
+}  // namespace fbf::search

@@ -7,13 +7,20 @@ namespace fbf::search {
 TrieSearch::TrieSearch(std::span<const std::string> strings) {
   nodes_.emplace_back();  // root
   for (std::uint32_t id = 0; id < strings.size(); ++id) {
-    std::uint32_t current = 0;
-    for (const char ch : strings[id]) {
-      current = child_of(current, ch, /*create=*/true);
-    }
-    nodes_[current].terminal_ids.push_back(id);
-    max_depth_ = std::max(max_depth_, strings[id].size());
+    insert(strings[id], id);
   }
+}
+
+void TrieSearch::insert(std::string_view s, std::uint32_t id) {
+  if (nodes_.empty()) {
+    nodes_.emplace_back();  // root
+  }
+  std::uint32_t current = 0;
+  for (const char ch : s) {
+    current = child_of(current, ch, /*create=*/true);
+  }
+  nodes_[current].terminal_ids.push_back(id);
+  max_depth_ = std::max(max_depth_, s.size());
 }
 
 std::uint32_t TrieSearch::child_of(std::uint32_t node, char ch, bool create) {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace fbf::search {
@@ -23,6 +24,9 @@ class TrieSearch {
 
   /// Builds the trie over `strings` (ids are positions; duplicates fine).
   explicit TrieSearch(std::span<const std::string> strings);
+
+  /// Inserts one string with the given id (creates the root on first use).
+  void insert(std::string_view s, std::uint32_t id);
 
   /// Appends the ids of stored strings within OSA-DL `k` of `query`.
   /// Returns the number of DP rows evaluated (trie nodes visited) — the

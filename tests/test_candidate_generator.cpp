@@ -1,0 +1,743 @@
+// Property tests for the generate stage of the generate→filter→verify
+// cascade (DESIGN.md §14).  The load-bearing guarantee is zero false
+// negatives: every generator must surface a superset of
+// { j : OSA(query, t_j) <= k }, so the verifier-final match set is
+// *identical* to the dense generator's across layouts, k in {1,2},
+// thread counts, and incremental appends.  Also pinned here: the CSR
+// bit-packed postings store (round trip, order independence, bit-width
+// widening past 2^20 ids), generator selection (FBF_FORCE_GENERATOR),
+// and the soundness gates that keep a forced "block" from ever changing
+// answers.
+#include "core/candidate_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/block_index.hpp"
+#include "core/candidate_pipeline.hpp"
+#include "core/exec_policy.hpp"
+#include "core/match_join.hpp"
+#include "core/signature_index.hpp"
+#include "datagen/dataset.hpp"
+#include "linkage/engine.hpp"
+#include "linkage/incremental.hpp"
+#include "linkage/person_gen.hpp"
+#include "metrics/pdl.hpp"
+#include "search/generator_adapters.hpp"
+#include "testenv.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace c = fbf::core;
+namespace dg = fbf::datagen;
+namespace lk = fbf::linkage;
+namespace fs = fbf::search;
+using fbf::metrics::pdl_within;
+using fbf::util::Rng;
+
+using fbf::testenv::ScopedForceGenerator;
+
+// ---------------------------------------------------------------------------
+// PackedPostings: the CSR bit-packed store.
+// ---------------------------------------------------------------------------
+
+TEST(PackedPostings, RoundTripSortsAndDeduplicates) {
+  // Unsorted input with duplicates; the build must produce sorted unique
+  // keys, ascending ids per key, and exact entry recovery.
+  std::vector<c::PostingEntry> entries = {
+      {40, 7}, {10, 3}, {40, 1}, {10, 3}, {25, 0}, {40, 7}, {10, 9},
+  };
+  c::PackedPostings p;
+  p.build(std::move(entries));
+  ASSERT_EQ(p.key_count(), 3u);
+  EXPECT_EQ(p.entry_count(), 5u);  // two duplicates dropped
+  EXPECT_EQ(p.key_at(0), 10u);
+  EXPECT_EQ(p.key_at(1), 25u);
+  EXPECT_EQ(p.key_at(2), 40u);
+
+  const auto r10 = p.find(10);
+  ASSERT_EQ(r10.end - r10.begin, 2u);
+  EXPECT_EQ(p.id_at(r10.begin), 3u);
+  EXPECT_EQ(p.id_at(r10.begin + 1), 9u);
+  const auto r25 = p.find(25);
+  ASSERT_EQ(r25.end - r25.begin, 1u);
+  EXPECT_EQ(p.id_at(r25.begin), 0u);
+  const auto r40 = p.find(40);
+  ASSERT_EQ(r40.end - r40.begin, 2u);
+  EXPECT_EQ(p.id_at(r40.begin), 1u);
+  EXPECT_EQ(p.id_at(r40.begin + 1), 7u);
+
+  const auto missing = p.find(11);
+  EXPECT_EQ(missing.begin, missing.end);
+}
+
+TEST(PackedPostings, BuildIsInputOrderIndependent) {
+  Rng rng(99);
+  std::vector<c::PostingEntry> entries;
+  for (int i = 0; i < 500; ++i) {
+    entries.push_back({rng.next() % 37, static_cast<std::uint32_t>(
+                                            rng.next() % 1000)});
+  }
+  std::vector<c::PostingEntry> shuffled = entries;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.next() % i]);
+  }
+  c::PackedPostings a;
+  c::PackedPostings b;
+  a.build(std::move(entries));
+  b.build(std::move(shuffled));
+  ASSERT_EQ(a.key_count(), b.key_count());
+  ASSERT_EQ(a.entry_count(), b.entry_count());
+  for (std::size_t i = 0; i < a.key_count(); ++i) {
+    ASSERT_EQ(a.key_at(i), b.key_at(i));
+    const auto ra = a.range_at(i);
+    const auto rb = b.range_at(i);
+    ASSERT_EQ(ra.end - ra.begin, rb.end - rb.begin);
+    for (std::size_t j = 0; j < ra.end - ra.begin; ++j) {
+      ASSERT_EQ(a.id_at(ra.begin + j), b.id_at(rb.begin + j));
+    }
+  }
+}
+
+TEST(PackedPostings, BitWidthWidensPastTwentyBitIds) {
+  // ~20 bits per id at a million rows is the design point; the store must
+  // widen automatically when ids cross the 2^20 boundary, and ids packed
+  // near the boundary (including spills across 64-bit word seams) must
+  // round-trip exactly.
+  constexpr std::uint32_t kBoundary = 1u << 20;
+  {
+    c::PackedPostings p;
+    p.build({{1, kBoundary - 1}, {1, 12345}});
+    EXPECT_EQ(p.bits_per_id(), 20);
+    const auto r = p.find(1);
+    EXPECT_EQ(p.id_at(r.begin), 12345u);
+    EXPECT_EQ(p.id_at(r.begin + 1), kBoundary - 1);
+  }
+  {
+    std::vector<c::PostingEntry> entries;
+    // Enough entries at 21 bits that packed positions straddle word
+    // boundaries (64 is not a multiple of 21).
+    for (std::uint32_t i = 0; i < 200; ++i) {
+      entries.push_back({i % 7, kBoundary + i});
+    }
+    c::PackedPostings p;
+    p.build(std::move(entries));
+    EXPECT_EQ(p.bits_per_id(), 21);
+    for (std::uint64_t key = 0; key < 7; ++key) {
+      const auto r = p.find(key);
+      std::uint32_t prev = 0;
+      for (std::size_t pos = r.begin; pos < r.end; ++pos) {
+        const std::uint32_t id = p.id_at(pos);
+        EXPECT_GE(id, kBoundary);
+        EXPECT_LT(id, kBoundary + 200);
+        EXPECT_EQ((id - kBoundary) % 7, key);
+        if (pos > r.begin) {
+          EXPECT_GT(id, prev);
+        }
+        prev = id;
+      }
+    }
+  }
+}
+
+TEST(PackedPostings, EmptyAndSingleEntry) {
+  c::PackedPostings p;
+  p.build({});
+  EXPECT_EQ(p.key_count(), 0u);
+  EXPECT_EQ(p.entry_count(), 0u);
+  p.build({{0, 0}});
+  EXPECT_EQ(p.bits_per_id(), 1);
+  const auto r = p.find(0);
+  ASSERT_EQ(r.end - r.begin, 1u);
+  EXPECT_EQ(p.id_at(r.begin), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Generator selection: names, parsing, FBF_FORCE_GENERATOR.
+// ---------------------------------------------------------------------------
+
+TEST(GeneratorSelect, NamesAndParsing) {
+  EXPECT_STREQ(c::generator_name(c::GeneratorKind::kDense), "dense");
+  EXPECT_STREQ(c::generator_name(c::GeneratorKind::kBlockIndex),
+               "block-index");
+  EXPECT_EQ(c::generator_from_name("dense"), c::GeneratorKind::kDense);
+  EXPECT_EQ(c::generator_from_name("block"), c::GeneratorKind::kBlockIndex);
+  EXPECT_EQ(c::generator_from_name("block-index"),
+            c::GeneratorKind::kBlockIndex);
+  EXPECT_EQ(c::generator_from_name("bogus"), std::nullopt);
+  EXPECT_EQ(c::generator_from_name(""), std::nullopt);
+}
+
+TEST(GeneratorSelect, EnvOverrideWinsBothWays) {
+  {
+    ScopedForceGenerator force("block");
+    EXPECT_EQ(c::select_generator(c::GeneratorKind::kDense),
+              c::GeneratorKind::kBlockIndex);
+  }
+  {
+    ScopedForceGenerator force("dense");
+    EXPECT_EQ(c::select_generator(c::GeneratorKind::kBlockIndex),
+              c::GeneratorKind::kDense);
+  }
+  {
+    ScopedForceGenerator force(nullptr);
+    EXPECT_EQ(c::select_generator(c::GeneratorKind::kDense),
+              c::GeneratorKind::kDense);
+    EXPECT_EQ(c::select_generator(c::GeneratorKind::kBlockIndex),
+              c::GeneratorKind::kBlockIndex);
+  }
+  {
+    // Unknown value: warn (once) and fall back to the request.
+    ScopedForceGenerator force("quantum");
+    EXPECT_EQ(c::select_generator(c::GeneratorKind::kDense),
+              c::GeneratorKind::kDense);
+    EXPECT_EQ(c::select_generator(c::GeneratorKind::kBlockIndex),
+              c::GeneratorKind::kBlockIndex);
+  }
+}
+
+TEST(GeneratorSelect, DenseGeneratorEmitsAllIds) {
+  c::DenseGenerator gen;
+  for (int i = 0; i < 5; ++i) {
+    gen.append("x");
+  }
+  std::vector<std::uint32_t> ids;
+  gen.generate("anything", ids);
+  EXPECT_EQ(ids, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+  EXPECT_FALSE(gen.indexed());
+}
+
+// ---------------------------------------------------------------------------
+// BlockIndexGenerator: soundness and incremental behavior.
+// ---------------------------------------------------------------------------
+
+TEST(BlockIndexGenerator, SupportedRange) {
+  EXPECT_TRUE(c::BlockIndexGenerator::supported(0));
+  EXPECT_TRUE(c::BlockIndexGenerator::supported(1));
+  EXPECT_TRUE(c::BlockIndexGenerator::supported(2));
+  EXPECT_FALSE(c::BlockIndexGenerator::supported(3));
+  EXPECT_FALSE(c::BlockIndexGenerator::supported(-1));
+}
+
+/// Every stored j with OSA(query, t_j) <= k must appear in generate()'s
+/// output (zero false negatives); output must be sorted unique.
+void expect_sound_superset(const c::CandidateGenerator& gen,
+                           std::span<const std::string> stored,
+                           std::span<const std::string> queries, int k) {
+  std::vector<std::uint32_t> ids;
+  for (const std::string& q : queries) {
+    ids.clear();
+    gen.generate(q, ids);
+    ASSERT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+    ASSERT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+    for (std::size_t j = 0; j < stored.size(); ++j) {
+      if (pdl_within(q, stored[j], k)) {
+        ASSERT_TRUE(std::binary_search(ids.begin(), ids.end(),
+                                       static_cast<std::uint32_t>(j)))
+            << gen.name() << " missed stored[" << j << "]='" << stored[j]
+            << "' for query '" << q << "' at k=" << k;
+      }
+    }
+  }
+}
+
+TEST(BlockIndexGenerator, ZeroFalseNegativesAcrossFieldsAndK) {
+  for (const dg::FieldKind kind :
+       {dg::FieldKind::kLastName, dg::FieldKind::kSsn,
+        dg::FieldKind::kAddress}) {
+    for (const int k : {1, 2}) {
+      const auto dataset = dg::build_paired_dataset(kind, 250, 311).value();
+      const c::BlockIndexGenerator gen(k, dataset.error);
+      EXPECT_EQ(gen.size(), dataset.error.size());
+      expect_sound_superset(gen, dataset.error, dataset.clean, k);
+    }
+  }
+}
+
+TEST(BlockIndexGenerator, EmptyStringsAreCovered) {
+  // OSA("", t) = |t|, so "" must surface as a candidate for short queries
+  // and short strings must surface for an empty query.  (The linkage
+  // bank's missing-field rule post-filters empties; the *generator* may
+  // never drop them.)
+  const std::vector<std::string> stored = {"", "a", "ab", "abc"};
+  const c::BlockIndexGenerator gen(1, stored);
+  std::vector<std::uint32_t> ids;
+  gen.generate("a", ids);
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), 0u));  // ""
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), 1u));  // "a"
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), 2u));  // "ab"
+  ids.clear();
+  gen.generate("", ids);
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), 0u));
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), 1u));
+}
+
+TEST(BlockIndexGenerator, LongStringsAreUnconditionalCandidates) {
+  // Strings past the deletion-enumeration cap can't be keyed; they must
+  // surface for every query (sound), and an over-long query must surface
+  // every stored id (the dense fallback).
+  const std::string longish(100, 'z');
+  const std::vector<std::string> stored = {"alpha", longish, "beta"};
+  const c::BlockIndexGenerator gen(1, stored);
+  EXPECT_EQ(gen.stats().long_strings, 1u);
+  std::vector<std::uint32_t> ids;
+  gen.generate("alphq", ids);
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), 0u));
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), 1u));
+  ids.clear();
+  gen.generate(std::string(90, 'q'), ids);
+  EXPECT_EQ(ids, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(BlockIndexGenerator, IncrementalAppendsMatchBulkBuild) {
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 300, 47).value();
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const c::BlockIndexGenerator bulk(1, dataset.error, threads);
+    c::BlockIndexGenerator incremental(1);
+    // First half in one bulk append, second half one record at a time —
+    // the overflow tier takes the singles.
+    const std::size_t half = dataset.error.size() / 2;
+    incremental.append(
+        std::span<const std::string>(dataset.error).subspan(0, half),
+        threads);
+    for (std::size_t i = half; i < dataset.error.size(); ++i) {
+      incremental.append(dataset.error[i]);
+    }
+    ASSERT_EQ(bulk.size(), incremental.size());
+    std::vector<std::uint32_t> a;
+    std::vector<std::uint32_t> b;
+    for (std::size_t i = 0; i < dataset.clean.size(); i += 3) {
+      a.clear();
+      b.clear();
+      bulk.generate(dataset.clean[i], a);
+      incremental.generate(dataset.clean[i], b);
+      ASSERT_EQ(a, b) << "threads=" << threads << " query i=" << i;
+    }
+  }
+}
+
+TEST(BlockIndexGenerator, CompactionPreservesGeneration) {
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 200, 53).value();
+  c::BlockIndexGenerator gen(1);
+  for (const std::string& s : dataset.error) {
+    gen.append(s);
+  }
+  std::vector<std::vector<std::uint32_t>> before(dataset.clean.size());
+  for (std::size_t i = 0; i < dataset.clean.size(); ++i) {
+    gen.generate(dataset.clean[i], before[i]);
+  }
+  const auto pre = gen.stats();
+  gen.compact();
+  const auto post = gen.stats();
+  EXPECT_EQ(post.overflow_entries, 0u);
+  EXPECT_GE(post.compactions, pre.compactions);
+  EXPECT_GT(post.entries, 0u);
+  for (std::size_t i = 0; i < dataset.clean.size(); ++i) {
+    std::vector<std::uint32_t> after;
+    gen.generate(dataset.clean[i], after);
+    ASSERT_EQ(before[i], after) << "query i=" << i;
+  }
+  // Idempotent once the overflow is empty.
+  gen.compact();
+  EXPECT_EQ(gen.stats().compactions, post.compactions);
+}
+
+TEST(BlockIndexGenerator, AutomaticCompactionTriggersAndStaysSound) {
+  // Enough single appends to outgrow the overflow tier and fold into the
+  // CSR base at least once mid-stream.
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kAddress, 900, 61).value();
+  c::BlockIndexGenerator gen(1);
+  for (const std::string& s : dataset.error) {
+    gen.append(s);
+  }
+  EXPECT_GT(gen.stats().compactions, 0u);
+  std::vector<std::string> queries;
+  for (std::size_t i = 0; i < dataset.clean.size(); i += 9) {
+    queries.push_back(dataset.clean[i]);
+  }
+  expect_sound_superset(gen, dataset.error, queries, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Adapter generators: BK-tree, trie, signature probes.
+// ---------------------------------------------------------------------------
+
+TEST(GeneratorAdapters, AllGeneratorsAreSoundSupersets) {
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 200, 77).value();
+  const int k = 1;
+  std::vector<std::string> queries;
+  for (std::size_t i = 0; i < dataset.clean.size(); i += 4) {
+    queries.push_back(dataset.clean[i]);
+  }
+
+  const c::BlockIndexGenerator block(k, dataset.error);
+  expect_sound_superset(block, dataset.error, queries, k);
+
+  const fs::BkTreeGenerator bk(k, dataset.error);
+  EXPECT_EQ(bk.size(), dataset.error.size());
+  expect_sound_superset(bk, dataset.error, queries, k);
+
+  const fs::TrieGenerator trie(k, dataset.error);
+  EXPECT_EQ(trie.size(), dataset.error.size());
+  expect_sound_superset(trie, dataset.error, queries, k);
+
+  auto probe = c::SignatureProbeGenerator::create(c::FieldClass::kAlpha,
+                                                  /*alpha_words=*/2, k);
+  ASSERT_TRUE(probe.has_value());
+  for (const std::string& s : dataset.error) {
+    probe->append(s);
+  }
+  EXPECT_EQ(probe->size(), dataset.error.size());
+  expect_sound_superset(*probe, dataset.error, queries, k);
+}
+
+TEST(GeneratorAdapters, SigProbeRefusesUnsupportedLayouts) {
+  // Alphanumeric signatures are wider than one 64-bit key; alpha at k=3
+  // blows the probe budget.  create() must refuse exactly where
+  // SignatureIndex::build does.
+  EXPECT_FALSE(c::SignatureProbeGenerator::create(
+                   c::FieldClass::kAlphanumeric, 2, 1)
+                   .has_value());
+  EXPECT_FALSE(
+      c::SignatureProbeGenerator::create(c::FieldClass::kAlpha, 2, 3)
+          .has_value());
+  EXPECT_TRUE(
+      c::SignatureProbeGenerator::create(c::FieldClass::kNumeric, 2, 2)
+          .has_value());
+}
+
+// ---------------------------------------------------------------------------
+// filter_ids: the generate→filter seam.
+// ---------------------------------------------------------------------------
+
+/// One query's verified match set via generate → filter_ids → verify.
+std::vector<std::uint32_t> indexed_matches(
+    const c::CandidateGenerator& gen, const c::CandidatePipeline& pipe,
+    std::span<const std::string> stored, const std::string& query,
+    c::PipelineCounters& pc) {
+  std::vector<std::uint32_t> ids;
+  std::vector<std::uint32_t> survivors;
+  gen.generate(query, ids);
+  pipe.filter_ids(pipe.make_query(query), ids, survivors, pc);
+  std::vector<std::uint32_t> matches;
+  for (const std::uint32_t j : survivors) {
+    if (pipe.verify(query, stored[j], pc)) {
+      matches.push_back(j);
+    }
+  }
+  return matches;
+}
+
+TEST(FilterIds, MatchSetsAreGeneratorIndependent) {
+  // The contract the whole PR hangs on: dense and every indexed generator
+  // produce the same verified match set, which equals the brute-force
+  // PDL ground truth.  Ladder counters stay monotone per generator but
+  // legitimately differ across generators.
+  struct LayoutCase {
+    dg::FieldKind kind;
+    c::FieldClass cls;
+    int alpha_words;
+  };
+  const LayoutCase layouts[] = {
+      {dg::FieldKind::kSsn, c::FieldClass::kNumeric, 2},
+      {dg::FieldKind::kLastName, c::FieldClass::kAlpha, 2},
+      {dg::FieldKind::kAddress, c::FieldClass::kAlphanumeric, 2},
+      // alpha l=3 exercises the per-pair fallback inside filter_ids.
+      {dg::FieldKind::kLastName, c::FieldClass::kAlpha, 3},
+  };
+  for (const auto& layout : layouts) {
+    for (const int k : {1, 2}) {
+      const auto dataset =
+          dg::build_paired_dataset(layout.kind, 180, 131).value();
+      c::PipelineConfig cfg;
+      cfg.field_class = layout.cls;
+      cfg.alpha_words = layout.alpha_words;
+      cfg.k = k;
+      cfg.use_length = true;
+      const c::CandidatePipeline pipe(cfg, dataset.error);
+
+      const c::DenseGenerator dense = [&dataset] {
+        c::DenseGenerator g;
+        for (const std::string& s : dataset.error) {
+          g.append(s);
+        }
+        return g;
+      }();
+      const c::BlockIndexGenerator block(k, dataset.error);
+
+      for (std::size_t i = 0; i < dataset.clean.size(); i += 5) {
+        const std::string& q = dataset.clean[i];
+        c::PipelineCounters pc_dense;
+        c::PipelineCounters pc_block;
+        const auto m_dense =
+            indexed_matches(dense, pipe, dataset.error, q, pc_dense);
+        const auto m_block =
+            indexed_matches(block, pipe, dataset.error, q, pc_block);
+        ASSERT_EQ(m_dense, m_block)
+            << dg::field_kind_name(layout.kind) << " l=" << layout.alpha_words
+            << " k=" << k << " i=" << i;
+        // Ground truth: brute-force PDL.
+        std::vector<std::uint32_t> truth;
+        for (std::size_t j = 0; j < dataset.error.size(); ++j) {
+          if (pdl_within(q, dataset.error[j], k)) {
+            truth.push_back(static_cast<std::uint32_t>(j));
+          }
+        }
+        ASSERT_EQ(m_dense, truth) << "dense vs brute force at i=" << i;
+        // Ladder monotonicity within each run.
+        EXPECT_GE(pc_dense.candidates_generated, pc_dense.fbf_evaluated);
+        EXPECT_GE(pc_dense.fbf_evaluated, pc_dense.fbf_pass);
+        EXPECT_GE(pc_block.candidates_generated, pc_block.fbf_evaluated);
+        EXPECT_GE(pc_block.fbf_evaluated, pc_block.fbf_pass);
+        // The index admits no more than the dense sweep.
+        EXPECT_LE(pc_block.candidates_generated, pc_dense.candidates_generated);
+      }
+    }
+  }
+}
+
+TEST(FilterIds, EmptyIdListIsANoOp) {
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 64, 5).value();
+  c::PipelineConfig cfg;
+  cfg.field_class = c::FieldClass::kAlpha;
+  cfg.alpha_words = 2;
+  const c::CandidatePipeline pipe(cfg, dataset.error);
+  std::vector<std::uint32_t> survivors;
+  c::PipelineCounters pc;
+  const auto q = pipe.make_query(dataset.clean[0]);
+  EXPECT_EQ(pipe.filter_ids(q, {}, survivors, pc), 0u);
+  EXPECT_TRUE(survivors.empty());
+  EXPECT_EQ(pc.candidates_generated, 0u);
+  EXPECT_EQ(pc.fbf_evaluated, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Consumer equivalence: the join, the indexed join, linkage, the store.
+// ---------------------------------------------------------------------------
+
+TEST(GeneratorEquivalence, MatchJoinBlockEqualsDense) {
+  // Pin the env: this test asserts the *requested* generator is honored,
+  // so it must not inherit a CI leg's FBF_FORCE_GENERATOR override.
+  const ScopedForceGenerator clear_env(nullptr);
+  for (const dg::FieldKind kind :
+       {dg::FieldKind::kLastName, dg::FieldKind::kSsn}) {
+    for (const int k : {1, 2}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        const auto dataset = dg::build_paired_dataset(kind, 300, 211).value();
+        c::JoinConfig cfg;
+        cfg.method = c::Method::kFpdl;
+        cfg.k = k;
+        cfg.field_class = dg::field_class_of(kind);
+        cfg.threads = threads;
+        cfg.collect_matches = true;
+
+        cfg.generator = c::GeneratorKind::kDense;
+        const auto dense =
+            c::match_strings(dataset.clean, dataset.error, cfg);
+        cfg.generator = c::GeneratorKind::kBlockIndex;
+        const auto block =
+            c::match_strings(dataset.clean, dataset.error, cfg);
+
+        EXPECT_STREQ(dense.generator, "dense");
+        EXPECT_STREQ(block.generator, "block-index");
+        EXPECT_EQ(dense.matches, block.matches);
+        EXPECT_EQ(dense.diagonal_matches, block.diagonal_matches);
+        ASSERT_EQ(dense.match_pairs, block.match_pairs)
+            << dg::field_kind_name(kind) << " k=" << k
+            << " threads=" << threads;
+        // The index must narrow generation, never widen it.
+        EXPECT_LE(block.candidates_generated, dense.candidates_generated);
+        EXPECT_EQ(dense.candidates_generated, dense.pairs);
+      }
+    }
+  }
+}
+
+TEST(GeneratorEquivalence, FilterOnlyMethodStaysDense) {
+  // Method::kFbf scores the filter verdict directly (Verifier::kNone), so
+  // block generation would change answers; the soundness gate must hold
+  // the join on the dense path even when the block index is requested —
+  // or forced through the environment.
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 200, 17).value();
+  c::JoinConfig cfg;
+  cfg.method = c::Method::kFbfOnly;
+  cfg.k = 1;
+  cfg.field_class = c::FieldClass::kAlpha;
+  cfg.collect_matches = true;
+  const auto dense = c::match_strings(dataset.clean, dataset.error, cfg);
+  cfg.generator = c::GeneratorKind::kBlockIndex;
+  const auto requested = c::match_strings(dataset.clean, dataset.error, cfg);
+  EXPECT_STREQ(requested.generator, "dense");
+  EXPECT_EQ(dense.match_pairs, requested.match_pairs);
+  {
+    ScopedForceGenerator force("block");
+    cfg.generator = c::GeneratorKind::kDense;
+    const auto forced = c::match_strings(dataset.clean, dataset.error, cfg);
+    EXPECT_STREQ(forced.generator, "dense");
+    EXPECT_EQ(dense.match_pairs, forced.match_pairs);
+  }
+}
+
+TEST(GeneratorEquivalence, UnsupportedKFallsBackToDense) {
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 150, 29).value();
+  c::JoinConfig cfg;
+  cfg.method = c::Method::kFpdl;
+  cfg.k = 3;  // past BlockIndexGenerator::supported
+  cfg.field_class = c::FieldClass::kAlpha;
+  cfg.collect_matches = true;
+  const auto dense = c::match_strings(dataset.clean, dataset.error, cfg);
+  cfg.generator = c::GeneratorKind::kBlockIndex;
+  const auto block = c::match_strings(dataset.clean, dataset.error, cfg);
+  EXPECT_STREQ(block.generator, "dense");
+  EXPECT_EQ(dense.match_pairs, block.match_pairs);
+}
+
+TEST(GeneratorEquivalence, ForcedBlockMatchesDenseJoin) {
+  // The CI forced-generator leg in miniature: FBF_FORCE_GENERATOR=block
+  // reroutes a default-config join, and the match set must not move.
+  const ScopedForceGenerator clear_env(nullptr);  // dense baseline first
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 250, 83).value();
+  c::JoinConfig cfg;
+  cfg.method = c::Method::kFpdl;
+  cfg.k = 1;
+  cfg.field_class = c::FieldClass::kAlpha;
+  cfg.collect_matches = true;
+  const auto dense = c::match_strings(dataset.clean, dataset.error, cfg);
+  ScopedForceGenerator force("block");
+  const auto forced = c::match_strings(dataset.clean, dataset.error, cfg);
+  EXPECT_STREQ(forced.generator, "block-index");
+  EXPECT_EQ(dense.matches, forced.matches);
+  ASSERT_EQ(dense.match_pairs, forced.match_pairs);
+}
+
+TEST(GeneratorEquivalence, IndexedJoinBlockPathMatchesScan) {
+  // match_strings_indexed with the block generator must agree with the
+  // scan join on every layout — including alphanumeric, which the probe
+  // index refuses.
+  struct LayoutCase {
+    dg::FieldKind kind;
+    c::FieldClass cls;
+  };
+  const LayoutCase layouts[] = {
+      {dg::FieldKind::kLastName, c::FieldClass::kAlpha},
+      {dg::FieldKind::kSsn, c::FieldClass::kNumeric},
+      {dg::FieldKind::kAddress, c::FieldClass::kAlphanumeric},
+  };
+  const ScopedForceGenerator clear_env(nullptr);  // asserts the block path
+  for (const auto& layout : layouts) {
+    for (const int k : {1, 2}) {
+      const auto dataset =
+          dg::build_paired_dataset(layout.kind, 220, 139).value();
+      c::JoinConfig scan_cfg;
+      scan_cfg.method = c::Method::kFpdl;
+      scan_cfg.k = k;
+      scan_cfg.field_class = layout.cls;
+      const auto scan =
+          c::match_strings(dataset.clean, dataset.error, scan_cfg);
+      const auto indexed = c::match_strings_indexed(
+          dataset.clean, dataset.error, layout.cls, k,
+          c::kDefaultAlphaWords, c::GeneratorKind::kBlockIndex);
+      ASSERT_TRUE(indexed.has_value())
+          << dg::field_kind_name(layout.kind) << " k=" << k;
+      EXPECT_STREQ(indexed->path, "block-index");
+      EXPECT_EQ(indexed->matches, scan.matches);
+      EXPECT_EQ(indexed->diagonal_matches, scan.diagonal_matches);
+    }
+  }
+}
+
+TEST(GeneratorEquivalence, LinkageBlockEqualsDense) {
+  // Pin the env so the dense and block runs actually take different
+  // generation paths even under a forced CI leg.
+  const ScopedForceGenerator clear_env(nullptr);
+  Rng rng(907);
+  const auto right = lk::generate_people(200, rng);
+  const auto left = lk::make_error_records(right, {}, rng);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    lk::LinkConfig cfg;
+    cfg.comparator = lk::make_point_threshold_config(lk::FieldStrategy::kFpdl);
+    cfg.collect_matches = true;
+    cfg.exec.threads = threads;
+    cfg.exec.generator = fbf::core::GeneratorKind::kDense;
+    const auto dense = lk::link_exhaustive(left, right, cfg);
+    cfg.exec.generator = fbf::core::GeneratorKind::kBlockIndex;
+    const auto block = lk::link_exhaustive(left, right, cfg);
+    EXPECT_EQ(dense.matches, block.matches);
+    EXPECT_EQ(dense.true_positives, block.true_positives);
+    EXPECT_EQ(dense.false_positives, block.false_positives);
+    ASSERT_EQ(dense.match_pairs, block.match_pairs)
+        << "threads=" << threads;
+    // Generation narrowed; verification decisions unchanged.
+    EXPECT_LE(block.counters.candidates_generated,
+              dense.counters.candidates_generated);
+  }
+}
+
+TEST(GeneratorEquivalence, PrebuiltContextInheritsGenerator) {
+  const ScopedForceGenerator clear_env(nullptr);
+  Rng rng(911);
+  const auto right = lk::generate_people(150, rng);
+  const auto left = lk::make_error_records(right, {}, rng);
+  lk::LinkConfig cfg;
+  cfg.comparator = lk::make_point_threshold_config(lk::FieldStrategy::kFpdl);
+  cfg.collect_matches = true;
+  const auto dense = lk::link_exhaustive(left, right, cfg);
+
+  lk::LinkConfig block_cfg = cfg;
+  block_cfg.exec.generator = fbf::core::GeneratorKind::kBlockIndex;
+  const lk::LinkageContext ctx(right, block_cfg.comparator, block_cfg.exec);
+  const auto block = lk::link_exhaustive(left, ctx, block_cfg);
+  EXPECT_EQ(dense.matches, block.matches);
+  ASSERT_EQ(dense.match_pairs, block.match_pairs);
+}
+
+TEST(GeneratorEquivalence, EntityStoreBlockEqualsDense) {
+  const ScopedForceGenerator clear_env(nullptr);
+  Rng rng(419);
+  const auto clean = lk::generate_people(120, rng);
+  const auto errors = lk::make_error_records(clean, {}, rng);
+
+  lk::EntityStoreOptions dense_opts;
+  lk::EntityStoreOptions block_opts;
+  block_opts.exec.generator = fbf::core::GeneratorKind::kBlockIndex;
+
+  const auto comparator =
+      lk::make_point_threshold_config(lk::FieldStrategy::kFpdl);
+  lk::EntityStore dense(comparator, dense_opts);
+  lk::EntityStore block(comparator, block_opts);
+  // Two batches so the second probes overflow-tier entries appended by
+  // the first (the incremental-index path).
+  const std::size_t half = clean.size() / 2;
+  const std::span<const lk::PersonRecord> all(clean);
+  dense.ingest(all.subspan(0, half));
+  block.ingest(all.subspan(0, half));
+  dense.ingest(errors);
+  block.ingest(errors);
+  dense.ingest(all.subspan(half));
+  block.ingest(all.subspan(half));
+
+  ASSERT_EQ(dense.size(), block.size());
+  EXPECT_EQ(dense.entity_count(), block.entity_count());
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    ASSERT_EQ(dense.entity_of(i), block.entity_of(i)) << "record " << i;
+  }
+}
+
+}  // namespace

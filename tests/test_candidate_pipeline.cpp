@@ -21,6 +21,7 @@
 #include "linkage/incremental.hpp"
 #include "linkage/person_gen.hpp"
 #include "linkage/sharded.hpp"
+#include "testenv.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -296,6 +297,9 @@ TEST(PipelineFilter, IncrementalAppendEqualsBulkConstruction) {
 void expect_store_equivalence(const lk::ComparatorConfig& config,
                               std::size_t threads, std::uint64_t seed,
                               std::size_t n) {
+  // Pipeline-vs-scalar counter identities assume dense generation; pin
+  // the env against the forced-generator CI legs.
+  const fbf::testenv::ScopedForceGenerator clear_env(nullptr);
   Rng rng(seed);
   const auto clean = lk::generate_people(n, rng);
   lk::RecordErrorModel model;
@@ -369,7 +373,9 @@ TEST(EntityStoreEquivalence, AlphaThreeWordFallback) {
 
 TEST(EntityStoreEquivalence, RestoredStoreKeepsEquivalence) {
   // Snapshot recovery rebuilds the filter bank; post-restore ingest must
-  // still match the scalar path.
+  // still match the scalar path.  Counter identities assume dense
+  // generation on the pipeline side.
+  const fbf::testenv::ScopedForceGenerator clear_env(nullptr);
   const auto config =
       lk::make_point_threshold_config(lk::FieldStrategy::kFpdl, 1);
   Rng rng(77);
@@ -414,6 +420,9 @@ std::vector<lk::CandidatePair> sorted_pairs(std::vector<lk::CandidatePair> v) {
 
 void expect_link_equivalence(const lk::ComparatorConfig& comparator,
                              std::size_t threads, std::uint64_t seed) {
+  // The pipeline/scalar counter identities below hold only when both
+  // runs generate densely; pin the env against forced-generator CI legs.
+  const fbf::testenv::ScopedForceGenerator clear_env(nullptr);
   Rng rng(seed);
   const auto left = lk::generate_people(120, rng);
   const auto right = lk::make_error_records(left, {}, rng);

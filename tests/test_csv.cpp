@@ -229,6 +229,79 @@ TEST(PersonCsv, AllRowsBadStillReturnsInsteadOfThrowing) {
   EXPECT_EQ(load->quarantined[2].line, 4u);
 }
 
+TEST(PersonCsv, RepairsDoubledDelimiterRows) {
+  // ",1,..." is a doubled leading delimiter: 9 columns, exactly one
+  // empty.  Dropping the empty restores the 8-column shape, so the row is
+  // auto-repaired instead of quarantined.
+  std::istringstream in(
+      "h\n"
+      ",1,JOHN,SMITH,1801 N BROAD ST,2155551234,M,123121234,02251980\n"
+      "2,MARY,JONES,44 ELM AVE,2155559876,F,987654321,07141975\n");
+  const auto load = fbf::linkage::read_person_csv_quarantine(in);
+  ASSERT_TRUE(load.ok());
+  EXPECT_TRUE(load->clean());
+  EXPECT_EQ(load->repaired, 1u);
+  ASSERT_EQ(load->records.size(), 2u);
+  EXPECT_EQ(load->records[0].id, 1u);
+  EXPECT_EQ(load->records[0].first_name, "JOHN");
+  EXPECT_EQ(load->records[0].birth_date, "02251980");
+  EXPECT_EQ(load->records[1].id, 2u);
+}
+
+TEST(PersonCsv, RepairsMultipleDoublings) {
+  // Two doublings -> 10 columns, two empties; both dropped.
+  std::istringstream in(
+      "h\n"
+      ",,3,ANNA,LEE,9 OAK ST,2155550000,F,111223333,01011990\n");
+  const auto load = fbf::linkage::read_person_csv_quarantine(in);
+  ASSERT_TRUE(load.ok());
+  EXPECT_EQ(load->repaired, 1u);
+  ASSERT_EQ(load->records.size(), 1u);
+  EXPECT_EQ(load->records[0].id, 3u);
+  EXPECT_EQ(load->records[0].last_name, "LEE");
+}
+
+TEST(PersonCsv, AmbiguousSurplusRowStaysQuarantined) {
+  // 9 columns but *two* empty cells: one could be a legitimately missing
+  // field, so dropping empties is ambiguous — the operator decides.
+  std::istringstream in(
+      "h\n"
+      ",1,,SMITH,1801 N BROAD ST,2155551234,M,123121234,02251980\n");
+  const auto load = fbf::linkage::read_person_csv_quarantine(in);
+  ASSERT_TRUE(load.ok());
+  EXPECT_EQ(load->repaired, 0u);
+  EXPECT_TRUE(load->records.empty());
+  ASSERT_EQ(load->quarantined.size(), 1u);
+  EXPECT_EQ(load->quarantined[0].line, 2u);
+}
+
+TEST(PersonCsv, RepairThatStillFailsParseIsQuarantined) {
+  // Dropping the empty leaves a non-numeric id; the repair must not
+  // accept a row that still fails validation.
+  std::istringstream in(
+      "h\n"
+      ",oops,JOHN,SMITH,1801 N BROAD ST,2155551234,M,123121234,02251980\n");
+  const auto load = fbf::linkage::read_person_csv_quarantine(in);
+  ASSERT_TRUE(load.ok());
+  EXPECT_EQ(load->repaired, 0u);
+  ASSERT_EQ(load->quarantined.size(), 1u);
+  EXPECT_NE(load->quarantined[0].reason.find("non-numeric id"),
+            std::string::npos);
+}
+
+TEST(PersonCsv, StrictModeAcceptsRepairedRows) {
+  // Repair runs in both load modes: a strict load with only repairable
+  // damage succeeds instead of failing on the first bad row.
+  std::istringstream in(
+      "h\n"
+      ",5,KIM,PARK,12 PINE RD,2155552222,F,555667777,12241988\n");
+  const auto load = fbf::linkage::read_person_csv(in, /*strict=*/true);
+  ASSERT_TRUE(load.ok()) << load.status().to_string();
+  ASSERT_EQ(load->size(), 1u);
+  EXPECT_EQ((*load)[0].id, 5u);
+  EXPECT_EQ((*load)[0].first_name, "KIM");
+}
+
 TEST(PersonCsv, LenientOutParamReportsSkips) {
   std::istringstream in(
       "h\nnot_a_number,a,b,c,d,e,f,g\n3,A,B,C,D,M,E,F\nbad\n");

@@ -8,6 +8,7 @@
 
 #include "datagen/dataset.hpp"
 #include "experiments/protocol.hpp"
+#include "testenv.hpp"
 #include "util/affinity.hpp"
 #include "util/bitops.hpp"
 
@@ -72,6 +73,9 @@ TEST(MatchJoin, FilterOnlyMethodsAreSupersets) {
 }
 
 TEST(MatchJoin, CountersAccounting) {
+  // Dense-path counter identities (every pair hits the filter), so the
+  // generation path must not be rerouted by a forced-generator CI leg.
+  const fbf::testenv::ScopedForceGenerator clear_env(nullptr);
   const auto stats =
       match_strings(small_clean(), small_error(), base_config(Method::kFpdl));
   EXPECT_EQ(stats.fbf_evaluated, 25u);        // every pair hits the filter

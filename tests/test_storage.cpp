@@ -6,6 +6,7 @@
 #include "storage/backend.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <filesystem>
@@ -23,12 +24,17 @@ namespace st = fbf::storage;
 namespace u = fbf::util;
 namespace fs = std::filesystem;
 
-/// Factory owning one LocalDirBackend's scratch directory.
+/// Factory owning one LocalDirBackend's scratch directory.  The name
+/// embeds the pid: ctest runs each test in its own process, so a
+/// per-process counter alone collides when two LocalDir tests run
+/// concurrently under -j (both would claim scratch dir 0 and
+/// remove_all each other's files).
 struct LocalDirFactory {
   LocalDirFactory() {
     static int counter = 0;
     dir = fs::path(::testing::TempDir()) /
-          ("fbf_storage_" + std::to_string(counter++));
+          ("fbf_storage_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++));
     fs::remove_all(dir);
   }
   ~LocalDirFactory() {

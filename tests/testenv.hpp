@@ -1,0 +1,42 @@
+// Scoped environment overrides shared by test files.  The forced-generator
+// CI legs run the whole suite under FBF_FORCE_GENERATOR; any test whose
+// assertions depend on a *specific* generation path (requested-generator
+// routing, dense-path counter identities) pins the variable with these
+// guards instead of inheriting whatever the leg set.
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace fbf::testenv {
+
+/// Scoped FBF_FORCE_GENERATOR override; restores the prior value.
+/// Pass nullptr to unset (i.e. "honor the requested generator").
+class ScopedForceGenerator {
+ public:
+  explicit ScopedForceGenerator(const char* value) {
+    if (const char* prev = std::getenv("FBF_FORCE_GENERATOR")) {
+      saved_ = prev;
+    }
+    if (value == nullptr) {
+      ::unsetenv("FBF_FORCE_GENERATOR");
+    } else {
+      ::setenv("FBF_FORCE_GENERATOR", value, 1);
+    }
+  }
+  ~ScopedForceGenerator() {
+    if (saved_.has_value()) {
+      ::setenv("FBF_FORCE_GENERATOR", saved_->c_str(), 1);
+    } else {
+      ::unsetenv("FBF_FORCE_GENERATOR");
+    }
+  }
+  ScopedForceGenerator(const ScopedForceGenerator&) = delete;
+  ScopedForceGenerator& operator=(const ScopedForceGenerator&) = delete;
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+}  // namespace fbf::testenv
