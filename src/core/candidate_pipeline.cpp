@@ -220,6 +220,68 @@ std::size_t CandidatePipeline::filter_block(
   return total;
 }
 
+std::size_t CandidatePipeline::filter_block(
+    std::span<const Query> queries, std::size_t begin, std::size_t end,
+    const std::uint64_t* eligible, std::uint64_t* bitmaps,
+    std::size_t bitmap_stride, std::span<PipelineCounters> counters) const {
+  assert(begin % 64 == 0 && "bitmap lanes must stay word-aligned");
+  assert(end <= size_);
+  assert(counters.size() == queries.size());
+  if (begin >= end || queries.empty()) {
+    return 0;
+  }
+  const std::size_t width = end - begin;
+  assert(bitmap_stride >= bitmap_words(width));
+  if (!batched_) {
+    std::size_t survivors = 0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      survivors += filter_per_pair(queries[i], begin, end, eligible,
+                                   bitmaps + i * bitmap_stride, counters[i]);
+    }
+    return survivors;
+  }
+
+  const bool two_words = packed_.words() == 2;
+  const std::uint64_t* p0 = packed_.plane(0) + begin;
+  const std::uint64_t* p1 = two_words ? packed_.plane(1) + begin : nullptr;
+  const int tail_bound = packed_.max_tail_popcount();
+  std::size_t total = 0;
+  std::uint64_t q0[kMaxBlockQueries];
+  std::uint64_t q1[kMaxBlockQueries];
+  for (std::size_t base_q = 0; base_q < queries.size();
+       base_q += kMaxBlockQueries) {
+    const std::size_t m =
+        std::min(kMaxBlockQueries, queries.size() - base_q);
+    for (std::size_t i = 0; i < m; ++i) {
+      q0[i] = queries[base_q + i].w0;
+      q1[i] = queries[base_q + i].w1;
+    }
+    fbf::core::filter_block(
+        q0, two_words ? q1 : nullptr, m, p0, p1, width, 2 * config_.k,
+        tail_bound, config_.prune_planes, bitmaps + base_q * bitmap_stride,
+        bitmap_stride, kernel_);
+    for (std::size_t i = 0; i < m; ++i) {
+      std::uint64_t* bitmap = bitmaps + (base_q + i) * bitmap_stride;
+      PipelineCounters& qc = counters[base_q + i];
+      if (eligible == nullptr && !config_.use_length) {
+        // Fast path mirror of the aggregate overload, attributed per row.
+        std::size_t row = 0;
+        for (std::size_t w = 0; w < bitmap_words(width); ++w) {
+          row += static_cast<std::size_t>(std::popcount(bitmap[w]));
+        }
+        qc.candidates_generated += width;
+        qc.fbf_evaluated += width;
+        qc.fbf_pass += row;
+        total += row;
+        continue;
+      }
+      total += apply_pre_gates(queries[base_q + i].length, begin, width,
+                               eligible, bitmap, qc);
+    }
+  }
+  return total;
+}
+
 // Pre-FBF gate: eligibility first (charged to no counter), then the
 // length filter (charging length_pass), then fbf_evaluated for lanes
 // that reached the FBF stage — ladder order, bit for bit.  `bitmap`

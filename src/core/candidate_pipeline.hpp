@@ -176,6 +176,18 @@ class CandidatePipeline {
                            std::uint64_t* bitmaps, std::size_t bitmap_stride,
                            PipelineCounters& counters) const;
 
+  /// filter_block with *per-query* counter attribution: query i's ladder
+  /// lands in counters[i] (must have counters.size() == queries.size()),
+  /// and each counters[i] is byte-identical to what a lone filter() call
+  /// for that query would have produced.  This is what lets a serving
+  /// coalescer batch Q concurrent point queries through one plane sweep
+  /// and still hand every client the exact counters its query would have
+  /// earned running alone — batching stays invisible to the reply.
+  std::size_t filter_block(std::span<const Query> queries, std::size_t begin,
+                           std::size_t end, const std::uint64_t* eligible,
+                           std::uint64_t* bitmaps, std::size_t bitmap_stride,
+                           std::span<PipelineCounters> counters) const;
+
   /// Filters an explicit candidate id list — the output of an indexed
   /// CandidateGenerator — against `q`, appending surviving ids to
   /// `survivors` in ascending order and returning how many were appended.

@@ -1,0 +1,103 @@
+// MatchCorpus: the request-level point-lookup engine (DESIGN.md §15).
+//
+// The join entry points answer "match list S against list T"; a serving
+// daemon answers millions of independent "match THIS string against the
+// corpus" requests.  MatchCorpus owns the corpus-side pipeline state
+// (packed SoA planes via CandidatePipeline) and exposes exactly the two
+// shapes a server produces:
+//
+//   query(s)        -> one point lookup (ids + per-query ladder counters)
+//   query_batch(qs) -> Q coalesced lookups through ONE plane sweep per
+//                      tile (filter_block, Q <= kMaxBlockQueries per
+//                      register block) with per-query counter attribution
+//
+// The batching contract is the whole point: query_batch's per-query
+// results AND counters are byte-identical to calling query() once per
+// string — the serving coalescer can merge concurrent requests into Q=8
+// kernel batches without any client being able to tell (property-tested
+// in test_serve.cpp).  Candidate generation is always the dense tile
+// sweep here: generator selection is a batch-join optimization, and
+// keeping the corpus on one generation path is what makes the
+// batched/sequential equivalence unconditional.
+//
+// When options.exec.threads > 1, query_batch additionally fans the
+// batch's queries across a persistent worker pool — a batch is the
+// parallelizable unit a lone query() is not, which is where coalescing
+// buys saturation throughput (bench_serve_latency).  Per-query results
+// are computed independently, so the partition cannot change them and
+// the exec-policy invariance contract (exec_policy.hpp) holds bit for
+// bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/candidate_pipeline.hpp"
+#include "core/query_options.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fbf::core {
+
+/// One point lookup's answer.
+struct CorpusResult {
+  std::vector<std::uint32_t> matches;  ///< corpus ids, ascending
+  PipelineCounters counters;
+};
+
+class MatchCorpus {
+ public:
+  explicit MatchCorpus(const QueryOptions& options,
+                       std::span<const std::string> values = {});
+
+  /// Appends corpus strings (append-only, incremental plane growth).
+  void append(std::span<const std::string> values);
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] const std::string& value(std::size_t i) const noexcept {
+    return values_[i];
+  }
+  [[nodiscard]] std::span<const std::string> values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] const QueryOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const char* kernel_name() const noexcept {
+    return pipeline_.kernel_name();
+  }
+
+  /// One point lookup: every corpus id within the method's match
+  /// predicate, plus the full ladder counters the lookup earned.
+  [[nodiscard]] CorpusResult query(std::string_view query) const;
+
+  /// Coalesced lookups: all queries sweep each corpus tile in one
+  /// filter_block call (Q <= kMaxBlockQueries per register block).
+  /// result[i] — matches and counters — is byte-identical to
+  /// query(queries[i]) run alone.  With exec.threads > 1 the queries are
+  /// partitioned across the worker pool (same results, bit for bit);
+  /// concurrent query_batch calls on one corpus then serialize on the
+  /// pool, so keep one batching caller per corpus (the coalescer does).
+  [[nodiscard]] std::vector<CorpusResult> query_batch(
+      std::span<const std::string> queries) const;
+
+ private:
+  /// Runs queries [base, base + count) through the register-block tile
+  /// sweep, writing results[base + i].  The serial path is one call over
+  /// the whole batch; the parallel path is one call per worker chunk.
+  void query_block_range(std::span<const std::string> queries,
+                         std::size_t base, std::size_t count,
+                         CorpusResult* results) const;
+
+  QueryOptions options_;
+  CandidatePipeline pipeline_;
+  std::vector<std::string> values_;
+  std::unique_ptr<fbf::util::ThreadPool> pool_;  ///< exec.threads > 1 only
+  mutable std::mutex batch_mu_;  ///< serializes parallel query_batch calls
+};
+
+}  // namespace fbf::core

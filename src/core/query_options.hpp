@@ -1,0 +1,56 @@
+// QueryOptions: the one request-level knob bundle (DESIGN.md §15).
+//
+// Before the serve layer existed, every entry point grew its own loose
+// parameter list — `match_strings_indexed(left, right, cls, k,
+// alpha_words, generator)`, `SignatureIndex::build(..., cls, alpha_words,
+// k, ...)`, per-call verifier choices — so adding one knob meant touching
+// every signature and call sites silently disagreed about defaults.
+// QueryOptions folds the per-call knobs (method, k, field layout,
+// popcount strategy) together with the execution policy
+// (`core::ExecPolicy`: pipeline routing, threads, generator) into one
+// value that the daemon's wire protocol, the in-process client and the
+// batch entry points all speak.  The method implies the cascade shape
+// (length filter / FBF / verifier) via the method.hpp helpers, so a
+// QueryOptions fully determines a PipelineConfig.
+#pragma once
+
+#include "core/candidate_pipeline.hpp"
+#include "core/exec_policy.hpp"
+#include "core/method.hpp"
+#include "core/signature.hpp"
+#include "util/bitops.hpp"
+
+namespace fbf::core {
+
+struct QueryOptions {
+  /// Filter/verify composition (paper ladder).  kFpdl — FBF filter, PDL
+  /// verify — is the serving default: the strongest exact method the
+  /// packed tile kernel accelerates.
+  Method method = Method::kFpdl;
+  /// Edit threshold; the FBF stage passes at <= 2k differing bits.
+  int k = 1;
+  FieldClass field_class = FieldClass::kAlpha;
+  int alpha_words = kDefaultAlphaWords;
+  fbf::util::PopcountKind popcount = fbf::util::PopcountKind::kHardware;
+  /// How the operation runs (pipeline routing, threads, generator).
+  ExecPolicy exec;
+};
+
+/// The cascade configuration a QueryOptions implies.  Single source of
+/// truth: every consumer that used to hand-assemble a PipelineConfig from
+/// loose knobs routes through here, so method→verifier/length mapping can
+/// never diverge between the daemon and the batch tools.
+[[nodiscard]] inline PipelineConfig make_pipeline_config(
+    const QueryOptions& options) noexcept {
+  PipelineConfig cfg;
+  cfg.field_class = options.field_class;
+  cfg.alpha_words = options.alpha_words;
+  cfg.k = options.k;
+  cfg.use_length = method_uses_length(options.method);
+  cfg.verifier = method_verifier(options.method);
+  cfg.popcount = options.popcount;
+  cfg.force_per_pair = !options.exec.use_pipeline;
+  return cfg;
+}
+
+}  // namespace fbf::core

@@ -105,8 +105,8 @@ std::optional<SignatureIndex> SignatureIndex::build(
   return index;
 }
 
-void SignatureIndex::query(const Signature& sig,
-                           std::vector<std::uint32_t>& out) const {
+void SignatureIndex::generate(const Signature& sig,
+                              std::vector<std::uint32_t>& out) const {
   const auto spec = pack_spec(cls_, alpha_words_);
   const std::uint64_t key = pack_words(sig, *spec);
   // Typical pass-sets are a handful of ids; grow once up front instead of
@@ -151,7 +151,7 @@ void SignatureProbeGenerator::append(std::string_view value) {
 void SignatureProbeGenerator::generate(std::string_view query,
                                        std::vector<std::uint32_t>& out) const {
   const auto start = static_cast<std::ptrdiff_t>(out.size());
-  index_.query(make_signature(query, cls_, alpha_words_), out);
+  index_.generate(make_signature(query, cls_, alpha_words_), out);
   // Bucket probes never repeat an id (one bucket per id, distinct
   // masks); only the ascending-order half of the contract needs work.
   std::sort(out.begin() + start, out.end());
@@ -159,19 +159,20 @@ void SignatureProbeGenerator::generate(std::string_view query,
 
 std::optional<IndexJoinStats> match_strings_indexed(
     std::span<const std::string> left, std::span<const std::string> right,
-    FieldClass cls, int k, int alpha_words, GeneratorKind generator) {
-  PipelineConfig pcfg;
-  pcfg.field_class = cls;
-  pcfg.alpha_words = alpha_words;
-  pcfg.k = k;
-  pcfg.use_length = false;
-  pcfg.verifier = Verifier::kPdl;
+    const QueryOptions& options) {
+  const FieldClass cls = options.field_class;
+  const int alpha_words = options.alpha_words;
+  const int k = options.k;
+  const GeneratorKind generator = options.exec.generator;
+  const PipelineConfig pcfg = make_pipeline_config(options);
 
   // Block-index generation keys on string content, not signature bits, so
-  // it accepts every layout the probe index refuses — and kPdl always
-  // verifies, so the soundness gate reduces to supported(k).
+  // it accepts every layout the probe index refuses.  The soundness gate:
+  // a real verifier must run (filter-only methods report the FBF pass-set,
+  // which the block index under-generates) and supported(k) must hold.
   if (select_generator(generator) == GeneratorKind::kBlockIndex &&
-      BlockIndexGenerator::supported(k)) {
+      BlockIndexGenerator::supported(k) &&
+      pcfg.verifier != Verifier::kNone) {
     const fbf::util::Stopwatch block_build_timer;
     const BlockIndexGenerator gen(k, right);
     const CandidatePipeline pipe(pcfg, right);
@@ -223,7 +224,7 @@ std::optional<IndexJoinStats> match_strings_indexed(
     for (std::uint32_t i = 0; i < left.size(); ++i) {
       candidates.clear();
       const Signature sig = make_signature(left[i], cls, alpha_words);
-      index->query(sig, candidates);
+      index->generate(sig, candidates);
       stats.candidates += candidates.size();
       for (const std::uint32_t j : candidates) {
         if (pipe.verify(left[i], right[j], counters)) {

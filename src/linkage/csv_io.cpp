@@ -63,7 +63,7 @@ bool try_repair_doubled_delimiters(const u::CsvRow& row, PersonRecord& out) {
   const std::size_t surplus = row.size() - 8;
   std::size_t empties = 0;
   for (const std::string& cell : row) {
-    empties += cell.empty() ? 1 : 0;
+    empties += cell.empty() ? 1u : 0u;
   }
   if (empties != surplus) {
     return false;
@@ -117,6 +117,19 @@ u::Result<PersonCsvLoad> load_person_csv(std::istream& in,
 }
 
 }  // namespace
+
+u::Result<PersonRecord> parse_person_csv_row(const u::CsvRow& row) {
+  u::CsvRow copy = row;  // parse_person_row moves cells out on success
+  PersonRecord r;
+  if (std::string reason = parse_person_row(copy, r); !reason.empty()) {
+    return u::Status::invalid_argument(std::move(reason));
+  }
+  return r;
+}
+
+bool repair_person_csv_row(const u::CsvRow& row, PersonRecord& out) {
+  return try_repair_doubled_delimiters(row, out);
+}
 
 u::Result<PersonCsvLoad> read_person_csv_quarantine(std::istream& in) {
   return load_person_csv(in, /*stop_on_first_bad=*/false);

@@ -68,4 +68,18 @@ struct PersonCsvLoad {
     std::istream& in, bool strict = true,
     std::vector<QuarantinedRow>* quarantine = nullptr);
 
+/// Strict single-row parse with NO auto-repair: kInvalidArgument names
+/// the defect.  The online service's streaming CSV ingest uses this so a
+/// damaged row lands in the service quarantine intact; triage (the
+/// doubled-delimiter repair below) runs when the operator drains it.
+[[nodiscard]] fbf::util::Result<PersonRecord> parse_person_csv_row(
+    const fbf::util::CsvRow& row);
+
+/// The doubled-delimiter auto-repair on one quarantined row: true and
+/// `out` filled when dropping the spurious empty cells restores a
+/// parseable 8-column shape unambiguously (see PersonCsvLoad::repaired);
+/// false when the row is legitimately damaged and must stay quarantined.
+[[nodiscard]] bool repair_person_csv_row(const fbf::util::CsvRow& row,
+                                         PersonRecord& out);
+
 }  // namespace fbf::linkage

@@ -134,6 +134,51 @@ IngestStats EntityStore::ingest(std::span<const PersonRecord> batch) {
   return stats;
 }
 
+EntityStore::ProbeResult EntityStore::probe(const PersonRecord& query,
+                                            std::size_t max_matches) const {
+  ProbeResult result;
+  const std::size_t store_size = records_.size();
+  result.comparisons = store_size;
+  if (store_size == 0) {
+    return result;
+  }
+  std::optional<RecordSignatures> query_sigs;
+  if (uses_fbf_) {
+    query_sigs = build_record_signatures(query, comparator_.alpha_words);
+  }
+  const RecordSignatures* sigs = query_sigs ? &*query_sigs : nullptr;
+  if (bank_.has_value()) {
+    RecordFilterBank::Scratch scratch;
+    bank_->score_all(query, sigs, records_, store_size, scratch,
+                     result.counters);
+    for (std::size_t s = 0; s < store_size; ++s) {
+      if (scratch.scores[s] >= comparator_.match_threshold) {
+        result.matches.push_back({static_cast<std::uint32_t>(s),
+                                  entity_ids_[s], scratch.scores[s]});
+      }
+    }
+  } else {
+    for (std::size_t s = 0; s < store_size; ++s) {
+      const double score =
+          score_pair(query, records_[s], sigs,
+                     uses_fbf_ ? &signatures_[s] : nullptr, comparator_,
+                     result.counters);
+      if (score >= comparator_.match_threshold) {
+        result.matches.push_back(
+            {static_cast<std::uint32_t>(s), entity_ids_[s], score});
+      }
+    }
+  }
+  std::stable_sort(result.matches.begin(), result.matches.end(),
+                   [](const ProbeMatch& a, const ProbeMatch& b) {
+                     return a.score > b.score;
+                   });
+  if (max_matches != 0 && result.matches.size() > max_matches) {
+    result.matches.resize(max_matches);
+  }
+  return result;
+}
+
 fbf::util::Status EntityStore::restore(
     std::vector<PersonRecord> records, std::vector<std::uint32_t> entity_ids,
     std::uint32_t entity_total, std::vector<RecordSignatures> signatures) {

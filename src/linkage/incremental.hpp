@@ -70,6 +70,32 @@ class EntityStore {
   /// inserts it.
   IngestStats ingest(std::span<const PersonRecord> batch);
 
+  /// One match surfaced by probe(): a stored record whose comparator
+  /// score reached the attach threshold.
+  struct ProbeMatch {
+    std::uint32_t record_index = 0;  ///< position in records()
+    std::uint32_t entity_id = 0;
+    double score = 0.0;
+  };
+
+  /// A point lookup's answer: threshold matches in descending score order
+  /// (record index ascending on ties — deterministic for any exec policy)
+  /// plus the per-query ladder counters, so the serve layer's replies
+  /// carry the same accounting the batch tools report.
+  struct ProbeResult {
+    std::vector<ProbeMatch> matches;
+    CompareCounters counters;
+    std::uint64_t comparisons = 0;  ///< record-vs-store evaluations
+  };
+
+  /// Read-only point lookup: scores `query` against every stored record
+  /// exactly as ingest() would (pipeline bank or scalar loop per the exec
+  /// policy) but commits nothing — the request path the online daemon and
+  /// the in-process client share.  `max_matches` truncates the reply
+  /// after sorting; 0 means unbounded.
+  [[nodiscard]] ProbeResult probe(const PersonRecord& query,
+                                  std::size_t max_matches = 8) const;
+
   /// Number of stored records.
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
 

@@ -27,7 +27,7 @@ std::uint64_t frame_checksum(const FrameContext& ctx, std::string_view payload) 
 
 bool known_frame_type(std::uint16_t type) noexcept {
   return type >= static_cast<std::uint16_t>(FrameType::kLinkRequest) &&
-         type <= static_cast<std::uint16_t>(FrameType::kStateDrop);
+         type <= static_cast<std::uint16_t>(FrameType::kOverloaded);
 }
 
 }  // namespace
@@ -43,8 +43,25 @@ const char* frame_type_name(FrameType type) noexcept {
     case FrameType::kReplicaQuery: return "replica-query";
     case FrameType::kStateFetch: return "state-fetch";
     case FrameType::kStateDrop: return "state-drop";
+    case FrameType::kMatchQuery: return "match-query";
+    case FrameType::kMatchReply: return "match-reply";
+    case FrameType::kIngest: return "ingest";
+    case FrameType::kIngestReply: return "ingest-reply";
+    case FrameType::kAdmin: return "admin";
+    case FrameType::kAdminReply: return "admin-reply";
+    case FrameType::kOverloaded: return "overloaded";
   }
   return "?";
+}
+
+FrameType reply_frame_type(FrameType request) noexcept {
+  switch (request) {
+    case FrameType::kPing: return FrameType::kPong;
+    case FrameType::kMatchQuery: return FrameType::kMatchReply;
+    case FrameType::kIngest: return FrameType::kIngestReply;
+    case FrameType::kAdmin: return FrameType::kAdminReply;
+    default: return FrameType::kLinkReply;
+  }
 }
 
 std::string encode_frame(const FrameContext& ctx, std::string_view payload) {

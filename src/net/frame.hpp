@@ -43,9 +43,22 @@ enum class FrameType : std::uint16_t {
   kReplicaQuery = 7,  ///< link a stored partition against the broadcast right
   kStateFetch = 8,    ///< read one migration blob (manifest/base/delta)
   kStateDrop = 9,     ///< drop a partition's state after ownership handoff
+  // Online match service protocol (src/serve): point queries + ingest.
+  kMatchQuery = 10,  ///< one point lookup (client -> server)
+  kMatchReply = 11,  ///< matches + ladder counters (server -> client)
+  kIngest = 12,      ///< records to append into the durable store
+  kIngestReply = 13, ///< acknowledged sequence number (server -> client)
+  kAdmin = 14,       ///< stats / quarantine-drain command
+  kAdminReply = 15,  ///< encoded admin answer (server -> client)
+  kOverloaded = 16,  ///< admission control rejected the request; retry later
 };
 
 [[nodiscard]] const char* frame_type_name(FrameType type) noexcept;
+
+/// The success reply type paired with a request type (kLinkRequest ->
+/// kLinkReply, kMatchQuery -> kMatchReply, ...).  Request types without a
+/// dedicated reply keep the historical kLinkReply framing.
+[[nodiscard]] FrameType reply_frame_type(FrameType request) noexcept;
 
 /// Routing context carried by every frame, visible to the transport layer
 /// without decoding the payload (fault decisions key off it).

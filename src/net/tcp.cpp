@@ -148,7 +148,8 @@ u::Status decode_error_payload(std::string_view payload) {
   std::uint8_t code = 0;
   std::string message;
   if (!r.get(code) || !r.get_string(message) ||
-      code > static_cast<std::uint8_t>(u::StatusCode::kIoError) || code == 0) {
+      code > static_cast<std::uint8_t>(u::StatusCode::kResourceExhausted) ||
+      code == 0) {
     return u::Status::data_loss("malformed error frame");
   }
   return {static_cast<u::StatusCode>(code), std::move(message)};
@@ -368,11 +369,16 @@ void ShardServer::serve(const Job& job) {
   FrameContext reply_ctx = job.ctx;
   std::string frame;
   if (result.ok()) {
-    reply_ctx.type = FrameType::kLinkReply;
+    reply_ctx.type = reply_frame_type(job.ctx.type);
     frame = encode_frame(reply_ctx, result.value());
     counters_.requests_served.fetch_add(1);
   } else {
-    reply_ctx.type = FrameType::kError;
+    // Overload is a distinct frame type so clients can tell "retry later"
+    // from "this request is broken" without parsing the payload.
+    reply_ctx.type =
+        result.status().code() == u::StatusCode::kResourceExhausted
+            ? FrameType::kOverloaded
+            : FrameType::kError;
     frame = encode_frame(reply_ctx, encode_error_payload(result.status()));
   }
   if (fail && kind == u::NetFaultKind::kMidFrameDisconnect) {
@@ -471,7 +477,8 @@ u::Result<std::string> TcpTransport::call_once(const FrameContext& ctx,
     if (reply.status == DecodeStatus::kFrame) {
       std::string payload(reply.payload);
       ::close(fd);
-      if (reply.ctx.type == FrameType::kError) {
+      if (reply.ctx.type == FrameType::kError ||
+          reply.ctx.type == FrameType::kOverloaded) {
         return decode_error_payload(payload);
       }
       return payload;

@@ -1,0 +1,126 @@
+#include "serve/coalescer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace fbf::serve {
+
+namespace u = fbf::util;
+
+BatchCoalescer::BatchCoalescer(BatchFn fn, CoalescerOptions options)
+    : fn_(std::move(fn)), options_(options) {
+  if (options_.max_batch == 0) {
+    options_.max_batch = 1;
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+BatchCoalescer::~BatchCoalescer() { stop(); }
+
+u::Result<core::CorpusResult> BatchCoalescer::submit(std::string query) {
+  std::future<u::Result<core::CorpusResult>> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return u::Status::unavailable("coalescer stopped");
+    }
+    if (pending_.size() >= options_.max_inflight) {
+      ++stats_.rejected;
+      return u::Status::resource_exhausted(
+          "match queue full (" + std::to_string(pending_.size()) +
+          " pending)");
+    }
+    ++stats_.queries;
+    Pending& p = pending_.emplace_back();
+    p.query = std::move(query);
+    future = p.promise.get_future();
+  }
+  arrival_cv_.notify_one();
+  return future.get();
+}
+
+void BatchCoalescer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  arrival_cv_.notify_all();
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  }
+  // The dispatcher exits only after draining; anything still pending
+  // (raced in during shutdown) fails cleanly.
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(pending_);
+  }
+  for (Pending& p : leftover) {
+    p.promise.set_value(u::Status::unavailable("coalescer stopped"));
+  }
+}
+
+CoalescerStats BatchCoalescer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BatchCoalescer::dispatcher_loop() {
+  using Clock = std::chrono::steady_clock;
+  const auto linger = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.max_linger_ms));
+  std::vector<Pending> batch;
+  std::vector<std::string> queries;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      arrival_cv_.wait(lock,
+                       [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) {
+        return;  // stopping and drained
+      }
+      // Linger: give followers a window to join this batch, but dispatch
+      // the moment it fills.  The deadline is anchored at the first
+      // arrival *observed here* — a query never waits more than
+      // max_linger_ms beyond the dispatcher picking it up.
+      if (pending_.size() < options_.max_batch &&
+          options_.max_linger_ms > 0.0 && !stopping_) {
+        const auto deadline = Clock::now() + linger;
+        arrival_cv_.wait_until(lock, deadline, [this] {
+          return stopping_ || pending_.size() >= options_.max_batch;
+        });
+      }
+      const std::size_t take =
+          std::min(pending_.size(), options_.max_batch);
+      batch.clear();
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+      ++stats_.batches;
+      stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, take);
+      if (take > 1) {
+        stats_.coalesced += take;
+      }
+    }
+    queries.clear();
+    for (const Pending& p : batch) {
+      queries.push_back(p.query);
+    }
+    std::vector<core::CorpusResult> results = fn_(queries);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (i < results.size()) {
+        batch[i].promise.set_value(std::move(results[i]));
+      } else {
+        batch[i].promise.set_value(
+            u::Status::unavailable("batch function returned short"));
+      }
+    }
+  }
+}
+
+}  // namespace fbf::serve

@@ -1,0 +1,112 @@
+// BatchCoalescer: gathers concurrent point queries into kernel batches
+// (DESIGN.md §15).
+//
+// The batched tile kernel amortizes every packed plane load across up to
+// kMaxBlockQueries queries, but an online daemon receives queries one at
+// a time on independent connections.  The coalescer closes that gap: a
+// submitting thread parks its query on a pending queue and blocks on a
+// future; a single dispatcher thread collects up to `max_batch` pending
+// queries — waiting at most `max_linger_ms` after the first arrival so a
+// lone query is never held hostage to batch-filling — and runs them
+// through one BatchFn call (MatchCorpus::query_batch downstream).
+//
+// Two properties carry the design:
+//
+//  * Invisibility — the BatchFn contract (per-query counter attribution
+//    in filter_block) means each future resolves to exactly the result
+//    and ladder counters a solo query would have produced.  Batching is
+//    a throughput optimization, never an observable behavior change
+//    (property-tested under fuzzed arrival orders in test_serve.cpp).
+//  * Admission control — the pending queue is bounded (`max_inflight`);
+//    beyond it submit() fails fast with kResourceExhausted rather than
+//    queueing unboundedly.  The service maps that to a kOverloaded frame
+//    so remote clients distinguish "retry later" from "request broken".
+//
+// At saturation coalescing is self-reinforcing: while one batch runs,
+// arrivals accumulate, so the next batch is fuller — Q rises with load
+// exactly when the kernel amortization pays most.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/corpus.hpp"
+#include "core/fbf_kernel.hpp"
+#include "util/status.hpp"
+
+namespace fbf::serve {
+
+struct CoalescerOptions {
+  /// Queries per dispatched batch; the default is one full kernel
+  /// register block.
+  std::size_t max_batch = core::kMaxBlockQueries;
+  /// How long the dispatcher lingers after the first pending arrival
+  /// before dispatching a partial batch.  0 dispatches immediately
+  /// (coalescing then happens only while a batch is already running).
+  double max_linger_ms = 0.25;
+  /// Pending-queue admission bound; beyond it submit() fails fast with
+  /// kResourceExhausted.
+  std::size_t max_inflight = 64;
+};
+
+struct CoalescerStats {
+  std::uint64_t batches = 0;   ///< BatchFn dispatches
+  std::uint64_t queries = 0;   ///< queries admitted
+  std::uint64_t coalesced = 0; ///< queries that shared a batch with others
+  std::uint64_t rejected = 0;  ///< admission-control rejections
+  std::uint64_t max_batch = 0; ///< largest batch dispatched
+};
+
+class BatchCoalescer {
+ public:
+  /// Runs one batch of queries; result[i] answers queries[i].  Called on
+  /// the dispatcher thread only, so the BatchFn may hold locks of its
+  /// own but must not call back into submit().
+  using BatchFn = std::function<std::vector<core::CorpusResult>(
+      std::span<const std::string> queries)>;
+
+  explicit BatchCoalescer(BatchFn fn, CoalescerOptions options = {});
+  ~BatchCoalescer();
+
+  BatchCoalescer(const BatchCoalescer&) = delete;
+  BatchCoalescer& operator=(const BatchCoalescer&) = delete;
+
+  /// Submits one query and blocks until its batch completes.  Fails fast
+  /// with kResourceExhausted when the pending queue is full, and with
+  /// kUnavailable after stop().
+  [[nodiscard]] fbf::util::Result<core::CorpusResult> submit(
+      std::string query);
+
+  /// Drains pending queries (they fail kUnavailable) and joins the
+  /// dispatcher.  Idempotent; called by the destructor.
+  void stop();
+
+  [[nodiscard]] CoalescerStats stats() const;
+
+ private:
+  struct Pending {
+    std::string query;
+    std::promise<fbf::util::Result<core::CorpusResult>> promise;
+  };
+
+  void dispatcher_loop();
+
+  BatchFn fn_;
+  CoalescerOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable arrival_cv_;
+  std::deque<Pending> pending_;
+  bool stopping_ = false;
+  CoalescerStats stats_;
+  std::thread dispatcher_;
+};
+
+}  // namespace fbf::serve

@@ -1,0 +1,298 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "net/frame.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace fbf::serve {
+
+namespace u = fbf::util;
+
+namespace {
+
+/// Latency ring capacity: enough for stable tail percentiles, bounded so
+/// a long-lived daemon never grows.
+constexpr std::size_t kLatencySamples = 4096;
+
+/// Decrements the in-flight tally on every exit path.
+class InflightGuard {
+ public:
+  explicit InflightGuard(std::atomic<std::size_t>& count) : count_(count) {}
+  ~InflightGuard() { count_.fetch_sub(1, std::memory_order_relaxed); }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+ private:
+  std::atomic<std::size_t>& count_;
+};
+
+}  // namespace
+
+MatchService::MatchService(ServiceOptions options,
+                           std::shared_ptr<storage::StorageBackend> backend)
+    : options_(std::move(options)),
+      corpus_(options_.query),
+      store_(options_.comparator, std::move(backend), options_.durability) {
+  coalescer_.emplace(
+      [this](std::span<const std::string> queries) {
+        std::lock_guard<std::mutex> lock(corpus_mu_);
+        return corpus_.query_batch(queries);
+      },
+      options_.coalescer);
+}
+
+MatchService::~MatchService() { stop(); }
+
+void MatchService::stop() {
+  if (coalescer_.has_value()) {
+    coalescer_->stop();
+  }
+}
+
+void MatchService::simulate_crash() {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  store_.simulate_crash();
+}
+
+u::Result<linkage::RecoveryReport> MatchService::recover() {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return store_.recover();
+}
+
+void MatchService::index_strings(std::span<const std::string> values) {
+  std::lock_guard<std::mutex> lock(corpus_mu_);
+  corpus_.append(values);
+}
+
+u::Result<std::string> MatchService::handle(const net::FrameContext& ctx,
+                                            std::string_view payload) {
+  // Service-wide admission: fail fast once max_inflight requests are in
+  // the building.  The guard spans decode + work so a slow ingest counts
+  // against the budget exactly like a slow query.
+  const std::size_t inflight =
+      inflight_.fetch_add(1, std::memory_order_relaxed);
+  InflightGuard guard(inflight_);
+  if (inflight >= options_.max_inflight) {
+    overloaded_.fetch_add(1, std::memory_order_relaxed);
+    return u::Status::resource_exhausted(
+        "service at capacity (" + std::to_string(inflight) + " in flight)");
+  }
+  switch (ctx.type) {
+    case net::FrameType::kPing:
+      return std::string{};
+    case net::FrameType::kMatchQuery:
+      return handle_match(payload);
+    case net::FrameType::kIngest:
+      return handle_ingest(payload);
+    case net::FrameType::kAdmin:
+      return handle_admin(payload);
+    default:
+      return u::Status::invalid_argument(
+          std::string("match service cannot handle frame type ") +
+          net::frame_type_name(ctx.type));
+  }
+}
+
+u::Result<std::string> MatchService::handle_match(std::string_view payload) {
+  u::Result<MatchRequest> req = decode_match_request(payload);
+  if (!req.ok()) {
+    return req.status();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  MatchResponse resp;
+  if (req->kind == MatchRequest::Kind::kString) {
+    u::Result<core::CorpusResult> result = coalescer_->submit(req->text);
+    if (!result.ok()) {
+      if (result.status().code() == u::StatusCode::kResourceExhausted) {
+        overloaded_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return result.status();
+    }
+    resp = match_string(*req, std::move(result.value()));
+  } else {
+    resp = match_record(*req);
+  }
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  record_latency(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count());
+  return encode_match_response(resp);
+}
+
+MatchResponse MatchService::match_string(const MatchRequest& req,
+                                         core::CorpusResult result) const {
+  MatchResponse resp;
+  resp.counters = result.counters;
+  std::uint32_t limit = options_.max_matches_limit;
+  if (req.max_matches != 0) {
+    limit = std::min(limit, req.max_matches);
+  }
+  if (result.matches.size() > limit) {
+    result.matches.resize(limit);
+  }
+  std::lock_guard<std::mutex> lock(corpus_mu_);
+  resp.comparisons = corpus_.size();
+  resp.matches.reserve(result.matches.size());
+  for (const std::uint32_t id : result.matches) {
+    resp.matches.push_back({id, 0, 1.0, corpus_.value(id)});
+  }
+  return resp;
+}
+
+MatchResponse MatchService::match_record(const MatchRequest& req) {
+  std::uint32_t limit = options_.max_matches_limit;
+  if (req.max_matches != 0) {
+    limit = std::min(limit, req.max_matches);
+  }
+  std::lock_guard<std::mutex> lock(store_mu_);
+  const linkage::EntityStore::ProbeResult probe =
+      store_.store().probe(req.record, limit);
+  MatchResponse resp;
+  resp.counters.candidates_generated = probe.counters.candidates_generated;
+  resp.counters.fbf_evaluated = probe.counters.fbf_evaluations;
+  resp.counters.verify_calls = probe.counters.verify_calls;
+  resp.field_comparisons = probe.counters.field_comparisons;
+  resp.comparisons = probe.comparisons;
+  resp.matches.reserve(probe.matches.size());
+  for (const linkage::EntityStore::ProbeMatch& m : probe.matches) {
+    resp.matches.push_back({m.record_index, m.entity_id, m.score, {}});
+  }
+  return resp;
+}
+
+u::Result<std::string> MatchService::handle_ingest(std::string_view payload) {
+  u::Result<IngestRequest> req = decode_ingest_request(payload);
+  if (!req.ok()) {
+    return req.status();
+  }
+  IngestReply reply;
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (req->format == IngestRequest::Format::kRecords) {
+    if (!req->records.empty()) {
+      u::Result<linkage::IngestStats> stats = store_.ingest(req->records);
+      if (!stats.ok()) {
+        return stats.status();
+      }
+    }
+    reply.accepted = req->records.size();
+  } else {
+    // Strict row parse: a damaged row quarantines INTACT (no auto-repair
+    // here — triage runs when the operator drains), and never blocks the
+    // clean rows around it from committing.
+    std::istringstream in(req->csv);
+    u::CsvRowReader reader(in);
+    std::vector<linkage::PersonRecord> batch;
+    while (auto row = reader.next()) {
+      u::Result<linkage::PersonRecord> parsed =
+          linkage::parse_person_csv_row(*row);
+      if (parsed.ok()) {
+        batch.push_back(std::move(parsed.value()));
+      } else {
+        quarantine_.push_back(std::move(*row));
+        ++reply.quarantined;
+      }
+    }
+    if (!batch.empty()) {
+      u::Result<linkage::IngestStats> stats = store_.ingest(batch);
+      if (!stats.ok()) {
+        return stats.status();
+      }
+    }
+    reply.accepted = batch.size();
+  }
+  reply.seq = store_.batches_ingested();
+  reply.store_size = store_.store().size();
+  ingests_.fetch_add(1, std::memory_order_relaxed);
+  return encode_ingest_reply(reply);
+}
+
+u::Result<std::string> MatchService::handle_admin(std::string_view payload) {
+  u::Result<AdminCommand> command = decode_admin_request(payload);
+  if (!command.ok()) {
+    return command.status();
+  }
+  AdminReply reply;
+  reply.command = *command;
+  if (*command == AdminCommand::kStats) {
+    reply.stats = stats_snapshot();
+    return encode_admin_reply(reply);
+  }
+  // Quarantine drain: run the doubled-delimiter triage over every parked
+  // row, re-ingest the repairs as one journaled batch, keep the rest
+  // parked for the operator.
+  std::lock_guard<std::mutex> lock(store_mu_);
+  std::vector<linkage::PersonRecord> repaired;
+  std::vector<u::CsvRow> still_bad;
+  for (u::CsvRow& row : quarantine_) {
+    linkage::PersonRecord r;
+    if (linkage::repair_person_csv_row(row, r)) {
+      repaired.push_back(std::move(r));
+    } else {
+      still_bad.push_back(std::move(row));
+    }
+  }
+  if (!repaired.empty()) {
+    u::Result<linkage::IngestStats> stats = store_.ingest(repaired);
+    if (!stats.ok()) {
+      return stats.status();  // quarantine unchanged: nothing was lost
+    }
+  }
+  reply.drain.repaired = repaired.size();
+  reply.drain.still_bad = still_bad.size();
+  quarantine_ = std::move(still_bad);
+  return encode_admin_reply(reply);
+}
+
+ServiceStats MatchService::stats_snapshot() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    s.store_size = store_.store().size();
+    s.entity_count = store_.store().entity_count();
+    s.quarantined = quarantine_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(corpus_mu_);
+    s.corpus_size = corpus_.size();
+    s.kernel = corpus_.kernel_name();
+  }
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.ingests = ingests_.load(std::memory_order_relaxed);
+  s.overloaded = overloaded_.load(std::memory_order_relaxed);
+  if (coalescer_.has_value()) {
+    const CoalescerStats cs = coalescer_->stats();
+    s.coalesced_batches = cs.batches;
+    s.coalesced_queries = cs.coalesced;
+    s.max_batch = cs.max_batch;
+  }
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    const u::LatencySummary lat = u::summarize_latency(latency_ms_);
+    s.p50_ms = lat.p50;
+    s.p99_ms = lat.p99;
+    s.p999_ms = lat.p999;
+  }
+  return s;
+}
+
+std::size_t MatchService::quarantine_size() const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return quarantine_.size();
+}
+
+void MatchService::record_latency(double ms) {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  if (latency_ms_.size() < kLatencySamples) {
+    latency_ms_.push_back(ms);
+  } else {
+    latency_ms_[latency_next_] = ms;
+    latency_next_ = (latency_next_ + 1) % kLatencySamples;
+  }
+}
+
+}  // namespace fbf::serve

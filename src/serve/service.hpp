@@ -1,0 +1,150 @@
+// MatchService: the online match daemon's request processor
+// (DESIGN.md §15).
+//
+// One MatchService instance owns the serving state — an indexed string
+// corpus (core::MatchCorpus) behind a BatchCoalescer, a durable entity
+// store (linkage::DurableEntityStore), and a CSV quarantine — and
+// processes the serve protocol's three request families:
+//
+//   kMatchQuery  string lookups ride the coalescer into batched
+//                filter_block sweeps; record lookups probe the entity
+//                store under the comparator.  Replies carry per-query
+//                ladder counters identical to a solo run.
+//   kIngest      record batches and raw CSV rows append to the durable
+//                store (write-ahead journaled, group-commit policy).
+//                Damaged CSV rows quarantine intact; the batch commits.
+//   kAdmin       stats snapshot (sizes, kernel, latency percentiles,
+//                coalescing tallies) and quarantine drain (doubled-
+//                delimiter triage + re-ingest of repaired rows).
+//
+// handler() exposes the service as a net::ShardHandler, so the same
+// instance backs an InProcessTransport (deterministic reference) and a
+// ShardServer over real loopback sockets — the transport-equivalence
+// property the client tests assert.  Overload (coalescer admission or
+// the service-wide in-flight budget) surfaces as kResourceExhausted,
+// which the TCP server maps to a kOverloaded frame.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/corpus.hpp"
+#include "core/query_options.hpp"
+#include "linkage/comparator.hpp"
+#include "linkage/csv_io.hpp"
+#include "linkage/snapshot.hpp"
+#include "net/transport.hpp"
+#include "serve/coalescer.hpp"
+#include "serve/protocol.hpp"
+#include "storage/backend.hpp"
+#include "util/status.hpp"
+
+namespace fbf::serve {
+
+struct ServiceOptions {
+  /// String-corpus query knobs (method, k, field layout, exec policy).
+  core::QueryOptions query;
+  /// Record comparator for entity-store probes and ingest.
+  linkage::ComparatorConfig comparator;
+  /// Durability (checkpoint cadence, group commit) for the entity store.
+  linkage::DurabilityPolicy durability;
+  CoalescerOptions coalescer;
+  /// Hard cap on per-request max_matches (a client asking for more gets
+  /// this many).
+  std::uint32_t max_matches_limit = 256;
+  /// Service-wide concurrent-request budget across all request families;
+  /// beyond it handle() fails fast with kResourceExhausted.
+  std::size_t max_inflight = 64;
+
+  ServiceOptions()
+      : comparator(linkage::make_point_threshold_config(
+            linkage::FieldStrategy::kFpdl)) {}
+};
+
+class MatchService {
+ public:
+  MatchService(ServiceOptions options,
+               std::shared_ptr<storage::StorageBackend> backend);
+  ~MatchService();
+
+  MatchService(const MatchService&) = delete;
+  MatchService& operator=(const MatchService&) = delete;
+
+  /// Rebuilds the entity store from the backend (manifest -> base ->
+  /// deltas -> journal tail).  Call before serving when the backend may
+  /// hold state.
+  [[nodiscard]] fbf::util::Result<linkage::RecoveryReport> recover();
+
+  /// Seeds / extends the string corpus (append-only).
+  void index_strings(std::span<const std::string> values);
+
+  /// Processes one request payload.  kPing answers with an empty pong.
+  [[nodiscard]] fbf::util::Result<std::string> handle(
+      const net::FrameContext& ctx, std::string_view payload);
+
+  /// The service as a transport handler (same instance behind in-process
+  /// and TCP transports).
+  [[nodiscard]] net::ShardHandler handler() {
+    return [this](const net::FrameContext& ctx, std::string_view payload) {
+      return handle(ctx, payload);
+    };
+  }
+
+  /// Stops the coalescer (in-flight queries fail kUnavailable).  The
+  /// destructor calls this; explicit for orderly daemon shutdown.
+  void stop();
+
+  /// Test hook: kill -9 at this instant (forwards to
+  /// DurableEntityStore::simulate_crash).  Further ingests fail; recover
+  /// through a fresh service over the same backend.
+  void simulate_crash();
+
+  [[nodiscard]] ServiceStats stats_snapshot() const;
+  [[nodiscard]] std::size_t quarantine_size() const;
+  [[nodiscard]] const core::MatchCorpus& corpus() const noexcept {
+    return corpus_;
+  }
+  [[nodiscard]] const linkage::DurableEntityStore& durable_store()
+      const noexcept {
+    return store_;
+  }
+
+ private:
+  [[nodiscard]] fbf::util::Result<std::string> handle_match(
+      std::string_view payload);
+  [[nodiscard]] fbf::util::Result<std::string> handle_ingest(
+      std::string_view payload);
+  [[nodiscard]] fbf::util::Result<std::string> handle_admin(
+      std::string_view payload);
+  [[nodiscard]] MatchResponse match_string(const MatchRequest& req,
+                                           core::CorpusResult result) const;
+  [[nodiscard]] MatchResponse match_record(const MatchRequest& req);
+  void record_latency(double ms);
+
+  ServiceOptions options_;
+  core::MatchCorpus corpus_;
+  mutable std::mutex corpus_mu_;  ///< guards corpus_ (batch fn + appends)
+  linkage::DurableEntityStore store_;
+  mutable std::mutex store_mu_;   ///< guards store_ + quarantine_
+  std::vector<fbf::util::CsvRow> quarantine_;
+  std::optional<BatchCoalescer> coalescer_;
+
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> ingests_{0};
+  std::atomic<std::uint64_t> overloaded_{0};
+
+  /// Service-side match latency samples (bounded ring, newest wins).
+  mutable std::mutex latency_mu_;
+  std::vector<double> latency_ms_;
+  std::size_t latency_next_ = 0;
+};
+
+}  // namespace fbf::serve

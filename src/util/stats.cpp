@@ -63,6 +63,30 @@ double trimmed_mean_drop_minmax(std::span<const double> xs) {
   return mean(std::span<const double>(sorted).subspan(1, sorted.size() - 2));
 }
 
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+LatencySummary summarize_latency(std::span<const double> xs) {
+  return LatencySummary{
+      .p50 = percentile(xs, 0.50),
+      .p99 = percentile(xs, 0.99),
+      .p999 = percentile(xs, 0.999),
+      .max = max_value(xs),
+      .count = xs.size(),
+  };
+}
+
 Summary summarize(std::span<const double> xs) {
   return Summary{
       .mean = mean(xs),

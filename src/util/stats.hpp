@@ -33,6 +33,22 @@ namespace fbf::util {
 /// are fewer than 3 observations.
 [[nodiscard]] double trimmed_mean_drop_minmax(std::span<const double> xs);
 
+/// Quantile by linear interpolation between order statistics (the "type 7"
+/// estimator); `q` in [0, 1].  Copies and sorts internally; 0.0 for an
+/// empty span.  percentile(xs, 0.5) == median(xs).
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// Serve-latency summary: the tail percentiles the latency bench tracks.
+struct LatencySummary {
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+[[nodiscard]] LatencySummary summarize_latency(std::span<const double> xs);
+
 /// Summary bundle used in verbose bench output.
 struct Summary {
   double mean = 0.0;

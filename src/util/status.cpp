@@ -11,6 +11,7 @@ const char* status_code_name(StatusCode code) noexcept {
     case StatusCode::kFailedPrecondition: return "failed-precondition";
     case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kIoError: return "io-error";
+    case StatusCode::kResourceExhausted: return "resource-exhausted";
   }
   return "?";
 }

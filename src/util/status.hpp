@@ -24,6 +24,7 @@ enum class StatusCode {
   kFailedPrecondition,  ///< operation ordering violated
   kUnavailable,         ///< transient: a retry may succeed (injected faults)
   kIoError,             ///< the stream/file itself failed
+  kResourceExhausted,   ///< admission control rejected the request (overload)
 };
 
 [[nodiscard]] const char* status_code_name(StatusCode code) noexcept;
@@ -62,6 +63,9 @@ class [[nodiscard]] Status {
   }
   static Status io_error(std::string msg) {
     return {StatusCode::kIoError, std::move(msg)};
+  }
+  static Status resource_exhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
   }
 
  private:

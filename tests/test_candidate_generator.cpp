@@ -651,9 +651,12 @@ TEST(GeneratorEquivalence, IndexedJoinBlockPathMatchesScan) {
       scan_cfg.field_class = layout.cls;
       const auto scan =
           c::match_strings(dataset.clean, dataset.error, scan_cfg);
-      const auto indexed = c::match_strings_indexed(
-          dataset.clean, dataset.error, layout.cls, k,
-          c::kDefaultAlphaWords, c::GeneratorKind::kBlockIndex);
+      c::QueryOptions options;
+      options.field_class = layout.cls;
+      options.k = k;
+      options.exec.generator = c::GeneratorKind::kBlockIndex;
+      const auto indexed =
+          c::match_strings_indexed(dataset.clean, dataset.error, options);
       ASSERT_TRUE(indexed.has_value())
           << dg::field_kind_name(layout.kind) << " k=" << k;
       EXPECT_STREQ(indexed->path, "block-index");

@@ -1,0 +1,437 @@
+// Serve-layer properties (DESIGN.md §15): the coalescing contract
+// (batched Q>1 byte-identical to sequential Q=1), overload/backpressure,
+// kill-mid-ingest durability, and quarantine triage over the protocol.
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/corpus.hpp"
+#include "datagen/dataset.hpp"
+#include "linkage/person_gen.hpp"
+#include "net/tcp.hpp"
+#include "serve/client.hpp"
+#include "serve/coalescer.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "storage/mem_object.hpp"
+#include "util/rng.hpp"
+
+namespace c = fbf::core;
+namespace d = fbf::datagen;
+namespace l = fbf::linkage;
+namespace s = fbf::serve;
+namespace u = fbf::util;
+
+namespace {
+
+void expect_result_eq(const c::CorpusResult& got, const c::CorpusResult& want,
+                      const std::string& label) {
+  EXPECT_EQ(got.matches, want.matches) << label;
+  EXPECT_EQ(got.counters.candidates_generated,
+            want.counters.candidates_generated)
+      << label;
+  EXPECT_EQ(got.counters.length_pass, want.counters.length_pass) << label;
+  EXPECT_EQ(got.counters.fbf_evaluated, want.counters.fbf_evaluated) << label;
+  EXPECT_EQ(got.counters.fbf_pass, want.counters.fbf_pass) << label;
+  EXPECT_EQ(got.counters.verify_calls, want.counters.verify_calls) << label;
+}
+
+d::PairedDataset make_dataset(std::size_t n, std::uint64_t seed) {
+  auto built = d::build_paired_dataset(d::FieldKind::kLastName, n, seed);
+  EXPECT_TRUE(built.ok());
+  return std::move(built.value());
+}
+
+}  // namespace
+
+// --- MatchCorpus: query_batch == sequential query ----------------------
+
+TEST(MatchCorpus, BatchedIdenticalToSequentialAcrossMethodsAndSizes) {
+  const d::PairedDataset dataset = make_dataset(700, 11);
+  for (const c::Method method :
+       {c::Method::kFpdl, c::Method::kFbfOnly, c::Method::kLfpdl}) {
+    c::QueryOptions options;
+    options.method = method;
+    const c::MatchCorpus corpus(options, dataset.clean);
+    // Q spanning: lone query, partial block, full block, several blocks.
+    for (const std::size_t q : {std::size_t{1}, std::size_t{3},
+                                std::size_t{8}, std::size_t{21}}) {
+      const std::span<const std::string> queries(dataset.error.data(), q);
+      const std::vector<c::CorpusResult> batched = corpus.query_batch(queries);
+      ASSERT_EQ(batched.size(), q);
+      for (std::size_t i = 0; i < q; ++i) {
+        expect_result_eq(batched[i], corpus.query(queries[i]),
+                         "method=" + std::to_string(static_cast<int>(method)) +
+                             " q=" + std::to_string(q) +
+                             " i=" + std::to_string(i));
+      }
+    }
+  }
+}
+
+TEST(MatchCorpus, BatchedIdenticalInPerPairFallbackMode) {
+  const d::PairedDataset dataset = make_dataset(300, 12);
+  c::QueryOptions options;
+  options.exec.use_pipeline = false;  // force the per-pair fallback
+  const c::MatchCorpus corpus(options, dataset.clean);
+  const std::span<const std::string> queries(dataset.error.data(), 13);
+  const std::vector<c::CorpusResult> batched = corpus.query_batch(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expect_result_eq(batched[i], corpus.query(queries[i]),
+                     "fallback i=" + std::to_string(i));
+  }
+}
+
+TEST(MatchCorpus, BatchedIdenticalAcrossExecThreads) {
+  // exec-policy invariance (exec_policy.hpp): fanning a batch across a
+  // worker pool partitions the queries but cannot change any query's
+  // matches or counters — the parallel batch must equal the serial
+  // corpus query for query, bit for bit.
+  const d::PairedDataset dataset = make_dataset(600, 14);
+  c::QueryOptions serial;
+  const c::MatchCorpus reference(serial, dataset.clean);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    c::QueryOptions options;
+    options.exec.threads = threads;
+    const c::MatchCorpus corpus(options, dataset.clean);
+    for (const std::size_t q : {std::size_t{1}, std::size_t{5},
+                                std::size_t{8}, std::size_t{26}}) {
+      const std::span<const std::string> queries(dataset.error.data(), q);
+      const std::vector<c::CorpusResult> batched = corpus.query_batch(queries);
+      ASSERT_EQ(batched.size(), q);
+      for (std::size_t i = 0; i < q; ++i) {
+        expect_result_eq(batched[i], reference.query(queries[i]),
+                         "threads=" + std::to_string(threads) +
+                             " q=" + std::to_string(q) +
+                             " i=" + std::to_string(i));
+      }
+    }
+  }
+}
+
+TEST(MatchCorpus, FindsInjectedErrorNeighbor) {
+  const d::PairedDataset dataset = make_dataset(400, 13);
+  const c::MatchCorpus corpus(c::QueryOptions{}, dataset.clean);
+  // error[i] is clean[i] + one edit: with k=1 the true neighbor must
+  // survive filter + verify.
+  std::size_t found = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    const c::CorpusResult result = corpus.query(dataset.error[i]);
+    for (const std::uint32_t id : result.matches) {
+      found += id == i ? 1u : 0u;
+    }
+  }
+  EXPECT_EQ(found, 50u);
+}
+
+// --- BatchCoalescer ----------------------------------------------------
+
+TEST(Coalescer, ConcurrentSubmissionsMatchSoloQueries) {
+  const d::PairedDataset dataset = make_dataset(500, 21);
+  const c::MatchCorpus corpus(c::QueryOptions{}, dataset.clean);
+  s::CoalescerOptions options;
+  options.max_linger_ms = 0.5;
+  options.max_inflight = 1024;
+  s::BatchCoalescer coalescer(
+      [&corpus](std::span<const std::string> queries) {
+        return corpus.query_batch(queries);
+      },
+      options);
+
+  // Fuzzed arrival order: 6 threads x 24 queries with per-thread jitter.
+  constexpr std::size_t kThreads = 6;
+  constexpr std::size_t kPerThread = 24;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kThreads);
+  std::barrier start(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 jitter(static_cast<unsigned>(t) * 7919u + 1u);
+      start.arrive_and_wait();
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::string& query =
+            dataset.error[(t * kPerThread + i) % dataset.error.size()];
+        if (jitter() % 3 == 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(jitter() % 400));
+        }
+        u::Result<c::CorpusResult> got = coalescer.submit(query);
+        if (!got.ok()) {
+          failures[t] = got.status().to_string();
+          return;
+        }
+        const c::CorpusResult want = corpus.query(query);
+        if (got->matches != want.matches ||
+            got->counters.candidates_generated !=
+                want.counters.candidates_generated ||
+            got->counters.fbf_pass != want.counters.fbf_pass ||
+            got->counters.verify_calls != want.counters.verify_calls) {
+          failures[t] = "batched result diverged for query " + query;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (const std::string& failure : failures) {
+    EXPECT_TRUE(failure.empty()) << failure;
+  }
+  const s::CoalescerStats stats = coalescer.stats();
+  EXPECT_EQ(stats.queries, kThreads * kPerThread);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GE(stats.queries, stats.batches);  // never more batches than queries
+  EXPECT_LE(stats.max_batch, c::kMaxBlockQueries);
+}
+
+TEST(Coalescer, OverloadFailsFastWithResourceExhausted) {
+  // A deliberately slow batch function with a tiny admission bound: the
+  // flood must split into served and kResourceExhausted, nothing lost.
+  s::CoalescerOptions options;
+  options.max_batch = 1;
+  options.max_linger_ms = 0.0;
+  options.max_inflight = 2;
+  s::BatchCoalescer coalescer(
+      [](std::span<const std::string> queries) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return std::vector<c::CorpusResult>(queries.size());
+      },
+      options);
+  constexpr std::size_t kThreads = 12;
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> other{0};
+  std::vector<std::thread> threads;
+  std::barrier start(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      start.arrive_and_wait();
+      const u::Result<c::CorpusResult> got = coalescer.submit("q");
+      if (got.ok()) {
+        ++served;
+      } else if (got.status().code() == u::StatusCode::kResourceExhausted) {
+        ++rejected;
+      } else {
+        ++other;
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(served + rejected, kThreads);
+  EXPECT_EQ(other, 0u);
+  EXPECT_GT(served, 0u);
+  EXPECT_GT(rejected, 0u);  // 12 near-simultaneous vs bound 2 must reject
+  EXPECT_EQ(coalescer.stats().rejected, rejected);
+}
+
+// --- overload over the wire --------------------------------------------
+
+TEST(ServeOverload, ResourceExhaustedSurvivesTheTcpRoundTrip) {
+  // kResourceExhausted maps to a kOverloaded frame server-side and back
+  // to the same code client-side, so remote callers can tell "retry
+  // later" from "request broken" — and the client never blind-retries it.
+  std::atomic<int> calls{0};
+  fbf::net::ShardServer server(
+      [&calls](const fbf::net::FrameContext&,
+               std::string_view) -> u::Result<std::string> {
+        ++calls;
+        return u::Status::resource_exhausted("service at capacity");
+      });
+  fbf::net::TcpTransportOptions transport_options;
+  transport_options.port = server.port();
+  fbf::Client client(
+      std::make_shared<fbf::net::TcpTransport>(transport_options));
+  const u::Result<fbf::MatchResponse> reply = client.match_string("abc");
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), u::StatusCode::kResourceExhausted);
+  EXPECT_EQ(calls.load(), 1) << "overload must not be retried";
+}
+
+TEST(ServeOverload, ServiceInflightBudgetRejectsFloods) {
+  auto backend = std::make_shared<fbf::storage::MemObjectBackend>();
+  s::ServiceOptions options;
+  options.max_inflight = 2;
+  options.coalescer.max_inflight = 2;
+  s::MatchService service(options, backend);
+  const std::vector<std::string> corpus{"alpha", "beta", "gamma"};
+  service.index_strings(corpus);
+
+  constexpr std::size_t kThreads = 16;
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> overloaded{0};
+  std::vector<std::thread> threads;
+  std::barrier start(kThreads);
+  fbf::MatchRequest request;
+  request.text = "alpha";
+  const std::string payload = s::encode_match_request(request);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      fbf::net::FrameContext ctx;
+      ctx.type = fbf::net::FrameType::kMatchQuery;
+      start.arrive_and_wait();
+      for (int i = 0; i < 50; ++i) {
+        const u::Result<std::string> reply = service.handle(ctx, payload);
+        if (reply.ok()) {
+          ++ok;
+        } else {
+          ASSERT_EQ(reply.status().code(),
+                    u::StatusCode::kResourceExhausted);
+          ++overloaded;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_GT(ok.load(), 0u);
+  EXPECT_GT(overloaded.load(), 0u)
+      << "16 threads against an in-flight budget of 2 must trip admission";
+  EXPECT_EQ(service.stats_snapshot().overloaded, overloaded.load());
+}
+
+// --- durability: kill mid-ingest ---------------------------------------
+
+TEST(ServeDurability, AcknowledgedIngestsSurviveAKill) {
+  auto backend = std::make_shared<fbf::storage::MemObjectBackend>();
+  s::ServiceOptions options;
+  u::Rng rng(31);
+  const std::vector<l::PersonRecord> people = l::generate_people(30, rng);
+  std::uint64_t acked_records = 0;
+  std::uint64_t last_seq = 0;
+  {
+    s::MatchService service(options, backend);
+    ASSERT_TRUE(service.recover().ok());
+    fbf::Client client = fbf::Client::in_process(service);
+    for (std::size_t batch = 0; batch < 3; ++batch) {
+      const std::span<const l::PersonRecord> slice(people.data() + batch * 10,
+                                                   10);
+      const u::Result<s::IngestReply> reply = client.ingest(slice);
+      ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+      acked_records += reply->accepted;
+      last_seq = reply->seq;
+    }
+    service.simulate_crash();  // kill -9: no destructor-time journal sync
+  }
+  s::MatchService recovered(options, backend);
+  const u::Result<l::RecoveryReport> report = recovered.recover();
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(recovered.durable_store().store().size(), acked_records)
+      << "every acknowledged write must survive the kill";
+  EXPECT_EQ(recovered.durable_store().batches_ingested(), last_seq);
+  // The recovered store answers probes over the recovered records.
+  fbf::Client client = fbf::Client::in_process(recovered);
+  const u::Result<fbf::MatchResponse> probe = client.match_record(people[0]);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_FALSE(probe->matches.empty());
+}
+
+// --- quarantine triage over the protocol -------------------------------
+
+TEST(ServeQuarantine, DrainRepairsDoubledDelimitersAndKeepsTheRest) {
+  auto backend = std::make_shared<fbf::storage::MemObjectBackend>();
+  s::MatchService service(s::ServiceOptions{}, backend);
+  fbf::Client client = fbf::Client::in_process(service);
+
+  // One clean row, one repairable (doubled delimiter -> shifted cells,
+  // empty id), one genuinely bad (short row): ingest commits the clean
+  // row and quarantines the other two intact.
+  const std::string csv =
+      "1,ann,abel,12 oak st,5550001111,f,123456789,01021990\n"
+      ",2,bob,baker,34 elm st,5550002222,m,987654321,03041985\n"
+      "3,carol,chase\n";
+  const u::Result<s::IngestReply> ingest = client.ingest_csv(csv);
+  ASSERT_TRUE(ingest.ok()) << ingest.status().to_string();
+  EXPECT_EQ(ingest->accepted, 1u);
+  EXPECT_EQ(ingest->quarantined, 2u);
+  EXPECT_EQ(ingest->store_size, 1u);
+  EXPECT_EQ(service.quarantine_size(), 2u);
+
+  const u::Result<s::DrainReply> drain = client.drain_quarantine();
+  ASSERT_TRUE(drain.ok()) << drain.status().to_string();
+  EXPECT_EQ(drain->repaired, 1u);
+  EXPECT_EQ(drain->still_bad, 1u);
+  EXPECT_EQ(service.quarantine_size(), 1u);
+  EXPECT_EQ(service.durable_store().store().size(), 2u);
+
+  // Draining again re-triages only the leftover; nothing double-ingests.
+  const u::Result<s::DrainReply> again = client.drain_quarantine();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->repaired, 0u);
+  EXPECT_EQ(again->still_bad, 1u);
+  EXPECT_EQ(service.durable_store().store().size(), 2u);
+
+  const u::Result<s::ServiceStats> stats = client.stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->quarantined, 1u);
+  EXPECT_EQ(stats->ingests, 1u);
+}
+
+// --- protocol codecs ---------------------------------------------------
+
+TEST(ServeProtocol, RequestAndReplyCodecsRoundTrip) {
+  fbf::MatchRequest match;
+  match.kind = fbf::MatchRequest::Kind::kString;
+  match.text = "kowalski";
+  match.max_matches = 3;
+  const u::Result<fbf::MatchRequest> match_rt =
+      s::decode_match_request(s::encode_match_request(match));
+  ASSERT_TRUE(match_rt.ok());
+  EXPECT_EQ(match_rt->text, match.text);
+  EXPECT_EQ(match_rt->max_matches, 3u);
+
+  fbf::MatchResponse response;
+  response.matches.push_back({7, 2, 0.5, "value"});
+  response.counters.fbf_pass = 9;
+  response.comparisons = 100;
+  const u::Result<fbf::MatchResponse> response_rt =
+      s::decode_match_response(s::encode_match_response(response));
+  ASSERT_TRUE(response_rt.ok());
+  EXPECT_EQ(s::match_response_fingerprint(*response_rt),
+            s::match_response_fingerprint(response));
+
+  s::IngestRequest ingest;
+  ingest.format = s::IngestRequest::Format::kCsv;
+  ingest.csv = "1,a,b,c,d,e,f,g\n";
+  const u::Result<s::IngestRequest> ingest_rt =
+      s::decode_ingest_request(s::encode_ingest_request(ingest));
+  ASSERT_TRUE(ingest_rt.ok());
+  EXPECT_EQ(ingest_rt->csv, ingest.csv);
+
+  s::AdminReply admin;
+  admin.command = s::AdminCommand::kStats;
+  admin.stats.kernel = "tile-avx2";
+  admin.stats.p999_ms = 1.25;
+  const u::Result<s::AdminReply> admin_rt =
+      s::decode_admin_reply(s::encode_admin_reply(admin));
+  ASSERT_TRUE(admin_rt.ok());
+  EXPECT_EQ(admin_rt->stats.kernel, "tile-avx2");
+  EXPECT_EQ(admin_rt->stats.p999_ms, 1.25);
+}
+
+TEST(ServeProtocol, TruncatedPayloadsDecodeToInvalidArgument) {
+  fbf::MatchRequest match;
+  match.text = "abcdef";
+  const std::string encoded = s::encode_match_request(match);
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{3},
+                                encoded.size() - 1}) {
+    const u::Result<fbf::MatchRequest> decoded =
+        s::decode_match_request(std::string_view(encoded).substr(0, cut));
+    EXPECT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), u::StatusCode::kInvalidArgument);
+  }
+  // Trailing garbage is rejected too.
+  const u::Result<fbf::MatchRequest> padded =
+      s::decode_match_request(encoded + "x");
+  EXPECT_FALSE(padded.ok());
+}

@@ -14,6 +14,15 @@ namespace {
 namespace c = fbf::core;
 namespace dg = fbf::datagen;
 
+c::QueryOptions index_options(c::FieldClass cls, int k,
+                              int alpha_words = c::kDefaultAlphaWords) {
+  c::QueryOptions options;
+  options.field_class = cls;
+  options.k = k;
+  options.alpha_words = alpha_words;
+  return options;
+}
+
 TEST(SignatureIndex, RefusesUnsupportedLayouts) {
   const std::vector<std::string> strings = {"1801 N BROAD ST"};
   EXPECT_FALSE(c::SignatureIndex::build(strings,
@@ -71,7 +80,7 @@ TEST_P(IndexEquivalence, QueryReturnsExactlyTheFbfPassSet) {
   for (std::size_t i = 0; i < dataset.size(); ++i) {
     const auto sig = c::make_signature(dataset.clean[i], cls, 2);
     candidates.clear();
-    index->query(sig, candidates);
+    index->generate(sig, candidates);
     std::set<std::uint32_t> from_index(candidates.begin(), candidates.end());
     EXPECT_EQ(from_index.size(), candidates.size()) << "duplicate ids";
     std::set<std::uint32_t> from_scan;
@@ -100,7 +109,7 @@ TEST(IndexedJoin, MatchesScanJoinExactly) {
     const auto dataset = dg::build_paired_dataset(kind, 300, 55).value();
     const auto cls = dg::field_class_of(kind);
     const auto indexed = c::match_strings_indexed(
-        dataset.clean, dataset.error, cls, 1);
+        dataset.clean, dataset.error, index_options(cls, 1));
     ASSERT_TRUE(indexed.has_value());
     c::JoinConfig scan;
     scan.method = c::Method::kFpdl;
@@ -123,7 +132,8 @@ TEST(IndexedJoin, IndexRefusalDegradesToTileScan) {
   // exact scan-join results instead of failing.
   const auto dataset = dg::build_paired_dataset(dg::FieldKind::kAddress, 50, 1).value();
   const auto indexed = c::match_strings_indexed(
-      dataset.clean, dataset.error, c::FieldClass::kAlphanumeric, 1);
+      dataset.clean, dataset.error,
+      index_options(c::FieldClass::kAlphanumeric, 1));
   ASSERT_TRUE(indexed.has_value());
   EXPECT_STREQ(indexed->path, "tile-scan");
   c::JoinConfig scan;
@@ -142,14 +152,45 @@ TEST(IndexedJoin, UnpackableLayoutReturnsNullopt) {
   const auto dataset =
       dg::build_paired_dataset(dg::FieldKind::kLastName, 50, 1).value();
   EXPECT_FALSE(c::match_strings_indexed(dataset.clean, dataset.error,
-                                        c::FieldClass::kAlpha, 1, 3)
+                                        index_options(c::FieldClass::kAlpha, 1,
+                                                      3))
                    .has_value());
+}
+
+TEST(IndexedJoin, DeprecatedSpellingsStillAnswerIdentically) {
+  // The one-release aliases must keep working and agree with the
+  // QueryOptions spellings bit for bit until they are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto dataset =
+      dg::build_paired_dataset(dg::FieldKind::kSsn, 120, 7).value();
+  const auto via_alias = c::match_strings_indexed(
+      dataset.clean, dataset.error, c::FieldClass::kNumeric, 1);
+  const auto via_options = c::match_strings_indexed(
+      dataset.clean, dataset.error, index_options(c::FieldClass::kNumeric, 1));
+  ASSERT_TRUE(via_alias.has_value());
+  ASSERT_TRUE(via_options.has_value());
+  EXPECT_EQ(via_alias->matches, via_options->matches);
+  EXPECT_EQ(via_alias->candidates, via_options->candidates);
+  EXPECT_EQ(via_alias->verify_calls, via_options->verify_calls);
+
+  const auto index =
+      c::SignatureIndex::build(dataset.error, c::FieldClass::kNumeric, 2, 1);
+  ASSERT_TRUE(index.has_value());
+  std::vector<std::uint32_t> via_query;
+  std::vector<std::uint32_t> via_generate;
+  const auto sig =
+      c::make_signature(dataset.clean[0], c::FieldClass::kNumeric, 2);
+  index->query(sig, via_query);
+  index->generate(sig, via_generate);
+  EXPECT_EQ(via_query, via_generate);
+#pragma GCC diagnostic pop
 }
 
 TEST(IndexedJoin, K2NumericSupported) {
   const auto dataset = dg::build_paired_dataset(dg::FieldKind::kSsn, 150, 9).value();
   const auto indexed = c::match_strings_indexed(
-      dataset.clean, dataset.error, c::FieldClass::kNumeric, 2);
+      dataset.clean, dataset.error, index_options(c::FieldClass::kNumeric, 2));
   ASSERT_TRUE(indexed.has_value());
   c::JoinConfig scan;
   scan.method = c::Method::kFpdl;
