@@ -7,9 +7,13 @@
 //  * the batched tile kernel over packed SoA planes vs the per-pair
 //    scan — the PackedSignatureStore speedup, per layout and kernel.
 // google-benchmark binary: supports --benchmark_filter etc., plus --json
-// as shorthand for --benchmark_format=json (BENCH_*.json recording).
+// as shorthand for --benchmark_format=json (BENCH_*.json recording) and
+// --telemetry-gate, the Release CI check that telemetry-on does not
+// regress the filter_block hot path (DESIGN.md §16).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -17,6 +21,8 @@
 
 #include "core/fbf.hpp"
 #include "core/fbf_kernel.hpp"
+#include "core/match_join.hpp"
+#include "telemetry/telemetry.hpp"
 #include "core/packed_signature_store.hpp"
 #include "core/signature64.hpp"
 #include "core/signature_store.hpp"
@@ -536,6 +542,108 @@ void BM_FullPipeline_FpdlPair(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipeline_FpdlPair);
 
+// --- telemetry overhead gate (--telemetry-gate) -------------------------
+
+/// Seconds for one filter_block sweep bundle: every query in blocks of
+/// 8 against all 5000 candidates, `passes` times over.
+double time_filter_block_pass(const ScanWorkload& w, c::KernelKind kind,
+                              int passes) {
+  constexpr std::size_t kQ = 8;
+  const bool two = w.packed.words() == 2;
+  const int tail = w.packed.max_tail_popcount();
+  constexpr std::size_t kWords = (ScanWorkload::kN + 63) / 64;
+  std::vector<std::uint64_t> bitmaps(kQ * kWords);
+  std::uint64_t q0[c::kMaxBlockQueries];
+  std::uint64_t q1[c::kMaxBlockQueries];
+  std::size_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int pass = 0; pass < passes; ++pass) {
+    for (std::size_t i = 0; i + kQ <= ScanWorkload::kN; i += kQ) {
+      for (std::size_t b = 0; b < kQ; ++b) {
+        q0[b] = w.packed_queries.word(0, i + b);
+        if (two) {
+          q1[b] = w.packed_queries.word(1, i + b);
+        }
+      }
+      sink += c::filter_block(q0, two ? q1 : nullptr, kQ, w.packed.plane(0),
+                              two ? w.packed.plane(1) : nullptr,
+                              ScanWorkload::kN, 2, tail, /*prune=*/true,
+                              bitmaps.data(), kWords, kind);
+    }
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(sink);
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+/// The overhead gate CI's Release leg runs: the filter_block hot path and
+/// a full match_strings join, timed with telemetry::set_enabled(true) vs
+/// false in ONE binary, min-of-repeats, on/off samples interleaved so
+/// frequency drift hits both sides equally.  The kernel itself carries no
+/// instrumentation (the enabled() guards live at tile boundaries), so
+/// this line holds exactly that: if per-candidate instrumentation ever
+/// creeps into the kernel or the per-tile mirror grows a hot-loop cost,
+/// the ratio trips and CI fails.
+int run_telemetry_gate() {
+  constexpr double kMaxRatio = 1.15;
+  constexpr int kRepeats = 9;
+  const c::KernelKind kind = c::best_kernel();
+  const auto& w =
+      ScanWorkload::get(dg::FieldKind::kLastName, c::FieldClass::kAlpha);
+  const auto join_dataset =
+      dg::build_paired_dataset(dg::FieldKind::kLastName, 2000, 13).value();
+
+  const auto run_join = [&join_dataset] {
+    const auto start = std::chrono::steady_clock::now();
+    const c::JoinStats stats = c::match_strings(
+        join_dataset.clean, join_dataset.error, c::JoinConfig{});
+    const auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(stats.matches);
+    return std::chrono::duration<double>(stop - start).count();
+  };
+
+  // Warmup primes the lazy workloads and the CPU clocks on both settings.
+  for (const bool on : {true, false}) {
+    fbf::telemetry::set_enabled(on);
+    (void)time_filter_block_pass(w, kind, 10);
+    (void)run_join();
+  }
+
+  double kernel_on = 1e300;
+  double kernel_off = 1e300;
+  double join_on = 1e300;
+  double join_off = 1e300;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    fbf::telemetry::set_enabled(true);
+    kernel_on = std::min(kernel_on, time_filter_block_pass(w, kind, 50));
+    join_on = std::min(join_on, run_join());
+    fbf::telemetry::set_enabled(false);
+    kernel_off = std::min(kernel_off, time_filter_block_pass(w, kind, 50));
+    join_off = std::min(join_off, run_join());
+  }
+  fbf::telemetry::set_enabled(true);
+
+  const double kernel_ratio = kernel_on / kernel_off;
+  const double join_ratio = join_on / join_off;
+  std::printf("telemetry gate (%s, min of %d repeats, threshold %.2fx)\n",
+              c::kernel_name(kind), kRepeats, kMaxRatio);
+  std::printf("  %-22s on %9.3f ms   off %9.3f ms   ratio %.3fx\n",
+              "filter_block q8", kernel_on * 1e3, kernel_off * 1e3,
+              kernel_ratio);
+  std::printf("  %-22s on %9.3f ms   off %9.3f ms   ratio %.3fx\n",
+              "match_strings n=2000", join_on * 1e3, join_off * 1e3,
+              join_ratio);
+  if (kernel_ratio > kMaxRatio || join_ratio > kMaxRatio) {
+    std::fprintf(stderr,
+                 "telemetry gate FAILED: telemetry-on regresses the hot "
+                 "path beyond %.2fx\n",
+                 kMaxRatio);
+    return 1;
+  }
+  std::printf("telemetry gate: ok\n");
+  return 0;
+}
+
 }  // namespace
 
 // Custom main: accept --json as shorthand for --benchmark_format=json so
@@ -548,6 +656,17 @@ int main(int argc, char** argv) {
   [[maybe_unused]] bool recording = false;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg(argv[i]);
+    if (arg == "--telemetry-gate") {
+#ifndef NDEBUG
+      std::fprintf(stderr,
+                   "refusing to run the telemetry overhead gate from a "
+                   "non-optimized build (NDEBUG unset): rebuild with "
+                   "-DCMAKE_BUILD_TYPE=Release\n");
+      return 2;
+#else
+      return run_telemetry_gate();
+#endif
+    }
     if (arg == "--json") {
       shorthand = true;
       recording = true;

@@ -107,9 +107,11 @@ PhaseResult run_closed_loop(s::MatchService& service,
                          (result.wall_ms / 1000.0)
                    : 0.0;
   result.latency = u::summarize_latency(all);
-  const s::ServiceStats stats = service.stats_snapshot();
-  result.coalesced_batches = stats.coalesced_batches;
-  result.max_batch = stats.max_batch;
+  const fbf::telemetry::MetricsSnapshot metrics = service.metrics_snapshot();
+  result.coalesced_batches =
+      static_cast<std::uint64_t>(metrics.gauge("serve.batch.batches"));
+  result.max_batch =
+      static_cast<std::uint64_t>(metrics.gauge("serve.batch.max"));
   return result;
 }
 

@@ -1,16 +1,19 @@
 #include "cluster/elastic.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "cluster/service.hpp"
 #include "linkage/shard_service.hpp"
 #include "metrics/soundex.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/retry.hpp"
 #include "util/rng.hpp"
 
@@ -369,6 +372,45 @@ void ElasticRun::deliver_late(Partition& p) {
   p.delta_count = seq;
 }
 
+namespace {
+
+/// Mirrors rebalance progress into the canonical cluster.rebalance.*
+/// telemetry family (DESIGN.md §16): one counter per protocol step
+/// reached, plus the migration outcome tallies.  Handles are resolved
+/// once per process; the step names reuse migration_step_name so a new
+/// protocol step cannot go stale here.
+void mirror_rebalance_step(MigrationStep step) {
+  if (!fbf::telemetry::enabled()) {
+    return;
+  }
+  auto& registry = fbf::telemetry::Registry::global();
+  static const std::array<fbf::telemetry::Counter*, kMigrationStepCount>
+      by_step = [&registry] {
+        std::array<fbf::telemetry::Counter*, kMigrationStepCount> out{};
+        for (const MigrationStep s : all_migration_steps()) {
+          out[static_cast<std::size_t>(s)] = &registry.counter(
+              std::string("cluster.rebalance.step.") +
+              migration_step_name(s));
+        }
+        return out;
+      }();
+  by_step[static_cast<std::size_t>(step)]->increment();
+}
+
+void mirror_rebalance_outcome(bool completed) {
+  if (!fbf::telemetry::enabled()) {
+    return;
+  }
+  auto& registry = fbf::telemetry::Registry::global();
+  static fbf::telemetry::Counter& done =
+      registry.counter("cluster.rebalance.completed");
+  static fbf::telemetry::Counter& aborted =
+      registry.counter("cluster.rebalance.aborted");
+  (completed ? done : aborted).increment();
+}
+
+}  // namespace
+
 void ElasticRun::migrate(Partition& p, std::vector<NodeId> new_assigned,
                          const MigrationKill* kill) {
   MigrationStats& mig = result_.migration;
@@ -384,6 +426,7 @@ void ElasticRun::migrate(Partition& p, std::vector<NodeId> new_assigned,
 
   NodeId source = p.holders.empty() ? NodeId{0} : p.holders.front();
   auto maybe_kill = [&](MigrationStep step) {
+    mirror_rebalance_step(step);  // every step entry, kill armed or not
     if (kill != nullptr && kill->step == step) {
       const NodeId victim = kill->victim == MigrationKill::Victim::kSource
                                 ? source
@@ -515,12 +558,14 @@ void ElasticRun::migrate(Partition& p, std::vector<NodeId> new_assigned,
   }
   if (!transferred || new_holders.empty()) {
     ++mig.aborted;  // old replica set stays authoritative and complete
+    mirror_rebalance_outcome(/*completed=*/false);
     return;
   }
   // The atomic flip: driver metadata only, no I/O can fail inside it.
   p.assigned = std::move(new_assigned);
   p.holders = std::move(new_holders);
   ++mig.completed;
+  mirror_rebalance_outcome(/*completed=*/true);
 
   maybe_kill(MigrationStep::kCleanup);
   for (NodeId node : old_holders) {

@@ -5,6 +5,7 @@
 #include "metrics/damerau.hpp"
 #include "metrics/length_filter.hpp"
 #include "metrics/pdl.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -13,6 +14,80 @@ namespace fbf::core {
 namespace m = fbf::metrics;
 
 namespace {
+
+/// Cached global-registry handles for the canonical pipeline.* ladder
+/// family (DESIGN.md §16).  One registry lookup per process; relaxed
+/// sharded adds after that.
+struct LadderTelemetry {
+  fbf::telemetry::Counter& generated;
+  fbf::telemetry::Counter& length_pass;
+  fbf::telemetry::Counter& evaluated;
+  fbf::telemetry::Counter& pass;
+  fbf::telemetry::Counter& verify_calls;
+};
+
+LadderTelemetry& ladder_telemetry() {
+  auto& registry = fbf::telemetry::Registry::global();
+  static LadderTelemetry cached{
+      registry.counter("pipeline.candidates_generated"),
+      registry.counter("pipeline.length_pass"),
+      registry.counter("pipeline.fbf_evaluated"),
+      registry.counter("pipeline.fbf_pass"),
+      registry.counter("pipeline.verify_calls")};
+  return cached;
+}
+
+/// Mirrors the ladder delta a filter entry point produced into the
+/// global telemetry registry on scope exit.  The caller's counters stay
+/// the source of truth — telemetry only *observes* the delta, so match
+/// decisions and PipelineCounters are byte-identical with telemetry on,
+/// off, or compiled out (property-tested).  The guard snapshots the
+/// counters at entry, so the per-query filter_block overload passes its
+/// whole span and the sum-of-deltas lands once.
+class LadderMirror {
+ public:
+  explicit LadderMirror(const PipelineCounters& counters)
+      : LadderMirror(std::span<const PipelineCounters>(&counters, 1)) {}
+  explicit LadderMirror(std::span<const PipelineCounters> counters) {
+    if (fbf::telemetry::enabled()) {
+      counters_ = counters;
+      for (const PipelineCounters& c : counters_) {
+        before_.merge(c);
+      }
+    }
+  }
+  LadderMirror(const LadderMirror&) = delete;
+  LadderMirror& operator=(const LadderMirror&) = delete;
+  ~LadderMirror() {
+    if (counters_.empty()) {
+      return;
+    }
+    PipelineCounters after;
+    for (const PipelineCounters& c : counters_) {
+      after.merge(c);
+    }
+    LadderTelemetry& t = ladder_telemetry();
+    if (const auto d = after.candidates_generated - before_.candidates_generated) {
+      t.generated.add(d);
+    }
+    if (const auto d = after.length_pass - before_.length_pass) {
+      t.length_pass.add(d);
+    }
+    if (const auto d = after.fbf_evaluated - before_.fbf_evaluated) {
+      t.evaluated.add(d);
+    }
+    if (const auto d = after.fbf_pass - before_.fbf_pass) {
+      t.pass.add(d);
+    }
+    if (const auto d = after.verify_calls - before_.verify_calls) {
+      t.verify_calls.add(d);
+    }
+  }
+
+ private:
+  std::span<const PipelineCounters> counters_;
+  PipelineCounters before_;
+};
 
 [[nodiscard]] bool batched_capable(const PipelineConfig& config) noexcept {
   // The batched kernel computes the hardware popcount, so it stands in for
@@ -134,6 +209,7 @@ std::size_t CandidatePipeline::filter(const Query& q, std::size_t begin,
   if (begin >= end) {
     return 0;
   }
+  const LadderMirror mirror(counters);
   return batched_ ? filter_batched(q, begin, end, eligible, bitmap, counters)
                   : filter_per_pair(q, begin, end, eligible, bitmap, counters);
 }
@@ -173,6 +249,7 @@ std::size_t CandidatePipeline::filter_block(
   if (begin >= end || queries.empty()) {
     return 0;
   }
+  const LadderMirror mirror(counters);
   const std::size_t width = end - begin;
   assert(bitmap_stride >= bitmap_words(width));
   if (!batched_) {
@@ -230,6 +307,7 @@ std::size_t CandidatePipeline::filter_block(
   if (begin >= end || queries.empty()) {
     return 0;
   }
+  const LadderMirror mirror(counters);
   const std::size_t width = end - begin;
   assert(bitmap_stride >= bitmap_words(width));
   if (!batched_) {
@@ -359,6 +437,7 @@ std::size_t CandidatePipeline::filter_ids(
     const Query& q, std::span<const std::uint32_t> ids,
     std::vector<std::uint32_t>& survivors,
     PipelineCounters& counters) const {
+  const LadderMirror mirror(counters);
   counters.candidates_generated += ids.size();
   if (!batched_) {
     std::size_t appended = 0;
@@ -458,6 +537,9 @@ bool CandidatePipeline::verify(std::string_view a, std::string_view b,
     return true;  // filter-only methods report survivors as matches
   }
   ++counters.verify_calls;
+  if (fbf::telemetry::enabled()) {
+    ladder_telemetry().verify_calls.increment();
+  }
   return config_.verifier == Verifier::kDl ? m::dl_within(a, b, config_.k)
                                            : m::pdl_within(a, b, config_.k);
 }

@@ -14,6 +14,7 @@
 #include "metrics/myers.hpp"
 #include "metrics/pdl.hpp"
 #include "metrics/soundex.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/affinity.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -417,6 +418,16 @@ JoinStats match_strings(std::span<const std::string> left,
   // byte-identical across thread counts and tile shapes.
   std::sort(stats.match_pairs.begin(), stats.match_pairs.end());
   stats.join_ms = join_timer.elapsed_ms();
+  if (fbf::telemetry::enabled()) {
+    // Join-level mirror (the ladder rungs were already mirrored by the
+    // pipeline entry points): one run, its match yield.
+    auto& registry = fbf::telemetry::Registry::global();
+    static fbf::telemetry::Counter& runs = registry.counter("join.runs");
+    static fbf::telemetry::Counter& matches =
+        registry.counter("join.matches");
+    runs.increment();
+    matches.add(stats.matches);
+  }
   return stats;
 }
 

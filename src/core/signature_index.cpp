@@ -5,11 +5,30 @@
 #include "core/block_index.hpp"
 #include "core/candidate_pipeline.hpp"
 #include "core/match_join.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace fbf::core {
 
 namespace {
+
+/// Mirrors one finished index-accelerated join into the canonical
+/// join.index.* telemetry family (the pipeline.* ladder rungs were
+/// already mirrored by the CandidatePipeline entry points).
+void mirror_index_join(const IndexJoinStats& stats) {
+  if (!fbf::telemetry::enabled()) {
+    return;
+  }
+  auto& registry = fbf::telemetry::Registry::global();
+  static fbf::telemetry::Counter& runs = registry.counter("join.index.runs");
+  static fbf::telemetry::Counter& candidates =
+      registry.counter("join.index.candidates");
+  static fbf::telemetry::Counter& matches =
+      registry.counter("join.index.matches");
+  runs.increment();
+  candidates.add(stats.candidates);
+  matches.add(stats.matches);
+}
 
 /// Appends every bitmask over `total_bits` positions with exactly
 /// `weight` bits set, OR-ed with `prefix`, starting from `first_pos`.
@@ -201,6 +220,7 @@ std::optional<IndexJoinStats> match_strings_indexed(
     stats.candidates = counters.candidates_generated;
     stats.verify_calls = counters.verify_calls;
     stats.join_ms = block_join_timer.elapsed_ms();
+    mirror_index_join(stats);
     return stats;
   }
 
@@ -275,6 +295,7 @@ std::optional<IndexJoinStats> match_strings_indexed(
   }
   stats.verify_calls = counters.verify_calls;
   stats.join_ms = join_timer.elapsed_ms();
+  mirror_index_join(stats);
   return stats;
 }
 

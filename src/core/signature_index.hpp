@@ -48,17 +48,11 @@ class SignatureIndex {
   /// bucket (keyed by its full signature) and every probe mask is
   /// distinct, so no bucket is visited twice.
   ///
-  /// Named for its role in the generate→filter→verify cascade; "query" —
-  /// which now means a request-level point lookup (fbf::MatchRequest /
-  /// serve::MatchService) — survives below as a deprecated alias.
+  /// Named for its role in the generate→filter→verify cascade; "query"
+  /// means a request-level point lookup (fbf::MatchRequest /
+  /// serve::MatchService).  The one-release deprecated `query()` alias
+  /// has been removed on schedule.
   void generate(const Signature& sig, std::vector<std::uint32_t>& out) const;
-
-  [[deprecated(
-      "renamed to generate(); 'query' now means the request-level lookup "
-      "(fbf::Client / QueryOptions) — see TUTORIAL §15")]]
-  void query(const Signature& sig, std::vector<std::uint32_t>& out) const {
-    generate(sig, out);
-  }
 
   /// Appends one string; its id is the append position.  The layout was
   /// validated at build() time, so insertion never fails.
@@ -150,23 +144,5 @@ struct IndexJoinStats {
 [[nodiscard]] std::optional<IndexJoinStats> match_strings_indexed(
     std::span<const std::string> left, std::span<const std::string> right,
     const QueryOptions& options);
-
-/// Loose-knob spelling, kept for one release.  The defaults match the
-/// historical behaviour exactly: Method::kFpdl cascade, PDL verify.
-[[deprecated(
-    "fold the knobs into core::QueryOptions and call "
-    "match_strings_indexed(left, right, options) — see TUTORIAL §15")]]
-[[nodiscard]] inline std::optional<IndexJoinStats> match_strings_indexed(
-    std::span<const std::string> left, std::span<const std::string> right,
-    FieldClass cls, int k, int alpha_words = kDefaultAlphaWords,
-    GeneratorKind generator = GeneratorKind::kDense) {
-  QueryOptions options;
-  options.method = Method::kFpdl;
-  options.k = k;
-  options.field_class = cls;
-  options.alpha_words = alpha_words;
-  options.exec.generator = generator;
-  return match_strings_indexed(left, right, options);
-}
 
 }  // namespace fbf::core

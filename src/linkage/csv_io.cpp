@@ -78,6 +78,74 @@ bool try_repair_doubled_delimiters(const u::CsvRow& row, PersonRecord& out) {
   return parse_person_row(repaired, out).empty();
 }
 
+bool all_digits(const std::string& s) noexcept {
+  if (s.empty()) {
+    return false;
+  }
+  for (const char ch : s) {
+    if (ch < '0' || ch > '9') {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool digits_or_empty(const std::string& s, std::size_t len) noexcept {
+  return s.empty() || (s.size() == len && all_digits(s));
+}
+
+/// Format-constrained field shapes a repaired row must satisfy.  Names
+/// and addresses are free text (no constraint); the id must be numeric
+/// and the phone/gender/ssn/birth-date columns carry fixed shapes, which
+/// is what makes a merged-cell split point *detectable*: a wrong split
+/// shifts the digit-length fields onto the wrong columns and fails here.
+bool plausible_person_shape(const u::CsvRow& row) noexcept {
+  return row.size() == 8 && all_digits(row[0]) &&
+         digits_or_empty(row[4], 10) && row[5].size() <= 1 &&
+         digits_or_empty(row[6], 9) && digits_or_empty(row[7], 8);
+}
+
+/// Shifted-column triage: a dropped delimiter fuses two adjacent cells
+/// ("m,123456780" -> "m123456780"), so the row comes up exactly one
+/// column short and every later cell shifts left.  Try every (cell,
+/// split-point) candidate; accept only when all shape-valid candidates
+/// agree on one repaired row.  Free-text merges (first+last name) admit
+/// many split points and stay quarantined — ambiguity is never guessed
+/// away.
+bool try_repair_shifted_column(const u::CsvRow& row, PersonRecord& out) {
+  if (row.size() != 7) {
+    return false;  // only a deficit of exactly one delimiter is decidable
+  }
+  u::CsvRow winner;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const std::string& cell = row[i];
+    for (std::size_t split = 0; split <= cell.size(); ++split) {
+      u::CsvRow candidate;
+      candidate.reserve(8);
+      for (std::size_t j = 0; j < i; ++j) {
+        candidate.push_back(row[j]);
+      }
+      candidate.push_back(cell.substr(0, split));
+      candidate.push_back(cell.substr(split));
+      for (std::size_t j = i + 1; j < row.size(); ++j) {
+        candidate.push_back(row[j]);
+      }
+      if (!plausible_person_shape(candidate)) {
+        continue;
+      }
+      if (winner.empty()) {
+        winner = std::move(candidate);
+      } else if (candidate != winner) {
+        return false;  // two distinct plausible parses: ambiguous
+      }
+    }
+  }
+  if (winner.empty()) {
+    return false;
+  }
+  return parse_person_row(winner, out).empty();
+}
+
 /// Shared loader; with `stop_on_first_bad` the scan ends at the first
 /// quarantined row (strict callers throw it away anyway — no point
 /// parsing, and allocating, the rest of a large dirty file).
@@ -127,8 +195,23 @@ u::Result<PersonRecord> parse_person_csv_row(const u::CsvRow& row) {
   return r;
 }
 
-bool repair_person_csv_row(const u::CsvRow& row, PersonRecord& out) {
-  return try_repair_doubled_delimiters(row, out);
+const char* csv_repair_kind_name(CsvRepairKind kind) noexcept {
+  switch (kind) {
+    case CsvRepairKind::kNone: return "none";
+    case CsvRepairKind::kDoubledDelimiter: return "doubled_delimiter";
+    case CsvRepairKind::kShiftedColumn: return "shifted_column";
+  }
+  return "?";
+}
+
+CsvRepairKind repair_person_csv_row(const u::CsvRow& row, PersonRecord& out) {
+  if (try_repair_doubled_delimiters(row, out)) {
+    return CsvRepairKind::kDoubledDelimiter;
+  }
+  if (try_repair_shifted_column(row, out)) {
+    return CsvRepairKind::kShiftedColumn;
+  }
+  return CsvRepairKind::kNone;
 }
 
 u::Result<PersonCsvLoad> read_person_csv_quarantine(std::istream& in) {

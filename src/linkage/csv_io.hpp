@@ -11,6 +11,7 @@
 // clean rows proceed through the pipeline.
 #pragma once
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -75,11 +76,30 @@ struct PersonCsvLoad {
 [[nodiscard]] fbf::util::Result<PersonRecord> parse_person_csv_row(
     const fbf::util::CsvRow& row);
 
-/// The doubled-delimiter auto-repair on one quarantined row: true and
-/// `out` filled when dropping the spurious empty cells restores a
-/// parseable 8-column shape unambiguously (see PersonCsvLoad::repaired);
-/// false when the row is legitimately damaged and must stay quarantined.
-[[nodiscard]] bool repair_person_csv_row(const fbf::util::CsvRow& row,
-                                         PersonRecord& out);
+/// Which auto-repair family fixed a quarantined row (kNone = the row is
+/// legitimately damaged and must stay quarantined for the operator).
+enum class CsvRepairKind : std::uint8_t {
+  kNone = 0,
+  /// Surplus columns with exactly as many empty cells ("a,,b" doubled
+  /// delimiter): dropping the empties restores the shape unambiguously.
+  kDoubledDelimiter,
+  /// Column-count deficit of one with a detectable merged-cell split
+  /// point: a dropped delimiter fused two adjacent cells, and exactly one
+  /// (cell, split) candidate satisfies the format-constrained field
+  /// shapes (numeric id, 10-digit phone, <=1-char gender, 9-digit ssn,
+  /// 8-digit birth date).  Free-text merges (first+last name) admit many
+  /// split points, so they stay quarantined — the repair never guesses.
+  kShiftedColumn,
+};
+
+[[nodiscard]] const char* csv_repair_kind_name(CsvRepairKind kind) noexcept;
+
+/// Auto-repair triage on one quarantined row: tries the doubled-delimiter
+/// repair, then the shifted-column repair, and reports which family (if
+/// any) produced an unambiguous parse into `out` (see PersonCsvLoad::
+/// repaired for the doubled-delimiter rule, CsvRepairKind::kShiftedColumn
+/// for the split-point rule).
+[[nodiscard]] CsvRepairKind repair_person_csv_row(const fbf::util::CsvRow& row,
+                                                  PersonRecord& out);
 
 }  // namespace fbf::linkage

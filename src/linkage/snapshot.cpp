@@ -416,28 +416,6 @@ u::Result<std::uint64_t> read_snapshot(storage::StorageBackend& backend,
 
 // --- durable store -----------------------------------------------------
 
-namespace {
-
-std::shared_ptr<storage::StorageBackend> legacy_backend(
-    const DurabilityConfig& config) {
-  namespace fs = std::filesystem;
-  const fs::path dir = fs::path(config.snapshot_path).parent_path();
-  return std::make_shared<storage::LocalDirBackend>(dir.string(),
-                                                    config.faults);
-}
-
-DurabilityPolicy legacy_policy(const DurabilityConfig& config) {
-  namespace fs = std::filesystem;
-  DurabilityPolicy policy;
-  policy.legacy_snapshot_name =
-      fs::path(config.snapshot_path).filename().string();
-  policy.journal_name = fs::path(config.journal_path).filename().string();
-  policy.checkpoint_every = config.checkpoint_every;
-  return policy;
-}
-
-}  // namespace
-
 DurableEntityStore::DurableEntityStore(
     ComparatorConfig comparator,
     std::shared_ptr<storage::StorageBackend> backend, DurabilityPolicy policy)
@@ -445,11 +423,6 @@ DurableEntityStore::DurableEntityStore(
       backend_(std::move(backend)),
       policy_(std::move(policy)),
       store_(std::move(comparator)) {}
-
-DurableEntityStore::DurableEntityStore(ComparatorConfig comparator,
-                                       DurabilityConfig config)
-    : DurableEntityStore(std::move(comparator), legacy_backend(config),
-                         legacy_policy(config)) {}
 
 DurableEntityStore::~DurableEntityStore() {
   if (journal_ != nullptr && !crashed_) {

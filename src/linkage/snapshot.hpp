@@ -235,29 +235,17 @@ struct RecoveryReport {
   std::uint64_t batches_ingested = 0;  ///< logical position after recovery
 };
 
-/// Pre-storage-layer durability config: filesystem paths + write-path
-/// fault injection.  Only consumed by the deprecated path constructor,
-/// which forwards to a LocalDirBackend over the snapshot directory.
-struct DurabilityConfig {
-  std::string snapshot_path;
-  std::string journal_path;  ///< must share snapshot_path's directory
-  std::size_t checkpoint_every = 4;
-  fbf::util::FaultInjector* faults = nullptr;
-};
-
 /// EntityStore wrapper that survives crashes: write-ahead journaling per
 /// batch (group-commit sync policy), incremental checkpoints, and
-/// prefix-consistent recovery — against any StorageBackend.
+/// prefix-consistent recovery — against any StorageBackend.  (The
+/// one-release `DurabilityConfig` path constructor has been removed on
+/// schedule: construct a storage::LocalDirBackend over the snapshot
+/// directory instead.)
 class DurableEntityStore {
  public:
   DurableEntityStore(ComparatorConfig comparator,
                      std::shared_ptr<storage::StorageBackend> backend,
                      DurabilityPolicy policy = {});
-
-  [[deprecated(
-      "construct with a storage::StorageBackend; path configs forward to "
-      "LocalDirBackend for one release")]]
-  DurableEntityStore(ComparatorConfig comparator, DurabilityConfig config);
 
   /// Best-effort sync of pending journal appends (see simulate_crash()).
   ~DurableEntityStore();

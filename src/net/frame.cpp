@@ -9,15 +9,24 @@ namespace w = fbf::util::wire;
 
 namespace {
 
-/// Payload checksum seeded by the header fields: flipping any header bit
-/// changes the expected checksum, so header and payload share one check.
-std::uint64_t frame_checksum(const FrameContext& ctx, std::string_view payload) {
+/// Checksum over extension block + payload, seeded by the header fields:
+/// flipping any header bit changes the expected checksum, so header,
+/// extension and payload all share one check.  With no extension the
+/// seed and the hashed bytes reduce exactly to the pre-extension
+/// formula, keeping old frames byte-identical.
+std::uint64_t frame_checksum(const FrameContext& ctx, std::string_view ext,
+                             std::string_view payload) {
   std::uint64_t seed = 0xCBF29CE484222325ull;
   seed ^= static_cast<std::uint64_t>(ctx.type) << 48;
   seed ^= static_cast<std::uint64_t>(ctx.shard) << 16;
   seed ^= static_cast<std::uint64_t>(ctx.attempt);
   seed ^= static_cast<std::uint64_t>(payload.size()) << 32;
+  seed ^= static_cast<std::uint64_t>(ext.size()) << 8;
   std::uint64_t hash = fbf::util::SplitMix64(seed).next();
+  for (const char ch : ext) {
+    hash ^= static_cast<std::uint8_t>(ch);
+    hash *= 0x100000001B3ull;
+  }
   for (const char ch : payload) {
     hash ^= static_cast<std::uint8_t>(ch);
     hash *= 0x100000001B3ull;
@@ -28,6 +37,41 @@ std::uint64_t frame_checksum(const FrameContext& ctx, std::string_view payload) 
 bool known_frame_type(std::uint16_t type) noexcept {
   return type >= static_cast<std::uint16_t>(FrameType::kLinkRequest) &&
          type <= static_cast<std::uint16_t>(FrameType::kOverloaded);
+}
+
+/// Builds the TLV extension block for a context (empty when untraced).
+std::string encode_extension(const FrameContext& ctx) {
+  std::string ext;
+  if (ctx.trace != 0) {
+    w::put<std::uint8_t>(ext, kFrameExtTraceId);
+    w::put<std::uint8_t>(ext, sizeof(std::uint64_t));
+    w::put<std::uint64_t>(ext, ctx.trace);
+  }
+  return ext;
+}
+
+/// Walks the TLV sequence, filling known tags into `ctx` and skipping
+/// unknown ones (forward compatibility: a new tag never breaks an old
+/// peer).  Returns false only when a TLV length overruns the block.
+bool decode_extension(std::string_view ext, FrameContext& ctx) {
+  w::Reader in{ext};
+  while (!in.done()) {
+    std::uint8_t tag = 0;
+    std::uint8_t len = 0;
+    if (!in.get(tag) || !in.get(len) || ext.size() - in.pos < len) {
+      return false;
+    }
+    if (tag == kFrameExtTraceId && len == sizeof(std::uint64_t)) {
+      std::uint64_t trace = 0;
+      if (!in.get(trace)) {
+        return false;
+      }
+      ctx.trace = trace;
+    } else {
+      in.pos += len;  // unknown tag (or unexpected size): skip the value
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -65,15 +109,17 @@ FrameType reply_frame_type(FrameType request) noexcept {
 }
 
 std::string encode_frame(const FrameContext& ctx, std::string_view payload) {
+  const std::string ext = encode_extension(ctx);
   std::string frame;
-  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.reserve(kFrameHeaderBytes + ext.size() + payload.size());
   w::put<std::uint32_t>(frame, kFrameMagic);
   w::put<std::uint16_t>(frame, static_cast<std::uint16_t>(ctx.type));
-  w::put<std::uint16_t>(frame, 0);  // reserved
+  w::put<std::uint16_t>(frame, static_cast<std::uint16_t>(ext.size()));
   w::put<std::uint32_t>(frame, ctx.shard);
   w::put<std::uint32_t>(frame, ctx.attempt);
   w::put<std::uint32_t>(frame, static_cast<std::uint32_t>(payload.size()));
-  w::put<std::uint64_t>(frame, frame_checksum(ctx, payload));
+  w::put<std::uint64_t>(frame, frame_checksum(ctx, ext, payload));
+  frame.append(ext);
   frame.append(payload);
   return frame;
 }
@@ -86,14 +132,14 @@ DecodedFrame try_decode_frame(std::string_view buffer) {
   w::Reader header{buffer.substr(0, kFrameHeaderBytes)};
   std::uint32_t magic = 0;
   std::uint16_t type = 0;
-  std::uint16_t reserved = 0;
+  std::uint16_t ext_length = 0;
   std::uint32_t shard = 0;
   std::uint32_t attempt = 0;
   std::uint32_t length = 0;
   std::uint64_t checksum = 0;
   header.get(magic);
   header.get(type);
-  header.get(reserved);
+  header.get(ext_length);
   header.get(shard);
   header.get(attempt);
   header.get(length);
@@ -106,8 +152,8 @@ DecodedFrame try_decode_frame(std::string_view buffer) {
   if (magic != kFrameMagic) {
     return corrupt("bad frame magic");
   }
-  if (reserved != 0) {
-    return corrupt("nonzero reserved field");
+  if (ext_length > kMaxFrameExtensionBytes) {
+    return corrupt("implausible extension length");
   }
   if (!known_frame_type(type)) {
     return corrupt("unknown frame type");
@@ -115,19 +161,24 @@ DecodedFrame try_decode_frame(std::string_view buffer) {
   if (length > kMaxFramePayloadBytes) {
     return corrupt("implausible payload length");
   }
-  if (buffer.size() < kFrameHeaderBytes + length) {
-    return out;  // kNeedMore: payload still in flight
+  if (buffer.size() < kFrameHeaderBytes + ext_length + length) {
+    return out;  // kNeedMore: extension/payload still in flight
   }
   out.ctx.type = static_cast<FrameType>(type);
   out.ctx.shard = shard;
   out.ctx.attempt = attempt;
-  out.payload = buffer.substr(kFrameHeaderBytes, length);
-  if (frame_checksum(out.ctx, out.payload) != checksum) {
+  const std::string_view ext = buffer.substr(kFrameHeaderBytes, ext_length);
+  out.payload = buffer.substr(kFrameHeaderBytes + ext_length, length);
+  if (frame_checksum(out.ctx, ext, out.payload) != checksum) {
     out.payload = {};
     return corrupt("frame checksum mismatch");
   }
+  if (!decode_extension(ext, out.ctx)) {
+    out.payload = {};
+    return corrupt("malformed frame extension");
+  }
   out.status = DecodeStatus::kFrame;
-  out.consumed = kFrameHeaderBytes + length;
+  out.consumed = kFrameHeaderBytes + ext_length + length;
   return out;
 }
 

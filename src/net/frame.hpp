@@ -4,19 +4,30 @@
 //
 //   magic   u32   "FBFW" — protocol marker
 //   type    u16   FrameType
-//   rsvd    u16   must be zero
+//   ext     u16   extension block byte length (0 = none; was reserved)
 //   shard   u32   routing context: which logical shard worker
 //   attempt u32   routing context: the driver's retry attempt (1-based)
 //   length  u32   payload byte count (bounded by kMaxFramePayloadBytes)
-//   check   u64   FNV-1a of the payload, seeded by the header fields
+//   check   u64   FNV-1a of ext block + payload, seeded by the header
+//   ext block  ext bytes (between header and payload)
 //   payload length bytes
 //
-// The checksum seed folds in type/shard/attempt/length, so a bit flip
-// anywhere in the frame — header or payload — fails verification.  The
-// decoder is incremental: feed it the receive buffer as bytes arrive and
-// it reports "need more", one complete frame, or corruption.  A frame is
-// never trusted until the checksum passes; a lying length field is
-// rejected before any allocation larger than the bound.
+// The extension block is a TLV sequence — tag u8, value length u8, value
+// bytes — carrying optional per-request context; today tag 0x01 is the
+// u64 telemetry trace id (telemetry::derive_trace_id).  Decoders SKIP
+// unknown tags, so new extension tags never break an old peer, and a
+// frame with an empty extension block is byte-identical to the
+// pre-extension encoding (the checksum seed folds the ext length in,
+// which is a no-op at zero).  Frames are only stamped with an extension
+// when telemetry tracing is on.
+//
+// The checksum seed folds in type/shard/attempt/length/ext-length, so a
+// bit flip anywhere in the frame — header, extension or payload — fails
+// verification.  The decoder is incremental: feed it the receive buffer
+// as bytes arrive and it reports "need more", one complete frame, or
+// corruption.  A frame is never trusted until the checksum passes; a
+// lying length field is rejected before any allocation larger than the
+// bound.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +38,11 @@ namespace fbf::net {
 
 inline constexpr std::uint32_t kFrameMagic = 0x57464246u;  // "FBFW"
 inline constexpr std::size_t kFrameHeaderBytes = 28;
+/// Extension blocks carry a handful of small TLVs (a trace id is 10
+/// bytes); anything bigger is a corrupt length, not a real extension.
+inline constexpr std::size_t kMaxFrameExtensionBytes = 64;
+/// Extension tag: u64 telemetry trace id (value length 8).
+inline constexpr std::uint8_t kFrameExtTraceId = 0x01;
 /// A link request ships two partition slices of demographic records; even
 /// paper-scale runs are a few MB.  Anything above this bound is a corrupt
 /// or hostile length field, not a real message.
@@ -61,11 +77,15 @@ enum class FrameType : std::uint16_t {
 [[nodiscard]] FrameType reply_frame_type(FrameType request) noexcept;
 
 /// Routing context carried by every frame, visible to the transport layer
-/// without decoding the payload (fault decisions key off it).
+/// without decoding the payload (fault decisions key off it).  `trace`
+/// rides the extension block on the wire (0 = untraced, no extension
+/// emitted) so the server-side handler sees the same trace id the client
+/// derived — transport-independent by construction.
 struct FrameContext {
   FrameType type = FrameType::kPing;
   std::uint32_t shard = 0;
   std::uint32_t attempt = 1;
+  std::uint64_t trace = 0;
 };
 
 [[nodiscard]] std::string encode_frame(const FrameContext& ctx,

@@ -342,6 +342,7 @@ void ShardServer::serve(const Job& job) {
   if (job.ctx.type == FrameType::kPing) {
     FrameContext pong = job.ctx;
     pong.type = FrameType::kPong;
+    pong.trace = 0;  // replies carry no extension
     reply_and_close(encode_frame(pong, {}));
     return;
   }
@@ -367,11 +368,17 @@ void ShardServer::serve(const Job& job) {
   }
   const u::Result<std::string> result = handler_(job.ctx, job.payload);
   FrameContext reply_ctx = job.ctx;
+  reply_ctx.trace = 0;  // replies carry no extension; the request id did
   std::string frame;
   if (result.ok()) {
     reply_ctx.type = reply_frame_type(job.ctx.type);
     frame = encode_frame(reply_ctx, result.value());
     counters_.requests_served.fetch_add(1);
+    if (fbf::telemetry::enabled()) {
+      fbf::telemetry::Registry::global()
+          .counter("net.server.requests")
+          .increment();
+    }
   } else {
     // Overload is a distinct frame type so clients can tell "retry later"
     // from "this request is broken" without parsing the payload.
@@ -516,10 +523,20 @@ u::Result<std::string> TcpTransport::call(std::size_t shard, int attempt,
                                           FrameType type,
                                           std::string_view request) {
   ++stats_.calls;
+  if (fbf::telemetry::enabled()) {
+    detail::net_telemetry().calls.increment();
+  }
   FrameContext ctx;
   ctx.type = type;
   ctx.shard = static_cast<std::uint32_t>(shard);
   ctx.attempt = attempt > 0 ? static_cast<std::uint32_t>(attempt) : 1u;
+  if (fbf::telemetry::trace_enabled()) {
+    // Same derivation as the in-process transport: the id crosses the
+    // wire in the frame extension, so the handler sees an identical
+    // FrameContext over both backends.
+    ctx.trace = fbf::telemetry::derive_trace_id(
+        static_cast<std::uint16_t>(type), request);
+  }
   std::uint16_t port = options_.port;
   const int attempt_key = static_cast<int>(ctx.attempt);
   if (injector_->shard_attempt_fails(shard, attempt_key) &&
@@ -532,21 +549,33 @@ u::Result<std::string> TcpTransport::call(std::size_t shard, int attempt,
       call_once(ctx, request, port, options_.deadline_ms);
   if (result.ok()) {
     ++stats_.ok;
+    if (fbf::telemetry::enabled()) {
+      detail::net_telemetry().ok.increment();
+    }
+    detail::record_call_span(ctx.trace, shard, attempt, /*ok=*/true);
     return result;
   }
   const u::Status status = result.status();
   const std::string& message = status.message();
+  auto& nt = detail::net_telemetry();
+  const bool mirror = fbf::telemetry::enabled();
   if (message.find("Connection refused") != std::string::npos) {
     ++stats_.connect_refused;
+    if (mirror) nt.connect_refused.increment();
   } else if (message.find("deadline expired") != std::string::npos) {
     ++stats_.deadline_expired;
+    if (mirror) nt.deadline.increment();
   } else if (message.find("closed") != std::string::npos) {
     ++stats_.disconnects;
+    if (mirror) nt.disconnects.increment();
   } else if (message.find("garbled") != std::string::npos) {
     ++stats_.garbled;
+    if (mirror) nt.garbled.increment();
   } else {
     ++stats_.other_errors;
+    if (mirror) nt.other.increment();
   }
+  detail::record_call_span(ctx.trace, shard, attempt, /*ok=*/false);
   return result;
 }
 

@@ -24,6 +24,7 @@
 #include <string_view>
 
 #include "net/frame.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/fault.hpp"
 #include "util/status.hpp"
 
@@ -75,6 +76,63 @@ struct TransportStats {
   }
 };
 
+namespace detail {
+
+/// Cached global-registry handles for the canonical net.* counter family
+/// (DESIGN.md §16): every transport mirrors its TransportStats tallies
+/// here, so a live metrics snapshot shows per-NetFaultKind delivery
+/// counts without asking each client.  One registry lookup per process;
+/// one relaxed add per event after that.
+struct NetTelemetry {
+  telemetry::Counter& calls;
+  telemetry::Counter& ok;
+  telemetry::Counter& connect_refused;
+  telemetry::Counter& disconnects;
+  telemetry::Counter& deadline;
+  telemetry::Counter& garbled;
+  telemetry::Counter& other;
+
+  [[nodiscard]] telemetry::Counter& by_kind(
+      fbf::util::NetFaultKind kind) noexcept {
+    switch (kind) {
+      case fbf::util::NetFaultKind::kConnectRefused: return connect_refused;
+      case fbf::util::NetFaultKind::kMidFrameDisconnect: return disconnects;
+      case fbf::util::NetFaultKind::kDeadlineExpiry: return deadline;
+      case fbf::util::NetFaultKind::kGarbledFrame: return garbled;
+    }
+    return other;
+  }
+};
+
+[[nodiscard]] inline NetTelemetry& net_telemetry() {
+  auto& registry = telemetry::Registry::global();
+  static NetTelemetry cached{registry.counter("net.calls"),
+                             registry.counter("net.ok"),
+                             registry.counter("net.fault.connect_refused"),
+                             registry.counter("net.fault.disconnect"),
+                             registry.counter("net.fault.deadline"),
+                             registry.counter("net.fault.garbled"),
+                             registry.counter("net.fault.other")};
+  return cached;
+}
+
+/// Client-side delivery span for a traced request (no-op when untraced).
+inline void record_call_span(std::uint64_t trace, std::size_t shard,
+                             int attempt, bool ok) {
+  if (trace == 0) {
+    return;
+  }
+  telemetry::SpanRecord span;
+  span.trace = trace;
+  span.name = "net.call";
+  span.shard = static_cast<std::uint32_t>(shard);
+  span.attempt = attempt > 0 ? static_cast<std::uint32_t>(attempt) : 1u;
+  span.ok = ok;
+  telemetry::Registry::global().record_span(std::move(span));
+}
+
+}  // namespace detail
+
 class ShardTransport {
  public:
   virtual ~ShardTransport() = default;
@@ -114,23 +172,49 @@ class InProcessTransport final : public ShardTransport {
       std::size_t shard, int attempt, FrameType type,
       std::string_view request) override {
     ++stats_.calls;
+    if (telemetry::enabled()) {
+      detail::net_telemetry().calls.increment();
+    }
+    // The trace id is derived from the request bytes HERE, on the client
+    // side of the call, exactly like the TCP transport derives it — so
+    // the handler observes the same id over both backends, and a retry
+    // of the same request keeps its id.
+    const std::uint64_t trace =
+        telemetry::trace_enabled()
+            ? telemetry::derive_trace_id(static_cast<std::uint16_t>(type),
+                                         request)
+            : 0;
     if (injector_.has_value() && injector_->shard_attempt_fails(shard, attempt)) {
       // No socket to break, but the kind draw is the same one the TCP
       // path would manifest — tally it so fault runs are auditable and
       // per-kind stats stay transport-comparable.
-      ++stats_.by_kind(injector_->net_fault_kind(shard, attempt));
+      const fbf::util::NetFaultKind kind =
+          injector_->net_fault_kind(shard, attempt);
+      ++stats_.by_kind(kind);
+      if (telemetry::enabled()) {
+        detail::net_telemetry().by_kind(kind).increment();
+      }
+      detail::record_call_span(trace, shard, attempt, /*ok=*/false);
       return fbf::util::Status::unavailable("injected shard fault");
     }
     FrameContext ctx;
     ctx.type = type;
     ctx.shard = static_cast<std::uint32_t>(shard);
     ctx.attempt = attempt > 0 ? static_cast<std::uint32_t>(attempt) : 1u;
+    ctx.trace = trace;
     fbf::util::Result<std::string> reply = handler_(ctx, request);
     if (reply.ok()) {
       ++stats_.ok;
+      if (telemetry::enabled()) {
+        detail::net_telemetry().ok.increment();
+      }
     } else {
       ++stats_.other_errors;
+      if (telemetry::enabled()) {
+        detail::net_telemetry().other.increment();
+      }
     }
+    detail::record_call_span(trace, shard, attempt, reply.ok());
     return reply;
   }
 

@@ -107,6 +107,20 @@ u::Result<serve::IngestReply> Client::ingest_csv(std::string_view csv) {
   return serve::decode_ingest_reply(*reply);
 }
 
+u::Result<telemetry::MetricsSnapshot> Client::metrics() {
+  u::Result<std::string> reply =
+      call(net::FrameType::kAdmin,
+           serve::encode_admin_request(serve::AdminCommand::kMetrics));
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  u::Result<serve::AdminReply> decoded = serve::decode_admin_reply(*reply);
+  if (!decoded.ok()) {
+    return decoded.status();
+  }
+  return std::move(decoded->metrics);
+}
+
 u::Result<serve::ServiceStats> Client::stats() {
   u::Result<std::string> reply =
       call(net::FrameType::kAdmin,

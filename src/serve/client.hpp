@@ -68,7 +68,17 @@ class Client {
   [[nodiscard]] fbf::util::Result<serve::IngestReply> ingest_csv(
       std::string_view csv);
 
-  [[nodiscard]] fbf::util::Result<serve::ServiceStats> stats();
+  /// Full telemetry snapshot (AdminCommand::kMetrics): every counter /
+  /// gauge / histogram the service exposes under the canonical dotted
+  /// names, plus the process-global registry of the serving process.
+  [[nodiscard]] fbf::util::Result<telemetry::MetricsSnapshot> metrics();
+
+  /// Legacy fixed-field stats view — one-release adapter over the same
+  /// registry the kMetrics snapshot ships.
+  [[deprecated("read metrics() (AdminCommand::kMetrics) instead")]]
+  [[nodiscard]] fbf::util::Result<serve::ServiceStats>
+  stats();
+
   [[nodiscard]] fbf::util::Result<serve::DrainReply> drain_quarantine();
 
   /// Liveness round-trip (empty ping payload).

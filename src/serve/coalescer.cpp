@@ -34,6 +34,7 @@ u::Result<core::CorpusResult> BatchCoalescer::submit(std::string query) {
     ++stats_.queries;
     Pending& p = pending_.emplace_back();
     p.query = std::move(query);
+    p.trace = telemetry::current_trace();
     future = p.promise.get_future();
   }
   arrival_cv_.notify_one();
@@ -113,7 +114,16 @@ void BatchCoalescer::dispatcher_loop() {
     }
     std::vector<core::CorpusResult> results = fn_(queries);
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (i < results.size()) {
+      const bool answered = i < results.size();
+      if (telemetry::trace_enabled() && batch[i].trace != 0) {
+        telemetry::SpanRecord span;
+        span.trace = batch[i].trace;
+        span.name = "serve.batch";
+        span.attempt = static_cast<std::uint32_t>(batch.size());
+        span.ok = answered;
+        telemetry::Registry::global().record_span(std::move(span));
+      }
+      if (answered) {
         batch[i].promise.set_value(std::move(results[i]));
       } else {
         batch[i].promise.set_value(

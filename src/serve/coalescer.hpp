@@ -40,6 +40,7 @@
 
 #include "core/corpus.hpp"
 #include "core/fbf_kernel.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/status.hpp"
 
 namespace fbf::serve {
@@ -94,6 +95,11 @@ class BatchCoalescer {
  private:
   struct Pending {
     std::string query;
+    /// telemetry::current_trace() of the submitting thread, captured at
+    /// admission: the trace crosses the promise boundary with the query,
+    /// so the batch span lands on the request that rode the batch even
+    /// though the dispatcher thread never had the trace installed.
+    std::uint64_t trace = 0;
     std::promise<fbf::util::Result<core::CorpusResult>> promise;
   };
 

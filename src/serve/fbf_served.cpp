@@ -8,9 +8,15 @@
 // in-memory backend when unset) and recovers on startup.
 //
 // --smoke runs a self-contained exercise against the daemon's own port —
-// ping, string + record queries, record + CSV ingest, quarantine drain,
-// stats — and exits nonzero on any failure.  CI's serve leg runs exactly
-// this.
+// ping, string + record queries, record + CSV ingest, quarantine drain
+// (both repair families), the metrics endpoint — and exits nonzero on
+// any failure.  CI's serve leg runs exactly this.
+//
+// Observability: --metrics-interval SECS prints a periodic snapshot diff
+// (what moved since the last print) from the live telemetry registry;
+// --json switches both it and the smoke's final metrics dump from the
+// aligned text table to JSON.
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <iostream>
@@ -26,6 +32,7 @@
 #include "serve/service.hpp"
 #include "storage/local_dir.hpp"
 #include "storage/mem_object.hpp"
+#include "telemetry/snapshot.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 
@@ -46,7 +53,8 @@ void handle_signal(int) { g_stop = 1; }
 
 /// The --smoke exercise: every request family round-trips through real
 /// loopback sockets; any failure is fatal.
-int run_smoke(fbf::Client& client, const std::vector<std::string>& corpus) {
+int run_smoke(fbf::Client& client, const std::vector<std::string>& corpus,
+              bool json) {
   namespace u = fbf::util;
   if (u::Status ping = client.ping(); !ping.ok()) {
     std::cerr << "smoke: ping failed: " << ping.to_string() << "\n";
@@ -72,32 +80,59 @@ int run_smoke(fbf::Client& client, const std::vector<std::string>& corpus) {
     std::cerr << "smoke: record probe found nothing\n";
     return 1;
   }
-  // CSV ingest with one damaged row — a doubled leading delimiter shifts
-  // every cell right, so the id column reads empty and the strict parse
-  // quarantines the row; the drain's triage repairs it.
+  // CSV ingest with three damaged rows, one per triage outcome: a
+  // doubled leading delimiter (every cell shifts right, the id reads
+  // empty), a dropped delimiter fusing gender+ssn into one cell (the
+  // shifted-column repair finds the unique format-valid split), and a
+  // genuinely broken row that must stay parked.
   const std::string csv =
       "9001,ann,abel,12 oak st,5550001111,f,123456789,01021990\n"
-      ",9002,bob,baker,34 elm st,5550002222,m,987654321,03041985\n";
+      ",9002,bob,baker,34 elm st,5550002222,m,987654321,03041985\n"
+      "9003,carl,cole,56 pine st,5550003333,m123456780,05061980\n"
+      "broken,row\n";
   u::Result<fbf::serve::IngestReply> csv_reply = client.ingest_csv(csv);
   if (!csv_reply.ok() || csv_reply->accepted != 1 ||
-      csv_reply->quarantined != 1) {
+      csv_reply->quarantined != 3) {
     std::cerr << "smoke: csv ingest accounting wrong\n";
     return 1;
   }
   u::Result<fbf::serve::DrainReply> drain = client.drain_quarantine();
-  if (!drain.ok() || drain->repaired != 1 || drain->still_bad != 0) {
+  if (!drain.ok() || drain->repaired != 2 || drain->still_bad != 1 ||
+      drain->doubled_delimiter != 1 || drain->shifted_column != 1) {
     std::cerr << "smoke: quarantine drain accounting wrong\n";
     return 1;
   }
-  u::Result<fbf::serve::ServiceStats> stats = client.stats();
-  if (!stats.ok() || stats->store_size == 0 || stats->corpus_size == 0) {
-    std::cerr << "smoke: stats missing data\n";
+  // The metrics endpoint must expose the live pipeline ladder, the serve
+  // request families, the repair tallies and the transport counters.
+  u::Result<fbf::telemetry::MetricsSnapshot> metrics = client.metrics();
+  if (!metrics.ok()) {
+    std::cerr << "smoke: metrics fetch failed: "
+              << metrics.status().to_string() << "\n";
     return 1;
   }
-  std::cout << "smoke: ok (kernel=" << stats->kernel
-            << " corpus=" << stats->corpus_size
-            << " store=" << stats->store_size
-            << " entities=" << stats->entity_count << ")\n";
+  const fbf::telemetry::MetricsSnapshot& m = metrics.value();
+  const fbf::telemetry::HistogramStats* lat = m.histogram("serve.query");
+  if (m.counter("serve.queries") < 2 || lat == nullptr || lat->count < 2 ||
+      m.gauge("serve.corpus_size") == 0 || m.gauge("serve.store_size") == 0 ||
+      m.counter("pipeline.fbf_evaluated") == 0 ||
+      m.counter("quarantine.repaired.doubled_delimiter") != 1 ||
+      m.counter("quarantine.repaired.shifted_column") != 1 ||
+      m.counter("net.server.requests") == 0) {
+    std::cerr << "smoke: metrics snapshot missing expected rows:\n"
+              << fbf::telemetry::render_metrics_table(m);
+    return 1;
+  }
+  std::cout << (json ? fbf::telemetry::render_metrics_json(m)
+                     : fbf::telemetry::render_metrics_table(m));
+  std::cout << "smoke: ok (kernel=";
+  for (const auto& [name, value] : m.info) {
+    if (name == "serve.kernel") {
+      std::cout << value;
+    }
+  }
+  std::cout << " corpus=" << m.gauge("serve.corpus_size")
+            << " store=" << m.gauge("serve.store_size")
+            << " entities=" << m.gauge("serve.entity_count") << ")\n";
   return 0;
 }
 
@@ -122,6 +157,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int("seed", 42));
   const bool smoke = args.get_bool("smoke");
+  const double metrics_interval = args.get_double("metrics-interval", 0.0);
+  const bool json = args.get_bool("json");
   if (const auto unknown = args.unknown_flags(); !unknown.empty()) {
     std::cerr << "unknown flag --" << unknown.front() << "\n";
     return 2;
@@ -173,7 +210,7 @@ int main(int argc, char** argv) {
     transport_options.port = server.port();
     fbf::Client client(
         std::make_shared<fbf::net::TcpTransport>(transport_options));
-    const int rc = run_smoke(client, corpus);
+    const int rc = run_smoke(client, corpus, json);
     server.stop();
     service.stop();
     return rc;
@@ -181,8 +218,31 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  // Periodic snapshot-diff log: every interval, print what moved —
+  // counter deltas, current gauges, histogram summaries with the count
+  // delta — so a quiet daemon prints (nearly) nothing.
+  using Clock = std::chrono::steady_clock;
+  fbf::telemetry::MetricsSnapshot prev;
+  Clock::time_point next_print = Clock::now();
+  if (metrics_interval > 0.0) {
+    prev = service.metrics_snapshot();
+    next_print += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(metrics_interval));
+  }
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (metrics_interval > 0.0 && Clock::now() >= next_print) {
+      fbf::telemetry::MetricsSnapshot cur = service.metrics_snapshot();
+      const fbf::telemetry::MetricsSnapshot delta =
+          fbf::telemetry::diff(prev, cur);
+      std::cout << (json ? fbf::telemetry::render_metrics_json(delta)
+                         : fbf::telemetry::render_metrics_table(delta))
+                << std::flush;
+      prev = std::move(cur);
+      next_print = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double>(
+                                          metrics_interval));
+    }
   }
   std::cout << "shutting down\n";
   server.stop();

@@ -199,6 +199,8 @@ u::Result<AdminCommand> decode_admin_request(std::string_view payload) {
       return AdminCommand::kStats;
     case static_cast<std::uint8_t>(AdminCommand::kDrainQuarantine):
       return AdminCommand::kDrainQuarantine;
+    case static_cast<std::uint8_t>(AdminCommand::kMetrics):
+      return AdminCommand::kMetrics;
     default:
       return u::Status::invalid_argument("unknown admin command " +
                                          std::to_string(command));
@@ -225,6 +227,9 @@ std::string encode_admin_reply(const AdminReply& reply) {
   w::put<double>(out, s.p999_ms);
   w::put<std::uint64_t>(out, reply.drain.repaired);
   w::put<std::uint64_t>(out, reply.drain.still_bad);
+  w::put<std::uint64_t>(out, reply.drain.doubled_delimiter);
+  w::put<std::uint64_t>(out, reply.drain.shifted_column);
+  w::put_string(out, telemetry::encode_metrics_snapshot(reply.metrics));
   return out;
 }
 
@@ -244,9 +249,19 @@ u::Result<AdminReply> decode_admin_reply(std::string_view payload) {
       !in.get(s.coalesced_queries) || !in.get(s.max_batch) ||
       !in.get(s.p50_ms) || !in.get(s.p99_ms) || !in.get(s.p999_ms) ||
       !in.get(reply.drain.repaired) || !in.get(reply.drain.still_bad) ||
-      !in.done()) {
+      !in.get(reply.drain.doubled_delimiter) ||
+      !in.get(reply.drain.shifted_column)) {
     return truncated("admin reply");
   }
+  std::string metrics;
+  if (!in.get_string(metrics) || !in.done()) {
+    return truncated("admin reply");
+  }
+  auto snapshot = telemetry::decode_metrics_snapshot(metrics);
+  if (!snapshot.ok()) {
+    return snapshot.status();
+  }
+  reply.metrics = std::move(snapshot.value());
   return reply;
 }
 

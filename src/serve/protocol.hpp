@@ -27,6 +27,7 @@
 
 #include "core/candidate_pipeline.hpp"
 #include "linkage/record.hpp"
+#include "telemetry/snapshot.hpp"
 #include "util/status.hpp"
 
 namespace fbf {
@@ -89,9 +90,18 @@ struct IngestReply {
 enum class AdminCommand : std::uint8_t {
   kStats = 1,
   kDrainQuarantine = 2,
+  /// Full telemetry snapshot: every counter/gauge/histogram the service's
+  /// private registry and the process-global registry hold, under the
+  /// canonical dotted naming scheme (DESIGN.md §16).  kStats survives as
+  /// the legacy fixed-field view computed from the same registry.
+  kMetrics = 3,
 };
 
-/// One stats snapshot (AdminCommand::kStats).
+/// One stats snapshot (AdminCommand::kStats).  Legacy fixed-field view:
+/// every field is a rendering of a telemetry::Registry metric (see
+/// MatchService::metrics_snapshot); new consumers should prefer
+/// AdminCommand::kMetrics, which carries all of them and every future
+/// metric without a protocol change.
 struct ServiceStats {
   std::uint64_t store_size = 0;
   std::uint64_t entity_count = 0;
@@ -110,11 +120,13 @@ struct ServiceStats {
 };
 
 /// Quarantine drain outcome (AdminCommand::kDrainQuarantine): rows the
-/// doubled-delimiter triage repaired and re-ingested vs rows still parked
-/// for the operator.
+/// repair triage fixed and re-ingested — broken down by repair family —
+/// vs rows still parked for the operator.
 struct DrainReply {
-  std::uint64_t repaired = 0;
+  std::uint64_t repaired = 0;   ///< total re-ingested (sum of families)
   std::uint64_t still_bad = 0;
+  std::uint64_t doubled_delimiter = 0;  ///< CsvRepairKind::kDoubledDelimiter
+  std::uint64_t shifted_column = 0;     ///< CsvRepairKind::kShiftedColumn
 };
 
 /// One admin reply; `command` selects which member is meaningful.
@@ -122,6 +134,7 @@ struct AdminReply {
   AdminCommand command = AdminCommand::kStats;
   ServiceStats stats;
   DrainReply drain;
+  telemetry::MetricsSnapshot metrics;  ///< kMetrics payload
 };
 
 // --- codecs ------------------------------------------------------------

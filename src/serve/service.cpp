@@ -7,17 +7,12 @@
 
 #include "net/frame.hpp"
 #include "util/csv.hpp"
-#include "util/stats.hpp"
 
 namespace fbf::serve {
 
 namespace u = fbf::util;
 
 namespace {
-
-/// Latency ring capacity: enough for stable tail percentiles, bounded so
-/// a long-lived daemon never grows.
-constexpr std::size_t kLatencySamples = 4096;
 
 /// Decrements the in-flight tally on every exit path.
 class InflightGuard {
@@ -37,7 +32,15 @@ MatchService::MatchService(ServiceOptions options,
                            std::shared_ptr<storage::StorageBackend> backend)
     : options_(std::move(options)),
       corpus_(options_.query),
-      store_(options_.comparator, std::move(backend), options_.durability) {
+      store_(options_.comparator, std::move(backend), options_.durability),
+      metrics_{registry_.counter("serve.queries"),
+               registry_.counter("serve.ingests"),
+               registry_.counter("serve.overloaded"),
+               registry_.counter("quarantine.repaired.doubled_delimiter"),
+               registry_.counter("quarantine.repaired.shifted_column"),
+               registry_.histogram("serve.query"),
+               registry_.histogram("serve.ingest"),
+               registry_.histogram("serve.admin")} {
   coalescer_.emplace(
       [this](std::span<const std::string> queries) {
         std::lock_guard<std::mutex> lock(corpus_mu_);
@@ -78,24 +81,57 @@ u::Result<std::string> MatchService::handle(const net::FrameContext& ctx,
       inflight_.fetch_add(1, std::memory_order_relaxed);
   InflightGuard guard(inflight_);
   if (inflight >= options_.max_inflight) {
-    overloaded_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.overloaded.increment();
     return u::Status::resource_exhausted(
         "service at capacity (" + std::to_string(inflight) + " in flight)");
   }
-  switch (ctx.type) {
-    case net::FrameType::kPing:
-      return std::string{};
-    case net::FrameType::kMatchQuery:
-      return handle_match(payload);
-    case net::FrameType::kIngest:
-      return handle_ingest(payload);
-    case net::FrameType::kAdmin:
-      return handle_admin(payload);
-    default:
-      return u::Status::invalid_argument(
-          std::string("match service cannot handle frame type ") +
-          net::frame_type_name(ctx.type));
+  if (ctx.type == net::FrameType::kPing) {
+    return std::string{};
   }
+  // Install the request's trace for everything below — layers with no
+  // trace parameter of their own (the coalescer) read it back via
+  // telemetry::current_trace().
+  const telemetry::ScopedTrace scoped(ctx.trace);
+  telemetry::Histogram* family = nullptr;
+  const char* span_name = nullptr;
+  const auto start = std::chrono::steady_clock::now();
+  u::Result<std::string> reply = u::Status::invalid_argument(
+      std::string("match service cannot handle frame type ") +
+      net::frame_type_name(ctx.type));
+  switch (ctx.type) {
+    case net::FrameType::kMatchQuery:
+      family = &metrics_.query_ms;
+      span_name = "serve.query";
+      reply = handle_match(payload);
+      break;
+    case net::FrameType::kIngest:
+      family = &metrics_.ingest_ms;
+      span_name = "serve.ingest";
+      reply = handle_ingest(payload);
+      break;
+    case net::FrameType::kAdmin:
+      family = &metrics_.admin_ms;
+      span_name = "serve.admin";
+      reply = handle_admin(payload);
+      break;
+    default:
+      return reply;
+  }
+  if (reply.ok()) {
+    family->record(std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count());
+  }
+  if (telemetry::trace_enabled() && ctx.trace != 0) {
+    telemetry::SpanRecord span;
+    span.trace = ctx.trace;
+    span.name = span_name;
+    span.shard = ctx.shard;
+    span.attempt = ctx.attempt;
+    span.ok = reply.ok();
+    telemetry::Registry::global().record_span(std::move(span));
+  }
+  return reply;
 }
 
 u::Result<std::string> MatchService::handle_match(std::string_view payload) {
@@ -103,13 +139,12 @@ u::Result<std::string> MatchService::handle_match(std::string_view payload) {
   if (!req.ok()) {
     return req.status();
   }
-  const auto start = std::chrono::steady_clock::now();
   MatchResponse resp;
   if (req->kind == MatchRequest::Kind::kString) {
     u::Result<core::CorpusResult> result = coalescer_->submit(req->text);
     if (!result.ok()) {
       if (result.status().code() == u::StatusCode::kResourceExhausted) {
-        overloaded_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.overloaded.increment();
       }
       return result.status();
     }
@@ -117,10 +152,7 @@ u::Result<std::string> MatchService::handle_match(std::string_view payload) {
   } else {
     resp = match_record(*req);
   }
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  record_latency(std::chrono::duration<double, std::milli>(
-                     std::chrono::steady_clock::now() - start)
-                     .count());
+  metrics_.queries.increment();
   return encode_match_response(resp);
 }
 
@@ -207,7 +239,7 @@ u::Result<std::string> MatchService::handle_ingest(std::string_view payload) {
   }
   reply.seq = store_.batches_ingested();
   reply.store_size = store_.store().size();
-  ingests_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.ingests.increment();
   return encode_ingest_reply(reply);
 }
 
@@ -219,21 +251,35 @@ u::Result<std::string> MatchService::handle_admin(std::string_view payload) {
   AdminReply reply;
   reply.command = *command;
   if (*command == AdminCommand::kStats) {
-    reply.stats = stats_snapshot();
+    reply.stats = legacy_stats();
     return encode_admin_reply(reply);
   }
-  // Quarantine drain: run the doubled-delimiter triage over every parked
-  // row, re-ingest the repairs as one journaled batch, keep the rest
-  // parked for the operator.
+  if (*command == AdminCommand::kMetrics) {
+    reply.metrics = metrics_snapshot();
+    return encode_admin_reply(reply);
+  }
+  // Quarantine drain: run the repair triage (doubled-delimiter, then
+  // shifted-column) over every parked row, re-ingest the repairs as one
+  // journaled batch, keep the rest parked for the operator.
   std::lock_guard<std::mutex> lock(store_mu_);
   std::vector<linkage::PersonRecord> repaired;
   std::vector<u::CsvRow> still_bad;
+  std::uint64_t doubled = 0;
+  std::uint64_t shifted = 0;
   for (u::CsvRow& row : quarantine_) {
     linkage::PersonRecord r;
-    if (linkage::repair_person_csv_row(row, r)) {
-      repaired.push_back(std::move(r));
-    } else {
-      still_bad.push_back(std::move(row));
+    switch (linkage::repair_person_csv_row(row, r)) {
+      case linkage::CsvRepairKind::kDoubledDelimiter:
+        ++doubled;
+        repaired.push_back(std::move(r));
+        break;
+      case linkage::CsvRepairKind::kShiftedColumn:
+        ++shifted;
+        repaired.push_back(std::move(r));
+        break;
+      case linkage::CsvRepairKind::kNone:
+        still_bad.push_back(std::move(row));
+        break;
     }
   }
   if (!repaired.empty()) {
@@ -242,40 +288,82 @@ u::Result<std::string> MatchService::handle_admin(std::string_view payload) {
       return stats.status();  // quarantine unchanged: nothing was lost
     }
   }
+  // Counters move only after the re-ingest committed: a failed drain
+  // leaves both the quarantine and the tallies untouched.
+  metrics_.repaired_doubled.add(doubled);
+  metrics_.repaired_shifted.add(shifted);
   reply.drain.repaired = repaired.size();
   reply.drain.still_bad = still_bad.size();
+  reply.drain.doubled_delimiter = doubled;
+  reply.drain.shifted_column = shifted;
   quarantine_ = std::move(still_bad);
   return encode_admin_reply(reply);
 }
 
-ServiceStats MatchService::stats_snapshot() const {
-  ServiceStats s;
+telemetry::MetricsSnapshot MatchService::metrics_snapshot() const {
+  // Refresh the size gauges, then capture.  Gauges are set-at-snapshot:
+  // they mirror sizes the store/corpus own, rather than double-counting
+  // them into the registry on every mutation path.
   {
     std::lock_guard<std::mutex> lock(store_mu_);
-    s.store_size = store_.store().size();
-    s.entity_count = store_.store().entity_count();
-    s.quarantined = quarantine_.size();
+    registry_.gauge("serve.store_size")
+        .set(static_cast<std::int64_t>(store_.store().size()));
+    registry_.gauge("serve.entity_count")
+        .set(static_cast<std::int64_t>(store_.store().entity_count()));
+    registry_.gauge("serve.quarantined")
+        .set(static_cast<std::int64_t>(quarantine_.size()));
   }
+  std::string kernel;
   {
     std::lock_guard<std::mutex> lock(corpus_mu_);
-    s.corpus_size = corpus_.size();
-    s.kernel = corpus_.kernel_name();
+    registry_.gauge("serve.corpus_size")
+        .set(static_cast<std::int64_t>(corpus_.size()));
+    kernel = corpus_.kernel_name();
   }
-  s.queries = queries_.load(std::memory_order_relaxed);
-  s.ingests = ingests_.load(std::memory_order_relaxed);
-  s.overloaded = overloaded_.load(std::memory_order_relaxed);
   if (coalescer_.has_value()) {
     const CoalescerStats cs = coalescer_->stats();
-    s.coalesced_batches = cs.batches;
-    s.coalesced_queries = cs.coalesced;
-    s.max_batch = cs.max_batch;
+    registry_.gauge("serve.batch.batches")
+        .set(static_cast<std::int64_t>(cs.batches));
+    registry_.gauge("serve.batch.queries")
+        .set(static_cast<std::int64_t>(cs.queries));
+    registry_.gauge("serve.batch.coalesced")
+        .set(static_cast<std::int64_t>(cs.coalesced));
+    registry_.gauge("serve.batch.rejected")
+        .set(static_cast<std::int64_t>(cs.rejected));
+    registry_.gauge("serve.batch.max")
+        .set(static_cast<std::int64_t>(cs.max_batch));
   }
-  {
-    std::lock_guard<std::mutex> lock(latency_mu_);
-    const u::LatencySummary lat = u::summarize_latency(latency_ms_);
-    s.p50_ms = lat.p50;
-    s.p99_ms = lat.p99;
-    s.p999_ms = lat.p999;
+  telemetry::MetricsSnapshot snap = telemetry::capture(registry_);
+  snap.info.emplace_back("serve.kernel", std::move(kernel));
+  telemetry::merge_into(snap, telemetry::capture(telemetry::Registry::global()));
+  return snap;
+}
+
+ServiceStats MatchService::legacy_stats() const {
+  // Every ServiceStats field is a rendering of one snapshot row — the
+  // struct survives one release as the kStats wire payload, nothing more.
+  const telemetry::MetricsSnapshot m = metrics_snapshot();
+  ServiceStats s;
+  s.store_size = static_cast<std::uint64_t>(m.gauge("serve.store_size"));
+  s.entity_count = static_cast<std::uint64_t>(m.gauge("serve.entity_count"));
+  s.corpus_size = static_cast<std::uint64_t>(m.gauge("serve.corpus_size"));
+  for (const auto& [name, value] : m.info) {
+    if (name == "serve.kernel") {
+      s.kernel = value;
+    }
+  }
+  s.queries = m.counter("serve.queries");
+  s.ingests = m.counter("serve.ingests");
+  s.overloaded = m.counter("serve.overloaded");
+  s.quarantined = static_cast<std::uint64_t>(m.gauge("serve.quarantined"));
+  s.coalesced_batches = static_cast<std::uint64_t>(m.gauge("serve.batch.batches"));
+  s.coalesced_queries =
+      static_cast<std::uint64_t>(m.gauge("serve.batch.coalesced"));
+  s.max_batch = static_cast<std::uint64_t>(m.gauge("serve.batch.max"));
+  if (const telemetry::HistogramStats* h = m.histogram("serve.query")) {
+    s.p50_ms = h->p50;
+    s.p99_ms = h->p99;
+    s.p999_ms = h->p999;
   }
   return s;
 }
@@ -283,16 +371,6 @@ ServiceStats MatchService::stats_snapshot() const {
 std::size_t MatchService::quarantine_size() const {
   std::lock_guard<std::mutex> lock(store_mu_);
   return quarantine_.size();
-}
-
-void MatchService::record_latency(double ms) {
-  std::lock_guard<std::mutex> lock(latency_mu_);
-  if (latency_ms_.size() < kLatencySamples) {
-    latency_ms_.push_back(ms);
-  } else {
-    latency_ms_[latency_next_] = ms;
-    latency_next_ = (latency_next_ + 1) % kLatencySamples;
-  }
 }
 
 }  // namespace fbf::serve

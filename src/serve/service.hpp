@@ -13,9 +13,25 @@
 //   kIngest      record batches and raw CSV rows append to the durable
 //                store (write-ahead journaled, group-commit policy).
 //                Damaged CSV rows quarantine intact; the batch commits.
-//   kAdmin       stats snapshot (sizes, kernel, latency percentiles,
-//                coalescing tallies) and quarantine drain (doubled-
-//                delimiter triage + re-ingest of repaired rows).
+//   kAdmin       metrics snapshot (full telemetry registry dump), the
+//                legacy fixed-field stats view, and quarantine drain
+//                (doubled-delimiter + shifted-column triage, re-ingest
+//                of repaired rows broken down by family).
+//
+// Observability (DESIGN.md §16): the service owns a PRIVATE
+// telemetry::Registry — the source of truth for serve.* counters
+// (queries / ingests / overloaded), per-family latency histograms
+// (serve.query / serve.ingest / serve.admin) and the quarantine.repaired
+// counters — updated unconditionally, since these ARE the service stats,
+// not optional mirroring.  metrics_snapshot() captures it, merges the
+// process-global registry (pipeline.*, net.*, join.*, cluster.*) and is
+// what the kMetrics admin command ships.  The old ServiceStats view is a
+// one-release [[deprecated]] adapter computed from the same snapshot.
+//
+// Tracing: handle() installs the request's trace id (FrameContext.trace,
+// derived client-side) as the thread's current trace and records one
+// serve.<family> span per traced request; the coalescer picks the id up
+// via telemetry::current_trace() so batch spans attribute correctly.
 //
 // handler() exposes the service as a net::ShardHandler, so the same
 // instance backs an InProcessTransport (deterministic reference) and a
@@ -44,6 +60,8 @@
 #include "serve/coalescer.hpp"
 #include "serve/protocol.hpp"
 #include "storage/backend.hpp"
+#include "telemetry/snapshot.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/status.hpp"
 
 namespace fbf::serve {
@@ -106,7 +124,21 @@ class MatchService {
   /// through a fresh service over the same backend.
   void simulate_crash();
 
-  [[nodiscard]] ServiceStats stats_snapshot() const;
+  /// Full metrics snapshot: the service's private registry (serve.*,
+  /// quarantine.*) with live size gauges, merged with the process-global
+  /// registry (pipeline.*, net.*, join.*, cluster.*).  The kMetrics
+  /// admin command ships exactly this.
+  [[nodiscard]] telemetry::MetricsSnapshot metrics_snapshot() const;
+
+  /// Legacy fixed-field view, now computed from metrics_snapshot() —
+  /// one-release adapter kept for the kStats wire command.
+  [[deprecated(
+      "read metrics_snapshot() (AdminCommand::kMetrics) instead")]]
+  [[nodiscard]] ServiceStats
+  stats_snapshot() const {
+    return legacy_stats();
+  }
+
   [[nodiscard]] std::size_t quarantine_size() const;
   [[nodiscard]] const core::MatchCorpus& corpus() const noexcept {
     return corpus_;
@@ -117,6 +149,19 @@ class MatchService {
   }
 
  private:
+  /// Cached handles into registry_ (stable for the registry's lifetime),
+  /// so the request path never takes the registry lookup mutex.
+  struct ServeMetrics {
+    telemetry::Counter& queries;
+    telemetry::Counter& ingests;
+    telemetry::Counter& overloaded;
+    telemetry::Counter& repaired_doubled;
+    telemetry::Counter& repaired_shifted;
+    telemetry::Histogram& query_ms;
+    telemetry::Histogram& ingest_ms;
+    telemetry::Histogram& admin_ms;
+  };
+
   [[nodiscard]] fbf::util::Result<std::string> handle_match(
       std::string_view payload);
   [[nodiscard]] fbf::util::Result<std::string> handle_ingest(
@@ -126,7 +171,8 @@ class MatchService {
   [[nodiscard]] MatchResponse match_string(const MatchRequest& req,
                                            core::CorpusResult result) const;
   [[nodiscard]] MatchResponse match_record(const MatchRequest& req);
-  void record_latency(double ms);
+  /// stats_snapshot() without the deprecation (internal kStats path).
+  [[nodiscard]] ServiceStats legacy_stats() const;
 
   ServiceOptions options_;
   core::MatchCorpus corpus_;
@@ -137,14 +183,11 @@ class MatchService {
   std::optional<BatchCoalescer> coalescer_;
 
   std::atomic<std::size_t> inflight_{0};
-  std::atomic<std::uint64_t> queries_{0};
-  std::atomic<std::uint64_t> ingests_{0};
-  std::atomic<std::uint64_t> overloaded_{0};
 
-  /// Service-side match latency samples (bounded ring, newest wins).
-  mutable std::mutex latency_mu_;
-  std::vector<double> latency_ms_;
-  std::size_t latency_next_ = 0;
+  /// Source of truth for the service's own metrics.  Mutable: snapshot
+  /// paths refresh size gauges from a const context.
+  mutable telemetry::Registry registry_;
+  ServeMetrics metrics_;
 };
 
 }  // namespace fbf::serve

@@ -1,0 +1,262 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace fbf::telemetry {
+
+// --- histograms ---------------------------------------------------------
+
+std::size_t histogram_bucket_index(double v) noexcept {
+  if (!(v > 0.0)) {
+    return 0;  // negatives, zeros and NaNs all land in the floor bucket
+  }
+  int exp = 0;
+  const double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac ∈ [0.5, 1)
+  const int octave = exp - 1;               // v ∈ [2^octave, 2^(octave+1))
+  int sub = static_cast<int>((frac - 0.5) *
+                             static_cast<double>(2 * kHistogramSubBuckets));
+  sub = std::clamp(sub, 0, kHistogramSubBuckets - 1);
+  const long index =
+      static_cast<long>(octave - kHistogramMinExp) * kHistogramSubBuckets +
+      sub;
+  if (index < 0) {
+    return 0;
+  }
+  return std::min(static_cast<std::size_t>(index), kHistogramBuckets - 1);
+}
+
+double histogram_bucket_lower(std::size_t index) noexcept {
+  index = std::min(index, kHistogramBuckets - 1);
+  const int octave =
+      kHistogramMinExp + static_cast<int>(index) / kHistogramSubBuckets;
+  const int sub = static_cast<int>(index) % kHistogramSubBuckets;
+  return std::ldexp(
+      1.0 + static_cast<double>(sub) / kHistogramSubBuckets, octave);
+}
+
+namespace {
+
+/// Fixed-point (1/1024) encoding of a non-negative sample.  Saturates
+/// instead of wrapping so a pathological value cannot corrupt the sum.
+std::uint64_t to_fixed(double v) noexcept {
+  if (!(v > 0.0)) {
+    return 0;
+  }
+  const double scaled = v * 1024.0;
+  if (scaled >= 9.0e18) {
+    return std::uint64_t{9000000000000000000ull};
+  }
+  return static_cast<std::uint64_t>(std::llround(scaled));
+}
+
+}  // namespace
+
+void Histogram::record(double v) noexcept {
+  buckets_[histogram_bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_fp_.fetch_add(to_fixed(v), std::memory_order_relaxed);
+  const std::uint64_t fixed = to_fixed(v);
+  std::uint64_t seen = max_fp_.load(std::memory_order_relaxed);
+  while (fixed > seen && !max_fp_.compare_exchange_weak(
+                             seen, fixed, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kHistogramBuckets);
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_fp = sum_fp_.load(std::memory_order_relaxed);
+  snap.max_fp = max_fp_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_fp_.store(0, std::memory_order_relaxed);
+  max_fp_.store(0, std::memory_order_relaxed);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size());
+  }
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum_fp += other.sum_fp;
+  max_fp = std::max(max_fp, other.max_fp);
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  const double rank = fbf::util::type7_rank(count, q);
+  std::uint64_t before = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) {
+      continue;
+    }
+    const double last_rank = static_cast<double>(before + in_bucket - 1);
+    if (rank <= last_rank) {
+      const double lower = histogram_bucket_lower(i);
+      const double upper = histogram_bucket_lower(i + 1);
+      const double frac =
+          (rank - static_cast<double>(before)) /
+          static_cast<double>(in_bucket);
+      return std::min(lower + frac * (upper - lower), max());
+    }
+    before += in_bucket;
+  }
+  return max();
+}
+
+// --- tracing ------------------------------------------------------------
+
+namespace {
+thread_local std::uint64_t t_current_trace = 0;
+
+/// FNV-1a step shared with the frame checksum family.
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+}  // namespace
+
+std::uint64_t derive_trace_id(std::uint16_t type,
+                              std::string_view payload) noexcept {
+  // Seeded FNV-1a: the type participates so a ping and an empty admin
+  // request do not collide; the payload bytes are the identity of the
+  // request, so retries and transports agree by construction.
+  std::uint64_t hash = 0xCBF29CE484222325ull ^
+                       (static_cast<std::uint64_t>(type) * 0x9E3779B97F4A7C15ull);
+  for (const char ch : payload) {
+    hash ^= static_cast<std::uint8_t>(ch);
+    hash *= kFnvPrime;
+  }
+  return hash == 0 ? 1 : hash;
+}
+
+std::uint64_t current_trace() noexcept { return t_current_trace; }
+
+ScopedTrace::ScopedTrace(std::uint64_t trace) noexcept
+    : saved_(t_current_trace) {
+  t_current_trace = trace;
+}
+
+ScopedTrace::~ScopedTrace() { t_current_trace = saved_; }
+
+// --- registry -----------------------------------------------------------
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counter_values()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Registry::gauge_values()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+Registry::histogram_values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram->snapshot());
+  }
+  return out;
+}
+
+void Registry::record_span(SpanRecord span) {
+  std::lock_guard<std::mutex> lock(span_mu_);
+  if (spans_.size() >= kSpanRingCapacity) {
+    spans_.pop_front();
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::vector<SpanRecord> Registry::spans() const {
+  std::lock_guard<std::mutex> lock(span_mu_);
+  return std::vector<SpanRecord>(spans_.begin(), spans_.end());
+}
+
+void Registry::clear_spans() {
+  std::lock_guard<std::mutex> lock(span_mu_);
+  spans_.clear();
+}
+
+void Registry::reset() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, counter] : counters_) {
+      counter->reset();
+    }
+    for (auto& [name, gauge] : gauges_) {
+      gauge->reset();
+    }
+    for (auto& [name, histogram] : histograms_) {
+      histogram->reset();
+    }
+  }
+  clear_spans();
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed: hot paths
+                                               // may outlive static dtors
+  return *instance;
+}
+
+}  // namespace fbf::telemetry

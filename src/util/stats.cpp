@@ -63,14 +63,20 @@ double trimmed_mean_drop_minmax(std::span<const double> xs) {
   return mean(std::span<const double>(sorted).subspan(1, sorted.size() - 2));
 }
 
+double type7_rank(std::size_t n, double q) noexcept {
+  if (n == 0) {
+    return 0.0;
+  }
+  return std::clamp(q, 0.0, 1.0) * static_cast<double>(n - 1);
+}
+
 double percentile(std::span<const double> xs, double q) {
   if (xs.empty()) {
     return 0.0;
   }
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
-  q = std::clamp(q, 0.0, 1.0);
-  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const double pos = type7_rank(sorted.size(), q);
   const std::size_t lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);

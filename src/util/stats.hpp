@@ -33,6 +33,12 @@ namespace fbf::util {
 /// are fewer than 3 observations.
 [[nodiscard]] double trimmed_mean_drop_minmax(std::span<const double> xs);
 
+/// The "type 7" estimator's fractional rank: (n - 1) * q with `q`
+/// clamped to [0, 1]; 0.0 when n == 0.  Shared by percentile() below and
+/// the telemetry histogram's bucket-CDF percentile extraction, so the
+/// two agree on which order statistic a quantile names.
+[[nodiscard]] double type7_rank(std::size_t n, double q) noexcept;
+
 /// Quantile by linear interpolation between order statistics (the "type 7"
 /// estimator); `q` in [0, 1].  Copies and sorts internally; 0.0 for an
 /// empty span.  percentile(xs, 0.5) == median(xs).

@@ -8,9 +8,13 @@
 #include <cstring>
 #include <string>
 
+#include "util/rng.hpp"
+#include "util/wire.hpp"
+
 namespace {
 
 namespace net = fbf::net;
+namespace w = fbf::util::wire;
 
 net::FrameContext make_ctx(net::FrameType type, std::uint32_t shard,
                            std::uint32_t attempt) {
@@ -19,6 +23,37 @@ net::FrameContext make_ctx(net::FrameType type, std::uint32_t shard,
   ctx.shard = shard;
   ctx.attempt = attempt;
   return ctx;
+}
+
+/// Frame builder independent of encode_frame, replicating the documented
+/// layout and checksum formula — pins the wire format AND lets tests
+/// craft extension blocks encode_frame would never emit (unknown tags).
+std::string craft_frame(const net::FrameContext& ctx, std::string_view ext,
+                        std::string_view payload) {
+  std::uint64_t seed = 0xCBF29CE484222325ull;
+  seed ^= static_cast<std::uint64_t>(ctx.type) << 48;
+  seed ^= static_cast<std::uint64_t>(ctx.shard) << 16;
+  seed ^= static_cast<std::uint64_t>(ctx.attempt);
+  seed ^= static_cast<std::uint64_t>(payload.size()) << 32;
+  seed ^= static_cast<std::uint64_t>(ext.size()) << 8;
+  std::uint64_t hash = fbf::util::SplitMix64(seed).next();
+  for (const std::string_view part : {ext, payload}) {
+    for (const char ch : part) {
+      hash ^= static_cast<std::uint8_t>(ch);
+      hash *= 0x100000001B3ull;
+    }
+  }
+  std::string frame;
+  w::put<std::uint32_t>(frame, net::kFrameMagic);
+  w::put<std::uint16_t>(frame, static_cast<std::uint16_t>(ctx.type));
+  w::put<std::uint16_t>(frame, static_cast<std::uint16_t>(ext.size()));
+  w::put<std::uint32_t>(frame, ctx.shard);
+  w::put<std::uint32_t>(frame, ctx.attempt);
+  w::put<std::uint32_t>(frame, static_cast<std::uint32_t>(payload.size()));
+  w::put<std::uint64_t>(frame, hash);
+  frame.append(ext);
+  frame.append(payload);
+  return frame;
 }
 
 TEST(FrameCodec, RoundTripsPayloadAndContext) {
@@ -91,7 +126,7 @@ TEST(FrameCodec, RejectsBadMagic) {
   EXPECT_NE(decoded.error, nullptr);
 }
 
-TEST(FrameCodec, RejectsUnknownTypeAndReservedBits) {
+TEST(FrameCodec, RejectsUnknownTypeAndImplausibleExtensionLength) {
   std::string bad_type =
       net::encode_frame(make_ctx(net::FrameType::kPing, 0, 1), {});
   const std::uint16_t type = 999;
@@ -99,11 +134,113 @@ TEST(FrameCodec, RejectsUnknownTypeAndReservedBits) {
   EXPECT_EQ(net::try_decode_frame(bad_type).status,
             net::DecodeStatus::kCorrupt);
 
-  std::string bad_reserved =
+  // The ext field (the old reserved u16) now announces an extension
+  // block.  A length beyond the bound can never be a real extension.
+  std::string bad_ext =
       net::encode_frame(make_ctx(net::FrameType::kPing, 0, 1), {});
-  bad_reserved[6] = 1;  // reserved u16 must be zero
-  EXPECT_EQ(net::try_decode_frame(bad_reserved).status,
+  const std::uint16_t huge_ext =
+      static_cast<std::uint16_t>(net::kMaxFrameExtensionBytes + 1);
+  std::memcpy(bad_ext.data() + 6, &huge_ext, sizeof(huge_ext));
+  EXPECT_EQ(net::try_decode_frame(bad_ext).status,
             net::DecodeStatus::kCorrupt);
+}
+
+// --- extension block (trace propagation rides here) ---------------------
+
+TEST(FrameExtension, TraceIdRoundTripsAndUntracedFramesStayLegacyShaped) {
+  net::FrameContext traced = make_ctx(net::FrameType::kMatchQuery, 3, 2);
+  traced.trace = 0x1122334455667788ull;
+  const std::string frame = net::encode_frame(traced, "payload");
+  // TLV: tag(1) + len(1) + u64 value.
+  ASSERT_EQ(frame.size(), net::kFrameHeaderBytes + 10 + 7);
+  const auto decoded = net::try_decode_frame(frame);
+  ASSERT_EQ(decoded.status, net::DecodeStatus::kFrame);
+  EXPECT_EQ(decoded.ctx.trace, traced.trace);
+  EXPECT_EQ(decoded.payload, "payload");
+  EXPECT_EQ(decoded.consumed, frame.size());
+
+  // Untraced frames emit no extension: byte-identical to the
+  // pre-extension encoding, so old peers are never disturbed.
+  net::FrameContext untraced = traced;
+  untraced.trace = 0;
+  const std::string legacy = net::encode_frame(untraced, "payload");
+  EXPECT_EQ(legacy.size(), net::kFrameHeaderBytes + 7);
+  EXPECT_EQ(legacy[6], 0);
+  EXPECT_EQ(legacy[7], 0);
+  const auto legacy_decoded = net::try_decode_frame(legacy);
+  ASSERT_EQ(legacy_decoded.status, net::DecodeStatus::kFrame);
+  EXPECT_EQ(legacy_decoded.ctx.trace, 0u);
+}
+
+TEST(FrameExtension, CraftedFrameMatchesEncodeFrameByteForByte) {
+  // The test-local builder and the production encoder must agree — this
+  // pins the documented layout and checksum formula.
+  net::FrameContext ctx = make_ctx(net::FrameType::kIngest, 9, 4);
+  EXPECT_EQ(craft_frame(ctx, {}, "abc"), net::encode_frame(ctx, "abc"));
+  ctx.trace = 42;
+  std::string ext;
+  w::put<std::uint8_t>(ext, net::kFrameExtTraceId);
+  w::put<std::uint8_t>(ext, 8);
+  w::put<std::uint64_t>(ext, 42);
+  EXPECT_EQ(craft_frame(ctx, ext, "abc"), net::encode_frame(ctx, "abc"));
+}
+
+TEST(FrameExtension, UnknownTagsAreSkippedNotFatal) {
+  // A future peer adds tag 0x7E; an old decoder must skip it and still
+  // surface the trace id that follows.
+  std::string ext;
+  w::put<std::uint8_t>(ext, 0x7E);
+  w::put<std::uint8_t>(ext, 3);
+  ext.append("xyz");
+  w::put<std::uint8_t>(ext, net::kFrameExtTraceId);
+  w::put<std::uint8_t>(ext, 8);
+  w::put<std::uint64_t>(ext, 0xABCDull);
+  const std::string frame =
+      craft_frame(make_ctx(net::FrameType::kPing, 0, 1), ext, "p");
+  const auto decoded = net::try_decode_frame(frame);
+  ASSERT_EQ(decoded.status, net::DecodeStatus::kFrame);
+  EXPECT_EQ(decoded.ctx.trace, 0xABCDull);
+  EXPECT_EQ(decoded.payload, "p");
+}
+
+TEST(FrameExtension, OverrunningTlvLengthIsCorrupt) {
+  // Tag announces more value bytes than the block holds: checksum passes
+  // (the bytes are intact) but the TLV walk must reject the overrun.
+  std::string ext;
+  w::put<std::uint8_t>(ext, net::kFrameExtTraceId);
+  w::put<std::uint8_t>(ext, 200);
+  const std::string frame =
+      craft_frame(make_ctx(net::FrameType::kPing, 0, 1), ext, {});
+  const auto decoded = net::try_decode_frame(frame);
+  EXPECT_EQ(decoded.status, net::DecodeStatus::kCorrupt);
+}
+
+TEST(FrameExtension, TruncatedExtensionReportsNeedMore) {
+  net::FrameContext ctx = make_ctx(net::FrameType::kMatchQuery, 1, 1);
+  ctx.trace = 7;
+  const std::string frame = net::encode_frame(ctx, "tail");
+  for (std::size_t len = net::kFrameHeaderBytes; len < frame.size(); ++len) {
+    const auto decoded =
+        net::try_decode_frame(std::string_view(frame.data(), len));
+    EXPECT_EQ(decoded.status, net::DecodeStatus::kNeedMore)
+        << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(FrameExtension, NoSingleBitFlipSurvivesInATracedFrame) {
+  net::FrameContext ctx = make_ctx(net::FrameType::kMatchQuery, 7, 2);
+  ctx.trace = 0x5555AAAA5555AAAAull;
+  const std::string frame = net::encode_frame(ctx, "traced payload");
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = frame;
+      mutated[i] = static_cast<char>(static_cast<unsigned char>(mutated[i]) ^
+                                     (1u << bit));
+      const auto decoded = net::try_decode_frame(mutated);
+      EXPECT_NE(decoded.status, net::DecodeStatus::kFrame)
+          << "bit " << bit << " of byte " << i << " slipped through";
+    }
+  }
 }
 
 TEST(FrameCodec, RejectsImplausibleLength) {

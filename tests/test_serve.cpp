@@ -27,6 +27,7 @@ namespace c = fbf::core;
 namespace d = fbf::datagen;
 namespace l = fbf::linkage;
 namespace s = fbf::serve;
+namespace t = fbf::telemetry;
 namespace u = fbf::util;
 
 namespace {
@@ -297,7 +298,8 @@ TEST(ServeOverload, ServiceInflightBudgetRejectsFloods) {
   EXPECT_GT(ok.load(), 0u);
   EXPECT_GT(overloaded.load(), 0u)
       << "16 threads against an in-flight budget of 2 must trip admission";
-  EXPECT_EQ(service.stats_snapshot().overloaded, overloaded.load());
+  EXPECT_EQ(service.metrics_snapshot().counter("serve.overloaded"),
+            overloaded.load());
 }
 
 // --- durability: kill mid-ingest ---------------------------------------
@@ -360,6 +362,8 @@ TEST(ServeQuarantine, DrainRepairsDoubledDelimitersAndKeepsTheRest) {
   const u::Result<s::DrainReply> drain = client.drain_quarantine();
   ASSERT_TRUE(drain.ok()) << drain.status().to_string();
   EXPECT_EQ(drain->repaired, 1u);
+  EXPECT_EQ(drain->doubled_delimiter, 1u);
+  EXPECT_EQ(drain->shifted_column, 0u);
   EXPECT_EQ(drain->still_bad, 1u);
   EXPECT_EQ(service.quarantine_size(), 1u);
   EXPECT_EQ(service.durable_store().store().size(), 2u);
@@ -371,10 +375,43 @@ TEST(ServeQuarantine, DrainRepairsDoubledDelimitersAndKeepsTheRest) {
   EXPECT_EQ(again->still_bad, 1u);
   EXPECT_EQ(service.durable_store().store().size(), 2u);
 
-  const u::Result<s::ServiceStats> stats = client.stats();
-  ASSERT_TRUE(stats.ok());
-  EXPECT_EQ(stats->quarantined, 1u);
-  EXPECT_EQ(stats->ingests, 1u);
+  const u::Result<t::MetricsSnapshot> metrics = client.metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->gauge("serve.quarantined"), 1);
+  EXPECT_EQ(metrics->counter("serve.ingests"), 1u);
+  EXPECT_EQ(metrics->counter("quarantine.repaired.doubled_delimiter"), 1u);
+  EXPECT_EQ(metrics->counter("quarantine.repaired.shifted_column"), 0u);
+}
+
+TEST(ServeQuarantine, DrainRepairsShiftedColumnsWhenTheSplitIsUnambiguous) {
+  auto backend = std::make_shared<fbf::storage::MemObjectBackend>();
+  s::MatchService service(s::ServiceOptions{}, backend);
+  fbf::Client client = fbf::Client::in_process(service);
+
+  // A dropped delimiter fused gender+ssn ("m,123456780" -> "m123456780"):
+  // only one (cell, split) candidate satisfies the format-constrained
+  // shapes, so the repair is decidable.  The fused first+last name row is
+  // free text — many plausible splits — and must stay parked.
+  const std::string csv =
+      "10,carl,cole,56 pine st,5550003333,m123456780,05061980\n"
+      "11,danadoe,78 fir st,5550004444,f,111223333,07081975\n";
+  const u::Result<s::IngestReply> ingest = client.ingest_csv(csv);
+  ASSERT_TRUE(ingest.ok()) << ingest.status().to_string();
+  EXPECT_EQ(ingest->accepted, 0u);
+  EXPECT_EQ(ingest->quarantined, 2u);
+
+  const u::Result<s::DrainReply> drain = client.drain_quarantine();
+  ASSERT_TRUE(drain.ok()) << drain.status().to_string();
+  EXPECT_EQ(drain->repaired, 1u);
+  EXPECT_EQ(drain->doubled_delimiter, 0u);
+  EXPECT_EQ(drain->shifted_column, 1u);
+  EXPECT_EQ(drain->still_bad, 1u)
+      << "a free-text merge admits many splits and must not be guessed";
+  EXPECT_EQ(service.durable_store().store().size(), 1u);
+
+  const u::Result<t::MetricsSnapshot> metrics = client.metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->counter("quarantine.repaired.shifted_column"), 1u);
 }
 
 // --- protocol codecs ---------------------------------------------------

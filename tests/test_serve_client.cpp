@@ -158,13 +158,25 @@ TEST(ServeClient, IngestAndAdminWorkOverBothBackends) {
   EXPECT_EQ(via_local->seq, via_tcp->seq + 1)
       << "both backends commit through the same journal";
 
-  const u::Result<s::ServiceStats> a = local.stats();
-  const u::Result<s::ServiceStats> b = remote.stats();
+  const u::Result<fbf::telemetry::MetricsSnapshot> a = local.metrics();
+  const u::Result<fbf::telemetry::MetricsSnapshot> b = remote.metrics();
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  EXPECT_EQ(a->store_size, b->store_size);
-  EXPECT_EQ(a->corpus_size, b->corpus_size);
-  EXPECT_EQ(a->kernel, b->kernel);
+  EXPECT_EQ(a->gauge("serve.store_size"), b->gauge("serve.store_size"));
+  EXPECT_EQ(a->gauge("serve.corpus_size"), b->gauge("serve.corpus_size"));
+  EXPECT_EQ(a->info, b->info);
+
+  // The one-release deprecated fixed-field view is a pure rendering of
+  // the same registry rows the kMetrics snapshot ships.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const u::Result<s::ServiceStats> legacy = remote.stats();
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(static_cast<std::int64_t>(legacy->store_size),
+            b->gauge("serve.store_size"));
+  EXPECT_EQ(legacy->queries, b->counter("serve.queries"));
+  EXPECT_EQ(legacy->ingests, b->counter("serve.ingests"));
 }
 
 TEST(ServeClient, DeprecatedEntryPointsAndClientAgreeOnMatches) {

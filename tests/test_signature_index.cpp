@@ -157,36 +157,6 @@ TEST(IndexedJoin, UnpackableLayoutReturnsNullopt) {
                    .has_value());
 }
 
-TEST(IndexedJoin, DeprecatedSpellingsStillAnswerIdentically) {
-  // The one-release aliases must keep working and agree with the
-  // QueryOptions spellings bit for bit until they are removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto dataset =
-      dg::build_paired_dataset(dg::FieldKind::kSsn, 120, 7).value();
-  const auto via_alias = c::match_strings_indexed(
-      dataset.clean, dataset.error, c::FieldClass::kNumeric, 1);
-  const auto via_options = c::match_strings_indexed(
-      dataset.clean, dataset.error, index_options(c::FieldClass::kNumeric, 1));
-  ASSERT_TRUE(via_alias.has_value());
-  ASSERT_TRUE(via_options.has_value());
-  EXPECT_EQ(via_alias->matches, via_options->matches);
-  EXPECT_EQ(via_alias->candidates, via_options->candidates);
-  EXPECT_EQ(via_alias->verify_calls, via_options->verify_calls);
-
-  const auto index =
-      c::SignatureIndex::build(dataset.error, c::FieldClass::kNumeric, 2, 1);
-  ASSERT_TRUE(index.has_value());
-  std::vector<std::uint32_t> via_query;
-  std::vector<std::uint32_t> via_generate;
-  const auto sig =
-      c::make_signature(dataset.clean[0], c::FieldClass::kNumeric, 2);
-  index->query(sig, via_query);
-  index->generate(sig, via_generate);
-  EXPECT_EQ(via_query, via_generate);
-#pragma GCC diagnostic pop
-}
-
 TEST(IndexedJoin, K2NumericSupported) {
   const auto dataset = dg::build_paired_dataset(dg::FieldKind::kSsn, 150, 9).value();
   const auto indexed = c::match_strings_indexed(

@@ -425,30 +425,6 @@ TEST_F(SnapshotFiles, RecoveryCleansTheJournalSoASecondCrashLosesNothing) {
   expect_stores_equal(uninterrupted, third.store());
 }
 
-// The one-release migration shim: the path-config constructor must behave
-// exactly like a LocalDirBackend over the snapshot's directory, so stores
-// built before the storage layer keep working while call sites migrate.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(SnapshotFiles, DeprecatedPathConfigForwardsToLocalDirBackend) {
-  const auto batches = make_batches(3, 10, 13);
-  lk::DurabilityConfig config;
-  config.snapshot_path = (base_ / "store.snap").string();
-  config.journal_path = (base_ / "journal").string();
-  config.checkpoint_every = 2;
-  lk::DurableEntityStore legacy(fpdl_config(), config);
-  for (const auto& batch : batches) {
-    ASSERT_TRUE(legacy.ingest(batch).ok());
-  }
-  EXPECT_TRUE(has_manifest());  // checkpointing went through the backend
-
-  // A new-API instance over the same directory recovers the same store.
-  lk::DurableEntityStore modern(fpdl_config(), backend(), policy());
-  ASSERT_TRUE(modern.recover().ok());
-  expect_stores_equal(legacy.store(), modern.store());
-}
-#pragma GCC diagnostic pop
-
 TEST(EntityStoreRestore, RejectsInconsistentShapes) {
   lk::EntityStore store(fpdl_config());
   std::vector<lk::PersonRecord> two(2);
